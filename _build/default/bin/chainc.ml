@@ -1,0 +1,76 @@
+(* hppa-chainc: search multiply-by-constant chains and emit code.
+
+   Example:
+     hppa-chainc 625
+     hppa-chainc --overflow --code 31
+     hppa-chainc --exhaustive 59 *)
+
+module Word = Hppa_word.Word
+module Machine = Hppa_machine.Machine
+
+let show n overflow exhaustive code verify =
+  let n32 = Int32.of_int n in
+  let chain =
+    if exhaustive then Hppa.Chain_search.find ~max_len:6 (abs n)
+    else
+      Hppa.Chain_rules.find
+        ~mode:(if overflow then Hppa.Chain_rules.Monotonic else Hppa.Chain_rules.Fast)
+        (abs n)
+  in
+  (match chain with
+  | None -> Format.printf "%d: no chain found within the search bounds@." n
+  | Some c ->
+      Format.printf "@[<v>chain for %d (%d step%s%s):@,%a@]@." (abs n)
+        (Hppa.Chain.length c)
+        (if Hppa.Chain.length c = 1 then "" else "s")
+        (if Hppa.Chain.is_overflow_safe c then ", overflow-safe" else "")
+        Hppa.Chain.pp c);
+  if code || verify then begin
+    let plan = Hppa.Mul_const.plan ~overflow n32 in
+    if code then
+      Format.printf "@,%a@.(%d instruction%s, %d temporar%s)@."
+        Program.pp_source plan.source plan.static_instructions
+        (if plan.static_instructions = 1 then "" else "s")
+        plan.temporaries
+        (if plan.temporaries = 1 then "y" else "ies");
+    if verify then begin
+      let prog = Program.resolve_exn plan.source in
+      let mach = Machine.create prog in
+      let bad = ref 0 in
+      for x = -1000 to 1000 do
+        let xw = Word.of_int x in
+        match Machine.call mach plan.entry ~args:[ xw ] with
+        | Machine.Halted ->
+            if not (Word.equal (Machine.get mach Reg.ret0) (Word.mul_lo xw n32))
+            then incr bad
+        | Machine.Trapped _ when overflow && Word.mul_overflows_s xw n32 -> ()
+        | Machine.Trapped _ | Machine.Fuel_exhausted -> incr bad
+      done;
+      Format.printf "verification over [-1000, 1000]: %s@."
+        (if !bad = 0 then "ok" else Printf.sprintf "%d failures" !bad)
+    end
+  end;
+  0
+
+open Cmdliner
+
+let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N")
+
+let overflow =
+  Arg.(value & flag & info [ "o"; "overflow" ]
+         ~doc:"Use monotonic, overflow-detecting chains (section 5, Overflow).")
+
+let exhaustive =
+  Arg.(value & flag & info [ "x"; "exhaustive" ]
+         ~doc:"Exhaustive minimal-chain search (depth <= 6) instead of the rule program.")
+
+let code = Arg.(value & flag & info [ "c"; "code" ] ~doc:"Print the generated routine.")
+let verify = Arg.(value & flag & info [ "v"; "verify" ] ~doc:"Run the routine on the simulator.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "hppa-chainc"
+       ~doc:"Search shift-and-add chains for multiplication by constants")
+    Term.(const show $ n $ overflow $ exhaustive $ code $ verify)
+
+let () = exit (Cmd.eval' cmd)

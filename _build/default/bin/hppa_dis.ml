@@ -1,0 +1,29 @@
+(* hppa-dis: disassemble a binary image produced by hppa-run --emit.
+
+   Example:
+     hppa-run prog.s --emit prog.bin
+     hppa-dis prog.bin *)
+
+let run file =
+  let data =
+    In_channel.with_open_bin file (fun ic ->
+        Bytes.of_string (In_channel.input_all ic))
+  in
+  match Image.of_bytes data with
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      2
+  | Ok insns ->
+      print_string (Image.disassemble insns);
+      0
+
+open Cmdliner
+
+let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"IMAGE")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "hppa-dis" ~doc:"Disassemble an HPPA binary image")
+    Term.(const run $ file)
+
+let () = exit (Cmd.eval' cmd)

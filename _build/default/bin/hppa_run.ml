@@ -1,0 +1,98 @@
+(* hppa-run: assemble a Precision assembly file and execute an entry point.
+
+   Example:
+     hppa-run prog.s --entry divu --arg 100 --arg 7
+     hppa-run prog.s --millicode --entry f --arg 42 --stats *)
+
+module Word = Hppa_word.Word
+module Machine = Hppa_machine.Machine
+
+let emit_image prog path =
+  match Image.to_bytes prog with
+  | Error msg ->
+      Printf.eprintf "emit: %s\n" msg;
+      2
+  | Ok data ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_bytes oc data);
+      Printf.printf "wrote %d bytes to %s\n" (Bytes.length data) path;
+      0
+
+let run file entry args link_millicode dump stats trace emit =
+  let text = In_channel.with_open_text file In_channel.input_all in
+  match Asm.parse text with
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" file msg;
+      2
+  | Ok src -> (
+      let src =
+        if link_millicode then Program.concat [ src; Hppa.Millicode.source ]
+        else src
+      in
+      match Program.resolve src with
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" file msg;
+          2
+      | Ok prog when emit <> None ->
+          emit_image prog (Option.get emit)
+      | Ok prog ->
+          if dump then Format.printf "%a@." Program.pp_resolved prog;
+          let mach = Machine.create prog in
+          if trace then
+            Machine.set_trace mach
+              (Some
+                 (fun pc insn ->
+                   Format.eprintf "%6d: %a@." pc (Insn.pp Format.pp_print_int)
+                     insn));
+          let args = List.map (fun s -> Word.of_int64 (Int64.of_string s)) args in
+          let outcome = Machine.call mach entry ~args in
+          let code =
+            match outcome with
+            | Machine.Halted ->
+                Format.printf "ret0 = %ld (0x%lx)@." (Machine.get mach Reg.ret0)
+                  (Machine.get mach Reg.ret0);
+                Format.printf "ret1 = %ld (0x%lx)@." (Machine.get mach Reg.ret1)
+                  (Machine.get mach Reg.ret1);
+                0
+            | Machine.Trapped t ->
+                Format.printf "trap at pc %d: %a@." (Machine.pc mach)
+                  Hppa_machine.Trap.pp t;
+                1
+            | Machine.Fuel_exhausted ->
+                Format.printf "out of fuel@.";
+                1
+          in
+          if stats then
+            Format.printf "%a@." Hppa_machine.Stats.pp (Machine.stats mach);
+          code)
+
+open Cmdliner
+
+let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s")
+
+let entry =
+  Arg.(value & opt string "main" & info [ "e"; "entry" ] ~docv:"LABEL"
+         ~doc:"Entry point label.")
+
+let args =
+  Arg.(value & opt_all string [] & info [ "a"; "arg" ] ~docv:"INT"
+         ~doc:"Argument (repeatable, up to 4), loaded into arg0..arg3.")
+
+let millicode =
+  Arg.(value & flag & info [ "m"; "millicode" ]
+         ~doc:"Link the multiply/divide millicode library into the image.")
+
+let dump = Arg.(value & flag & info [ "d"; "dump" ] ~doc:"Print the resolved program.")
+let stats = Arg.(value & flag & info [ "s"; "stats" ] ~doc:"Print execution statistics.")
+let trace = Arg.(value & flag & info [ "t"; "trace" ] ~doc:"Trace executed instructions.")
+
+let emit =
+  Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"IMAGE"
+         ~doc:"Encode to a binary image instead of running.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "hppa-run" ~doc:"Assemble and run HP Precision assembly on the simulator")
+    Term.(const run $ file $ entry $ args $ millicode $ dump $ stats $ trace $ emit)
+
+let () = exit (Cmd.eval' cmd)

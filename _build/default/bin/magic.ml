@@ -1,0 +1,71 @@
+(* hppa-magic: derive constant-division parameters and code.
+
+   Example:
+     hppa-magic 7
+     hppa-magic --signed --code 11
+     hppa-magic --modern 7 *)
+
+module Word = Hppa_word.Word
+module Machine = Hppa_machine.Machine
+
+let show y signed code modern measure =
+  let y32 = Int32.of_int y in
+  if y land 1 = 1 && y >= 3 then begin
+    let range = if signed then 0x8000_0001L else 0x1_0000_0000L in
+    let t = Hppa.Div_magic.derive ~range y32 in
+    Format.printf "derived method:  %a@." Hppa.Div_magic.pp t
+  end;
+  if modern then begin
+    let m = Hppa.Div_magic_modern.derive y32 in
+    Format.printf "round-up method: m=%Lx  p=%d%s%s@." m.m m.p
+      (if m.add_fixup then "  (33-bit, needs add fixup)" else "")
+      (match Hppa.Div_magic_modern.chain_cost m with
+      | Some c -> Printf.sprintf "  chain=%d" c
+      | None -> "")
+  end;
+  let plan =
+    if signed then Hppa.Div_const.plan_signed y32
+    else Hppa.Div_const.plan_unsigned y32
+  in
+  Format.printf "strategy: %s (%d static instructions)@."
+    (match plan.strategy with
+    | Hppa.Div_const.Trivial -> "trivial"
+    | Power_of_two k -> Printf.sprintf "power of two (>> %d)" k
+    | Reciprocal (p, c) ->
+        Printf.sprintf "reciprocal, z=2^%d, chain of %d" p.Hppa.Div_magic.s
+          (Hppa.Chain.length c)
+    | Even_split (k, _) -> Printf.sprintf "shift %d + odd reciprocal" k
+    | General_fallback -> "general divide (fallback)")
+    plan.static_instructions;
+  if code then Format.printf "@,%a@." Program.pp_source plan.source;
+  if measure then begin
+    let prog =
+      Program.resolve_exn (Program.concat [ plan.source; Hppa.Div_gen.source ])
+    in
+    let mach = Machine.create prog in
+    let cycles x =
+      match Machine.call_cycles mach plan.entry ~args:[ x ] with
+      | Machine.Halted, c -> c
+      | (Machine.Trapped _ | Machine.Fuel_exhausted), _ -> -1
+    in
+    Format.printf "cycles: x=1000 -> %d;  x=-1000 -> %d;  x=max_int -> %d@."
+      (cycles 1000l) (cycles (-1000l)) (cycles Int32.max_int)
+  end;
+  0
+
+open Cmdliner
+
+let y = Arg.(required & pos 0 (some int) None & info [] ~docv:"DIVISOR")
+let signed = Arg.(value & flag & info [ "s"; "signed" ] ~doc:"Signed (truncating) division.")
+let code = Arg.(value & flag & info [ "c"; "code" ] ~doc:"Print the generated routine.")
+let modern =
+  Arg.(value & flag & info [ "m"; "modern" ]
+         ~doc:"Also derive the modern round-up (Granlund-Montgomery) parameters.")
+let measure = Arg.(value & flag & info [ "t"; "time" ] ~doc:"Measure simulated cycles.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "hppa-magic" ~doc:"Derive division-by-constant parameters (section 7)")
+    Term.(const show $ y $ signed $ code $ modern $ measure)
+
+let () = exit (Cmd.eval' cmd)

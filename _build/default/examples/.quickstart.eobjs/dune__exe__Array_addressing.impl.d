@@ -1,0 +1,1 @@
+examples/array_addressing.ml: Expr Format Hppa Hppa_compiler Hppa_machine Hppa_word Lower Program Reg

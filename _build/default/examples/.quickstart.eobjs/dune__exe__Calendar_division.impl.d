@@ -1,0 +1,1 @@
+examples/calendar_division.ml: Format Hppa Hppa_machine Hppa_word Int32 List Printf Program Reg

@@ -1,0 +1,1 @@
+examples/calendar_division.mli:

@@ -1,0 +1,1 @@
+examples/euclid_asm.ml: Asm Format Hppa Hppa_machine Hppa_word List Program Reg

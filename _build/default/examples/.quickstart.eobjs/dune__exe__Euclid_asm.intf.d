@@ -1,0 +1,1 @@
+examples/euclid_asm.mli:

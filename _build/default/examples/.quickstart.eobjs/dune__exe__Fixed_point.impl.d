@@ -1,0 +1,1 @@
+examples/fixed_point.ml: Format Hppa Hppa_machine Hppa_word Int32 List Reg

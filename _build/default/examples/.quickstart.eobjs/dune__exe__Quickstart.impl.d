@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asm Format Hppa Hppa_machine Hppa_word Program Reg

@@ -1,0 +1,1 @@
+examples/strength_reduction.ml: Expr Format Hppa Hppa_compiler Hppa_machine Hppa_word List Loop_ir Lower_loop Program Reg Strength

@@ -1,0 +1,69 @@
+(* Q16.16 fixed-point arithmetic on a machine with no multiply hardware.
+
+   Fixed-point multiply needs the full 64-bit product ((a*b) >> 16) and
+   fixed-point divide needs a 48-bit dividend ((a << 16) / b) — exactly
+   the extended operations the paper leaves as future work and this
+   library implements as [mulU64] / [divU64] millicode. The example
+   computes a square root with Newton iterations, every arithmetic op
+   running on the simulator.
+
+   Run with:  dune exec examples/fixed_point.exe *)
+
+module Word = Hppa_word.Word
+module Machine = Hppa_machine.Machine
+
+let mach = Hppa.Millicode.machine ()
+let total_cycles = ref 0
+
+let call entry args =
+  match Machine.call_cycles mach entry ~args with
+  | Machine.Halted, c ->
+      total_cycles := !total_cycles + c;
+      Machine.get mach Reg.ret0
+  | (Machine.Trapped _ | Machine.Fuel_exhausted), _ -> failwith entry
+
+(* Q16.16 multiply: the middle 32 bits of the 64-bit product. *)
+let fxmul a b =
+  let lo = call "mulU64" [ a; b ] in
+  let hi = Machine.get mach Reg.ret1 in
+  Word.logor (Word.shl hi 16) (Word.shr_u lo 16)
+
+(* Q16.16 divide: (a << 16) / b via the 64/32 divide. *)
+let fxdiv a b =
+  let hi = Word.shr_u a 16 and lo = Word.shl a 16 in
+  call "divU64" [ hi; lo; b ]
+
+let of_int i = Word.shl (Word.of_int i) 16
+let to_float w = Int32.to_float w /. 65536.0
+
+(* sqrt by Newton iteration: r <- (r + a/r) / 2. *)
+let fxsqrt a =
+  let rec go r i =
+    if i = 0 then r
+    else
+      let r' = Word.shr_u (Word.add r (fxdiv a r)) 1 in
+      if Word.equal r' r then r else go r' (i - 1)
+  in
+  go (if Word.lt_u a (of_int 1) then a else Word.shr_u a 1) 20
+
+let () =
+  Format.printf "Q16.16 fixed point on the simulated Precision machine@.@.";
+  let pi = 205887l (* 3.14159... in Q16.16 *) in
+  let r = of_int 5 in
+  let area = fxmul pi (fxmul r r) in
+  Format.printf "  pi * 5^2        = %.5f   (expect %.5f)@." (to_float area)
+    (3.14159274 *. 25.0);
+  let inv = fxdiv (of_int 1) pi in
+  Format.printf "  1 / pi          = %.5f   (expect %.5f)@." (to_float inv)
+    (1.0 /. 3.14159274);
+  List.iter
+    (fun v ->
+      let s = fxsqrt (of_int v) in
+      Format.printf "  sqrt(%-4d)      = %.5f   (expect %.5f)@." v (to_float s)
+        (sqrt (float_of_int v)))
+    [ 2; 10; 144; 10000 ];
+  Format.printf "@.total simulated cycles for all of the above: %d@."
+    !total_cycles;
+  Format.printf
+    "(every multiply was four 16x16 standard multiplies; every divide was@.";
+  Format.printf " 32 ADDC/DS divide-step pairs — no multiply/divide hardware.)@."

@@ -1,0 +1,68 @@
+(* Quickstart: the public API in five minutes.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Word = Hppa_word.Word
+module Machine = Hppa_machine.Machine
+
+let () =
+  Format.printf "== 1. Multiply by a constant (section 5) ==@.";
+  (* Ask the rule program for a chain and compile it. *)
+  let plan = Hppa.Mul_const.plan 10l in
+  Format.printf "multiply by 10 is %d instructions:@.%a@."
+    plan.static_instructions Program.pp_source plan.source;
+
+  (* Execute it on the simulated machine. *)
+  let mach = Machine.create (Program.resolve_exn plan.source) in
+  (match Machine.call mach plan.entry ~args:[ 123l ] with
+  | Machine.Halted ->
+      Format.printf "123 * 10 = %ld@.@." (Machine.get mach Reg.ret0)
+  | Machine.Trapped t -> Format.printf "trap: %a@." Hppa_machine.Trap.pp t
+  | Machine.Fuel_exhausted -> Format.printf "ran out of fuel@.");
+
+  Format.printf "== 2. The millicode library (sections 6 and 7) ==@.";
+  let mach = Hppa.Millicode.machine () in
+  let call name a b =
+    match Machine.call_cycles mach name ~args:[ a; b ] with
+    | Machine.Halted, cycles -> (Machine.get mach Reg.ret0, cycles)
+    | (Machine.Trapped _ | Machine.Fuel_exhausted), _ -> (0l, -1)
+  in
+  let p, c = call "mulI" 12345l 678l in
+  Format.printf "mulI  12345 * 678  = %-10ld (%d cycles)@." p c;
+  let q, c = call "divU" 1000000l 7l in
+  Format.printf "divU  1000000 / 7  = %-10ld (%d cycles)@." q c;
+  let q, c = call "divU_small" 1000000l 7l in
+  Format.printf "small 1000000 / 7  = %-10ld (%d cycles)@.@." q c;
+
+  Format.printf "== 3. Division by a constant (section 7) ==@.";
+  let t = Hppa.Div_magic.derive 7l in
+  Format.printf "derived parameters: %a@." Hppa.Div_magic.pp t;
+  let plan = Hppa.Div_const.plan_unsigned 7l in
+  let mach =
+    Machine.create
+      (Program.resolve_exn
+         (Program.concat [ plan.source; Hppa.Div_gen.source ]))
+  in
+  (match Machine.call_cycles mach plan.entry ~args:[ 1000000l ] with
+  | Machine.Halted, cycles ->
+      Format.printf "1000000 / 7 = %ld via the reciprocal (%d cycles vs ~76 general)@.@."
+        (Machine.get mach Reg.ret0) cycles
+  | (Machine.Trapped _ | Machine.Fuel_exhausted), _ -> ());
+
+  Format.printf "== 4. Assembly in, results out ==@.";
+  let src =
+    Asm.parse_exn
+      {|
+; three-instruction average-of-two (with the carry trick)
+avg:    add    arg0, arg1, ret0
+        addc   r0, r0, r1        ; capture the carry
+        shd    r1, ret0, 1, ret0 ; 33-bit value >> 1
+        bv     r0(rp)
+|}
+  in
+  let mach = Machine.create (Program.resolve_exn src) in
+  (match Machine.call mach "avg" ~args:[ 0x7fffffffl; 0x7fffffffl ] with
+  | Machine.Halted ->
+      Format.printf "avg(max_int, max_int) = %ld@." (Machine.get mach Reg.ret0)
+  | Machine.Trapped t -> Format.printf "trap: %a@." Hppa_machine.Trap.pp t
+  | Machine.Fuel_exhausted -> ())

@@ -1,0 +1,1 @@
+lib/baselines/booth.ml: Hppa_word Int64

@@ -1,0 +1,1 @@
+lib/baselines/booth.mli: Hppa_word

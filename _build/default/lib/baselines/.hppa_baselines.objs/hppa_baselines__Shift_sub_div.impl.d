@@ -1,0 +1,1 @@
+lib/baselines/shift_sub_div.ml: Hppa_word Int32 Int64

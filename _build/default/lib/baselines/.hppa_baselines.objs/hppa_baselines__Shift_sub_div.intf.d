@@ -1,0 +1,1 @@
+lib/baselines/shift_sub_div.mli: Hppa_word

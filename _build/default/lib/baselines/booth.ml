@@ -1,0 +1,28 @@
+module Word = Hppa_word.Word
+
+let steps = 16
+
+(* Radix-4 Booth: examine bits (2i+1, 2i, 2i-1) of the multiplier; the
+   recoded digit is b_{2i-1} + b_{2i} - 2*b_{2i+1}, in {-2..2}. The
+   accumulator is 64-bit; each step adds digit * multiplicand shifted by
+   2i. Signed semantics fall out of treating the top recoded digit's
+   weight as negative, which the formula already does. *)
+let multiply mcand mpy =
+  let mcand64 = Word.to_int64_s mcand in
+  let acc = ref 0L in
+  for i = 0 to steps - 1 do
+    let bit k =
+      if k < 0 then 0
+      else if k > 31 then if Word.is_neg mpy then 1 else 0
+      else if Word.bit mpy k then 1
+      else 0
+    in
+    let digit = bit ((2 * i) - 1) + bit (2 * i) - (2 * bit ((2 * i) + 1)) in
+    acc :=
+      Int64.add !acc
+        (Int64.shift_left (Int64.mul (Int64.of_int digit) mcand64) (2 * i))
+  done;
+  ( Int64.to_int32 (Int64.shift_right_logical !acc 32),
+    Int64.to_int32 !acc )
+
+let cycles () = steps + 4

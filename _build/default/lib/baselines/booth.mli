@@ -1,0 +1,27 @@
+(** The Booth multiply-step baseline (§2, §3).
+
+    Early drafts of the Precision architecture had a Multiply Step
+    instruction implementing two-bit Booth encoding — it was removed
+    because it demanded a three-read-port register file or a special HL
+    register pair ([Jou81]). This module models the machine HP decided
+    {e not} to build, so the software multiply can be compared against it
+    (the paper: "compares favorably with Booth's algorithm implemented
+    with a Multiply Step").
+
+    The model is the standard radix-4 (two-bit) Booth recoding: 16 steps
+    for a 32x32 multiply, each retiring one digit from {-2,-1,0,+1,+2},
+    one cycle per step, plus the setup and signed-correction cycles a real
+    multiply-step sequence needs. *)
+
+val steps : int
+(** 16: multiplier bits retired two per step. *)
+
+val multiply : Hppa_word.Word.t -> Hppa_word.Word.t -> Hppa_word.Word.t * Hppa_word.Word.t
+(** Full signed 64-bit product as [(hi, lo)], computed by executing the 16
+    Booth steps (not by a host multiply) — the test suite checks it against
+    {!Hppa_word.Word.mul_wide_s}. *)
+
+val cycles : unit -> int
+(** Dynamic cost of one multiply on the hypothetical multiply-step
+    machine: 16 steps + 4 setup/correction = 20 cycles, the figure the
+    paper's §6 comparison implies. *)

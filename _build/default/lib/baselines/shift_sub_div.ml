@@ -1,0 +1,66 @@
+module Word = Hppa_word.Word
+
+type result = {
+  quotient : Word.t;
+  remainder : Word.t;
+  add_sub_ops : int;
+  cycles : int;
+}
+
+(* Both algorithms run over a 33-bit partial remainder held in an int64;
+   per-bit bookkeeping (the shift of the remainder/quotient window and the
+   loop test) is modelled at 2 cycles, each add/sub at 1. *)
+
+let restoring x y =
+  if Word.equal y 0l then raise Division_by_zero;
+  let y64 = Word.to_int64_u y in
+  let rem = ref 0L and q = ref 0l and ops = ref 0 and cycles = ref 0 in
+  for i = 31 downto 0 do
+    rem := Int64.logor (Int64.shift_left !rem 1) (if Word.bit x i then 1L else 0L);
+    cycles := !cycles + 2;
+    (* Trial subtraction; restore on underflow. *)
+    let trial = Int64.sub !rem y64 in
+    incr ops;
+    incr cycles;
+    if trial >= 0L then begin
+      rem := trial;
+      q := Int32.logor (Int32.shift_left !q 1) 1l
+    end
+    else begin
+      (* The restore step: add the divisor back. *)
+      incr ops;
+      incr cycles;
+      q := Int32.shift_left !q 1
+    end
+  done;
+  {
+    quotient = !q;
+    remainder = Int64.to_int32 !rem;
+    add_sub_ops = !ops;
+    cycles = !cycles;
+  }
+
+let non_restoring x y =
+  if Word.equal y 0l then raise Division_by_zero;
+  let y64 = Word.to_int64_u y in
+  let rem = ref 0L and q = ref 0l and ops = ref 0 and cycles = ref 0 in
+  for i = 31 downto 0 do
+    let bit = if Word.bit x i then 1L else 0L in
+    let shifted = Int64.logor (Int64.shift_left !rem 1) bit in
+    cycles := !cycles + 2;
+    rem := (if !rem >= 0L then Int64.sub shifted y64 else Int64.add shifted y64);
+    incr ops;
+    incr cycles;
+    q := Int32.logor (Int32.shift_left !q 1) (if !rem >= 0L then 1l else 0l)
+  done;
+  let corrections = ref 0 in
+  if !rem < 0L then begin
+    rem := Int64.add !rem y64;
+    corrections := 1
+  end;
+  {
+    quotient = !q;
+    remainder = Int64.to_int32 !rem;
+    add_sub_ops = !ops + !corrections;
+    cycles = !cycles + !corrections;
+  }

@@ -1,0 +1,23 @@
+(** Restoring and non-restoring division baselines (§2).
+
+    The "usual implementations" the paper sketches before presenting the
+    divide-step design. Both divide unsigned 32-bit quantities one quotient
+    bit at a time; the restoring variant may need an addition {e and} a
+    subtraction per bit, the non-restoring variant exactly one add-or-sub —
+    the operation counts returned alongside the results let the benches
+    show the cost ladder restoring → non-restoring → DS millicode →
+    constant-divisor code. *)
+
+type result = {
+  quotient : Hppa_word.Word.t;
+  remainder : Hppa_word.Word.t;
+  add_sub_ops : int;  (** additions + subtractions performed *)
+  cycles : int;
+      (** modelled single-cycle instructions: shifts, tests and the
+          adds/subs *)
+}
+
+val restoring : Hppa_word.Word.t -> Hppa_word.Word.t -> result
+(** Raises [Division_by_zero]. *)
+
+val non_restoring : Hppa_word.Word.t -> Hppa_word.Word.t -> result

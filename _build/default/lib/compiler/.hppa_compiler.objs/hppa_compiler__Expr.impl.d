@@ -1,0 +1,1 @@
+lib/compiler/expr.ml: Format Hashtbl Hppa_word List

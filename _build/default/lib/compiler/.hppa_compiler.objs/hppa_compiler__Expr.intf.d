@@ -1,0 +1,1 @@
+lib/compiler/expr.mli: Format Hppa_word

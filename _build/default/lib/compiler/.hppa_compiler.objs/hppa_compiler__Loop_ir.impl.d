@@ -1,0 +1,1 @@
+lib/compiler/loop_ir.ml: Expr Format Hashtbl Hppa_word Int64 List

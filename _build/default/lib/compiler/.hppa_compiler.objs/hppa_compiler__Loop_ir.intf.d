@@ -1,0 +1,1 @@
+lib/compiler/loop_ir.mli: Expr Format

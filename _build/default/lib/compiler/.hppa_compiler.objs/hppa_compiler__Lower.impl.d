@@ -1,0 +1,1 @@
+lib/compiler/lower.ml: Array Builder Chain Chain_codegen Chain_rules Div_const Div_small Emit Expr Hppa_word Int32 List Millicode Option Printf Program Reg

@@ -1,0 +1,1 @@
+lib/compiler/lower.mli: Builder Expr Program Reg

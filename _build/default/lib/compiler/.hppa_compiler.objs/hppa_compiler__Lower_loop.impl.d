@@ -1,0 +1,1 @@
+lib/compiler/lower_loop.ml: Builder Cond Emit Expr Hashtbl List Loop_ir Lower Millicode Option Program Reg Strength

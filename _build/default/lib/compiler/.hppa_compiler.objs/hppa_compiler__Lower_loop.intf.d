@@ -1,0 +1,1 @@
+lib/compiler/lower_loop.mli: Loop_ir Program Strength

@@ -1,0 +1,1 @@
+lib/compiler/strength.ml: Expr Hashtbl Hppa_word List Loop_ir Printf String

@@ -1,0 +1,1 @@
+lib/compiler/strength.mli: Loop_ir

@@ -1,0 +1,59 @@
+module Word = Hppa_word.Word
+
+type t =
+  | Var of string
+  | Const of int32
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Rem of t * t
+  | Neg of t
+
+let rec eval ~env = function
+  | Var v -> env v
+  | Const c -> c
+  | Add (a, b) -> Word.add (eval ~env a) (eval ~env b)
+  | Sub (a, b) -> Word.sub (eval ~env a) (eval ~env b)
+  | Mul (a, b) -> Word.mul_lo (eval ~env a) (eval ~env b)
+  | Div (a, b) -> fst (Word.divmod_trunc_s (eval ~env a) (eval ~env b))
+  | Rem (a, b) -> snd (Word.divmod_trunc_s (eval ~env a) (eval ~env b))
+  | Neg a -> Word.neg (eval ~env a)
+
+let vars e =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go = function
+    | Var v ->
+        if not (Hashtbl.mem seen v) then begin
+          Hashtbl.add seen v ();
+          out := v :: !out
+        end
+    | Const _ -> ()
+    | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Rem (a, b) ->
+        go a;
+        go b
+    | Neg a -> go a
+  in
+  go e;
+  List.rev !out
+
+let mul_div_count e =
+  let rec go (m, d) = function
+    | Var _ | Const _ -> (m, d)
+    | Mul (a, b) -> go (go (m + 1, d) a) b
+    | Div (a, b) | Rem (a, b) -> go (go (m, d + 1) a) b
+    | Add (a, b) | Sub (a, b) -> go (go (m, d) a) b
+    | Neg a -> go (m, d) a
+  in
+  go (0, 0) e
+
+let rec pp ppf = function
+  | Var v -> Format.pp_print_string ppf v
+  | Const c -> Format.fprintf ppf "%ld" c
+  | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
+  | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
+  | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp a pp b
+  | Div (a, b) -> Format.fprintf ppf "(%a / %a)" pp a pp b
+  | Rem (a, b) -> Format.fprintf ppf "(%a %% %a)" pp a pp b
+  | Neg a -> Format.fprintf ppf "(-%a)" pp a

@@ -1,0 +1,31 @@
+(** Integer expressions — the input language of the mini-compiler.
+
+    Just enough of a C-like expression language to reproduce the paper's
+    §2 motivation: array/struct addressing that implies multiplications
+    ([structureA[x][y]] needs [x * dim * size + y * size]), pointer
+    differences that imply divisions, and loops amenable to strength
+    reduction. Semantics are C on a 32-bit machine: wrap-around [+], [-],
+    [*]; division truncates toward zero and traps on zero divisors. *)
+
+type t =
+  | Var of string
+  | Const of int32
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Rem of t * t
+  | Neg of t
+
+val eval : env:(string -> Hppa_word.Word.t) -> t -> Hppa_word.Word.t
+(** Raises [Division_by_zero]; unknown variables raise [Not_found] from
+    [env]. *)
+
+val vars : t -> string list
+(** Free variables, each once, in first-use order. *)
+
+val mul_div_count : t -> int * int
+(** Static (multiplies, divides) — the quantities strength reduction and
+    the §2 discussion care about. *)
+
+val pp : Format.formatter -> t -> unit

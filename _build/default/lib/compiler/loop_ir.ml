@@ -1,0 +1,68 @@
+module Word = Hppa_word.Word
+
+type stmt = Assign of string * Expr.t
+
+type t = {
+  counter : string;
+  start : int32;
+  stop : int32;
+  step : int32;
+  body : stmt list;
+}
+
+let validate l =
+  if Word.le_s l.step 0l then Error "step must be positive"
+  else if List.exists (fun (Assign (v, _)) -> v = l.counter) l.body then
+    Error "body must not assign the loop counter"
+  else Ok ()
+
+let eval ?(fuel = 1_000_000) l ~init =
+  (match validate l with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Loop_ir.eval: " ^ msg));
+  let env = Hashtbl.create 16 in
+  List.iter (fun (v, x) -> Hashtbl.replace env v x) init;
+  let lookup v =
+    match Hashtbl.find_opt env v with
+    | Some x -> x
+    | None -> invalid_arg ("Loop_ir.eval: unbound variable " ^ v)
+  in
+  let i = ref l.start and fuel = ref fuel in
+  while Word.lt_s !i l.stop do
+    if !fuel = 0 then invalid_arg "Loop_ir.eval: out of fuel";
+    decr fuel;
+    Hashtbl.replace env l.counter !i;
+    List.iter
+      (fun (Assign (v, e)) -> Hashtbl.replace env v (Expr.eval ~env:lookup e))
+      l.body;
+    i := Word.add !i l.step
+  done;
+  Hashtbl.replace env l.counter !i;
+  Hashtbl.fold (fun v x acc -> (v, x) :: acc) env []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let trip_count l =
+  let span = Int64.sub (Word.to_int64_s l.stop) (Word.to_int64_s l.start) in
+  if span <= 0L then 0
+  else
+    let step = Word.to_int64_s l.step in
+    Int64.to_int (Int64.div (Int64.add span (Int64.sub step 1L)) step)
+
+let dynamic_mul_div l =
+  let m, d =
+    List.fold_left
+      (fun (m, d) (Assign (_, e)) ->
+        let m', d' = Expr.mul_div_count e in
+        (m + m', d + d'))
+      (0, 0) l.body
+  in
+  let trips = trip_count l in
+  (m * trips, d * trips)
+
+let pp ppf l =
+  Format.fprintf ppf "@[<v>for (%s = %ld; %s < %ld; %s += %ld) {" l.counter
+    l.start l.counter l.stop l.counter l.step;
+  List.iter
+    (fun (Assign (v, e)) -> Format.fprintf ppf "@,  %s = %a;" v Expr.pp e)
+    l.body;
+  Format.fprintf ppf "@,}@]"

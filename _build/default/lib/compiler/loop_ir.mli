@@ -1,0 +1,31 @@
+(** A minimal counted-loop IR for the strength-reduction study (§2).
+
+    [for (i = start; i < stop; i += step) body] with a straight-line body
+    of assignments. The interpreter gives the reference semantics that
+    {!Strength.reduce} must preserve. *)
+
+type stmt = Assign of string * Expr.t
+
+type t = {
+  counter : string;
+  start : int32;
+  stop : int32;  (** exclusive, signed comparison *)
+  step : int32;  (** must be positive *)
+  body : stmt list;
+}
+
+val validate : t -> (unit, string) result
+(** Rejects non-positive steps and bodies that assign the counter. *)
+
+val eval :
+  ?fuel:int -> t -> init:(string * int32) list -> (string * int32) list
+(** Run the loop; returns the final environment (all assigned variables
+    and the counter). Raises [Invalid_argument] on an invalid loop or if
+    [fuel] iterations (default 1_000_000) are exceeded. *)
+
+val dynamic_mul_div : t -> int * int
+(** (multiplies, divides) executed dynamically: static counts times the
+    trip count. *)
+
+val trip_count : t -> int
+val pp : Format.formatter -> t -> unit

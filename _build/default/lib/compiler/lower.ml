@@ -1,0 +1,251 @@
+module Word = Hppa_word.Word
+
+type t = {
+  entry : string;
+  params : string list;
+  source : Program.source;
+  millicode_calls : int;
+  inline_multiplies : int;
+}
+
+let inline_mul_threshold = 6
+
+exception Unsupported of string
+
+(* Parameters live in r3..r6, expression temporaries in r7..r18; both
+   ranges survive millicode calls (the library touches only r1, r19..r31
+   and the argument/result registers). *)
+let param_regs = [ 3; 4; 5; 6 ] |> List.map Reg.of_int
+let temp_regs = List.init 12 (fun i -> Reg.of_int (7 + i))
+
+(* Scratch registers handed to inline chains: the result temp first, then
+   caller-saved scratch the chains may clobber freely. *)
+let chain_scratch = [ Reg.t2; Reg.t3; Reg.t4; Reg.t5 ]
+
+type state = {
+  b : Builder.t;
+  vars : (string * Reg.t) list;
+  mutable free : Reg.t list;
+  mutable millicode_calls : int;
+  mutable inline_multiplies : int;
+  mutable plans : (string * Program.source) list; (* per-constant routines *)
+  trap_overflow : bool;
+  small_divisor_dispatch : bool;
+}
+
+let alloc st =
+  match st.free with
+  | r :: rest ->
+      st.free <- rest;
+      r
+  | [] -> raise (Unsupported "expression needs too many registers")
+
+(* Anything in the callee-saved range can serve as an expression
+   temporary; variable registers are simply never released. *)
+let callee_saved = List.init 16 (fun i -> Reg.of_int (3 + i))
+
+
+let release st r =
+  let is_var = List.exists (fun (_, r') -> Reg.equal r r') st.vars in
+  let is_pool = List.exists (Reg.equal r) callee_saved in
+  if is_pool && not is_var then st.free <- r :: st.free
+
+(* The signed-divide routine for a constant: divisors 1..19 reuse the
+   routines already resident in the millicode library (Div_small links
+   them); anything else is generated into this unit once. *)
+let divide_entry st c =
+  if Word.lt_s 0l c && Word.to_int_s c < Div_small.threshold then
+    Printf.sprintf "divi_c%ld" c
+  else begin
+    let plan = Div_const.plan_signed c in
+    if not (List.mem_assoc plan.entry st.plans) then
+      st.plans <- (plan.entry, plan.source) :: st.plans;
+    plan.entry
+  end
+
+let call st target =
+  st.millicode_calls <- st.millicode_calls + 1;
+  Builder.insn st.b (Emit.bl target Reg.mrp)
+
+(* Inline a multiply-by-constant chain: product of [src] by the chain's
+   target into a fresh temp. *)
+let inline_chain st ~negate chain src =
+  st.inline_multiplies <- st.inline_multiplies + 1;
+  let dst = alloc st in
+  let pool = Array.of_list (dst :: chain_scratch) in
+  let _info =
+    Chain_codegen.body_at ~overflow:st.trap_overflow ~negate ~src ~pool chain
+      st.b
+  in
+  dst
+
+let mul_const_cost ~overflow c =
+  if Word.equal c Int32.min_int || Word.equal c 0l then None
+  else
+    let mode = if overflow then Chain_rules.Monotonic else Chain_rules.Fast in
+    Option.map
+      (fun chain -> (chain, Chain.length chain))
+      (Chain_rules.find ~mode (Int32.to_int (Word.abs c)))
+
+let rec emit st (e : Expr.t) : Reg.t =
+  let ov = st.trap_overflow in
+  let binop f a b =
+    let ra = emit st a in
+    let rb = emit st b in
+    release st ra;
+    release st rb;
+    let t = alloc st in
+    Builder.insn st.b (f ra rb t);
+    t
+  in
+  match e with
+  | Var v -> (
+      match List.assoc_opt v st.vars with
+      | Some r -> r
+      | None -> raise (Unsupported ("unbound variable " ^ v)))
+  | Const c ->
+      let t = alloc st in
+      Builder.insns st.b (Emit.ldi c t);
+      t
+  | Add (a, b) -> binop (Emit.add ~ov) a b
+  | Sub (a, b) -> binop (Emit.sub ~ov) a b
+  | Neg a ->
+      let ra = emit st a in
+      release st ra;
+      let t = alloc st in
+      Builder.insn st.b (Emit.sub ~ov Reg.r0 ra t);
+      t
+  | Mul (Const c, a) | Mul (a, Const c) -> emit_mul_const st a c
+  | Mul (a, b) ->
+      let ra = emit st a in
+      let rb = emit st b in
+      Builder.insns st.b [ Emit.copy ra Reg.arg0; Emit.copy rb Reg.arg1 ];
+      release st ra;
+      release st rb;
+      call st (if ov then Millicode.muloI else Millicode.mulI);
+      let t = alloc st in
+      Builder.insn st.b (Emit.copy Reg.ret0 t);
+      t
+  | Div (a, Const c) when not (Word.equal c 0l) ->
+      let target = divide_entry st c in
+      let ra = emit st a in
+      Builder.insn st.b (Emit.copy ra Reg.arg0);
+      release st ra;
+      call st target;
+      let t = alloc st in
+      Builder.insn st.b (Emit.copy Reg.ret0 t);
+      t
+  | Div (a, b) -> emit_call2 st a b (if st.small_divisor_dispatch then "divI_small" else "divI")
+  | Rem (a, Const c) when not (Word.equal c 0l) -> emit_rem_const st a c
+  | Rem (a, b) -> emit_call2 st a b "remI"
+
+and emit_call2 st a b target =
+  let ra = emit st a in
+  let rb = emit st b in
+  Builder.insns st.b [ Emit.copy ra Reg.arg0; Emit.copy rb Reg.arg1 ];
+  release st ra;
+  release st rb;
+  call st target;
+  let t = alloc st in
+  Builder.insn st.b (Emit.copy Reg.ret0 t);
+  t
+
+and emit_mul_const st a c =
+  if Word.equal c 0l then begin
+    (* Still evaluate a for faithfulness to side-effect-free semantics,
+       then discard. *)
+    let ra = emit st a in
+    release st ra;
+    let t = alloc st in
+    Builder.insn st.b (Emit.copy Reg.r0 t);
+    t
+  end
+  else
+    match mul_const_cost ~overflow:st.trap_overflow c with
+    | Some (chain, len) when len <= inline_mul_threshold ->
+        let ra = emit st a in
+        let t = inline_chain st ~negate:(Word.is_neg c) chain ra in
+        release st ra;
+        t
+    | Some _ | None ->
+        (* Millicode multiply with an immediate operand. *)
+        let ra = emit st a in
+        Builder.insn st.b (Emit.copy ra Reg.arg0);
+        release st ra;
+        Builder.insns st.b (Emit.ldi c Reg.arg1);
+        call st (if st.trap_overflow then Millicode.muloI else Millicode.mulI);
+        let t = alloc st in
+        Builder.insn st.b (Emit.copy Reg.ret0 t);
+        t
+
+and emit_rem_const st a c =
+  (* x mod c through the dedicated remainder routine (which itself
+     composes x - (x/c)*c with an inline multiply-back chain). *)
+  let plan = Div_const.plan_rem_signed c in
+  if not (List.mem_assoc plan.entry st.plans) then
+    st.plans <- (plan.entry, plan.source) :: st.plans;
+  let ra = emit st a in
+  Builder.insn st.b (Emit.copy ra Reg.arg0);
+  release st ra;
+  call st plan.entry;
+  let t = alloc st in
+  Builder.insn st.b (Emit.copy Reg.ret0 t);
+  t
+
+let make_state b ~vars ~temps ~trap_overflow ~small_divisor_dispatch =
+  {
+    b;
+    vars;
+    free = temps;
+    millicode_calls = 0;
+    inline_multiplies = 0;
+    plans = [];
+    trap_overflow;
+    small_divisor_dispatch;
+  }
+
+let compile ?entry ?(trap_overflow = false) ?(small_divisor_dispatch = false)
+    ~params expr =
+  let entry = Option.value entry ~default:"proc" in
+  if List.length params > List.length param_regs then
+    raise (Unsupported "more than 4 parameters");
+  let b = Builder.create ~prefix:entry () in
+  Builder.label b entry;
+  let vars = List.mapi (fun i v -> (v, List.nth param_regs i)) params in
+  (* Move incoming arguments out of the way of millicode calls. *)
+  List.iteri
+    (fun i (_, r) ->
+      Builder.insn b (Emit.copy (List.nth [ Reg.arg0; Reg.arg1; Reg.arg2; Reg.arg3 ] i) r))
+    vars;
+  let st =
+    make_state b ~vars ~temps:temp_regs ~trap_overflow ~small_divisor_dispatch
+  in
+  let result = emit st expr in
+  Builder.insn b (Emit.copy result Reg.ret0);
+  Builder.insn b Emit.ret;
+  let source =
+    Program.concat (Builder.to_source b :: List.map snd st.plans)
+  in
+  {
+    entry;
+    params;
+    source;
+    millicode_calls = st.millicode_calls;
+    inline_multiplies = st.inline_multiplies;
+  }
+
+let compile_and_link ?entry ?trap_overflow ?small_divisor_dispatch ~params expr =
+  let unit_ = compile ?entry ?trap_overflow ?small_divisor_dispatch ~params expr in
+  Program.resolve_exn (Program.concat [ unit_.source; Millicode.source ])
+
+module Internal = struct
+  type nonrec state = state
+
+  let make_state = make_state
+  let emit_expr = emit
+  let release = release
+  let plans st = List.map snd st.plans
+  let millicode_calls st = st.millicode_calls
+  let inline_multiplies st = st.inline_multiplies
+  let callee_saved = callee_saved
+end

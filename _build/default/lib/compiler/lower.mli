@@ -1,0 +1,77 @@
+(** Lowering expressions to Precision code — the compiler decisions of
+    §2, §5 and §7.
+
+    A compiled procedure takes its parameters in [arg0..arg3], returns in
+    [ret0] and returns via [bv r0(rp)]. Multiplications and divisions
+    lower according to the paper's cost model:
+
+    - multiply by constant: inline shift-and-add chain when its length is
+      within {!inline_mul_threshold}, otherwise a millicode call
+      ([bl mulI, mrp] — the [,o] variant when [trap_overflow] is set
+      lowers through monotonic chains or [muloI]);
+    - multiply by variable: millicode [mulI] / [muloI];
+    - divide by constant: the per-constant routine from {!Hppa.Div_const}
+      is linked into the unit and called (HP practice: short sequences
+      inline, the rest millicode — a call costs one [bl] here);
+    - divide by variable: millicode [divI], or [divI_small] when
+      [small_divisor_dispatch] is set;
+    - remainder by constant [c]: composed as [x - (x/c)*c] from the
+      constant-divide routine and an inline chain.
+
+    The emitted unit references millicode entry points; link it with
+    {!Hppa.Millicode.source} (see {!compile_and_link}). *)
+
+type t = {
+  entry : string;
+  params : string list;
+  source : Program.source;  (** procedure + any per-constant routines *)
+  millicode_calls : int;  (** static count of [bl] sites *)
+  inline_multiplies : int;  (** constant multiplies lowered to chains *)
+}
+
+val inline_mul_threshold : int
+(** Chains at most this long (6) are inlined. *)
+
+exception Unsupported of string
+(** Raised for expressions needing more than the 14 expression registers,
+    or more than 4 parameters. *)
+
+val compile :
+  ?entry:string ->
+  ?trap_overflow:bool ->
+  ?small_divisor_dispatch:bool ->
+  params:string list ->
+  Expr.t ->
+  t
+
+val compile_and_link :
+  ?entry:string ->
+  ?trap_overflow:bool ->
+  ?small_divisor_dispatch:bool ->
+  params:string list ->
+  Expr.t ->
+  Program.resolved
+(** [compile] plus the millicode library, resolved and ready to run. *)
+
+(**/**)
+
+(** Internal machinery shared with {!Lower_loop}; subject to change. *)
+module Internal : sig
+  type state
+
+  val make_state :
+    Builder.t ->
+    vars:(string * Reg.t) list ->
+    temps:Reg.t list ->
+    trap_overflow:bool ->
+    small_divisor_dispatch:bool ->
+    state
+
+  val emit_expr : state -> Expr.t -> Reg.t
+  val release : state -> Reg.t -> unit
+  val plans : state -> Program.source list
+  val millicode_calls : state -> int
+  val inline_multiplies : state -> int
+  val callee_saved : Reg.t list
+  (** r3..r18: registers every millicode routine preserves. *)
+end

@@ -1,0 +1,58 @@
+(** Compiling counted loops — the §2 cost story executed, not estimated.
+
+    A {!Loop_ir.t} (optionally with a strength-reduction preheader) compiles
+    to a procedure so the multiply/divide cost of loop bodies can be
+    {e measured} on the simulator: the paper's motivating examples — array
+    subscripts that multiply by the counter, divisions an optimizer cannot
+    remove — become runnable kernels.
+
+    Compiled shape:
+
+    {v proc(arg0 .. arg3 = the listed inputs):
+        <preheader assignments>
+        i := start
+        while i < stop:  <body assignments>; i += step
+        return the named result variable v}
+
+    Loop variables live in callee-preserved registers (r3..r18 shared with
+    the expression lowering); millicode calls inside the body therefore
+    survive iterations. The loop control is the classic [ADDIB] idiom when
+    [step] and the trip count allow, with a [COMB] fallback. *)
+
+type t = {
+  entry : string;
+  source : Program.source;
+  millicode_calls : int;  (** static call sites in the body *)
+}
+
+val compile :
+  ?entry:string ->
+  ?small_divisor_dispatch:bool ->
+  inputs:string list ->
+  result:string ->
+  ?preheader:Loop_ir.stmt list ->
+  Loop_ir.t ->
+  t
+(** [inputs] are bound to [arg0..arg3] (at most 4); every other variable
+    read by the body, the preheader or [result] starts at 0, matching
+    {!Loop_ir.eval} with those inputs in [init]. Raises
+    {!Lower.Unsupported} on register exhaustion and [Invalid_argument] on
+    an invalid loop. *)
+
+val compile_and_link :
+  ?entry:string ->
+  ?small_divisor_dispatch:bool ->
+  inputs:string list ->
+  result:string ->
+  ?preheader:Loop_ir.stmt list ->
+  Loop_ir.t ->
+  Program.resolved
+
+val compile_reduced :
+  ?entry:string ->
+  ?small_divisor_dispatch:bool ->
+  inputs:string list ->
+  result:string ->
+  Strength.reduced ->
+  t
+(** Convenience: compile the output of {!Strength.reduce}. *)

@@ -1,0 +1,92 @@
+module Word = Hppa_word.Word
+
+type reduced = {
+  preheader : Loop_ir.stmt list;
+  loop : Loop_ir.t;
+  multiplies_removed : int;
+}
+
+let temp_prefix = "$str"
+
+(* What a reduced multiplication multiplies the counter by. *)
+type multiplier = Mconst of int32 | Mvar of string
+
+let reduce (l : Loop_ir.t) =
+  (match Loop_ir.validate l with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Strength.reduce: " ^ msg));
+  let assigned =
+    List.map (fun (Loop_ir.Assign (v, _)) -> v) l.body
+  in
+  (* A variable multiplier must be loop-invariant. *)
+  let invariant v = v <> l.counter && not (List.mem v assigned) in
+  let temps = ref [] (* (name, multiplier) newest first *) in
+  let removed = ref 0 in
+  let temp_for m =
+    match List.find_opt (fun (_, m') -> m = m') !temps with
+    | Some (name, _) -> name
+    | None ->
+        let name = Printf.sprintf "%s%d" temp_prefix (List.length !temps) in
+        temps := (name, m) :: !temps;
+        name
+  in
+  let rec rewrite (e : Expr.t) : Expr.t =
+    match e with
+    | Mul (Var i, Const c) | Mul (Const c, Var i) when i = l.counter ->
+        incr removed;
+        Var (temp_for (Mconst c))
+    | Mul (Var a, Var b)
+      when (a = l.counter && invariant b) || (b = l.counter && invariant a) ->
+        let n = if a = l.counter then b else a in
+        incr removed;
+        Var (temp_for (Mvar n))
+    | Var _ | Const _ -> e
+    | Add (a, b) -> Add (rewrite a, rewrite b)
+    | Sub (a, b) -> Sub (rewrite a, rewrite b)
+    | Mul (a, b) -> Mul (rewrite a, rewrite b)
+    | Div (a, b) -> Div (rewrite a, rewrite b)
+    | Rem (a, b) -> Rem (rewrite a, rewrite b)
+    | Neg a -> Neg (rewrite a)
+  in
+  let body =
+    List.map (fun (Loop_ir.Assign (v, e)) -> Loop_ir.Assign (v, rewrite e)) l.body
+  in
+  let temps = List.rev !temps in
+  let init_of = function
+    | Mconst c -> Expr.Const (Word.mul_lo l.start c)
+    | Mvar n -> Expr.Mul (Const l.start, Var n)
+  in
+  let bump_of = function
+    | Mconst c -> Expr.Const (Word.mul_lo l.step c)
+    | Mvar n when Word.equal l.step 1l -> Expr.Var n
+    | Mvar n -> Expr.Mul (Const l.step, Var n)
+  in
+  let preheader =
+    List.map (fun (name, m) -> Loop_ir.Assign (name, init_of m)) temps
+  in
+  let bumps =
+    List.map
+      (fun (name, m) -> Loop_ir.Assign (name, Expr.Add (Var name, bump_of m)))
+      temps
+  in
+  {
+    preheader;
+    loop = { l with body = body @ bumps };
+    multiplies_removed = !removed;
+  }
+
+let eval_reduced ?fuel r ~init =
+  let env0 = Hashtbl.create 16 in
+  List.iter (fun (v, x) -> Hashtbl.replace env0 v x) init;
+  let lookup v =
+    match Hashtbl.find_opt env0 v with
+    | Some x -> x
+    | None -> invalid_arg ("Strength.eval_reduced: unbound variable " ^ v)
+  in
+  List.iter
+    (fun (Loop_ir.Assign (v, e)) -> Hashtbl.replace env0 v (Expr.eval ~env:lookup e))
+    r.preheader;
+  let init' = Hashtbl.fold (fun v x acc -> (v, x) :: acc) env0 [] in
+  Loop_ir.eval ?fuel r.loop ~init:init'
+  |> List.filter (fun (v, _) ->
+         not (String.length v >= 4 && String.sub v 0 4 = temp_prefix))

@@ -1,0 +1,35 @@
+(** Strength reduction (§2): "replacing multiplications by additions".
+
+    Multiplications of the loop counter by a constant form arithmetic
+    progressions, so each such [i * c] is replaced by a new variable
+    initialised to [start * c] and bumped by [step * c] every iteration —
+    the transformation whose {e limits} motivate the paper (induction
+    variables used in non-subscript expressions, global counters and
+    careless gotos defeat it, and divisions are never removable, so good
+    multiply/divide routines still matter). *)
+
+type reduced = {
+  preheader : Loop_ir.stmt list;
+      (** initialisations of the introduced induction temporaries *)
+  loop : Loop_ir.t;  (** rewritten body plus the per-iteration bumps *)
+  multiplies_removed : int;  (** static count *)
+}
+
+val reduce : Loop_ir.t -> reduced
+(** Replaces every multiplication of the counter by a constant or by a
+    loop-invariant variable (the FORTRAN rank situation §2 highlights).
+    Variable multipliers cost one preheader multiply for the bump when the
+    step is not 1. Raises [Invalid_argument] on an invalid loop.
+
+    Measured footnote (see the compiler tests): on this architecture the
+    transformation only pays for {e variable} multipliers — a constant
+    multiplier like the paper's 15 is already a two-instruction chain, so
+    replacing it with an addition plus bump bookkeeping roughly breaks
+    even. The cases §2 worries about (defeated reductions) cost ~16-20
+    cycles per iteration through the millicode. *)
+
+val eval_reduced :
+  ?fuel:int -> reduced -> init:(string * int32) list -> (string * int32) list
+(** Reference execution of the transformed program; introduced temporaries
+    are dropped from the result so it is directly comparable with
+    {!Loop_ir.eval} on the original. *)

@@ -1,0 +1,1 @@
+lib/core/chain.ml: Array Format Hppa_word Int List Printf Result

@@ -1,0 +1,1 @@
+lib/core/chain_codegen.ml: Array Builder Chain Emit List Reg

@@ -1,0 +1,1 @@
+lib/core/chain_codegen.mli: Builder Chain Program Reg

@@ -1,0 +1,1 @@
+lib/core/chain_rules.ml: Array Chain Chain_search Hashtbl List Option Printf

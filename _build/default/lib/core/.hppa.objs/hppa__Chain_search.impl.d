@@ -1,0 +1,1 @@
+lib/core/chain_search.ml: Array Chain Hashtbl Int List Option Stdlib

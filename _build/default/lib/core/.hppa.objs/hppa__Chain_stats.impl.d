@@ -1,0 +1,1 @@
+lib/core/chain_stats.ml: Chain_rules Chain_search List

@@ -1,0 +1,1 @@
+lib/core/chain_stats.mli: Chain_rules Chain_search

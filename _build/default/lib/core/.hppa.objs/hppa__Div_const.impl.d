@@ -1,0 +1,1 @@
+lib/core/div_const.ml: Array Builder Chain Chain_codegen Chain_rules Cond Div_magic Emit Hppa_word Int32 Int64 List Printf Program Reg Result

@@ -1,0 +1,1 @@
+lib/core/div_const.mli: Chain Div_magic Program

@@ -1,0 +1,1 @@
+lib/core/div_ext.ml: Builder Cond Emit Hppa_machine Hppa_word Int32 Int64 Program Reg

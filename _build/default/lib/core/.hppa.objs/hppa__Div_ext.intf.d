@@ -1,0 +1,1 @@
+lib/core/div_ext.mli: Hppa_word Program

@@ -1,0 +1,1 @@
+lib/core/div_gen.ml: Builder Cond Emit Hppa_machine Hppa_word Program Reg

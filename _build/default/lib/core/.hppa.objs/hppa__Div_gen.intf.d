@@ -1,0 +1,1 @@
+lib/core/div_gen.mli: Hppa_word Program

@@ -1,0 +1,1 @@
+lib/core/div_magic.ml: Format Hppa_word Int32 Int64 List

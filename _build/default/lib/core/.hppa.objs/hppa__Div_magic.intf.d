@@ -1,0 +1,1 @@
+lib/core/div_magic.mli: Format Hppa_word

@@ -1,0 +1,1 @@
+lib/core/div_magic_modern.ml: Array Chain Chain_rules Hppa_word Int64

@@ -1,0 +1,1 @@
+lib/core/div_magic_modern.mli: Hppa_word

@@ -1,0 +1,1 @@
+lib/core/div_small.ml: Builder Cond Div_const Emit Hppa_machine Int32 List Printf Program Reg

@@ -1,0 +1,1 @@
+lib/core/div_small.mli: Program

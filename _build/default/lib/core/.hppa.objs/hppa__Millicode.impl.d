@@ -1,0 +1,1 @@
+lib/core/millicode.ml: Builder Delay Div_ext Div_gen Div_small Emit Hppa_machine Mul_ext Mul_var Program

@@ -1,0 +1,1 @@
+lib/core/millicode.mli: Hppa_machine Program

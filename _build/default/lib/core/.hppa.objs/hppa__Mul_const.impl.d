@@ -1,0 +1,1 @@
+lib/core/mul_const.ml: Builder Chain Chain_codegen Chain_rules Cond Emit Hppa_word Int32 List Printf Program Reg

@@ -1,0 +1,1 @@
+lib/core/mul_const.mli: Chain Program

@@ -1,0 +1,1 @@
+lib/core/mul_ext.ml: Builder Cond Emit Hppa_word Program Reg

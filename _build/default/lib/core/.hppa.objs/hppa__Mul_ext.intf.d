@@ -1,0 +1,1 @@
+lib/core/mul_ext.mli: Hppa_word Program

@@ -1,0 +1,1 @@
+lib/core/mul_model.ml: Array Hppa_word List

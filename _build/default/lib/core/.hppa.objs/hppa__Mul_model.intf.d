@@ -1,0 +1,1 @@
+lib/core/mul_model.mli: Hppa_word

@@ -1,0 +1,1 @@
+lib/core/mul_var.ml: Builder Cond Emit Hppa_word Int32 List Printf Program Reg

@@ -1,0 +1,1 @@
+lib/core/mul_var.mli: Hppa_word Program

@@ -1,0 +1,107 @@
+module Word = Hppa_word.Word
+
+type step =
+  | Add of int * int
+  | Shadd of int * int * int
+  | Sub of int * int
+  | Shl of int * int
+
+type t = step list
+
+let length = List.length
+
+(* Generic evaluator shared by the int model and the 32-bit model. *)
+let fold ~zero ~one ~add ~sub ~shl steps =
+  let exception Bad of string in
+  try
+    let n = List.length steps + 2 in
+    let a = Array.make n zero in
+    a.(1) <- one;
+    let elt i j =
+      if j < 0 || j >= i then raise (Bad (Printf.sprintf "step %d references element %d" i j))
+      else a.(j)
+    in
+    let check_shift i m lo hi =
+      if m < lo || m > hi then
+        raise (Bad (Printf.sprintf "step %d: shift amount %d not in %d..%d" i m lo hi))
+    in
+    List.iteri
+      (fun idx step ->
+        let i = idx + 2 in
+        a.(i) <-
+          (match step with
+          | Add (j, k) -> add (elt i j) (elt i k)
+          | Shadd (m, j, k) ->
+              check_shift i m 1 3;
+              add (shl (elt i j) m) (elt i k)
+          | Sub (j, k) -> sub (elt i j) (elt i k)
+          | Shl (j, m) ->
+              check_shift i m 1 31;
+              shl (elt i j) m))
+      steps;
+    Ok a
+  with Bad msg -> Error msg
+
+let values steps =
+  let add x y = x + y and sub x y = x - y in
+  let shl x m =
+    let r = x lsl m in
+    (* Reject chains that escape the exact-integer range used for search. *)
+    if m >= 62 || Int.abs x > max_int asr (m + 1) then
+      invalid_arg "Chain.values: overflow"
+    else r
+  in
+  try fold ~zero:0 ~one:1 ~add ~sub ~shl steps
+  with Invalid_argument msg -> Error msg
+
+let values_exn steps =
+  match values steps with
+  | Ok a -> a
+  | Error msg -> invalid_arg ("Chain.values_exn: " ^ msg)
+
+let target steps =
+  Result.map (fun a -> a.(Array.length a - 1)) (values steps)
+
+let target_exn steps =
+  match target steps with
+  | Ok n -> n
+  | Error msg -> invalid_arg ("Chain.target_exn: " ^ msg)
+
+let is_monotonic steps =
+  match values steps with
+  | Error _ -> false
+  | Ok a ->
+      let ok = ref true in
+      for i = 2 to Array.length a - 1 do
+        if a.(i) <= a.(i - 1) then ok := false
+      done;
+      !ok
+
+let is_overflow_safe steps =
+  is_monotonic steps
+  && List.for_all
+       (function Add _ | Shadd _ -> true | Sub _ | Shl _ -> false)
+       steps
+
+let eval_word steps s =
+  match
+    fold ~zero:Word.zero ~one:s ~add:Word.add ~sub:Word.sub ~shl:Word.shl steps
+  with
+  | Ok a -> a.(Array.length a - 1)
+  | Error msg -> invalid_arg ("Chain.eval_word: " ^ msg)
+
+let pp ppf steps =
+  let elt ppf j = Format.fprintf ppf "a%d" j in
+  let pp_step i ppf = function
+    | Add (j, k) -> Format.fprintf ppf "a%d = %a + %a" i elt j elt k
+    | Shadd (m, j, k) -> Format.fprintf ppf "a%d = %d*%a + %a" i (1 lsl m) elt j elt k
+    | Sub (j, k) -> Format.fprintf ppf "a%d = %a - %a" i elt j elt k
+    | Shl (j, m) -> Format.fprintf ppf "a%d = %a << %d" i elt j m
+  in
+  Format.pp_open_vbox ppf 0;
+  List.iteri
+    (fun idx step ->
+      if idx > 0 then Format.pp_print_cut ppf ();
+      pp_step (idx + 2) ppf step)
+    steps;
+  Format.pp_close_box ppf ()

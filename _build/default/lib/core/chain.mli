@@ -1,0 +1,58 @@
+(** Addition chains over the Precision-architecture step rules (§5).
+
+    A chain for the multiplier [n] is the sequence
+
+    {v a.(0) = 0,  a.(1) = 1,  a.(2), ..., a.(r+1) = n v}
+
+    where every element from index 2 on is produced by one single-cycle
+    instruction from earlier elements:
+
+    {v a_i = a_j + a_k          ADD
+      a_i = (a_j << m) + a_k   SHmADD, m in 1..3
+      a_i = a_j - a_k          SUB
+      a_i = a_j << m           shift-left immediate (ZDEP) v}
+
+    Multiplying a register by [n] executes the chain with element 1 replaced
+    by the multiplicand. The chain {e length} is the number of steps, i.e.
+    the instruction count of the generated multiply. *)
+
+type step =
+  | Add of int * int  (** [Add (j, k)]: element j + element k *)
+  | Shadd of int * int * int  (** [Shadd (m, j, k)]: (elt j << m) + elt k *)
+  | Sub of int * int  (** [Sub (j, k)]: element j - element k *)
+  | Shl of int * int  (** [Shl (j, m)]: element j << m, m in 1..31 *)
+
+type t = step list
+(** Steps in order; step [i] (0-based) defines element [i + 2]. *)
+
+val length : t -> int
+
+val values : t -> (int array, string) result
+(** Element values including the two implicit leading elements; fails if a
+    step references a not-yet-defined element, uses a bad shift amount, or
+    overflows the OCaml int range. *)
+
+val values_exn : t -> int array
+
+val target : t -> (int, string) result
+(** The last element — the constant the chain multiplies by. The empty chain
+    has target 1. *)
+
+val target_exn : t -> int
+
+val is_monotonic : t -> bool
+(** §5 "Overflow": true when element values are strictly increasing from
+    index 1 on. *)
+
+val is_overflow_safe : t -> bool
+(** Monotonic and built only from ADD/SHmADD steps (plus the implicit final
+    negation handled by the code generator), so the [,o] completers detect
+    exactly the overflows of the full multiplication. *)
+
+val eval_word : t -> Hppa_word.Word.t -> Hppa_word.Word.t
+(** Execute the chain on a concrete multiplicand with 32-bit wrap-around —
+    the reference semantics of the generated code (non-trapping variant).
+    Raises [Invalid_argument] on an invalid chain. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as in the paper, e.g. ["a2 = 4*a1 + a1"]. *)

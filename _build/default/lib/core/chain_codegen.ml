@@ -1,0 +1,82 @@
+type info = { instructions : int; temporaries : int }
+
+(* Default scratch pool, result register first: a chain that never needs
+   two live intermediates uses only ret0. *)
+let default_pool =
+  [| Reg.ret0; Reg.t2; Reg.t3; Reg.t4; Reg.t5; Reg.t1; Reg.ret1 |]
+
+let step_reads : Chain.step -> int list = function
+  | Add (j, k) | Shadd (_, j, k) | Sub (j, k) -> [ j; k ]
+  | Shl (j, _) -> [ j ]
+
+let body_at ?(overflow = false) ?(negate = false) ~src ~pool chain b =
+  if overflow && not (Chain.is_overflow_safe chain) then
+    invalid_arg "Chain_codegen.body: chain is not overflow-safe";
+  let steps = Array.of_list chain in
+  let nsteps = Array.length steps in
+  let nelts = nsteps + 2 in
+  (* last_use.(e) = index of the last step reading element e; the final
+     element is "read" by the (virtual) return. *)
+  let last_use = Array.make nelts 0 in
+  last_use.(nelts - 1) <- max_int;
+  Array.iteri
+    (fun idx step ->
+      List.iter (fun e -> last_use.(e) <- max last_use.(e) (idx + 2)) (step_reads step))
+    steps;
+  let assigned = Array.make nelts Reg.r0 in
+  assigned.(1) <- src;
+  (* in_use.(p): element currently held by pool.(p), or -1. *)
+  let in_use = Array.make (Array.length pool) (-1) in
+  let temporaries = ref 0 in
+  let alloc i =
+    let rec free p =
+      if p = Array.length pool then
+        invalid_arg "Chain_codegen.body: chain needs too many temporaries"
+      else
+        let e = in_use.(p) in
+        if e = -1 || last_use.(e) <= i then p else free (p + 1)
+    in
+    let p = free 0 in
+    in_use.(p) <- i;
+    if p > 0 then temporaries := max !temporaries p;
+    pool.(p)
+  in
+  let reg e = assigned.(e) in
+  let count = ref 0 in
+  let emit i =
+    Builder.insn b i;
+    incr count
+  in
+  let dst = pool.(0) in
+  if nsteps = 0 then begin
+    (* Multiplier 1. *)
+    if negate then emit (Emit.sub ~ov:overflow Reg.r0 src dst)
+    else emit (Emit.copy src dst)
+  end
+  else begin
+    Array.iteri
+      (fun idx step ->
+        let i = idx + 2 in
+        let t = alloc i in
+        assigned.(i) <- t;
+        (match (step : Chain.step) with
+        | Add (j, k) -> emit (Emit.add ~ov:overflow (reg j) (reg k) t)
+        | Shadd (m, j, k) -> emit (Emit.shadd ~ov:overflow m (reg j) (reg k) t)
+        | Sub (j, k) -> emit (Emit.sub ~ov:overflow (reg j) (reg k) t)
+        | Shl (j, m) -> emit (Emit.shl (reg j) m t)))
+      steps;
+    let result = assigned.(nelts - 1) in
+    if negate then emit (Emit.sub ~ov:overflow Reg.r0 result dst)
+    else if not (Reg.equal result dst) then emit (Emit.copy result dst)
+  end;
+  { instructions = !count; temporaries = !temporaries }
+
+let body ?overflow ?negate chain b =
+  body_at ?overflow ?negate ~src:Reg.arg0 ~pool:default_pool chain b
+
+let routine ?overflow ?negate ~entry chain =
+  let b = Builder.create ~prefix:entry () in
+  Builder.label b entry;
+  let info = body ?overflow ?negate chain b in
+  Builder.insn b Emit.mret;
+  (Builder.to_source b, info)

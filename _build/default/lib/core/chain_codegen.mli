@@ -1,0 +1,41 @@
+(** Compile a chain into Precision instructions.
+
+    Register conventions follow the millicode style of the paper: the
+    multiplicand arrives in [arg0] and is left untouched (the source-register
+    convention of §5 "Register Use"), the product is produced in [ret0], and
+    any extra intermediate values occupy scratch registers — the
+    "temporaries" whose count §5 trades against chain length.
+
+    Allocation is greedy over value lifetimes, reusing dead registers, so a
+    chain in which every step consumes only the previous element, the
+    operand or zero compiles with no temporary at all. *)
+
+type info = {
+  instructions : int;  (** static body length, excluding the return *)
+  temporaries : int;  (** scratch registers beyond [ret0] *)
+}
+
+val body_at :
+  ?overflow:bool ->
+  ?negate:bool ->
+  src:Reg.t ->
+  pool:Reg.t array ->
+  Chain.t ->
+  Builder.t ->
+  info
+(** Generalised emission: multiplicand in [src] (left untouched), result in
+    [pool.(0)], extra intermediates from the rest of the pool. Used by the
+    compiler to inline chains at arbitrary registers. *)
+
+val body : ?overflow:bool -> ?negate:bool -> Chain.t -> Builder.t -> info
+(** Emit the multiply body into a builder: reads [arg0], leaves the product
+    in [ret0]. [negate] appends the final negation used for negative
+    constants. With [overflow] every emitted instruction carries the [,o]
+    completer; raises [Invalid_argument] if the chain is not
+    {!Chain.is_overflow_safe}. *)
+
+val routine :
+  ?overflow:bool -> ?negate:bool -> entry:string -> Chain.t ->
+  Program.source * info
+(** A callable routine: [entry] label, the body, and a [bv r0(rp)] return
+    (the return is not counted in [info.instructions]). *)

@@ -1,0 +1,160 @@
+(* The search state is the multiset-free list of values generated so far
+   (0 and 1 implicit). Candidate extensions enumerate every instruction form
+   over every pair of available elements. *)
+
+type lengths_table = { max_len : int; limit : int; best : int array }
+
+let max_len t = t.max_len
+let limit t = t.limit
+
+let default_cap limit = (4 * limit) + 16
+
+(* Enumerate every value derivable in one step from [values] (which includes
+   0 and 1), calling [f value step]. Steps reference [values] indices. *)
+let candidates ~cap values nvals f =
+  for j = 0 to nvals - 1 do
+    let x = values.(j) in
+    (* Shifts of x. *)
+    if x <> 0 then begin
+      let s = ref 1 in
+      while
+        !s <= 31
+        && Int.abs x <= (max_int asr (!s + 1))
+        && Int.abs (x lsl !s) <= cap
+      do
+        f (x lsl !s) (Chain.Shl (j, !s));
+        incr s
+      done
+    end;
+    for k = 0 to nvals - 1 do
+      let y = values.(k) in
+      (* x + y, unordered. *)
+      if k <= j && Int.abs (x + y) <= cap then f (x + y) (Chain.Add (j, k));
+      (* (x << m) + y, ordered. *)
+      for m = 1 to 3 do
+        let v = (x lsl m) + y in
+        if Int.abs x <= max_int asr 4 && Int.abs v <= cap then
+          f v (Chain.Shadd (m, j, k))
+      done;
+      (* x - y, ordered. *)
+      if Int.abs (x - y) <= cap then f (x - y) (Chain.Sub (j, k))
+    done
+  done
+
+let useful v values nvals =
+  let fresh = ref (v <> 0 && v <> 1) in
+  for i = 0 to nvals - 1 do
+    if values.(i) = v then fresh := false
+  done;
+  !fresh
+
+(* ------------------------------------------------------------------ *)
+(* Breadth-first closure                                               *)
+
+module Key = struct
+  type t = int array
+
+  let equal = Stdlib.( = )
+  let hash = Hashtbl.hash
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+(* Sets have at most ~8 elements; copy-and-sort is fine. *)
+let sorted_insert arr v =
+  let n = Array.length arr in
+  let out = Array.make (n + 1) v in
+  Array.blit arr 0 out 0 n;
+  Array.sort compare out;
+  out
+
+let lengths_table ?cap ~max_len ~limit () =
+  if max_len < 0 || limit < 1 then invalid_arg "Chain_search.lengths_table";
+  let cap = Option.value cap ~default:(default_cap limit) in
+  let best = Array.make (limit + 1) max_int in
+  best.(1) <- 0;
+  let visited = Tbl.create 4096 in
+  let scratch = Array.make (max_len + 3) 0 in
+  let record depth v =
+    if v >= 1 && v <= limit && depth < best.(v) then best.(v) <- depth
+  in
+  let rec grow depth frontier =
+    if depth > max_len || frontier = [] then ()
+    else begin
+      let next = Tbl.create 4096 in
+      List.iter
+        (fun set ->
+          let n = Array.length set in
+          scratch.(0) <- 0;
+          scratch.(1) <- 1;
+          Array.blit set 0 scratch 2 n;
+          let nvals = n + 2 in
+          candidates ~cap scratch nvals (fun v _step ->
+              if useful v scratch nvals then begin
+                record depth v;
+                if depth < max_len then begin
+                  let key = sorted_insert set v in
+                  if (not (Tbl.mem visited key)) && not (Tbl.mem next key)
+                  then Tbl.add next key ()
+                end
+              end))
+        frontier;
+      let frontier' = Tbl.fold (fun k () acc -> k :: acc) next [] in
+      List.iter (fun k -> Tbl.add visited k ()) frontier';
+      grow (depth + 1) frontier'
+    end
+  in
+  grow 1 [ [||] ];
+  { max_len; limit; best }
+
+let length_of t n =
+  if n < 1 || n > t.limit then None
+  else if t.best.(n) = max_int then None
+  else Some t.best.(n)
+
+(* ------------------------------------------------------------------ *)
+(* Per-target iterative deepening                                      *)
+
+let find ?cap ~max_len target =
+  if target < 1 then invalid_arg "Chain_search.find";
+  let cap = Option.value cap ~default:((4 * target) + 16) in
+  if target = 1 then Some []
+  else begin
+    let exception Found of Chain.t in
+    let values = Array.make (max_len + 2) 0 in
+    values.(1) <- 1;
+    let steps = Array.make (max_len + 2) (Chain.Add (0, 0)) in
+    (* DFS filling [values] from index 2 up to [2 + depth - 1]. *)
+    let rec dfs nvals remaining =
+      if remaining = 1 then
+        candidates ~cap values nvals (fun v step ->
+            if v = target then begin
+              steps.(nvals) <- step;
+              let chain =
+                Array.to_list (Array.sub steps 2 (nvals - 1))
+              in
+              raise (Found chain)
+            end)
+      else begin
+        (* Deduplicate candidate values at this node. *)
+        let seen = Hashtbl.create 64 in
+        candidates ~cap values nvals (fun v step ->
+            if useful v values nvals && not (Hashtbl.mem seen v) then begin
+              Hashtbl.add seen v ();
+              values.(nvals) <- v;
+              steps.(nvals) <- step;
+              dfs (nvals + 1) (remaining - 1);
+              values.(nvals) <- 0
+            end)
+      end
+    in
+    let rec deepen d =
+      if d > max_len then None
+      else
+        try
+          dfs 2 d;
+          deepen (d + 1)
+        with Found chain -> Some chain
+    in
+    deepen 1
+  end

@@ -1,0 +1,39 @@
+(** Exhaustive search for minimal chains.
+
+    The paper verifies its rule program against "a program that exhaustively
+    searches for all possible chains" and derives Figure 1 (the least [n]
+    with [l(n) = r]) from it, noting that exhaustive search at depth 7 was
+    already prohibitive in 1987. This module is that program.
+
+    Exhaustive search must track whole chains (a step may reuse {e any}
+    earlier element, which is exactly what the rule program misses in its
+    exceptional cases), so the search state is the set of values built so
+    far. Two entry points:
+
+    - {!lengths_table}: breadth-first closure over value sets up to a depth
+      bound, producing the exact [l(n)] for every reachable [n <= limit].
+      Memory grows steeply with depth; depth 4 is comfortable, depth 5 is
+      not (the 1987 authors hit the same wall two levels higher).
+    - {!find}: iterative-deepening search for one target, used to certify
+      individual table entries and to return an actual minimal chain.
+
+    Intermediate values may be negative and are bounded by [cap] (default
+    [4 * limit + 16], which always covers the [(2^k - 1) * n] detour);
+    shift amounts are bounded so results stay under the cap. The cap is the
+    one heuristic separating this from a full proof — DESIGN.md discusses
+    why it is adequate. *)
+
+type lengths_table
+
+val lengths_table : ?cap:int -> max_len:int -> limit:int -> unit -> lengths_table
+
+val length_of : lengths_table -> int -> int option
+(** Exact minimal chain length for [n] in [1 .. limit], or [None] if [n] is
+    not reachable within [max_len] steps (hence [l(n) > max_len]). *)
+
+val max_len : lengths_table -> int
+val limit : lengths_table -> int
+
+val find : ?cap:int -> max_len:int -> int -> Chain.t option
+(** Minimal chain for one target within the depth bound; [None] certifies
+    [l(n) > max_len] (modulo the cap heuristic). *)

@@ -1,0 +1,65 @@
+let figure1_rows ex ~max_entries =
+  let max_len = Chain_search.max_len ex in
+  let limit = Chain_search.limit ex in
+  List.init max_len (fun i ->
+      let r = i + 1 in
+      let hits = ref [] and count = ref 0 and n = ref 2 in
+      while !count < max_entries && !n <= limit do
+        (match Chain_search.length_of ex !n with
+        | Some l when l = r ->
+            hits := !n :: !hits;
+            incr count
+        | Some _ | None -> ());
+        incr n
+      done;
+      (r, List.rev !hits))
+
+let first_with_length ex r =
+  let limit = Chain_search.limit ex in
+  let depth = Chain_search.max_len ex in
+  let matches n =
+    match Chain_search.length_of ex n with
+    | Some l -> l = r
+    | None -> r = depth + 1 (* unreachable at depth => l >= depth + 1 *)
+  in
+  let rec go n =
+    if n > limit then None else if matches n then Some n else go (n + 1)
+  in
+  if r > depth + 1 then None else go 2
+
+type exception_report = {
+  total : int;
+  exceptions : (int * int * int) list;
+}
+
+let rule_exceptions rules ex =
+  let limit = min (Chain_rules.table_limit rules) (Chain_search.limit ex) in
+  let total = ref 0 and exceptions = ref [] in
+  for n = 2 to limit do
+    match (Chain_search.length_of ex n, Chain_rules.cost rules n) with
+    | Some l, Some r ->
+        incr total;
+        if r > l then exceptions := (n, l, r) :: !exceptions
+    | _, _ -> ()
+  done;
+  { total = !total; exceptions = List.rev !exceptions }
+
+let fraction_within rules ~upto ~max_cost =
+  let hits = ref 0 in
+  for n = 1 to upto do
+    match Chain_rules.cost rules n with
+    | Some c when c <= max_cost -> incr hits
+    | Some _ | None -> ()
+  done;
+  float_of_int !hits /. float_of_int upto
+
+let needing_temporary ~limit =
+  let ex = Chain_search.lengths_table ~max_len:4 ~limit () in
+  let nt = Chain_rules.table No_temp ~limit in
+  let needs = ref [] in
+  for n = 2 to limit do
+    match (Chain_search.length_of ex n, Chain_rules.cost nt n) with
+    | Some l, Some l_nt when l_nt > l -> needs := n :: !needs
+    | _, _ -> ()
+  done;
+  List.rev !needs

@@ -1,0 +1,38 @@
+(** Statistics over chain lengths: the quantitative claims of §5.
+
+    Everything here cross-references the rule program ({!Chain_rules}) with
+    exhaustive search ({!Chain_search}) to regenerate Figure 1, the
+    rule-program exception count, the "four or fewer instructions" summary
+    claim, and the temporary-register analysis. *)
+
+val figure1_rows :
+  Chain_search.lengths_table -> max_entries:int -> (int * int list) list
+(** [(r, least values with l(n) = r)] for each r up to the table's depth,
+    at most [max_entries] values per row. *)
+
+val first_with_length : Chain_search.lengths_table -> int -> int option
+(** The paper's c(r): the least n with l(n) = r — or, when r exceeds the
+    table depth by one, the least n not reachable at the depth bound (a
+    certified lower bound making c(r) exact when the rule program matches
+    it). *)
+
+type exception_report = {
+  total : int;  (** targets with a certified exhaustive length *)
+  exceptions : (int * int * int) list;
+      (** (n, exhaustive length, rule length) where the rule program is
+          non-minimal — the paper's "12 cases" phenomenon *)
+}
+
+val rule_exceptions :
+  Chain_rules.table -> Chain_search.lengths_table -> exception_report
+
+val fraction_within : Chain_rules.table -> upto:int -> max_cost:int -> float
+(** Share of constants in [1 .. upto] whose chain is at most [max_cost]
+    steps (§8: "generally ... four or fewer"). *)
+
+val needing_temporary : limit:int -> int list
+(** Constants whose every minimal chain requires a temporary register:
+    those where the best previous-element-only chain ({!Chain_rules}
+    [No_temp] mode) is longer than the exhaustive minimum. The paper: 59,
+    87 and 94 below 100. Uses exhaustive depth 4, so [limit] should stay
+    within the l(n) <= 4 region (around 460). *)

@@ -1,0 +1,480 @@
+module Word = Hppa_word.Word
+
+type strategy =
+  | Trivial
+  | Power_of_two of int
+  | Reciprocal of Div_magic.t * Chain.t
+  | Even_split of int * strategy
+  | General_fallback
+
+type plan = {
+  divisor : int32;
+  signed : bool;
+  entry : string;
+  source : Program.source;
+  static_instructions : int;
+  strategy : strategy;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Double-word chain emission                                          *)
+
+(* Register pairs (hi, lo) for double-precision intermediates. The signed
+   wrapper reserves t1 for the dividend sign. *)
+let pairs_unsigned =
+  [| (Reg.t2, Reg.t3); (Reg.t4, Reg.t5); (Reg.ret1, Reg.ret0); (Reg.t1, Reg.arg1) |]
+
+let pairs_signed =
+  [| (Reg.t2, Reg.t3); (Reg.t4, Reg.t5); (Reg.ret1, Reg.ret0) |]
+
+exception Infeasible
+
+(* Double-word evaluation is ring arithmetic mod 2^64, so intermediate
+   chain values (even negative ones) need no bound: the final value
+   a*(x+1) + (r-1) < 2^64 is exact as long as a < 2^32. Only evaluability
+   of the chain itself is required. *)
+let dword_safe chain = Result.is_ok (Chain.values chain)
+
+(* Emit the double-word chain: element 1 = (x+1) is produced here from
+   arg0. Returns the (hi, lo) pair holding the final element. Raises
+   Infeasible when the pair pool is exhausted. *)
+let emit_dword_chain b ~pairs (chain : Chain.t) =
+  let steps = Array.of_list chain in
+  let nelts = Array.length steps + 2 in
+  let last_use = Array.make nelts 0 in
+  last_use.(nelts - 1) <- max_int;
+  let reads : Chain.step -> int list = function
+    | Add (j, k) | Shadd (_, j, k) | Sub (j, k) -> [ j; k ]
+    | Shl (j, _) -> [ j ]
+  in
+  Array.iteri
+    (fun idx step ->
+      List.iter (fun e -> last_use.(e) <- max last_use.(e) (idx + 2)) (reads step))
+    steps;
+  let assigned = Array.make nelts (Reg.r0, Reg.r0) in
+  let in_use = Array.make (Array.length pairs) (-1) in
+  let alloc i ~exclude =
+    let ok p =
+      let e = in_use.(p) in
+      (e = -1 || last_use.(e) <= i) && not (List.mem p exclude)
+    in
+    let rec go p =
+      if p = Array.length pairs then raise Infeasible
+      else if ok p then p
+      else go (p + 1)
+    in
+    let p = go 0 in
+    in_use.(p) <- i;
+    p
+  in
+  let pair_of = Array.make nelts (-1) in
+  (* Element 1: (x+1) with its carry into the high word. *)
+  let p1 = alloc 1 ~exclude:[] in
+  pair_of.(1) <- p1;
+  assigned.(1) <- pairs.(p1);
+  let hi1, lo1 = pairs.(p1) in
+  Builder.insns b
+    [ Emit.addi 1l Reg.arg0 lo1; Emit.addc Reg.r0 Reg.r0 hi1 ];
+  Array.iteri
+    (fun idx step ->
+      let i = idx + 2 in
+      let operand_pairs =
+        List.filter_map
+          (fun e -> if e = 0 then None else Some pair_of.(e))
+          (reads step)
+      in
+      let exclude =
+        match (step : Chain.step) with
+        | Shadd _ -> operand_pairs (* multi-instruction; no in-place *)
+        | Add _ | Sub _ | Shl _ -> []
+      in
+      let p = alloc i ~exclude in
+      pair_of.(i) <- p;
+      assigned.(i) <- pairs.(p);
+      let hi_t, lo_t = pairs.(p) in
+      let hi e = fst assigned.(e) and lo e = snd assigned.(e) in
+      match (step : Chain.step) with
+      | Add (j, k) ->
+          Builder.insns b
+            [ Emit.add (lo j) (lo k) lo_t; Emit.addc (hi j) (hi k) hi_t ]
+      | Sub (j, k) ->
+          Builder.insns b
+            [ Emit.sub (lo j) (lo k) lo_t; Emit.subb (hi j) (hi k) hi_t ]
+      | Shl (j, m) ->
+          Builder.insns b
+            [ Emit.shd (hi j) (lo j) (32 - m) hi_t; Emit.shl (lo j) m lo_t ]
+      | Shadd (m, j, 0) ->
+          Builder.insns b
+            [ Emit.shd (hi j) (lo j) (32 - m) hi_t; Emit.shl (lo j) m lo_t ]
+      | Shadd (m, j, k) ->
+          (* SHmADD writes the carry of its 32-bit add, so the low words
+             combine in one instruction — the paper's three-instruction
+             "first pair" idiom generalised. *)
+          Builder.insns b
+            [
+              Emit.shd (hi j) (lo j) (32 - m) hi_t;
+              Emit.shadd m (lo j) (lo k) lo_t;
+              Emit.addc hi_t (hi k) hi_t;
+            ])
+    steps;
+  assigned.(nelts - 1)
+
+(* The full derived-method body: quotient of (unsigned) arg0 by params.y
+   into ret0. *)
+let emit_reciprocal b ~pairs (params : Div_magic.t) chain =
+  let hi, lo = emit_dword_chain b ~pairs chain in
+  let r1 = Int64.sub params.r 1L in
+  if r1 > 0L then
+    if r1 <= 8191L then
+      Builder.insns b
+        [
+          Emit.addi (Int64.to_int32 r1) lo lo;
+          Emit.addc Reg.r0 hi hi;
+        ]
+    else begin
+      (* The dividend register is dead once the chain has consumed x+1. *)
+      Builder.insns b (Emit.ldi (Int64.to_int32 r1) Reg.arg0);
+      Builder.insns b [ Emit.add Reg.arg0 lo lo; Emit.addc Reg.r0 hi hi ]
+    end;
+  if params.s = 32 then begin
+    if not (Reg.equal hi Reg.ret0) then Builder.insn b (Emit.copy hi Reg.ret0)
+  end
+  else Builder.insn b (Emit.shr_u hi (params.s - 32) Reg.ret0)
+
+(* ------------------------------------------------------------------ *)
+(* Strategy selection                                                  *)
+
+let trailing_zeros y =
+  let rec go k v = if v land 1 = 0 then go (k + 1) (v lsr 1) else k in
+  go 0 (Word.to_int_u y)
+
+(* Reciprocal plan for an odd divisor over dividends < range; None when the
+   derived parameters or the chain do not fit double-word precision. *)
+let reciprocal_for ~range y =
+  let params = Div_magic.derive ~range y in
+  if params.a >= 0x1_0000_0000L then None
+  else
+    match Chain_rules.find (Int64.to_int params.a) with
+    | Some chain when dword_safe chain -> Some (params, chain)
+    | Some _ | None -> None
+
+let emit_unsigned_body b ~pairs ~range y =
+  (* Returns the strategy actually used; the quotient lands in ret0. *)
+  let tz = trailing_zeros y in
+  let odd = Word.shr_u y tz in
+  if Word.equal odd 1l then begin
+    if tz = 0 then Builder.insn b (Emit.copy Reg.arg0 Reg.ret0)
+    else Builder.insn b (Emit.shr_u Reg.arg0 tz Reg.ret0);
+    if tz = 0 then Trivial else Power_of_two tz
+  end
+  else begin
+    let inner_range =
+      Int64.add (Int64.div (Int64.sub range 1L) (Int64.shift_left 1L tz)) 1L
+    in
+    match reciprocal_for ~range:inner_range odd with
+    | None -> raise Infeasible
+    | Some (params, chain) ->
+        if tz > 0 then Builder.insn b (Emit.shr_u Reg.arg0 tz Reg.arg0);
+        (try emit_reciprocal b ~pairs params chain
+         with Infeasible -> raise Infeasible);
+        let inner = Reciprocal (params, chain) in
+        if tz = 0 then inner else Even_split (tz, inner)
+  end
+
+let fallback_source ~entry ~target y =
+  let b = Builder.create ~prefix:entry () in
+  Builder.label b entry;
+  Builder.insns b (Emit.ldi y Reg.arg1);
+  Builder.insn b (Emit.b target);
+  (Builder.to_source b, Builder.length b)
+
+let default_entry ~signed y =
+  let stem = if signed then "divi_c" else "divu_c" in
+  if y >= 0l then Printf.sprintf "%s%ld" stem y
+  else Printf.sprintf "%sm%ld" stem (Int32.neg y)
+
+let plan_unsigned ?entry y =
+  if Word.equal y 0l then invalid_arg "Div_const.plan_unsigned: zero divisor";
+  let entry = match entry with Some e -> e | None -> default_entry ~signed:false y in
+  try
+    let b = Builder.create ~prefix:entry () in
+    Builder.label b entry;
+    let strategy =
+      emit_unsigned_body b ~pairs:pairs_unsigned ~range:0x1_0000_0000L y
+    in
+    let count = Builder.length b in
+    Builder.insn b Emit.mret;
+    {
+      divisor = y;
+      signed = false;
+      entry;
+      source = Builder.to_source b;
+      static_instructions = count;
+      strategy;
+    }
+  with Infeasible ->
+    let source, count = fallback_source ~entry ~target:"divU" y in
+    {
+      divisor = y;
+      signed = false;
+      entry;
+      source;
+      static_instructions = count;
+      strategy = General_fallback;
+    }
+
+(* Signed power-of-two: 3 instructions for small k, 4 for large (§7). *)
+let emit_signed_pow2 b k =
+  if k = 0 then Builder.insn b (Emit.copy Reg.arg0 Reg.ret0)
+  else begin
+    let bias = Int32.sub (Int32.shift_left 1l k) 1l in
+    if bias <= 8191l then
+      Builder.insns b
+        [
+          Emit.comclr Cond.Ge Reg.arg0 Reg.r0 Reg.r0;
+          Emit.addi bias Reg.arg0 Reg.arg0;
+          Emit.shr_s Reg.arg0 k Reg.ret0;
+        ]
+    else
+      Builder.insns b
+        [
+          Emit.shr_s Reg.arg0 31 Reg.t1;
+          Emit.shr_u Reg.t1 (32 - k) Reg.t1;
+          Emit.add Reg.t1 Reg.arg0 Reg.t1;
+          Emit.shr_s Reg.t1 k Reg.ret0;
+        ]
+  end
+
+let plan_signed ?entry y =
+  if Word.equal y 0l then invalid_arg "Div_const.plan_signed: zero divisor";
+  let entry = match entry with Some e -> e | None -> default_entry ~signed:true y in
+  let negative = Word.is_neg y in
+  let finish b strategy =
+    let count = Builder.length b in
+    Builder.insn b Emit.mret;
+    {
+      divisor = y;
+      signed = true;
+      entry;
+      source = Builder.to_source b;
+      static_instructions = count;
+      strategy;
+    }
+  in
+  if Word.equal y Int32.min_int then begin
+    (* Quotient is 1 exactly for x = min_int, else 0. *)
+    let b = Builder.create ~prefix:entry () in
+    Builder.label b entry;
+    Builder.insns b
+      [
+        Emit.ldil Int32.min_int Reg.t1;
+        Emit.comclr Cond.Neq Reg.arg0 Reg.t1 Reg.ret0;
+        Emit.ldo 1l Reg.r0 Reg.ret0;
+      ];
+    finish b Trivial
+  end
+  else begin
+    let mag = Word.abs y in
+    let tz = trailing_zeros mag in
+    let odd = Word.shr_u mag tz in
+    if Word.equal mag 1l then begin
+      let b = Builder.create ~prefix:entry () in
+      Builder.label b entry;
+      if negative then Builder.insn b (Emit.sub Reg.r0 Reg.arg0 Reg.ret0)
+      else Builder.insn b (Emit.copy Reg.arg0 Reg.ret0);
+      finish b Trivial
+    end
+    else if Word.equal odd 1l then begin
+      let b = Builder.create ~prefix:entry () in
+      Builder.label b entry;
+      emit_signed_pow2 b tz;
+      if negative then Builder.insn b (Emit.sub Reg.r0 Reg.ret0 Reg.ret0);
+      finish b (Power_of_two tz)
+    end
+    else begin
+      try
+        let b = Builder.create ~prefix:entry () in
+        Builder.label b entry;
+        (* Negate a negative dividend, divide |x| by |y|, negate back when
+           the signs of dividend and divisor differ. *)
+        Builder.insns b
+          [
+            Emit.copy Reg.arg0 Reg.t1;
+            Emit.comclr Cond.Ge Reg.arg0 Reg.r0 Reg.r0;
+            Emit.sub Reg.r0 Reg.arg0 Reg.arg0;
+          ];
+        let strategy =
+          emit_unsigned_body b ~pairs:pairs_signed ~range:0x8000_0001L mag
+        in
+        Builder.insns b
+          [
+            Emit.comclr (if negative then Cond.Lt else Cond.Ge) Reg.t1 Reg.r0 Reg.r0;
+            Emit.sub Reg.r0 Reg.ret0 Reg.ret0;
+          ];
+        finish b strategy
+      with Infeasible ->
+        let source, count = fallback_source ~entry ~target:"divI" y in
+        {
+          divisor = y;
+          signed = true;
+          entry;
+          source;
+          static_instructions = count;
+          strategy = General_fallback;
+        }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Remainders: x - (x/y)*y with an inline multiply-back chain           *)
+
+let default_rem_entry ~signed y =
+  let stem = if signed then "remi_c" else "remu_c" in
+  if y >= 0l then Printf.sprintf "%s%ld" stem y
+  else Printf.sprintf "%sm%ld" stem (Int32.neg y)
+
+(* Multiply ret0 by y into ret1 (q*y always fits: q*y <= x). *)
+let emit_multiply_back b y =
+  let chain = Chain_rules.find_exn (Word.to_int_u y) in
+  ignore
+    (Chain_codegen.body_at ~src:Reg.ret0
+       ~pool:[| Reg.ret1; Reg.t2; Reg.t3; Reg.t4; Reg.t5 |]
+       chain b)
+
+let plan_rem_unsigned ?entry y =
+  if Word.equal y 0l then invalid_arg "Div_const.plan_rem_unsigned: zero divisor";
+  let entry = match entry with Some e -> e | None -> default_rem_entry ~signed:false y in
+  let tz = trailing_zeros y in
+  let odd = Word.shr_u y tz in
+  let finish b strategy =
+    let count = Builder.length b in
+    Builder.insn b Emit.mret;
+    {
+      divisor = y;
+      signed = false;
+      entry;
+      source = Builder.to_source b;
+      static_instructions = count;
+      strategy;
+    }
+  in
+  if Word.equal y 1l then begin
+    let b = Builder.create ~prefix:entry () in
+    Builder.label b entry;
+    Builder.insn b (Emit.copy Reg.r0 Reg.ret0);
+    finish b Trivial
+  end
+  else if Word.equal odd 1l then begin
+    (* Power of two: the remainder is a bit field. *)
+    let b = Builder.create ~prefix:entry () in
+    Builder.label b entry;
+    Builder.insn b (Emit.extru Reg.arg0 ~pos:0 ~len:tz Reg.ret0);
+    finish b (Power_of_two tz)
+  end
+  else
+    try
+      let b = Builder.create ~prefix:entry () in
+      Builder.label b entry;
+      Builder.insn b (Emit.copy Reg.arg0 Reg.t1);
+      let strategy =
+        emit_unsigned_body b ~pairs:pairs_signed ~range:0x1_0000_0000L y
+      in
+      emit_multiply_back b y;
+      Builder.insn b (Emit.sub Reg.t1 Reg.ret1 Reg.ret0);
+      finish b strategy
+    with Infeasible ->
+      let source, count = fallback_source ~entry ~target:"remU" y in
+      {
+        divisor = y;
+        signed = false;
+        entry;
+        source;
+        static_instructions = count;
+        strategy = General_fallback;
+      }
+
+let plan_rem_signed ?entry y =
+  if Word.equal y 0l then invalid_arg "Div_const.plan_rem_signed: zero divisor";
+  let entry = match entry with Some e -> e | None -> default_rem_entry ~signed:true y in
+  (* The C remainder ignores the divisor's sign. *)
+  let mag = Word.abs y in
+  let tz = trailing_zeros mag in
+  let odd = Word.shr_u mag tz in
+  let finish b strategy =
+    let count = Builder.length b in
+    Builder.insn b Emit.mret;
+    {
+      divisor = y;
+      signed = true;
+      entry;
+      source = Builder.to_source b;
+      static_instructions = count;
+      strategy;
+    }
+  in
+  (* Negate the remainder of |x| when the dividend was negative. *)
+  let emit_sign_epilogue b =
+    Builder.insns b
+      [
+        Emit.comclr Cond.Ge Reg.t1 Reg.r0 Reg.r0;
+        Emit.sub Reg.r0 Reg.ret0 Reg.ret0;
+      ]
+  in
+  if Word.equal mag 1l then begin
+    let b = Builder.create ~prefix:entry () in
+    Builder.label b entry;
+    Builder.insn b (Emit.copy Reg.r0 Reg.ret0);
+    finish b Trivial
+  end
+  else if Word.equal odd 1l then begin
+    let b = Builder.create ~prefix:entry () in
+    Builder.label b entry;
+    Builder.insns b
+      [
+        Emit.copy Reg.arg0 Reg.t1;
+        Emit.comclr Cond.Ge Reg.arg0 Reg.r0 Reg.r0;
+        Emit.sub Reg.r0 Reg.arg0 Reg.arg0;
+        Emit.extru Reg.arg0 ~pos:0 ~len:tz Reg.ret0;
+      ];
+    emit_sign_epilogue b;
+    finish b (Power_of_two tz)
+  end
+  else
+    try
+      let b = Builder.create ~prefix:entry () in
+      Builder.label b entry;
+      Builder.insns b
+        [
+          Emit.copy Reg.arg0 Reg.t1;
+          Emit.comclr Cond.Ge Reg.arg0 Reg.r0 Reg.r0;
+          Emit.sub Reg.r0 Reg.arg0 Reg.arg0;
+        ];
+      let strategy =
+        emit_unsigned_body b ~pairs:pairs_signed ~range:0x8000_0001L mag
+      in
+      emit_multiply_back b mag;
+      Builder.insns b
+        [
+          (* |x| - q*|y|, rebuilding |x| from the saved dividend. *)
+          Emit.copy Reg.t1 Reg.t2;
+          Emit.comclr Cond.Ge Reg.t1 Reg.r0 Reg.r0;
+          Emit.sub Reg.r0 Reg.t2 Reg.t2;
+          Emit.sub Reg.t2 Reg.ret1 Reg.ret0;
+        ];
+      emit_sign_epilogue b;
+      finish b strategy
+    with Infeasible ->
+      let source, count = fallback_source ~entry ~target:"remI" y in
+      {
+        divisor = y;
+        signed = true;
+        entry;
+        source;
+        static_instructions = count;
+        strategy = General_fallback;
+      }
+
+let needs_millicode plan =
+  match plan.strategy with
+  | General_fallback -> true
+  | Trivial | Power_of_two _ | Reciprocal _ | Even_split _ -> false

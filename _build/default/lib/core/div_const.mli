@@ -1,0 +1,63 @@
+(** Code generation for division by compile-time constants (§7).
+
+    Strategy selection follows the paper:
+
+    - powers of two: one [EXTRU] unsigned; three instructions signed for
+      small powers, four for large ones (§7 opening);
+    - even divisors: divide out the largest power of two first, then the
+      odd factor (§7 "we also restricted ourselves to odd y");
+    - odd divisors: the derived reciprocal method — compute
+      [(x+1)*a + (r-1)] in double precision with a shift-and-add chain for
+      the 32-bit constant [a] and take the high bits (Figure 7); for y = 3
+      the rule program finds exactly the paper's doubling chain
+      [5 * 17 * 257 * 65537];
+    - divisors whose derived [a] does not fit 32 bits (the paper's [y = 11]
+      caveat) or whose chain would overflow two-word precision: fall back
+      to the general millicode divide ([b divU] tail call), unless the
+      signed-only range ([x <= 2^31]) shrinks [a] enough — it usually does.
+
+    Signed routines negate a negative dividend, run the unsigned sequence,
+    and negate the quotient back (two extra executed instructions, as in
+    the paper's "signed division by 3 takes 17, or 19 when negative").
+
+    Generated routines take the dividend in [arg0] and return the quotient
+    in [ret0]. Fallback plans branch to ["divU"], so they must be linked
+    with {!Div_gen.source} (as {!Millicode.source} does). *)
+
+type strategy =
+  | Trivial  (** y = ±1, or the signed y = min_int test *)
+  | Power_of_two of int
+  | Reciprocal of Div_magic.t * Chain.t
+      (** the derived method; the chain multiplies by [a] *)
+  | Even_split of int * strategy  (** shift count and odd-part strategy *)
+  | General_fallback  (** tail call to the millicode [divU]/[divI] *)
+
+type plan = {
+  divisor : int32;
+  signed : bool;
+  entry : string;
+  source : Program.source;
+  static_instructions : int;
+  strategy : strategy;
+}
+
+val plan_unsigned : ?entry:string -> int32 -> plan
+(** Unsigned division by [y >= 1], valid over the full 32-bit dividend
+    range. Default entry ["divu_c<y>"]. *)
+
+val plan_signed : ?entry:string -> int32 -> plan
+(** Signed truncating division by [y <> 0]. Default entry ["divi_c<y>"]
+    (negative divisors spell ["m<|y|>"]). *)
+
+val plan_rem_unsigned : ?entry:string -> int32 -> plan
+(** Remainder by a constant: [x mod y] for unsigned [x]. Power-of-two
+    divisors are a single field extract; otherwise the quotient sequence is
+    followed by an inline multiply-back chain and a subtract
+    ([x - (x/y)*y]). Default entry ["remu_c<y>"]. *)
+
+val plan_rem_signed : ?entry:string -> int32 -> plan
+(** C-semantics signed remainder (sign follows the dividend). Default
+    entry ["remi_c<y>"]. *)
+
+val needs_millicode : plan -> bool
+(** True when the plan tail-calls the general divide. *)

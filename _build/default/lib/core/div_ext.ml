@@ -1,0 +1,119 @@
+module Word = Hppa_word.Word
+
+let overflow_break_code = 1
+
+(* The unrolled unsigned core, shared by both entries: dividend (hi in
+   [rem_init], lo in t2 beforehand), divisor arg2; quotient ret0,
+   remainder t3. Requires C = V = 0 on entry to the steps. *)
+let emit_core64 b =
+  for _ = 1 to 32 do
+    Builder.insns b [ Emit.addc Reg.t2 Reg.t2 Reg.t2; Emit.ds Reg.t3 Reg.arg2 Reg.t3 ]
+  done;
+  Builder.insns b
+    [
+      Emit.addc Reg.r0 Reg.r0 Reg.t4;
+      Emit.shadd 1 Reg.t2 Reg.t4 Reg.ret0;
+      Emit.comiclr Cond.Neq 0l Reg.t4 Reg.r0;
+      Emit.add Reg.t3 Reg.arg2 Reg.t3;
+    ]
+
+let divU64_source =
+  let b = Builder.create ~prefix:"divU64" () in
+  Builder.label b "divU64";
+  Builder.insns b
+    [
+      (* hi < divisor implies divisor != 0 and a 32-bit quotient; the
+         non-restoring invariant starts from R = hi in [0, y). *)
+      Emit.comb Cond.Ule Reg.arg2 Reg.arg0 "divU64$ovfl";
+      Emit.add Reg.r0 Reg.r0 Reg.r0; (* C := 0, V := 0 *)
+      Emit.copy Reg.arg1 Reg.t2;
+      Emit.copy Reg.arg0 Reg.t3;
+    ];
+  emit_core64 b;
+  Builder.insns b [ Emit.copy Reg.t3 Reg.ret1; Emit.mret ];
+  Builder.label b "divU64$ovfl";
+  Builder.insn b (Emit.break overflow_break_code);
+  Builder.to_source b
+
+(* Signed: take magnitudes (64-bit negation of the dividend pair), run the
+   unsigned core, then bound-check the quotient against the signed range
+   and restore the signs. *)
+let divI64_source =
+  let b = Builder.create ~prefix:"divI64" () in
+  let l s = "divI64$" ^ s in
+  Builder.label b "divI64";
+  Builder.insns b
+    [
+      Emit.comib Cond.Eq 0l Reg.arg2 (l "zero");
+      Emit.xor Reg.arg0 Reg.arg2 Reg.t5; (* quotient sign *)
+      Emit.copy Reg.arg0 Reg.t1; (* remainder sign = dividend's *)
+      (* |dividend|: negate the 64-bit pair when hi is negative. *)
+      Emit.comb Cond.Ge Reg.arg0 Reg.r0 (l "dpos");
+      Emit.sub Reg.r0 Reg.arg1 Reg.arg1;
+      Emit.subb Reg.r0 Reg.arg0 Reg.arg0;
+    ];
+  Builder.label b (l "dpos");
+  Builder.insns b
+    [
+      Emit.comclr Cond.Ge Reg.arg2 Reg.r0 Reg.r0;
+      Emit.sub Reg.r0 Reg.arg2 Reg.arg2;
+      Emit.comb Cond.Ule Reg.arg2 Reg.arg0 (l "ovfl");
+      Emit.add Reg.r0 Reg.r0 Reg.r0;
+      Emit.copy Reg.arg1 Reg.t2;
+      Emit.copy Reg.arg0 Reg.t3;
+    ];
+  emit_core64 b;
+  Builder.insns b
+    [
+      (* Signed range: |q| <= 2^31 - 1, or 2^31 when the quotient is
+         negative. *)
+      Emit.comb Cond.Ge Reg.t5 Reg.r0 (l "qpos");
+      Emit.ldil Int32.min_int Reg.t4;
+      Emit.comb Cond.Ult Reg.t4 Reg.ret0 (l "ovfl"); (* q > 2^31 *)
+      Emit.sub Reg.r0 Reg.ret0 Reg.ret0;
+      Emit.b (l "rem");
+    ];
+  Builder.label b (l "qpos");
+  Builder.insn b (Emit.comb Cond.Lt Reg.ret0 Reg.r0 (l "ovfl")); (* q >= 2^31 *)
+  Builder.label b (l "rem");
+  Builder.insns b
+    [
+      Emit.comclr Cond.Ge Reg.t1 Reg.r0 Reg.r0;
+      Emit.sub Reg.r0 Reg.t3 Reg.t3;
+      Emit.copy Reg.t3 Reg.ret1;
+      Emit.mret;
+    ];
+  Builder.label b (l "zero");
+  Builder.insn b (Emit.break Hppa_machine.Trap.divide_by_zero_code);
+  Builder.label b (l "ovfl");
+  Builder.insn b (Emit.break overflow_break_code);
+  Builder.to_source b
+
+let source = Program.concat [ divU64_source; divI64_source ]
+let entries = [ "divU64"; "divI64" ]
+
+let reference ~hi ~lo y =
+  if Word.le_u y hi then None
+  else
+    let dividend =
+      Int64.logor (Int64.shift_left (Word.to_int64_u hi) 32) (Word.to_int64_u lo)
+    in
+    let y64 = Word.to_int64_u y in
+    Some
+      ( Word.of_int64 (Int64.unsigned_div dividend y64),
+        Word.of_int64 (Int64.unsigned_rem dividend y64) )
+
+let reference_signed ~hi ~lo y =
+  if Word.equal y 0l then None
+  else
+    let dividend =
+      Int64.logor (Int64.shift_left (Word.to_int64_s hi) 32) (Word.to_int64_u lo)
+    in
+    let y64 = Word.to_int64_s y in
+    (* Int64.min_int / -1 overflows the host too; it is out of range here
+       anyway. *)
+    if dividend = Int64.min_int && y64 = -1L then None
+    else
+      let q = Int64.div dividend y64 in
+      if q < -0x8000_0000L || q > 0x7fff_ffffL then None
+      else Some (Word.of_int64 q, Word.of_int64 (Int64.rem dividend y64))

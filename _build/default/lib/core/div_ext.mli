@@ -1,0 +1,37 @@
+(** Division of 64-bit dividends — the full §4 divide-step scheme.
+
+    §4 describes [DS] dividing "a register containing the least significant
+    word of a 64-bit partial dividend ... combined with an add with carry
+    operation on the most significant word". The 32-bit [divU] initialises
+    that high word to zero; this routine accepts a caller-supplied high
+    word, giving the 64/32 division that multi-precision arithmetic (and
+    the reciprocal method itself) rests on.
+
+    Entries (dividend high word in [arg0], low word in [arg1], divisor in
+    [arg2]; quotient in [ret0], remainder in [ret1]):
+
+    - [divU64]: unsigned. As on machines with a hardware 64/32 divide, the
+      quotient must fit 32 bits: the routine requires [hi < divisor]
+      (which also implies a nonzero divisor) and executes [BREAK 1]
+      otherwise ([BREAK 0] stays the divide-by-zero code).
+    - [divI64]: signed, truncating toward zero, remainder taking the
+      dividend's sign. [BREAK 0] on a zero divisor, [BREAK 1] when the
+      quotient does not fit a signed word. *)
+
+val source : Program.source
+val entries : string list
+(** [["divU64"; "divI64"]]. *)
+
+val overflow_break_code : int
+(** 1 — quotient unrepresentable. *)
+
+val reference :
+  hi:Hppa_word.Word.t -> lo:Hppa_word.Word.t -> Hppa_word.Word.t ->
+  (Hppa_word.Word.t * Hppa_word.Word.t) option
+(** Unsigned [(quotient, remainder)], or [None] when the routine would
+    break. *)
+
+val reference_signed :
+  hi:Hppa_word.Word.t -> lo:Hppa_word.Word.t -> Hppa_word.Word.t ->
+  (Hppa_word.Word.t * Hppa_word.Word.t) option
+(** Signed reference; [None] covers both break conditions. *)

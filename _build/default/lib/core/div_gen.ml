@@ -1,0 +1,84 @@
+module Word = Hppa_word.Word
+
+(* Register roles: t2 = dividend low word / quotient window, t3 = partial
+   remainder, t4 = final quotient bit, t5 = quotient sign, t1 = remainder
+   sign (the original dividend). *)
+let lo = Reg.t2
+let rem = Reg.t3
+let qbit = Reg.t4
+let qsign = Reg.t5
+let rsign = Reg.t1
+
+(* The 32 unrolled (ADDC; DS) steps plus corrections: unsigned quotient in
+   ret0, remainder in ret1. The divisor is arg1, the dividend arg0. *)
+let emit_core b =
+  Builder.insns b
+    [
+      Emit.add Reg.r0 Reg.r0 Reg.r0; (* C := 0, V := 0 *)
+      Emit.copy Reg.arg0 lo;
+      Emit.copy Reg.r0 rem;
+    ];
+  for _ = 1 to 32 do
+    Builder.insns b [ Emit.addc lo lo lo; Emit.ds rem Reg.arg1 rem ]
+  done;
+  Builder.insns b
+    [
+      Emit.addc Reg.r0 Reg.r0 qbit; (* 33-bit sign of the last step *)
+      Emit.shadd 1 lo qbit Reg.ret0; (* shift in the final quotient bit *)
+      Emit.comiclr Cond.Neq 0l qbit Reg.r0; (* negative remainder: correct *)
+      Emit.add rem Reg.arg1 rem;
+      Emit.copy rem Reg.ret1;
+    ]
+
+let emit_zero_check b entry =
+  Builder.insn b (Emit.comib Cond.Eq 0l Reg.arg1 (entry ^ "$zero"))
+
+let emit_zero_trap b entry =
+  Builder.label b (entry ^ "$zero");
+  Builder.insn b (Emit.break Hppa_machine.Trap.divide_by_zero_code)
+
+(* abs both operands, recording the two result signs. *)
+let emit_signed_prologue b =
+  Builder.insns b
+    [
+      Emit.xor Reg.arg0 Reg.arg1 qsign;
+      Emit.copy Reg.arg0 rsign;
+      Emit.comclr Cond.Ge Reg.arg0 Reg.r0 Reg.r0;
+      Emit.sub Reg.r0 Reg.arg0 Reg.arg0;
+      Emit.comclr Cond.Ge Reg.arg1 Reg.r0 Reg.r0;
+      Emit.sub Reg.r0 Reg.arg1 Reg.arg1;
+    ]
+
+let emit_signed_epilogue b =
+  Builder.insns b
+    [
+      Emit.comclr Cond.Ge qsign Reg.r0 Reg.r0;
+      Emit.sub Reg.r0 Reg.ret0 Reg.ret0;
+      Emit.comclr Cond.Ge rsign Reg.r0 Reg.r0;
+      Emit.sub Reg.r0 Reg.ret1 Reg.ret1;
+    ]
+
+let routine entry ~signed ~want_rem =
+  let b = Builder.create ~prefix:entry () in
+  Builder.label b entry;
+  emit_zero_check b entry;
+  if signed then emit_signed_prologue b;
+  emit_core b;
+  if signed then emit_signed_epilogue b;
+  if want_rem then Builder.insn b (Emit.copy Reg.ret1 Reg.ret0);
+  Builder.insn b Emit.mret;
+  emit_zero_trap b entry;
+  Builder.to_source b
+
+let source =
+  Program.concat
+    [
+      routine "divU" ~signed:false ~want_rem:false;
+      routine "divI" ~signed:true ~want_rem:false;
+      routine "remU" ~signed:false ~want_rem:true;
+      routine "remI" ~signed:true ~want_rem:true;
+    ]
+
+let entries = [ "divU"; "divI"; "remU"; "remI" ]
+let reference_unsigned = Word.divmod_u
+let reference_signed = Word.divmod_trunc_s

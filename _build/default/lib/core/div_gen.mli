@@ -1,0 +1,27 @@
+(** The general-purpose division millicode (§4, §7).
+
+    Built from the two-instruction divide step the architecture retained:
+    [ADDC] shifts the dividend/quotient window while [DS] performs one bit
+    of non-restoring division on the partial remainder, repeated 32 times.
+    Like HP's millicode, the loop is fully unrolled; with the corrections
+    the dynamic path is in the 75–90 cycle band the paper summarises as
+    "about 80 cycles for the general-purpose divide routine".
+
+    Entries (dividend [arg0], divisor [arg1]):
+    - [divU]: unsigned; quotient in [ret0], remainder in [ret1].
+    - [divI]: signed, truncating toward zero; both results, remainder takes
+      the dividend's sign (C semantics).
+    - [remU], [remI]: remainder in [ret0].
+
+    Division by zero executes [BREAK 0] (the divide-by-zero trap
+    convention). [divI min_int (-1)] wraps to [min_int] like the C
+    behaviour on this machine. *)
+
+val source : Program.source
+val entries : string list
+(** [["divU"; "divI"; "remU"; "remI"]]. *)
+
+val reference_unsigned : Hppa_word.Word.t -> Hppa_word.Word.t -> Hppa_word.Word.t * Hppa_word.Word.t
+(** Quotient and remainder; raises [Division_by_zero]. *)
+
+val reference_signed : Hppa_word.Word.t -> Hppa_word.Word.t -> Hppa_word.Word.t * Hppa_word.Word.t

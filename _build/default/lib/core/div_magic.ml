@@ -1,0 +1,43 @@
+module Word = Hppa_word.Word
+module U128 = Hppa_word.U128
+
+type t = {
+  y : int32;
+  s : int;
+  a : int64;
+  r : int64;
+  b : int64;
+  coverage : int64;
+}
+
+let derive ?(range = 0x1_0000_0000L) y =
+  if Word.le_u y 1l || not (Word.is_odd y) then
+    invalid_arg "Div_magic.derive: divisor must be odd and >= 3";
+  let y64 = Word.to_int64_u y in
+  let rec go s =
+    if s > 62 then invalid_arg "Div_magic.derive: no suitable z found"
+    else
+      let z = Int64.shift_left 1L s in
+      let a = Int64.div z y64 in
+      let r = Int64.sub z (Int64.mul a y64) in
+      if r = 0L then { y; s; a; r; b = 0L; coverage = Int64.max_int }
+      else
+        let b = Int64.add a (Int64.sub r 1L) in
+        let k = Int64.div b r in
+        let coverage = Int64.mul (Int64.add k 1L) y64 in
+        if coverage >= range then { y; s; a; r; b; coverage } else go (s + 1)
+  in
+  go 32
+
+let eval t x =
+  let ax = U128.mul_64_64 t.a (Word.to_int64_u x) in
+  let v = U128.add ax (U128.of_int64 t.b) in
+  let q = U128.shift_right v t.s in
+  assert (U128.fits_int64 q);
+  Word.of_int64 (U128.to_int64 q)
+
+let figure6 () = List.map (fun y -> derive (Int32.of_int y)) [ 3; 5; 7; 9; 11; 13; 15; 17; 19 ]
+
+let pp ppf t =
+  Format.fprintf ppf "y=%ld  z=2^%d  r=%Ld  a=%LX  (K+1)y=%LX" t.y t.s t.r t.a
+    t.coverage

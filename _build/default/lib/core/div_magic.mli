@@ -1,0 +1,42 @@
+(** The derived method for division by constants (§7).
+
+    For a known divisor [y], choose [z = 2^s] and derive [a = floor(z/y)]
+    and an adjustment [b] such that [q'(x) = (a*x + b) / z] truncates to
+    [floor (x/y)] for all [x] in [0 .. (K+1)*y - 1]. The module follows the
+    paper's derivation exactly: [r = z - a*y]; if [r = 0] then [b = 0] and
+    the range is unbounded, otherwise [b = a + r - 1] maximises the covered
+    range, with [K = floor (b/r)]. [s] is the smallest exponent ([>= 32])
+    whose coverage reaches the requested dividend range.
+
+    [b = a + r - 1] means [a*x + b = a*(x+1) + (r - 1)], the form the
+    generated code uses — when [r = 1] the final addition disappears
+    (paper, Figure 6 discussion). *)
+
+type t = {
+  y : int32;  (** odd divisor >= 3 *)
+  s : int;  (** z = 2^s *)
+  a : int64;  (** floor(z/y); may exceed 32 bits (e.g. y = 11) *)
+  r : int64;  (** z - a*y *)
+  b : int64;  (** the adjustment; 0 when r = 0 *)
+  coverage : int64;
+      (** (K+1)*y — exact division holds for x < coverage;
+          [Int64.max_int] when r = 0 *)
+}
+
+val derive : ?range:int64 -> int32 -> t
+(** [derive y] for odd [y >= 3]. [range] (default [2^32]) is the dividend
+    range that must be covered; pass [2^31] for signed-only divisions,
+    which can shrink [a] below 33 bits (the paper's [y = 11] remark).
+    Raises [Invalid_argument] on even or trivial divisors. *)
+
+val eval : t -> Hppa_word.Word.t -> Hppa_word.Word.t
+(** Reference evaluation of the truncated [q'] on an unsigned dividend,
+    computed in 128-bit arithmetic. For in-range [x] this equals
+    [Word.divmod_u x y |> fst] — the theorem the tests check. *)
+
+val figure6 : unit -> t list
+(** The paper's Figure 6 rows: [y] in {3, 5, 7, 9, 11, 13, 15, 17, 19}. *)
+
+val pp : Format.formatter -> t -> unit
+(** One Figure 6 row: y, z, r, a, (K+1)y with hex fields as printed
+    there. *)

@@ -1,0 +1,48 @@
+module Word = Hppa_word.Word
+module U128 = Hppa_word.U128
+
+type t = { d : int32; m : int64; p : int; add_fixup : bool }
+
+let derive d =
+  if Word.le_u d 1l then invalid_arg "Div_magic_modern.derive: divisor must be >= 2";
+  let d64 = Word.to_int64_u d in
+  (* Smallest p >= 32 with ceiling error e = m*d - 2^p at most 2^(p-32):
+     then q = floor(m*x / 2^p) is exact for every x < 2^32. *)
+  let rec go p =
+    if p > 63 then invalid_arg "Div_magic_modern.derive: no p found"
+    else
+      let z = Int64.shift_left 1L p in
+      let m = Int64.div (Int64.add z (Int64.sub d64 1L)) d64 in
+      let e = Int64.sub (Int64.mul m d64) z in
+      if e <= Int64.shift_left 1L (p - 32) then
+        { d; m; p; add_fixup = m >= 0x1_0000_0000L }
+      else go (p + 1)
+  in
+  go 32
+
+let eval t x =
+  let x64 = Word.to_int64_u x in
+  if not t.add_fixup then
+    let prod = U128.mul_64_64 t.m x64 in
+    Word.of_int64 (U128.to_int64 (U128.shift_right prod t.p))
+  else begin
+    (* m = 2^32 + m'; the standard fixup sequence with 32-bit values:
+       t = hi(m' * x); q = ((x - t) >> 1) + t; result = q >> (p - 33). *)
+    let m' = Int64.logand t.m 0xffff_ffffL in
+    let hi = Int64.shift_right_logical (Int64.mul m' x64) 32 in
+    let q =
+      Int64.add (Int64.shift_right_logical (Int64.sub x64 hi) 1) hi
+    in
+    Word.of_int64 (Int64.shift_right_logical q (t.p - 33))
+  end
+
+let chain_cost t =
+  if t.add_fixup then None
+  else
+    match Chain_rules.find (Int64.to_int t.m) with
+    | Some chain
+      when (match Chain.values chain with
+           | Ok vs -> Array.for_all (fun v -> v >= 0 && v < 1 lsl 32) vs
+           | Error _ -> false) ->
+        Some (Chain.length chain)
+    | Some _ | None -> None

@@ -1,0 +1,36 @@
+(** The modern round-up reciprocal method — an ablation baseline.
+
+    The paper's derived method (1987) rounds the reciprocal {e down}
+    ([a = floor(z/y)]) and compensates with the additive [b], which caps
+    the covered dividend range (Figure 6's [(K+1)y] column) and pushes
+    [y = 11] out of double-word reach. The method that later became
+    standard (Granlund–Montgomery 1994, as in compilers and Hacker's
+    Delight) rounds {e up} — [m = ceil(2^p / y)] — which covers the full
+    2{^32} range for every divisor, at the price of an occasionally 33-bit
+    multiplier needing an extra add-shift fixup.
+
+    This module implements that method so the bench can compare the two
+    designs on equal footing: same machine, same double-word shift-and-add
+    multiplication. The comparison isolates the paper's design choice
+    (floor + adjustment vs. round-up), seven years early. *)
+
+type t = {
+  d : int32;  (** divisor >= 2 (any parity) *)
+  m : int64;  (** the round-up magic multiplier; may need 33 bits *)
+  p : int;  (** shift: q = (m * x) >> p *)
+  add_fixup : bool;
+      (** true when [m] needs 33 bits: the generated sequence uses
+          [t = hi(m' * x); q = ((x - t) >> 1 + t) >> (p - 33)] *)
+}
+
+val derive : int32 -> t
+(** For unsigned division by [d >= 2] over the full 32-bit range. *)
+
+val eval : t -> Hppa_word.Word.t -> Hppa_word.Word.t
+(** Reference evaluation (exact for all 32-bit [x]); executes the fixup
+    sequence when [add_fixup] is set. *)
+
+val chain_cost : t -> int option
+(** Length of the shift-and-add chain for [m] when the same double-word
+    code generation used for the paper's method applies ([m] < 2{^32} and
+    a word-safe chain exists); [None] when only the fixup form works. *)

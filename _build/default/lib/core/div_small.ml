@@ -1,0 +1,37 @@
+let threshold = 20
+
+(* Dispatcher: bounds-test the divisor, then vector through a table of
+   two-instruction slots branching to the constant-divisor routines. *)
+let dispatcher ~entry ~slot_prefix ~general =
+  let b = Builder.create ~prefix:entry () in
+  Builder.label b entry;
+  Builder.insns b
+    [
+      Emit.ldo (Int32.of_int threshold) Reg.r0 Reg.t1;
+      Emit.comb Cond.Uge Reg.arg1 Reg.t1 general;
+      Emit.blr Reg.arg1 Reg.r0;
+    ];
+  (* Slot 0: divisor zero — the divide-by-zero break. *)
+  Builder.insns b
+    [ Emit.break Hppa_machine.Trap.divide_by_zero_code; Emit.nop ];
+  for y = 1 to threshold - 1 do
+    Builder.insns b
+      [ Emit.b (Printf.sprintf "%s%d" slot_prefix y); Emit.nop ]
+  done;
+  Builder.to_source b
+
+let source =
+  let plans_u =
+    List.init (threshold - 1) (fun i ->
+        (Div_const.plan_unsigned (Int32.of_int (i + 1))).source)
+  in
+  let plans_i =
+    List.init (threshold - 1) (fun i ->
+        (Div_const.plan_signed (Int32.of_int (i + 1))).source)
+  in
+  Program.concat
+    (dispatcher ~entry:"divU_small" ~slot_prefix:"divu_c" ~general:"divU"
+    :: dispatcher ~entry:"divI_small" ~slot_prefix:"divi_c" ~general:"divI"
+    :: (plans_u @ plans_i))
+
+let entries = [ "divU_small"; "divI_small" ]

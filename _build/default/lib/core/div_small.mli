@@ -1,0 +1,23 @@
+(** Runtime dispatch for small variable divisors (§7 "Performance").
+
+    The paper reports that "divisions using variable divisors less than
+    twenty vary from ten to 36 cycles": when the divisor is only known at
+    run time but happens to be small, a vectored branch selects the
+    constant-divisor routine for that value; anything else (or zero) goes
+    to the general millicode divide.
+
+    Entries ([arg0] dividend, [arg1] divisor, quotient in [ret0]):
+    - [divU_small]: unsigned;
+    - [divI_small]: signed, dispatching on divisors 1..19 (negative or
+      large divisors use the general [divI]).
+
+    The generated source includes the per-divisor routines
+    ([divu_c1 .. divu_c19], [divi_c1 .. divi_c19]) and must be linked with
+    {!Div_gen.source} for the fallback paths. *)
+
+val source : Program.source
+val entries : string list
+(** [["divU_small"; "divI_small"]]. *)
+
+val threshold : int
+(** Divisors strictly below this (= 20) take the fast path. *)

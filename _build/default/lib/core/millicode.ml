@@ -1,0 +1,33 @@
+(* mulI / muloI are aliases of the final-algorithm routines; a label-only
+   compilation unit placed right before each target would also work, but
+   explicit single-instruction trampolines keep every entry independent of
+   layout. *)
+let aliases =
+  let b = Builder.create ~prefix:"aliases" () in
+  Builder.label b "mulI";
+  Builder.insn b (Emit.b "mul_final");
+  Builder.label b "muloI";
+  Builder.insn b (Emit.b "mulo");
+  Builder.to_source b
+
+let source =
+  Program.concat
+    [
+      aliases; Mul_var.all; Mul_ext.source; Div_gen.source; Div_ext.source;
+      Div_small.source;
+    ]
+
+let resolved () = Program.resolve_exn source
+let machine () = Hppa_machine.Machine.create (resolved ())
+let scheduled_source () = Delay.schedule source
+
+let scheduled_machine () =
+  Hppa_machine.Machine.create ~delay_slots:true
+    (Program.resolve_exn (scheduled_source ()))
+
+let entries =
+  [ "mulI"; "muloI" ] @ Mul_var.entries @ Mul_ext.entries @ Div_gen.entries
+  @ Div_ext.entries @ Div_small.entries
+
+let mulI = "mulI"
+let muloI = "muloI"

@@ -1,0 +1,44 @@
+(** The millicode runtime library.
+
+    HP Precision has no multiply or divide instructions; compiled code
+    reaches these operations through branch-and-link calls into a small
+    resident library — the millicode. This module assembles the whole
+    library built in this reproduction:
+
+    - multiplication ladder: [mul_naive], [mul_naive_early], [mul_nibble],
+      [mul_switch], [mul_final] (alias [mulI]) and the trapping [mulo]
+      (alias [muloI]);
+    - extended multiplication: [mulU64] and [mulI64] (the full 64-bit
+      product, built from four half-word standard multiplies);
+    - division: [divU], [divI], [remU], [remI], the 64/32 [divU64], and
+      the small-divisor dispatchers [divU_small], [divI_small] with their
+      constant-divisor routines.
+
+    Calling convention: operands in [arg0]/[arg1], results in
+    [ret0] (and [ret1] for the divide remainder), return via [bv r0(rp)]
+    — or [mrp] for millicode-to-millicode calls.
+
+    {!resolved} and {!machine} are conveniences for tests, benches and
+    examples that want a ready-to-run image. *)
+
+val source : Program.source
+val resolved : unit -> Program.resolved
+val machine : unit -> Hppa_machine.Machine.t
+(** A fresh machine loaded with the library. *)
+
+val scheduled_source : unit -> Program.source
+(** The library transformed by {!Hppa_isa.Delay.schedule} for delay-slot
+    machines. *)
+
+val scheduled_machine : unit -> Hppa_machine.Machine.t
+(** A fresh delay-slot machine loaded with the scheduled library — the
+    closest model to the hardware HP measured. *)
+
+val entries : string list
+(** Every public entry point. *)
+
+val mulI : string
+(** The production multiply entry (the final algorithm). *)
+
+val muloI : string
+(** The trapping multiply entry. *)

@@ -1,0 +1,92 @@
+module Word = Hppa_word.Word
+
+type plan = {
+  multiplier : int32;
+  chain : Chain.t option;
+  entry : string;
+  source : Program.source;
+  static_instructions : int;
+  temporaries : int;
+  overflow : bool;
+}
+
+let default_entry n =
+  if n >= 0l then Printf.sprintf "mulc_%ld" n
+  else Printf.sprintf "mulc_m%ld" (Int32.neg n)
+
+let finish ~n ~chain ~entry ~overflow b info =
+  Builder.insn b Emit.mret;
+  {
+    multiplier = n;
+    chain;
+    entry;
+    source = Builder.to_source b;
+    static_instructions = info.Chain_codegen.instructions;
+    temporaries = info.Chain_codegen.temporaries;
+    overflow;
+  }
+
+let plan ?(overflow = false) ?entry (n : int32) =
+  let entry = match entry with Some e -> e | None -> default_entry n in
+  let simple insns =
+    let b = Builder.create ~prefix:entry () in
+    Builder.label b entry;
+    List.iter (Builder.insn b) insns;
+    let count = Builder.length b in
+    Builder.insn b Emit.mret;
+    {
+      multiplier = n;
+      chain = None;
+      entry;
+      source = Builder.to_source b;
+      static_instructions = count;
+      temporaries = 0;
+      overflow;
+    }
+  in
+  if Word.equal n 0l then simple [ Emit.copy Reg.r0 Reg.ret0 ]
+  else if Word.equal n Int32.min_int then
+    if not overflow then simple [ Emit.shl Reg.arg0 31 Reg.ret0 ]
+    else begin
+      (* Only 0 * min_int and 1 * min_int are representable; anything else
+         must trap, which a guaranteed-overflowing ADDO provides. *)
+      let b = Builder.create ~prefix:entry () in
+      let zero = entry ^ "$zero" in
+      Builder.label b entry;
+      Builder.insns b
+        [
+          Emit.comib Cond.Eq 0l Reg.arg0 zero;
+          Emit.comib Cond.Neq 1l Reg.arg0 (entry ^ "$trap");
+          Emit.ldil Int32.min_int Reg.ret0;
+          Emit.mret;
+        ];
+      Builder.label b (entry ^ "$trap");
+      Builder.insns b
+        [
+          Emit.ldil 0x4000_0000l Reg.t2;
+          Emit.add ~ov:true Reg.t2 Reg.t2 Reg.r0;
+        ];
+      Builder.label b zero;
+      Builder.insns b [ Emit.copy Reg.r0 Reg.ret0; Emit.mret ];
+      {
+        multiplier = n;
+        chain = None;
+        entry;
+        source = Builder.to_source b;
+        static_instructions = 4;
+        temporaries = 1;
+        overflow;
+      }
+    end
+  else begin
+    let negate = Word.is_neg n in
+    let magnitude = Int32.to_int (Word.abs n) in
+    let mode = if overflow then Chain_rules.Monotonic else Chain_rules.Fast in
+    let chain = Chain_rules.find_exn ~mode magnitude in
+    let b = Builder.create ~prefix:entry () in
+    Builder.label b entry;
+    let info = Chain_codegen.body ~overflow ~negate chain b in
+    finish ~n ~chain:(Some chain) ~entry ~overflow b info
+  end
+
+let cost ?overflow n = (plan ?overflow n).static_instructions

@@ -1,0 +1,31 @@
+(** Multiplication by compile-time constants (§5) — the public planner.
+
+    Given a 32-bit constant, produce the cheapest straight-line multiply the
+    rule program can find: a chain compiled by {!Chain_codegen}, or the
+    one-instruction special cases (0, ±1, powers of two, the most negative
+    number). With [overflow:true] the generated code traps on signed
+    overflow exactly when the full product is unrepresentable, using
+    monotonic chains (§5 "Overflow") — typically costing at most one extra
+    step, as the paper's example for 31 shows.
+
+    The paper's headline (§8): multiplications by constants generally take
+    four or fewer single-cycle instructions. {!Chain_stats} quantifies this
+    over ranges of constants. *)
+
+type plan = {
+  multiplier : int32;
+  chain : Chain.t option;
+      (** the chain for [|multiplier|], when one is used *)
+  entry : string;
+  source : Program.source;
+      (** callable routine: multiplicand in [arg0], product in [ret0] *)
+  static_instructions : int;  (** body length, excluding the return *)
+  temporaries : int;
+  overflow : bool;
+}
+
+val plan : ?overflow:bool -> ?entry:string -> int32 -> plan
+(** Default entry label ["mulc_<n>"] (negative constants spell ["m<|n|>"]). *)
+
+val cost : ?overflow:bool -> int32 -> int
+(** [(plan n).static_instructions] without building the program. *)

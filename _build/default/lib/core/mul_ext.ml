@@ -1,0 +1,83 @@
+module Word = Hppa_word.Word
+
+(* Frame layout (relative to sp, which Machine.call leaves pointing at
+   scratch memory): mulU64 uses bytes 0..23, mulI64 nests at 24..35. *)
+let mulU64_source =
+  let b = Builder.create ~prefix:"mulU64" () in
+  let sp = Reg.sp in
+  Builder.label b "mulU64";
+  Builder.insns b
+    [
+      Emit.stw Reg.mrp 0l sp;
+      Emit.stw Reg.arg0 4l sp;
+      Emit.stw Reg.arg1 8l sp;
+    ];
+  (* The four 16x16 partial products through the standard multiply: both
+     operands are below 2^16, the fastest Figure-5 regime. *)
+  let partial ~xpos ~ypos ~save =
+    Builder.insns b
+      [
+        Emit.ldw 4l sp Reg.arg0;
+        Emit.ldw 8l sp Reg.arg1;
+        Emit.extru Reg.arg0 ~pos:xpos ~len:16 Reg.arg0;
+        Emit.extru Reg.arg1 ~pos:ypos ~len:16 Reg.arg1;
+        Emit.bl "mul_final" Reg.mrp;
+      ];
+    match save with
+    | Some disp -> Builder.insn b (Emit.stw Reg.ret0 disp sp)
+    | None -> ()
+  in
+  partial ~xpos:0 ~ypos:0 ~save:(Some 12l) (* ll *);
+  partial ~xpos:16 ~ypos:0 ~save:(Some 16l) (* hl *);
+  partial ~xpos:0 ~ypos:16 ~save:(Some 20l) (* lh *);
+  partial ~xpos:16 ~ypos:16 ~save:None (* hh stays in ret0 *);
+  Builder.insns b
+    [
+      (* mid = hl + lh (33 bits: carry into t5). *)
+      Emit.ldw 16l sp Reg.t2;
+      Emit.ldw 20l sp Reg.t3;
+      Emit.add Reg.t2 Reg.t3 Reg.t4;
+      Emit.addc Reg.r0 Reg.r0 Reg.t5;
+      (* lo = ll + (mid << 16); its carry feeds the high word. *)
+      Emit.ldw 12l sp Reg.t2;
+      Emit.zdep Reg.t4 ~pos:16 ~len:16 Reg.t3;
+      Emit.add Reg.t2 Reg.t3 Reg.t3;
+      (* hi = hh + carry + (mid >> 16) + (midcarry << 16). *)
+      Emit.addc Reg.ret0 Reg.r0 Reg.ret1;
+      Emit.shr_u Reg.t4 16 Reg.t4;
+      Emit.add Reg.ret1 Reg.t4 Reg.ret1;
+      Emit.zdep Reg.t5 ~pos:16 ~len:16 Reg.t5;
+      Emit.add Reg.ret1 Reg.t5 Reg.ret1;
+      Emit.copy Reg.t3 Reg.ret0;
+      Emit.ldw 0l sp Reg.mrp;
+      Emit.mret;
+    ];
+  Builder.to_source b
+
+let mulI64_source =
+  let b = Builder.create ~prefix:"mulI64" () in
+  let sp = Reg.sp in
+  Builder.label b "mulI64";
+  Builder.insns b
+    [
+      Emit.stw Reg.mrp 24l sp;
+      Emit.stw Reg.arg0 28l sp;
+      Emit.stw Reg.arg1 32l sp;
+      Emit.bl "mulU64" Reg.mrp;
+      (* Signed correction: hi -= (x < 0 ? y : 0) + (y < 0 ? x : 0). *)
+      Emit.ldw 28l sp Reg.t2;
+      Emit.ldw 32l sp Reg.t3;
+      Emit.comclr Cond.Ge Reg.t2 Reg.r0 Reg.r0;
+      Emit.sub Reg.ret1 Reg.t3 Reg.ret1;
+      Emit.comclr Cond.Ge Reg.t3 Reg.r0 Reg.r0;
+      Emit.sub Reg.ret1 Reg.t2 Reg.ret1;
+      Emit.ldw 24l sp Reg.mrp;
+      Emit.mret;
+    ];
+  Builder.to_source b
+
+let source = Program.concat [ mulU64_source; mulI64_source ]
+let entries = [ "mulU64"; "mulI64" ]
+
+let reference_unsigned = Word.mul_wide_u
+let reference_signed = Word.mul_wide_s

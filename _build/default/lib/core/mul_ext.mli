@@ -1,0 +1,30 @@
+(** Extended multiplication: the 64-bit product.
+
+    §6 limits itself to the "standard" 32-bit-result multiply and notes
+    that "an efficient implementation of extended multiply (64-bit result)
+    is an area of our current research". This module is that future work,
+    built the way the operand statistics suggest: split each operand into
+    16-bit halves and form the four partial products with the {e standard}
+    multiply — each has both operands below 2{^16}, exactly the regime
+    where the Figure 5 routine runs fastest — then recombine with the
+    carry chain.
+
+    Entries (linked with {!Mul_var.all}; {!Millicode.source} includes
+    both):
+    - [mulU64]: unsigned; [arg0 * arg1] as [ret1:ret0] (high:low).
+    - [mulI64]: signed; the high word is corrected from the unsigned
+      product ([hi -= (x<0 ? y : 0) + (y<0 ? x : 0)]).
+
+    The low word always equals what [mulI] computes; the tests check both
+    words against {!Hppa_word.Word.mul_wide_u}/[mul_wide_s]. *)
+
+val source : Program.source
+val entries : string list
+(** [["mulU64"; "mulI64"]]. *)
+
+val reference_unsigned :
+  Hppa_word.Word.t -> Hppa_word.Word.t -> Hppa_word.Word.t * Hppa_word.Word.t
+(** [(hi, lo)]. *)
+
+val reference_signed :
+  Hppa_word.Word.t -> Hppa_word.Word.t -> Hppa_word.Word.t * Hppa_word.Word.t

@@ -1,0 +1,75 @@
+module Word = Hppa_word.Word
+
+(* Unsigned magnitude of the absolute value (min_int -> 2^31). *)
+let mag w = Word.to_int_u (Word.abs w)
+
+let bit_length u =
+  let rec go l = if u lsr l = 0 then l else go (l + 1) in
+  go 0
+
+(* Iterations of a shift-right-until-zero loop: at least one. *)
+let chunks ~width u = max 1 ((bit_length u + width - 1) / width)
+
+let nibbles_of ~count u = List.init count (fun i -> (u lsr (4 * i)) land 0xf)
+
+let case_costs = [| 1; 2; 2; 2; 2; 4; 2; 4; 2; 4; 4; 4; 2; 4; 4; 4 |]
+let case_cost n = case_costs.(n)
+
+let naive () = 168
+
+let naive_early ~multiplier =
+  let k = chunks ~width:1 (mag multiplier) in
+  (6 * k) + 5
+
+let nibble ~multiplier =
+  let k = chunks ~width:4 (mag multiplier) in
+  (13 * k) + 4
+
+(* Shared by the switch routine and the final algorithm's fast path: the
+   dispatch + case costs over the multiplier's nibbles, with [per_iter]
+   continuation overhead between iterations and [finish] after the last. *)
+let table_loop_cost u ~per_iter ~finish =
+  let k = chunks ~width:4 u in
+  let ns = nibbles_of ~count:k u in
+  let rec go i = function
+    | [] -> 0
+    | n :: rest ->
+        let dispatch = 2 + case_cost n in
+        let tail = if i = k then finish else per_iter in
+        dispatch + tail + go (i + 1) rest
+  in
+  go 1 ns
+
+let switch ~multiplier =
+  let u = mag multiplier in
+  (* setup 5, per-iteration continuation 6 (shift test + nullified exit
+     branch + two sh2add + sh1add + loop branch), exit 2, sign fix 3. *)
+  5 + table_loop_cost u ~per_iter:6 ~finish:2 + 3
+
+let final x y =
+  let ux = Word.to_int_u x and uy = Word.to_int_u y in
+  let both_nonneg = not (Word.is_neg x || Word.is_neg y) in
+  if both_nonneg then begin
+    (* or + untaken comb *)
+    let prologue = 2 in
+    let swap = if uy <= ux then 1 else 4 in
+    let multiplier = min ux uy in
+    if multiplier = 0 then prologue + swap + 3 (* comib taken, copy, ret *)
+    else if multiplier = 1 then prologue + swap + 4
+    else
+      prologue + swap + 2 (* the two quick-exit tests fall through *)
+      + 2 (* zero the accumulator, form 3*mcand *)
+      + table_loop_cost multiplier ~per_iter:6 ~finish:2
+  end
+  else begin
+    (* or + taken comb + xor + two abs sequences *)
+    let prologue = 7 in
+    let ax = mag x and ay = mag y in
+    let swap = if ay <= ax then 1 else 4 in
+    let multiplier = min ax ay in
+    let k = chunks ~width:4 multiplier in
+    prologue + swap + 1 (* zero the accumulator *)
+    + (13 * (k - 1))
+    + 10 (* final iteration exits at the shift test *)
+    + 3 (* sign fix + return *)
+  end

@@ -1,0 +1,36 @@
+(** Closed-form cycle models of the multiply ladder.
+
+    The paper's §6 numbers (167, 192, 107, the Figure 5 bands) were derived
+    {e analytically} from the routines' structure; this module does the
+    same for our routines, and the test suite asserts that each model
+    predicts the simulator's measured cycle count {e exactly} for arbitrary
+    operands. That pins down the control structure of the hand-written
+    assembly (iteration counts, nullification slots, quick exits) far more
+    tightly than spot measurements.
+
+    All models count what {!Hppa_machine.Stats.cycles} counts: every
+    instruction including nullified ones and the final return. *)
+
+val naive : unit -> int
+(** Figure 2: data-independent (nullification makes both branches of every
+    bit test cost one cycle): 168. *)
+
+val naive_early : multiplier:Hppa_word.Word.t -> int
+(** Early-exit variant: [6k + 5] where [k] is the bit-length of the
+    absolute multiplier (at least 1). *)
+
+val nibble : multiplier:Hppa_word.Word.t -> int
+(** Figure 3: [13k + 4] where [k] counts the nibbles of the absolute
+    multiplier. *)
+
+val switch : multiplier:Hppa_word.Word.t -> int
+(** Figure 4: dispatch and per-nibble case-table costs. *)
+
+val final : Hppa_word.Word.t -> Hppa_word.Word.t -> int
+(** The Figure 5 routine: quick exits, operand swap, the positive fast
+    path and the negative slow path, modelled exactly. *)
+
+val case_cost : int -> int
+(** Instructions a case-table slot spends for a nibble value (including
+    its table branches): 1 for 0; 2 for one-work nibbles; 4 for two-work
+    nibbles. *)

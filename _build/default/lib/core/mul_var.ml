@@ -1,0 +1,378 @@
+module Word = Hppa_word.Word
+
+(* Register roles, shared by every routine:
+     arg0  multiplicand (shifted left as the loop advances)
+     arg1  multiplier   (shifted right; quotient of nibbles)
+     ret0  accumulating product
+     t2    saved multiplier sign (Figure 2/3 style routines)
+     t3    3 * multiplicand, maintained for the case table
+     t4    nibble index / scratch
+     t5    result sign (xor of operand signs)
+     t1    scratch *)
+
+let m = Reg.arg0
+let y = Reg.arg1
+let acc = Reg.ret0
+let sign = Reg.t2
+let m3 = Reg.t3
+let idx = Reg.t4
+let xsign = Reg.t5
+let tmp = Reg.t1
+
+(* abs of [r], remembering the original in [keep] when provided. *)
+let emit_abs b ?keep r =
+  (match keep with Some k -> Builder.insn b (Emit.copy r k) | None -> ());
+  Builder.insns b [ Emit.comclr Cond.Ge r Reg.r0 Reg.r0; Emit.sub Reg.r0 r r ]
+
+(* Negate [acc] if [sr] is negative, then return. *)
+let emit_sign_fix_ret b sr =
+  Builder.insns b
+    [
+      Emit.comclr Cond.Ge sr Reg.r0 Reg.r0;
+      Emit.sub Reg.r0 acc acc;
+      Emit.mret;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2: one bit per iteration, fixed 32 iterations.               *)
+
+let naive_source =
+  let b = Builder.create ~prefix:"mul_naive" () in
+  Builder.label b "mul_naive";
+  emit_abs b ~keep:sign y;
+  Builder.insns b [ Emit.copy Reg.r0 acc ];
+  Builder.insns b (Emit.ldi 32l idx);
+  Builder.label b "mul_naive$loop";
+  Builder.insns b
+    [
+      Emit.extru ~cond:Cond.Eq y ~pos:0 ~len:1 Reg.r0; (* skip add if bit clear *)
+      Emit.add m acc acc;
+      Emit.shr_u y 1 y;
+      Emit.add m m m;
+      Emit.addib Cond.Gt (-1l) idx "mul_naive$loop";
+    ];
+  emit_sign_fix_ret b sign;
+  Builder.to_source b
+
+(* Figure 2 + early exit when the shifted multiplier is exhausted. *)
+let naive_early_source =
+  let b = Builder.create ~prefix:"mul_naive_early" () in
+  Builder.label b "mul_naive_early";
+  emit_abs b ~keep:sign y;
+  Builder.insns b [ Emit.copy Reg.r0 acc ];
+  Builder.label b "mul_naive_early$loop";
+  Builder.insns b
+    [
+      Emit.extru ~cond:Cond.Eq y ~pos:0 ~len:1 Reg.r0;
+      Emit.add m acc acc;
+      Emit.extru ~cond:Cond.Neq y ~pos:1 ~len:31 y; (* shift; skip exit if bits remain *)
+      Emit.b "mul_naive_early$done";
+      Emit.add m m m;
+      Emit.b "mul_naive_early$loop";
+    ];
+  Builder.label b "mul_naive_early$done";
+  emit_sign_fix_ret b sign;
+  Builder.to_source b
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: four bits per iteration. The loop is the paper's 13       *)
+(* instructions: 8 testing/accumulating, 5 shifting and loop control.  *)
+
+let emit_nibble_tests ?(ov = false) b =
+  Builder.insns b
+    [
+      Emit.extru ~cond:Cond.Eq y ~pos:0 ~len:1 Reg.r0;
+      Emit.add ~ov m acc acc;
+      Emit.extru ~cond:Cond.Eq y ~pos:1 ~len:1 Reg.r0;
+      Emit.shadd ~ov 1 m acc acc;
+      Emit.extru ~cond:Cond.Eq y ~pos:2 ~len:1 Reg.r0;
+      Emit.shadd ~ov 2 m acc acc;
+      Emit.extru ~cond:Cond.Eq y ~pos:3 ~len:1 Reg.r0;
+      Emit.shadd ~ov 3 m acc acc;
+    ]
+
+let nibble_source =
+  let b = Builder.create ~prefix:"mul_nibble" () in
+  Builder.label b "mul_nibble";
+  emit_abs b ~keep:sign y;
+  Builder.insns b [ Emit.copy Reg.r0 acc ];
+  Builder.label b "mul_nibble$loop";
+  emit_nibble_tests b;
+  Builder.insns b
+    [
+      Emit.extru ~cond:Cond.Neq y ~pos:4 ~len:28 y;
+      Emit.b "mul_nibble$done";
+      Emit.shadd 2 m Reg.r0 m; (* mcand <<= 4 via two Shift Two and Adds *)
+      Emit.shadd 2 m Reg.r0 m;
+      Emit.b "mul_nibble$loop";
+    ];
+  Builder.label b "mul_nibble$done";
+  emit_sign_fix_ret b sign;
+  Builder.to_source b
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: the 16-way case table.                                    *)
+
+(* Work instructions adding [nibble * mcand] to the accumulator, at most
+   two each thanks to the maintained 3*mcand. *)
+let case_work nibble =
+  let add_m = Emit.add m acc acc in
+  let add_2m = Emit.shadd 1 m acc acc in
+  let add_4m = Emit.shadd 2 m acc acc in
+  let add_8m = Emit.shadd 3 m acc acc in
+  let add_m3 = Emit.add m3 acc acc in
+  let add_2m3 = Emit.shadd 1 m3 acc acc in
+  let add_4m3 = Emit.shadd 2 m3 acc acc in
+  let sub_m = Emit.sub acc m acc in
+  match nibble with
+  | 0 -> []
+  | 1 -> [ add_m ]
+  | 2 -> [ add_2m ]
+  | 3 -> [ add_m3 ]
+  | 4 -> [ add_4m ]
+  | 5 -> [ add_4m; add_m ]
+  | 6 -> [ add_2m3 ]
+  | 7 -> [ add_8m; sub_m ]
+  | 8 -> [ add_8m ]
+  | 9 -> [ add_8m; add_m ]
+  | 10 -> [ add_8m; add_2m ]
+  | 11 -> [ add_8m; add_m3 ]
+  | 12 -> [ add_4m3 ]
+  | 13 -> [ add_4m3; add_m ]
+  | 14 -> [ add_4m3; add_2m ]
+  | 15 -> [ add_4m3; add_m3 ]
+  | _ -> invalid_arg "case_work"
+
+(* Dispatch [extru nibble; blr] into 16 two-instruction slots; two-work
+   cases continue in extension stubs placed after the table. Control
+   rejoins at [next]. *)
+let emit_switch b ~prefix ~next =
+  Builder.insns b [ Emit.extru y ~pos:0 ~len:4 idx; Emit.blr idx Reg.r0 ];
+  let stubs = ref [] in
+  for nibble = 0 to 15 do
+    match case_work nibble with
+    | [] -> Builder.insns b [ Emit.b next; Emit.nop ]
+    | [ w ] -> Builder.insns b [ w; Emit.b next ]
+    | [ w1; w2 ] ->
+        let ext = Printf.sprintf "%s$case%d" prefix nibble in
+        Builder.insns b [ w1; Emit.b ext ];
+        stubs := (ext, w2) :: !stubs
+    | _ -> assert false
+  done;
+  List.iter
+    (fun (ext, w2) ->
+      Builder.label b ext;
+      Builder.insns b [ w2; Emit.b next ])
+    (List.rev !stubs)
+
+let switch_source =
+  let b = Builder.create ~prefix:"mul_switch" () in
+  Builder.label b "mul_switch";
+  emit_abs b ~keep:sign y;
+  Builder.insns b [ Emit.copy Reg.r0 acc; Emit.shadd 1 m m m3 ];
+  Builder.label b "mul_switch$loop";
+  emit_switch b ~prefix:"mul_switch" ~next:"mul_switch$next";
+  Builder.label b "mul_switch$next";
+  Builder.insns b
+    [
+      Emit.extru ~cond:Cond.Neq y ~pos:4 ~len:28 y;
+      Emit.b "mul_switch$done";
+      Emit.shadd 2 m Reg.r0 m;
+      Emit.shadd 2 m Reg.r0 m;
+      Emit.shadd 1 m m m3;
+      Emit.b "mul_switch$loop";
+    ];
+  Builder.label b "mul_switch$done";
+  emit_sign_fix_ret b sign;
+  Builder.to_source b
+
+(* ------------------------------------------------------------------ *)
+(* The final algorithm (Figure 5): operand swap, quick exits, positive *)
+(* fast path.                                                          *)
+
+let emit_swap_smaller_multiplier b ~skip =
+  Builder.insns b
+    [
+      Emit.comb Cond.Ule y m skip;
+      Emit.copy m tmp;
+      Emit.copy y m;
+      Emit.copy tmp y;
+    ];
+  Builder.label b skip
+
+let final_source =
+  let b = Builder.create ~prefix:"mul_final" () in
+  Builder.label b "mul_final";
+  Builder.insns b
+    [
+      Emit.or_ m y tmp;
+      Emit.comb Cond.Lt tmp Reg.r0 "mul_final$negs";
+    ];
+  emit_swap_smaller_multiplier b ~skip:"mul_final$noswap";
+  Builder.insns b
+    [
+      Emit.comib Cond.Eq 0l y "mul_final$zero";
+      Emit.comib Cond.Eq 1l y "mul_final$one";
+      Emit.copy Reg.r0 acc;
+      Emit.shadd 1 m m m3;
+    ];
+  Builder.label b "mul_final$loop";
+  emit_switch b ~prefix:"mul_final" ~next:"mul_final$next";
+  Builder.label b "mul_final$next";
+  Builder.insns b
+    [
+      Emit.extru ~cond:Cond.Neq y ~pos:4 ~len:28 y;
+      Emit.mret;
+      Emit.shadd 2 m Reg.r0 m;
+      Emit.shadd 2 m Reg.r0 m;
+      Emit.shadd 1 m m m3;
+      Emit.b "mul_final$loop";
+    ];
+  Builder.label b "mul_final$zero";
+  Builder.insns b [ Emit.copy Reg.r0 acc; Emit.mret ];
+  Builder.label b "mul_final$one";
+  Builder.insns b [ Emit.copy m acc; Emit.mret ];
+  (* Slow path: an operand is negative. Take absolute values, run the
+     Figure 3 loop, fix the sign. *)
+  Builder.label b "mul_final$negs";
+  Builder.insns b [ Emit.xor m y xsign ];
+  emit_abs b m;
+  emit_abs b y;
+  emit_swap_smaller_multiplier b ~skip:"mul_final$nswap2";
+  Builder.insns b [ Emit.copy Reg.r0 acc ];
+  Builder.label b "mul_final$nloop";
+  emit_nibble_tests b;
+  Builder.insns b
+    [
+      Emit.extru ~cond:Cond.Neq y ~pos:4 ~len:28 y;
+      Emit.b "mul_final$nfix";
+      Emit.shadd 2 m Reg.r0 m;
+      Emit.shadd 2 m Reg.r0 m;
+      Emit.b "mul_final$nloop";
+    ];
+  Builder.label b "mul_final$nfix";
+  emit_sign_fix_ret b xsign;
+  Builder.to_source b
+
+(* ------------------------------------------------------------------ *)
+(* Signed multiply with exact overflow detection.                      *)
+
+(* Trapping accumulation loop body over non-negative operands: every
+   partial value is bounded by the true product, so a trap fires iff the
+   product itself is unrepresentable (see mul_var.mli). The loop ends by
+   branching to [done_]. *)
+let emit_trapping_loop b ~loop ~done_ =
+  Builder.label b loop;
+  emit_nibble_tests ~ov:true b;
+  Builder.insns b
+    [
+      Emit.extru ~cond:Cond.Neq y ~pos:4 ~len:28 y;
+      Emit.b done_;
+      Emit.shadd ~ov:true 2 m Reg.r0 m;
+      Emit.shadd ~ov:true 2 m Reg.r0 m;
+      Emit.b loop;
+    ]
+
+let mulo_source =
+  let b = Builder.create ~prefix:"mulo" () in
+  let l s = "mulo$" ^ s in
+  Builder.label b "mulo";
+  Builder.insns b
+    [
+      (* Trivial multipliers and multiplicands: no overflow possible
+         except negating the most negative number, which sub,o reports. *)
+      Emit.comib Cond.Eq 0l m (l "zero");
+      Emit.comib Cond.Eq 0l y (l "zero");
+      Emit.comib Cond.Eq 1l y (l "ret_m");
+      Emit.comib Cond.Eq 1l m (l "ret_y");
+      Emit.comib Cond.Eq (-1l) y (l "neg_m");
+      Emit.comib Cond.Eq (-1l) m (l "neg_y");
+      (* A most-negative operand with |other| >= 2 always overflows. *)
+      Emit.ldil Int32.min_int sign;
+      Emit.comb Cond.Eq m sign (l "trap");
+      Emit.comb Cond.Eq y sign (l "trap");
+      (* Result sign, absolute values; both now in [2, 2^31 - 1]. *)
+      Emit.xor m y xsign;
+    ];
+  emit_abs b m;
+  emit_abs b y;
+  Builder.insns b
+    [
+      (* Both operands >= 2^16: the product exceeds 2^31 — overflow. *)
+      Emit.extru ~cond:Cond.Eq m ~pos:16 ~len:16 tmp;
+      Emit.extru ~cond:Cond.Neq y ~pos:16 ~len:16 tmp;
+      Emit.b (l "small");
+    ];
+  Builder.label b (l "trap");
+  Builder.insns b
+    [ Emit.ldil 0x4000_0000l tmp; Emit.add ~ov:true tmp tmp Reg.r0 ];
+  Builder.label b (l "small");
+  emit_swap_smaller_multiplier b ~skip:(l "nsw");
+  Builder.insns b
+    [ Emit.comb Cond.Lt xsign Reg.r0 (l "negpath"); Emit.copy Reg.r0 acc ];
+  (* Positive result: bound 2^31 - 1; the trapping loop is exact. *)
+  emit_trapping_loop b ~loop:(l "ploop") ~done_:(l "pdone");
+  Builder.label b (l "pdone");
+  Builder.insn b Emit.mret;
+  Builder.label b (l "negpath");
+  Builder.insns b
+    [
+      (* Power-of-two multipliers can legally produce exactly -2^31, which
+         the trapping loop would flag; compute (mcand - 1) * mpy instead
+         (exactly trapping, see mul_var.mli) and correct at the end. *)
+      Emit.addi (-1l) y tmp;
+      Emit.and_ tmp y tmp;
+      Emit.comib Cond.Eq 0l tmp (l "pow2");
+      Emit.copy Reg.r0 acc;
+    ];
+  emit_trapping_loop b ~loop:(l "nloop") ~done_:(l "ndone");
+  Builder.label b (l "ndone");
+  Builder.insns b [ Emit.sub Reg.r0 acc acc; Emit.mret ];
+  Builder.label b (l "pow2");
+  Builder.insns b
+    [
+      Emit.copy y idx; (* save the multiplier; the loop consumes it *)
+      Emit.addi (-1l) m m;
+      Emit.copy Reg.r0 acc;
+    ];
+  emit_trapping_loop b ~loop:(l "qloop") ~done_:(l "qdone");
+  Builder.label b (l "qdone");
+  Builder.insns b
+    [
+      (* acc = (mcand-1)*mpy; result = -(acc + mpy). *)
+      Emit.sub Reg.r0 acc acc;
+      Emit.sub acc idx acc;
+      Emit.mret;
+    ];
+  Builder.label b (l "zero");
+  Builder.insns b [ Emit.copy Reg.r0 acc; Emit.mret ];
+  Builder.label b (l "ret_m");
+  Builder.insns b [ Emit.copy m acc; Emit.mret ];
+  Builder.label b (l "ret_y");
+  Builder.insns b [ Emit.copy y acc; Emit.mret ];
+  Builder.label b (l "neg_m");
+  Builder.insns b [ Emit.sub ~ov:true Reg.r0 m acc; Emit.mret ];
+  Builder.label b (l "neg_y");
+  Builder.insns b [ Emit.sub ~ov:true Reg.r0 y acc; Emit.mret ];
+  Builder.to_source b
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  Program.concat
+    [
+      naive_source;
+      naive_early_source;
+      nibble_source;
+      switch_source;
+      final_source;
+      mulo_source;
+    ]
+
+let entries =
+  [ "mul_naive"; "mul_naive_early"; "mul_nibble"; "mul_switch"; "mul_final"; "mulo" ]
+
+let reference = Word.mul_lo
+
+let mulo_reference a b =
+  if Word.mul_overflows_s a b then None else Some (Word.mul_lo a b)

@@ -1,0 +1,54 @@
+(** Multiplication by variables (§6): the algorithm ladder.
+
+    Five routines, each one paper refinement over the previous. All compute
+    the 32-bit (mod 2{^32}) product of [arg0] and [arg1] into [ret0] — the
+    "standard" multiply, correct for both signed and unsigned interpretation
+    — except {!mulo_source}, which implements the signed, overflow-trapping
+    variant most languages require.
+
+    - {!naive_source} ([mul_naive]): Figure 2. One multiplier bit per
+      iteration, 32 iterations, a dynamic path of ~167 instructions.
+    - {!naive_early_source} ([mul_naive_early]): Figure 2 plus the "simple
+      optimization" — exit as soon as the shifted multiplier is zero. Worst
+      case grows to ~192; the log-uniform average halves.
+    - {!nibble_source} ([mul_nibble]): Figure 3. Four bits per iteration via
+      the shift-and-add pre-shifter; the loop body is exactly the paper's 13
+      instructions.
+    - {!switch_source} ([mul_switch]): Figure 4. The 16-way vectored-branch
+      case table multiplies the multiplicand by each nibble as a constant; a
+      maintained [3 * mcand] keeps every case within two work instructions.
+    - {!final_source} ([mul_final]): §6 "A Few Additional Details". Adds the
+      operand swap so the multiplier is the smaller magnitude (at most 4
+      iterations on non-overflowing products), quick exits for 0 and 1, and
+      a fast path for non-negative operands. Figure 5 profiles this routine.
+    - {!mulo_source} ([mulo]): the signed trapping multiply. Overflow is
+      reported iff the true product is unrepresentable — including the
+      delicate most-negative-result cases the paper warns about — via
+      monotonic trapping accumulation and an exact power-of-two analysis.
+
+    Each source is self-contained and relocatable; {!all} concatenates them
+    for a machine image with every entry point. *)
+
+val naive_source : Program.source
+val naive_early_source : Program.source
+val nibble_source : Program.source
+val switch_source : Program.source
+val final_source : Program.source
+val mulo_source : Program.source
+
+val all : Program.source
+(** Every routine above in one compilation unit. *)
+
+val entries : string list
+(** Entry labels, in ladder order:
+    [["mul_naive"; "mul_naive_early"; "mul_nibble"; "mul_switch";
+      "mul_final"; "mulo"]]. *)
+
+val reference : Hppa_word.Word.t -> Hppa_word.Word.t -> Hppa_word.Word.t
+(** What the non-trapping routines compute: the low 32 bits of the
+    product. *)
+
+val mulo_reference :
+  Hppa_word.Word.t -> Hppa_word.Word.t -> Hppa_word.Word.t option
+(** What [mulo] computes: [None] when the signed product overflows (the
+    routine traps), [Some product] otherwise. *)

@@ -1,0 +1,1 @@
+lib/dist/operand_dist.ml: Hppa_word Int64 List Prng

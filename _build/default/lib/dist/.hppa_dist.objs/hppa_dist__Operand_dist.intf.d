@@ -1,0 +1,1 @@
+lib/dist/operand_dist.mli: Hppa_word Prng

@@ -1,0 +1,1 @@
+lib/dist/trace.ml: Format Hppa_word Int64 List Operand_dist Printf Prng String

@@ -1,0 +1,16 @@
+type mix = { name : string; multiply_freq : float; divide_freq : float }
+
+let gibson = { name = "Gibson"; multiply_freq = 0.006; divide_freq = 0.002 }
+
+let multiply_heavy =
+  { name = "multiply-heavy"; multiply_freq = 0.025; divide_freq = 0.005 }
+
+let all = [ gibson; multiply_heavy ]
+
+let cpi mix ~mul_cycles ~div_cycles =
+  let other = 1.0 -. mix.multiply_freq -. mix.divide_freq in
+  other +. (mix.multiply_freq *. mul_cycles) +. (mix.divide_freq *. div_cycles)
+
+let relative_speed mix ~baseline:(mul0, div0) ~candidate:(mul1, div1) =
+  cpi mix ~mul_cycles:mul0 ~div_cycles:div0
+  /. cpi mix ~mul_cycles:mul1 ~div_cycles:div1

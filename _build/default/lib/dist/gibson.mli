@@ -1,0 +1,38 @@
+(** The Gibson instruction mix and program-level cost modelling (§2).
+
+    The paper frames the whole design around instruction frequency: the
+    Gibson mix puts multiplication at 0.6 % and division at 0.2 % of
+    executed instructions, other studies range 0.0–2.5 % and 0.0–0.5 %.
+    This module carries those mixes and computes the program-level slowdown
+    or speedup implied by a given per-operation cycle cost — the arithmetic
+    behind "a poor implementation could significantly decrease a machine's
+    performance". *)
+
+type mix = {
+  name : string;
+  multiply_freq : float;  (** fraction of dynamic instructions *)
+  divide_freq : float;
+}
+
+val gibson : mix
+(** 0.6 % multiply, 0.2 % divide [Gib70]. *)
+
+val multiply_heavy : mix
+(** The top of the published ranges: 2.5 % multiply, 0.5 % divide. *)
+
+val all : mix list
+
+val cpi :
+  mix -> mul_cycles:float -> div_cycles:float -> float
+(** Average cycles per "instruction slot" when every non-mul/div
+    instruction is one cycle and mul/div cost the given averages: the
+    program-level metric the paper's frequency argument is about. *)
+
+val relative_speed :
+  mix ->
+  baseline:float * float ->
+  candidate:float * float ->
+  float
+(** [relative_speed mix ~baseline:(mul, div) ~candidate:(mul', div')]:
+    how much faster whole programs run under the candidate mul/div costs
+    ([> 1.0] = faster). *)

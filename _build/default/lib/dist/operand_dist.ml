@@ -1,0 +1,64 @@
+module Word = Hppa_word.Word
+
+let log_uniform ?(bits = 31) g =
+  let len = Prng.int_range g 0 bits in
+  if len = 0 then 0l
+  else
+    let base = 1 lsl (len - 1) in
+    Word.of_int (base + Prng.int_range g 0 (base - 1))
+
+type bucket = { lo : int; hi : int; weight : float }
+
+let figure5_buckets =
+  [
+    { lo = 0; hi = 15; weight = 0.6 };
+    { lo = 16; hi = 255; weight = 0.2 };
+    { lo = 256; hi = 4095; weight = 0.1 };
+    { lo = 4096; hi = 46340; weight = 0.1 };
+  ]
+
+let bucket_of_pair x y =
+  let mag w = Int64.abs (Word.to_int64_s w) in
+  let m = Int64.to_int (min (mag x) (mag y)) in
+  List.find_opt (fun b -> m >= b.lo && m <= b.hi) figure5_buckets
+
+let pick_bucket g =
+  let u = Prng.float01 g in
+  let rec go acc = function
+    | [] -> List.nth figure5_buckets (List.length figure5_buckets - 1)
+    | b :: rest -> if u < acc +. b.weight then b else go (acc +. b.weight) rest
+  in
+  go 0.0 figure5_buckets
+
+(* Log-uniform within [lo .. hi]: bit-length uniform, then uniform within
+   the length, clipped to the interval. *)
+let bit_length v =
+  let rec go l = if v lsr l = 0 then l else go (l + 1) in
+  go 0
+
+let log_uniform_in g lo hi =
+  let lo = max lo 0 and hi = max hi 0 in
+  if hi <= lo then lo
+  else
+    let llo = bit_length (max lo 1) and lhi = bit_length hi in
+    let len = Prng.int_range g llo lhi in
+    let base = if len <= 1 then 1 else 1 lsl (len - 1) in
+    let top = min hi ((2 * base) - 1) in
+    let bot = max lo base in
+    if top < bot then bot else Prng.int_range g bot top
+
+let figure5_pair ?(positive_fraction = 0.9) g =
+  let b = pick_bucket g in
+  let small = log_uniform_in g b.lo b.hi in
+  let small = max small 0 in
+  (* The other operand: as large as representability allows. *)
+  let other_max = if small <= 1 then 0x7fff_ffff else 0x7fff_ffff / small in
+  let other = log_uniform_in g b.lo other_max in
+  let x, y = if Prng.bool g ~p:0.5 then (small, other) else (other, small) in
+  let sx, sy =
+    if Prng.bool g ~p:positive_fraction then (1, 1)
+    else ((if Prng.bool g ~p:0.5 then -1 else 1), if Prng.bool g ~p:0.5 then -1 else 1)
+  in
+  (Word.of_int (sx * x), Word.of_int (sy * y))
+
+let small_divisor g = Word.of_int (Prng.int_range g 1 19)

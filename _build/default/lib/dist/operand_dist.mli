@@ -1,0 +1,38 @@
+(** Operand distributions for multiply/divide workloads.
+
+    The paper's averages are expectations over measured operand statistics
+    (§3 "Operand Frequency Analysis", §6 "An Observation", Figure 5). HP's
+    traces are proprietary, so this module provides the synthetic models
+    the text describes:
+
+    - {!log_uniform}: magnitudes log-uniformly distributed — the paper's
+      "pessimistic guess" used to analyse Figures 2 and 3;
+    - {!figure5_pair}: operand pairs whose smaller magnitude falls in the
+      Figure 5 buckets with the stated 60/20/10/10 weights, both operands
+      positive ~90 % of the time, and the product constrained to be
+      representable (the paper explicitly discounts overflowing
+      multiplies);
+    - {!small_divisor}: divisors for the §7 "divisors less than twenty"
+      studies. *)
+
+val log_uniform : ?bits:int -> Prng.t -> Hppa_word.Word.t
+(** Non-negative; bit-length uniform in [0 .. bits] (default 31), then
+    uniform among values of that length. *)
+
+type bucket = { lo : int; hi : int; weight : float }
+
+val figure5_buckets : bucket list
+(** [0-15 @ 60%; 16-255 @ 20%; 256-4095 @ 10%; 4096-46340 @ 10%] — the
+    paper's Figure 5 rows and the operand-distribution column. *)
+
+val bucket_of_pair : Hppa_word.Word.t -> Hppa_word.Word.t -> bucket option
+(** The Figure 5 row that [min (|x|, |y|)] falls into. *)
+
+val figure5_pair :
+  ?positive_fraction:float -> Prng.t -> Hppa_word.Word.t * Hppa_word.Word.t
+(** A multiply operand pair per the Figure 5 model. [positive_fraction]
+    (default 0.9) is the probability that both operands are positive;
+    otherwise signs are random. The signed product always fits 32 bits. *)
+
+val small_divisor : Prng.t -> Hppa_word.Word.t
+(** Uniform in [1 .. 19]. *)

@@ -1,0 +1,23 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+let next64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let word t = Int64.to_int32 (next64 t)
+
+let int_range t lo hi =
+  assert (hi >= lo);
+  let span = hi - lo + 1 in
+  lo + Int64.to_int (Int64.unsigned_rem (next64 t) (Int64.of_int span))
+
+let float01 t =
+  Int64.to_float (Int64.shift_right_logical (next64 t) 11) *. 0x1p-53
+
+let bool t ~p = float01 t < p

@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    All workloads in the reproduction draw from this generator so that
+    every table and figure is bit-for-bit reproducible; nothing uses the
+    OCaml [Random] module or wall-clock seeding. *)
+
+type t
+
+val create : int64 -> t
+(** Seeded generator; equal seeds give equal streams. *)
+
+val copy : t -> t
+val next64 : t -> int64
+val word : t -> Hppa_word.Word.t
+(** Uniform 32-bit word. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range g lo hi]: uniform in [lo .. hi] inclusive. *)
+
+val float01 : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> p:float -> bool
+(** True with probability [p]. *)

@@ -1,0 +1,102 @@
+module Word = Hppa_word.Word
+
+type op = Mul | Div
+
+type event = { op : op; x : Word.t; y : Word.t; y_is_constant : bool }
+
+type config = {
+  const_operand_fraction : float;
+  positive_fraction : float;
+  div_fraction : float;
+  small_divisor_fraction : float;
+}
+
+let default_config =
+  {
+    const_operand_fraction = 0.91;
+    positive_fraction = 0.9;
+    div_fraction = 0.25;
+    small_divisor_fraction = 0.7;
+  }
+
+let generate ?(config = default_config) g ~n =
+  List.init n (fun _ ->
+      let op = if Prng.bool g ~p:config.div_fraction then Div else Mul in
+      match op with
+      | Mul ->
+          let x, y =
+            Operand_dist.figure5_pair ~positive_fraction:config.positive_fraction g
+          in
+          let y_is_constant = Prng.bool g ~p:config.const_operand_fraction in
+          { op; x; y; y_is_constant }
+      | Div ->
+          (* Dividends log-uniform; divisors small most of the time, per
+             the §7 "divisors less than twenty" emphasis. *)
+          let x = Operand_dist.log_uniform g in
+          let y =
+            if Prng.bool g ~p:config.small_divisor_fraction then
+              Operand_dist.small_divisor g
+            else
+              let v = Operand_dist.log_uniform ~bits:16 g in
+              if Word.equal v 0l then 1l else v
+          in
+          let y_is_constant = Prng.bool g ~p:config.const_operand_fraction in
+          { op; x; y; y_is_constant })
+
+type summary = {
+  events : int;
+  muls : int;
+  divs : int;
+  const_operand_pct : float;
+  min_operand_lt16_pct : float;
+  both_positive_pct : float;
+  bucket_pcts : float list;
+  small_divisor_pct : float;
+}
+
+let pct num den = if den = 0 then 0.0 else 100.0 *. float_of_int num /. float_of_int den
+
+let analyze events =
+  let muls = List.filter (fun e -> e.op = Mul) events in
+  let divs = List.filter (fun e -> e.op = Div) events in
+  let nmul = List.length muls and ndiv = List.length divs in
+  let count p l = List.length (List.filter p l) in
+  let min_mag e =
+    let mag w = Int64.abs (Word.to_int64_s w) in
+    Int64.to_int (min (mag e.x) (mag e.y))
+  in
+  let bucket_counts =
+    List.map
+      (fun (b : Operand_dist.bucket) ->
+        count (fun e -> min_mag e >= b.lo && min_mag e <= b.hi) muls)
+      Operand_dist.figure5_buckets
+  in
+  {
+    events = List.length events;
+    muls = nmul;
+    divs = ndiv;
+    const_operand_pct = pct (count (fun e -> e.y_is_constant) events) (List.length events);
+    min_operand_lt16_pct = pct (count (fun e -> min_mag e < 16) muls) nmul;
+    both_positive_pct =
+      pct
+        (count (fun e -> not (Word.is_neg e.x || Word.is_neg e.y)) muls)
+        nmul;
+    bucket_pcts = List.map (fun c -> pct c nmul) bucket_counts;
+    small_divisor_pct =
+      pct
+        (count (fun e -> Word.lt_u 0l e.y && Word.lt_u e.y 20l) divs)
+        (max ndiv 1);
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>%d events (%d mul, %d div)@,\
+     constant operand:     %5.1f%%@,\
+     min operand < 16:     %5.1f%% of multiplies@,\
+     both positive:        %5.1f%% of multiplies@,\
+     figure-5 buckets:     %s@,\
+     divisor < 20:         %5.1f%% of divides@]"
+    s.events s.muls s.divs s.const_operand_pct s.min_operand_lt16_pct
+    s.both_positive_pct
+    (String.concat " / " (List.map (Printf.sprintf "%.1f%%") s.bucket_pcts))
+    s.small_divisor_pct

@@ -1,0 +1,47 @@
+(** Synthetic operand traces and their frequency analysis.
+
+    Reproduces the loop the paper describes in §3: published studies report
+    operand statistics (91 % of multiplies have a compile-time-constant
+    operand [Neu79]; operand values tend to be small [Hen82, Luk86]); HP
+    "performed our own trace analyses for independent confirmation". Here
+    the generator synthesises a trace from those published parameters and
+    the analyser re-derives the statistics, which the tests then compare
+    to the §3 bullets. *)
+
+type op = Mul | Div
+
+type event = {
+  op : op;
+  x : Hppa_word.Word.t;
+  y : Hppa_word.Word.t;
+  y_is_constant : bool;  (** operand known at compile time *)
+}
+
+type config = {
+  const_operand_fraction : float;  (** default 0.91 [Neu79] *)
+  positive_fraction : float;  (** default 0.9 *)
+  div_fraction : float;  (** divide share of mul+div events, default 0.25 *)
+  small_divisor_fraction : float;
+      (** share of divides whose divisor is below 20, default 0.7 — the
+          paper emphasises small divisors but reports no number, so the
+          summary bench sweeps this *)
+}
+
+val default_config : config
+val generate : ?config:config -> Prng.t -> n:int -> event list
+
+type summary = {
+  events : int;
+  muls : int;
+  divs : int;
+  const_operand_pct : float;
+  min_operand_lt16_pct : float;
+      (** §6: "the lesser of the two operands was less than 16 more than
+          half the time" *)
+  both_positive_pct : float;
+  bucket_pcts : float list;  (** per Figure 5 bucket, multiplies only *)
+  small_divisor_pct : float;  (** divides with divisor < 20 *)
+}
+
+val analyze : event list -> summary
+val pp_summary : Format.formatter -> summary -> unit

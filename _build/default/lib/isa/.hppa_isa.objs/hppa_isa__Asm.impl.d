@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Buffer Cond Emit Format Insn Int32 Int64 List Printf Program Reg String

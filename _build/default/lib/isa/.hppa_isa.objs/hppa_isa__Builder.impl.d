@@ -1,0 +1,1 @@
+lib/isa/builder.ml: List Printf Program

@@ -1,0 +1,1 @@
+lib/isa/delay.ml: Array Cond Insn List Program Reg

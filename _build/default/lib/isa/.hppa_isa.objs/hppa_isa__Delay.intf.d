@@ -1,0 +1,1 @@
+lib/isa/delay.mli: Program

@@ -1,0 +1,1 @@
+lib/isa/emit.ml: Cond Insn Int32 Reg

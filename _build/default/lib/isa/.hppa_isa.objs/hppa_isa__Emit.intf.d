@@ -1,0 +1,1 @@
+lib/isa/emit.mli: Cond Insn Reg

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Array Cond Insn Int32 List Printf Program Reg Result

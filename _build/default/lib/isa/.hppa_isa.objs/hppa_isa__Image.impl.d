@@ -1,0 +1,1 @@
+lib/isa/image.ml: Array Buffer Bytes Encode Format Insn Int32 Result String

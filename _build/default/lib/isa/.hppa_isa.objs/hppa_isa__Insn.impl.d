@@ -1,0 +1,1 @@
+lib/isa/insn.ml: Cond Format Int32 Printf Reg

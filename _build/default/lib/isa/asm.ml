@@ -1,0 +1,297 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Operand scanning                                                    *)
+
+type operand =
+  | Oreg of Reg.t
+  | Oimm of int32
+  | Osym of string
+  | Oindexed of operand * Reg.t (* disp(base) or x(base) *)
+
+let strip s =
+  let is_space c = c = ' ' || c = '\t' || c = '\r' in
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_space s.[!i] do incr i done;
+  while !j >= !i && is_space s.[!j] do decr j done;
+  String.sub s !i (!j - !i + 1)
+
+let split_operands s =
+  (* split on top-level commas; parentheses never nest *)
+  let parts = ref [] and buf = Buffer.create 16 in
+  String.iter
+    (fun c ->
+      if c = ',' then (
+        parts := Buffer.contents buf :: !parts;
+        Buffer.clear buf)
+      else Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map strip !parts |> List.filter (fun p -> p <> "")
+
+let parse_imm s =
+  match Int32.of_string_opt s with
+  | Some v -> Some v
+  | None -> (
+      (* Int32.of_string already handles 0x/0o/0b and negatives; also accept
+         unsigned hex that overflows the signed range, e.g. 0xffffffff. *)
+      match Int64.of_string_opt s with
+      | Some v when v >= 0L && v <= 0xffff_ffffL -> Some (Int64.to_int32 v)
+      | Some _ | None -> None)
+
+let is_ident s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | '$' | '.' -> true | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '$' | '.' -> true
+         | _ -> false)
+       s
+
+let rec parse_operand s =
+  let s = strip s in
+  if s = "" then fail "empty operand"
+  else if s.[String.length s - 1] = ')' then (
+    match String.index_opt s '(' with
+    | None -> fail "unbalanced parenthesis in %S" s
+    | Some i ->
+        let inner = String.sub s (i + 1) (String.length s - i - 2) in
+        let outer = String.sub s 0 i in
+        let base =
+          match Reg.of_name (strip inner) with
+          | Some r -> r
+          | None -> fail "bad base register %S" inner
+        in
+        Oindexed (parse_operand outer, base))
+  else
+    match Reg.of_name s with
+    | Some r -> Oreg r
+    | None -> (
+        match parse_imm s with
+        | Some v -> Oimm v
+        | None ->
+            if is_ident s then Osym s else fail "cannot parse operand %S" s)
+
+let reg = function Oreg r -> r | _ -> fail "expected a register"
+let imm = function Oimm v -> v | _ -> fail "expected an immediate"
+
+let int_op o =
+  let v = imm o in
+  (* Field lengths reach 32; Insn.validate enforces per-field bounds. *)
+  if v < 0l || v > 32l then fail "field value %ld out of 0..32" v
+  else Int32.to_int v
+
+let shift_op o =
+  let v = int_op o in
+  if v > 31 then fail "shift amount %d out of 0..31" v else v
+
+let sym = function
+  | Osym s -> s
+  | Oreg r -> Reg.name r (* a label can collide with a register alias *)
+  | _ -> fail "expected a label"
+
+(* ------------------------------------------------------------------ *)
+(* Instruction parsing                                                 *)
+
+let alu_of_mnemonic = function
+  | "add" -> Some Insn.Add
+  | "addc" -> Some Insn.Addc
+  | "sub" -> Some Insn.Sub
+  | "subb" -> Some Insn.Subb
+  | "sh1add" -> Some (Insn.Shadd 1)
+  | "sh2add" -> Some (Insn.Shadd 2)
+  | "sh3add" -> Some (Insn.Shadd 3)
+  | "and" -> Some Insn.And
+  | "or" -> Some Insn.Or
+  | "xor" -> Some Insn.Xor
+  | "andcm" -> Some Insn.Andcm
+  | _ -> None
+
+let cond_of modifier =
+  match Cond.of_string modifier with
+  | Some c -> c
+  | None -> fail "unknown condition %S" modifier
+
+let parse_insn mnem ops : string Insn.t list =
+  let base, modifiers =
+    match String.split_on_char ',' mnem with
+    | [] -> (mnem, [])
+    | base :: mods -> (base, mods)
+  in
+  (* The trailing ",n" (delay-slot nullify) may follow a condition. *)
+  let nullify_slot, modifiers =
+    match List.rev modifiers with
+    | "n" :: rest -> (true, List.rev rest)
+    | _ -> (false, modifiers)
+  in
+  let modifier =
+    match modifiers with
+    | [] -> None
+    | [ m ] -> Some m
+    | _ -> fail "too many modifiers on %S" mnem
+  in
+  let branch_n () = nullify_slot in
+  let check_no_n () =
+    if nullify_slot then fail "%s does not take ,n" base
+  in
+  let trap_ov () =
+    check_no_n ();
+    match modifier with
+    | Some "o" -> true
+    | Some m -> fail "unknown modifier %S" m
+    | None -> false
+  in
+  let cond () = match modifier with Some m -> cond_of m | None -> fail "%s requires a condition" base in
+  let no_modifier_cond () =
+    match modifier with
+    | Some m -> fail "%s takes no modifier %S" base m
+    | None -> ()
+  in
+  let no_modifier () =
+    check_no_n ();
+    match modifier with Some m -> fail "%s takes no modifier %S" base m | None -> ()
+  in
+  match (alu_of_mnemonic base, ops) with
+  | Some op, [ a; b; t ] ->
+      [ Insn.Alu { op; a = reg a; b = reg b; t = reg t; trap_ov = trap_ov () } ]
+  | Some _, _ -> fail "%s expects 3 register operands" base
+  | None, _ -> (
+      match (base, ops) with
+      | "ds", [ a; b; t ] ->
+          no_modifier ();
+          [ Insn.Ds { a = reg a; b = reg b; t = reg t } ]
+      | "addi", [ i; a; t ] ->
+          [ Insn.Addi { imm = imm i; a = reg a; t = reg t; trap_ov = trap_ov () } ]
+      | "subi", [ i; a; t ] ->
+          [ Insn.Subi { imm = imm i; a = reg a; t = reg t; trap_ov = trap_ov () } ]
+      | "comclr", [ a; b; t ] ->
+          [ Insn.Comclr { cond = cond (); a = reg a; b = reg b; t = reg t } ]
+      | "comiclr", [ i; a; t ] ->
+          [ Insn.Comiclr { cond = cond (); imm = imm i; a = reg a; t = reg t } ]
+      | "extru", [ r; p; l; t ] ->
+          let cond = match modifier with None -> Cond.Never | Some m -> cond_of m in
+          [ Insn.Extr { signed = false; r = reg r; pos = int_op p; len = int_op l; t = reg t; cond } ]
+      | "extrs", [ r; p; l; t ] ->
+          let cond = match modifier with None -> Cond.Never | Some m -> cond_of m in
+          [ Insn.Extr { signed = true; r = reg r; pos = int_op p; len = int_op l; t = reg t; cond } ]
+      | "zdep", [ r; p; l; t ] ->
+          no_modifier ();
+          [ Insn.Zdep { r = reg r; pos = int_op p; len = int_op l; t = reg t } ]
+      | "shl", [ r; k; t ] ->
+          no_modifier ();
+          [ Emit.shl (reg r) (shift_op k) (reg t) ]
+      | "shr", [ r; k; t ] ->
+          no_modifier ();
+          [ Emit.shr_u (reg r) (shift_op k) (reg t) ]
+      | "sar", [ r; k; t ] ->
+          no_modifier ();
+          [ Emit.shr_s (reg r) (shift_op k) (reg t) ]
+      | "shd", [ a; b; sa; t ] ->
+          no_modifier ();
+          [ Insn.Shd { a = reg a; b = reg b; sa = shift_op sa; t = reg t } ]
+      | "ldil", [ i; t ] ->
+          no_modifier ();
+          [ Insn.Ldil { imm = imm i; t = reg t } ]
+      | "ldo", [ Oindexed (d, base); t ] ->
+          no_modifier ();
+          [ Insn.Ldo { imm = imm d; base; t = reg t } ]
+      | "ldi", [ i; t ] ->
+          no_modifier ();
+          Emit.ldi (imm i) (reg t)
+      | "copy", [ a; t ] ->
+          no_modifier ();
+          [ Emit.copy (reg a) (reg t) ]
+      | "ldw", [ Oindexed (d, base); t ] ->
+          no_modifier ();
+          [ Insn.Ldw { disp = imm d; base; t = reg t } ]
+      | "stw", [ r; Oindexed (d, base) ] ->
+          no_modifier ();
+          [ Insn.Stw { r = reg r; disp = imm d; base } ]
+      | "ldaddr", [ s; t ] ->
+          no_modifier ();
+          [ Insn.Ldaddr { target = sym s; t = reg t } ]
+      | "comb", [ a; b; t ] ->
+          [ Insn.Comb { cond = cond (); a = reg a; b = reg b; target = sym t; n = branch_n () } ]
+      | "comib", [ i; a; t ] ->
+          [ Insn.Comib { cond = cond (); imm = imm i; a = reg a; target = sym t; n = branch_n () } ]
+      | "addib", [ i; a; t ] ->
+          [ Insn.Addib { cond = cond (); imm = imm i; a = reg a; target = sym t; n = branch_n () } ]
+      | "b", [ t ] ->
+          no_modifier_cond ();
+          [ Insn.B { target = sym t; n = branch_n () } ]
+      | "bl", [ tgt; t ] ->
+          no_modifier_cond ();
+          [ Insn.Bl { target = sym tgt; t = reg t; n = branch_n () } ]
+      | "blr", [ x; t ] ->
+          no_modifier_cond ();
+          [ Insn.Blr { x = reg x; t = reg t; n = branch_n () } ]
+      | "bv", [ Oindexed (x, base) ] ->
+          no_modifier_cond ();
+          [ Insn.Bv { x = reg x; base; n = branch_n () } ]
+      | "break", [ c ] ->
+          no_modifier ();
+          [ Insn.Break { code = int_op c } ]
+      | "nop", [] ->
+          no_modifier ();
+          [ Insn.Nop ]
+      | _, _ -> fail "unknown instruction %S with %d operand(s)" mnem (List.length ops))
+
+(* ------------------------------------------------------------------ *)
+(* Lines and files                                                     *)
+
+let strip_comment line =
+  let cut = ref (String.length line) in
+  (match String.index_opt line ';' with Some i -> cut := min !cut i | None -> ());
+  (match String.index_opt line '#' with Some i -> cut := min !cut i | None -> ());
+  String.sub line 0 !cut
+
+let parse_line line : Program.item list =
+  let line = strip (strip_comment line) in
+  if line = "" then []
+  else
+    let labels = ref [] in
+    let rest = ref line in
+    let continue = ref true in
+    while !continue do
+      match String.index_opt !rest ':' with
+      | Some i
+        when i > 0
+             && is_ident (String.sub !rest 0 i)
+             && not (String.contains (String.sub !rest 0 i) ' ') ->
+          labels := String.sub !rest 0 i :: !labels;
+          rest := strip (String.sub !rest (i + 1) (String.length !rest - i - 1))
+      | Some _ | None -> continue := false
+    done;
+    let items = List.rev_map (fun l -> Program.Label l) !labels in
+    if !rest = "" then items
+    else
+      let mnem, operand_text =
+        match String.index_opt !rest ' ' with
+        | None -> (!rest, "")
+        | Some i ->
+            ( String.sub !rest 0 i,
+              String.sub !rest (i + 1) (String.length !rest - i - 1) )
+      in
+      let ops = List.map parse_operand (split_operands operand_text) in
+      items @ List.map (fun i -> Program.Insn i) (parse_insn (String.lowercase_ascii mnem) ops)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  try
+    Ok
+      (List.concat
+         (List.mapi
+            (fun idx line ->
+              try parse_line line
+              with Parse_error msg ->
+                fail "line %d: %s" (idx + 1) msg)
+            lines))
+  with Parse_error msg -> Error msg
+
+let parse_exn text =
+  match parse text with Ok p -> p | Error msg -> invalid_arg ("Asm.parse_exn: " ^ msg)
+
+let print src = Format.asprintf "%a@." Program.pp_source src

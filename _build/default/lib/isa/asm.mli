@@ -1,0 +1,25 @@
+(** Two-pass textual assembler.
+
+    Syntax follows the PA-RISC assembler closely: one instruction per line,
+    sources before destination, conditions attached to the mnemonic with a
+    comma, [;] or [#] comments, and [label:] definitions (alone on a line or
+    prefixing an instruction).
+
+    {[
+      ; unsigned divide fragment
+      divu:   comib,=  0, r25, div0   ; trap on zero divisor
+              ds       r19, r25, r19
+              addib,>  -1, r22, divu
+              bv       r0(rp)
+    ]}
+
+    Pseudo-instructions accepted on input: [shl]/[shr]/[sar] (immediate
+    shifts), [copy], and [ldi] (which may expand to an [ldil]/[ldo] pair). *)
+
+val parse : string -> (Program.source, string) result
+(** Parse a whole file; errors carry 1-based line numbers. *)
+
+val parse_exn : string -> Program.source
+
+val print : Program.source -> string
+(** Canonical listing; [parse (print p)] resolves to the same image. *)

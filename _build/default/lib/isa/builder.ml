@@ -1,0 +1,28 @@
+type t = {
+  prefix : string;
+  mutable rev_items : Program.item list;
+  mutable next : int;
+  mutable count : int;
+}
+
+let create ?(prefix = "L") () = { prefix; rev_items = []; next = 0; count = 0 }
+
+let insn b i =
+  b.rev_items <- Program.Insn i :: b.rev_items;
+  b.count <- b.count + 1
+
+let insns b is = List.iter (insn b) is
+let label b l = b.rev_items <- Program.Label l :: b.rev_items
+
+let fresh b stem =
+  let l = Printf.sprintf "%s$%s%d" b.prefix stem b.next in
+  b.next <- b.next + 1;
+  l
+
+let here b =
+  let l = fresh b "here" in
+  label b l;
+  l
+
+let length b = b.count
+let to_source b = List.rev b.rev_items

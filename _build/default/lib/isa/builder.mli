@@ -1,0 +1,24 @@
+(** Imperative program builder used by the code generators.
+
+    Accumulates {!Program.item}s in order and hands out collision-free fresh
+    labels. Each code generator creates one builder per routine. *)
+
+type t
+
+val create : ?prefix:string -> unit -> t
+(** [prefix] namespaces the fresh labels, e.g. ["mulc_10"]. *)
+
+val insn : t -> string Insn.t -> unit
+val insns : t -> string Insn.t list -> unit
+val label : t -> string -> unit
+
+val fresh : t -> string -> string
+(** [fresh b "loop"] returns a unique label such as ["mulc_10$loop3"]. *)
+
+val here : t -> string
+(** Create and place a fresh anonymous label at the current point. *)
+
+val length : t -> int
+(** Instructions emitted so far (labels excluded). *)
+
+val to_source : t -> Program.source

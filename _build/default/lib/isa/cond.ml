@@ -1,0 +1,73 @@
+module Word = Hppa_word.Word
+
+type t =
+  | Never
+  | Always
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Ult
+  | Ule
+  | Ugt
+  | Uge
+  | Odd
+  | Even
+
+let eval c a b =
+  match c with
+  | Never -> false
+  | Always -> true
+  | Eq -> Word.equal a b
+  | Neq -> not (Word.equal a b)
+  | Lt -> Word.lt_s a b
+  | Le -> Word.le_s a b
+  | Gt -> Word.lt_s b a
+  | Ge -> Word.le_s b a
+  | Ult -> Word.lt_u a b
+  | Ule -> Word.le_u a b
+  | Ugt -> Word.lt_u b a
+  | Uge -> Word.le_u b a
+  | Odd -> Word.is_odd (Word.sub a b)
+  | Even -> not (Word.is_odd (Word.sub a b))
+
+let negate = function
+  | Never -> Always
+  | Always -> Never
+  | Eq -> Neq
+  | Neq -> Eq
+  | Lt -> Ge
+  | Ge -> Lt
+  | Le -> Gt
+  | Gt -> Le
+  | Ult -> Uge
+  | Uge -> Ult
+  | Ule -> Ugt
+  | Ugt -> Ule
+  | Odd -> Even
+  | Even -> Odd
+
+let to_string = function
+  | Never -> "never"
+  | Always -> "tr"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Ult -> "<<"
+  | Ule -> "<<="
+  | Ugt -> ">>"
+  | Uge -> ">>="
+  | Odd -> "od"
+  | Even -> "ev"
+
+let all =
+  [ Never; Always; Eq; Neq; Lt; Le; Gt; Ge; Ult; Ule; Ugt; Uge; Odd; Even ]
+
+let of_string s = List.find_opt (fun c -> to_string c = s) all
+let equal (a : t) (b : t) = a = b
+let pp ppf c = Format.pp_print_string ppf (to_string c)

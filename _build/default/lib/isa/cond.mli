@@ -1,0 +1,35 @@
+(** Compare conditions for branches, compare-and-clear and add-and-branch.
+
+    A subset of the PA-RISC condition/negation encodings, covering every
+    condition the paper's routines use (notably [Odd] for the "test for odd"
+    multiplier-bit probe and the unsigned orderings for magnitude tests). *)
+
+type t =
+  | Never
+  | Always
+  | Eq
+  | Neq
+  | Lt (** signed < *)
+  | Le (** signed <= *)
+  | Gt (** signed > *)
+  | Ge (** signed >= *)
+  | Ult (** unsigned < *)
+  | Ule (** unsigned <= *)
+  | Ugt (** unsigned > *)
+  | Uge (** unsigned >= *)
+  | Odd (** low bit of [a - b] (in practice used with b = 0) *)
+  | Even
+
+val eval : t -> Hppa_word.Word.t -> Hppa_word.Word.t -> bool
+(** [eval c a b] — e.g. [eval Lt a b] is the signed test [a < b]. [Odd] and
+    [Even] test the parity of [a - b]. *)
+
+val negate : t -> t
+val to_string : t -> string
+(** Assembler spelling without the leading comma, e.g. ["<"], ["<<="],
+    ["od"]. *)
+
+val of_string : string -> t option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val all : t list

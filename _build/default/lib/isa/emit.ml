@@ -1,0 +1,66 @@
+type reg = Reg.t
+type insn = string Insn.t
+
+let add ?(ov = false) a b t = Insn.Alu { op = Add; a; b; t; trap_ov = ov }
+let addc ?(ov = false) a b t = Insn.Alu { op = Addc; a; b; t; trap_ov = ov }
+let sub ?(ov = false) a b t = Insn.Alu { op = Sub; a; b; t; trap_ov = ov }
+let subb ?(ov = false) a b t = Insn.Alu { op = Subb; a; b; t; trap_ov = ov }
+
+let shadd ?(ov = false) k a b t =
+  Insn.Alu { op = Shadd k; a; b; t; trap_ov = ov }
+
+let and_ a b t = Insn.Alu { op = And; a; b; t; trap_ov = false }
+let or_ a b t = Insn.Alu { op = Or; a; b; t; trap_ov = false }
+let xor a b t = Insn.Alu { op = Xor; a; b; t; trap_ov = false }
+let andcm a b t = Insn.Alu { op = Andcm; a; b; t; trap_ov = false }
+let ds a b t = Insn.Ds { a; b; t }
+let addi ?(ov = false) imm a t = Insn.Addi { imm; a; t; trap_ov = ov }
+let subi ?(ov = false) imm a t = Insn.Subi { imm; a; t; trap_ov = ov }
+let comclr cond a b t = Insn.Comclr { cond; a; b; t }
+let comiclr cond imm a t = Insn.Comiclr { cond; imm; a; t }
+let extru ?(cond = Cond.Never) r ~pos ~len t =
+  Insn.Extr { signed = false; r; pos; len; t; cond }
+
+let extrs ?(cond = Cond.Never) r ~pos ~len t =
+  Insn.Extr { signed = true; r; pos; len; t; cond }
+let zdep r ~pos ~len t = Insn.Zdep { r; pos; len; t }
+
+let shl r k t =
+  assert (k >= 0 && k <= 31);
+  Insn.Zdep { r; pos = k; len = 32 - k; t }
+
+let shr_u r k t =
+  assert (k >= 0 && k <= 31);
+  Insn.Extr { signed = false; r; pos = k; len = 32 - k; t; cond = Cond.Never }
+
+let shr_s r k t =
+  assert (k >= 0 && k <= 31);
+  Insn.Extr { signed = true; r; pos = k; len = 32 - k; t; cond = Cond.Never }
+
+let shd a b sa t = Insn.Shd { a; b; sa; t }
+let ldil imm t = Insn.Ldil { imm; t }
+let ldo imm base t = Insn.Ldo { imm; base; t }
+
+let ldi imm t =
+  if imm >= -8192l && imm <= 8191l then [ ldo imm Reg.r0 t ]
+  else
+    let hi = Int32.logand imm 0xffff_f800l in
+    let lo = Int32.sub imm hi in
+    (* lo is in [0, 0x7ff]; a 14-bit LDO reaches it. *)
+    [ ldil hi t; ldo lo t t ]
+
+let copy a t = ldo 0l a t
+let ldw disp base t = Insn.Ldw { disp; base; t }
+let stw r disp base = Insn.Stw { r; disp; base }
+let ldaddr target t = Insn.Ldaddr { target; t }
+let comb ?(n = false) cond a b target = Insn.Comb { cond; a; b; target; n }
+let comib ?(n = false) cond imm a target = Insn.Comib { cond; imm; a; target; n }
+let addib ?(n = false) cond imm a target = Insn.Addib { cond; imm; a; target; n }
+let b ?(n = false) target = Insn.B { target; n }
+let bl ?(n = false) target t = Insn.Bl { target; t; n }
+let blr ?(n = false) x t = Insn.Blr { x; t; n }
+let bv ?(n = false) x base = Insn.Bv { x; base; n }
+let ret = bv Reg.r0 Reg.rp
+let mret = bv Reg.r0 Reg.mrp
+let break code = Insn.Break { code }
+let nop = Insn.Nop

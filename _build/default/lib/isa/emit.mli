@@ -1,0 +1,75 @@
+(** Shorthand constructors for the instruction set.
+
+    Keeps the hand-written routines and the code generators close to
+    assembler notation: operands appear in PA-RISC order (sources first,
+    destination last). All functions return [string Insn.t] values ready for
+    {!Builder.insn}. *)
+
+type reg = Reg.t
+type insn = string Insn.t
+
+val add : ?ov:bool -> reg -> reg -> reg -> insn
+val addc : ?ov:bool -> reg -> reg -> reg -> insn
+val sub : ?ov:bool -> reg -> reg -> reg -> insn
+val subb : ?ov:bool -> reg -> reg -> reg -> insn
+
+val shadd : ?ov:bool -> int -> reg -> reg -> reg -> insn
+(** [shadd k a b t]: [t := (a << k) + b], [k] in 1..3. *)
+
+val and_ : reg -> reg -> reg -> insn
+val or_ : reg -> reg -> reg -> insn
+val xor : reg -> reg -> reg -> insn
+val andcm : reg -> reg -> reg -> insn
+val ds : reg -> reg -> reg -> insn
+val addi : ?ov:bool -> int32 -> reg -> reg -> insn
+val subi : ?ov:bool -> int32 -> reg -> reg -> insn
+val comclr : Cond.t -> reg -> reg -> reg -> insn
+val comiclr : Cond.t -> int32 -> reg -> reg -> insn
+val extru : ?cond:Cond.t -> reg -> pos:int -> len:int -> reg -> insn
+(** [cond] (default [Never]) nullifies the next instruction when the
+    extracted result satisfies it against zero. *)
+
+val extrs : ?cond:Cond.t -> reg -> pos:int -> len:int -> reg -> insn
+val zdep : reg -> pos:int -> len:int -> reg -> insn
+
+val shl : reg -> int -> reg -> insn
+(** Shift-left-immediate pseudo (a [Zdep]); amount 0..31. *)
+
+val shr_u : reg -> int -> reg -> insn
+(** Logical shift-right pseudo (an [Extru]); amount 0..31. *)
+
+val shr_s : reg -> int -> reg -> insn
+(** Arithmetic shift-right pseudo (an [Extrs]). *)
+
+val shd : reg -> reg -> int -> reg -> insn
+val ldil : int32 -> reg -> insn
+val ldo : int32 -> reg -> reg -> insn
+
+val ldi : int32 -> reg -> insn list
+(** Load a 32-bit constant: one [Ldo] off [r0] when it fits 14 signed bits,
+    otherwise the two-instruction [Ldil]/[Ldo] sequence. *)
+
+val copy : reg -> reg -> insn
+val ldw : int32 -> reg -> reg -> insn
+val stw : reg -> int32 -> reg -> insn
+val ldaddr : string -> reg -> insn
+
+(** Branches take [?n] (default false), the [,n] delay-slot nullify
+    completer (meaningful only on delay-slot machines). *)
+
+val comb : ?n:bool -> Cond.t -> reg -> reg -> string -> insn
+val comib : ?n:bool -> Cond.t -> int32 -> reg -> string -> insn
+val addib : ?n:bool -> Cond.t -> int32 -> reg -> string -> insn
+val b : ?n:bool -> string -> insn
+val bl : ?n:bool -> string -> reg -> insn
+val blr : ?n:bool -> reg -> reg -> insn
+val bv : ?n:bool -> reg -> reg -> insn
+
+val ret : insn
+(** Procedure return: [bv r0 (rp)]. *)
+
+val mret : insn
+(** Millicode return: [bv r0 (mrp)]. *)
+
+val break : int -> insn
+val nop : insn

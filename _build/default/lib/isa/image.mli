@@ -1,0 +1,21 @@
+(** Binary program images.
+
+    A trivial container for encoded programs so the tool chain closes the
+    loop: assemble ([hppa-run]/[Asm]) → encode ({!Encode}) → store →
+    disassemble ([hppa-dis]) → run. Layout: the 5-byte magic ["HPPA1"],
+    a 32-bit big-endian instruction count, then one 32-bit big-endian
+    word per instruction. Symbols are not stored (branch targets are
+    PC-relative in the encoding, so the image is position-independent). *)
+
+val magic : string
+
+val to_bytes : Program.resolved -> (bytes, string) result
+(** Encode and pack; fails on instructions whose fields exceed the binary
+    encoding (see {!Encode.encode}). *)
+
+val of_bytes : bytes -> (int Insn.t array, string) result
+(** Unpack and decode; fails on a bad magic, a truncated image or invalid
+    opcodes. *)
+
+val disassemble : int Insn.t array -> string
+(** A listing with addresses, matching [hppa-dis] output. *)

@@ -1,0 +1,33 @@
+(** Assembly programs: labelled instruction sequences and their resolution
+    to executable images.
+
+    A {!source} program carries symbolic labels; {!resolve} performs the
+    second assembler pass, producing an array of instructions whose branch
+    targets are absolute instruction indices, plus a symbol table used to
+    call entry points and to form vectored-branch table addresses. *)
+
+type item = Label of string | Insn of string Insn.t
+type source = item list
+
+type resolved = private {
+  code : int Insn.t array;
+  symbols : (string, int) Hashtbl.t;
+  names : (int, string) Hashtbl.t; (* first label at each address *)
+}
+
+val resolve : source -> (resolved, string) result
+(** Fails on duplicate labels, undefined targets, or instructions rejected by
+    {!Insn.validate}. *)
+
+val resolve_exn : source -> resolved
+val symbol : resolved -> string -> int option
+val symbol_exn : resolved -> string -> int
+val length : resolved -> int
+
+val concat : source list -> source
+(** Concatenate compilation units (e.g. a program and the millicode library);
+    label clashes surface at {!resolve} time. *)
+
+val pp_source : Format.formatter -> source -> unit
+val pp_resolved : Format.formatter -> resolved -> unit
+(** Disassembly listing with addresses and label comments. *)

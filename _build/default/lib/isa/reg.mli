@@ -1,0 +1,59 @@
+(** General registers of the HP Precision Architecture.
+
+    Thirty-two 32-bit registers, [r0] hardwired to zero (writes are
+    discarded). The conventional software names follow the PA-RISC procedure
+    calling convention; the millicode multiply/divide routines of the paper
+    use [arg0]/[arg1] for operands, [ret0]/[ret1] for results and [mrp] as
+    the millicode return pointer. *)
+
+type t = private int
+
+val of_int : int -> t
+(** Raises [Invalid_argument] unless 0 <= n <= 31. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val r0 : t
+(** Hardwired zero. *)
+
+val rp : t
+(** Return pointer, [r2]. *)
+
+val sp : t
+(** Stack pointer, [r30]. *)
+
+val arg0 : t (** [r26], first argument. *)
+
+val arg1 : t (** [r25], second argument. *)
+
+val arg2 : t (** [r24]. *)
+
+val arg3 : t (** [r23]. *)
+
+val ret0 : t (** [r28], first result. *)
+
+val ret1 : t (** [r29], second result. *)
+
+val mrp : t
+(** Millicode return pointer, [r31]. *)
+
+val t1 : t (** [r1], scratch. *)
+
+val t2 : t (** [r19], scratch. *)
+
+val t3 : t (** [r20], scratch. *)
+
+val t4 : t (** [r21], scratch. *)
+
+val t5 : t (** [r22], scratch. *)
+
+val name : t -> string
+(** Canonical name, ["r5"]. *)
+
+val of_name : string -> t option
+(** Accepts ["rN"] and the conventional aliases above. *)
+
+val pp : Format.formatter -> t -> unit
+val all : t list

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Cond Hppa_word Icache Insn Int32 Int64 List Printf Program Reg Result Stats Trap

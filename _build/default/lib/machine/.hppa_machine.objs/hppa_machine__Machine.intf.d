@@ -1,0 +1,1 @@
+lib/machine/machine.mli: Hppa_word Icache Insn Program Reg Stats Trap

@@ -1,0 +1,37 @@
+type t = {
+  line_words : int;
+  lines : int;
+  tags : int array; (* -1 = invalid *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(line_words = 8) ?(lines = 64) () =
+  if line_words <= 0 || line_words land (line_words - 1) <> 0 then
+    invalid_arg "Icache.create: line_words must be a positive power of two";
+  if lines <= 0 then invalid_arg "Icache.create: lines must be positive";
+  { line_words; lines; tags = Array.make lines (-1); hits = 0; misses = 0 }
+
+let access t pc =
+  let line_addr = pc / t.line_words in
+  let index = line_addr mod t.lines in
+  if t.tags.(index) = line_addr then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.tags.(index) <- line_addr;
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset t =
+  Array.fill t.tags 0 t.lines (-1);
+  t.hits <- 0;
+  t.misses <- 0
+
+let footprint_lines t =
+  Array.fold_left (fun acc tag -> if tag >= 0 then acc + 1 else acc) 0 t.tags

@@ -1,0 +1,30 @@
+(** A direct-mapped instruction cache model.
+
+    §6 motivates squeezing the case table into two-instruction entries "to
+    reduce the algorithm's size (and the instruction cache misses
+    suffered)". This model makes that cost visible: attach one to a
+    machine and every fetch (nullified slots included — they are fetched)
+    is looked up; the bench reports cold-start misses per routine and the
+    effective cycle count under a configurable miss penalty.
+
+    Addresses are instruction indices; a line holds [line_words]
+    instructions and the cache holds [lines] of them, direct-mapped. *)
+
+type t
+
+val create : ?line_words:int -> ?lines:int -> unit -> t
+(** Defaults: 8 instructions per line, 64 lines (a 2 KB cache of 4-byte
+    instructions). [line_words] must be a power of two. *)
+
+val access : t -> int -> bool
+(** Look up (and fill) the line holding this instruction; true on a hit. *)
+
+val hits : t -> int
+val misses : t -> int
+
+val reset : t -> unit
+(** Invalidate contents and zero the counters (a cold start). *)
+
+val footprint_lines : t -> int
+(** Distinct lines currently resident — the routine's cache footprint
+    after a run from cold. *)

@@ -1,0 +1,97 @@
+(** The simulated HP Precision machine.
+
+    State: 32 general registers with [r0] hardwired to zero, the PSW carry
+    bit [C], the divide-step state bit [V], the [COMCLR] nullify flag, a PC
+    in instruction units, and a small byte-addressed word-aligned memory.
+
+    Cost model (see DESIGN.md): every instruction costs one cycle, nullified
+    ones included; dynamic instruction count equals cycles.
+
+    PSW update rules: [ADD]/[ADDC]/[SUB]/[SUBB]/[ADDI]/[SUBI], the
+    [SHxADD] family (carry of the 32-bit addition of the shifted operand)
+    and [DS] write the carry bit ([C]); plain [ADD]/[SUB]/[ADDI]/[SUBI]
+    also clear [V], so
+    [add r0, r0, r0] is the canonical divide-loop initialiser. Shift-and-add,
+    logical, shift and branch instructions leave both bits alone ([ADDIB]
+    included — a documented simplification). [DS] alone writes [V].
+
+    The divide step [DS a, b, t] computes one bit of non-restoring division.
+    The 33-bit partial remainder R is kept as [u32(a) - V*2^32]; the step is
+
+    {v R2 = 2*R + C                  C = incoming dividend bit
+      R' = R2 - u32(b)   if V = 0   (remainder was non-negative)
+         = R2 + u32(b)   if V = 1
+      t := low 32 bits of R';  V := R' < 0;  C := R' >= 0 v}
+
+    so that pairing [ADDC l, l, l] (shift the dividend/quotient window) with
+    [DS h, divisor, h], repeated 32 times, divides a 64-bit dividend exactly
+    as §4 of the paper describes. *)
+
+type t
+
+type outcome =
+  | Halted  (** control returned to the halt sentinel *)
+  | Trapped of Trap.t
+  | Fuel_exhausted
+
+val halt_sentinel : Hppa_word.Word.t
+(** [0xffff_ffff]; a [BV] (or [BLR]) whose target equals this value stops the
+    machine. {!call} plants it in [rp]. *)
+
+val create : ?mem_bytes:int -> ?delay_slots:bool -> Program.resolved -> t
+(** [mem_bytes] defaults to 64 KiB and is rounded up to a word multiple.
+
+    [delay_slots] (default false) selects the real pipeline's branch
+    model: a taken branch transfers control only {e after} the following
+    instruction (the delay slot) executes; the [,n] completer on a branch
+    nullifies the slot when the branch is taken (one cycle, no effect).
+    Code written for the default model must be transformed first — see
+    {!Delay} — or every taken branch will leak its successor. *)
+
+val delay_slots : t -> bool
+
+val program : t -> Program.resolved
+val reset : t -> unit
+(** Zero the registers, PSW bits and statistics (memory is preserved). *)
+
+val get : t -> Reg.t -> Hppa_word.Word.t
+val set : t -> Reg.t -> Hppa_word.Word.t -> unit
+(** Writes to [r0] are discarded, as on the hardware. *)
+
+val carry : t -> bool
+val v_bit : t -> bool
+val pc : t -> int
+val set_pc : t -> int -> unit
+val load_word : t -> int32 -> (Hppa_word.Word.t, Trap.t) result
+val store_word : t -> int32 -> Hppa_word.Word.t -> (unit, Trap.t) result
+val stats : t -> Stats.t
+
+val set_trace : t -> (int -> int Insn.t -> unit) option -> unit
+(** Hook called before each (non-nullified) instruction executes. *)
+
+val set_icache : t -> Icache.t option -> unit
+(** Attach an instruction-cache model: every fetch (nullified slots
+    included) is looked up. Cycle counts are unaffected; miss penalties
+    are applied by the consumer (see the bench's icache experiment). *)
+
+val icache : t -> Icache.t option
+
+val step : t -> (unit, Trap.t) result
+(** Execute one instruction (or consume one nullification slot). *)
+
+val run : ?fuel:int -> t -> outcome
+(** Run from the current PC until halt, trap or [fuel] cycles (default
+    1_000_000). The PC after [Trapped] is the address of the trapping
+    instruction. *)
+
+val call :
+  ?fuel:int -> t -> string -> args:Hppa_word.Word.t list -> outcome
+(** Procedure-call convention: load up to four arguments into
+    [arg0..arg3], set [rp] (and [mrp]) to the halt sentinel, jump to the
+    label, and run. Results are read from [ret0]/[ret1] by the caller.
+    Raises [Invalid_argument] on an unknown label or more than four
+    arguments. *)
+
+val call_cycles :
+  ?fuel:int -> t -> string -> args:Hppa_word.Word.t list -> outcome * int
+(** [call] plus the cycle count of just this call. *)

@@ -1,0 +1,50 @@
+type t = {
+  mutable executed : int;
+  mutable nullified : int;
+  mutable branches_taken : int;
+  histogram : (string, int) Hashtbl.t;
+}
+
+let create () =
+  { executed = 0; nullified = 0; branches_taken = 0; histogram = Hashtbl.create 32 }
+
+let reset t =
+  t.executed <- 0;
+  t.nullified <- 0;
+  t.branches_taken <- 0;
+  Hashtbl.reset t.histogram
+
+let record t ~nullified ~mnemonic =
+  if nullified then t.nullified <- t.nullified + 1
+  else begin
+    t.executed <- t.executed + 1;
+    let prev = Option.value ~default:0 (Hashtbl.find_opt t.histogram mnemonic) in
+    Hashtbl.replace t.histogram mnemonic (prev + 1)
+  end
+
+let record_branch_taken t = t.branches_taken <- t.branches_taken + 1
+let cycles t = t.executed + t.nullified
+let executed t = t.executed
+let nullified t = t.nullified
+let branches_taken t = t.branches_taken
+
+let by_mnemonic t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.histogram []
+  |> List.sort (fun (k1, v1) (k2, v2) ->
+         match compare v2 v1 with 0 -> compare k1 k2 | c -> c)
+
+let diff ~before ~after = cycles after - cycles before
+
+let snapshot t =
+  {
+    executed = t.executed;
+    nullified = t.nullified;
+    branches_taken = t.branches_taken;
+    histogram = Hashtbl.copy t.histogram;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>cycles: %d (executed %d, nullified %d, taken branches %d)"
+    (cycles t) t.executed t.nullified t.branches_taken;
+  List.iter (fun (m, n) -> Format.fprintf ppf "@,  %-12s %d" m n) (by_mnemonic t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,31 @@
+(** Execution statistics.
+
+    The paper's central metric is the dynamic count of single-cycle
+    instructions along the executed path; {!cycles} is that count, with
+    nullified instructions (skipped by [COMCLR]) costing their cycle as on
+    the real pipeline. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val record : t -> nullified:bool -> mnemonic:string -> unit
+val record_branch_taken : t -> unit
+
+val cycles : t -> int
+(** Executed + nullified instructions. *)
+
+val executed : t -> int
+val nullified : t -> int
+val branches_taken : t -> int
+
+val by_mnemonic : t -> (string * int) list
+(** Executed-instruction histogram, most frequent first. *)
+
+val diff : before:t -> after:t -> int
+(** Cycle delta; both arguments may be the same mutable value snapshotted
+    with {!snapshot}. *)
+
+val snapshot : t -> t
+val pp : Format.formatter -> t -> unit

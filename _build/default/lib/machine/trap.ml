@@ -1,0 +1,19 @@
+type t =
+  | Overflow
+  | Break of int
+  | Unaligned of int32
+  | Bad_address of int32
+  | Bad_pc of int
+
+let divide_by_zero_code = 0
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Overflow -> "overflow trap"
+  | Break code -> Printf.sprintf "break trap (code %d)" code
+  | Unaligned a -> Printf.sprintf "unaligned access at 0x%lx" a
+  | Bad_address a -> Printf.sprintf "bad address 0x%lx" a
+  | Bad_pc pc -> Printf.sprintf "bad pc %d" pc
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

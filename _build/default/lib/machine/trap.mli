@@ -1,0 +1,18 @@
+(** Machine traps.
+
+    The architecture of the paper takes traps for signed overflow (the [,o]
+    instruction completers), for the [BREAK] instruction (used by the
+    millicode for division by zero, mirroring the HP convention), and for
+    machine-level errors that a real PSW would turn into interruptions. *)
+
+type t =
+  | Overflow  (** signed overflow from a trapping arithmetic instruction *)
+  | Break of int  (** [BREAK code]; code 0 is the divide-by-zero break *)
+  | Unaligned of int32  (** misaligned word access *)
+  | Bad_address of int32  (** load/store outside memory *)
+  | Bad_pc of int  (** control transfer outside the program image *)
+
+val divide_by_zero_code : int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

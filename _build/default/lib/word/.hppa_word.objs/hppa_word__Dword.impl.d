@@ -1,0 +1,1 @@
+lib/word/dword.ml: Format Int64 Word

@@ -1,0 +1,1 @@
+lib/word/dword.mli: Format Word

@@ -1,0 +1,1 @@
+lib/word/u128.mli: Format

@@ -1,0 +1,1 @@
+lib/word/word.ml: Format Int32 Int64 Printf

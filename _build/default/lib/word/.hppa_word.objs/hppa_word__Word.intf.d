@@ -1,0 +1,1 @@
+lib/word/word.mli: Format

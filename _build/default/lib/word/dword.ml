@@ -1,0 +1,32 @@
+type t = { hi : Word.t; lo : Word.t }
+
+let zero = { hi = 0l; lo = 0l }
+let make ~hi ~lo = { hi; lo }
+let of_word_u w = { hi = 0l; lo = w }
+let of_word_s w = { hi = (if Word.is_neg w then -1l else 0l); lo = w }
+
+let of_int64 x =
+  { hi = Int64.to_int32 (Int64.shift_right_logical x 32); lo = Int64.to_int32 x }
+
+let to_int64 { hi; lo } =
+  Int64.logor (Int64.shift_left (Word.to_int64_u hi) 32) (Word.to_int64_u lo)
+
+let add a b =
+  let lo, carry = Word.add_carry a.lo b.lo ~carry_in:false in
+  let hi, _ = Word.add_carry a.hi b.hi ~carry_in:carry in
+  { hi; lo }
+
+let add_word_u a w = add a (of_word_u w)
+let shl a k = of_int64 (Int64.shift_left (to_int64 a) (k land 63))
+let shr_u a k = of_int64 (Int64.shift_right_logical (to_int64 a) (k land 63))
+
+let sh_add k a b =
+  assert (k >= 0 && k <= 3);
+  add (shl a k) b
+
+let equal a b = Word.equal a.hi b.hi && Word.equal a.lo b.lo
+
+let compare_u a b =
+  match Word.compare_u a.hi b.hi with 0 -> Word.compare_u a.lo b.lo | c -> c
+
+let pp ppf a = Format.fprintf ppf "%lx_%08lx" a.hi a.lo

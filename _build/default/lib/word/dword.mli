@@ -1,0 +1,36 @@
+(** 64-bit double words represented as a (hi, lo) pair of 32-bit words.
+
+    The constant-division derivation (§7 of the paper) manipulates the
+    intermediate product [a*x + b] "in a multiple precision fashion" using two
+    32-bit registers; this module is the reference model for those register
+    pairs, with the same carry-chain structure the generated code uses. *)
+
+type t = { hi : Word.t; lo : Word.t }
+
+val zero : t
+val make : hi:Word.t -> lo:Word.t -> t
+val of_word_u : Word.t -> t
+(** Zero-extend a word. *)
+
+val of_word_s : Word.t -> t
+(** Sign-extend a word. *)
+
+val of_int64 : int64 -> t
+val to_int64 : t -> int64
+
+val add : t -> t -> t
+(** Full 64-bit add implemented as the low-word add producing a carry into
+    the high-word [ADDC] — exactly the two-instruction machine idiom. *)
+
+val add_word_u : t -> Word.t -> t
+val shl : t -> int -> t
+(** Shift left by [0..63]. *)
+
+val shr_u : t -> int -> t
+val sh_add : int -> t -> t -> t
+(** Double-word shift-and-add: [(a << k) + b] for [k] in 0..3, the
+    two-to-four instruction idiom used by Figure 7. *)
+
+val equal : t -> t -> bool
+val compare_u : t -> t -> int
+val pp : Format.formatter -> t -> unit

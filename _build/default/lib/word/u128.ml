@@ -1,0 +1,53 @@
+type t = { hi : int64; lo : int64 }
+
+let zero = { hi = 0L; lo = 0L }
+let of_int64 lo = { hi = 0L; lo }
+
+let add a b =
+  let lo = Int64.add a.lo b.lo in
+  let carry = if Int64.unsigned_compare lo a.lo < 0 then 1L else 0L in
+  { hi = Int64.add (Int64.add a.hi b.hi) carry; lo }
+
+let mul_64_64 x y =
+  (* Schoolbook with 32-bit limbs. *)
+  let mask = 0xffff_ffffL in
+  let xl = Int64.logand x mask and xh = Int64.shift_right_logical x 32 in
+  let yl = Int64.logand y mask and yh = Int64.shift_right_logical y 32 in
+  let ll = Int64.mul xl yl in
+  let lh = Int64.mul xl yh in
+  let hl = Int64.mul xh yl in
+  let hh = Int64.mul xh yh in
+  let mid = Int64.add lh hl in
+  let mid_carry = if Int64.unsigned_compare mid lh < 0 then 0x1_0000_0000L else 0L in
+  let lo = Int64.add ll (Int64.shift_left mid 32) in
+  let lo_carry = if Int64.unsigned_compare lo ll < 0 then 1L else 0L in
+  let hi =
+    Int64.add
+      (Int64.add hh (Int64.shift_right_logical mid 32))
+      (Int64.add mid_carry lo_carry)
+  in
+  { hi; lo }
+
+let shift_right a k =
+  assert (k >= 0 && k < 128);
+  if k = 0 then a
+  else if k < 64 then
+    {
+      hi = Int64.shift_right_logical a.hi k;
+      lo =
+        Int64.logor
+          (Int64.shift_right_logical a.lo k)
+          (Int64.shift_left a.hi (64 - k));
+    }
+  else { hi = 0L; lo = Int64.shift_right_logical a.hi (k - 64) }
+
+let to_int64 a = a.lo
+let fits_int64 a = a.hi = 0L
+
+let compare a b =
+  match Int64.unsigned_compare a.hi b.hi with
+  | 0 -> Int64.unsigned_compare a.lo b.lo
+  | c -> c
+
+let equal a b = a.hi = b.hi && a.lo = b.lo
+let pp ppf a = Format.fprintf ppf "0x%Lx_%016Lx" a.hi a.lo

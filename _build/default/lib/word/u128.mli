@@ -1,0 +1,28 @@
+(** Minimal unsigned 128-bit arithmetic.
+
+    The reciprocal-division derivation (§7) evaluates [(a*x + b) >> s] where
+    [a] may be a 33-bit constant and [x] a full 32-bit dividend, so the exact
+    intermediate needs more than 64 bits. Only the handful of operations that
+    derivation needs are provided. *)
+
+type t = { hi : int64; lo : int64 }
+(** Unsigned value [hi * 2^64 + lo], both limbs interpreted unsigned. *)
+
+val zero : t
+val of_int64 : int64 -> t
+(** Interprets the argument as unsigned. *)
+
+val add : t -> t -> t
+val mul_64_64 : int64 -> int64 -> t
+(** Full unsigned 64x64 -> 128 product. *)
+
+val shift_right : t -> int -> t
+(** Logical; amount in 0..127. *)
+
+val to_int64 : t -> int64
+(** Low 64 bits. *)
+
+val fits_int64 : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,135 @@
+type t = int32
+
+let zero = 0l
+let one = 1l
+let minus_one = -1l
+let min_signed = Int32.min_int
+let max_signed = Int32.max_int
+let max_unsigned = -1l
+let of_int = Int32.of_int
+let to_int_s = Int32.to_int
+let to_int_u w = Int32.to_int w land 0xffff_ffff
+let of_int64 = Int64.to_int32
+let to_int64_u w = Int64.logand (Int64.of_int32 w) 0xffff_ffffL
+let to_int64_s = Int64.of_int32
+let is_neg w = w < 0l
+let is_odd w = Int32.logand w 1l = 1l
+let equal = Int32.equal
+let compare_s = Int32.compare
+let compare_u = Int32.unsigned_compare
+let lt_u a b = compare_u a b < 0
+let le_u a b = compare_u a b <= 0
+let lt_s a b = compare_s a b < 0
+let le_s a b = compare_s a b <= 0
+let add = Int32.add
+let sub = Int32.sub
+let neg = Int32.neg
+
+let add_carry a b ~carry_in =
+  let wide =
+    Int64.add
+      (Int64.add (to_int64_u a) (to_int64_u b))
+      (if carry_in then 1L else 0L)
+  in
+  (Int64.to_int32 wide, Int64.shift_right_logical wide 32 <> 0L)
+
+let sub_borrow a b ~borrow_in =
+  let wide =
+    Int64.sub
+      (Int64.sub (to_int64_u a) (to_int64_u b))
+      (if borrow_in then 1L else 0L)
+  in
+  (Int64.to_int32 wide, wide < 0L)
+
+let add_overflows_s a b =
+  let s = Int32.add a b in
+  (* Overflow iff operands share a sign and the result sign differs. *)
+  Int32.logand (Int32.logxor a b) Int32.min_int = 0l
+  && Int32.logand (Int32.logxor a s) Int32.min_int <> 0l
+
+let sub_overflows_s a b =
+  let d = Int32.sub a b in
+  Int32.logand (Int32.logxor a b) Int32.min_int <> 0l
+  && Int32.logand (Int32.logxor a d) Int32.min_int <> 0l
+
+let abs w = if w < 0l then Int32.neg w else w
+let shl w k = Int32.shift_left w (k land 31)
+let shr_u w k = Int32.shift_right_logical w (k land 31)
+let shr_s w k = Int32.shift_right w (k land 31)
+
+let sh_add k a b =
+  assert (k >= 0 && k <= 3);
+  Int32.add (Int32.shift_left a k) b
+
+let sh_add_overflows k a b =
+  assert (k >= 0 && k <= 3);
+  let wide = Int64.add (Int64.shift_left (to_int64_s a) k) (to_int64_s b) in
+  wide < -0x8000_0000L || wide > 0x7fff_ffffL
+
+let sh_add_overflows_hw k a b =
+  assert (k >= 0 && k <= 3);
+  (* The cheap circuit (§4): perform the plain 32-bit add of the shifted
+     operand and check that the sign of [a], the k bits shifted out of [a],
+     the sign of the shifted operand and the sign of the result all agree
+     with a correct non-overflowing computation. Concretely: the (k+1) top
+     bits of [a] together with the 32-bit add's own signed overflow decide. *)
+  let shifted = Int32.shift_left a k in
+  (* Bits lost by the pre-shift must be copies of the resulting sign bit of
+     the shifted operand, otherwise the shift itself overflowed. *)
+  let top = shr_s a (31 - k) in
+  let shift_ok = top = 0l || top = -1l in
+  (not shift_ok) || add_overflows_s shifted b
+
+let extract_u w ~pos ~len =
+  assert (pos >= 0 && len >= 1 && pos + len <= 32);
+  if len = 32 then w
+  else
+    Int32.logand (shr_u w pos) (Int32.sub (Int32.shift_left 1l len) 1l)
+
+let extract_s w ~pos ~len =
+  assert (pos >= 0 && len >= 1 && pos + len <= 32);
+  Int32.shift_right (Int32.shift_left w (32 - pos - len)) (32 - len)
+
+let deposit v ~into ~pos ~len =
+  assert (pos >= 0 && len >= 1 && pos + len <= 32);
+  let mask =
+    if len = 32 then -1l else Int32.sub (Int32.shift_left 1l len) 1l
+  in
+  let field = Int32.shift_left (Int32.logand v mask) pos in
+  let hole = Int32.lognot (Int32.shift_left mask pos) in
+  Int32.logor (Int32.logand into hole) field
+
+let bit w i =
+  assert (i >= 0 && i <= 31);
+  Int32.logand (shr_u w i) 1l = 1l
+
+let logand = Int32.logand
+let logor = Int32.logor
+let logxor = Int32.logxor
+let lognot = Int32.lognot
+let mul_lo = Int32.mul
+
+let mul_wide_u a b =
+  let p = Int64.mul (to_int64_u a) (to_int64_u b) in
+  (Int64.to_int32 (Int64.shift_right_logical p 32), Int64.to_int32 p)
+
+let mul_wide_s a b =
+  let p = Int64.mul (to_int64_s a) (to_int64_s b) in
+  (Int64.to_int32 (Int64.shift_right_logical p 32), Int64.to_int32 p)
+
+let mul_overflows_s a b =
+  let p = Int64.mul (to_int64_s a) (to_int64_s b) in
+  p < -0x8000_0000L || p > 0x7fff_ffffL
+
+let divmod_u a b =
+  if b = 0l then raise Division_by_zero;
+  (Int32.unsigned_div a b, Int32.unsigned_rem a b)
+
+let divmod_trunc_s a b =
+  if b = 0l then raise Division_by_zero;
+  if a = Int32.min_int && b = -1l then (Int32.min_int, 0l)
+  else (Int32.div a b, Int32.rem a b)
+
+let to_hex w = Printf.sprintf "%lx" w
+let pp ppf w = Format.fprintf ppf "%ld" w
+let pp_hex ppf w = Format.fprintf ppf "%lx" w

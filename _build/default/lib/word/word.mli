@@ -1,0 +1,154 @@
+(** Fixed-width 32-bit machine words.
+
+    The HP Precision Architecture is a 32-bit two's-complement machine. OCaml's
+    native [int] is 63-bit, so every register value in the reproduction is an
+    [Int32.t] and this module supplies the unsigned views, carry/borrow
+    chains, and overflow predicates the simulator and the reference models
+    need.
+
+    Conventions: a word has no intrinsic sign; functions are suffixed with the
+    interpretation they apply ([u] = unsigned, [s] = signed two's complement).
+    Carry/borrow follows the PA-RISC convention: for subtraction the PSW bit
+    stores NOT-borrow, i.e. [1] means no borrow occurred. *)
+
+type t = int32
+
+val zero : t
+val one : t
+val minus_one : t
+
+val min_signed : t
+(** [0x8000_0000], the most negative two's-complement word. *)
+
+val max_signed : t
+(** [0x7fff_ffff]. *)
+
+val max_unsigned : t
+(** [0xffff_ffff] viewed as a word (equal to [minus_one]). *)
+
+(** {1 Conversions} *)
+
+val of_int : int -> t
+(** Truncate an OCaml int to 32 bits. *)
+
+val to_int_s : t -> int
+(** Signed value, in [-2{^31}, 2{^31}). *)
+
+val to_int_u : t -> int
+(** Unsigned value, in [0, 2{^32}). Exact because OCaml ints are 63-bit. *)
+
+val of_int64 : int64 -> t
+val to_int64_u : t -> int64
+val to_int64_s : t -> int64
+
+(** {1 Predicates and comparisons} *)
+
+val is_neg : t -> bool
+val is_odd : t -> bool
+val equal : t -> t -> bool
+val compare_s : t -> t -> int
+val compare_u : t -> t -> int
+val lt_u : t -> t -> bool
+val le_u : t -> t -> bool
+val lt_s : t -> t -> bool
+val le_s : t -> t -> bool
+
+(** {1 Arithmetic with carry and overflow} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+
+val add_carry : t -> t -> carry_in:bool -> t * bool
+(** 32-bit add with carry-in; returns the sum and the carry-out. *)
+
+val sub_borrow : t -> t -> borrow_in:bool -> t * bool
+(** [sub_borrow a b ~borrow_in] computes [a - b - borrow_in]; the returned
+    flag is the PA-RISC NOT-borrow convention inverted back to "borrow
+    happened", i.e. [true] iff the unsigned subtraction wrapped. *)
+
+val add_overflows_s : t -> t -> bool
+(** Signed overflow of [a + b]. *)
+
+val sub_overflows_s : t -> t -> bool
+(** Signed overflow of [a - b]. *)
+
+val abs : t -> t
+(** Two's-complement absolute value; [abs min_signed = min_signed]. *)
+
+(** {1 Shifts and bit fields} *)
+
+val shl : t -> int -> t
+(** Logical shift left; the amount is masked to [0..31]. *)
+
+val shr_u : t -> int -> t
+(** Logical (zero-filling) shift right. *)
+
+val shr_s : t -> int -> t
+(** Arithmetic (sign-filling) shift right. *)
+
+val sh_add : int -> t -> t -> t
+(** [sh_add k a b = (a << k) + b] — the shift-and-add primitive. [k] must be
+    0..3 as on the real pre-shifter. *)
+
+val sh_add_overflows : int -> t -> t -> bool
+(** Exact signed-overflow predicate for [(a << k) + b], computed over the full
+    35-bit value. Used as the reference against the cheap hardware check. *)
+
+val sh_add_overflows_hw : int -> t -> t -> bool
+(** The paper's cheap hardware overflow circuit: a plain 32-bit add is
+    performed and overflow is flagged by comparing the sign bit of [a], the
+    [k] bits shifted out of [a], the sign of the shifted operand, and the
+    sign of the result. Sound for same-sign operands; may differ from
+    {!sh_add_overflows} when operand signs differ (§4 of the paper). *)
+
+val extract_u : t -> pos:int -> len:int -> t
+(** Bits [pos .. pos+len-1] (0 = least significant), zero-extended.
+    Requires [0 <= pos], [1 <= len], [pos + len <= 32]. *)
+
+val extract_s : t -> pos:int -> len:int -> t
+(** Same field, sign-extended from its top bit. *)
+
+val deposit : t -> into:t -> pos:int -> len:int -> t
+(** Insert the low [len] bits of the first argument into [into] at [pos]. *)
+
+val bit : t -> int -> bool
+
+(** {1 Bitwise} *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+(** {1 Wide operations (reference models)} *)
+
+val mul_lo : t -> t -> t
+(** Low 32 bits of the product (same for signed/unsigned). *)
+
+val mul_wide_u : t -> t -> t * t
+(** Unsigned 64-bit product as [(hi, lo)]. *)
+
+val mul_wide_s : t -> t -> t * t
+(** Signed 64-bit product as [(hi, lo)]. *)
+
+val mul_overflows_s : t -> t -> bool
+(** True iff the signed product is not representable in 32 bits. *)
+
+val divmod_u : t -> t -> t * t
+(** Unsigned quotient and remainder. Raises [Division_by_zero]. *)
+
+val divmod_trunc_s : t -> t -> t * t
+(** Signed division truncating toward zero (C / Pascal / Fortran semantics).
+    [divmod_trunc_s min_signed minus_one] wraps to [(min_signed, 0l)].
+    Raises [Division_by_zero]. *)
+
+(** {1 Formatting} *)
+
+val to_hex : t -> string
+(** Lower-case hex without prefix, e.g. ["55555555"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Signed decimal. *)
+
+val pp_hex : Format.formatter -> t -> unit

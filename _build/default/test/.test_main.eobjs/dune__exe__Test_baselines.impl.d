@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Booth Hppa_baselines Hppa_word Int32 List QCheck Shift_sub_div Util

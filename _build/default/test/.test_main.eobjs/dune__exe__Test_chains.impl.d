@@ -1,0 +1,1 @@
+test/test_chains.ml: Alcotest Builder Chain Chain_codegen Chain_rules Chain_search Chain_stats Hppa Hppa_machine Hppa_word Int32 Lazy List Mul_const Printf Program QCheck Reg Util

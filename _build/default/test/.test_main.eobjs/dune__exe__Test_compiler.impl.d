@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Expr Format Hppa Hppa_compiler Hppa_machine Hppa_word Int32 List Loop_ir Lower Lower_loop Printf Program QCheck Reg Strength Util

@@ -1,0 +1,1 @@
+test/test_delay.ml: Alcotest Asm Delay Hppa Hppa_dist Hppa_machine Hppa_word Lazy List Millicode Program Reg Util

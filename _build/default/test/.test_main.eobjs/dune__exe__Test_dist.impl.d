@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Gibson Hppa_dist Hppa_word Int64 List Operand_dist Printf Prng QCheck Trace Util

@@ -1,0 +1,1 @@
+test/test_div.ml: Alcotest Div_const Div_gen Div_magic Div_magic_modern Hppa Hppa_machine Hppa_word Int32 Int64 Lazy List Millicode Printf Program QCheck Reg Util

@@ -1,0 +1,1 @@
+test/test_ext.ml: Alcotest Div_ext Hppa Hppa_machine Hppa_word Int32 Int64 Lazy List Millicode Mul_ext Printf QCheck Reg Util

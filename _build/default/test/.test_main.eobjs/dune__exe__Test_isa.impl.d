@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Bytes Cond Emit Encode Format Hppa Hppa_word Image Insn Int Int32 List Program QCheck Reg Util

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Asm Hppa_machine Hppa_word Program QCheck Reg Util

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_baselines Test_chains Test_compiler Test_delay Test_dist Test_div Test_ext Test_isa Test_machine Test_mul Test_word

@@ -1,0 +1,1 @@
+test/test_mul.ml: Alcotest Hppa Hppa_dist Hppa_machine Hppa_word Int32 Lazy List Mul_model Mul_var Printf Program QCheck Reg Util

@@ -1,0 +1,1 @@
+test/test_word.ml: Alcotest Hppa_word Int64 List Printf QCheck Util

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Hppa_machine Hppa_word Int32 List Printf QCheck QCheck_alcotest Reg

@@ -1,0 +1,86 @@
+(* Tests for the comparison baselines: the Booth multiply-step model and
+   the restoring / non-restoring division algorithms (section 2). *)
+
+module Word = Hppa_word.Word
+open Util
+open Hppa_baselines
+
+let prop_booth_exact =
+  QCheck.Test.make ~name:"Booth radix-4 = full signed product" ~count:3000
+    (QCheck.pair arb_word arb_word) (fun (x, y) ->
+      let hi, lo = Booth.multiply x y in
+      let hi', lo' = Word.mul_wide_s x y in
+      Word.equal hi hi' && Word.equal lo lo')
+
+let test_booth_edges () =
+  List.iter
+    (fun (x, y) ->
+      let hi, lo = Booth.multiply x y in
+      let hi', lo' = Word.mul_wide_s x y in
+      if not (Word.equal hi hi' && Word.equal lo lo') then
+        Alcotest.failf "booth %ld * %ld = (%ld,%ld) want (%ld,%ld)" x y hi lo hi' lo')
+    [
+      (0l, 0l); (1l, -1l); (Int32.min_int, Int32.min_int);
+      (Int32.min_int, -1l); (Int32.max_int, Int32.max_int);
+      (Int32.min_int, Int32.max_int); (-3l, 7l); (0x55555555l, 0x33333333l);
+    ]
+
+let test_booth_cycle_model () =
+  Alcotest.(check int) "16 steps" 16 Booth.steps;
+  Alcotest.(check int) "20-cycle model" 20 (Booth.cycles ())
+
+let prop_restoring =
+  QCheck.Test.make ~name:"restoring division correct" ~count:3000
+    (QCheck.pair arb_word arb_word) (fun (x, y) ->
+      QCheck.assume (not (Word.equal y 0l));
+      let r = Shift_sub_div.restoring x y in
+      let q', r' = Word.divmod_u x y in
+      Word.equal r.quotient q' && Word.equal r.remainder r')
+
+let prop_non_restoring =
+  QCheck.Test.make ~name:"non-restoring division correct" ~count:3000
+    (QCheck.pair arb_word arb_word) (fun (x, y) ->
+      QCheck.assume (not (Word.equal y 0l));
+      let r = Shift_sub_div.non_restoring x y in
+      let q', r' = Word.divmod_u x y in
+      Word.equal r.quotient q' && Word.equal r.remainder r')
+
+let prop_op_counts =
+  (* The paper: restoring may need an add AND a subtract per bit;
+     non-restoring exactly one per bit (+ a final correction). *)
+  QCheck.Test.make ~name:"operation-count claims of section 2" ~count:2000
+    (QCheck.pair arb_word arb_word) (fun (x, y) ->
+      QCheck.assume (not (Word.equal y 0l));
+      let r = Shift_sub_div.restoring x y in
+      let n = Shift_sub_div.non_restoring x y in
+      r.add_sub_ops >= 32
+      && r.add_sub_ops <= 64
+      && (n.add_sub_ops = 32 || n.add_sub_ops = 33)
+      && n.add_sub_ops <= r.add_sub_ops)
+
+let test_division_by_zero () =
+  Alcotest.check_raises "restoring /0" Division_by_zero (fun () ->
+      ignore (Shift_sub_div.restoring 1l 0l));
+  Alcotest.check_raises "non-restoring /0" Division_by_zero (fun () ->
+      ignore (Shift_sub_div.non_restoring 1l 0l))
+
+let test_worst_case_restoring () =
+  (* All-ones dividend by 1: every trial subtraction succeeds. *)
+  let r = Shift_sub_div.restoring (-1l) 1l in
+  Alcotest.(check int) "no restores needed" 32 r.add_sub_ops;
+  (* Dividend 0 by big divisor: every trial fails and restores. *)
+  let r = Shift_sub_div.restoring 0l 12345l in
+  Alcotest.(check int) "all restores" 64 r.add_sub_ops
+
+let suite =
+  [
+    ( "baselines:unit",
+      [
+        Alcotest.test_case "booth edges" `Quick test_booth_edges;
+        Alcotest.test_case "booth cycle model" `Quick test_booth_cycle_model;
+        Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+        Alcotest.test_case "restoring worst cases" `Quick test_worst_case_restoring;
+      ] );
+    qsuite "baselines:props"
+      [ prop_booth_exact; prop_restoring; prop_non_restoring; prop_op_counts ];
+  ]

@@ -1,0 +1,220 @@
+(* Delay-slot mode: semantics preservation of the Delay transforms over
+   the entire millicode library, plus targeted slot behaviour. *)
+
+module Word = Hppa_word.Word
+module Machine = Hppa_machine.Machine
+module Trap = Hppa_machine.Trap
+open Util
+open Hppa
+
+let baseline = lazy (Millicode.machine ())
+
+let naive_machine =
+  lazy
+    (Machine.create ~delay_slots:true
+       (Program.resolve_exn (Delay.naive Millicode.source)))
+
+let scheduled_machine =
+  lazy
+    (Machine.create ~delay_slots:true
+       (Program.resolve_exn (Delay.schedule Millicode.source)))
+
+type result = Value of Word.t * Word.t | Trapped of Trap.t | Failed
+
+let call mach entry args =
+  match Machine.call mach entry ~args with
+  | Machine.Halted -> Value (Machine.get mach Reg.ret0, Machine.get mach Reg.ret1)
+  | Machine.Trapped t -> Trapped t
+  | Machine.Fuel_exhausted -> Failed
+
+let call_cycles mach entry args =
+  let before = Hppa_machine.Stats.cycles (Machine.stats mach) in
+  let r = call mach entry args in
+  (r, Hppa_machine.Stats.cycles (Machine.stats mach) - before)
+
+(* Entries exercised with arguments valid for each of them. *)
+let cases g =
+  let w () = Hppa_dist.Prng.word g in
+  let nonzero () =
+    let v = w () in
+    if Word.equal v 0l then 1l else v
+  in
+  [
+    ("mul_naive", [ w (); w () ]);
+    ("mul_nibble", [ w (); w () ]);
+    ("mul_switch", [ w (); w () ]);
+    ("mul_final", [ w (); w () ]);
+    ("mulo", [ w (); w () ]);
+    ("mulU64", [ w (); w () ]);
+    ("mulI64", [ w (); w () ]);
+    ("divU", [ w (); nonzero () ]);
+    ("divI", [ w (); nonzero () ]);
+    ("remU", [ w (); nonzero () ]);
+    ("remI", [ w (); nonzero () ]);
+    ("divU_small", [ w (); Hppa_dist.Operand_dist.small_divisor g ]);
+    ("divI_small", [ w (); Hppa_dist.Operand_dist.small_divisor g ]);
+    ("divU64", [ 2l; w (); 7l ]);
+    ("divI64", [ -2l; w (); 7l ]);
+  ]
+
+let test_all_entries_agree () =
+  let g = Hppa_dist.Prng.create 0xDE1A5L in
+  for _ = 1 to 200 do
+    List.iter
+      (fun (entry, args) ->
+        let r0 = call (Lazy.force baseline) entry args in
+        let r1 = call (Lazy.force naive_machine) entry args in
+        let r2 = call (Lazy.force scheduled_machine) entry args in
+        if not (r0 = r1 && r1 = r2) then
+          Alcotest.failf "%s diverges across pipeline models" entry)
+      (cases g)
+  done
+
+let test_cycle_ordering () =
+  (* Scheduled code never costs more than naive ,n code, and naive costs
+     at most one extra cycle per taken branch over the ideal model. *)
+  let g = Hppa_dist.Prng.create 0xC0DE5L in
+  for _ = 1 to 100 do
+    List.iter
+      (fun (entry, args) ->
+        let r0, c0 = call_cycles (Lazy.force baseline) entry args in
+        let _, c1 = call_cycles (Lazy.force naive_machine) entry args in
+        let _, c2 = call_cycles (Lazy.force scheduled_machine) entry args in
+        match r0 with
+        | Value _ ->
+            if not (c0 <= c2 && c2 <= c1) then
+              Alcotest.failf "%s: cycle order violated (%d / %d / %d)" entry c0
+                c2 c1
+        | Trapped _ | Failed -> ())
+      (cases g)
+  done
+
+let test_slot_executes () =
+  (* The canonical demonstration: without ,n the instruction after a taken
+     branch executes. *)
+  let src =
+    Asm.parse_exn
+      {| main:  ldi 1, ret0
+                b done
+                ldi 2, ret0        ; delay slot: executes!
+                ldi 3, ret0
+         done:  bv,n r0(rp) |}
+  in
+  let mach = Machine.create ~delay_slots:true (Program.resolve_exn src) in
+  (match Machine.call mach "main" ~args:[] with
+  | Machine.Halted -> Alcotest.check word "slot executed" 2l (Machine.get mach Reg.ret0)
+  | _ -> Alcotest.fail "halt expected");
+  (* Same program on the simple model would be wrong — which is why the
+     Delay transforms exist. *)
+  let mach = Machine.create (Program.resolve_exn src) in
+  (match Machine.call mach "main" ~args:[] with
+  | Machine.Halted -> Alcotest.check word "simple model skips" 1l (Machine.get mach Reg.ret0)
+  | _ -> Alcotest.fail "halt expected")
+
+let test_nullified_slot () =
+  let src =
+    Asm.parse_exn
+      {| main:  ldi 1, ret0
+                b,n done
+                ldi 2, ret0        ; nullified slot
+         done:  bv,n r0(rp) |}
+  in
+  let mach = Machine.create ~delay_slots:true (Program.resolve_exn src) in
+  (match Machine.call mach "main" ~args:[] with
+  | Machine.Halted -> Alcotest.check word "slot nullified" 1l (Machine.get mach Reg.ret0)
+  | _ -> Alcotest.fail "halt expected");
+  (* Both nullified slots cost their cycle (the return's slot lies past
+     the image end and is charged as a virtual nullified fetch). *)
+  Alcotest.(check int) "cycles" 5
+    (Hppa_machine.Stats.cycles (Machine.stats mach))
+
+let test_untaken_branch_slot_is_normal () =
+  let src =
+    Asm.parse_exn
+      {| main:  comib,= 0, arg0, skip   ; not taken for arg0 = 5
+                ldi 7, ret0
+                bv,n r0(rp)
+         skip:  ldi 9, ret0
+                bv,n r0(rp) |}
+  in
+  let mach = Machine.create ~delay_slots:true (Program.resolve_exn src) in
+  (match Machine.call mach "main" ~args:[ 5l ] with
+  | Machine.Halted -> Alcotest.check word "fallthrough" 7l (Machine.get mach Reg.ret0)
+  | _ -> Alcotest.fail "halt expected");
+  match Machine.call mach "main" ~args:[ 0l ] with
+  | Machine.Halted -> Alcotest.check word "taken" 9l (Machine.get mach Reg.ret0)
+  | _ -> Alcotest.fail "halt expected"
+
+let test_bl_links_past_slot () =
+  let src =
+    Asm.parse_exn
+      {| main:  bl sub1, mrp
+                ldi 5, r4          ; slot: runs before the callee
+                addi 1, ret0, ret0 ; return point
+                bv,n r0(rp)
+         sub1:  copy r4, ret0
+                bv,n r0(mrp) |}
+  in
+  let mach = Machine.create ~delay_slots:true (Program.resolve_exn src) in
+  match Machine.call mach "main" ~args:[] with
+  | Machine.Halted -> Alcotest.check word "5 + 1" 6l (Machine.get mach Reg.ret0)
+  | _ -> Alcotest.fail "halt expected"
+
+let test_scheduler_fills () =
+  (* A typical tail: the add moves into the return's slot. *)
+  let src =
+    Asm.parse_exn
+      {| f:  add arg0, arg1, ret0
+            bv r0(rp) |}
+  in
+  let scheduled = Delay.schedule src in
+  let st = Delay.stats_of scheduled in
+  Alcotest.(check int) "one branch" 1 st.Delay.branches;
+  Alcotest.(check int) "filled" 1 st.Delay.filled;
+  let mach = Machine.create ~delay_slots:true (Program.resolve_exn scheduled) in
+  match Machine.call mach "f" ~args:[ 30l; 12l ] with
+  | Machine.Halted -> Alcotest.check word "sum" 42l (Machine.get mach Reg.ret0)
+  | _ -> Alcotest.fail "halt expected"
+
+let test_scheduler_respects_dependences () =
+  (* The branch reads what the candidate writes: must not fill. *)
+  let src =
+    Asm.parse_exn
+      {| f:  addi 1, arg0, arg0
+            comib,= 0, arg0, zero
+            ldi 1, ret0
+            bv,n r0(rp)
+         zero: ldi 2, ret0
+            bv,n r0(rp) |}
+  in
+  let scheduled = Delay.schedule src in
+  let mach = Machine.create ~delay_slots:true (Program.resolve_exn scheduled) in
+  (match Machine.call mach "f" ~args:[ -1l ] with
+  | Machine.Halted -> Alcotest.check word "incremented then tested" 2l (Machine.get mach Reg.ret0)
+  | _ -> Alcotest.fail "halt expected");
+  match Machine.call mach "f" ~args:[ 5l ] with
+  | Machine.Halted -> Alcotest.check word "fallthrough" 1l (Machine.get mach Reg.ret0)
+  | _ -> Alcotest.fail "halt expected"
+
+let test_scheduler_fill_rate () =
+  let st = Delay.stats_of (Delay.schedule Millicode.source) in
+  let rate = float_of_int st.Delay.filled /. float_of_int st.Delay.branches in
+  if rate < 0.25 then
+    Alcotest.failf "fill rate %.2f too low (%d of %d)" rate st.Delay.filled
+      st.Delay.branches
+
+let suite =
+  [
+    ( "delay:unit",
+      [
+        Alcotest.test_case "all entries agree" `Slow test_all_entries_agree;
+        Alcotest.test_case "cycle ordering" `Slow test_cycle_ordering;
+        Alcotest.test_case "slot executes" `Quick test_slot_executes;
+        Alcotest.test_case "nullified slot" `Quick test_nullified_slot;
+        Alcotest.test_case "untaken branch slot" `Quick test_untaken_branch_slot_is_normal;
+        Alcotest.test_case "bl links past slot" `Quick test_bl_links_past_slot;
+        Alcotest.test_case "scheduler fills" `Quick test_scheduler_fills;
+        Alcotest.test_case "scheduler dependences" `Quick test_scheduler_respects_dependences;
+        Alcotest.test_case "millicode fill rate" `Quick test_scheduler_fill_rate;
+      ] );
+  ]

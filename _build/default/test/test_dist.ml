@@ -1,0 +1,159 @@
+(* Tests for the workload substrate: PRNG, operand distributions, trace
+   analysis, and the Gibson-mix cost model. *)
+
+module Word = Hppa_word.Word
+open Util
+open Hppa_dist
+
+let test_prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for i = 0 to 99 do
+    if not (Int64.equal (Prng.next64 a) (Prng.next64 b)) then
+      Alcotest.failf "streams diverge at %d" i
+  done;
+  let c = Prng.create 43L in
+  Alcotest.(check bool) "different seeds differ" true
+    (Prng.next64 (Prng.create 42L) <> Prng.next64 c)
+
+let test_prng_copy () =
+  let a = Prng.create 7L in
+  ignore (Prng.next64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues the stream" (Prng.next64 a) (Prng.next64 b)
+
+let prop_int_range =
+  QCheck.Test.make ~name:"int_range stays in bounds" ~count:1000
+    (QCheck.pair QCheck.small_int QCheck.small_int) (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let g = Prng.create (Int64.of_int (a + (b * 1000))) in
+      let v = Prng.int_range g lo hi in
+      v >= lo && v <= hi)
+
+let test_prng_float01_bounds () =
+  let g = Prng.create 1L in
+  for _ = 1 to 1000 do
+    let f = Prng.float01 g in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float01 out of range: %f" f
+  done
+
+let test_log_uniform_shape () =
+  (* Bit lengths should be roughly uniform: small values must be common
+     (unlike a uniform 32-bit draw). *)
+  let g = Prng.create 2L in
+  let small = ref 0 and n = 20000 in
+  for _ = 1 to n do
+    if Word.lt_u (Operand_dist.log_uniform g) 0x10000l then incr small
+  done;
+  let frac = float_of_int !small /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "P(<2^16) = %.2f near 1/2" frac) true
+    (frac > 0.4 && frac < 0.65)
+
+let test_figure5_pair_invariants () =
+  let g = Prng.create 3L in
+  for _ = 1 to 20000 do
+    let x, y = Operand_dist.figure5_pair g in
+    if Word.mul_overflows_s x y then
+      Alcotest.failf "pair overflows: %ld * %ld" x y;
+    match Operand_dist.bucket_of_pair x y with
+    | Some _ -> ()
+    | None -> Alcotest.failf "pair outside buckets: %ld %ld" x y
+  done
+
+let test_figure5_bucket_weights () =
+  let g = Prng.create 4L in
+  let counts = Array.make 4 0 in
+  let n = 40000 in
+  for _ = 1 to n do
+    let x, y = Operand_dist.figure5_pair g in
+    match Operand_dist.bucket_of_pair x y with
+    | Some b ->
+        List.iteri
+          (fun i b' -> if b == b' then counts.(i) <- counts.(i) + 1)
+          Operand_dist.figure5_buckets
+    | None -> ()
+  done;
+  (* 60/20/10/10 within generous tolerance. *)
+  List.iteri
+    (fun i (b : Operand_dist.bucket) ->
+      let frac = float_of_int counts.(i) /. float_of_int n in
+      if abs_float (frac -. b.weight) > 0.06 then
+        Alcotest.failf "bucket %d-%d: %.3f vs %.2f" b.lo b.hi frac b.weight)
+    Operand_dist.figure5_buckets
+
+let test_positive_fraction () =
+  let g = Prng.create 5L in
+  let pos = ref 0 and n = 20000 in
+  for _ = 1 to n do
+    let x, y = Operand_dist.figure5_pair g in
+    if not (Word.is_neg x || Word.is_neg y) then incr pos
+  done;
+  let frac = float_of_int !pos /. float_of_int n in
+  (* 90 % forced positive plus a quarter of the random-sign remainder. *)
+  Alcotest.(check bool) (Printf.sprintf "both-positive %.2f" frac) true
+    (frac > 0.87 && frac < 0.97)
+
+let test_trace_reproduces_section3 () =
+  let g = Prng.create 6L in
+  let events = Trace.generate g ~n:20000 in
+  let s = Trace.analyze events in
+  (* The section 3 bullets, as tolerances. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "constant operand %.1f%% ~ 91%%" s.const_operand_pct)
+    true
+    (abs_float (s.const_operand_pct -. 91.0) < 2.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "min<16 %.1f%% > 50%%" s.min_operand_lt16_pct)
+    true
+    (s.min_operand_lt16_pct > 50.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "both positive %.1f%% ~ 90%%" s.both_positive_pct)
+    true
+    (abs_float (s.both_positive_pct -. 92.0) < 6.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "small divisors %.1f%%" s.small_divisor_pct)
+    true
+    (s.small_divisor_pct > 60.0)
+
+let test_gibson_numbers () =
+  Alcotest.(check (float 1e-9)) "gibson multiply" 0.006 Gibson.gibson.multiply_freq;
+  Alcotest.(check (float 1e-9)) "gibson divide" 0.002 Gibson.gibson.divide_freq;
+  (* Unit costs give CPI 1. *)
+  Alcotest.(check (float 1e-9)) "unit cpi" 1.0
+    (Gibson.cpi Gibson.gibson ~mul_cycles:1.0 ~div_cycles:1.0);
+  (* The paper's software costs barely dent whole-program CPI under the
+     Gibson mix... *)
+  let soft = Gibson.cpi Gibson.gibson ~mul_cycles:20.0 ~div_cycles:80.0 in
+  Alcotest.(check bool) (Printf.sprintf "cpi %.3f < 1.3" soft) true (soft < 1.3);
+  (* ...but a naive 168-cycle multiply would hurt a multiply-heavy mix. *)
+  let naive = Gibson.cpi Gibson.multiply_heavy ~mul_cycles:168.0 ~div_cycles:200.0 in
+  Alcotest.(check bool) (Printf.sprintf "naive cpi %.2f > 4" naive) true (naive > 4.0)
+
+let test_relative_speed_monotone () =
+  let s =
+    Gibson.relative_speed Gibson.multiply_heavy ~baseline:(168.0, 108.0)
+      ~candidate:(20.0, 40.0)
+  in
+  Alcotest.(check bool) (Printf.sprintf "speedup %.2f > 1" s) true (s > 1.0);
+  let s' =
+    Gibson.relative_speed Gibson.multiply_heavy ~baseline:(20.0, 40.0)
+      ~candidate:(20.0, 40.0)
+  in
+  Alcotest.(check (float 1e-9)) "identity" 1.0 s'
+
+let suite =
+  [
+    ( "dist:unit",
+      [
+        Alcotest.test_case "prng deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "prng copy" `Quick test_prng_copy;
+        Alcotest.test_case "float01 bounds" `Quick test_prng_float01_bounds;
+        Alcotest.test_case "log-uniform shape" `Quick test_log_uniform_shape;
+        Alcotest.test_case "figure5 invariants" `Quick test_figure5_pair_invariants;
+        Alcotest.test_case "figure5 weights" `Quick test_figure5_bucket_weights;
+        Alcotest.test_case "positive fraction" `Quick test_positive_fraction;
+        Alcotest.test_case "trace section 3" `Quick test_trace_reproduces_section3;
+        Alcotest.test_case "gibson numbers" `Quick test_gibson_numbers;
+        Alcotest.test_case "relative speed" `Quick test_relative_speed_monotone;
+      ] );
+    qsuite "dist:props" [ prop_int_range ];
+  ]

@@ -1,0 +1,395 @@
+(* Tests for division (section 7): the DS millicode, the derived method
+   for constants, the small-divisor dispatch and the modern-magic
+   ablation. *)
+
+module Word = Hppa_word.Word
+module Machine = Hppa_machine.Machine
+module Trap = Hppa_machine.Trap
+open Util
+open Hppa
+
+let mach = lazy (Millicode.machine ())
+
+(* ------------------------------------------------------------------ *)
+(* General-purpose millicode                                           *)
+
+let divide entry x y =
+  let m = Lazy.force mach in
+  match Machine.call m entry ~args:[ x; y ] with
+  | Machine.Halted -> Ok (Machine.get m Reg.ret0, Machine.get m Reg.ret1)
+  | Machine.Trapped t -> Error t
+  | Machine.Fuel_exhausted -> Error (Trap.Break 31)
+
+let edge =
+  [
+    0l; 1l; -1l; 2l; -2l; 3l; 7l; 10l; 60l; 0xFFFFl; 0x10000l; 0x7fffffffl;
+    0x80000000l; 0x80000001l; 0xfffffffel; 0xffffffffl;
+  ]
+
+let test_divu_edges () =
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          match divide "divU" x y with
+          | Error (Trap.Break 0) when Word.equal y 0l -> ()
+          | Error t -> Alcotest.failf "divU %ld %ld: %s" x y (Trap.to_string t)
+          | Ok (q, r) ->
+              let q', r' = Word.divmod_u x y in
+              if not (Word.equal q q' && Word.equal r r') then
+                Alcotest.failf "divU %ld/%ld = (%ld, %ld) want (%ld, %ld)" x y q r q' r')
+        edge)
+    edge
+
+let test_divi_edges () =
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          match divide "divI" x y with
+          | Error (Trap.Break 0) when Word.equal y 0l -> ()
+          | Error t -> Alcotest.failf "divI %ld %ld: %s" x y (Trap.to_string t)
+          | Ok (q, r) ->
+              let q', r' = Word.divmod_trunc_s x y in
+              if not (Word.equal q q' && Word.equal r r') then
+                Alcotest.failf "divI %ld/%ld = (%ld, %ld) want (%ld, %ld)" x y q r q' r')
+        edge)
+    edge
+
+let prop_div_entry entry signed rem =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s agrees with the reference" entry)
+    ~count:2000 (QCheck.pair arb_word arb_word) (fun (x, y) ->
+      QCheck.assume (not (Word.equal y 0l));
+      match divide entry x y with
+      | Error _ -> false
+      | Ok (r0, _) ->
+          let q, r =
+            if signed then Word.divmod_trunc_s x y else Word.divmod_u x y
+          in
+          Word.equal r0 (if rem then r else q))
+
+let test_div_by_zero_breaks () =
+  List.iter
+    (fun entry ->
+      match divide entry 5l 0l with
+      | Error (Trap.Break 0) -> ()
+      | Error t -> Alcotest.failf "%s: wrong trap %s" entry (Trap.to_string t)
+      | Ok _ -> Alcotest.failf "%s: no trap on /0" entry)
+    [ "divU"; "divI"; "remU"; "remI"; "divU_small"; "divI_small" ]
+
+let test_divu_cycles_near_80 () =
+  let m = Lazy.force mach in
+  let _, c = call_cycles_exn m "divU" [ 123456789l; 1097l ] in
+  Alcotest.(check bool) (Printf.sprintf "divU %d cycles ~80" c) true
+    (c >= 70 && c <= 90);
+  let _, c = call_cycles_exn m "divI" [ -123456789l; 1097l ] in
+  Alcotest.(check bool) (Printf.sprintf "divI %d cycles ~80-90" c) true
+    (c >= 70 && c <= 95)
+
+(* ------------------------------------------------------------------ *)
+(* The derived method: parameters (Figure 6)                           *)
+
+let test_figure6_exact () =
+  (* The paper's table, row by row. *)
+  let expect =
+    [
+      (3, 32, 1L, 0x55555555L, 0x100000002L);
+      (5, 32, 1L, 0x33333333L, 0x100000004L);
+      (7, 33, 1L, 0x49249249L, 0x200000006L);
+      (9, 35, 5L, 0xE38E38E3L, 0x1999999A7L);
+      (11, 36, 9L, 0x1745D1745L, 0x1C71C71D6L);
+      (13, 35, 7L, 0x9D89D89DL, 0x124924938L);
+      (15, 32, 1L, 0x11111111L, 0x10000000EL);
+      (17, 32, 1L, 0xF0F0F0FL, 0x100000010L);
+      (19, 36, 1L, 0xD79435E5L, 0x1000000012L);
+    ]
+  in
+  List.iter
+    (fun (y, s, r, a, coverage) ->
+      let t = Div_magic.derive (Int32.of_int y) in
+      Alcotest.(check int) (Printf.sprintf "s for %d" y) s t.Div_magic.s;
+      Alcotest.(check int64) (Printf.sprintf "r for %d" y) r t.r;
+      Alcotest.(check int64) (Printf.sprintf "a for %d" y) a t.a;
+      Alcotest.(check int64) (Printf.sprintf "coverage for %d" y) coverage t.coverage)
+    expect
+
+let test_derive_rejects () =
+  Alcotest.check_raises "even divisor"
+    (Invalid_argument "Div_magic.derive: divisor must be odd and >= 3")
+    (fun () -> ignore (Div_magic.derive 6l));
+  Alcotest.check_raises "one"
+    (Invalid_argument "Div_magic.derive: divisor must be odd and >= 3")
+    (fun () -> ignore (Div_magic.derive 1l))
+
+let prop_derived_eval_exact =
+  QCheck.Test.make
+    ~name:"derived q'(x) truncates to floor(x/y) over the full range"
+    ~count:2000
+    (QCheck.pair (QCheck.map (fun i -> (2 * i) + 3) (QCheck.int_range 0 5000)) arb_word)
+    (fun (y, x) ->
+      let t = Div_magic.derive (Int32.of_int y) in
+      Word.equal (Div_magic.eval t x) (fst (Word.divmod_u x (Int32.of_int y))))
+
+let test_derived_eval_at_coverage_boundaries () =
+  (* The proof guarantees exactness only below (K+1)y; check the last
+     multiples below the boundary for the Figure 6 divisors. *)
+  List.iter
+    (fun t ->
+      let y = Word.to_int64_u t.Div_magic.y in
+      let check (x64 : int64) =
+        if x64 >= 0L && x64 < 0x1_0000_0000L then begin
+          let x = Int64.to_int32 x64 in
+          let q = Div_magic.eval t x in
+          let q' = fst (Word.divmod_u x t.Div_magic.y) in
+          if not (Word.equal q q') then
+            Alcotest.failf "y=%Ld x=%Ld: %ld vs %ld" y x64 q q'
+        end
+      in
+      List.iter check
+        [
+          0L; 1L; Int64.sub y 1L; y; Int64.add y 1L; 0xFFFF_FFFFL;
+          0xFFFF_FFFEL; Int64.sub 0x1_0000_0000L y;
+        ])
+    (Div_magic.figure6 ())
+
+(* ------------------------------------------------------------------ *)
+(* Generated constant-division code                                    *)
+
+let plan_machine (plan : Div_const.plan) =
+  Machine.create
+    (Program.resolve_exn (Program.concat [ plan.source; Div_gen.source ]))
+
+let exercise_plan ~signed y =
+  let y32 = Int32.of_int y in
+  let plan =
+    if signed then Div_const.plan_signed y32 else Div_const.plan_unsigned y32
+  in
+  let m = plan_machine plan in
+  let reference x =
+    if signed then fst (Word.divmod_trunc_s x y32) else fst (Word.divmod_u x y32)
+  in
+  let check x =
+    let got = call_exn m plan.entry [ x ] in
+    if not (Word.equal got (reference x)) then
+      Alcotest.failf "%s x=%ld: got %ld want %ld" plan.entry x got (reference x)
+  in
+  for k = 0 to 500 do
+    let x = Int32.mul (Int32.of_int k) y32 in
+    check x;
+    check (Int32.add x 1l);
+    check (Int32.sub x 1l)
+  done;
+  List.iter check
+    [ 0l; 1l; -1l; Int32.max_int; Int32.min_int; Int32.add Int32.min_int 1l;
+      0x12345678l; -0x12345678l ]
+
+let test_unsigned_plans_small () =
+  for y = 1 to 40 do
+    exercise_plan ~signed:false y
+  done
+
+let test_signed_plans_small () =
+  for y = 1 to 40 do
+    exercise_plan ~signed:true y;
+    exercise_plan ~signed:true (-y)
+  done
+
+let test_plans_interesting () =
+  List.iter
+    (fun y -> exercise_plan ~signed:false y)
+    [ 60; 100; 255; 256; 257; 641; 1000; 4095; 4096; 65535; 65537; 1000000007 ];
+  List.iter
+    (fun y -> exercise_plan ~signed:true y)
+    [ 60; -60; 255; -257; 1000; 4096; -4096; 1000000007 ]
+
+let prop_random_divisor_plans =
+  QCheck.Test.make ~name:"plans for random divisors" ~count:60
+    (QCheck.pair (QCheck.int_range 2 2_000_000) arb_word) (fun (y, x) ->
+      let y32 = Int32.of_int y in
+      let plan_u = Div_const.plan_unsigned y32 in
+      let m = plan_machine plan_u in
+      let ok_u = Word.equal (call_exn m plan_u.entry [ x ]) (fst (Word.divmod_u x y32)) in
+      let plan_i = Div_const.plan_signed y32 in
+      let m = plan_machine plan_i in
+      let ok_i =
+        Word.equal (call_exn m plan_i.entry [ x ]) (fst (Word.divmod_trunc_s x y32))
+      in
+      ok_u && ok_i)
+
+let test_paper_division_by_3_cost () =
+  (* Figure 7: 17 instructions for /3 (we are within a few of that, and
+     far below the ~76-cycle general divide). *)
+  let plan = Div_const.plan_unsigned 3l in
+  let m = plan_machine plan in
+  let _, c = call_cycles_exn m plan.entry [ 1000000l ] in
+  Alcotest.(check bool) (Printf.sprintf "div by 3 takes %d cycles" c) true
+    (c >= 15 && c <= 26);
+  (* Paper: "a factor of 3.5 times better than the general purpose
+     algorithm". *)
+  let m2 = Lazy.force mach in
+  let _, general = call_cycles_exn m2 "divU" [ 1000000l; 3l ] in
+  Alcotest.(check bool)
+    (Printf.sprintf "speedup %d/%d >= 3x" general c)
+    true
+    (general >= 3 * c)
+
+let test_signed_pow2_costs () =
+  (* Section 7: signed division by small powers of two takes 3
+     instructions, large ones 4. *)
+  let count k =
+    let plan = Div_const.plan_signed (Int32.shift_left 1l k) in
+    plan.Div_const.static_instructions
+  in
+  Alcotest.(check int) "2^3 signed" 3 (count 3);
+  Alcotest.(check int) "2^10 signed" 3 (count 10);
+  Alcotest.(check int) "2^20 signed" 4 (count 20);
+  Alcotest.(check int) "2^30 signed" 4 (count 30)
+
+let test_y11_falls_back_unsigned_only () =
+  (* The paper's caveat: y = 11 does not fit two words over the full
+     unsigned range, but the signed range shrinks a. *)
+  let u = Div_const.plan_unsigned 11l in
+  Alcotest.(check bool) "unsigned 11 falls back" true (Div_const.needs_millicode u);
+  let s = Div_const.plan_signed 11l in
+  Alcotest.(check bool) "signed 11 uses the reciprocal" false
+    (Div_const.needs_millicode s)
+
+(* ------------------------------------------------------------------ *)
+(* Remainder plans                                                     *)
+
+let exercise_rem_plan ~signed y =
+  let y32 = Int32.of_int y in
+  let plan =
+    if signed then Div_const.plan_rem_signed y32
+    else Div_const.plan_rem_unsigned y32
+  in
+  let m = plan_machine plan in
+  let reference x =
+    if signed then snd (Word.divmod_trunc_s x y32) else snd (Word.divmod_u x y32)
+  in
+  let check x =
+    let got = call_exn m plan.entry [ x ] in
+    if not (Word.equal got (reference x)) then
+      Alcotest.failf "%s x=%ld: got %ld want %ld" plan.entry x got (reference x)
+  in
+  for k = 0 to 300 do
+    let x = Int32.mul (Int32.of_int k) y32 in
+    check x;
+    check (Int32.add x 1l);
+    check (Int32.sub x 1l)
+  done;
+  List.iter check
+    [ 0l; 1l; -1l; Int32.max_int; Int32.min_int; Int32.add Int32.min_int 1l;
+      0x12345678l; -0x12345678l ]
+
+let test_rem_plans () =
+  List.iter
+    (fun y ->
+      exercise_rem_plan ~signed:false y;
+      exercise_rem_plan ~signed:true y;
+      exercise_rem_plan ~signed:true (-y))
+    [ 1; 2; 3; 4; 5; 7; 8; 9; 11; 13; 16; 19; 60; 255; 4096 ]
+
+let test_rem_pow2_is_one_instruction () =
+  let plan = Div_const.plan_rem_unsigned 8l in
+  Alcotest.(check int) "x mod 8 unsigned" 1 plan.Div_const.static_instructions
+
+let prop_rem_random =
+  QCheck.Test.make ~name:"remainder plans for random divisors" ~count:40
+    (QCheck.pair (QCheck.int_range 2 100_000) arb_word) (fun (y, x) ->
+      let y32 = Int32.of_int y in
+      let pu = Div_const.plan_rem_unsigned y32 in
+      let m = plan_machine pu in
+      let ok_u = Word.equal (call_exn m pu.entry [ x ]) (snd (Word.divmod_u x y32)) in
+      let ps = Div_const.plan_rem_signed y32 in
+      let m = plan_machine ps in
+      let ok_s =
+        Word.equal (call_exn m ps.entry [ x ]) (snd (Word.divmod_trunc_s x y32))
+      in
+      ok_u && ok_s)
+
+(* ------------------------------------------------------------------ *)
+(* Small-divisor dispatch                                              *)
+
+let prop_small_dispatch =
+  QCheck.Test.make ~name:"divU_small/divI_small dispatch correctly" ~count:1000
+    (QCheck.pair arb_word (QCheck.int_range 1 25)) (fun (x, y) ->
+      let y32 = Int32.of_int y in
+      match (divide "divU_small" x y32, divide "divI_small" x y32) with
+      | Ok (qu, _), Ok (qi, _) ->
+          Word.equal qu (fst (Word.divmod_u x y32))
+          && Word.equal qi (fst (Word.divmod_trunc_s x y32))
+      | _, _ -> false)
+
+let test_small_dispatch_fast () =
+  let m = Lazy.force mach in
+  let _, c = call_cycles_exn m "divU_small" [ 1000000l; 3l ] in
+  Alcotest.(check bool) (Printf.sprintf "/3 via dispatch: %d cycles" c) true (c <= 36);
+  let _, c = call_cycles_exn m "divI_small" [ -1000000l; 13l ] in
+  Alcotest.(check bool) (Printf.sprintf "/13 via dispatch: %d cycles" c) true (c <= 50)
+
+(* ------------------------------------------------------------------ *)
+(* Modern round-up magic (ablation)                                    *)
+
+let prop_modern_magic =
+  QCheck.Test.make ~name:"round-up magic exact for every divisor" ~count:2000
+    (QCheck.pair (QCheck.int_range 2 1_000_000) arb_word) (fun (d, x) ->
+      let t = Div_magic_modern.derive (Int32.of_int d) in
+      Word.equal (Div_magic_modern.eval t x) (fst (Word.divmod_u x t.Div_magic_modern.d)))
+
+let test_modern_handles_11_fully () =
+  let t = Div_magic_modern.derive 11l in
+  Alcotest.(check bool) "m fits 32 bits" true (not t.Div_magic_modern.add_fixup);
+  List.iter
+    (fun x ->
+      Alcotest.check word
+        (Printf.sprintf "x=%ld" x)
+        (fst (Word.divmod_u x 11l))
+        (Div_magic_modern.eval t x))
+    [ 0l; 10l; 11l; 12l; Int32.max_int; Int32.min_int; -1l ]
+
+let test_modern_known_constants () =
+  (* The compiler-folklore constants. *)
+  let t3 = Div_magic_modern.derive 3l in
+  Alcotest.(check int64) "m for 3" 0xAAAAAAABL t3.Div_magic_modern.m;
+  Alcotest.(check int) "p for 3" 33 t3.p;
+  let t7 = Div_magic_modern.derive 7l in
+  Alcotest.(check bool) "7 needs fixup" true t7.Div_magic_modern.add_fixup
+
+let suite =
+  [
+    ( "div:unit",
+      [
+        Alcotest.test_case "divU edges" `Quick test_divu_edges;
+        Alcotest.test_case "divI edges" `Quick test_divi_edges;
+        Alcotest.test_case "div by zero breaks" `Quick test_div_by_zero_breaks;
+        Alcotest.test_case "divU ~80 cycles" `Quick test_divu_cycles_near_80;
+        Alcotest.test_case "figure 6 exact" `Quick test_figure6_exact;
+        Alcotest.test_case "derive rejects" `Quick test_derive_rejects;
+        Alcotest.test_case "coverage boundaries" `Quick test_derived_eval_at_coverage_boundaries;
+        Alcotest.test_case "unsigned plans 1..40" `Slow test_unsigned_plans_small;
+        Alcotest.test_case "signed plans 1..40" `Slow test_signed_plans_small;
+        Alcotest.test_case "interesting divisors" `Slow test_plans_interesting;
+        Alcotest.test_case "division by 3 cost" `Quick test_paper_division_by_3_cost;
+        Alcotest.test_case "signed pow2 costs" `Quick test_signed_pow2_costs;
+        Alcotest.test_case "y=11 fallback" `Quick test_y11_falls_back_unsigned_only;
+        Alcotest.test_case "small dispatch fast" `Quick test_small_dispatch_fast;
+        Alcotest.test_case "remainder plans" `Slow test_rem_plans;
+        Alcotest.test_case "rem pow2 one insn" `Quick test_rem_pow2_is_one_instruction;
+        Alcotest.test_case "modern handles 11" `Quick test_modern_handles_11_fully;
+        Alcotest.test_case "modern known constants" `Quick test_modern_known_constants;
+      ] );
+    qsuite "div:props"
+      [
+        prop_div_entry "divU" false false;
+        prop_div_entry "divI" true false;
+        prop_div_entry "remU" false true;
+        prop_div_entry "remI" true true;
+        prop_derived_eval_exact;
+        prop_random_divisor_plans;
+        prop_small_dispatch;
+        prop_rem_random;
+        prop_modern_magic;
+      ];
+  ]

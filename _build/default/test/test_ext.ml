@@ -1,0 +1,253 @@
+(* Tests for the extended (64-bit) multiply and the 64/32 divide, plus the
+   millicode register-preservation convention the compiler relies on. *)
+
+module Word = Hppa_word.Word
+module Machine = Hppa_machine.Machine
+module Trap = Hppa_machine.Trap
+open Util
+open Hppa
+
+let mach = lazy (Millicode.machine ())
+
+let wide_product entry x y =
+  let m = Lazy.force mach in
+  match Machine.call m entry ~args:[ x; y ] with
+  | Machine.Halted -> Some (Machine.get m Reg.ret1, Machine.get m Reg.ret0)
+  | Machine.Trapped _ | Machine.Fuel_exhausted -> None
+
+let edge =
+  [
+    0l; 1l; -1l; 2l; -2l; 3l; 0x7fffl; 0x8000l; 0xffffl; 0x10000l; 0x10001l;
+    0x7fffffffl; 0x80000000l; 0x80000001l; 0xfffffffel; 0xffffffffl;
+    0x55555555l; 0xAAAAAAAAl;
+  ]
+
+let test_mulu64_edges () =
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          match wide_product "mulU64" x y with
+          | None -> Alcotest.failf "mulU64 %lx %lx failed" x y
+          | Some (hi, lo) ->
+              let hi', lo' = Mul_ext.reference_unsigned x y in
+              if not (Word.equal hi hi' && Word.equal lo lo') then
+                Alcotest.failf "mulU64 %lx * %lx = %lx:%lx want %lx:%lx" x y hi
+                  lo hi' lo')
+        edge)
+    edge
+
+let test_muli64_edges () =
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          match wide_product "mulI64" x y with
+          | None -> Alcotest.failf "mulI64 %lx %lx failed" x y
+          | Some (hi, lo) ->
+              let hi', lo' = Mul_ext.reference_signed x y in
+              if not (Word.equal hi hi' && Word.equal lo lo') then
+                Alcotest.failf "mulI64 %ld * %ld = %lx:%lx want %lx:%lx" x y hi
+                  lo hi' lo')
+        edge)
+    edge
+
+let prop_mulu64 =
+  QCheck.Test.make ~name:"mulU64 = full unsigned product" ~count:2000
+    (QCheck.pair arb_word arb_word) (fun (x, y) ->
+      wide_product "mulU64" x y = Some (Mul_ext.reference_unsigned x y))
+
+let prop_muli64 =
+  QCheck.Test.make ~name:"mulI64 = full signed product" ~count:2000
+    (QCheck.pair arb_word arb_word) (fun (x, y) ->
+      wide_product "mulI64" x y = Some (Mul_ext.reference_signed x y))
+
+let test_mul64_cost_band () =
+  (* Four half-word standard multiplies plus recombination: well under two
+     general 32-bit multiplies of large operands. *)
+  let m = Lazy.force mach in
+  let _, c = call_cycles_exn m "mulU64" [ 0xDEADBEEFl; 0xCAFEBABEl ] in
+  Alcotest.(check bool) (Printf.sprintf "mulU64 cost %d in band" c) true
+    (c >= 60 && c <= 280)
+
+(* ------------------------------------------------------------------ *)
+(* divU64                                                              *)
+
+let divide64 hi lo y =
+  let m = Lazy.force mach in
+  match Machine.call m "divU64" ~args:[ hi; lo; y ] with
+  | Machine.Halted -> Ok (Machine.get m Reg.ret0, Machine.get m Reg.ret1)
+  | Machine.Trapped t -> Error t
+  | Machine.Fuel_exhausted -> Error (Trap.Break 31)
+
+let check_div64 hi lo y =
+  match (divide64 hi lo y, Div_ext.reference ~hi ~lo y) with
+  | Ok (q, r), Some (q', r') ->
+      if Word.equal q q' && Word.equal r r' then Ok ()
+      else
+        Error
+          (Printf.sprintf "divU64 %lx:%lx / %lx = (%lx, %lx) want (%lx, %lx)"
+             hi lo y q r q' r')
+  | Error (Trap.Break 1), None -> Ok ()
+  | Error t, None -> Error ("wrong trap " ^ Trap.to_string t)
+  | Error t, Some _ -> Error ("unexpected trap " ^ Trap.to_string t)
+  | Ok _, None -> Error "missed the overflow break"
+
+let test_divu64_edges () =
+  List.iter
+    (fun hi ->
+      List.iter
+        (fun lo ->
+          List.iter
+            (fun y ->
+              match check_div64 hi lo y with
+              | Ok () -> ()
+              | Error msg -> Alcotest.fail msg)
+            [ 1l; 2l; 3l; 7l; 0xffffl; 0x10000l; 0x80000000l; 0xffffffffl ])
+        [ 0l; 1l; 0xffffl; 0xfffffffel ])
+    [ 0l; 1l; 2l; 0x7fffl; 0x7fffffffl; 0xfffffffel ]
+
+let test_divu64_requires_small_hi () =
+  (match divide64 7l 0l 7l with
+  | Error (Trap.Break 1) -> ()
+  | _ -> Alcotest.fail "hi = divisor must break");
+  match divide64 0l 5l 0l with
+  | Error (Trap.Break 1) -> () (* zero divisor is covered by hi >= y *)
+  | _ -> Alcotest.fail "zero divisor must break"
+
+let prop_divu64 =
+  QCheck.Test.make ~name:"divU64 divides 64-bit dividends" ~count:2000
+    (QCheck.triple arb_word arb_word arb_word) (fun (hi, lo, y) ->
+      (* Force validity half the time by reducing hi below y. *)
+      let hi = if Word.lt_u hi y then hi else Word.sub y 1l in
+      QCheck.assume (not (Word.equal y 0l));
+      QCheck.assume (Word.lt_u hi y);
+      match check_div64 hi lo y with Ok () -> true | Error _ -> false)
+
+let prop_divu64_reconstruction =
+  QCheck.Test.make ~name:"divU64: q*y + r reconstructs the dividend"
+    ~count:1000 (QCheck.pair arb_word arb_word) (fun (lo, y) ->
+      QCheck.assume (not (Word.equal y 0l));
+      let hi = Word.shr_u y 1 in
+      QCheck.assume (Word.lt_u hi y);
+      match divide64 hi lo y with
+      | Error _ -> false
+      | Ok (q, r) ->
+          let wide =
+            Hppa_word.U128.add
+              (Hppa_word.U128.mul_64_64 (Word.to_int64_u q) (Word.to_int64_u y))
+              (Hppa_word.U128.of_int64 (Word.to_int64_u r))
+          in
+          Hppa_word.U128.to_int64 wide
+          = Int64.logor
+              (Int64.shift_left (Word.to_int64_u hi) 32)
+              (Word.to_int64_u lo)
+          && Word.lt_u r y)
+
+(* divI64 *)
+
+let divide64_signed hi lo y =
+  let m = Lazy.force mach in
+  match Machine.call m "divI64" ~args:[ hi; lo; y ] with
+  | Machine.Halted -> Ok (Machine.get m Reg.ret0, Machine.get m Reg.ret1)
+  | Machine.Trapped t -> Error t
+  | Machine.Fuel_exhausted -> Error (Trap.Break 31)
+
+let check_div64_signed hi lo y =
+  match (divide64_signed hi lo y, Div_ext.reference_signed ~hi ~lo y) with
+  | Ok (q, r), Some (q', r') ->
+      if Word.equal q q' && Word.equal r r' then Ok ()
+      else
+        Error
+          (Printf.sprintf "divI64 %lx:%lx / %ld = (%ld, %ld) want (%ld, %ld)"
+             hi lo y q r q' r')
+  | Error (Trap.Break 1), None when not (Word.equal y 0l) -> Ok ()
+  | Error (Trap.Break 0), None when Word.equal y 0l -> Ok ()
+  | Error t, None -> Error ("wrong trap " ^ Trap.to_string t)
+  | Error t, Some _ -> Error ("unexpected trap " ^ Trap.to_string t)
+  | Ok _, None -> Error "missed a break condition"
+
+let test_divi64_edges () =
+  List.iter
+    (fun hi ->
+      List.iter
+        (fun lo ->
+          List.iter
+            (fun y ->
+              match check_div64_signed hi lo y with
+              | Ok () -> ()
+              | Error msg -> Alcotest.fail msg)
+            [ 0l; 1l; -1l; 2l; -2l; 7l; -7l; 0xffffl; Int32.max_int; Int32.min_int ])
+        [ 0l; 1l; 0xffffffffl; 0x12345678l ])
+    [ 0l; 1l; -1l; -2l; 2l; 0x7fffl; -0x8000l; Int32.min_int; Int32.max_int ]
+
+let test_divi64_signs () =
+  (* -100 / 7 = -14 rem -2, full sign matrix through the 64-bit path. *)
+  List.iter
+    (fun (hi, lo, y, q, r) ->
+      match divide64_signed hi lo y with
+      | Ok (q', r') ->
+          Alcotest.check word "quotient" q q';
+          Alcotest.check word "remainder" r r'
+      | Error t -> Alcotest.failf "trap %s" (Trap.to_string t))
+    [
+      (-1l, -100l, 7l, -14l, -2l);
+      (0l, 100l, -7l, -14l, 2l);
+      (-1l, -100l, -7l, 14l, -2l);
+      (0l, 100l, 7l, 14l, 2l);
+    ]
+
+let prop_divi64 =
+  QCheck.Test.make ~name:"divI64 signed 64/32 division" ~count:2000
+    (QCheck.triple arb_word arb_word arb_word) (fun (hi0, lo, y) ->
+      (* Mix in-range and overflowing dividends. *)
+      let hi =
+        if Word.lt_u (Word.abs hi0) (Word.abs y) then hi0
+        else Word.shr_s hi0 16
+      in
+      match check_div64_signed hi lo y with Ok () -> true | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* The register convention: millicode must preserve r3..r18.           *)
+
+let test_millicode_preserves_compiler_registers () =
+  let m = Lazy.force mach in
+  let sentinels = List.init 16 (fun i -> (Reg.of_int (3 + i), Word.of_int (0x5a5a00 + i))) in
+  List.iter
+    (fun entry ->
+      Machine.reset m;
+      List.iter (fun (r, v) -> Machine.set m r v) sentinels;
+      (* divU64 needs hi < divisor; the argument triple satisfies every
+         entry's preconditions. *)
+      (match Machine.call m entry ~args:[ 2l; 123456l; 7l ] with
+      | Machine.Halted -> ()
+      | Machine.Trapped t ->
+          Alcotest.failf "%s trapped: %s" entry (Trap.to_string t)
+      | Machine.Fuel_exhausted -> Alcotest.failf "%s: fuel" entry);
+      List.iter
+        (fun (r, v) ->
+          if not (Word.equal (Machine.get m r) v) then
+            Alcotest.failf "%s clobbers %s" entry (Reg.name r))
+        sentinels)
+    (List.filter (fun e -> e <> "mulI" && e <> "muloI") Millicode.entries)
+
+let suite =
+  [
+    ( "ext:unit",
+      [
+        Alcotest.test_case "mulU64 edges" `Quick test_mulu64_edges;
+        Alcotest.test_case "mulI64 edges" `Quick test_muli64_edges;
+        Alcotest.test_case "mul64 cost band" `Quick test_mul64_cost_band;
+        Alcotest.test_case "divU64 edges" `Quick test_divu64_edges;
+        Alcotest.test_case "divU64 overflow break" `Quick test_divu64_requires_small_hi;
+        Alcotest.test_case "divI64 edges" `Quick test_divi64_edges;
+        Alcotest.test_case "divI64 signs" `Quick test_divi64_signs;
+        Alcotest.test_case "millicode preserves r3-r18" `Quick
+          test_millicode_preserves_compiler_registers;
+      ] );
+    qsuite "ext:props"
+      [
+        prop_mulu64; prop_muli64; prop_divu64; prop_divu64_reconstruction;
+        prop_divi64;
+      ];
+  ]

@@ -1,0 +1,354 @@
+(* Tests for the ISA layer: registers, conditions, assembler, binary codec
+   and program resolution. *)
+
+module Word = Hppa_word.Word
+open Util
+
+(* ------------------------------------------------------------------ *)
+(* Registers and conditions                                            *)
+
+let test_reg_names () =
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Reg.name r ^ " roundtrips") true
+        (match Reg.of_name (Reg.name r) with
+        | Some r' -> Reg.equal r r'
+        | None -> false))
+    Reg.all;
+  Alcotest.(check bool) "alias rp" true (Reg.of_name "rp" = Some Reg.rp);
+  Alcotest.(check bool) "alias arg0 = r26" true (Reg.of_name "arg0" = Some (Reg.of_int 26));
+  Alcotest.(check bool) "bad name" true (Reg.of_name "r32" = None);
+  Alcotest.(check bool) "bad name 2" true (Reg.of_name "x7" = None)
+
+let test_reg_bounds () =
+  Alcotest.check_raises "of_int 32" (Invalid_argument "Reg.of_int: register out of range")
+    (fun () -> ignore (Reg.of_int 32));
+  Alcotest.check_raises "of_int -1" (Invalid_argument "Reg.of_int: register out of range")
+    (fun () -> ignore (Reg.of_int (-1)))
+
+let test_cond_roundtrip () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool)
+        (Cond.to_string c ^ " roundtrips") true
+        (Cond.of_string (Cond.to_string c) = Some c))
+    Cond.all
+
+let test_cond_eval () =
+  let t name c a b expect =
+    Alcotest.(check bool) name expect (Cond.eval c a b)
+  in
+  t "eq" Cond.Eq 5l 5l true;
+  t "signed lt" Cond.Lt (-1l) 0l true;
+  t "unsigned lt: -1 is huge" Cond.Ult (-1l) 0l false;
+  t "unsigned lt" Cond.Ult 0l (-1l) true;
+  t "odd" Cond.Odd 7l 0l true;
+  t "odd of difference" Cond.Odd 7l 2l true;
+  t "even" Cond.Even 6l 0l true;
+  t "never" Cond.Never 1l 1l false;
+  t "always" Cond.Always 1l 2l true
+
+let prop_cond_negate =
+  QCheck.Test.make ~name:"negate complements eval" ~count:1000
+    (QCheck.triple (QCheck.oneofl Cond.all) arb_word arb_word)
+    (fun (c, a, b) -> Cond.eval (Cond.negate c) a b = not (Cond.eval c a b))
+
+(* ------------------------------------------------------------------ *)
+(* Random instruction generator (valid instructions only)              *)
+
+let gen_reg = QCheck.Gen.map Reg.of_int (QCheck.Gen.int_bound 31)
+let gen_cond = QCheck.Gen.oneofl Cond.all
+
+let gen_imm bits =
+  QCheck.Gen.map
+    (fun i -> Int32.of_int i)
+    (QCheck.Gen.int_range (-(1 lsl (bits - 1))) ((1 lsl (bits - 1)) - 1))
+
+let gen_field =
+  QCheck.Gen.(
+    int_range 0 31 >>= fun pos ->
+    int_range 1 (32 - pos) >>= fun len -> return (pos, len))
+
+let gen_insn : string Insn.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let lbl = oneofl [ "alpha"; "beta"; "gamma" ] in
+  let alu_op =
+    oneofl
+      [ Insn.Add; Insn.Addc; Insn.Sub; Insn.Subb; Insn.Shadd 1; Insn.Shadd 2;
+        Insn.Shadd 3; Insn.And; Insn.Or; Insn.Xor; Insn.Andcm ]
+  in
+  frequency
+    [
+      ( 4,
+        map2
+          (fun (op, trap_ov) (a, b, t) -> Insn.Alu { op; a; b; t; trap_ov })
+          (pair alu_op bool)
+          (triple gen_reg gen_reg gen_reg) );
+      (1, map (fun (a, b, t) -> Insn.Ds { a; b; t }) (triple gen_reg gen_reg gen_reg));
+      ( 2,
+        map2
+          (fun (imm, ov) (a, t) -> Insn.Addi { imm; a; t; trap_ov = ov })
+          (pair (gen_imm 14) bool) (pair gen_reg gen_reg) );
+      ( 1,
+        map2
+          (fun (imm, ov) (a, t) -> Insn.Subi { imm; a; t; trap_ov = ov })
+          (pair (gen_imm 11) bool) (pair gen_reg gen_reg) );
+      ( 1,
+        map2
+          (fun cond (a, b, t) -> Insn.Comclr { cond; a; b; t })
+          gen_cond (triple gen_reg gen_reg gen_reg) );
+      ( 1,
+        map3
+          (fun cond imm (a, t) -> Insn.Comiclr { cond; imm; a; t })
+          gen_cond (gen_imm 11) (pair gen_reg gen_reg) );
+      ( 2,
+        map3
+          (fun (signed, cond) (pos, len) (r, t) ->
+            Insn.Extr { signed; r; pos; len; t; cond })
+          (pair bool gen_cond) gen_field (pair gen_reg gen_reg) );
+      ( 1,
+        map2
+          (fun (pos, len) (r, t) -> Insn.Zdep { r; pos; len; t })
+          gen_field (pair gen_reg gen_reg) );
+      ( 1,
+        map2
+          (fun sa (a, b, t) -> Insn.Shd { a; b; sa; t })
+          (int_range 0 31) (triple gen_reg gen_reg gen_reg) );
+      ( 1,
+        map2
+          (fun imm t -> Insn.Ldil { imm = Int32.shift_left imm 11; t })
+          (gen_imm 21) gen_reg );
+      ( 1,
+        map2
+          (fun imm (base, t) -> Insn.Ldo { imm; base; t })
+          (gen_imm 14) (pair gen_reg gen_reg) );
+      ( 1,
+        map2
+          (fun disp (base, t) -> Insn.Ldw { disp; base; t })
+          (gen_imm 14) (pair gen_reg gen_reg) );
+      ( 1,
+        map2
+          (fun disp (base, r) -> Insn.Stw { r; disp; base })
+          (gen_imm 14) (pair gen_reg gen_reg) );
+      (1, map2 (fun target t -> Insn.Ldaddr { target; t }) lbl gen_reg);
+      ( 2,
+        map3
+          (fun (cond, n) (a, b) target -> Insn.Comb { cond; a; b; target; n })
+          (pair gen_cond bool) (pair gen_reg gen_reg) lbl );
+      ( 1,
+        map3
+          (fun (cond, n) (imm, a) target -> Insn.Comib { cond; imm; a; target; n })
+          (pair gen_cond bool) (pair (gen_imm 5) gen_reg) lbl );
+      ( 1,
+        map3
+          (fun (cond, n) (imm, a) target -> Insn.Addib { cond; imm; a; target; n })
+          (pair gen_cond bool) (pair (gen_imm 5) gen_reg) lbl );
+      (1, map2 (fun target n -> Insn.B { target; n }) lbl bool);
+      (1, map3 (fun target t n -> Insn.Bl { target; t; n }) lbl gen_reg bool);
+      (1, map3 (fun x t n -> Insn.Blr { x; t; n }) gen_reg gen_reg bool);
+      (1, map3 (fun x base n -> Insn.Bv { x; base; n }) gen_reg gen_reg bool);
+      (1, map (fun code -> Insn.Break { code }) (int_bound 31));
+      (1, return Insn.Nop);
+    ]
+
+let arb_insn =
+  QCheck.make
+    ~print:(fun i -> Format.asprintf "%a" (Insn.pp Format.pp_print_string) i)
+    gen_insn
+
+(* Wrap a random instruction list into a resolvable program: labels first
+   so every symbolic target exists. *)
+let wrap insns =
+  Program.Label "alpha" :: Program.Label "beta" :: Program.Label "gamma"
+  :: List.map (fun i -> Program.Insn i) insns
+
+let prop_asm_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:500
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 20) arb_insn)
+    (fun insns ->
+      let src = wrap insns in
+      let text = Asm.print src in
+      match Asm.parse text with
+      | Error msg -> QCheck.Test.fail_reportf "reparse failed: %s\n%s" msg text
+      | Ok src' -> (
+          (* Compare resolved images (the parser may expand pseudos). *)
+          match (Program.resolve src, Program.resolve src') with
+          | Ok p, Ok p' ->
+              Array.length p.code = Array.length p'.code
+              && Array.for_all2 (Insn.equal Int.equal) p.code p'.code
+          | _, _ -> false))
+
+let prop_encode_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip" ~count:500
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 20) arb_insn)
+    (fun insns ->
+      match Program.resolve (wrap insns) with
+      | Error _ -> false
+      | Ok p -> (
+          match Encode.encode_program p with
+          | Error msg -> QCheck.Test.fail_reportf "encode failed: %s" msg
+          | Ok words -> (
+              match Encode.decode_program words with
+              | Error msg -> QCheck.Test.fail_reportf "decode failed: %s" msg
+              | Ok insns' -> Array.for_all2 (Insn.equal Int.equal) p.code insns')))
+
+(* ------------------------------------------------------------------ *)
+(* Hand-written assembler cases                                        *)
+
+let test_parse_basic () =
+  let src =
+    Asm.parse_exn
+      {|
+start:  add r1, r2, r3          ; comment
+        sh2add,o arg0, ret0, ret0
+        comb,<< r5, r6, start
+        ldo 42(r0), r7
+        ldi 0x12345678, r8      # expands to ldil + ldo
+        bv r0(rp)
+|}
+  in
+  let p = Program.resolve_exn src in
+  Alcotest.(check int) "ldi expanded" 7 (Program.length p);
+  Alcotest.(check bool) "start at 0" true (Program.symbol p "start" = Some 0)
+
+let test_parse_errors () =
+  let bad text =
+    match Asm.parse text with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "unknown mnemonic" true (bad "frobnicate r1, r2");
+  Alcotest.(check bool) "bad register" true (bad "add r1, r99, r2");
+  Alcotest.(check bool) "missing cond" true (bad "comb r1, r2, somewhere");
+  Alcotest.(check bool) "bad operand count" true (bad "add r1, r2");
+  Alcotest.(check bool) "unknown modifier" true (bad "add,q r1, r2, r3")
+
+let test_resolve_errors () =
+  let dup = [ Program.Label "a"; Program.Label "a" ] in
+  (match Program.resolve dup with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate label accepted");
+  let undef = [ Program.Insn (Emit.b "nowhere") ] in
+  (match Program.resolve undef with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "undefined target accepted");
+  let bad_imm = [ Program.Insn (Emit.addi 100000l Reg.r0 Reg.r0) ] in
+  match Program.resolve bad_imm with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range immediate accepted"
+
+let test_validate_ranges () =
+  let bad i =
+    match Insn.validate i with Ok () -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "comib imm 16" true
+    (bad (Emit.comib Cond.Eq 16l Reg.r0 "x"));
+  Alcotest.(check bool) "comib imm -17" true
+    (bad (Emit.comib Cond.Eq (-17l) Reg.r0 "x"));
+  Alcotest.(check bool) "comib imm 15 ok" false
+    (bad (Emit.comib Cond.Eq 15l Reg.r0 "x"));
+  Alcotest.(check bool) "ldil low bits" true
+    (bad (Emit.ldil 0x1234l Reg.r0));
+  Alcotest.(check bool) "subi 11-bit" true (bad (Emit.subi 1024l Reg.r0 Reg.r0))
+
+let test_branch_displacement_limit () =
+  (* A conditional branch over > 2^11 instructions must fail to encode. *)
+  let far =
+    Program.Label "top" :: Program.Insn (Emit.comb Cond.Eq Reg.r0 Reg.r0 "bottom")
+    :: (List.init 3000 (fun _ -> Program.Insn Emit.nop)
+       @ [ Program.Label "bottom"; Program.Insn Emit.nop ])
+  in
+  let p = Program.resolve_exn far in
+  match Encode.encode_program p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "over-range displacement encoded"
+
+(* Decoding arbitrary words either errors or yields a re-encodable
+   instruction; it never crashes. *)
+let prop_decode_total =
+  QCheck.Test.make ~name:"decode is total" ~count:2000 arb_word (fun w ->
+      match Encode.decode ~addr:100 w with
+      | Error _ -> true
+      | Ok insn -> (
+          match Encode.encode ~addr:100 insn with
+          | Ok _ -> true
+          | Error _ -> false))
+
+(* The full millicode library (~1500 instructions, every branch form)
+   round-trips through the binary codec. *)
+let test_millicode_encodes () =
+  let prog = Hppa.Millicode.resolved () in
+  match Encode.encode_program prog with
+  | Error msg -> Alcotest.failf "millicode failed to encode: %s" msg
+  | Ok words -> (
+      match Encode.decode_program words with
+      | Error msg -> Alcotest.failf "millicode failed to decode: %s" msg
+      | Ok insns ->
+          Alcotest.(check bool) "image identical" true
+            (Array.for_all2 (Insn.equal Int.equal) prog.code insns))
+
+let prop_image_roundtrip =
+  QCheck.Test.make ~name:"binary image roundtrip" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 20) arb_insn)
+    (fun insns ->
+      match Program.resolve (wrap insns) with
+      | Error _ -> false
+      | Ok p -> (
+          match Image.to_bytes p with
+          | Error _ -> QCheck.assume_fail ()
+          | Ok data -> (
+              match Image.of_bytes data with
+              | Error msg -> QCheck.Test.fail_reportf "of_bytes: %s" msg
+              | Ok insns' -> Array.for_all2 (Insn.equal Int.equal) p.code insns')))
+
+let test_image_rejects_garbage () =
+  (match Image.of_bytes (Bytes.of_string "not an image") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad magic accepted");
+  let p = Program.resolve_exn [ Program.Insn Emit.nop ] in
+  match Image.to_bytes p with
+  | Error e -> Alcotest.failf "to_bytes: %s" e
+  | Ok data -> (
+      match Image.of_bytes (Bytes.sub data 0 (Bytes.length data - 1)) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "truncated image accepted")
+
+let test_asm_syntax_extras () =
+  (* Multiple labels, label-only lines, case-insensitive mnemonics, hex
+     immediates. *)
+  let src =
+    Asm.parse_exn
+      {|
+a: b: c: ADD r1, r2, r3
+d:
+   LDO 0x10(r0), r4
+   comib,= -0x4, r5, a
+|}
+  in
+  let p = Program.resolve_exn src in
+  Alcotest.(check int) "three labels at 0" 0 (Program.symbol_exn p "c");
+  Alcotest.(check int) "d at 1" 1 (Program.symbol_exn p "d");
+  Alcotest.(check int) "length" 3 (Program.length p)
+
+let suite =
+  [
+    ( "isa:unit",
+      [
+        Alcotest.test_case "register names" `Quick test_reg_names;
+        Alcotest.test_case "register bounds" `Quick test_reg_bounds;
+        Alcotest.test_case "cond roundtrip" `Quick test_cond_roundtrip;
+        Alcotest.test_case "cond eval" `Quick test_cond_eval;
+        Alcotest.test_case "parse basic" `Quick test_parse_basic;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "resolve errors" `Quick test_resolve_errors;
+        Alcotest.test_case "validate ranges" `Quick test_validate_ranges;
+        Alcotest.test_case "branch displacement" `Quick test_branch_displacement_limit;
+        Alcotest.test_case "millicode encodes" `Quick test_millicode_encodes;
+        Alcotest.test_case "asm syntax extras" `Quick test_asm_syntax_extras;
+        Alcotest.test_case "image rejects garbage" `Quick test_image_rejects_garbage;
+      ] );
+    qsuite "isa:props"
+      [
+        prop_cond_negate; prop_asm_roundtrip; prop_encode_roundtrip;
+        prop_decode_total; prop_image_roundtrip;
+      ];
+  ]

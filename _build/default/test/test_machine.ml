@@ -1,0 +1,441 @@
+(* Tests for the simulator: per-instruction semantics, PSW behaviour,
+   nullification, traps, control transfer and statistics. *)
+
+module Word = Hppa_word.Word
+module Machine = Hppa_machine.Machine
+module Stats = Hppa_machine.Stats
+module Trap = Hppa_machine.Trap
+open Util
+
+(* Run a one-off assembly routine with up to 4 args and give back ret0. *)
+let run ?(entry = "main") text args =
+  let mach = Machine.create (Program.resolve_exn (Asm.parse_exn text)) in
+  (Machine.call mach entry ~args, mach)
+
+let expect_ret0 name text args expected =
+  let outcome, mach = run text args in
+  match outcome with
+  | Machine.Halted -> Alcotest.check word name expected (Machine.get mach Reg.ret0)
+  | Machine.Trapped t -> Alcotest.failf "%s: trap %s" name (Trap.to_string t)
+  | Machine.Fuel_exhausted -> Alcotest.failf "%s: fuel" name
+
+let expect_trap name text args trap =
+  let outcome, _ = run text args in
+  match outcome with
+  | Machine.Trapped t when Trap.equal t trap -> ()
+  | Machine.Trapped t -> Alcotest.failf "%s: wrong trap %s" name (Trap.to_string t)
+  | Machine.Halted -> Alcotest.failf "%s: no trap" name
+  | Machine.Fuel_exhausted -> Alcotest.failf "%s: fuel" name
+
+(* ------------------------------------------------------------------ *)
+
+let test_r0_hardwired () =
+  expect_ret0 "writes to r0 discarded"
+    {| main: ldo 5(r0), r0
+             copy r0, ret0
+             bv r0(rp) |}
+    [] 0l
+
+let test_alu_basics () =
+  expect_ret0 "add" {| main: add arg0, arg1, ret0
+                             bv r0(rp) |} [ 2l; 3l ] 5l;
+  expect_ret0 "sub" {| main: sub arg0, arg1, ret0
+                             bv r0(rp) |} [ 2l; 3l ] (-1l);
+  expect_ret0 "sh3add" {| main: sh3add arg0, arg1, ret0
+                                bv r0(rp) |} [ 5l; 1l ] 41l;
+  expect_ret0 "andcm" {| main: andcm arg0, arg1, ret0
+                               bv r0(rp) |} [ 0xffl; 0x0fl ] 0xf0l;
+  expect_ret0 "xor" {| main: xor arg0, arg1, ret0
+                             bv r0(rp) |} [ 0xffl; 0x0fl ] 0xf0l
+
+let test_carry_across_addc () =
+  (* 64-bit addition: (arg0:arg1) + (arg2:arg3), high word out. *)
+  expect_ret0 "addc picks up carry"
+    {| main: add  arg1, arg3, r1
+             addc arg0, arg2, ret0
+             bv r0(rp) |}
+    [ 1l; 0xffffffffl; 2l; 1l ] 4l
+
+let test_sub_sets_not_borrow () =
+  (* SUBB after a non-borrowing SUB must not deduct an extra one. *)
+  expect_ret0 "subb no borrow"
+    {| main: sub  arg1, arg3, r1
+             subb arg0, arg2, ret0
+             bv r0(rp) |}
+    [ 5l; 3l; 2l; 1l ] 3l;
+  expect_ret0 "subb with borrow"
+    {| main: sub  arg1, arg3, r1
+             subb arg0, arg2, ret0
+             bv r0(rp) |}
+    [ 5l; 1l; 2l; 3l ] 2l
+
+let test_overflow_traps () =
+  expect_trap "addo traps"
+    {| main: ldil 0x7ffff800, r4
+             ldo 2047(r4), r4
+             addi,o 1, r4, ret0
+             bv r0(rp) |}
+    [] Trap.Overflow;
+  expect_ret0 "add does not trap"
+    {| main: ldil 0x7ffff800, r4
+             ldo 2047(r4), r4
+             addi 1, r4, ret0
+             bv r0(rp) |}
+    [] Word.min_signed;
+  expect_trap "sh2add,o traps on shift loss"
+    {| main: ldil 0x40000000, r4
+             sh2add,o r4, r0, ret0
+             bv r0(rp) |}
+    [] Trap.Overflow
+
+let test_comclr_nullify () =
+  expect_ret0 "comclr skips next when true"
+    {| main: ldi 7, ret0
+             comclr,= arg0, arg1, r1
+             ldi 9, ret0
+             bv r0(rp) |}
+    [ 4l; 4l ] 7l;
+  expect_ret0 "comclr lets next run when false"
+    {| main: ldi 7, ret0
+             comclr,= arg0, arg1, r1
+             ldi 9, ret0
+             bv r0(rp) |}
+    [ 4l; 5l ] 9l;
+  (* comclr also zeroes its target. *)
+  expect_ret0 "comclr zeroes target"
+    {| main: ldi 3, ret0
+             comclr,never r0, r0, ret0
+             bv r0(rp) |}
+    [] 0l
+
+let test_extr_completer () =
+  expect_ret0 "extru,= nullifies on zero field"
+    {| main: ldi 1, ret0
+             extru,= arg0, 0, 1, r1
+             ldi 2, ret0
+             bv r0(rp) |}
+    [ 4l ] 1l;
+  expect_ret0 "extru,= passes on set bit"
+    {| main: ldi 1, ret0
+             extru,= arg0, 0, 1, r1
+             ldi 2, ret0
+             bv r0(rp) |}
+    [ 5l ] 2l
+
+let test_shd () =
+  expect_ret0 "shd concatenates"
+    {| main: shd arg0, arg1, 4, ret0
+             bv r0(rp) |}
+    [ 0xAl; 0xB000000Cl ] 0xAB000000l
+
+let test_zdep_shl () =
+  expect_ret0 "shl pseudo"
+    {| main: shl arg0, 4, ret0
+             bv r0(rp) |}
+    [ 0x0F0F0F0Fl ] 0xF0F0F0F0l;
+  expect_ret0 "sar pseudo"
+    {| main: sar arg0, 8, ret0
+             bv r0(rp) |}
+    [ 0x80000000l ] 0xFF800000l
+
+let test_branches () =
+  expect_ret0 "comb taken"
+    {| main:  comb,<< arg0, arg1, less
+              ldi 0, ret0
+              bv r0(rp)
+       less:  ldi 1, ret0
+              bv r0(rp) |}
+    [ 3l; 5l ] 1l;
+  expect_ret0 "addib loop counts"
+    {| main:  ldi 5, r4
+              copy r0, ret0
+       loop:  addi 1, ret0, ret0
+              addib,> -1, r4, loop
+              bv r0(rp) |}
+    [] 5l;
+  expect_ret0 "bl links and bv returns"
+    {| main:  bl sub1, mrp
+              addi 10, ret0, ret0
+              bv r0(rp)
+       sub1:  ldi 7, ret0
+              bv r0(mrp) |}
+    [] 17l
+
+let test_blr_vector () =
+  expect_ret0 "blr indexes two-instruction slots"
+    {| main:  blr arg0, r0
+       s0:    ldi 10, ret0
+              bv r0(rp)
+       s1:    ldi 11, ret0
+              bv r0(rp)
+       s2:    ldi 12, ret0
+              bv r0(rp) |}
+    [ 2l ] 12l
+
+let test_memory () =
+  expect_ret0 "store/load roundtrip"
+    {| main: ldi 0x100, r4
+             stw arg0, 8(r4)
+             ldw 8(r4), ret0
+             bv r0(rp) |}
+    [ 0xDEADBEEFl ] 0xDEADBEEFl;
+  expect_trap "unaligned access traps"
+    {| main: ldw 2(r0), ret0
+             bv r0(rp) |}
+    [] (Trap.Unaligned 2l);
+  expect_trap "out of range traps"
+    {| main: ldil 0x7ffff800, r4
+             ldw 0(r4), ret0
+             bv r0(rp) |}
+    [] (Trap.Bad_address 0x7ffff800l)
+
+let test_break_and_bad_pc () =
+  expect_trap "break" {| main: break 3 |} [] (Trap.Break 3);
+  let outcome, _ =
+    run {| main: bv arg0(arg1) |} [ 1000l; 1000l ]
+  in
+  match outcome with
+  | Machine.Trapped (Trap.Bad_pc _) -> ()
+  | _ -> Alcotest.fail "expected bad pc trap"
+
+let test_stats () =
+  let text =
+    {| main: comclr,= r0, r0, r1
+             ldi 9, ret0
+             ldi 1, r4
+             bv r0(rp) |}
+  in
+  let mach = Machine.create (Program.resolve_exn (Asm.parse_exn text)) in
+  (match Machine.call mach "main" ~args:[] with
+  | Machine.Halted -> ()
+  | _ -> Alcotest.fail "halted expected");
+  let s = Machine.stats mach in
+  Alcotest.(check int) "cycles" 4 (Stats.cycles s);
+  Alcotest.(check int) "nullified" 1 (Stats.nullified s);
+  Alcotest.(check int) "executed" 3 (Stats.executed s);
+  Alcotest.(check bool) "ret0 untouched by nullified ldi" true
+    (Word.equal (Machine.get mach Reg.ret0) 0l)
+
+let test_fuel () =
+  let outcome, _ =
+    let mach =
+      Machine.create (Program.resolve_exn (Asm.parse_exn {| main: b main |}))
+    in
+    (Machine.call ~fuel:100 mach "main" ~args:[], mach)
+  in
+  match outcome with
+  | Machine.Fuel_exhausted -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+(* ------------------------------------------------------------------ *)
+(* DS: the divide-step contract                                        *)
+
+(* One (ADDC; DS) step pair must implement one bit of non-restoring
+   division; 32 of them divide. Checked here against a small direct
+   non-restoring interpreter over random operands (the full millicode is
+   tested in test_div.ml). *)
+let ds_program =
+  {| divu32: add  r0, r0, r0
+             copy arg0, r19
+             copy r0, r20
+             ldi  32, r21
+     loop:   addc r19, r19, r19
+             ds   r20, arg1, r20
+             addib,> -1, r21, loop
+             addc r0, r0, r22
+             sh1add r19, r22, ret0
+             comiclr,<> 0, r22, r0
+             add  r20, arg1, r20
+             copy r20, ret1
+             bv   r0(rp) |}
+
+let prop_ds_division =
+  let mach = Machine.create (Program.resolve_exn (Asm.parse_exn ds_program)) in
+  QCheck.Test.make ~name:"(ADDC;DS)x32 divides" ~count:2000
+    (QCheck.pair arb_word arb_word) (fun (x, y) ->
+      QCheck.assume (not (Word.equal y 0l));
+      let q = call_exn mach "divu32" [ x; y ] in
+      let r = Machine.get mach Reg.ret1 in
+      let q', r' = Word.divmod_u x y in
+      Word.equal q q' && Word.equal r r')
+
+let test_v_bit_initialised_by_add () =
+  (* Pollute V with a DS, then check that a plain ADD clears it so the
+     canonical initialiser works. *)
+  let text =
+    {| main: ldi 1, r4
+             ldi 3, r5
+             ds  r4, r5, r4      ; leaves V set (1 - 3 < 0)
+             add r0, r0, r0      ; must clear C and V
+  |}
+    ^ ds_program
+  in
+  let mach = Machine.create (Program.resolve_exn (Asm.parse_exn text)) in
+  (* Run main through to the add, then check V. *)
+  Machine.set_pc mach 0;
+  for _ = 1 to 3 do ignore (Machine.step mach) done;
+  Alcotest.(check bool) "V set by ds" true (Machine.v_bit mach);
+  ignore (Machine.step mach);
+  Alcotest.(check bool) "V cleared by add" false (Machine.v_bit mach);
+  Alcotest.(check bool) "C cleared by add" false (Machine.carry mach)
+
+(* A nullified taken branch must not be taken. *)
+let test_nullified_branch () =
+  expect_ret0 "comclr kills the branch"
+    {| main: ldi 5, ret0
+             comclr,= r0, r0, r1
+             b elsewhere
+             bv r0(rp)
+       elsewhere: ldi 9, ret0
+             bv r0(rp) |}
+    [] 5l
+
+let test_blr_link_value () =
+  (* BLR links the address of the following instruction. *)
+  expect_ret0 "blr link"
+    {| main:  blr r0, ret0
+       slot:  bv r0(rp)
+              nop |}
+    [] 1l
+
+let test_ldaddr_bv () =
+  expect_ret0 "ldaddr + bv computed jump"
+    {| main:  ldaddr there, r4
+              bv r0(r4)
+              ldi 1, ret0
+       there: ldi 2, ret0
+              bv r0(rp) |}
+    [] 2l
+
+let test_call_arity () =
+  let mach = Machine.create (Program.resolve_exn (Asm.parse_exn {| main: bv r0(rp) |})) in
+  Alcotest.check_raises "5 args rejected"
+    (Invalid_argument "Machine.call: more than 4 arguments") (fun () ->
+      ignore (Machine.call mach "main" ~args:[ 1l; 2l; 3l; 4l; 5l ]))
+
+let test_shadd_sets_carry () =
+  (* SHxADD writes the carry of its 32-bit add (the dword chains rely on
+     it): the pre-shifter's lost bits do NOT enter the carry, only the
+     addition of the already-shifted operand does. *)
+  expect_ret0 "sh1add add carry out"
+    {| main: ldil 0x60000000, r4
+             sh1add r4, r4, r5      ; 0xC0000000 + 0x60000000 carries
+             addc r0, r0, ret0
+             bv r0(rp) |}
+    [] 1l;
+  expect_ret0 "pre-shifter loss is not carry"
+    {| main: ldil 0xc0000000, r4
+             sh1add r4, r0, r5      ; 0x80000000 + 0: no add carry
+             addc r0, r0, ret0
+             bv r0(rp) |}
+    [] 0l
+
+(* ------------------------------------------------------------------ *)
+(* Instruction cache model                                             *)
+
+let test_icache_mapping () =
+  let c = Hppa_machine.Icache.create ~line_words:4 ~lines:2 () in
+  (* Same line: one miss then hits. *)
+  Alcotest.(check bool) "first access misses" false (Hppa_machine.Icache.access c 0);
+  Alcotest.(check bool) "same line hits" true (Hppa_machine.Icache.access c 3);
+  (* Conflicting lines 0 and 2 map to the same set. *)
+  Alcotest.(check bool) "line 2 misses" false (Hppa_machine.Icache.access c 8);
+  Alcotest.(check bool) "line 0 evicted" false (Hppa_machine.Icache.access c 0);
+  Alcotest.(check int) "misses" 3 (Hppa_machine.Icache.misses c);
+  Alcotest.(check int) "hits" 1 (Hppa_machine.Icache.hits c);
+  Alcotest.(check int) "footprint" 1 (Hppa_machine.Icache.footprint_lines c);
+  Hppa_machine.Icache.reset c;
+  Alcotest.(check int) "reset misses" 0 (Hppa_machine.Icache.misses c);
+  Alcotest.(check int) "reset footprint" 0 (Hppa_machine.Icache.footprint_lines c)
+
+let test_icache_counts_fetches () =
+  (* Every fetch is looked up, nullified slots included: 4 instructions
+     in one line = 1 miss + 3 hits. *)
+  let text =
+    {| main: comclr,= r0, r0, r1
+             ldi 9, ret0
+             ldi 1, r4
+             bv r0(rp) |}
+  in
+  let mach = Machine.create (Program.resolve_exn (Asm.parse_exn text)) in
+  let c = Hppa_machine.Icache.create ~line_words:8 ~lines:4 () in
+  Machine.set_icache mach (Some c);
+  (match Machine.call mach "main" ~args:[] with
+  | Machine.Halted -> ()
+  | _ -> Alcotest.fail "halt expected");
+  Alcotest.(check int) "accesses = cycles" 4
+    (Hppa_machine.Icache.hits c + Hppa_machine.Icache.misses c);
+  Alcotest.(check int) "one line" 1 (Hppa_machine.Icache.misses c)
+
+let test_icache_create_validation () =
+  Alcotest.check_raises "line_words must be a power of two"
+    (Invalid_argument "Icache.create: line_words must be a positive power of two")
+    (fun () -> ignore (Hppa_machine.Icache.create ~line_words:3 ()))
+
+(* Failure injection: the DS contract requires the C/V initialiser; a
+   poisoned V must be able to corrupt a division, which is exactly why the
+   millicode starts with add r0, r0, r0. *)
+let test_ds_requires_initialiser () =
+  let uninit =
+    {| divu32x: copy arg0, r19
+                copy r0, r20
+                ldi  32, r21
+       xloop:   addc r19, r19, r19
+                ds   r20, arg1, r20
+                addib,> -1, r21, xloop
+                addc r0, r0, r22
+                sh1add r19, r22, ret0
+                bv   r0(rp)
+       poison:  ldi 1, r4
+                ldi 3, r5
+                ds  r4, r5, r4
+                b   divu32x |}
+  in
+  let mach = Machine.create (Program.resolve_exn (Asm.parse_exn uninit)) in
+  let divide ~poisoned x y =
+    Machine.reset mach;
+    match
+      Machine.call mach (if poisoned then "poison" else "divu32x") ~args:[ x; y ]
+    with
+    | Machine.Halted -> Machine.get mach Reg.ret0
+    | _ -> Alcotest.fail "halt expected"
+  in
+  (* Clean PSW (fresh machine): correct. *)
+  Alcotest.check word "clean divide" 14l (divide ~poisoned:false 100l 7l);
+  (* Poisoned V flips the first divide step. *)
+  let corrupted = divide ~poisoned:true 100l 7l in
+  Alcotest.(check bool) "poisoned V corrupts the quotient" true
+    (not (Word.equal corrupted 14l))
+
+let suite =
+  [
+    ( "machine:unit",
+      [
+        Alcotest.test_case "r0 hardwired" `Quick test_r0_hardwired;
+        Alcotest.test_case "alu basics" `Quick test_alu_basics;
+        Alcotest.test_case "carry across addc" `Quick test_carry_across_addc;
+        Alcotest.test_case "borrow convention" `Quick test_sub_sets_not_borrow;
+        Alcotest.test_case "overflow traps" `Quick test_overflow_traps;
+        Alcotest.test_case "comclr nullify" `Quick test_comclr_nullify;
+        Alcotest.test_case "extr completer" `Quick test_extr_completer;
+        Alcotest.test_case "shd" `Quick test_shd;
+        Alcotest.test_case "zdep/sar pseudos" `Quick test_zdep_shl;
+        Alcotest.test_case "branches" `Quick test_branches;
+        Alcotest.test_case "blr vectoring" `Quick test_blr_vector;
+        Alcotest.test_case "memory" `Quick test_memory;
+        Alcotest.test_case "break and bad pc" `Quick test_break_and_bad_pc;
+        Alcotest.test_case "statistics" `Quick test_stats;
+        Alcotest.test_case "fuel" `Quick test_fuel;
+        Alcotest.test_case "V bit lifecycle" `Quick test_v_bit_initialised_by_add;
+        Alcotest.test_case "nullified branch" `Quick test_nullified_branch;
+        Alcotest.test_case "blr link value" `Quick test_blr_link_value;
+        Alcotest.test_case "ldaddr + bv" `Quick test_ldaddr_bv;
+        Alcotest.test_case "call arity" `Quick test_call_arity;
+        Alcotest.test_case "shadd carry" `Quick test_shadd_sets_carry;
+        Alcotest.test_case "icache mapping" `Quick test_icache_mapping;
+        Alcotest.test_case "icache counts fetches" `Quick test_icache_counts_fetches;
+        Alcotest.test_case "icache validation" `Quick test_icache_create_validation;
+        Alcotest.test_case "ds needs initialiser" `Quick test_ds_requires_initialiser;
+      ] );
+    qsuite "machine:props" [ prop_ds_division ];
+  ]

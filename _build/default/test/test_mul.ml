@@ -1,0 +1,266 @@
+(* Tests for the variable-multiply ladder (section 6, Figures 2-5) and the
+   trapping multiply. *)
+
+module Word = Hppa_word.Word
+module Machine = Hppa_machine.Machine
+module Stats = Hppa_machine.Stats
+module Trap = Hppa_machine.Trap
+open Util
+open Hppa
+
+let machine = lazy (Machine.create (Program.resolve_exn Mul_var.all))
+
+let product mach entry x y =
+  ignore (call_exn mach entry [ x; y ]);
+  Machine.get mach Reg.ret0
+
+let cycles_of mach entry x y =
+  snd (call_cycles_exn mach entry [ x; y ])
+
+(* ------------------------------------------------------------------ *)
+(* Correctness                                                         *)
+
+let edge_values =
+  [
+    0l; 1l; -1l; 2l; -2l; 3l; 7l; 15l; 16l; 17l; 255l; 256l; 4095l; 4096l;
+    46340l; 46341l; 65535l; 65536l; 0x7fffffffl; 0x80000000l; 0x80000001l;
+    -15l; -16l; -65536l;
+  ]
+
+let test_ladder_edge_matrix () =
+  let mach = Lazy.force machine in
+  List.iter
+    (fun entry ->
+      List.iter
+        (fun x ->
+          List.iter
+            (fun y ->
+              let got = product mach entry x y in
+              let want = Mul_var.reference x y in
+              if not (Word.equal got want) then
+                Alcotest.failf "%s: %ld * %ld = %ld, want %ld" entry x y got want)
+            edge_values)
+        edge_values)
+    [ "mul_naive"; "mul_naive_early"; "mul_nibble"; "mul_switch"; "mul_final" ]
+
+let prop_routine entry =
+  QCheck.Test.make
+    ~name:(entry ^ " computes the 32-bit product")
+    ~count:1000 (QCheck.pair arb_word arb_word) (fun (x, y) ->
+      let mach = Lazy.force machine in
+      Word.equal (product mach entry x y) (Mul_var.reference x y))
+
+let prop_commutative =
+  QCheck.Test.make ~name:"mul_final commutes" ~count:500
+    (QCheck.pair arb_word arb_word) (fun (x, y) ->
+      let mach = Lazy.force machine in
+      Word.equal (product mach "mul_final" x y) (product mach "mul_final" y x))
+
+let prop_ladder_agrees =
+  QCheck.Test.make ~name:"all ladder routines agree" ~count:500
+    (QCheck.pair arb_word arb_word) (fun (x, y) ->
+      let mach = Lazy.force machine in
+      let results =
+        List.map
+          (fun e -> product mach e x y)
+          [ "mul_naive"; "mul_naive_early"; "mul_nibble"; "mul_switch"; "mul_final" ]
+      in
+      List.for_all (Word.equal (List.hd results)) results)
+
+(* ------------------------------------------------------------------ *)
+(* Cycle structure (the paper's instruction-count analyses)            *)
+
+let test_naive_is_constant_time () =
+  (* Figure 2: the loop always runs 32 times; nullification keeps the
+     cycle count independent of the data (the paper's 167, our 168). *)
+  let mach = Lazy.force machine in
+  let c0 = cycles_of mach "mul_naive" 0l 0l in
+  Alcotest.(check bool) "near paper's 167" true (abs (c0 - 167) <= 2);
+  List.iter
+    (fun (x, y) ->
+      Alcotest.(check int) "constant cycles" c0 (cycles_of mach "mul_naive" x y))
+    [ (1l, 1l); (-5l, 77777l); (Int32.max_int, Int32.min_int) ]
+
+let test_early_exit_data_dependence () =
+  (* Section 6: worst case ~192; small multipliers much cheaper. *)
+  let mach = Lazy.force machine in
+  let worst = cycles_of mach "mul_naive_early" 1l Int32.min_int in
+  Alcotest.(check bool)
+    (Printf.sprintf "worst (%d) near paper's 192" worst)
+    true
+    (abs (worst - 192) <= 8);
+  let small = cycles_of mach "mul_naive_early" 123456l 3l in
+  Alcotest.(check bool) "small multiplier fast" true (small < 30)
+
+let test_nibble_loop_is_13 () =
+  (* Figure 3: the loop body is exactly 13 instructions, so consecutive
+     nibble counts differ by 13 cycles. *)
+  let mach = Lazy.force machine in
+  let one = cycles_of mach "mul_nibble" 99l 0xFl in
+  let two = cycles_of mach "mul_nibble" 99l 0xFFl in
+  let three = cycles_of mach "mul_nibble" 99l 0xFFFl in
+  Alcotest.(check int) "second nibble costs 13" 13 (two - one);
+  Alcotest.(check int) "third nibble costs 13" 13 (three - two);
+  let worst = cycles_of mach "mul_nibble" 99l Int32.min_int in
+  Alcotest.(check bool)
+    (Printf.sprintf "worst (%d) near paper's 107" worst)
+    true
+    (abs (worst - 107) <= 4)
+
+let test_final_small_operands () =
+  (* Figure 5, first bucket: min operand in 0..15 should stay within the
+     paper's band (best 10 / avg 15 / worst 23), allowing a small model
+     delta for our unscheduled branches. *)
+  let mach = Lazy.force machine in
+  let worst = ref 0 and best = ref max_int and total = ref 0 and n = ref 0 in
+  for y = 0 to 15 do
+    List.iter
+      (fun x ->
+        let c = cycles_of mach "mul_final" x (Int32.of_int y) in
+        worst := max !worst c;
+        best := min !best c;
+        total := !total + c;
+        incr n)
+      [ 1l; 77l; 10000l; 8000000l; 0x7fffffffl ]
+  done;
+  let avg = float_of_int !total /. float_of_int !n in
+  Alcotest.(check bool) (Printf.sprintf "best %d <= 12" !best) true (!best <= 12);
+  Alcotest.(check bool) (Printf.sprintf "avg %.1f <= 20" avg) true (avg <= 20.0);
+  Alcotest.(check bool) (Printf.sprintf "worst %d <= 28" !worst) true (!worst <= 28)
+
+let test_final_quick_exits () =
+  let mach = Lazy.force machine in
+  Alcotest.(check bool) "x*0 quick" true (cycles_of mach "mul_final" 1234567l 0l <= 8);
+  Alcotest.(check bool) "x*1 quick" true (cycles_of mach "mul_final" 1234567l 1l <= 9)
+
+let test_final_beats_nibble_on_distribution () =
+  (* The observation of section 6: with representable products the final
+     algorithm wins big over Figure 3. *)
+  let mach = Lazy.force machine in
+  let g = Hppa_dist.Prng.create 99L in
+  let tot_final = ref 0 and tot_nibble = ref 0 in
+  for _ = 1 to 500 do
+    let x, y = Hppa_dist.Operand_dist.figure5_pair g in
+    tot_final := !tot_final + cycles_of mach "mul_final" x y;
+    tot_nibble := !tot_nibble + cycles_of mach "mul_nibble" x y
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "final (%d) < nibble (%d)" !tot_final !tot_nibble)
+    true
+    (!tot_final * 3 < !tot_nibble * 2)
+
+(* ------------------------------------------------------------------ *)
+(* Analytic cost models: the models must predict the simulator exactly *)
+
+let prop_model entry model =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "model predicts %s cycles exactly" entry)
+    ~count:600 (QCheck.pair arb_word arb_word) (fun (x, y) ->
+      let mach = Lazy.force machine in
+      cycles_of mach entry x y = model x y)
+
+let prop_model_naive = prop_model "mul_naive" (fun _ _ -> Mul_model.naive ())
+
+let prop_model_naive_early =
+  prop_model "mul_naive_early" (fun _ y -> Mul_model.naive_early ~multiplier:y)
+
+let prop_model_nibble =
+  prop_model "mul_nibble" (fun _ y -> Mul_model.nibble ~multiplier:y)
+
+let prop_model_switch =
+  prop_model "mul_switch" (fun _ y -> Mul_model.switch ~multiplier:y)
+
+let prop_model_final = prop_model "mul_final" Mul_model.final
+
+(* ------------------------------------------------------------------ *)
+(* The trapping multiply                                               *)
+
+let check_mulo x y =
+  let mach = Lazy.force machine in
+  match (Machine.call mach "mulo" ~args:[ x; y ], Mul_var.mulo_reference x y) with
+  | Machine.Halted, Some want ->
+      let got = Machine.get mach Reg.ret0 in
+      if Word.equal got want then Ok ()
+      else Error (Printf.sprintf "%ld * %ld = %ld, want %ld" x y got want)
+  | Machine.Halted, None ->
+      Error (Printf.sprintf "%ld * %ld: missed overflow" x y)
+  | Machine.Trapped Trap.Overflow, None -> Ok ()
+  | Machine.Trapped Trap.Overflow, Some _ ->
+      Error (Printf.sprintf "%ld * %ld: spurious overflow" x y)
+  | Machine.Trapped t, _ ->
+      Error (Printf.sprintf "%ld * %ld: trap %s" x y (Trap.to_string t))
+  | Machine.Fuel_exhausted, _ -> Error "fuel"
+
+let test_mulo_edge_matrix () =
+  List.iter
+    (fun x ->
+      List.iter
+        (fun y ->
+          match check_mulo x y with
+          | Ok () -> ()
+          | Error msg -> Alcotest.fail msg)
+        edge_values)
+    edge_values
+
+let test_mulo_min_int_products () =
+  (* Products equal to exactly -2^31 are representable and must not trap:
+     the subtle case the paper calls out. *)
+  List.iter
+    (fun (x, y) ->
+      match check_mulo x y with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    [
+      (Int32.min_int, 1l); (1l, Int32.min_int); (-2l, 0x40000000l);
+      (0x40000000l, -2l); (2l, -0x40000000l); (-32768l, 65536l);
+      (65536l, -32768l); (-65536l, 32768l); (4l, -0x20000000l);
+      (-1l, Int32.min_int) (* overflows: +2^31 unrepresentable *);
+    ]
+
+let prop_mulo =
+  QCheck.Test.make ~name:"mulo traps iff the signed product overflows"
+    ~count:2000 (QCheck.pair arb_word arb_word) (fun (x, y) ->
+      match check_mulo x y with Ok () -> true | Error _ -> false)
+
+let prop_mulo_boundary =
+  (* Products straddling the 2^31 boundary from structured factors. *)
+  QCheck.Test.make ~name:"mulo near the overflow boundary" ~count:1000
+    (QCheck.pair (QCheck.int_range 1 46341) (QCheck.int_range 1 65536))
+    (fun (a, b) ->
+      let x = Int32.of_int a and y = Int32.of_int b in
+      List.for_all
+        (fun (x, y) -> match check_mulo x y with Ok () -> true | Error _ -> false)
+        [ (x, y); (Word.neg x, y); (x, Word.neg y); (Word.neg x, Word.neg y) ])
+
+let suite =
+  [
+    ( "mul:unit",
+      [
+        Alcotest.test_case "ladder edge matrix" `Slow test_ladder_edge_matrix;
+        Alcotest.test_case "naive constant time" `Quick test_naive_is_constant_time;
+        Alcotest.test_case "early exit" `Quick test_early_exit_data_dependence;
+        Alcotest.test_case "nibble loop is 13" `Quick test_nibble_loop_is_13;
+        Alcotest.test_case "final small operands" `Quick test_final_small_operands;
+        Alcotest.test_case "final quick exits" `Quick test_final_quick_exits;
+        Alcotest.test_case "final beats nibble" `Quick test_final_beats_nibble_on_distribution;
+        Alcotest.test_case "mulo edge matrix" `Slow test_mulo_edge_matrix;
+        Alcotest.test_case "mulo min_int products" `Quick test_mulo_min_int_products;
+      ] );
+    qsuite "mul:props"
+      [
+        prop_routine "mul_naive";
+        prop_routine "mul_naive_early";
+        prop_routine "mul_nibble";
+        prop_routine "mul_switch";
+        prop_routine "mul_final";
+        prop_commutative;
+        prop_ladder_agrees;
+        prop_mulo;
+        prop_mulo_boundary;
+        prop_model_naive;
+        prop_model_naive_early;
+        prop_model_nibble;
+        prop_model_switch;
+        prop_model_final;
+      ];
+  ]

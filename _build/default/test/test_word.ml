@@ -1,0 +1,253 @@
+(* Unit and property tests for the fixed-width word substrate. *)
+
+module Word = Hppa_word.Word
+module Dword = Hppa_word.Dword
+module U128 = Hppa_word.U128
+open Util
+
+let i64 = Word.to_int64_s
+let u64 = Word.to_int64_u
+
+(* ------------------------------------------------------------------ *)
+(* Unit cases                                                          *)
+
+let test_constants () =
+  Alcotest.(check int) "max_signed" 0x7fffffff (Word.to_int_u Word.max_signed);
+  Alcotest.(check int) "min_signed" 0x80000000 (Word.to_int_u Word.min_signed);
+  Alcotest.(check int) "max_unsigned" 0xffffffff (Word.to_int_u Word.max_unsigned);
+  Alcotest.(check int) "minus_one signed" (-1) (Word.to_int_s Word.minus_one)
+
+let test_carry_chain () =
+  let sum, c = Word.add_carry Word.max_unsigned 1l ~carry_in:false in
+  Alcotest.check word "wraps to zero" 0l sum;
+  Alcotest.(check bool) "carry out" true c;
+  let sum, c = Word.add_carry Word.max_unsigned Word.max_unsigned ~carry_in:true in
+  Alcotest.check word "ff+ff+1" Word.max_unsigned sum;
+  Alcotest.(check bool) "carry out" true c;
+  let sum, c = Word.add_carry 1l 2l ~carry_in:false in
+  Alcotest.check word "no wrap" 3l sum;
+  Alcotest.(check bool) "no carry" false c
+
+let test_borrow_chain () =
+  let d, b = Word.sub_borrow 0l 1l ~borrow_in:false in
+  Alcotest.check word "0-1 wraps" Word.max_unsigned d;
+  Alcotest.(check bool) "borrow" true b;
+  let d, b = Word.sub_borrow 5l 3l ~borrow_in:true in
+  Alcotest.check word "5-3-1" 1l d;
+  Alcotest.(check bool) "no borrow" false b
+
+let test_overflow_predicates () =
+  Alcotest.(check bool) "max+1 overflows" true
+    (Word.add_overflows_s Word.max_signed 1l);
+  Alcotest.(check bool) "min-1 overflows" true
+    (Word.sub_overflows_s Word.min_signed 1l);
+  Alcotest.(check bool) "1+1 fine" false (Word.add_overflows_s 1l 1l);
+  Alcotest.(check bool) "min + min overflows" true
+    (Word.add_overflows_s Word.min_signed Word.min_signed);
+  Alcotest.(check bool) "abs(min) = min" true
+    (Word.equal (Word.abs Word.min_signed) Word.min_signed)
+
+let test_extract_deposit () =
+  Alcotest.check word "extract_u mid" 0xABl
+    (Word.extract_u 0xAB00l ~pos:8 ~len:8);
+  Alcotest.check word "extract_s sign" (-1l)
+    (Word.extract_s 0x8000_0000l ~pos:31 ~len:1);
+  Alcotest.check word "extract_u full" 0xDEADBEEFl
+    (Word.extract_u 0xDEADBEEFl ~pos:0 ~len:32);
+  Alcotest.check word "deposit" 0x00F0l
+    (Word.deposit 0xFl ~into:0l ~pos:4 ~len:4);
+  Alcotest.check word "deposit keeps rest" 0xA0FBl
+    (Word.deposit 0xFl ~into:0xA00Bl ~pos:4 ~len:4)
+
+let test_sh_add_hw_circuit () =
+  (* Same-sign operands: the cheap circuit must agree with exact overflow
+     (section 4 says disagreement is possible only for mixed signs). *)
+  let check_same_sign a b k =
+    if Word.is_neg a = Word.is_neg b then
+      Alcotest.(check bool)
+        (Printf.sprintf "hw=exact for %ld<<%d + %ld" a k b)
+        (Word.sh_add_overflows k a b)
+        (Word.sh_add_overflows_hw k a b)
+  in
+  List.iter
+    (fun (a, b) -> List.iter (check_same_sign a b) [ 1; 2; 3 ])
+    [
+      (1l, 1l); (0x2000_0000l, 0x1000_0000l); (-5l, -7l);
+      (0x7fff_ffffl, 0x7fff_ffffl); (Word.min_signed, -1l); (0l, 0l);
+    ]
+
+let test_divmod_semantics () =
+  let q, r = Word.divmod_trunc_s (-7l) 2l in
+  Alcotest.check word "-7/2 truncates toward 0" (-3l) q;
+  Alcotest.check word "-7 mod 2" (-1l) r;
+  let q, r = Word.divmod_trunc_s 7l (-2l) in
+  Alcotest.check word "7/-2" (-3l) q;
+  Alcotest.check word "7 mod -2" 1l r;
+  let q, r = Word.divmod_trunc_s Word.min_signed (-1l) in
+  Alcotest.check word "min/-1 wraps" Word.min_signed q;
+  Alcotest.check word "min mod -1" 0l r;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Word.divmod_u 1l 0l))
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let prop_add_matches_int64 =
+  QCheck.Test.make ~name:"add = int64 add mod 2^32" ~count:2000
+    (QCheck.pair arb_word arb_word) (fun (a, b) ->
+      i64 (Word.add a b) = Int64.of_int32 (Int64.to_int32 (Int64.add (u64 a) (u64 b))))
+
+let prop_add_carry_exact =
+  QCheck.Test.make ~name:"add_carry reconstructs the 33-bit sum" ~count:2000
+    (QCheck.triple arb_word arb_word QCheck.bool) (fun (a, b, cin) ->
+      let sum, cout = Word.add_carry a b ~carry_in:cin in
+      let wide = Int64.add (Int64.add (u64 a) (u64 b)) (if cin then 1L else 0L) in
+      u64 sum = Int64.logand wide 0xffff_ffffL
+      && cout = (Int64.shift_right_logical wide 32 = 1L))
+
+let prop_sub_borrow_exact =
+  QCheck.Test.make ~name:"sub_borrow reconstructs the wide difference" ~count:2000
+    (QCheck.triple arb_word arb_word QCheck.bool) (fun (a, b, bin) ->
+      let d, bout = Word.sub_borrow a b ~borrow_in:bin in
+      let wide = Int64.sub (Int64.sub (u64 a) (u64 b)) (if bin then 1L else 0L) in
+      u64 d = Int64.logand wide 0xffff_ffffL && bout = (wide < 0L))
+
+let prop_overflow_iff_wide =
+  QCheck.Test.make ~name:"add_overflows_s iff wide sum unrepresentable" ~count:2000
+    (QCheck.pair arb_word arb_word) (fun (a, b) ->
+      let wide = Int64.add (i64 a) (i64 b) in
+      Word.add_overflows_s a b = (wide < -0x8000_0000L || wide > 0x7fff_ffffL))
+
+let prop_sh_add =
+  QCheck.Test.make ~name:"sh_add = (a<<k) + b mod 2^32" ~count:2000
+    (QCheck.triple arb_word arb_word (QCheck.int_range 1 3)) (fun (a, b, k) ->
+      Word.equal (Word.sh_add k a b) (Word.add (Word.shl a k) b))
+
+let prop_sh_add_hw_sound =
+  QCheck.Test.make
+    ~name:"hw overflow circuit exact when operand signs agree" ~count:2000
+    (QCheck.triple arb_word arb_word (QCheck.int_range 1 3)) (fun (a, b, k) ->
+      Word.is_neg a <> Word.is_neg b
+      || Word.sh_add_overflows_hw k a b = Word.sh_add_overflows k a b)
+
+let prop_extract_roundtrip =
+  QCheck.Test.make ~name:"deposit inverts extract_u" ~count:2000
+    (QCheck.triple arb_word (QCheck.int_range 0 31) (QCheck.int_range 1 32))
+    (fun (w, pos, len) ->
+      QCheck.assume (pos + len <= 32);
+      let field = Word.extract_u w ~pos ~len in
+      Word.equal (Word.deposit field ~into:w ~pos ~len) w)
+
+let prop_extract_s_sign_extends =
+  QCheck.Test.make ~name:"extract_s = sign-extended extract_u" ~count:2000
+    (QCheck.triple arb_word (QCheck.int_range 0 31) (QCheck.int_range 1 32))
+    (fun (w, pos, len) ->
+      QCheck.assume (pos + len <= 32);
+      let u = Word.extract_u w ~pos ~len in
+      let s = Word.extract_s w ~pos ~len in
+      if len = 32 || not (Word.bit w (pos + len - 1)) then Word.equal s u
+      else Word.equal s (Word.logor u (Word.shl (-1l) len)))
+
+let prop_mul_wide =
+  QCheck.Test.make ~name:"mul_wide_s splits the int64 product" ~count:2000
+    (QCheck.pair arb_word arb_word) (fun (a, b) ->
+      let hi, lo = Word.mul_wide_s a b in
+      let p = Int64.mul (i64 a) (i64 b) in
+      u64 lo = Int64.logand p 0xffff_ffffL
+      && Word.equal hi (Int64.to_int32 (Int64.shift_right p 32)))
+
+let prop_divmod_u =
+  QCheck.Test.make ~name:"divmod_u: x = q*y + r, r < y" ~count:2000
+    (QCheck.pair arb_word arb_word) (fun (x, y) ->
+      QCheck.assume (not (Word.equal y 0l));
+      let q, r = Word.divmod_u x y in
+      Word.lt_u r y
+      && u64 x = Int64.add (Int64.mul (u64 q) (u64 y)) (u64 r))
+
+let prop_divmod_trunc =
+  QCheck.Test.make ~name:"divmod_trunc_s: C semantics identity" ~count:2000
+    (QCheck.pair arb_word arb_word) (fun (x, y) ->
+      QCheck.assume (not (Word.equal y 0l));
+      QCheck.assume (not (Word.equal x Word.min_signed && Word.equal y (-1l)));
+      let q, r = Word.divmod_trunc_s x y in
+      i64 x = Int64.add (Int64.mul (i64 q) (i64 y)) (i64 r)
+      && Int64.abs (i64 r) < Int64.abs (i64 y)
+      && (Word.equal r 0l || Word.is_neg r = Word.is_neg x))
+
+(* ------------------------------------------------------------------ *)
+(* Dword and U128                                                      *)
+
+let prop_dword_add =
+  QCheck.Test.make ~name:"Dword.add = int64 add" ~count:2000
+    (QCheck.pair (QCheck.pair arb_word arb_word) (QCheck.pair arb_word arb_word))
+    (fun ((ah, al), (bh, bl)) ->
+      let a = Dword.make ~hi:ah ~lo:al and b = Dword.make ~hi:bh ~lo:bl in
+      Dword.to_int64 (Dword.add a b)
+      = Int64.add (Dword.to_int64 a) (Dword.to_int64 b))
+
+let prop_dword_sh_add =
+  QCheck.Test.make ~name:"Dword.sh_add = shifted int64 add" ~count:2000
+    (QCheck.triple (QCheck.pair arb_word arb_word)
+       (QCheck.pair arb_word arb_word) (QCheck.int_range 1 3))
+    (fun ((ah, al), (bh, bl), k) ->
+      let a = Dword.make ~hi:ah ~lo:al and b = Dword.make ~hi:bh ~lo:bl in
+      Dword.to_int64 (Dword.sh_add k a b)
+      = Int64.add (Int64.shift_left (Dword.to_int64 a) k) (Dword.to_int64 b))
+
+let prop_u128_mul =
+  QCheck.Test.make ~name:"U128.mul_64_64 exact on 32-bit factors" ~count:2000
+    (QCheck.pair arb_word arb_word) (fun (a, b) ->
+      let p = U128.mul_64_64 (u64 a) (u64 b) in
+      U128.fits_int64 p && U128.to_int64 p = Int64.mul (u64 a) (u64 b))
+
+let prop_u128_mul_large =
+  QCheck.Test.make ~name:"U128 high limb via shifted factors" ~count:2000
+    (QCheck.pair arb_word arb_word) (fun (a, b) ->
+      (* (a << 32) * (b << 32) has low limb 0 and high limb a*b. *)
+      let p =
+        U128.mul_64_64 (Int64.shift_left (u64 a) 32) (Int64.shift_left (u64 b) 32)
+      in
+      U128.to_int64 p = 0L
+      && p.U128.hi = Int64.mul (u64 a) (u64 b))
+
+let prop_u128_shift =
+  QCheck.Test.make ~name:"U128 shift_right consistent with mul by 2^k" ~count:500
+    (QCheck.triple arb_word arb_word (QCheck.int_range 0 63))
+    (fun (a, b, k) ->
+      let p = U128.mul_64_64 (u64 a) (u64 b) in
+      let q = U128.shift_right p k in
+      U128.to_int64 q
+      = Int64.shift_right_logical (Int64.mul (u64 a) (u64 b)) k)
+
+let suite =
+  [
+    ( "word:unit",
+      [
+        Alcotest.test_case "constants" `Quick test_constants;
+        Alcotest.test_case "carry chain" `Quick test_carry_chain;
+        Alcotest.test_case "borrow chain" `Quick test_borrow_chain;
+        Alcotest.test_case "overflow predicates" `Quick test_overflow_predicates;
+        Alcotest.test_case "extract/deposit" `Quick test_extract_deposit;
+        Alcotest.test_case "sh_add hw circuit" `Quick test_sh_add_hw_circuit;
+        Alcotest.test_case "divmod semantics" `Quick test_divmod_semantics;
+      ] );
+    qsuite "word:props"
+      [
+        prop_add_matches_int64;
+        prop_add_carry_exact;
+        prop_sub_borrow_exact;
+        prop_overflow_iff_wide;
+        prop_sh_add;
+        prop_sh_add_hw_sound;
+        prop_extract_roundtrip;
+        prop_extract_s_sign_extends;
+        prop_mul_wide;
+        prop_divmod_u;
+        prop_divmod_trunc;
+        prop_dword_add;
+        prop_dword_sh_add;
+        prop_u128_mul;
+        prop_u128_mul_large;
+        prop_u128_shift;
+      ];
+  ]

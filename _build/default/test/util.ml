@@ -1,0 +1,47 @@
+(* Shared helpers for the test suites. *)
+
+module Word = Hppa_word.Word
+module Machine = Hppa_machine.Machine
+
+let word = Alcotest.testable Word.pp Word.equal
+
+let qsuite name tests =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) tests)
+
+(* An int32 generator mixing the full range with small magnitudes and the
+   boundary constants where arithmetic bugs live. *)
+let gen_word =
+  let open QCheck.Gen in
+  let full_range =
+    map2
+      (fun hi lo -> Int32.logor (Int32.shift_left (Int32.of_int hi) 16) (Int32.of_int lo))
+      (int_bound 0xffff) (int_bound 0xffff)
+  in
+  frequency
+    [
+      (4, full_range);
+      (3, map Int32.of_int (int_range (-65536) 65535));
+      (2, map Int32.of_int (int_bound 255));
+      ( 2,
+        oneofl
+          [
+            0l; 1l; -1l; 2l; -2l; 15l; 16l; 255l; 256l; 0x7fffl; 0x8000l;
+            0xffffl; 0x10000l; Int32.max_int; Int32.min_int;
+            Int32.add Int32.min_int 1l; 0x5555_5555l; 0xAAAA_AAAAl;
+          ] );
+    ]
+
+let arb_word = QCheck.make ~print:(Printf.sprintf "%ld") gen_word
+
+(* Run an entry point; fail the test on traps. *)
+let call_exn mach entry args =
+  match Machine.call mach entry ~args with
+  | Machine.Halted -> Machine.get mach Reg.ret0
+  | Machine.Trapped t ->
+      Alcotest.failf "unexpected trap: %s" (Hppa_machine.Trap.to_string t)
+  | Machine.Fuel_exhausted -> Alcotest.fail "out of fuel"
+
+let call_cycles_exn mach entry args =
+  let before = Hppa_machine.Stats.cycles (Machine.stats mach) in
+  let r = call_exn mach entry args in
+  (r, Hppa_machine.Stats.cycles (Machine.stats mach) - before)
