@@ -35,6 +35,18 @@ let show n overflow exhaustive code verify =
         (if plan.temporaries = 1 then "y" else "ies");
     if verify then begin
       let prog = Program.resolve_exn plan.source in
+      (* Static pass: lint the routine and certify the abstract result
+         for every input at once; the simulator sweep below then spot
+         checks the same claim dynamically. *)
+      let findings =
+        Hppa_verify.Driver.check ~entries:[ plan.entry ] prog
+      in
+      if findings <> [] then
+        Format.printf "@[<v>static lint:@,%a@]@."
+          Hppa_verify.Findings.pp_list findings
+      else Format.printf "static lint: clean@.";
+      Format.printf "static certification: %a@." Hppa_verify.Linear.pp_verdict
+        (Hppa_verify.Driver.certify prog ~entry:plan.entry ~multiplier:n32);
       let mach = Machine.create prog in
       let bad = ref 0 in
       for x = -1000 to 1000 do
@@ -46,7 +58,7 @@ let show n overflow exhaustive code verify =
         | Machine.Trapped _ when overflow && Word.mul_overflows_s xw n32 -> ()
         | Machine.Trapped _ | Machine.Fuel_exhausted -> incr bad
       done;
-      Format.printf "verification over [-1000, 1000]: %s@."
+      Format.printf "simulation over [-1000, 1000]: %s@."
         (if !bad = 0 then "ok" else Printf.sprintf "%d failures" !bad)
     end
   end;
@@ -65,7 +77,10 @@ let exhaustive =
          ~doc:"Exhaustive minimal-chain search (depth <= 6) instead of the rule program.")
 
 let code = Arg.(value & flag & info [ "c"; "code" ] ~doc:"Print the generated routine.")
-let verify = Arg.(value & flag & info [ "v"; "verify" ] ~doc:"Run the routine on the simulator.")
+let verify =
+  Arg.(value & flag & info [ "v"; "verify" ]
+         ~doc:"Verify the routine: static lint and linear-form certification \
+               (every input at once), then a simulator sweep.")
 
 let cmd =
   Cmd.v

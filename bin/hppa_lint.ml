@@ -1,0 +1,117 @@
+(* hppa-lint: static verification of Precision assembly.
+
+   With no file, checks the built-in millicode library — the plain image
+   in the simple model and the scheduled image in the delay-slot model —
+   and expects both to be clean.
+
+   With a file:
+     hppa-lint prog.s -e mulU -e divU
+     hppa-lint --delay scheduled.s -e mulU
+     hppa-lint prog.s -e mulc_10 --certify 10
+     hppa-lint prog.s -e mulU --cfg *)
+
+module V = Hppa_verify
+
+let report name findings =
+  if findings = [] then Format.printf "%s: clean@." name
+  else Format.printf "@[<v>%s:@,%a@]@." name V.Findings.pp_list findings;
+  findings <> []
+
+let lint_millicode () =
+  let bad = report "millicode (plain)" (Hppa.Millicode.lint ()) in
+  let bad' =
+    report "millicode (scheduled)" (Hppa.Millicode.lint ~scheduled:true ())
+  in
+  if bad || bad' then 1 else 0
+
+let lint_file path entries delay blr_slots cfg_dump certify =
+  let options =
+    { V.Cfg.mode = (if delay then V.Cfg.Delay_slot else V.Cfg.Simple); blr_slots }
+  in
+  let ( let* ) = Result.bind in
+  let result =
+    let* text =
+      try Ok (In_channel.with_open_text path In_channel.input_all)
+      with Sys_error msg -> Error msg
+    in
+    let* src = Asm.parse text in
+    let* prog = Program.resolve src in
+    let entries =
+      if entries <> [] then entries
+      else
+        (* default: every label that is anyone's branch target nowhere —
+           i.e. treat each label as a potential entry *)
+        List.filter_map
+          (function Program.Label l -> Some l | Program.Insn _ -> None)
+          src
+    in
+    if cfg_dump then begin
+      let cfg = V.Cfg.make options prog in
+      let addrs = List.filter_map (Program.symbol prog) entries in
+      V.Cfg.pp_blocks cfg Format.std_formatter
+        (V.Cfg.blocks cfg ~entries:addrs)
+    end;
+    let findings = V.Driver.check ~options ~entries prog in
+    let bad = report path findings in
+    let* cert_bad =
+      match certify with
+      | None -> Ok false
+      | Some n -> (
+          match entries with
+          | [ entry ] ->
+              let verdict =
+                V.Driver.certify ~options prog ~entry
+                  ~multiplier:(Int32.of_int n)
+              in
+              Format.printf "%s x %d: %a@." entry n V.Linear.pp_verdict verdict;
+              Ok (verdict <> V.Linear.Certified)
+          | _ -> Error "--certify needs exactly one -e entry"
+          )
+    in
+    Ok (if bad || cert_bad then 1 else 0)
+  in
+  match result with
+  | Ok code -> code
+  | Error msg ->
+      Format.eprintf "hppa-lint: %s@." msg;
+      2
+
+let run file entries delay blr_slots cfg_dump certify =
+  match file with
+  | None -> lint_millicode ()
+  | Some path -> lint_file path entries delay blr_slots cfg_dump certify
+
+open Cmdliner
+
+let file =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Assembly file to check (default: the millicode library).")
+
+let entries =
+  Arg.(value & opt_all string [] & info [ "e"; "entry" ] ~docv:"LABEL"
+         ~doc:"Entry label to analyze from (repeatable; default: every label).")
+
+let delay =
+  Arg.(value & flag & info [ "d"; "delay" ]
+         ~doc:"Check under the delay-slot model (for scheduled code).")
+
+let blr_slots =
+  Arg.(value & opt int 16 & info [ "blr-slots" ] ~docv:"N"
+         ~doc:"Case-table slots a blr may dispatch to (default 16).")
+
+let cfg_dump =
+  Arg.(value & flag & info [ "cfg" ] ~doc:"Dump the basic-block graph first.")
+
+let certify =
+  Arg.(value & opt (some int) None & info [ "certify" ] ~docv:"N"
+         ~doc:"Certify that the single -e entry computes N * arg0 in ret0.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "hppa-lint"
+       ~doc:"Statically verify Precision assembly: control flow, \
+             definedness, delay-slot hazards, calling convention, and \
+             multiply-chain certification")
+    Term.(const run $ file $ entries $ delay $ blr_slots $ cfg_dump $ certify)
+
+let () = exit (Cmd.eval' cmd)

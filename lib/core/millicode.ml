@@ -31,3 +31,37 @@ let entries =
 
 let mulI = "mulI"
 let muloI = "muloI"
+
+(* Declared register interfaces of every entry, for the static checker:
+   everything takes arg0/arg1 (arg2 for the 64/32 divides) and clobbers
+   only the scratch set; the 64-bit routines and the divides also
+   document ret1 (high word / remainder). *)
+let conventions =
+  let spec ?(args = [ Reg.arg0; Reg.arg1 ]) ~results name =
+    { Hppa_verify.Cfg.name; args; results; clobbers = Hppa_verify.Cfg.scratch }
+  in
+  let r1 = [ Reg.ret0 ] and r2 = [ Reg.ret0; Reg.ret1 ] in
+  List.map (spec ~results:r1)
+    [
+      "mulI"; "muloI"; "mul_naive"; "mul_naive_early"; "mul_nibble";
+      "mul_switch"; "mul_final"; "mulo"; "divU_small"; "divI_small";
+    ]
+  @ List.map (spec ~results:r2) [ "mulU64"; "mulI64"; "divU"; "divI"; "remU"; "remI" ]
+  @ List.map
+      (spec ~args:[ Reg.arg0; Reg.arg1; Reg.arg2 ] ~results:r2)
+      [ "divU64"; "divI64" ]
+
+let lint ?(scheduled = false) () =
+  let src = if scheduled then scheduled_source () else source in
+  let options =
+    {
+      Hppa_verify.Cfg.mode =
+        (if scheduled then Hppa_verify.Cfg.Delay_slot else Hppa_verify.Cfg.Simple);
+      blr_slots = Div_small.threshold;
+    }
+  in
+  match
+    Hppa_verify.Driver.check_source ~options ~specs:conventions ~entries src
+  with
+  | Ok findings -> findings
+  | Error msg -> [ Hppa_verify.Findings.v Hppa_verify.Findings.Structure msg ]

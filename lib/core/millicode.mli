@@ -42,3 +42,13 @@ val mulI : string
 
 val muloI : string
 (** The trapping multiply entry. *)
+
+val conventions : Hppa_verify.Cfg.spec list
+(** The declared register interface of every entry in {!entries}, as
+    checked by {!Hppa_verify}. *)
+
+val lint : ?scheduled:bool -> unit -> Hppa_verify.Findings.t list
+(** Run the full static check suite ({!Hppa_verify.Driver.check}) over
+    the library — [~scheduled:true] checks the delay-slot-scheduled image
+    in delay-slot mode. The library is lint-clean: both calls return [[]]
+    (a test pins this). *)

@@ -2,14 +2,14 @@ type stats = { branches : int; filled : int; nullified : int }
 
 (* An instruction that may nullify its successor: moving its successor, or
    parking a branch in its shadow, changes which instruction it annuls. *)
-let is_nullifier : string Insn.t -> bool = function
+let is_nullifier : type lbl. lbl Insn.t -> bool = function
   | Comclr _ | Comiclr _ -> true
   | Extr { cond; _ } -> not (Cond.equal cond Cond.Never)
   | _ -> false
 
 (* Instructions that may trap keep their program position so trap PCs and
    pre-trap architectural state stay exact. *)
-let may_trap : string Insn.t -> bool = function
+let may_trap : type lbl. lbl Insn.t -> bool = function
   | Alu { trap_ov; _ } | Addi { trap_ov; _ } | Subi { trap_ov; _ } -> trap_ov
   | Ldw _ | Stw _ | Break _ -> true
   | _ -> false

@@ -175,6 +175,11 @@ let reads = function
   | Blr { x; _ } -> [ x ]
   | Bv { x; base; _ } -> [ x; base ]
 
+let reads_distinct i =
+  List.fold_right
+    (fun r acc -> if List.exists (Reg.equal r) acc then acc else r :: acc)
+    (reads i) []
+
 let set_n n = function
   | Comb r -> Comb { r with n }
   | Comib r -> Comib { r with n }

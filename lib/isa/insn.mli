@@ -106,7 +106,19 @@ val writes : 'lbl t -> reg option
 
 val reads : 'lbl t -> reg list
 (** General registers the instruction reads (for the delay-slot
-    scheduler's dependence check); may contain duplicates. *)
+    scheduler's dependence check and the dataflow passes of
+    [Hppa_verify]).
+
+    Contract: the list enumerates {e operand positions}, so a register
+    appearing in two source positions appears {e twice} — [add r5, r5, t]
+    reads [[r5; r5]], and [bv r0(rp)] reads [[r0; rp]]. Order follows the
+    operand order of the instruction form. Membership-style consumers
+    ([List.exists], set union) are unaffected; anything counting
+    occurrences must use {!reads_distinct} instead. A unit test pins this
+    behaviour. *)
+
+val reads_distinct : 'lbl t -> reg list
+(** {!reads} with duplicates removed, preserving first-occurrence order. *)
 
 val set_n : bool -> 'lbl t -> 'lbl t
 (** Set the [,n] completer; identity on non-branches. *)

@@ -1,0 +1,130 @@
+(** Control-flow graphs over resolved Precision programs.
+
+    The graph is built without executing the program. Nodes are
+    {e execution roles} of instruction addresses, not bare addresses: in
+    delay-slot mode the instruction after a taken branch executes {e as
+    that branch's slot} (and then control transfers), while the same
+    address reached by fall-through continues sequentially — two nodes,
+    so the dataflow passes never mix the two paths. [BL] call sites get a
+    synthetic {!node.Summary} node carrying the callee's declared effect,
+    which keeps the per-routine analyses intraprocedural while still
+    modelling what a millicode-to-millicode call reads, defines and
+    clobbers.
+
+    Indirect control transfers:
+    - [BV r0(rp)] / [BV r0(mrp)] are procedure returns ({!edge.Ret});
+    - any other [BV] is an unresolvable indirect branch, reported as a
+      {!Findings.Structure} finding by the driver;
+    - [BLR x t] is the §6 vectored case table: its successors are the
+      [blr_slots] two-instruction slots following the branch. The bound
+      over-approximates the dispatched range (the dispatch register is
+      not analyzed), which is sound for the must- and may-analyses built
+      on top.
+
+    One flow-insensitive refinement: the guaranteed-trap idiom
+    [LDIL k,r; ADDO r,r,r0] with [k + k] overflowing signed — how both
+    [mulo] and the [MIN_INT] multiply plan force an overflow trap — gets
+    a {!edge.Trap} successor instead of falling through, provided
+    nothing can jump between the pair. Without this cut the dead code
+    after a trap stub pollutes every must-analysis meeting it. *)
+
+type mode = Simple | Delay_slot
+
+type options = {
+  mode : mode;
+  blr_slots : int;
+      (** how many two-instruction case-table slots a [BLR] may reach;
+          16 covers a nibble dispatch, the millicode library needs
+          [Div_small.threshold] = 20 *)
+}
+
+val default : options
+(** [{ mode = Simple; blr_slots = 16 }] *)
+
+val delay : options
+(** [{ mode = Delay_slot; blr_slots = 16 }] *)
+
+(** Calling-convention summary of a routine, used both to model [BL]
+    calls to it and to check its own body (see {!Convention}). *)
+type spec = {
+  name : string;
+  args : Reg.t list;  (** defined at entry; read by any call to it *)
+  results : Reg.t list;  (** defined on every return path *)
+  clobbers : Reg.t list;
+      (** registers it may leave with arbitrary contents (a superset of
+          [results]); everything else must be preserved *)
+}
+
+val scratch : Reg.t list
+(** The millicode scratch set: [arg0]..[arg3], [ret0], [ret1],
+    [t1]..[t5], [mrp]. *)
+
+val default_spec : string -> spec
+(** Two arguments, one result, scratch clobbers. *)
+
+type dest =
+  | Addrs of int list  (** continue at one of these addresses *)
+  | Call of int  (** continue through the call summary of the [BL] here *)
+  | Exit  (** procedure return *)
+
+type node =
+  | Insn of int  (** the instruction at this address, sequential role *)
+  | Slot of int * dest  (** the same instruction executing as the delay
+                            slot of a taken branch, then [dest] *)
+  | Summary of int  (** effect of the call made by the [BL] at this
+                        address *)
+  | Tail of int * int  (** [(site, callee)]: a taken branch at [site]
+                           whose target is a {e declared} entry (one with
+                           a provided spec) is a tail call — modelled by
+                           the callee's summary followed by {!edge.Ret},
+                           keeping each analysis inside one routine. Only
+                           routines named in [specs] qualify; branches to
+                           undeclared labels are walked into. *)
+
+type edge =
+  | Step of node
+  | Ret  (** return to the caller *)
+  | Trap  (** [BREAK] *)
+  | Off_image  (** control leaves the program image (a [Bad_pc] trap) *)
+  | Indirect  (** unresolvable indirect branch *)
+
+type t
+
+val make : ?specs:spec list -> options -> Program.resolved -> t
+val options : t -> options
+val program : t -> Program.resolved
+
+val insn : t -> int -> int Insn.t
+val addr_of : node -> int option
+(** The instruction address a node executes ([None] for summaries). *)
+
+val spec_at : t -> int -> spec
+(** The spec of the routine whose entry is at this address — from the
+    provided [specs] if its name matches a label there, otherwise
+    {!default_spec} of the label (or of ["<anon>"]). *)
+
+val succs : t -> node -> edge list
+
+val reads : t -> node -> Reg.t list
+(** Registers consumed: the instruction's {!Insn.reads_distinct}, or for
+    a summary the callee's [args] plus the link register (the callee
+    returns through it). *)
+
+val defines : t -> node -> Reg.t list
+(** Registers definitely written ([r0] excluded): the instruction's
+    target, or a summary's [results]. *)
+
+val unspecifies : t -> node -> Reg.t list
+(** Registers whose contents become unknown: a summary's
+    [clobbers - results]. Empty for real instructions. *)
+
+val reachable : t -> entries:int list -> node list
+(** Depth-first discovery from [Insn] nodes at the given addresses. *)
+
+(** Basic blocks: maximal single-entry straight-line node runs of the
+    reachable subgraph. *)
+type block = { id : int; nodes : node list; succ : int list; exits : edge list }
+
+val blocks : t -> entries:int list -> block list
+val pp_node : t -> Format.formatter -> node -> unit
+val pp_blocks : t -> Format.formatter -> block list -> unit

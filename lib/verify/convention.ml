@@ -1,0 +1,20 @@
+let check cfg ~entry =
+  let spec = Cfg.spec_at cfg entry in
+  let allowed = spec.Cfg.clobbers @ spec.Cfg.results in
+  let ok r = List.exists (Reg.equal r) allowed in
+  List.filter_map
+    (fun node ->
+      match node with
+      | Cfg.Summary _ | Cfg.Tail _ ->
+          None (* the callee is checked against its own spec *)
+      | Cfg.Insn a | Cfg.Slot (a, _) -> (
+          match Cfg.defines cfg node with
+          | [ r ] when not (ok r) ->
+              Some
+                (Findings.v ~routine:spec.Cfg.name ~addr:a Findings.Convention
+                   (Format.asprintf
+                      "%s writes %a, outside the declared clobber set"
+                      (Insn.mnemonic (Cfg.insn cfg a))
+                      Reg.pp r))
+          | _ -> None))
+    (Cfg.reachable cfg ~entries:[ entry ])

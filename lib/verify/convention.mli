@@ -1,0 +1,8 @@
+(** Millicode calling-convention check: a routine may write only its
+    declared clobber set (plus its results). Writes to [rp], [sp] or any
+    callee-saved register reachable from the entry are errors — a caller
+    that inlined a [BL mulU,mrp] expects everything outside the scratch
+    set intact. Return-path result definedness is the complementary half,
+    checked by {!Defuse.undefined_results} from the must-defined state. *)
+
+val check : Cfg.t -> entry:int -> Findings.t list

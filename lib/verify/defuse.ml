@@ -1,0 +1,228 @@
+(* Register sets as 32-bit masks indexed by register number. *)
+let mask r = 1 lsl Reg.to_int r
+let mem r set = set land mask r <> 0
+let of_list = List.fold_left (fun s r -> s lor mask r) 0
+let all_regs = 0xFFFF_FFFF
+
+(* Definedness state: a must-analysis point — [regs] the registers, [c]/[v]
+   the PSW carry and overflow bits, certainly written on every path. *)
+type state = { regs : int; c : bool; v : bool }
+
+let meet a b = { regs = a.regs land b.regs; c = a.c && b.c; v = a.v && b.v }
+let state_equal a b = a.regs = b.regs && a.c = b.c && a.v = b.v
+
+(* PSW effects, mirroring [Machine.alu_result]: the add/sub family writes
+   carry; plain ADD/SUB (and their immediate forms) also clear V; ADDC,
+   SUBB and SHxADD leave V alone; DS reads and writes both. ADDIB updates
+   its counter without touching the PSW. *)
+let writes_c : int Insn.t -> bool = function
+  | Alu { op = Add | Addc | Sub | Subb | Shadd _; _ } | Addi _ | Subi _ | Ds _
+    ->
+      true
+  | _ -> false
+
+let writes_v : int Insn.t -> bool = function
+  | Alu { op = Add | Sub; _ } | Addi _ | Subi _ | Ds _ -> true
+  | _ -> false
+
+let reads_c : int Insn.t -> bool = function
+  | Alu { op = Addc | Subb; _ } | Ds _ -> true
+  | _ -> false
+
+let reads_v : int Insn.t -> bool = function Ds _ -> true | _ -> false
+
+(* Writers with no effect beyond their target register: safe to call dead
+   when the target is. Anything that sets PSW bits, may nullify, may trap,
+   links, or touches memory stays off this list. *)
+let pure_write : int Insn.t -> bool = function
+  | Ldil _ | Ldo _ | Zdep _ | Shd _ | Ldaddr _ -> true
+  | Extr { cond; _ } -> Cond.equal cond Cond.Never
+  | Alu { op = And | Or | Xor | Andcm; trap_ov; _ } -> not trap_ov
+  | _ -> false
+
+type t = {
+  cfg : Cfg.t;
+  entry : int;
+  spec : Cfg.spec;
+  nodes : Cfg.node list;
+  ins : (Cfg.node, state) Hashtbl.t;
+  live_out : (Cfg.node, int) Hashtbl.t;
+}
+
+let transfer cfg node (s : state) =
+  match node with
+  | Cfg.Summary _ | Cfg.Tail _ ->
+      let unspec = of_list (Cfg.unspecifies cfg node) in
+      let res = of_list (Cfg.defines cfg node) in
+      { regs = s.regs land lnot unspec lor res; c = false; v = false }
+  | Cfg.Insn a | Cfg.Slot (a, _) ->
+      let i = Cfg.insn cfg a in
+      {
+        regs = s.regs lor of_list (Cfg.defines cfg node);
+        c = s.c || writes_c i;
+        v = s.v || writes_v i;
+      }
+
+let analyze cfg ~entry =
+  let spec = Cfg.spec_at cfg entry in
+  let nodes = Cfg.reachable cfg ~entries:[ entry ] in
+  (* Forward must-defined fixpoint. States only shrink under [meet], so the
+     worklist terminates. *)
+  let ins = Hashtbl.create 256 in
+  let entry_node = Cfg.Insn entry in
+  let entry_state =
+    {
+      regs = of_list (Reg.r0 :: Reg.rp :: Reg.sp :: Reg.mrp :: spec.args);
+      c = false;
+      v = false;
+    }
+  in
+  Hashtbl.replace ins entry_node entry_state;
+  let work = Queue.create () in
+  Queue.add entry_node work;
+  while not (Queue.is_empty work) do
+    let n = Queue.pop work in
+    let out = transfer cfg n (Hashtbl.find ins n) in
+    List.iter
+      (function
+        | Cfg.Step s -> (
+            match Hashtbl.find_opt ins s with
+            | None ->
+                Hashtbl.replace ins s out;
+                Queue.add s work
+            | Some old ->
+                let m = meet old out in
+                if not (state_equal m old) then begin
+                  Hashtbl.replace ins s m;
+                  Queue.add s work
+                end)
+        | _ -> ())
+      (Cfg.succs cfg n)
+  done;
+  (* Backward may-live fixpoint, round-robin in reverse discovery order.
+     Only certain definitions kill: a summary's possible clobbers stay
+     live. *)
+  let live_in = Hashtbl.create 256 in
+  let live_out = Hashtbl.create 256 in
+  let get tbl n = Option.value ~default:0 (Hashtbl.find_opt tbl n) in
+  let ret_live = of_list (Reg.rp :: Reg.sp :: spec.results) in
+  let rev_nodes = List.rev nodes in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun n ->
+        let out =
+          List.fold_left
+            (fun acc e ->
+              match e with
+              | Cfg.Step s -> acc lor get live_in s
+              | Cfg.Ret -> acc lor ret_live
+              | Cfg.Trap | Cfg.Off_image | Cfg.Indirect -> acc lor all_regs)
+            0 (Cfg.succs cfg n)
+        in
+        let inn =
+          out land lnot (of_list (Cfg.defines cfg n))
+          lor of_list (Cfg.reads cfg n)
+        in
+        if get live_out n <> out || get live_in n <> inn then begin
+          Hashtbl.replace live_out n out;
+          Hashtbl.replace live_in n inn;
+          changed := true
+        end)
+      rev_nodes
+  done;
+  { cfg; entry; spec; nodes; ins; live_out }
+
+let finding t ?severity check addr fmt =
+  Format.kasprintf
+    (fun message -> Findings.v ?severity ~routine:t.spec.name ?addr check message)
+    fmt
+
+let node_addr n =
+  match Cfg.addr_of n with
+  | Some a -> Some a
+  | None -> ( match n with Cfg.Summary c -> Some c | _ -> None)
+
+let use_before_def t =
+  List.concat_map
+    (fun n ->
+      match Hashtbl.find_opt t.ins n with
+      | None -> []
+      | Some s ->
+          let addr = node_addr n in
+          let regs =
+            List.filter_map
+              (fun r ->
+                if mem r s.regs then None
+                else
+                  Some
+                    (finding t Findings.Use_before_def addr
+                       "%a may be read before it is defined" Reg.pp r))
+              (Cfg.reads t.cfg n)
+          in
+          let psw =
+            match n with
+            | Cfg.Summary _ | Cfg.Tail _ -> []
+            | Cfg.Insn a | Cfg.Slot (a, _) ->
+                let i = Cfg.insn t.cfg a in
+                (if reads_c i && not s.c then
+                   [
+                     finding t Findings.Psw_before_def addr
+                       "%s reads the carry bit before any instruction sets it"
+                       (Insn.mnemonic i);
+                   ]
+                 else [])
+                @
+                if reads_v i && not s.v then
+                  [
+                    finding t Findings.Psw_before_def addr
+                      "%s reads the V bit before any instruction sets it"
+                      (Insn.mnemonic i);
+                  ]
+                else []
+          in
+          regs @ psw)
+    t.nodes
+
+let dead_writes t =
+  List.filter_map
+    (fun n ->
+      match n with
+      | Cfg.Summary _ | Cfg.Tail _ -> None
+      | Cfg.Insn a | Cfg.Slot (a, _) -> (
+          let i = Cfg.insn t.cfg a in
+          match Cfg.defines t.cfg n with
+          | [ r ] when pure_write i ->
+              let out = Option.value ~default:0 (Hashtbl.find_opt t.live_out n) in
+              if mem r out then None
+              else
+                Some
+                  (finding t ~severity:Findings.Warning Findings.Dead_write
+                     (Some a) "%a is written but never read" Reg.pp r)
+          | _ -> None))
+    t.nodes
+
+let undefined_results t =
+  List.concat_map
+    (fun n ->
+      if List.exists (function Cfg.Ret -> true | _ -> false) (Cfg.succs t.cfg n)
+      then
+        match Hashtbl.find_opt t.ins n with
+        | None -> []
+        | Some s ->
+            let out = transfer t.cfg n s in
+            List.filter_map
+              (fun r ->
+                if mem r out.regs then None
+                else
+                  Some
+                    (finding t Findings.Convention (node_addr n)
+                       "result %a is not defined on this return path" Reg.pp r))
+              t.spec.results
+      else [])
+    t.nodes
+
+let check cfg ~entry =
+  let t = analyze cfg ~entry in
+  use_before_def t @ dead_writes t @ undefined_results t

@@ -1,0 +1,42 @@
+(** Register and PSW dataflow over a {!Cfg}.
+
+    Two fixpoints per routine entry:
+
+    - {e must-defined} (forward, intersection join): which general
+      registers — and the PSW carry/overflow bits — are certainly written
+      on {e every} path from the entry. At entry the routine's declared
+      [args] plus [r0], [rp], [sp] and [mrp] are defined (the millicode
+      convention: arguments set up by the caller, link registers and the
+      stack pointer always valid); both PSW bits start {e undefined}, so
+      an [ADDC] or [DS] reachable without a carry-establishing
+      instruction on some path is reported. A call summary leaves its
+      [results] defined, its remaining [clobbers] undefined, and both PSW
+      bits undefined.
+    - {e may-live} (backward, union join): which registers may still be
+      read. Live-out at a return is [results] + [rp] + [sp]; at a trap,
+      off-image or indirect exit {e every} register is live
+      (conservative — trap handlers and unknown continuations may
+      inspect anything).
+
+    Findings:
+    - {!Findings.Use_before_def} / {!Findings.Psw_before_def} (errors)
+      for reads not covered by the must-defined state;
+    - {!Findings.Dead_write} (warnings) for side-effect-free
+      instructions ([LDI]/[LDIL]/[LDO]/[ZDEP]/[SHD]/plain [EXTR]/
+      [LDADDR]) whose target is dead — carry-writers and nullifying
+      instructions are never reported, their job may be the side effect;
+    - {!Findings.Convention} (errors) for return paths on which a
+      declared result register is not certainly defined. *)
+
+type t
+
+val analyze : Cfg.t -> entry:int -> t
+(** Run both fixpoints from the routine entry at this address, checking
+    against [Cfg.spec_at] of that address. *)
+
+val use_before_def : t -> Findings.t list
+val dead_writes : t -> Findings.t list
+val undefined_results : t -> Findings.t list
+
+val check : Cfg.t -> entry:int -> Findings.t list
+(** All three, in the order above. *)

@@ -1,0 +1,54 @@
+let structure cfg ~entries =
+  let out = ref [] in
+  let emit f = out := f :: !out in
+  let addrs =
+    List.filter_map
+      (fun name ->
+        match Program.symbol (Cfg.program cfg) name with
+        | Some a -> Some a
+        | None ->
+            emit
+              (Findings.v ~routine:name Findings.Structure
+                 "entry label is not defined");
+            None)
+      entries
+  in
+  List.iter
+    (fun node ->
+      match Cfg.addr_of node with
+      | None -> ()
+      | Some a ->
+          List.iter
+            (function
+              | Cfg.Indirect ->
+                  emit
+                    (Findings.v ~addr:a Findings.Structure
+                       (Format.asprintf
+                          "unresolvable indirect branch %s"
+                          (Insn.mnemonic (Cfg.insn cfg a))))
+              | Cfg.Off_image ->
+                  emit
+                    (Findings.v ~addr:a Findings.Structure
+                       "control can run off the program image")
+              | _ -> ())
+            (Cfg.succs cfg node))
+    (Cfg.reachable cfg ~entries:addrs);
+  (addrs, List.rev !out)
+
+let check ?(options = Cfg.default) ?specs ~entries prog =
+  let cfg = Cfg.make ?specs options prog in
+  let addrs, structural = structure cfg ~entries in
+  structural
+  @ Hazards.check cfg
+  @ List.concat_map
+      (fun entry -> Defuse.check cfg ~entry @ Convention.check cfg ~entry)
+      addrs
+
+let check_source ?options ?specs ~entries src =
+  Result.map (check ?options ?specs ~entries) (Program.resolve src)
+
+let certify ?(options = Cfg.default) prog ~entry ~multiplier =
+  match Program.symbol prog entry with
+  | None -> Linear.Unknown (Format.asprintf "no label %S" entry)
+  | Some addr ->
+      Linear.certify (Cfg.make options prog) ~entry:addr ~multiplier

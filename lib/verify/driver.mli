@@ -1,0 +1,25 @@
+(** One-call front end over the analyses.
+
+    For a resolved program and a set of entry labels, runs:
+    + structure: entries resolve, and no reachable path has an
+      unresolvable indirect branch or runs off the program image;
+    + the delay-slot hazard lint ({!Hazards}), whole-image;
+    + per entry: use/PSW-before-def, dead writes, result definedness
+      ({!Defuse}) and the clobber check ({!Convention}).
+
+    The linear certifier is separate ({!certify}) since it needs the
+    expected multiplier. *)
+
+val check :
+  ?options:Cfg.options -> ?specs:Cfg.spec list -> entries:string list ->
+  Program.resolved -> Findings.t list
+
+val check_source :
+  ?options:Cfg.options -> ?specs:Cfg.spec list -> entries:string list ->
+  Program.source -> (Findings.t list, string) result
+(** Resolve first; [Error] is the resolver's message. *)
+
+val certify :
+  ?options:Cfg.options -> Program.resolved -> entry:string ->
+  multiplier:int32 -> Linear.verdict
+(** {!Linear.certify} by label; [Unknown] if the label is absent. *)

@@ -1,0 +1,46 @@
+type check =
+  | Structure
+  | Use_before_def
+  | Psw_before_def
+  | Dead_write
+  | Delay_hazard
+  | Convention
+  | Certify
+
+type severity = Error | Warning
+
+type t = {
+  check : check;
+  severity : severity;
+  routine : string option;
+  addr : int option;
+  message : string;
+}
+
+let v ?(severity = Error) ?routine ?addr check message =
+  { check; severity; routine; addr; message }
+
+let check_name = function
+  | Structure -> "structure"
+  | Use_before_def -> "use-before-def"
+  | Psw_before_def -> "psw-before-def"
+  | Dead_write -> "dead-write"
+  | Delay_hazard -> "delay-hazard"
+  | Convention -> "convention"
+  | Certify -> "certify"
+
+let errors = List.filter (fun f -> f.severity = Error)
+
+let pp ppf f =
+  let sev = match f.severity with Error -> "error" | Warning -> "warning" in
+  Format.fprintf ppf "%s[%s]" sev (check_name f.check);
+  (match f.routine with
+  | Some r -> Format.fprintf ppf " %s" r
+  | None -> ());
+  (match f.addr with
+  | Some a -> Format.fprintf ppf "+%d" a
+  | None -> ());
+  Format.fprintf ppf ": %s" f.message
+
+let pp_list ppf fs =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp ppf fs

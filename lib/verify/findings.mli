@@ -1,0 +1,39 @@
+(** Findings reported by the static verifier.
+
+    Every pass produces a flat list of these; an empty list is the
+    verifier's certificate that the program satisfies the checked
+    property. [Error] findings are miscompiles or convention violations
+    (the CI gate fails on them); [Warning]s are suspicious but not
+    provably wrong (dead writes, meaningless completers). *)
+
+type check =
+  | Structure  (** CFG anomalies: unresolvable indirect branches, falling
+                   off the image, branch targets outside the image *)
+  | Use_before_def  (** a register read on a path with no prior definition *)
+  | Psw_before_def
+      (** ADDC/SUBB/DS consuming PSW carry (or V) on a path where no
+          instruction has set it *)
+  | Dead_write  (** a side-effect-free write never observed on any path *)
+  | Delay_hazard  (** delay-slot invariant violation (see {!Hazards}) *)
+  | Convention  (** millicode calling-convention violation *)
+  | Certify  (** the linear-form interpreter could not certify, or refuted,
+                 a constant-multiply routine *)
+
+type severity = Error | Warning
+
+type t = {
+  check : check;
+  severity : severity;
+  routine : string option;  (** entry point being analyzed, if any *)
+  addr : int option;  (** instruction index in the resolved image *)
+  message : string;
+}
+
+val v :
+  ?severity:severity -> ?routine:string -> ?addr:int -> check -> string -> t
+(** [severity] defaults to [Error]. *)
+
+val check_name : check -> string
+val errors : t list -> t list
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit

@@ -1,0 +1,28 @@
+(** Delay-slot hazard lint: a positional scan machine-checking the
+    invariants {!Delay.schedule} promises about its output.
+
+    In delay-slot mode, for every branch whose [,n] completer is clear
+    (i.e. whose slot does real work):
+
+    - the slot instruction must not itself be a branch (errors: the
+      machine would have two pending transfers);
+    - the slot must not hold a nullifying instruction ([COMCLR],
+      [COMICLR], conditional [EXTR]) — its shadow would fall on the
+      branch target rather than the instruction the simple-model code
+      placed after it;
+    - the slot must not hold an instruction that may trap — a trap
+      inside an executed slot reports the wrong PC;
+    - the instruction {e before} the branch must not be a nullifier:
+      annulling a filled branch skips the transfer but the hoisted slot
+      instruction would still execute, diverging from the simple-model
+      order the scheduler started from. (A nullifier before a [,n]
+      branch — the [extru,<>]/[bv,n] loop idiom — is fine and not
+      flagged.)
+
+    A trailing branch with no instruction after it (its slot fetch runs
+    off the image) is a warning, as is any [,n] completer in
+    simple-mode code, where it has no effect and suggests the program
+    was scheduled for the wrong model. *)
+
+val check : Cfg.t -> Findings.t list
+(** Scan the whole program image of the graph, using its mode. *)

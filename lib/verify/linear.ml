@@ -1,0 +1,257 @@
+module Word = Hppa_word.Word
+
+(* Abstract value: [Lin (a, b)] is a*x + b mod 2^32, x the entry value of
+   the source register. All chain operations are linear mod 2^32, so this
+   is exact on them. *)
+type aval = Top | Lin of int32 * int32
+
+(* [x = Some k] on paths where a comparison pinned the input. *)
+type state = { regs : aval array; x : int32 option }
+
+type verdict = Certified | Refuted of string | Unknown of string
+
+let pp_verdict ppf = function
+  | Certified -> Format.pp_print_string ppf "certified"
+  | Refuted m -> Format.fprintf ppf "refuted: %s" m
+  | Unknown m -> Format.fprintf ppf "unknown: %s" m
+
+exception Abort of string
+exception Refute of string
+
+let av s r =
+  if Reg.equal r Reg.r0 then Lin (0l, 0l) else s.regs.(Reg.to_int r)
+
+let assign s r v =
+  if Reg.equal r Reg.r0 then s
+  else
+    let regs = Array.copy s.regs in
+    regs.(Reg.to_int r) <- v;
+    { s with regs }
+
+let vadd u v =
+  match (u, v) with
+  | Lin (a1, b1), Lin (a2, b2) -> Lin (Word.add a1 a2, Word.add b1 b2)
+  | _ -> Top
+
+let vsub u v =
+  match (u, v) with
+  | Lin (a1, b1), Lin (a2, b2) -> Lin (Word.sub a1 a2, Word.sub b1 b2)
+  | _ -> Top
+
+let vshl u k =
+  match u with Lin (a, b) -> Lin (Word.shl a k, Word.shl b k) | Top -> Top
+
+let const c = Lin (0l, c)
+
+(* The concrete value, when the path knows it. *)
+let concrete s v =
+  match v with
+  | Top -> None
+  | Lin (a, b) -> (
+      if Word.equal a 0l then Some b
+      else
+        match s.x with
+        | Some k -> Some (Word.add (Word.mul_lo a k) b)
+        | None -> None)
+
+(* Register transfer of one instruction; [None] when the instruction
+   certainly traps (its path never returns). Branching and nullification
+   are the caller's business. *)
+let transfer s (i : int Insn.t) : state option =
+  let ov_cut ~trap_ov ov_certain next =
+    if trap_ov && ov_certain then None else Some next
+  in
+  match i with
+  | Alu { op; a; b; t; trap_ov } -> (
+      let va = av s a and vb = av s b in
+      match op with
+      | Add ->
+          let certain =
+            match (concrete s va, concrete s vb) with
+            | Some ca, Some cb -> Word.add_overflows_s ca cb
+            | _ -> false
+          in
+          ov_cut ~trap_ov certain (assign s t (vadd va vb))
+      | Sub ->
+          let certain =
+            match (concrete s va, concrete s vb) with
+            | Some ca, Some cb -> Word.sub_overflows_s ca cb
+            | _ -> false
+          in
+          ov_cut ~trap_ov certain (assign s t (vsub va vb))
+      | Shadd k ->
+          let certain =
+            match (concrete s va, concrete s vb) with
+            | Some ca, Some cb -> Word.sh_add_overflows_hw k ca cb
+            | _ -> false
+          in
+          ov_cut ~trap_ov certain (assign s t (vadd (vshl va k) vb))
+      | Addc | Subb | And | Or | Xor | Andcm -> Some (assign s t Top))
+  | Ds { t; _ } -> Some (assign s t Top)
+  | Addi { imm; a; t; trap_ov } ->
+      let va = av s a in
+      let certain =
+        match concrete s va with
+        | Some ca -> Word.add_overflows_s ca imm
+        | None -> false
+      in
+      ov_cut ~trap_ov certain (assign s t (vadd va (const imm)))
+  | Subi { imm; a; t; trap_ov } ->
+      let va = av s a in
+      let certain =
+        match concrete s va with
+        | Some ca -> Word.sub_overflows_s imm ca
+        | None -> false
+      in
+      ov_cut ~trap_ov certain (assign s t (vsub (const imm) va))
+  | Comclr { t; _ } | Comiclr { t; _ } -> Some (assign s t (const 0l))
+  | Extr { t; _ } -> Some (assign s t Top)
+  | Zdep { r; pos; len; t } ->
+      (* shift-left-immediate; any other deposit leaves the domain *)
+      if len = 32 - pos then Some (assign s t (vshl (av s r) pos))
+      else Some (assign s t Top)
+  | Shd { t; _ } -> Some (assign s t Top)
+  | Ldil { imm; t } -> Some (assign s t (const imm))
+  | Ldo { imm; base; t } -> Some (assign s t (vadd (av s base) (const imm)))
+  | Ldw { t; _ } -> Some (assign s t Top)
+  | Stw _ -> Some s
+  | Ldaddr { t; _ } -> Some (assign s t Top)
+  | Addib { imm; a; _ } -> Some (assign s a (vadd (av s a) (const imm)))
+  | Comb _ | Comib _ | B _ | Bv _ -> Some s
+  | Bl { t; _ } | Blr { t; _ } -> Some (assign s t Top)
+  | Break _ -> None
+  | Nop -> Some s
+
+(* Which way does a conditional at [addr] send a successor node? *)
+type sense = Taken | Fall | Either
+
+let sense_of ~addr ~target node =
+  match node with
+  | Cfg.Slot _ -> Taken
+  | Cfg.Insn t ->
+      if t = target && t = addr + 1 then Either
+      else if t = target then Taken
+      else if t = addr + 1 then Fall
+      else Either
+  | Cfg.Summary _ | Cfg.Tail _ -> Either
+
+(* Constrain the path state by the branch decision; [None] drops an edge
+   the comparison proves impossible. Solving is only attempted when the
+   compared register is exactly x (Lin (1, 0)). *)
+let refine s (i : int Insn.t) sense : state option =
+  let decide cond l r keep_if =
+    if Cond.eval cond l r = keep_if then Some s else None
+  in
+  match (i, sense) with
+  | _, Either -> Some s
+  | Comib { cond; imm; a; _ }, _ -> (
+      let va = av s a in
+      match concrete s va with
+      | Some c -> decide cond imm c (sense = Taken)
+      | None -> (
+          match (va, cond, sense) with
+          | Lin (1l, 0l), Cond.Eq, Taken | Lin (1l, 0l), Cond.Neq, Fall ->
+              Some { s with x = Some imm }
+          | _ -> Some s))
+  | Comb { cond; a; b; _ }, _ -> (
+      match (concrete s (av s a), concrete s (av s b)) with
+      | Some ca, Some cb -> decide cond ca cb (sense = Taken)
+      | _ -> Some s)
+  | Addib { cond; a; _ }, _ -> (
+      (* [transfer] already updated the counter; test it against zero. *)
+      match concrete s (av s a) with
+      | Some c -> decide cond c 0l (sense = Taken)
+      | None -> Some s)
+  | _ -> Some s
+
+let step_budget = 20_000
+
+let certify ?(src = Reg.arg0) ?(result = Reg.ret0) cfg ~entry ~multiplier =
+  let init =
+    let regs = Array.make 32 Top in
+    regs.(Reg.to_int src) <- Lin (1l, 0l);
+    { regs; x = None }
+  in
+  let seen = Hashtbl.create 256 in
+  let steps = ref 0 in
+  let returned = ref false in
+  let check_ret s =
+    returned := true;
+    let v = av s result in
+    match s.x with
+    | Some k ->
+        let got =
+          match concrete s v with
+          | Some c -> c
+          | None -> raise (Abort "return value not concrete on a pinned path")
+        in
+        let want = Word.mul_lo multiplier k in
+        if not (Word.equal got want) then
+          raise
+            (Refute
+               (Format.asprintf "for x = %ld the routine returns %ld, not %ld"
+                  k got want))
+    | None -> (
+        match v with
+        | Lin (a, b) when Word.equal a multiplier && Word.equal b 0l -> ()
+        | Lin (a, b) ->
+            raise
+              (Refute
+                 (Format.asprintf "returns %ld*x + %ld, wanted %ld*x" a b
+                    multiplier))
+        | Top -> raise (Abort "return value leaves the linear domain"))
+  in
+  let rec visit node s =
+    if not (Hashtbl.mem seen (node, s)) then begin
+      Hashtbl.replace seen (node, s) ();
+      incr steps;
+      if !steps > step_budget then
+        raise (Abort "path explosion: state budget exhausted");
+      match node with
+      | Cfg.Summary _ -> raise (Abort "routine makes a call")
+      | Cfg.Tail _ -> raise (Abort "routine makes a tail call")
+      | Cfg.Insn a | Cfg.Slot (a, _) -> (
+          let i = Cfg.insn cfg a in
+          match transfer s i with
+          | None -> () (* certain trap: the path never returns *)
+          | Some s' ->
+              let classify =
+                match Insn.target i with
+                | Some target -> sense_of ~addr:a ~target
+                | None -> fun _ -> Either
+              in
+              List.iter
+                (fun e ->
+                  match e with
+                  | Cfg.Trap -> ()
+                  | Cfg.Ret -> check_ret s'
+                  | Cfg.Off_image ->
+                      raise (Abort "control may leave the program image")
+                  | Cfg.Indirect -> raise (Abort "indirect branch")
+                  | Cfg.Step next -> (
+                      let sense =
+                        match node with
+                        | Cfg.Slot _ -> Either (* transfer already decided *)
+                        | _ -> classify next
+                      in
+                      match refine s' i sense with
+                      | Some s'' -> visit next s''
+                      | None -> ()))
+                (Cfg.succs cfg node))
+    end
+  in
+  match
+    visit (Cfg.Insn entry) init;
+    if !returned then Certified else Unknown "no return path reached"
+  with
+  | v -> v
+  | exception Refute m -> Refuted m
+  | exception Abort m -> Unknown m
+
+let findings ~routine v =
+  match v with
+  | Certified -> []
+  | Refuted m ->
+      [ Findings.v ~routine Findings.Certify ("multiply refuted: " ^ m) ]
+  | Unknown m ->
+      [ Findings.v ~routine Findings.Certify ("multiply not certified: " ^ m) ]

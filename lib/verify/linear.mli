@@ -1,0 +1,44 @@
+(** Linear-form abstract interpretation: certify that a constant-multiply
+    routine computes [multiplier * arg0] without running it on concrete
+    inputs.
+
+    Register values are tracked in the domain [a*x + b (mod 2^32)], where
+    [x] is the symbolic entry value of [arg0]. Every operation a
+    {!Chain_codegen} body can emit — [ADD], [SUB], [SHxADD], shift-left
+    [ZDEP], [LDO]/[LDIL], [COMCLR] — is exact in this domain, so the
+    abstract result at a return {e is} the polynomial the routine
+    computes, and certification reduces to comparing it with
+    [multiplier * x]. Congruence mod 2^32 also disposes of overflow: a
+    trapping run never reaches the return, and a non-trapping run's
+    result equals the mod-2^32 value.
+
+    Two refinements let the branchy special-case plans through:
+    - a [COMIB] whose compared register is exactly [x] pins [x] to the
+      immediate on the appropriate edge ([=] taken, [<>] fall-through),
+      after which every linear value on that path is a known constant;
+    - an overflow-trapping instruction whose operands are known constants
+      that certainly overflow kills its path — the guaranteed-trap idiom
+      ([LDIL 0x40000000; ADDO t,t,r0]) is control flow, not arithmetic.
+
+    Anything outside the domain ([ADDC], [DS], loads, calls, indirect
+    branches) is [Top] or aborts to [Unknown]: the certifier proves the
+    strength-reduced chains of §5 and their special cases, not division
+    — see DESIGN.md for the boundary. *)
+
+type verdict =
+  | Certified
+  | Refuted of string  (** a return path provably computes something else *)
+  | Unknown of string  (** outside the domain's reach *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val certify :
+  ?src:Reg.t -> ?result:Reg.t -> Cfg.t -> entry:int -> multiplier:int32 ->
+  verdict
+(** Explore all paths from [entry] (default: [src] = [arg0], [result] =
+    [ret0]), requiring [result = multiplier * src] at every reachable
+    return. Honours the graph's mode, so scheduled bodies with filled
+    delay slots certify too. *)
+
+val findings : routine:string -> verdict -> Findings.t list
+(** [[]] when certified, otherwise one {!Findings.Certify} error. *)

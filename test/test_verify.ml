@@ -1,0 +1,318 @@
+(* The static verifier: the real millicode library must be clean under
+   every analysis, the linear interpreter must certify every multiply
+   plan, and each analysis must catch a seeded bad program. *)
+
+module Word = Hppa_word.Word
+module V = Hppa_verify
+open Util
+open Hppa
+
+let pp_findings fs = Format.asprintf "%a" V.Findings.pp_list fs
+
+let check_clean what findings =
+  Alcotest.(check bool)
+    (what ^ ": " ^ pp_findings findings)
+    true (findings = [])
+
+(* --- The library is lint-clean in both models. ------------------------- *)
+
+let test_millicode_plain () = check_clean "plain" (Millicode.lint ())
+
+let test_millicode_scheduled () =
+  check_clean "scheduled" (Millicode.lint ~scheduled:true ())
+
+(* The naive transform (every branch nullified) must also be hazard-free:
+   its slots are all nops or annulled. *)
+let test_millicode_naive () =
+  let options =
+    { V.Cfg.mode = V.Cfg.Delay_slot; blr_slots = Div_small.threshold }
+  in
+  match
+    V.Driver.check_source ~options ~specs:Millicode.conventions
+      ~entries:Millicode.entries
+      (Delay.naive Millicode.source)
+  with
+  | Ok findings -> check_clean "naive" findings
+  | Error msg -> Alcotest.fail msg
+
+(* --- Multiply plans: lint + certification, plain and scheduled. -------- *)
+
+let plan_cfg ~scheduled (plan : Mul_const.plan) =
+  let src =
+    if scheduled then Delay.schedule plan.source else plan.source
+  in
+  let options =
+    if scheduled then V.Cfg.delay else V.Cfg.default
+  in
+  V.Cfg.make options (Program.resolve_exn src)
+
+let certify_plan ~scheduled plan =
+  let cfg = plan_cfg ~scheduled plan in
+  let entry = Program.symbol_exn (V.Cfg.program cfg) plan.Mul_const.entry in
+  V.Linear.certify cfg ~entry ~multiplier:plan.Mul_const.multiplier
+
+let assert_certified ~overflow ~scheduled n =
+  let plan = Mul_const.plan ~overflow n in
+  match certify_plan ~scheduled plan with
+  | V.Linear.Certified -> ()
+  | v ->
+      Alcotest.failf "%ld (overflow=%b, scheduled=%b): %a" n overflow scheduled
+        V.Linear.pp_verdict v
+
+(* Every plan for 0..4096, both models; overflow variants on a denser
+   small range plus the special cases. *)
+let test_certify_dense () =
+  for n = 0 to 4096 do
+    let n32 = Int32.of_int n in
+    assert_certified ~overflow:false ~scheduled:false n32;
+    assert_certified ~overflow:false ~scheduled:true n32
+  done
+
+let test_certify_overflow () =
+  for n = 0 to 256 do
+    let n32 = Int32.of_int n in
+    assert_certified ~overflow:true ~scheduled:false n32;
+    assert_certified ~overflow:true ~scheduled:true n32
+  done;
+  List.iter
+    (fun n ->
+      assert_certified ~overflow:true ~scheduled:false n;
+      assert_certified ~overflow:true ~scheduled:true n)
+    [ Int32.min_int; Int32.max_int; -1l; -625l; 0x4000_0000l ]
+
+let certify_random =
+  QCheck.Test.make ~name:"random multipliers certify (plain + scheduled)"
+    ~count:200 arb_word (fun n ->
+      assert_certified ~overflow:false ~scheduled:false n;
+      assert_certified ~overflow:false ~scheduled:true n;
+      true)
+
+(* Plans also pass the full lint, as millicode-convention routines with a
+   single-argument interface. *)
+let lint_plan ~scheduled n =
+  let plan = Mul_const.plan n in
+  let spec =
+    {
+      V.Cfg.name = plan.entry;
+      args = [ Reg.arg0 ];
+      results = [ Reg.ret0 ];
+      clobbers = V.Cfg.scratch;
+    }
+  in
+  let src = if scheduled then Delay.schedule plan.source else plan.source in
+  let options = if scheduled then V.Cfg.delay else V.Cfg.default in
+  match
+    V.Driver.check_source ~options ~specs:[ spec ] ~entries:[ plan.entry ] src
+  with
+  | Ok findings -> check_clean (Int32.to_string n) findings
+  | Error msg -> Alcotest.fail msg
+
+let test_lint_plans () =
+  List.iter
+    (fun n ->
+      lint_plan ~scheduled:false n;
+      lint_plan ~scheduled:true n)
+    [ 0l; 1l; 10l; 625l; 1991l; -7l; -625l; Int32.max_int; Int32.min_int ]
+
+(* --- Negative tests: each analysis catches a seeded bad program. ------- *)
+
+let has check fs = List.exists (fun f -> f.V.Findings.check = check) fs
+
+let check_of_bad what check src ~entries =
+  match V.Driver.check_source ~entries src with
+  | Ok findings ->
+      Alcotest.(check bool)
+        (what ^ ": " ^ pp_findings findings)
+        true
+        (has check findings)
+  | Error msg -> Alcotest.fail msg
+
+let ret = Emit.ret
+
+let test_bad_use_before_def () =
+  (* t2 is never written: the add consumes garbage. *)
+  check_of_bad "use-before-def" V.Findings.Use_before_def
+    [
+      Program.Label "bad";
+      Program.Insn (Emit.add Reg.arg0 Reg.t2 Reg.ret0);
+      Program.Insn ret;
+    ]
+    ~entries:[ "bad" ]
+
+let test_bad_psw () =
+  (* addc with no carry-establishing instruction before it. *)
+  check_of_bad "psw-before-def" V.Findings.Psw_before_def
+    [
+      Program.Label "bad";
+      Program.Insn (Emit.addc Reg.arg0 Reg.arg1 Reg.ret0);
+      Program.Insn ret;
+    ]
+    ~entries:[ "bad" ]
+
+let test_bad_one_path_undefined () =
+  (* ret0 defined on the fall-through path only: the taken path returns
+     garbage. *)
+  check_of_bad "one-path-undefined" V.Findings.Convention
+    [
+      Program.Label "bad";
+      Program.Insn (Emit.comib Cond.Eq 0l Reg.arg0 "bad$out");
+      Program.Insn (Emit.copy Reg.arg0 Reg.ret0);
+      Program.Label "bad$out";
+      Program.Insn ret;
+    ]
+    ~entries:[ "bad" ]
+
+let test_bad_clobber () =
+  (* r5 is callee-saved: writing it breaks every caller. *)
+  check_of_bad "clobber" V.Findings.Convention
+    [
+      Program.Label "bad";
+      Program.Insn (Emit.ldo 1l Reg.r0 (Reg.of_int 5));
+      Program.Insn (Emit.copy Reg.arg0 Reg.ret0);
+      Program.Insn ret;
+    ]
+    ~entries:[ "bad" ]
+
+let test_bad_dead_write () =
+  check_of_bad "dead-write" V.Findings.Dead_write
+    [
+      Program.Label "bad";
+      Program.Insn (Emit.ldo 7l Reg.r0 Reg.t2);
+      Program.Insn (Emit.copy Reg.arg0 Reg.ret0);
+      Program.Insn ret;
+    ]
+    ~entries:[ "bad" ]
+
+let test_bad_structure () =
+  (* bv through a non-link register is unresolvable. *)
+  check_of_bad "indirect" V.Findings.Structure
+    [
+      Program.Label "bad";
+      Program.Insn (Emit.copy Reg.arg0 Reg.ret0);
+      Program.Insn (Emit.bv Reg.r0 Reg.arg1);
+    ]
+    ~entries:[ "bad" ]
+
+let delay_check src =
+  match
+    Result.map
+      (fun p -> V.Hazards.check (V.Cfg.make V.Cfg.delay p))
+      (Program.resolve src)
+  with
+  | Ok fs -> fs
+  | Error msg -> Alcotest.fail msg
+
+let test_bad_hazard_branch_in_slot () =
+  let fs =
+    delay_check
+      [
+        Program.Label "bad";
+        Program.Insn (Insn.B { target = "bad"; n = false });
+        Program.Insn (Insn.B { target = "bad"; n = true });
+        Program.Insn (Insn.Nop);
+      ]
+  in
+  Alcotest.(check bool)
+    ("branch in slot: " ^ pp_findings fs)
+    true
+    (has V.Findings.Delay_hazard fs)
+
+let test_bad_hazard_nullifier_before_branch () =
+  (* A filled branch in a nullifier's shadow: annulment would skip the
+     branch but its hoisted slot instruction would still execute. *)
+  let fs =
+    delay_check
+      [
+        Program.Label "bad";
+        Program.Insn (Emit.comclr Cond.Eq Reg.arg0 Reg.arg1 Reg.r0);
+        Program.Insn (Insn.B { target = "bad"; n = false });
+        Program.Insn (Emit.copy Reg.arg0 Reg.ret0);
+      ]
+  in
+  Alcotest.(check bool)
+    ("nullifier before filled branch: " ^ pp_findings fs)
+    true
+    (has V.Findings.Delay_hazard fs)
+
+let test_hazard_accepts_annulled_idiom () =
+  (* The legitimate scheduled loop idiom: a nullifier immediately before
+     a ,n branch must NOT be flagged. *)
+  let fs =
+    delay_check
+      [
+        Program.Label "ok";
+        Program.Insn (Emit.extru ~cond:Cond.Neq Reg.arg0 ~pos:4 ~len:28 Reg.arg0);
+        Program.Insn (Insn.B { target = "ok"; n = true });
+        Program.Insn Insn.Nop;
+      ]
+  in
+  check_clean "annulled idiom" fs
+
+let test_bad_certify () =
+  (* A correct routine checked against the wrong constant refutes. *)
+  let plan = Mul_const.plan 10l in
+  let cfg = plan_cfg ~scheduled:false plan in
+  let entry = Program.symbol_exn (V.Cfg.program cfg) plan.entry in
+  match V.Linear.certify cfg ~entry ~multiplier:12l with
+  | V.Linear.Refuted _ -> ()
+  | v -> Alcotest.failf "expected refutation, got %a" V.Linear.pp_verdict v
+
+(* --- Insn.reads contract pin (see insn.mli). --------------------------- *)
+
+let test_reads_duplicates () =
+  let reg = Alcotest.testable Reg.pp Reg.equal in
+  Alcotest.(check (list reg))
+    "add r5, r5, t lists r5 twice" [ Reg.of_int 5; Reg.of_int 5 ]
+    (Insn.reads (Emit.add (Reg.of_int 5) (Reg.of_int 5) Reg.t2));
+  Alcotest.(check (list reg))
+    "reads_distinct dedupes, keeping order" [ Reg.of_int 5 ]
+    (Insn.reads_distinct (Emit.add (Reg.of_int 5) (Reg.of_int 5) Reg.t2));
+  Alcotest.(check (list reg))
+    "bv r0(rp) reads both operand positions" [ Reg.r0; Reg.rp ]
+    (Insn.reads Emit.ret);
+  Alcotest.(check (list reg))
+    "distinct preserves first-occurrence order" [ Reg.arg0; Reg.arg1 ]
+    (Insn.reads_distinct (Emit.add Reg.arg0 Reg.arg1 Reg.ret0))
+
+let suite =
+  [
+    ( "verify.millicode",
+      [
+        Alcotest.test_case "plain image is clean" `Quick test_millicode_plain;
+        Alcotest.test_case "scheduled image is clean" `Quick
+          test_millicode_scheduled;
+        Alcotest.test_case "naive image is clean" `Quick test_millicode_naive;
+      ] );
+    ( "verify.certify",
+      [
+        Alcotest.test_case "plans 0..4096 certify (both models)" `Slow
+          test_certify_dense;
+        Alcotest.test_case "overflow plans certify" `Quick
+          test_certify_overflow;
+        Alcotest.test_case "representative plans pass the full lint" `Quick
+          test_lint_plans;
+      ] );
+    qsuite "verify.certify.random" [ certify_random ];
+    ( "verify.negative",
+      [
+        Alcotest.test_case "use before def" `Quick test_bad_use_before_def;
+        Alcotest.test_case "carry before def" `Quick test_bad_psw;
+        Alcotest.test_case "result undefined on one path" `Quick
+          test_bad_one_path_undefined;
+        Alcotest.test_case "callee-saved clobber" `Quick test_bad_clobber;
+        Alcotest.test_case "dead write" `Quick test_bad_dead_write;
+        Alcotest.test_case "indirect branch" `Quick test_bad_structure;
+        Alcotest.test_case "branch in delay slot" `Quick
+          test_bad_hazard_branch_in_slot;
+        Alcotest.test_case "nullifier before filled branch" `Quick
+          test_bad_hazard_nullifier_before_branch;
+        Alcotest.test_case "annulled-branch idiom accepted" `Quick
+          test_hazard_accepts_annulled_idiom;
+        Alcotest.test_case "wrong multiplier refuted" `Quick test_bad_certify;
+      ] );
+    ( "verify.insn",
+      [
+        Alcotest.test_case "reads enumerates operand positions" `Quick
+          test_reads_duplicates;
+      ] );
+  ]
