@@ -22,11 +22,21 @@ let header title =
 
 let mach = lazy (Millicode.machine ())
 
-let cycles entry args =
-  let m = Lazy.force mach in
+(* A trap or fuel exhaustion inside a benchmark means a broken routine or
+   a broken harness; fail the run loudly rather than folding it into a
+   bogus cycle count. *)
+let cycles_exn ~what m entry args =
   match Machine.call_cycles m entry ~args with
   | Machine.Halted, c -> c
-  | (Machine.Trapped _ | Machine.Fuel_exhausted), _ -> -1
+  | Machine.Trapped t, _ ->
+      Printf.eprintf "bench: %s: %s trapped: %s\n%!" what entry
+        (Hppa_machine.Trap.to_string t);
+      exit 1
+  | Machine.Fuel_exhausted, _ ->
+      Printf.eprintf "bench: %s: %s exhausted its fuel\n%!" what entry;
+      exit 1
+
+let cycles entry args = cycles_exn ~what:"millicode" (Lazy.force mach) entry args
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1: least n such that l(n) = r                                *)
@@ -46,7 +56,11 @@ let fig1 ~deep () =
     ];
   Printf.printf "measured (exhaustive to depth %d):\n%!" (if deep then 6 else 5);
   let max_len, limit = if deep then (6, 5600) else (5, 700) in
-  let ex = Chain_search.lengths_table ~max_len ~limit () in
+  let ex =
+    Chain_search.lengths_table ~max_len ~limit
+      ~domains:(Hppa_machine.Sweep.default_domains ())
+      ()
+  in
   for r = 1 to max_len do
     let hits = ref [] and count = ref 0 in
     let n = ref 2 in
@@ -192,11 +206,7 @@ let fig7 () =
     Machine.create
       (Program.resolve_exn (Program.concat [ plan.source; Div_gen.source ]))
   in
-  let c =
-    match Machine.call_cycles m plan.entry ~args:[ 1_000_000l ] with
-    | Machine.Halted, c -> c
-    | _ -> -1
-  in
+  let c = cycles_exn ~what:"fig7 divide-by-3" m plan.entry [ 1_000_000l ] in
   let general = cycles "divU" [ 1_000_000l; 3l ] in
   Printf.printf "  sequence length: paper 17 instructions, measured %d cycles\n" c;
   Printf.printf
@@ -208,11 +218,7 @@ let fig7 () =
     Machine.create
       (Program.resolve_exn (Program.concat [ plan_s.source; Div_gen.source ]))
   in
-  let run x =
-    match Machine.call_cycles m plan_s.entry ~args:[ x ] with
-    | Machine.Halted, c -> c
-    | _ -> -1
-  in
+  let run x = cycles_exn ~what:"fig7 signed divide-by-3" m plan_s.entry [ x ] in
   Printf.printf
     "  signed: paper 17 cycles positive / 19 negative, measured %d / %d\n"
     (run 1_000_000l) (run (-1_000_000l))
@@ -234,11 +240,7 @@ let div_perf () =
         (Program.resolve_exn (Program.concat [ plan.source; Div_gen.source ]))
     in
     let x = Word.of_int (Prng.int_range g 0 0x0fff_ffff) in
-    let c =
-      match Machine.call_cycles m plan.entry ~args:[ x ] with
-      | Machine.Halted, c -> c
-      | _ -> -1
-    in
+    let c = cycles_exn ~what:"div_perf constant divisor" m plan.entry [ x ] in
     let via_dispatch = cycles "divU_small" [ x; y32 ] in
     let strat =
       match plan.strategy with
@@ -274,11 +276,7 @@ let div_perf () =
         Machine.create
           (Program.resolve_exn (Program.concat [ plan.source; Div_gen.source ]))
       in
-      let c =
-        match Machine.call_cycles m plan.entry ~args:[ 123456789l ] with
-        | Machine.Halted, c -> c
-        | _ -> -1
-      in
+      let c = cycles_exn ~what:"div_perf remainder" m plan.entry [ 123456789l ] in
       Printf.printf "mod %d: %d   " y c)
     [ 3; 7; 8; 10; 13 ];
   Printf.printf "(vs %d for the general remU)\n"
@@ -540,11 +538,7 @@ let delay_bench () =
     (100.0 *. float_of_int st.Delay.filled /. float_of_int st.Delay.branches);
   Printf.printf "  %-12s %18s %18s %18s\n" "entry" "ideal pipeline"
     "delay, unscheduled" "delay, scheduled";
-  let measure m entry args =
-    match Machine.call_cycles m entry ~args with
-    | Machine.Halted, c -> c
-    | _ -> -1
-  in
+  let measure m entry args = cycles_exn ~what:"delay pipeline" m entry args in
   List.iter
     (fun (entry, args) ->
       let c0 = cycles entry args in
@@ -604,9 +598,8 @@ let kernels () =
   let open Hppa_compiler in
   let run prog entry args =
     let m = Machine.create prog in
-    match Machine.call_cycles m entry ~args with
-    | Machine.Halted, c -> (Machine.get m Reg.ret0, c)
-    | (Machine.Trapped _ | Machine.Fuel_exhausted), _ -> (0l, -1)
+    let c = cycles_exn ~what:"compiled kernel" m entry args in
+    (Machine.get m Reg.ret0, c)
   in
   let compile ?preheader l inputs =
     let u = Lower_loop.compile ~entry:"k" ~inputs ~result:"j" ?preheader l in
@@ -708,17 +701,111 @@ let bechamel_suite () =
     in
     Analyze.all ols Toolkit.Instance.monotonic_clock raw
   in
-  header "Bechamel micro-benchmarks (host nanoseconds per run)";
-  List.iter
+  List.concat_map
     (fun test ->
       let results = analyze (benchmark test) in
-      Hashtbl.iter
-        (fun name result ->
-          match Bechamel.Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "  %-26s %12.1f ns/run\n" name est
-          | Some _ | None -> Printf.printf "  %-26s (no estimate)\n" name)
-        results)
+      Hashtbl.fold
+        (fun name result acc ->
+          let est =
+            match Bechamel.Analyze.OLS.estimates result with
+            | Some [ est ] -> Some est
+            | Some _ | None -> None
+          in
+          (name, est) :: acc)
+        results [])
     tests
+
+let bechamel_print () =
+  header "Bechamel micro-benchmarks (host nanoseconds per run)";
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "  %-26s %12.1f ns/run\n" name est
+      | None -> Printf.printf "  %-26s (no estimate)\n" name)
+    (bechamel_suite ())
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_SIM.json: machine-readable performance snapshot                *)
+
+(* Simulated instructions per host second for one millicode entry,
+   measured on a private machine with the threaded engine forced on or
+   off. The first call is a warm-up so translation cost stays out of the
+   engine numbers. *)
+let sim_throughput ~engine ~iters entry args_of =
+  let m = Millicode.machine () in
+  Machine.set_engine m engine;
+  ignore (cycles_exn ~what:"json warmup" m entry (args_of 0));
+  let t0 = Unix.gettimeofday () in
+  let cyc = ref 0 in
+  for i = 1 to iters do
+    cyc := !cyc + cycles_exn ~what:"json throughput" m entry (args_of i)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  (float_of_int !cyc /. dt, !cyc)
+
+let closure_wall ~domains ~max_len ~limit =
+  let t0 = Unix.gettimeofday () in
+  ignore (Chain_search.lengths_table ~domains ~max_len ~limit ());
+  Unix.gettimeofday () -. t0
+
+let bench_json ~fast () =
+  let iters = if fast then 4000 else 20000 in
+  let sim_kernels =
+    List.map
+      (fun (name, args_of) ->
+        let eng, sim_insns = sim_throughput ~engine:true ~iters name args_of in
+        let itp, _ = sim_throughput ~engine:false ~iters name args_of in
+        (name, eng, itp, sim_insns))
+      [
+        ("mul_final", fun i -> [ Int32.of_int ((i land 0xffff) + 1); 12345l ]);
+        ("mul_naive", fun i -> [ Int32.of_int ((i land 0xffff) + 1); 0x12345l ]);
+        ("divU", fun i -> [ Int32.of_int ((i * 7919) land 0x3fff_ffff); 1097l ]);
+      ]
+  in
+  let max_len, limit = if fast then (4, 300) else (5, 700) in
+  let seq = closure_wall ~domains:1 ~max_len ~limit in
+  let domains = Hppa_machine.Sweep.default_domains () in
+  let par = closure_wall ~domains ~max_len ~limit in
+  let bech = bechamel_suite () in
+  let oc = open_out "BENCH_SIM.json" in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"hppa-bench-sim/1\",\n";
+  out "  \"fast\": %b,\n" fast;
+  out "  \"sim_kernels\": [\n";
+  List.iteri
+    (fun i (name, eng, itp, sim_insns) ->
+      out
+        "    {\"name\": %S, \"engine_insns_per_sec\": %.0f, \
+         \"interp_insns_per_sec\": %.0f, \"speedup\": %.2f, \
+         \"sim_insns\": %d}%s\n"
+        name eng itp (eng /. itp) sim_insns
+        (if i < List.length sim_kernels - 1 then "," else ""))
+    sim_kernels;
+  out "  ],\n";
+  out "  \"lengths_table\": {\"max_len\": %d, \"limit\": %d, \
+       \"seq_seconds\": %.3f, \"par_seconds\": %.3f, \"domains\": %d, \
+       \"parallel_speedup\": %.2f},\n"
+    max_len limit seq par domains (seq /. par);
+  out "  \"bechamel_ns_per_run\": {\n";
+  List.iteri
+    (fun i (name, est) ->
+      out "    %S: %s%s\n" name
+        (match est with Some e -> Printf.sprintf "%.1f" e | None -> "null")
+        (if i < List.length bech - 1 then "," else ""))
+    bech;
+  out "  }\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_SIM.json\n";
+  List.iter
+    (fun (name, eng, itp, _) ->
+      Printf.printf "  %-10s engine %.1fM insns/s, interpreter %.1fM, %.1fx\n"
+        name (eng /. 1e6) (itp /. 1e6) (eng /. itp))
+    sim_kernels;
+  Printf.printf
+    "  lengths_table depth %d: %.2fs sequential, %.2fs on %d domain(s) (%.2fx)\n"
+    max_len seq par domains (seq /. par)
 
 (* ------------------------------------------------------------------ *)
 
@@ -746,8 +833,12 @@ let all_figures =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let deep = List.mem "--deep" args in
-  let selected = List.filter (fun a -> a <> "--deep") args in
-  if List.mem "bechamel" selected then bechamel_suite ()
+  let fast = List.mem "--fast" args in
+  let selected =
+    List.filter (fun a -> a <> "--deep" && a <> "--fast") args
+  in
+  if List.mem "bechamel" selected then bechamel_print ()
+  else if List.mem "json" selected then bench_json ~fast ()
   else begin
     let to_run =
       if selected = [] then all_figures
@@ -755,7 +846,7 @@ let () =
         List.filter (fun (name, _) -> List.mem name selected) all_figures
     in
     if to_run = [] then begin
-      Printf.printf "unknown selection; available: %s bechamel\n"
+      Printf.printf "unknown selection; available: %s bechamel json\n"
         (String.concat " " (List.map fst all_figures));
       exit 2
     end;

@@ -51,60 +51,109 @@ let useful v values nvals =
 (* ------------------------------------------------------------------ *)
 (* Breadth-first closure                                               *)
 
+(* Value sets are small sorted int arrays; the table operations on them
+   are the closure's inner loop, so the key operations are monomorphic —
+   the polymorphic [Stdlib.(=)]/[Hashtbl.hash] walk the representation
+   through a generic comparator and cost several times as much. *)
 module Key = struct
   type t = int array
 
-  let equal = Stdlib.( = )
-  let hash = Hashtbl.hash
+  let equal (a : int array) (b : int array) =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec eq i = i >= n || (a.(i) = b.(i) && eq (i + 1)) in
+    eq 0
+
+  (* FNV-1a over the elements (values may be negative; the final mask
+     keeps the result non-negative). *)
+  let hash (a : int array) =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to Array.length a - 1 do
+      h := (!h lxor a.(i)) * 0x01000193
+    done;
+    !h land max_int
 end
 
 module Tbl = Hashtbl.Make (Key)
 
-(* Sets have at most ~8 elements; copy-and-sort is fine. *)
+(* Sets are kept sorted ascending and never contain duplicates ([useful]
+   filters members), so extension is a single-shift insertion rather
+   than a polymorphic [Array.sort compare]. *)
 let sorted_insert arr v =
   let n = Array.length arr in
   let out = Array.make (n + 1) v in
-  Array.blit arr 0 out 0 n;
-  Array.sort compare out;
+  let i = ref 0 in
+  while !i < n && arr.(!i) < v do
+    incr i
+  done;
+  Array.blit arr 0 out 0 !i;
+  out.(!i) <- v;
+  Array.blit arr !i out (!i + 1) (n - !i);
   out
 
-let lengths_table ?cap ~max_len ~limit () =
+let lengths_table ?cap ?(domains = 1) ~max_len ~limit () =
   if max_len < 0 || limit < 1 then invalid_arg "Chain_search.lengths_table";
   let cap = Option.value cap ~default:(default_cap limit) in
   let best = Array.make (limit + 1) max_int in
   best.(1) <- 0;
   let visited = Tbl.create 4096 in
-  let scratch = Array.make (max_len + 3) 0 in
-  let record depth v =
-    if v >= 1 && v <= limit && depth < best.(v) then best.(v) <- depth
+  (* Expand one shard of the depth-[depth] frontier. Workers share
+     [visited] read-only (no writer runs concurrently, so concurrent
+     reads are safe) and keep private [lbest]/[next] accumulators, which
+     makes the merge below order-independent and hence the table
+     deterministic for every domain count. *)
+  let expand_range frontier depth ~lo ~hi =
+    let lbest = Array.make (limit + 1) max_int in
+    let next = Tbl.create 4096 in
+    let scratch = Array.make (max_len + 3) 0 in
+    for idx = lo to hi - 1 do
+      let set = frontier.(idx) in
+      let n = Array.length set in
+      scratch.(0) <- 0;
+      scratch.(1) <- 1;
+      Array.blit set 0 scratch 2 n;
+      let nvals = n + 2 in
+      candidates ~cap scratch nvals (fun v _step ->
+          if useful v scratch nvals then begin
+            if v >= 1 && v <= limit && depth < lbest.(v) then
+              lbest.(v) <- depth;
+            if depth < max_len then begin
+              let key = sorted_insert set v in
+              if (not (Tbl.mem visited key)) && not (Tbl.mem next key)
+              then Tbl.add next key ()
+            end
+          end)
+    done;
+    (lbest, next)
   in
   let rec grow depth frontier =
-    if depth > max_len || frontier = [] then ()
+    if depth > max_len || Array.length frontier = 0 then ()
     else begin
-      let next = Tbl.create 4096 in
+      let parts =
+        Hppa_machine.Sweep.map_ranges ~domains
+          (expand_range frontier depth)
+          (Array.length frontier)
+      in
+      (* Deterministic merge: [best] takes the elementwise minimum, the
+         next frontier the set union — both independent of worker count
+         and completion order. *)
+      let merged = Tbl.create 4096 in
       List.iter
-        (fun set ->
-          let n = Array.length set in
-          scratch.(0) <- 0;
-          scratch.(1) <- 1;
-          Array.blit set 0 scratch 2 n;
-          let nvals = n + 2 in
-          candidates ~cap scratch nvals (fun v _step ->
-              if useful v scratch nvals then begin
-                record depth v;
-                if depth < max_len then begin
-                  let key = sorted_insert set v in
-                  if (not (Tbl.mem visited key)) && not (Tbl.mem next key)
-                  then Tbl.add next key ()
-                end
-              end))
-        frontier;
-      let frontier' = Tbl.fold (fun k () acc -> k :: acc) next [] in
-      List.iter (fun k -> Tbl.add visited k ()) frontier';
+        (fun (lbest, next) ->
+          for v = 1 to limit do
+            if lbest.(v) < best.(v) then best.(v) <- lbest.(v)
+          done;
+          Tbl.iter
+            (fun k () -> if not (Tbl.mem merged k) then Tbl.add merged k ())
+            next)
+        parts;
+      let frontier' = Array.of_seq (Tbl.to_seq_keys merged) in
+      Array.iter (fun k -> Tbl.add visited k ()) frontier';
       grow (depth + 1) frontier'
     end
   in
-  grow 1 [ [||] ];
+  grow 1 [| [||] |];
   { max_len; limit; best }
 
 let length_of t n =

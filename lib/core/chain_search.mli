@@ -25,7 +25,13 @@
 
 type lengths_table
 
-val lengths_table : ?cap:int -> max_len:int -> limit:int -> unit -> lengths_table
+val lengths_table :
+  ?cap:int -> ?domains:int -> max_len:int -> limit:int -> unit -> lengths_table
+(** [domains] (default 1) shards each breadth-first frontier across that
+    many OCaml domains via {!Hppa_machine.Sweep}. The result is
+    bit-identical for every domain count: workers keep private
+    best-length and next-frontier accumulators and the merge is an
+    elementwise minimum plus a set union, both order-independent. *)
 
 val length_of : lengths_table -> int -> int option
 (** Exact minimal chain length for [n] in [1 .. limit], or [None] if [n] is

@@ -1,0 +1,55 @@
+(** Machine state and the reference interpreter (internal layer).
+
+    This is the concrete state record plus the per-instruction interpreter
+    that defines the architecture's semantics. External code should use the
+    {!Machine} facade, which re-exports everything here with [t] abstract
+    and adds the threaded-engine dispatch; the record is public in this
+    interface so that {!Engine} can compile straight against it. *)
+
+type control = Jump of int | Stop
+
+type outcome = Halted | Trapped of Trap.t | Fuel_exhausted
+
+type t = {
+  prog : Program.resolved;
+  regs : int32 array;
+  mem : int32 array;
+  delay : bool;
+  mutable carry : bool;
+  mutable v : bool;
+  mutable nullify : bool;
+  mutable pending : control option;
+  mutable pc : int;
+  mutable halted : bool;
+  stats : Stats.t;
+  mutable trace : (int -> int Insn.t -> unit) option;
+  mutable icache : Icache.t option;
+  mutable engine_enabled : bool;
+  mutable engine : (int -> outcome) option;
+  mutable used_engine : bool;
+}
+
+val halt_sentinel : Hppa_word.Word.t
+val create : ?mem_bytes:int -> ?delay_slots:bool -> Program.resolved -> t
+val delay_slots : t -> bool
+val program : t -> Program.resolved
+val reset : t -> unit
+val get : t -> Reg.t -> Hppa_word.Word.t
+val set : t -> Reg.t -> Hppa_word.Word.t -> unit
+val carry : t -> bool
+val v_bit : t -> bool
+val pc : t -> int
+val set_pc : t -> int -> unit
+val load_word : t -> int32 -> (Hppa_word.Word.t, Trap.t) result
+val store_word : t -> int32 -> Hppa_word.Word.t -> (unit, Trap.t) result
+val stats : t -> Stats.t
+val set_trace : t -> (int -> int Insn.t -> unit) option -> unit
+val set_icache : t -> Icache.t option -> unit
+val icache : t -> Icache.t option
+
+val divide_step : t -> int32 -> int32 -> int32
+(** One [DS] step against the machine's C/V state; exposed for the engine,
+    which reuses the reference implementation verbatim. *)
+
+val step : t -> (unit, Trap.t) result
+val run : ?fuel:int -> t -> outcome

@@ -77,12 +77,32 @@ val set_icache : t -> Icache.t option -> unit
 val icache : t -> Icache.t option
 
 val step : t -> (unit, Trap.t) result
-(** Execute one instruction (or consume one nullification slot). *)
+(** Execute one instruction (or consume one nullification slot). Always
+    uses the reference interpreter. *)
 
 val run : ?fuel:int -> t -> outcome
 (** Run from the current PC until halt, trap or [fuel] cycles (default
     1_000_000). The PC after [Trapped] is the address of the trapping
-    instruction. *)
+    instruction.
+
+    Execution engine: the program is translated once into threaded
+    closures ({!Engine}) and runs on that fast path whenever the
+    machine is in the default branch model with no trace hook and no
+    icache attached; delay-slot mode and the observation hooks always
+    use the per-instruction reference interpreter. The two are
+    observationally identical — registers, PSW C/V, memory, traps, PC
+    and statistics — which the differential test suite enforces. *)
+
+val set_engine : t -> bool -> unit
+(** Enable or disable the threaded engine for this machine (default
+    enabled). With the engine off, {!run} always interprets — used by
+    the differential tests and available for debugging. *)
+
+val engine_enabled : t -> bool
+
+val used_engine : t -> bool
+(** Whether the most recent {!run} (or {!call}) took the threaded-engine
+    path. *)
 
 val call :
   ?fuel:int -> t -> string -> args:Hppa_word.Word.t list -> outcome

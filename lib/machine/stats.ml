@@ -23,6 +23,18 @@ let record t ~nullified ~mnemonic =
   end
 
 let record_branch_taken t = t.branches_taken <- t.branches_taken + 1
+
+(* Bulk variants for the threaded engine, which counts locally during a run
+   and settles the totals once on exit. *)
+let add_executed t ~mnemonic n =
+  if n > 0 then begin
+    t.executed <- t.executed + n;
+    let prev = Option.value ~default:0 (Hashtbl.find_opt t.histogram mnemonic) in
+    Hashtbl.replace t.histogram mnemonic (prev + n)
+  end
+
+let add_nullified t n = if n > 0 then t.nullified <- t.nullified + n
+let add_branches_taken t n = if n > 0 then t.branches_taken <- t.branches_taken + n
 let cycles t = t.executed + t.nullified
 let executed t = t.executed
 let nullified t = t.nullified

@@ -13,6 +13,15 @@ val reset : t -> unit
 val record : t -> nullified:bool -> mnemonic:string -> unit
 val record_branch_taken : t -> unit
 
+val add_executed : t -> mnemonic:string -> int -> unit
+(** Bulk {!record}: credit [n] executed instructions to one mnemonic at
+    once. The threaded engine ({!Engine}) counts per-mnemonic locally
+    during a run and settles here on exit, so the histogram matches the
+    per-instruction interpreter exactly at a fraction of the cost. *)
+
+val add_nullified : t -> int -> unit
+val add_branches_taken : t -> int -> unit
+
 val cycles : t -> int
 (** Executed + nullified instructions. *)
 

@@ -1,0 +1,59 @@
+(* Domain-parallel sweep harness.
+
+   The paper's figures are exhaustive operand sweeps (all 16-bit
+   multipliers, large divisor grids) and frontier expansions; these are
+   embarrassingly parallel with a deterministic merge. This module
+   shards an index range across OCaml 5 domains: the range is split into
+   [domains] contiguous chunks, the extra domains are spawned first, the
+   first chunk runs on the calling domain, and the results are joined
+   {e in chunk order} — so the merged result is the same permutation of
+   work for any domain count, and deterministic whenever the per-index
+   function is.
+
+   Workers must not share mutable state; per-worker context (typically a
+   fresh {!Machine.t}) comes from the [make] thunk of {!sweep}, called
+   once inside each worker domain. *)
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+(* Chunk bounds for [n] items over [d] chunks: chunk [i] is
+   [lo i, lo (i+1)), sizes differing by at most one. *)
+let chunk_lo n d i = i * n / d
+
+let map_ranges ?domains (f : lo:int -> hi:int -> 'a) n : 'a list =
+  let d = match domains with Some d -> max 1 d | None -> default_domains () in
+  let d = min d (max 1 n) in
+  if d = 1 then [ f ~lo:0 ~hi:n ]
+  else begin
+    let spawned =
+      List.init (d - 1) (fun i ->
+          let lo = chunk_lo n d (i + 1) and hi = chunk_lo n d (i + 2) in
+          Domain.spawn (fun () -> f ~lo ~hi))
+    in
+    let first = f ~lo:0 ~hi:(chunk_lo n d 1) in
+    first :: List.map Domain.join spawned
+  end
+
+let map_array ?domains (f : int -> 'a) n : 'a array =
+  if n = 0 then [||]
+  else begin
+    let parts =
+      map_ranges ?domains (fun ~lo ~hi -> Array.init (hi - lo) (fun i -> f (lo + i))) n
+    in
+    Array.concat parts
+  end
+
+let sweep ?domains ~(make : unit -> 'ctx) (f : 'ctx -> 'a -> 'b) (xs : 'a array)
+    : 'b array =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let parts =
+      map_ranges ?domains
+        (fun ~lo ~hi ->
+          let ctx = make () in
+          Array.init (hi - lo) (fun i -> f ctx xs.(lo + i)))
+        n
+    in
+    Array.concat parts
+  end

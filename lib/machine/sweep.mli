@@ -1,0 +1,29 @@
+(** Domain-parallel sweep harness.
+
+    Shards an index range over OCaml 5 domains in contiguous chunks and
+    joins the per-chunk results {e in chunk order}, so the merged output
+    is identical for every domain count whenever the per-index work is
+    deterministic — the determinism guarantee the experiment harness
+    relies on (see README).
+
+    Workers must not share mutable state: simulate on a per-domain
+    {!Machine.t} built by the [make] thunk of {!sweep}. *)
+
+val default_domains : unit -> int
+(** [max 1 (Domain.recommended_domain_count ())]. *)
+
+val map_ranges : ?domains:int -> (lo:int -> hi:int -> 'a) -> int -> 'a list
+(** [map_ranges f n] splits [0..n-1] into at most [domains] (default
+    {!default_domains}) contiguous chunks [f ~lo ~hi] (half-open), runs
+    the first chunk on the calling domain and the rest on spawned
+    domains, and returns the results in chunk order. [f] must be safe to
+    run concurrently against itself. *)
+
+val map_array : ?domains:int -> (int -> 'a) -> int -> 'a array
+(** [map_array f n] is [[| f 0; ...; f (n-1) |]] computed in parallel
+    chunks; equal to the sequential array for deterministic [f]. *)
+
+val sweep : ?domains:int -> make:(unit -> 'ctx) -> ('ctx -> 'a -> 'b) -> 'a array -> 'b array
+(** [sweep ~make f xs] maps [f ctx] over [xs] in parallel chunks, where
+    each worker domain gets a private context from [make ()] — e.g. a
+    fresh millicode machine for an operand sweep. *)
