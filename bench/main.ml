@@ -748,7 +748,7 @@ let closure_wall ~domains ~max_len ~limit =
   ignore (Chain_search.lengths_table ~domains ~max_len ~limit ());
   Unix.gettimeofday () -. t0
 
-let bench_json ~fast () =
+let bench_json ~fast ~out () =
   let iters = if fast then 4000 else 20000 in
   let sim_kernels =
     List.map
@@ -767,7 +767,8 @@ let bench_json ~fast () =
   let domains = Hppa_machine.Sweep.default_domains () in
   let par = closure_wall ~domains ~max_len ~limit in
   let bech = bechamel_suite () in
-  let oc = open_out "BENCH_SIM.json" in
+  let path = out in
+  let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
   out "  \"schema\": \"hppa-bench-sim/1\",\n";
@@ -797,7 +798,7 @@ let bench_json ~fast () =
   out "  }\n";
   out "}\n";
   close_out oc;
-  Printf.printf "wrote BENCH_SIM.json\n";
+  Printf.printf "wrote %s\n" path;
   List.iter
     (fun (name, eng, itp, _) ->
       Printf.printf "  %-10s engine %.1fM insns/s, interpreter %.1fM, %.1fx\n"
@@ -832,13 +833,23 @@ let all_figures =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* `json --out PATH` redirects the artifact (so CI can write outside
+     the checkout); everything else is a figure selection. *)
+  let out, args =
+    let rec go acc = function
+      | "--out" :: path :: rest -> (path, List.rev_append acc rest)
+      | a :: rest -> go (a :: acc) rest
+      | [] -> ("BENCH_SIM.json", List.rev acc)
+    in
+    go [] args
+  in
   let deep = List.mem "--deep" args in
   let fast = List.mem "--fast" args in
   let selected =
     List.filter (fun a -> a <> "--deep" && a <> "--fast") args
   in
   if List.mem "bechamel" selected then bechamel_print ()
-  else if List.mem "json" selected then bench_json ~fast ()
+  else if List.mem "json" selected then bench_json ~fast ~out ()
   else begin
     let to_run =
       if selected = [] then all_figures

@@ -8,7 +8,7 @@
 module Word = Hppa_word.Word
 module Machine = Hppa_machine.Machine
 
-let show n overflow exhaustive code verify =
+let show n overflow exhaustive code verify no_engine =
   let n32 = Int32.of_int n in
   let chain =
     if exhaustive then Hppa.Chain_search.find ~max_len:6 (abs n)
@@ -48,6 +48,7 @@ let show n overflow exhaustive code verify =
       Format.printf "static certification: %a@." Hppa_verify.Linear.pp_verdict
         (Hppa_verify.Driver.certify prog ~entry:plan.entry ~multiplier:n32);
       let mach = Machine.create prog in
+      Machine.set_engine mach (not no_engine);
       let bad = ref 0 in
       for x = -1000 to 1000 do
         let xw = Word.of_int x in
@@ -58,8 +59,9 @@ let show n overflow exhaustive code verify =
         | Machine.Trapped _ when overflow && Word.mul_overflows_s xw n32 -> ()
         | Machine.Trapped _ | Machine.Fuel_exhausted -> incr bad
       done;
-      Format.printf "simulation over [-1000, 1000]: %s@."
+      Format.printf "simulation over [-1000, 1000]: %s (used_engine = %b)@."
         (if !bad = 0 then "ok" else Printf.sprintf "%d failures" !bad)
+        (Machine.used_engine mach)
     end
   end;
   0
@@ -82,10 +84,15 @@ let verify =
          ~doc:"Verify the routine: static lint and linear-form certification \
                (every input at once), then a simulator sweep.")
 
+let no_engine =
+  Arg.(value & flag & info [ "no-engine" ]
+         ~doc:"Run the verification sweep on the reference interpreter \
+               instead of the threaded-code engine.")
+
 let cmd =
   Cmd.v
     (Cmd.info "hppa-chainc"
        ~doc:"Search shift-and-add chains for multiplication by constants")
-    Term.(const show $ n $ overflow $ exhaustive $ code $ verify)
+    Term.(const show $ n $ overflow $ exhaustive $ code $ verify $ no_engine)
 
 let () = exit (Cmd.eval' cmd)

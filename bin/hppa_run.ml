@@ -18,7 +18,7 @@ let emit_image prog path =
       Printf.printf "wrote %d bytes to %s\n" (Bytes.length data) path;
       0
 
-let run file entry args link_millicode dump stats trace emit =
+let run file entry args link_millicode dump stats trace emit no_engine =
   let text = In_channel.with_open_text file In_channel.input_all in
   match Asm.parse text with
   | Error msg ->
@@ -38,6 +38,7 @@ let run file entry args link_millicode dump stats trace emit =
       | Ok prog ->
           if dump then Format.printf "%a@." Program.pp_resolved prog;
           let mach = Machine.create prog in
+          Machine.set_engine mach (not no_engine);
           if trace then
             Machine.set_trace mach
               (Some
@@ -62,8 +63,10 @@ let run file entry args link_millicode dump stats trace emit =
                 Format.printf "out of fuel@.";
                 1
           in
-          if stats then
+          if stats then begin
             Format.printf "%a@." Hppa_machine.Stats.pp (Machine.stats mach);
+            Format.printf "used_engine = %b@." (Machine.used_engine mach)
+          end;
           code)
 
 open Cmdliner
@@ -90,9 +93,15 @@ let emit =
   Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"IMAGE"
          ~doc:"Encode to a binary image instead of running.")
 
+let no_engine =
+  Arg.(value & flag & info [ "no-engine" ]
+         ~doc:"Disable the threaded-code engine; always interpret \
+               instruction by instruction.")
+
 let cmd =
   Cmd.v
     (Cmd.info "hppa-run" ~doc:"Assemble and run HP Precision assembly on the simulator")
-    Term.(const run $ file $ entry $ args $ millicode $ dump $ stats $ trace $ emit)
+    Term.(const run $ file $ entry $ args $ millicode $ dump $ stats $ trace
+          $ emit $ no_engine)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,223 @@
+(* hppa-serve: the millicode plan service and its load generator.
+
+   Examples:
+     hppa-serve serve --socket /tmp/hppa.sock --workers 4
+     hppa-serve serve --port 7117
+     hppa-serve load --socket /tmp/hppa.sock --requests 50000 --conns 4 \
+       --dist zipf --min-hit-rate 0.9 --out BENCH_SERVE.json
+
+   Protocol (one line in, one line out): MUL <n>, DIV <d>,
+   EVAL <entry> <args...>, STATS, PING, QUIT — see README "Serving". *)
+
+module Server = Hppa_server.Server
+module Load_gen = Hppa_server.Load_gen
+
+let endpoint socket port host =
+  match port with
+  | Some p -> Server.Tcp (host, p)
+  | None -> Server.Unix_socket socket
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let serve socket port host workers cache fuel =
+  let workers =
+    match workers with
+    | Some w -> w
+    | None -> max 2 (Hppa_machine.Sweep.default_domains ())
+  in
+  let cfg =
+    {
+      Server.endpoint = endpoint socket port host;
+      workers;
+      cache_capacity = cache;
+      fuel;
+    }
+  in
+  let srv = Server.create cfg in
+  let where =
+    match cfg.Server.endpoint with
+    | Server.Unix_socket p -> Printf.sprintf "unix:%s" p
+    | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+  in
+  List.iter
+    (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> Server.stop srv)))
+    [ Sys.sigint; Sys.sigterm ];
+  Printf.eprintf
+    "hppa-serve: listening on %s (%d workers, cache %d, fuel %d)\n%!" where
+    workers cache fuel;
+  (match Server.run srv with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, arg) ->
+      Printf.eprintf "hppa-serve: cannot listen on %s: %s %s\n%!" where
+        (Unix.error_message e) arg;
+      exit 2);
+  Format.eprintf "%a@." Server.pp_dump srv;
+  0
+
+(* ------------------------------------------------------------------ *)
+(* load                                                                *)
+
+let load socket port host requests conns dist seed out min_hit_rate
+    allow_errors =
+  match Load_gen.dist_of_string dist with
+  | Error msg ->
+      Printf.eprintf "hppa-serve load: %s\n" msg;
+      2
+  | Ok dist -> (
+      let endpoint = endpoint socket port host in
+      match
+        Load_gen.run ~endpoint ~requests ~conns ~dist
+          ~seed:(Int64.of_int seed)
+      with
+      | Error msg ->
+          Printf.eprintf "hppa-serve load: %s\n" msg;
+          2
+      | Ok summary ->
+          Format.printf "%a@." Load_gen.pp_summary summary;
+          Load_gen.write_json ~path:out summary;
+          Printf.printf "wrote %s\n" out;
+          let hit_rate_failed =
+            match min_hit_rate with
+            | None -> false
+            | Some floor -> (
+                match Load_gen.hit_rate summary with
+                | Some r when r >= floor -> false
+                | Some r ->
+                    Printf.eprintf
+                      "hppa-serve load: cache hit rate %.4f below required \
+                       %.4f\n"
+                      r floor;
+                    true
+                | None ->
+                    Printf.eprintf
+                      "hppa-serve load: server reported no cache_hit_rate\n";
+                    true)
+          in
+          let errors_failed =
+            (not allow_errors) && summary.Load_gen.errors > 0
+          in
+          if errors_failed then
+            Printf.eprintf
+              "hppa-serve load: %d protocol error(s) (pass --allow-errors \
+               to tolerate)\n"
+              summary.Load_gen.errors;
+          if hit_rate_failed || errors_failed then 1 else 0)
+
+(* ------------------------------------------------------------------ *)
+
+open Cmdliner
+
+let socket =
+  Arg.(
+    value
+    & opt string "hppa-serve.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix socket path.")
+
+let port =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "p"; "port" ] ~docv:"PORT"
+        ~doc:"Listen on (or connect to) TCP $(docv) instead of the Unix socket.")
+
+let host =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (with $(b,--port)).")
+
+let serve_cmd =
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "w"; "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains (default: the machine's recommended domain \
+             count, at least 2).")
+  in
+  let cache =
+    Arg.(
+      value & opt int 4096
+      & info [ "cache" ] ~docv:"N" ~doc:"Plan-cache capacity in entries.")
+  in
+  let fuel =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "fuel" ] ~docv:"CYCLES"
+          ~doc:"Per-EVAL simulated-cycle budget.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the plan daemon until SIGINT/SIGTERM, then drain in-flight \
+          requests, dump statistics and exit.")
+    Term.(const serve $ socket $ port $ host $ workers $ cache $ fuel)
+
+let load_cmd =
+  let requests =
+    Arg.(
+      value & opt int 10_000
+      & info [ "n"; "requests" ] ~docv:"N" ~doc:"Total requests to send.")
+  in
+  let conns =
+    Arg.(
+      value & opt int 4
+      & info [ "c"; "conns" ] ~docv:"K" ~doc:"Concurrent connections.")
+  in
+  let dist =
+    Arg.(
+      value & opt string "figure5"
+      & info [ "dist" ] ~docv:"DIST"
+          ~doc:
+            "Request distribution: $(b,figure5) (EVAL with the paper's \
+             operand model), $(b,zipf) (Zipf-skewed MUL/DIV constants), \
+             $(b,smalldiv), or $(b,mixed).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed for the request stream.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_SERVE.json"
+      & info [ "out" ] ~docv:"PATH" ~doc:"Where to write the JSON summary.")
+  in
+  let min_hit_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-hit-rate" ] ~docv:"R"
+          ~doc:
+            "Fail (exit 1) unless the server-reported cache hit rate is at \
+             least $(docv).")
+  in
+  let allow_errors =
+    Arg.(
+      value & flag
+      & info [ "allow-errors" ]
+          ~doc:"Do not fail when some requests draw ERR replies.")
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive a running daemon with a seeded workload and write \
+          BENCH_SERVE.json. Exits non-zero on any protocol error (unless \
+          $(b,--allow-errors)) or an unmet $(b,--min-hit-rate).")
+    Term.(
+      const load $ socket $ port $ host $ requests $ conns $ dist $ seed
+      $ out $ min_hit_rate $ allow_errors)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "hppa-serve"
+       ~doc:
+         "Concurrent millicode plan service: addition-chain multiply plans, \
+          constant-divide plans and simulator evaluations over a \
+          line-oriented socket protocol")
+    [ serve_cmd; load_cmd ]
+
+let () = exit (Cmd.eval' cmd)

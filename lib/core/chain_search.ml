@@ -94,6 +94,8 @@ let sorted_insert arr v =
 
 let lengths_table ?cap ?(domains = 1) ~max_len ~limit () =
   if max_len < 0 || limit < 1 then invalid_arg "Chain_search.lengths_table";
+  if domains < 1 then
+    invalid_arg "Chain_search.lengths_table: domains must be >= 1";
   let cap = Option.value cap ~default:(default_cap limit) in
   let best = Array.make (limit + 1) max_int in
   best.(1) <- 0;

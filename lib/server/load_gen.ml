@@ -1,0 +1,310 @@
+(* Load generator: one thread per connection, seeded request streams,
+   client-side latency histogram, server STATS scrape at the end. *)
+
+module Prng = Hppa_dist.Prng
+module Operand_dist = Hppa_dist.Operand_dist
+
+type dist = Figure5 | Zipf | Smalldiv | Mixed
+
+let dist_of_string = function
+  | "figure5" -> Ok Figure5
+  | "zipf" -> Ok Zipf
+  | "smalldiv" -> Ok Smalldiv
+  | "mixed" -> Ok Mixed
+  | s -> Error (Printf.sprintf "unknown distribution %S (want figure5|zipf|smalldiv|mixed)" s)
+
+let dist_to_string = function
+  | Figure5 -> "figure5"
+  | Zipf -> "zipf"
+  | Smalldiv -> "smalldiv"
+  | Mixed -> "mixed"
+
+type summary = {
+  dist : dist;
+  requests : int;
+  conns : int;
+  seed : int64;
+  ok : int;
+  errors : int;
+  wall_s : float;
+  throughput_rps : float;
+  p50_us : float;
+  p99_us : float;
+  server_stats : (string * string) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Request streams                                                     *)
+
+(* Zipf(s = 1.1) over ranks 1..support, rank r mapping to the constant
+   r + 1. MUL and DIV keys are distinct, so the stream touches at most
+   2 x support cache keys; with the default cache capacity above that,
+   steady-state misses are bounded by 2 x support and the > 90% CI
+   hit-rate floor follows for any request count over ~20 x support. *)
+let zipf_support = 1000
+let zipf_s = 1.1
+
+let zipf_cdf =
+  lazy
+    (let w = Array.init zipf_support (fun i ->
+         1.0 /. Float.pow (float_of_int (i + 1)) zipf_s)
+     in
+     let total = Array.fold_left ( +. ) 0.0 w in
+     let acc = ref 0.0 in
+     Array.map
+       (fun x ->
+         acc := !acc +. (x /. total);
+         !acc)
+       w)
+
+let zipf_rank g =
+  let cdf = Lazy.force zipf_cdf in
+  let u = Prng.float01 g in
+  let lo = ref 0 and hi = ref (zipf_support - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo + 1
+
+let zipf_constant g = Int32.of_int (zipf_rank g + 1)
+
+let figure5_request g =
+  let x, y = Operand_dist.figure5_pair g in
+  Printf.sprintf "EVAL mulI %ld %ld" x y
+
+let zipf_request g =
+  let c = zipf_constant g in
+  if Prng.bool g ~p:0.7 then Printf.sprintf "MUL %ld" c
+  else Printf.sprintf "DIV %ld" c
+
+let smalldiv_request g =
+  Printf.sprintf "DIV %ld" (Operand_dist.small_divisor g)
+
+let request_of g = function
+  | Figure5 -> figure5_request g
+  | Zipf -> zipf_request g
+  | Smalldiv -> smalldiv_request g
+  | Mixed ->
+      let u = Prng.float01 g in
+      if u < 0.4 then zipf_request g
+      else if u < 0.7 then figure5_request g
+      else smalldiv_request g
+
+(* ------------------------------------------------------------------ *)
+(* Client connection                                                   *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+type conn = { fd : Unix.file_descr; buf : Buffer.t; chunk : Bytes.t }
+
+let connect (ep : Server.endpoint) =
+  match ep with
+  | Server.Unix_socket path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      { fd; buf = Buffer.create 4096; chunk = Bytes.create 4096 }
+  | Server.Tcp (host, port) ->
+      let addr =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_loopback
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (addr, port));
+      { fd; buf = Buffer.create 4096; chunk = Bytes.create 4096 }
+
+let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let read_line conn =
+  let rec take () =
+    let s = Buffer.contents conn.buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+        let line = String.sub s 0 i in
+        Buffer.clear conn.buf;
+        Buffer.add_string conn.buf
+          (String.sub s (i + 1) (String.length s - i - 1));
+        Some line
+    | None -> (
+        match Unix.read conn.fd conn.chunk 0 (Bytes.length conn.chunk) with
+        | 0 -> None
+        | n ->
+            Buffer.add_subbytes conn.buf conn.chunk 0 n;
+            take ())
+  in
+  take ()
+
+let round_trip conn line =
+  write_all conn.fd (line ^ "\n");
+  read_line conn
+
+(* ------------------------------------------------------------------ *)
+
+let scrape_stats endpoint =
+  match connect endpoint with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Unix.error_message e)
+  | conn ->
+      let r =
+        match round_trip conn "STATS" with
+        | Some reply when Protocol.is_ok reply ->
+            (* "OK STATS k=v k=v ..." *)
+            let kvs =
+              String.split_on_char ' ' reply
+              |> List.filter_map (fun tok ->
+                     match String.index_opt tok '=' with
+                     | Some i ->
+                         Some
+                           ( String.sub tok 0 i,
+                             String.sub tok (i + 1)
+                               (String.length tok - i - 1) )
+                     | None -> None)
+            in
+            Ok kvs
+        | Some reply -> Error ("STATS failed: " ^ reply)
+        | None -> Error "STATS failed: connection closed"
+      in
+      ignore (try round_trip conn "QUIT" with _ -> None);
+      close conn;
+      r
+
+let run ~endpoint ~requests ~conns ~dist ~seed =
+  if requests < 1 then Error "requests must be >= 1"
+  else if conns < 1 then Error "conns must be >= 1"
+  else begin
+    let conns = min conns requests in
+    (* Fail fast (and cleanly) if the server is not there. *)
+    match connect endpoint with
+    | exception Unix.Unix_error (e, _, _) ->
+        Error
+          (Printf.sprintf "cannot connect: %s" (Unix.error_message e))
+    | probe ->
+        close probe;
+        let lat = Metrics.create () in
+        let failures = Atomic.make 0 in
+        let worker idx n () =
+          let g =
+            Prng.create
+              (Int64.add seed (Int64.mul 0x9E3779B97F4A7C15L
+                                 (Int64.of_int (idx + 1))))
+          in
+          match connect endpoint with
+          | exception Unix.Unix_error _ ->
+              Atomic.fetch_and_add failures n |> ignore
+          | conn ->
+              (try
+                 for _ = 1 to n do
+                   let req = request_of g dist in
+                   let t0 = Unix.gettimeofday () in
+                   match round_trip conn req with
+                   | Some reply ->
+                       Metrics.record lat
+                         ~error:(not (Protocol.is_ok reply))
+                         ~us:((Unix.gettimeofday () -. t0) *. 1e6)
+                   | None -> Atomic.incr failures
+                 done
+               with Unix.Unix_error _ | Sys_error _ ->
+                 Atomic.incr failures);
+              close conn
+        in
+        let t0 = Unix.gettimeofday () in
+        let threads =
+          List.init conns (fun i ->
+              let n =
+                (requests / conns)
+                + if i < requests mod conns then 1 else 0
+              in
+              Thread.create (worker i n) ())
+        in
+        List.iter Thread.join threads;
+        let wall_s = Unix.gettimeofday () -. t0 in
+        let server_stats =
+          match scrape_stats endpoint with Ok kvs -> kvs | Error _ -> []
+        in
+        let sent = Metrics.requests lat + Atomic.get failures in
+        let errors = Metrics.errors lat + Atomic.get failures in
+        Ok
+          {
+            dist;
+            requests = sent;
+            conns;
+            seed;
+            ok = Metrics.requests lat - Metrics.errors lat;
+            errors;
+            wall_s;
+            throughput_rps =
+              (if wall_s > 0.0 then float_of_int sent /. wall_s else 0.0);
+            p50_us = Metrics.percentile_us lat 0.5;
+            p99_us = Metrics.percentile_us lat 0.99;
+            server_stats;
+          }
+  end
+
+let hit_rate s =
+  List.assoc_opt "cache_hit_rate" s.server_stats
+  |> Fun.flip Option.bind float_of_string_opt
+
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when c < ' ' -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~path s =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"hppa-bench-serve/1\",\n";
+  out "  \"dist\": %S,\n" (dist_to_string s.dist);
+  out "  \"requests\": %d,\n" s.requests;
+  out "  \"conns\": %d,\n" s.conns;
+  out "  \"seed\": %Ld,\n" s.seed;
+  out "  \"ok\": %d,\n" s.ok;
+  out "  \"errors\": %d,\n" s.errors;
+  out "  \"wall_seconds\": %.3f,\n" s.wall_s;
+  out "  \"throughput_rps\": %.1f,\n" s.throughput_rps;
+  out "  \"client_p50_us\": %.0f,\n" s.p50_us;
+  out "  \"client_p99_us\": %.0f,\n" s.p99_us;
+  out "  \"server_stats\": {\n";
+  List.iteri
+    (fun i (k, v) ->
+      let v_json =
+        match float_of_string_opt v with
+        | Some _ -> v
+        | None -> Printf.sprintf "\"%s\"" (json_escape v)
+      in
+      out "    \"%s\": %s%s\n" (json_escape k) v_json
+        (if i < List.length s.server_stats - 1 then "," else ""))
+    s.server_stats;
+  out "  }\n";
+  out "}\n";
+  close_out oc
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>dist %s: %d requests over %d connection%s in %.2fs (%.0f req/s)@,\
+     ok %d, errors %d@,client latency p50 <= %.0f us, p99 <= %.0f us%a@]"
+    (dist_to_string s.dist) s.requests s.conns
+    (if s.conns = 1 then "" else "s")
+    s.wall_s s.throughput_rps s.ok s.errors s.p50_us s.p99_us
+    (fun ppf -> function
+      | [] -> ()
+      | kvs ->
+          Format.fprintf ppf "@,server: %s"
+            (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)))
+    s.server_stats

@@ -1,0 +1,58 @@
+(** Built-in load generator for the plan service.
+
+    Drives a running server over [conns] concurrent connections with
+    [requests] total requests drawn from one of the operand models in
+    {!Hppa_dist} (all seeded — a given [(dist, seed, requests, conns)]
+    tuple always produces the same request multiset):
+
+    - [Figure5]: [EVAL mulI x y] with operand pairs from
+      {!Hppa_dist.Operand_dist.figure5_pair} — the paper's multiply
+      workload, exercising the simulator path;
+    - [Zipf]: [MUL c] / [DIV c] with constants Zipf-skewed over a small
+      support, the cache-friendly "compiler recompiles the same
+      constants" workload (CI asserts > 90% hit rate on it);
+    - [Smalldiv]: [DIV d] with d uniform in 1..19 (§7's "divisors less
+      than twenty");
+    - [Mixed]: a blend of the three.
+
+    After the request threads join, one extra connection queries [STATS]
+    and the parsed counters are folded into the summary. *)
+
+type dist = Figure5 | Zipf | Smalldiv | Mixed
+
+val dist_of_string : string -> (dist, string) result
+val dist_to_string : dist -> string
+
+type summary = {
+  dist : dist;
+  requests : int;  (** requests actually sent *)
+  conns : int;
+  seed : int64;
+  ok : int;
+  errors : int;  (** ERR replies plus connection-level failures *)
+  wall_s : float;
+  throughput_rps : float;
+  p50_us : float;
+  p99_us : float;  (** client-observed round-trip latency *)
+  server_stats : (string * string) list;
+      (** [k=v] pairs from the final [STATS] reply, e.g.
+          [("cache_hit_rate", "0.9731")] *)
+}
+
+val run :
+  endpoint:Server.endpoint ->
+  requests:int ->
+  conns:int ->
+  dist:dist ->
+  seed:int64 ->
+  (summary, string) result
+(** [Error] only for setup failures (cannot connect); per-request
+    failures are counted in [errors]. *)
+
+val hit_rate : summary -> float option
+(** The server-reported [cache_hit_rate], if present. *)
+
+val write_json : path:string -> summary -> unit
+(** Write BENCH_SERVE.json (schema [hppa-bench-serve/1]). *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,94 @@
+(* Classic intrusive doubly-linked list over a hashtable, one mutex for
+   the lot. The list head is most recent, the tail the eviction victim.
+   Sentinel-free: [first]/[last] options with node prev/next pointers. *)
+
+type node = {
+  key : string;
+  mutable value : string;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;
+  table : (string, node) Hashtbl.t;
+  mutable first : node option; (* most recently used *)
+  mutable last : node option; (* least recently used *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  lock : Mutex.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 4096);
+    first = None;
+    last = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    lock = Mutex.create ();
+  }
+
+let capacity t = t.capacity
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let size t = locked t (fun () -> Hashtbl.length t.table)
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let evictions t = locked t (fun () -> t.evictions)
+
+let hit_rate t =
+  locked t (fun () ->
+      let total = t.hits + t.misses in
+      if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total)
+
+(* Detach [n] from the recency list (caller holds the lock). *)
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.first <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.last <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+(* Push [n] to the front (caller holds the lock, [n] detached). *)
+let push_front t n =
+  n.next <- t.first;
+  (match t.first with Some f -> f.prev <- Some n | None -> t.last <- Some n);
+  t.first <- Some n
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some n ->
+          t.hits <- t.hits + 1;
+          unlink t n;
+          push_front t n;
+          Some n.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let add t key value =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some n ->
+          n.value <- value;
+          unlink t n;
+          push_front t n
+      | None ->
+          if Hashtbl.length t.table >= t.capacity then (
+            match t.last with
+            | Some victim ->
+                unlink t victim;
+                Hashtbl.remove t.table victim.key;
+                t.evictions <- t.evictions + 1
+            | None -> ());
+          let n = { key; value; prev = None; next = None } in
+          Hashtbl.replace t.table key n;
+          push_front t n)

@@ -1,0 +1,36 @@
+(** Bounded, thread-safe LRU cache for plan bytes.
+
+    Keys and values are strings (the normalized request and the reply
+    payload). Every operation takes an internal mutex, so one cache can
+    front the whole worker pool; {!find} promotes the entry to
+    most-recently-used and counts a hit or a miss, {!add} inserts (or
+    refreshes) and evicts the least-recently-used entry once {!capacity}
+    is exceeded.
+
+    Determinism note: the cache stores the exact reply bytes computed on
+    the first miss, and plan computation is a pure function of the
+    request — so a hit returns byte-identical output to a recompute, and
+    cache state can never change what a client observes (DESIGN.md,
+    "Serving"). *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity >= 1], else [Invalid_argument]. *)
+
+val capacity : t -> int
+val size : t -> int
+
+val find : t -> string -> string option
+(** Lookup; bumps the hit or miss counter and the entry's recency. *)
+
+val add : t -> string -> string -> unit
+(** Insert or refresh a binding, evicting the LRU entry if the cache is
+    full. Adding an existing key overwrites its value. *)
+
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)]; 0 when the cache is untouched. *)

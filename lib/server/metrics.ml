@@ -1,0 +1,83 @@
+(* Counters + log2-bucketed latency histogram under one mutex. Bucket i
+   holds latencies in [2^(i-1), 2^i) microseconds (bucket 0: < 1 us). *)
+
+let buckets = 32
+
+type t = {
+  mutable requests : int;
+  mutable errors : int;
+  hist : int array;
+  lock : Mutex.t;
+}
+
+let create () =
+  { requests = 0; errors = 0; hist = Array.make buckets 0; lock = Mutex.create () }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let reset t =
+  locked t (fun () ->
+      t.requests <- 0;
+      t.errors <- 0;
+      Array.fill t.hist 0 buckets 0)
+
+let bucket_of_us us =
+  if us < 1.0 then 0
+  else
+    let b = 1 + int_of_float (Float.log2 us) in
+    if b >= buckets then buckets - 1 else b
+
+let bucket_upper_us b = if b = 0 then 1.0 else Float.of_int (1 lsl b)
+
+let record t ~error ~us =
+  locked t (fun () ->
+      t.requests <- t.requests + 1;
+      if error then t.errors <- t.errors + 1;
+      let b = bucket_of_us us in
+      t.hist.(b) <- t.hist.(b) + 1)
+
+let requests t = locked t (fun () -> t.requests)
+let errors t = locked t (fun () -> t.errors)
+
+let percentile_locked t q =
+  let total = Array.fold_left ( + ) 0 t.hist in
+  if total = 0 then 0.0
+  else begin
+    let rank = Float.to_int (Float.ceil (q *. float_of_int total)) in
+    let rank = max 1 (min total rank) in
+    let acc = ref 0 and result = ref (bucket_upper_us (buckets - 1)) in
+    (try
+       for b = 0 to buckets - 1 do
+         acc := !acc + t.hist.(b);
+         if !acc >= rank then begin
+           result := bucket_upper_us b;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let percentile_us t q = locked t (fun () -> percentile_locked t q)
+
+let render t =
+  locked t (fun () ->
+      Printf.sprintf "requests=%d errors=%d p50_us=%.0f p99_us=%.0f"
+        t.requests t.errors
+        (percentile_locked t 0.5)
+        (percentile_locked t 0.99))
+
+let pp_dump ppf t =
+  locked t (fun () ->
+      Format.fprintf ppf "@[<v>requests: %d@,errors: %d@,p50: <= %.0f us@,p99: <= %.0f us"
+        t.requests t.errors
+        (percentile_locked t 0.5)
+        (percentile_locked t 0.99);
+      Array.iteri
+        (fun b n ->
+          if n > 0 then
+            Format.fprintf ppf "@,latency < %6.0f us: %d" (bucket_upper_us b) n)
+        t.hist;
+      Format.fprintf ppf "@]")

@@ -1,0 +1,29 @@
+(** Request metrics: counters and a latency histogram.
+
+    Thread-safe (one mutex); recorded by the connection handlers and
+    read by [STATS] and the shutdown dump. Latencies go into
+    power-of-two microsecond buckets, so percentiles are bucket upper
+    bounds — coarse but allocation-free and mergeable. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val record : t -> error:bool -> us:float -> unit
+(** Count one request with its handling latency in microseconds. *)
+
+val requests : t -> int
+val errors : t -> int
+
+val percentile_us : t -> float -> float
+(** [percentile_us t 0.99]: upper bound (in microseconds) of the bucket
+    containing that quantile; 0 when nothing was recorded. *)
+
+val render : t -> string
+(** ["requests=... errors=... p50_us=... p99_us=..."] — the metrics part
+    of the [STATS] payload. *)
+
+val pp_dump : Format.formatter -> t -> unit
+(** Multi-line human dump (shutdown report): counters plus the non-empty
+    histogram buckets. *)

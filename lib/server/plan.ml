@@ -1,0 +1,98 @@
+(* Reply payloads for the three plan-producing requests. Everything here
+   must be a pure function of the request (plus the fuel bound), because
+   cached replies are compared byte-for-byte against recomputed ones. *)
+
+module Word = Hppa_word.Word
+module Machine = Hppa_machine.Machine
+open Hppa
+
+let squash s =
+  String.trim
+    (String.map (function '\n' | '\r' | '\t' -> ' ' | c -> c) s)
+
+let render_source (src : Program.source) =
+  String.concat " | "
+    (List.map
+       (function
+         | Program.Label l -> l ^ ":"
+         | Program.Insn i ->
+             squash
+               (Format.asprintf "%a" (Insn.pp Format.pp_print_string) i))
+       src)
+
+let render_chain (c : Chain.t) =
+  (* Compact one-line form of the paper's "a2 = 4*a1 + a1" notation. *)
+  String.concat ";"
+    (List.mapi
+       (fun i step ->
+         let e = i + 2 in
+         match step with
+         | Chain.Add (j, k) -> Printf.sprintf "a%d=a%d+a%d" e j k
+         | Chain.Shadd (m, j, k) ->
+             Printf.sprintf "a%d=%d*a%d+a%d" e (1 lsl m) j k
+         | Chain.Sub (j, k) -> Printf.sprintf "a%d=a%d-a%d" e j k
+         | Chain.Shl (j, m) -> Printf.sprintf "a%d=a%d<<%d" e j m)
+       c)
+
+let mul n =
+  let plan = Mul_const.plan n in
+  let chain_str =
+    match plan.chain with None -> "-" | Some c -> render_chain c
+  in
+  let steps = match plan.chain with None -> 0 | Some c -> Chain.length c in
+  Ok
+    (Printf.sprintf
+       "MUL n=%ld steps=%d insns=%d cycles=%d temps=%d overflow_safe=%b \
+        chain=%s code=%s"
+       n steps plan.static_instructions plan.static_instructions
+       plan.temporaries
+       (match plan.chain with
+       | Some c -> Chain.is_overflow_safe c
+       | None -> false)
+       chain_str
+       (render_source plan.source))
+
+let rec render_strategy = function
+  | Div_const.Trivial -> "trivial"
+  | Div_const.Power_of_two k -> Printf.sprintf "shift:%d" k
+  | Div_const.Reciprocal (m, ch) ->
+      Printf.sprintf "reciprocal:z=2^%d,a=%Ld,b=%Ld,chain=%d" m.Div_magic.s
+        m.Div_magic.a m.Div_magic.b (Chain.length ch)
+  | Div_const.Even_split (k, s) ->
+      Printf.sprintf "even_split:%d+%s" k (render_strategy s)
+  | Div_const.General_fallback -> "general_divU"
+
+let div d =
+  if d = 0l then Error "range division by zero"
+  else
+    let plan =
+      if d > 0l then Div_const.plan_unsigned d else Div_const.plan_signed d
+    in
+    Ok
+      (Printf.sprintf
+         "DIV d=%ld signed=%b strategy=%s insns=%d cycles=%d \
+          needs_millicode=%b code=%s"
+         d plan.signed
+         (render_strategy plan.strategy)
+         plan.static_instructions plan.static_instructions
+         (Div_const.needs_millicode plan)
+         (render_source plan.source))
+
+let eval mach ~fuel entry args =
+  if not (List.mem entry Millicode.entries) then
+    Error (Printf.sprintf "entry unknown millicode entry \"%s\"" entry)
+  else begin
+    Machine.reset mach;
+    match Machine.call_cycles ~fuel mach entry ~args with
+    | Machine.Halted, cycles ->
+        Ok
+          (Printf.sprintf "EVAL entry=%s ret0=%ld ret1=%ld cycles=%d engine=%b"
+             entry (Machine.get mach Reg.ret0) (Machine.get mach Reg.ret1)
+             cycles (Machine.used_engine mach))
+    | Machine.Trapped t, _ ->
+        Error
+          (Printf.sprintf "trap %s: %s" entry
+             (Hppa_machine.Trap.to_string t))
+    | Machine.Fuel_exhausted, _ ->
+        Error (Printf.sprintf "fuel %s exceeded %d cycles" entry fuel)
+  end

@@ -1,0 +1,34 @@
+(** Deterministic plan rendering for the service.
+
+    Each function turns one request into the reply {e payload} (the text
+    after ["OK "]) or an error detail (the text after ["ERR "]). The
+    renderings are pure functions of their arguments — no timestamps, no
+    addresses, no cache or worker identity — which is what makes the
+    plan cache transparent and the worker pool size unobservable
+    (the "identical plan bytes" guarantee). *)
+
+val mul : int32 -> (string, string) result
+(** Addition-chain multiply plan: chain steps, emitted instructions and
+    the static cycle count, via {!Hppa.Mul_const.plan}. *)
+
+val div : int32 -> (string, string) result
+(** Constant-divide plan via {!Hppa.Div_const}: [d > 0] plans the
+    unsigned routine, [d < 0] the signed one; [d = 0] is an error. The
+    payload names the strategy (power-of-two shift, derived reciprocal
+    with its magic parameters, even split, or general-divide fallback). *)
+
+val eval :
+  Hppa_machine.Machine.t ->
+  fuel:int ->
+  string ->
+  Hppa_word.Word.t list ->
+  (string, string) result
+(** Run a public millicode entry on the given (worker-private) machine
+    with a fuel bound, returning results and the dynamic cycle count.
+    The machine is reset first, so replies are independent of request
+    history. Traps and fuel exhaustion are error replies, not
+    exceptions. *)
+
+val render_source : Program.source -> string
+(** One-line rendering of an assembly routine: items separated by [" | "],
+    labels suffixed with [":"]. Exposed for the tests. *)

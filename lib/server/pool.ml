@@ -1,0 +1,81 @@
+(* FIFO job queue guarded by a mutex/condition pair; workers are domains
+   looping dequeue-run. A job is a closure over its own result cell, so
+   the queue is monomorphic while [submit] stays polymorphic. *)
+
+type 'ctx t = {
+  queue : ('ctx -> unit) Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+  n_workers : int;
+}
+
+let worker_loop t init () =
+  let ctx = init () in
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.nonempty t.lock
+    done;
+    if Queue.is_empty t.queue && t.closed then Mutex.unlock t.lock
+    else begin
+      let job = Queue.pop t.queue in
+      Mutex.unlock t.lock;
+      job ctx;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~workers ~init =
+  if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let t =
+    {
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+      domains = [];
+      n_workers = workers;
+    }
+  in
+  t.domains <-
+    List.init workers (fun _ -> Domain.spawn (worker_loop t init));
+  t
+
+let workers t = t.n_workers
+
+let submit t f =
+  let cell = ref None in
+  let done_lock = Mutex.create () in
+  let done_cond = Condition.create () in
+  let job ctx =
+    let result = try Ok (f ctx) with exn -> Error exn in
+    Mutex.lock done_lock;
+    cell := Some result;
+    Condition.signal done_cond;
+    Mutex.unlock done_lock
+  in
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push job t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock;
+  Mutex.lock done_lock;
+  while Option.is_none !cell do
+    Condition.wait done_cond done_lock
+  done;
+  Mutex.unlock done_lock;
+  match Option.get !cell with Ok v -> v | Error exn -> raise exn
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  if not was_closed then List.iter Domain.join t.domains

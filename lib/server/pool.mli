@@ -1,0 +1,27 @@
+(** A worker pool of OCaml 5 domains.
+
+    [create ~workers ~init] spawns [workers] domains; each builds its own
+    private context with [init] (for this service: a fresh millicode
+    machine, so no two requests ever share mutable simulator state).
+    {!submit} enqueues a job and blocks the calling thread until a worker
+    has run it, returning the job's value — or re-raising the exception
+    the job raised, on the submitter's stack.
+
+    Jobs are picked up in FIFO order but may complete in any order across
+    workers; nothing a job computes may depend on which worker runs it
+    (the plan functions are pure, so the reply bytes cannot). *)
+
+type 'ctx t
+
+val create : workers:int -> init:(unit -> 'ctx) -> 'ctx t
+(** [workers >= 1], else [Invalid_argument]. *)
+
+val workers : 'ctx t -> int
+
+val submit : 'ctx t -> ('ctx -> 'a) -> 'a
+(** Blocking; safe to call from any thread or domain. Raises
+    [Invalid_argument] after {!shutdown}. *)
+
+val shutdown : 'ctx t -> unit
+(** Drain: runs every job already queued, then joins all workers.
+    Idempotent. Subsequent {!submit}s are refused. *)

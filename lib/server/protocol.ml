@@ -1,0 +1,109 @@
+(* Wire protocol: total parsing of one request line. Random bytes, huge
+   numbers, wrong arities — everything maps to Error, never an
+   exception (the fuzz suite pins this). *)
+
+module Word = Hppa_word.Word
+
+type request =
+  | Mul of int32
+  | Div of int32
+  | Eval of string * Word.t list
+  | Stats
+  | Ping
+  | Quit
+
+let max_line_bytes = 1024
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let ok payload = "OK " ^ one_line payload
+let err detail = "ERR " ^ one_line detail
+
+let is_ok s = String.length s >= 3 && String.sub s 0 3 = "OK "
+let is_err s = String.length s >= 4 && String.sub s 0 4 = "ERR "
+
+(* Printable excerpt of hostile input for error messages. *)
+let excerpt s =
+  let n = min (String.length s) 32 in
+  let b = Buffer.create n in
+  for i = 0 to n - 1 do
+    let c = s.[i] in
+    if c >= ' ' && c <= '~' && c <> '"' then Buffer.add_char b c
+    else Buffer.add_char b '?'
+  done;
+  if String.length s > n then Buffer.add_string b "...";
+  Buffer.contents b
+
+let int32_of_token tok =
+  match Int64.of_string_opt tok with
+  | None -> Error (Printf.sprintf "parse bad integer \"%s\"" (excerpt tok))
+  | Some v ->
+      if v < -0x8000_0000L || v > 0xFFFF_FFFFL then
+        Error (Printf.sprintf "range %s does not fit in 32 bits" (excerpt tok))
+      else Ok (Int64.to_int32 v)
+
+let tokens line =
+  String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+
+let label_ok s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_')
+       s
+
+let parse line =
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  if String.length line > max_line_bytes then
+    Error
+      (Printf.sprintf "oversized request exceeds %d bytes" max_line_bytes)
+  else
+    match tokens line with
+    | [] -> Error "parse empty request"
+    | cmd :: rest -> (
+        match (String.uppercase_ascii cmd, rest) with
+        | "MUL", [ n ] -> Result.map (fun n -> Mul n) (int32_of_token n)
+        | "MUL", _ -> Error "parse MUL takes exactly one integer"
+        | "DIV", [ d ] -> Result.map (fun d -> Div d) (int32_of_token d)
+        | "DIV", _ -> Error "parse DIV takes exactly one integer"
+        | "EVAL", entry :: args ->
+            if not (label_ok entry) then
+              Error
+                (Printf.sprintf "parse bad entry label \"%s\"" (excerpt entry))
+            else if List.length args > 4 then
+              Error "parse EVAL takes at most four arguments"
+            else
+              let rec convert acc = function
+                | [] -> Ok (Eval (entry, List.rev acc))
+                | tok :: rest -> (
+                    match int32_of_token tok with
+                    | Ok w -> convert (w :: acc) rest
+                    | Error e -> Error e)
+              in
+              convert [] args
+        | "EVAL", [] -> Error "parse EVAL needs an entry label"
+        | "STATS", [] -> Ok Stats
+        | "STATS", _ -> Error "parse STATS takes no arguments"
+        | "PING", [] -> Ok Ping
+        | "PING", _ -> Error "parse PING takes no arguments"
+        | "QUIT", [] -> Ok Quit
+        | "QUIT", _ -> Error "parse QUIT takes no arguments"
+        | _ ->
+            Error (Printf.sprintf "parse unknown command \"%s\"" (excerpt cmd)))
+
+let pp_request ppf = function
+  | Mul n -> Format.fprintf ppf "MUL %ld" n
+  | Div d -> Format.fprintf ppf "DIV %ld" d
+  | Eval (e, args) ->
+      Format.fprintf ppf "EVAL %s" e;
+      List.iter (fun w -> Format.fprintf ppf " %ld" w) args
+  | Stats -> Format.pp_print_string ppf "STATS"
+  | Ping -> Format.pp_print_string ppf "PING"
+  | Quit -> Format.pp_print_string ppf "QUIT"

@@ -1,0 +1,49 @@
+(** The hppa-serve wire protocol.
+
+    Line-oriented, ASCII, one request and one reply per line. Requests:
+
+    {v MUL <n>                 constant-multiply plan for the int32 n
+      DIV <d>                 constant-divide plan (d < 0: signed plan)
+      EVAL <entry> <args...>  run a millicode entry (up to 4 int32 args)
+      STATS                   server counters and latency percentiles
+      PING                    liveness probe
+      QUIT                    close this connection v}
+
+    Replies are a single line starting with ["OK "] or ["ERR "]:
+
+    {v OK MUL n=625 steps=4 ... code=...
+      ERR parse unknown command "FROB" v}
+
+    Parsing is total: {!parse} never raises, whatever the input bytes.
+    Number arguments accept OCaml int literal syntax ([0x..] included)
+    and must fit in 32 bits. *)
+
+type request =
+  | Mul of int32
+  | Div of int32
+  | Eval of string * Hppa_word.Word.t list
+  | Stats
+  | Ping
+  | Quit
+
+val max_line_bytes : int
+(** Longest accepted request line (1024); longer lines are rejected with
+    an [oversized] error by {!Server.respond} and by the connection
+    reader. *)
+
+val parse : string -> (request, string) result
+(** Parse one request line (no trailing newline; a trailing ['\r'] is
+    tolerated). [Error detail] is ["<category> <message>"], ready to be
+    prefixed with ["ERR "]. Never raises. *)
+
+val ok : string -> string
+(** [ok payload] is ["OK " ^ payload]. *)
+
+val err : string -> string
+(** [err detail] is ["ERR " ^ detail], with newlines squashed so the
+    reply stays one line. *)
+
+val is_ok : string -> bool
+val is_err : string -> bool
+
+val pp_request : Format.formatter -> request -> unit

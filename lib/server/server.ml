@@ -1,0 +1,271 @@
+(* The service: accept loop on the main thread, one handler thread per
+   connection, compute on the domain pool, replies cached by request
+   line. See DESIGN.md "Serving: the plan service". *)
+
+module Machine = Hppa_machine.Machine
+open Hppa
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+type config = {
+  endpoint : endpoint;
+  workers : int;
+  cache_capacity : int;
+  fuel : int;
+}
+
+let default_config =
+  {
+    endpoint = Unix_socket "hppa-serve.sock";
+    workers = 2;
+    cache_capacity = 4096;
+    fuel = 1_000_000;
+  }
+
+type t = {
+  cfg : config;
+  pool : Machine.t Lazy.t Pool.t;
+  cache : Lru.t;
+  metrics : Metrics.t;
+  stopping : bool Atomic.t;
+  started : float;
+  conn_lock : Mutex.t;
+  mutable conns : Thread.t list;
+}
+
+let create cfg =
+  if cfg.workers < 1 then invalid_arg "Server.create: workers must be >= 1";
+  if cfg.fuel < 1 then invalid_arg "Server.create: fuel must be >= 1";
+  {
+    cfg;
+    (* The machine is built lazily inside each worker domain, so startup
+       does not pay [workers] millicode resolutions up front. *)
+    pool =
+      Pool.create ~workers:cfg.workers ~init:(fun () ->
+          lazy (Millicode.machine ()));
+    cache = Lru.create ~capacity:cfg.cache_capacity;
+    metrics = Metrics.create ();
+    stopping = Atomic.make false;
+    started = Unix.gettimeofday ();
+    conn_lock = Mutex.create ();
+    conns = [];
+  }
+
+let config t = t.cfg
+
+let stats_payload t =
+  Printf.sprintf
+    "STATS %s cache_hits=%d cache_misses=%d cache_hit_rate=%.4f \
+     cache_size=%d cache_capacity=%d cache_evictions=%d workers=%d \
+     uptime_s=%.1f"
+    (Metrics.render t.metrics)
+    (Lru.hits t.cache) (Lru.misses t.cache) (Lru.hit_rate t.cache)
+    (Lru.size t.cache) (Lru.capacity t.cache) (Lru.evictions t.cache)
+    (Pool.workers t.pool)
+    (Unix.gettimeofday () -. t.started)
+
+(* Cacheable requests are keyed by their normalized form, so "MUL 7",
+   "mul 7" and " MUL  7 " share one entry and one computation. The
+   cached value is the exact reply payload: hits are byte-identical to
+   recomputes by construction. *)
+let cache_key req = Format.asprintf "%a" Protocol.pp_request req
+
+let dispatch t req =
+  match (req : Protocol.request) with
+  | Protocol.Ping -> Protocol.ok "pong"
+  | Protocol.Quit -> Protocol.ok "bye"
+  | Protocol.Stats -> Protocol.ok (stats_payload t)
+  | Protocol.Mul _ | Protocol.Div _ -> (
+      let key = cache_key req in
+      match Lru.find t.cache key with
+      | Some payload -> Protocol.ok payload
+      | None -> (
+          let computed =
+            Pool.submit t.pool (fun _mach ->
+                match req with
+                | Protocol.Mul n -> Plan.mul n
+                | Protocol.Div d -> Plan.div d
+                | _ -> assert false)
+          in
+          match computed with
+          | Ok payload ->
+              Lru.add t.cache key payload;
+              Protocol.ok payload
+          | Error detail -> Protocol.err detail))
+  | Protocol.Eval (entry, args) -> (
+      match
+        Pool.submit t.pool (fun mach ->
+            Plan.eval (Lazy.force mach) ~fuel:t.cfg.fuel entry args)
+      with
+      | Ok payload -> Protocol.ok payload
+      | Error detail -> Protocol.err detail)
+
+let respond t line =
+  let t0 = Unix.gettimeofday () in
+  let reply =
+    try
+      match Protocol.parse line with
+      | Ok req -> dispatch t req
+      | Error detail -> Protocol.err detail
+    with exn -> Protocol.err ("internal " ^ Printexc.to_string exn)
+  in
+  Metrics.record t.metrics ~error:(Protocol.is_err reply)
+    ~us:((Unix.gettimeofday () -. t0) *. 1e6);
+  reply
+
+(* ------------------------------------------------------------------ *)
+(* Socket plumbing                                                     *)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* Read lines with a hard cap: a line longer than [max_line_bytes] is
+   reported as `Oversized (and the rest of it discarded) instead of
+   growing the buffer without bound. *)
+type read_result = Line of string | Oversized | Eof | Timeout
+
+let recv_timeout = 0.25
+
+let handle_conn t fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let overflowing = ref false in
+  (* Periodic receive timeouts let the handler notice [stop] even when
+     the peer is idle. *)
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO recv_timeout
+   with Unix.Unix_error _ -> ());
+  let take_line () =
+    (* A complete line already buffered? *)
+    match Buffer.contents buf with
+    | s when String.contains s '\n' ->
+        let i = String.index s '\n' in
+        let line = String.sub s 0 i in
+        let rest = String.sub s (i + 1) (String.length s - i - 1) in
+        Buffer.clear buf;
+        Buffer.add_string buf rest;
+        if !overflowing then begin
+          overflowing := false;
+          Some Oversized
+        end
+        else Some (Line line)
+    | s when String.length s > Protocol.max_line_bytes ->
+        (* Discard the partial line; keep discarding until newline. *)
+        Buffer.clear buf;
+        overflowing := true;
+        None
+    | _ -> None
+  in
+  let rec read_one () =
+    match take_line () with
+    | Some r -> r
+    | None -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Eof
+        | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            read_one ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+          ->
+            Timeout
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> Timeout)
+  in
+  let rec loop () =
+    if Atomic.get t.stopping then ()
+    else
+      match read_one () with
+      | Eof -> ()
+      | Timeout -> loop ()
+      | Oversized ->
+          write_all fd
+            (Protocol.err
+               (Printf.sprintf "oversized request exceeds %d bytes"
+                  Protocol.max_line_bytes)
+            ^ "\n");
+          loop ()
+      | Line line ->
+          let reply = respond t line in
+          write_all fd (reply ^ "\n");
+          if Protocol.parse line = Ok Protocol.Quit then () else loop ()
+  in
+  (try loop () with
+  | Unix.Unix_error _ -> () (* peer went away mid-request *)
+  | Sys_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let bind_listen = function
+  | Unix_socket path ->
+      (* A stale socket file from a previous run would make bind fail;
+         only unlink things that actually are sockets. *)
+      (match Unix.lstat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 128;
+      fd
+  | Tcp (host, port) ->
+      let addr =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_loopback
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (addr, port));
+      Unix.listen fd 128;
+      fd
+
+let stop t = Atomic.set t.stopping true
+
+let run t =
+  (* A client closing mid-write must not kill the daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listen_fd = bind_listen t.cfg.endpoint in
+  let accept_loop () =
+    while not (Atomic.get t.stopping) do
+      match Unix.select [ listen_fd ] [] [] recv_timeout with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+          match Unix.accept listen_fd with
+          | fd, _ ->
+              let th = Thread.create (fun () -> handle_conn t fd) () in
+              Mutex.lock t.conn_lock;
+              t.conns <- th :: t.conns;
+              Mutex.unlock t.conn_lock
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  accept_loop ();
+  (* Drain: no new connections; handlers notice [stopping] within one
+     receive timeout, finish their request in flight, reply and exit. *)
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (match t.cfg.endpoint with
+  | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  Mutex.lock t.conn_lock;
+  let conns = t.conns in
+  t.conns <- [];
+  Mutex.unlock t.conn_lock;
+  List.iter Thread.join conns;
+  Pool.shutdown t.pool
+
+let shutdown_pool t = Pool.shutdown t.pool
+
+let pp_dump ppf t =
+  Format.fprintf ppf
+    "@[<v>-- hppa-serve final report --@,%a@,cache: %d/%d entries, %d hits, \
+     %d misses, %d evictions, hit rate %.2f%%@,workers: %d@]"
+    Metrics.pp_dump t.metrics (Lru.size t.cache)
+    (Lru.capacity t.cache) (Lru.hits t.cache) (Lru.misses t.cache)
+    (Lru.evictions t.cache)
+    (100.0 *. Lru.hit_rate t.cache)
+    (Pool.workers t.pool)

@@ -1,0 +1,61 @@
+(** The plan service: socket front-end, dispatch, cache and drain.
+
+    A server owns one listening socket (TCP on localhost or a Unix
+    socket), a {!Pool} of worker domains (each with a private millicode
+    machine), one shared {!Lru} plan cache and one {!Metrics} recorder.
+    Each accepted connection is served by a dedicated thread that reads
+    request lines, calls {!respond} and writes the reply — so per-
+    connection ordering is trivial while compute parallelism comes from
+    the pool.
+
+    {!respond} is exposed separately because it is the entire protocol
+    surface: the fuzz suite drives it directly, without sockets. It
+    never raises.
+
+    Shutdown: {!stop} (also invoked by the daemon's SIGINT/SIGTERM
+    handlers) makes the accept loop exit; connection threads finish the
+    request in flight, reply, close, and are joined; then the pool is
+    drained and {!run} returns. *)
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+type config = {
+  endpoint : endpoint;
+  workers : int;  (** worker domains; >= 1 *)
+  cache_capacity : int;  (** LRU plan-cache entries; >= 1 *)
+  fuel : int;  (** per-EVAL cycle budget *)
+}
+
+val default_config : config
+(** Unix socket ["hppa-serve.sock"], workers 2, cache 4096, fuel 1e6. *)
+
+type t
+
+val create : config -> t
+(** Builds the pool, cache and metrics; does not open the socket
+    ({!run} does). *)
+
+val config : t -> config
+
+val respond : t -> string -> string
+(** Map one raw request line to one reply line (no trailing newline).
+    Total: malformed input yields an ["ERR ..."] reply; internal
+    exceptions are caught and reported as ["ERR internal ..."]. *)
+
+val stats_payload : t -> string
+(** The [STATS] reply payload (also available without a socket). *)
+
+val run : t -> unit
+(** Bind, listen and serve until {!stop}; then drain and return.
+    Raises [Unix.Unix_error] if the endpoint cannot be bound. *)
+
+val stop : t -> unit
+(** Request graceful shutdown; safe from signal handlers and other
+    threads. Idempotent. *)
+
+val shutdown_pool : t -> unit
+(** Drain the worker pool without running the socket loop — for tests
+    that only use {!respond}. Idempotent. *)
+
+val pp_dump : Format.formatter -> t -> unit
+(** Human-readable final report: metrics dump plus cache counters. *)

@@ -333,6 +333,46 @@ let test_chain_stats_temporaries () =
   Alcotest.(check (list int)) "the paper's trio via the API" [ 59; 87; 94 ]
     (Chain_stats.needing_temporary ~limit:100)
 
+(* ------------------------------------------------------------------ *)
+(* Sweep sharding edge cases                                           *)
+
+let same_table msg a b =
+  let limit = Chain_search.limit a in
+  Alcotest.(check int) (msg ^ " limit") limit (Chain_search.limit b);
+  for n = 1 to limit do
+    Alcotest.(check (option int))
+      (Printf.sprintf "%s l(%d)" msg n)
+      (Chain_search.length_of a n)
+      (Chain_search.length_of b n)
+  done
+
+let test_domains_exceed_frontier () =
+  (* The first frontier has exactly one element, so 64 domains always
+     exceed some frontier; excess workers must be clamped, not crash,
+     and the table must be bit-identical to the sequential one. *)
+  let seq = Chain_search.lengths_table ~max_len:3 ~limit:60 () in
+  let wide = Chain_search.lengths_table ~domains:64 ~max_len:3 ~limit:60 () in
+  same_table "domains=64" seq wide
+
+let test_domains_one_vs_default () =
+  let one = Chain_search.lengths_table ~domains:1 ~max_len:3 ~limit:80 () in
+  let dflt =
+    Chain_search.lengths_table
+      ~domains:(Hppa_machine.Sweep.default_domains ())
+      ~max_len:3 ~limit:80 ()
+  in
+  same_table "domains=default" one dflt
+
+let test_domains_nonpositive_rejected () =
+  List.iter
+    (fun d ->
+      Alcotest.check_raises
+        (Printf.sprintf "domains=%d" d)
+        (Invalid_argument "Chain_search.lengths_table: domains must be >= 1")
+        (fun () ->
+          ignore (Chain_search.lengths_table ~domains:d ~max_len:2 ~limit:10 ())))
+    [ 0; -1; -8 ]
+
 let suite =
   [
     ( "chains:unit",
@@ -358,6 +398,10 @@ let suite =
         Alcotest.test_case "chain_stats exceptions" `Quick test_chain_stats_exceptions;
         Alcotest.test_case "chain_stats fraction" `Quick test_chain_stats_fraction;
         Alcotest.test_case "chain_stats temporaries" `Quick test_chain_stats_temporaries;
+        Alcotest.test_case "domains exceed frontier" `Quick test_domains_exceed_frontier;
+        Alcotest.test_case "domains 1 vs default" `Quick test_domains_one_vs_default;
+        Alcotest.test_case "domains <= 0 rejected" `Quick
+          test_domains_nonpositive_rejected;
       ] );
     qsuite "chains:props"
       [

@@ -1,0 +1,453 @@
+(* Tests for the plan service (lib/server): protocol totality under
+   fuzzing, the LRU cache, metrics, the domain pool, the determinism
+   guarantee (same request -> same plan bytes, whatever the cache state
+   or worker count), and a socket end-to-end round trip. *)
+
+module Word = Hppa_word.Word
+module Prng = Hppa_dist.Prng
+module Protocol = Hppa_server.Protocol
+module Lru = Hppa_server.Lru
+module Metrics = Hppa_server.Metrics
+module Pool = Hppa_server.Pool
+module Plan = Hppa_server.Plan
+module Server = Hppa_server.Server
+module Load_gen = Hppa_server.Load_gen
+
+let test_config workers =
+  {
+    Server.endpoint = Server.Unix_socket "unused.sock";
+    workers;
+    cache_capacity = 64;
+    fuel = 1_000_000;
+  }
+
+let with_server ?(workers = 1) ?fuel f =
+  let cfg = test_config workers in
+  let cfg = match fuel with None -> cfg | Some fuel -> { cfg with fuel } in
+  let srv = Server.create cfg in
+  Fun.protect ~finally:(fun () -> Server.shutdown_pool srv) (fun () -> f srv)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol parsing                                                    *)
+
+let req =
+  Alcotest.testable
+    (fun ppf r -> Protocol.pp_request ppf r)
+    (fun a b -> a = b)
+
+let parse_ok line expected () =
+  match Protocol.parse line with
+  | Ok r -> Alcotest.check req line expected r
+  | Error e -> Alcotest.failf "%S rejected: %s" line e
+
+let parse_err line () =
+  match Protocol.parse line with
+  | Ok _ -> Alcotest.failf "%S accepted" line
+  | Error _ -> ()
+
+let test_parse_valid () =
+  parse_ok "MUL 625" (Protocol.Mul 625l) ();
+  parse_ok "mul 625" (Protocol.Mul 625l) ();
+  parse_ok "  MUL   -7  " (Protocol.Mul (-7l)) ();
+  parse_ok "MUL 0x1f" (Protocol.Mul 31l) ();
+  parse_ok "MUL 4294967295" (Protocol.Mul (-1l)) ();
+  parse_ok "DIV 19\r" (Protocol.Div 19l) ();
+  parse_ok "EVAL mulI 99 -7" (Protocol.Eval ("mulI", [ 99l; -7l ])) ();
+  parse_ok "EVAL divU" (Protocol.Eval ("divU", [])) ();
+  parse_ok "STATS" Protocol.Stats ();
+  parse_ok "ping" Protocol.Ping ();
+  parse_ok "QUIT" Protocol.Quit ()
+
+let test_parse_invalid () =
+  List.iter
+    (fun line -> parse_err line ())
+    [
+      "";
+      "   ";
+      "FROB 1";
+      "MUL";
+      "MUL 1 2";
+      "MUL 99999999999999";  (* does not fit 32 bits *)
+      "MUL 2a";
+      "DIV one";
+      "EVAL";
+      "EVAL bad-label 1";
+      "EVAL mulI 1 2 3 4 5";  (* five arguments *)
+      "STATS now";
+      "QUIT 0";
+      String.make (Protocol.max_line_bytes + 1) 'M';
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: the parser and the full dispatch surface are total            *)
+
+let random_bytes g len =
+  String.init len (fun _ ->
+      (* Any byte but the line terminator, which the reader strips. *)
+      let c = Prng.int_range g 0 255 in
+      Char.chr (if c = Char.code '\n' then 0 else c))
+
+let fuzz_inputs =
+  lazy
+    (let g = Prng.create 0xF0220L in
+     let random =
+       List.init 1200 (fun _ -> random_bytes g (Prng.int_range g 0 200))
+     in
+     (* Truncations and corruptions of valid requests. *)
+     let seeds =
+       [
+         "MUL 625"; "DIV 7"; "EVAL mulI 99 -7"; "STATS"; "PING"; "QUIT";
+       ]
+     in
+     let truncated =
+       List.concat_map
+         (fun s -> List.init (String.length s) (fun i -> String.sub s 0 i))
+         seeds
+     in
+     let corrupted =
+       List.concat_map
+         (fun s ->
+           List.init 20 (fun _ ->
+               let b = Bytes.of_string s in
+               Bytes.set b
+                 (Prng.int_range g 0 (Bytes.length b - 1))
+                 (Char.chr (Prng.int_range g 0 255));
+               Bytes.to_string b))
+         seeds
+     in
+     let oversized =
+       [
+         String.make 4000 'A';
+         "MUL " ^ String.make 2000 '9';
+         String.make (Protocol.max_line_bytes + 1) ' ' ^ "PING";
+       ]
+     in
+     random @ truncated @ corrupted @ oversized)
+
+let test_fuzz_parse_total () =
+  List.iter
+    (fun line ->
+      match Protocol.parse line with
+      | Ok _ | Error _ -> ()
+      | exception exn ->
+          Alcotest.failf "parse raised %s on %S" (Printexc.to_string exn) line)
+    (Lazy.force fuzz_inputs)
+
+let test_fuzz_respond_total () =
+  with_server (fun srv ->
+      List.iter
+        (fun line ->
+          match Server.respond srv line with
+          | reply ->
+              if not (Protocol.is_ok reply || Protocol.is_err reply) then
+                Alcotest.failf "unframed reply %S for %S" reply line;
+              if String.contains reply '\n' then
+                Alcotest.failf "multi-line reply for %S" line
+          | exception exn ->
+              Alcotest.failf "respond raised %s on %S"
+                (Printexc.to_string exn) line)
+        (Lazy.force fuzz_inputs))
+
+(* ------------------------------------------------------------------ *)
+(* LRU cache                                                           *)
+
+let test_lru_basics () =
+  let c = Lru.create ~capacity:2 in
+  Alcotest.(check (option string)) "miss" None (Lru.find c "a");
+  Lru.add c "a" "1";
+  Lru.add c "b" "2";
+  Alcotest.(check (option string)) "hit a" (Some "1") (Lru.find c "a");
+  (* b is now least recent; adding c evicts it. *)
+  Lru.add c "c" "3";
+  Alcotest.(check (option string)) "b evicted" None (Lru.find c "b");
+  Alcotest.(check (option string)) "a kept" (Some "1") (Lru.find c "a");
+  Alcotest.(check (option string)) "c kept" (Some "3") (Lru.find c "c");
+  Alcotest.(check int) "size" 2 (Lru.size c);
+  Alcotest.(check int) "evictions" 1 (Lru.evictions c);
+  Alcotest.(check int) "hits" 3 (Lru.hits c);
+  Alcotest.(check int) "misses" 2 (Lru.misses c);
+  (* Overwrite refreshes, no growth. *)
+  Lru.add c "a" "1'";
+  Alcotest.(check int) "size after overwrite" 2 (Lru.size c);
+  Alcotest.(check (option string)) "overwritten" (Some "1'") (Lru.find c "a")
+
+let test_lru_rejects_bad_capacity () =
+  Alcotest.check_raises "capacity 0"
+    (Invalid_argument "Lru.create: capacity must be >= 1") (fun () ->
+      ignore (Lru.create ~capacity:0))
+
+let test_lru_parallel () =
+  (* 4 domains hammer one cache; we only require internal consistency:
+     no crash, size bounded, hits + misses = finds. *)
+  let c = Lru.create ~capacity:64 in
+  let finds_per_domain = 2000 in
+  let worker seed () =
+    let g = Prng.create (Int64.of_int seed) in
+    for _ = 1 to finds_per_domain do
+      let k = Printf.sprintf "k%d" (Prng.int_range g 0 99) in
+      match Lru.find c k with
+      | Some _ -> ()
+      | None -> Lru.add c k (k ^ "!")
+    done
+  in
+  let ds = List.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+  List.iter Domain.join ds;
+  Alcotest.(check bool) "size bounded" true (Lru.size c <= 64);
+  Alcotest.(check int) "find count" (4 * finds_per_domain)
+    (Lru.hits c + Lru.misses c)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_metrics_percentiles () =
+  let m = Metrics.create () in
+  Alcotest.(check (float 0.0)) "empty p99" 0.0 (Metrics.percentile_us m 0.99);
+  (* 99 fast requests, one slow one. *)
+  for _ = 1 to 99 do
+    Metrics.record m ~error:false ~us:3.0
+  done;
+  Metrics.record m ~error:true ~us:5000.0;
+  Alcotest.(check int) "requests" 100 (Metrics.requests m);
+  Alcotest.(check int) "errors" 1 (Metrics.errors m);
+  (* 3 us lands in the (2,4] bucket: upper bound 4. *)
+  Alcotest.(check (float 0.0)) "p50" 4.0 (Metrics.percentile_us m 0.5);
+  (* The slow request is exactly the 100th rank = p100 >= p99. *)
+  Alcotest.(check (float 0.0)) "p99" 4.0 (Metrics.percentile_us m 0.99);
+  Alcotest.(check (float 0.0)) "p100" 8192.0 (Metrics.percentile_us m 1.0);
+  Metrics.reset m;
+  Alcotest.(check int) "reset" 0 (Metrics.requests m)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+
+let test_pool_submit () =
+  let p = Pool.create ~workers:2 ~init:(fun () -> ref 0) in
+  let squares = List.init 50 (fun i -> Pool.submit p (fun _ -> i * i)) in
+  Alcotest.(check (list int)) "results in order"
+    (List.init 50 (fun i -> i * i))
+    squares;
+  (* Exceptions cross back to the submitter. *)
+  Alcotest.check_raises "job exception" (Failure "boom") (fun () ->
+      Pool.submit p (fun _ -> failwith "boom"));
+  (* And the pool survives them. *)
+  Alcotest.(check int) "alive after exception" 7
+    (Pool.submit p (fun _ -> 7));
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* idempotent *)
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.submit p (fun _ -> 0)))
+
+let test_pool_concurrent_submitters () =
+  let p = Pool.create ~workers:3 ~init:(fun () -> ()) in
+  let total = Atomic.make 0 in
+  let submitter lo () =
+    for i = lo to lo + 99 do
+      Atomic.fetch_and_add total (Pool.submit p (fun () -> i)) |> ignore
+    done
+  in
+  let ths = List.init 4 (fun t -> Thread.create (submitter (t * 100)) ()) in
+  List.iter Thread.join ths;
+  Pool.shutdown p;
+  Alcotest.(check int) "sum" (399 * 400 / 2) (Atomic.get total)
+
+(* ------------------------------------------------------------------ *)
+(* Plan determinism: the acceptance-criterion bytes                    *)
+
+let test_plan_pure () =
+  List.iter
+    (fun n ->
+      Alcotest.(check string)
+        (Printf.sprintf "mul %ld repeatable" n)
+        (Result.get_ok (Plan.mul n))
+        (Result.get_ok (Plan.mul n)))
+    [ 625l; -7l; 0l; 1l; Int32.min_int; 0x7FFF_FFFFl ];
+  List.iter
+    (fun d ->
+      Alcotest.(check string)
+        (Printf.sprintf "div %ld repeatable" d)
+        (Result.get_ok (Plan.div d))
+        (Result.get_ok (Plan.div d)))
+    [ 3l; 7l; 11l; 16l; -5l; 1l ]
+
+let test_plan_bytes_cold_warm_workers () =
+  (* The same request must produce identical bytes on a cold cache, a
+     warm cache, and any worker-pool size. *)
+  let requests =
+    [ "MUL 625"; "MUL -1431655765"; "DIV 7"; "DIV -9"; "EVAL mulI 1234 567" ]
+  in
+  let replies_with workers =
+    with_server ~workers (fun srv ->
+        List.map
+          (fun r ->
+            let cold = Server.respond srv r in
+            let warm = Server.respond srv r in
+            Alcotest.(check string) (r ^ " cold=warm") cold warm;
+            cold)
+          requests)
+  in
+  let w1 = replies_with 1 and w3 = replies_with 3 in
+  List.iter2
+    (fun a b -> Alcotest.(check string) "workers 1 = workers 3" a b)
+    w1 w3
+
+let test_normalized_requests_share_cache () =
+  with_server (fun srv ->
+      let a = Server.respond srv "MUL 625" in
+      let b = Server.respond srv "  mul   625 " in
+      Alcotest.(check string) "normalized" a b)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch semantics                                                  *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_reply srv line ~ok needles =
+  let reply = Server.respond srv line in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s framed (%s)" line reply)
+    ok (Protocol.is_ok reply);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s contains %S (got %s)" line n reply)
+        true (contains ~needle:n reply))
+    needles
+
+let test_dispatch_semantics () =
+  with_server ~workers:2 (fun srv ->
+      check_reply srv "PING" ~ok:true [ "pong" ];
+      check_reply srv "QUIT" ~ok:true [ "bye" ];
+      check_reply srv "MUL 625" ~ok:true
+        [ "n=625"; "steps=4"; "code="; "chain=" ];
+      (* mul by 0 / 1 / min_int: one-instruction special cases. *)
+      check_reply srv "MUL 0" ~ok:true [ "n=0"; "steps=0" ];
+      check_reply srv "DIV 7" ~ok:true [ "d=7"; "strategy=reciprocal" ];
+      check_reply srv "DIV 16" ~ok:true [ "strategy=shift:4" ];
+      check_reply srv "DIV -9" ~ok:true [ "signed=true" ];
+      check_reply srv "DIV 0" ~ok:false [ "division by zero" ];
+      check_reply srv "EVAL mulI 99 -7" ~ok:true
+        [ "ret0=-693"; "cycles="; "engine=" ];
+      check_reply srv "EVAL divU 100 7" ~ok:true [ "ret0=14"; "ret1=2" ];
+      check_reply srv "EVAL nosuch 1" ~ok:false [ "unknown millicode entry" ];
+      (* A trapping overflow multiply is an error reply, not a crash. *)
+      check_reply srv "EVAL muloI -2147483648 2" ~ok:false [ "trap" ];
+      check_reply srv "STATS" ~ok:true
+        [ "requests="; "cache_hit_rate="; "p99_us=" ])
+
+let test_eval_fuel_limit () =
+  with_server ~fuel:5 (fun srv ->
+      check_reply srv "EVAL divU 100 7" ~ok:false [ "fuel" ])
+
+let test_eval_resets_machine_state () =
+  with_server (fun srv ->
+      let a = Server.respond srv "EVAL divU 1000 7" in
+      (* A different request in between must not change the reply. *)
+      ignore (Server.respond srv "EVAL mulI -55 1234");
+      let b = Server.respond srv "EVAL divU 1000 7" in
+      Alcotest.(check string) "history independent" a b)
+
+(* ------------------------------------------------------------------ *)
+(* End to end over a real socket                                       *)
+
+let test_end_to_end () =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "hppa_test.sock" in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let cfg =
+    {
+      Server.endpoint = Server.Unix_socket path;
+      workers = 2;
+      cache_capacity = 256;
+      fuel = 1_000_000;
+    }
+  in
+  let srv = Server.create cfg in
+  let th = Thread.create (fun () -> Server.run srv) () in
+  (* Wait for the socket to appear. *)
+  let rec wait tries =
+    if tries = 0 then Alcotest.fail "server socket never appeared";
+    if not (Sys.file_exists path) then begin
+      Thread.delay 0.05;
+      wait (tries - 1)
+    end
+  in
+  wait 100;
+  let summary =
+    match
+      Load_gen.run ~endpoint:(Server.Unix_socket path) ~requests:300
+        ~conns:3 ~dist:Load_gen.Mixed ~seed:7L
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "load_gen: %s" e
+  in
+  Alcotest.(check int) "all requests answered" 300 summary.Load_gen.requests;
+  Alcotest.(check int) "zero errors" 0 summary.Load_gen.errors;
+  Alcotest.(check bool) "server stats scraped" true
+    (summary.Load_gen.server_stats <> []);
+  (* Graceful stop: run returns and the socket file is gone. *)
+  Server.stop srv;
+  Thread.join th;
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists path)
+
+let test_load_gen_connect_failure () =
+  match
+    Load_gen.run
+      ~endpoint:(Server.Unix_socket "/nonexistent/definitely-missing.sock")
+      ~requests:5 ~conns:1 ~dist:Load_gen.Zipf ~seed:1L
+  with
+  | Ok _ -> Alcotest.fail "connected to nothing"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let suite =
+  [
+    ( "server:protocol",
+      [
+        Alcotest.test_case "valid requests" `Quick test_parse_valid;
+        Alcotest.test_case "invalid requests" `Quick test_parse_invalid;
+        Alcotest.test_case "fuzz: parse is total" `Quick test_fuzz_parse_total;
+        Alcotest.test_case "fuzz: respond is total" `Quick
+          test_fuzz_respond_total;
+      ] );
+    ( "server:cache",
+      [
+        Alcotest.test_case "lru basics" `Quick test_lru_basics;
+        Alcotest.test_case "lru bad capacity" `Quick
+          test_lru_rejects_bad_capacity;
+        Alcotest.test_case "lru under 4 domains" `Quick test_lru_parallel;
+      ] );
+    ( "server:metrics",
+      [ Alcotest.test_case "percentiles" `Quick test_metrics_percentiles ] );
+    ( "server:pool",
+      [
+        Alcotest.test_case "submit/shutdown" `Quick test_pool_submit;
+        Alcotest.test_case "concurrent submitters" `Quick
+          test_pool_concurrent_submitters;
+      ] );
+    ( "server:determinism",
+      [
+        Alcotest.test_case "plans are pure" `Quick test_plan_pure;
+        Alcotest.test_case "cold/warm/worker-count bytes" `Quick
+          test_plan_bytes_cold_warm_workers;
+        Alcotest.test_case "request normalization" `Quick
+          test_normalized_requests_share_cache;
+      ] );
+    ( "server:dispatch",
+      [
+        Alcotest.test_case "semantics" `Quick test_dispatch_semantics;
+        Alcotest.test_case "fuel limit" `Quick test_eval_fuel_limit;
+        Alcotest.test_case "history independence" `Quick
+          test_eval_resets_machine_state;
+      ] );
+    ( "server:e2e",
+      [
+        Alcotest.test_case "socket round trip" `Quick test_end_to_end;
+        Alcotest.test_case "connect failure" `Quick
+          test_load_gen_connect_failure;
+      ] );
+  ]
