@@ -15,6 +15,7 @@ module Word = Hppa_word.Word
 module Machine = Hppa_machine.Machine
 module Prng = Hppa_dist.Prng
 module Operand_dist = Hppa_dist.Operand_dist
+module Obs = Hppa_obs.Obs
 open Hppa
 
 let header title =
@@ -730,10 +731,19 @@ let bechamel_print () =
 (* Simulated instructions per host second for one millicode entry,
    measured on a private machine with the threaded engine forced on or
    off. The first call is a warm-up so translation cost stays out of the
-   engine numbers. *)
-let sim_throughput ~engine ~iters entry args_of =
-  let m = Millicode.machine () in
-  Machine.set_engine m engine;
+   engine numbers. Each machine publishes into [obs] under a
+   kernel/engine label pair so BENCH_SIM.json records exactly what ran. *)
+let sim_throughput ~obs ~engine ~iters entry args_of =
+  let config =
+    {
+      Machine.Config.default with
+      engine;
+      obs = Some obs;
+      obs_labels =
+        [ ("kernel", entry); ("engine", string_of_bool engine) ];
+    }
+  in
+  let m = Millicode.machine ~config () in
   ignore (cycles_exn ~what:"json warmup" m entry (args_of 0));
   let t0 = Unix.gettimeofday () in
   let cyc = ref 0 in
@@ -741,21 +751,24 @@ let sim_throughput ~engine ~iters entry args_of =
     cyc := !cyc + cycles_exn ~what:"json throughput" m entry (args_of i)
   done;
   let dt = Unix.gettimeofday () -. t0 in
-  (float_of_int !cyc /. dt, !cyc)
+  (float_of_int !cyc /. dt, !cyc, Machine.used_engine m)
 
-let closure_wall ~domains ~max_len ~limit =
+let closure_wall ?obs ~domains ~max_len ~limit () =
   let t0 = Unix.gettimeofday () in
-  ignore (Chain_search.lengths_table ~domains ~max_len ~limit ());
+  ignore (Chain_search.lengths_table ?obs ~domains ~max_len ~limit ());
   Unix.gettimeofday () -. t0
 
 let bench_json ~fast ~out () =
+  let obs = Obs.Registry.create () in
   let iters = if fast then 4000 else 20000 in
   let sim_kernels =
     List.map
       (fun (name, args_of) ->
-        let eng, sim_insns = sim_throughput ~engine:true ~iters name args_of in
-        let itp, _ = sim_throughput ~engine:false ~iters name args_of in
-        (name, eng, itp, sim_insns))
+        let eng, sim_insns, eng_used =
+          sim_throughput ~obs ~engine:true ~iters name args_of
+        in
+        let itp, _, _ = sim_throughput ~obs ~engine:false ~iters name args_of in
+        (name, eng, itp, sim_insns, eng_used))
       [
         ("mul_final", fun i -> [ Int32.of_int ((i land 0xffff) + 1); 12345l ]);
         ("mul_naive", fun i -> [ Int32.of_int ((i land 0xffff) + 1); 0x12345l ]);
@@ -763,9 +776,9 @@ let bench_json ~fast ~out () =
       ]
   in
   let max_len, limit = if fast then (4, 300) else (5, 700) in
-  let seq = closure_wall ~domains:1 ~max_len ~limit in
+  let seq = closure_wall ~obs ~domains:1 ~max_len ~limit () in
   let domains = Hppa_machine.Sweep.default_domains () in
-  let par = closure_wall ~domains ~max_len ~limit in
+  let par = closure_wall ~obs ~domains ~max_len ~limit () in
   let bech = bechamel_suite () in
   let path = out in
   let oc = open_out path in
@@ -773,17 +786,20 @@ let bench_json ~fast ~out () =
   out "{\n";
   out "  \"schema\": \"hppa-bench-sim/1\",\n";
   out "  \"fast\": %b,\n" fast;
+  out "  \"meta\": {\"domains\": %d, \"engine_default\": %b},\n" domains
+    (Machine.Config.default.engine);
   out "  \"sim_kernels\": [\n";
   List.iteri
-    (fun i (name, eng, itp, sim_insns) ->
+    (fun i (name, eng, itp, sim_insns, eng_used) ->
       out
         "    {\"name\": %S, \"engine_insns_per_sec\": %.0f, \
          \"interp_insns_per_sec\": %.0f, \"speedup\": %.2f, \
-         \"sim_insns\": %d}%s\n"
-        name eng itp (eng /. itp) sim_insns
+         \"sim_insns\": %d, \"used_engine\": %b}%s\n"
+        name eng itp (eng /. itp) sim_insns eng_used
         (if i < List.length sim_kernels - 1 then "," else ""))
     sim_kernels;
   out "  ],\n";
+  out "  \"obs\": %s,\n" (Obs.Export.json (Obs.Registry.snapshot obs));
   out "  \"lengths_table\": {\"max_len\": %d, \"limit\": %d, \
        \"seq_seconds\": %.3f, \"par_seconds\": %.3f, \"domains\": %d, \
        \"parallel_speedup\": %.2f},\n"
@@ -800,7 +816,7 @@ let bench_json ~fast ~out () =
   close_out oc;
   Printf.printf "wrote %s\n" path;
   List.iter
-    (fun (name, eng, itp, _) ->
+    (fun (name, eng, itp, _, _) ->
       Printf.printf "  %-10s engine %.1fM insns/s, interpreter %.1fM, %.1fx\n"
         name (eng /. 1e6) (itp /. 1e6) (eng /. itp))
     sim_kernels;

@@ -47,8 +47,10 @@ let show n overflow exhaustive code verify no_engine =
       else Format.printf "static lint: clean@.";
       Format.printf "static certification: %a@." Hppa_verify.Linear.pp_verdict
         (Hppa_verify.Driver.certify prog ~entry:plan.entry ~multiplier:n32);
-      let mach = Machine.create prog in
-      Machine.set_engine mach (not no_engine);
+      let config =
+        { Machine.Config.default with engine = not no_engine }
+      in
+      let mach = Machine.create ~config prog in
       let bad = ref 0 in
       for x = -1000 to 1000 do
         let xw = Word.of_int x in

@@ -2,10 +2,12 @@
 
    Example:
      hppa-run prog.s --entry divu --arg 100 --arg 7
-     hppa-run prog.s --millicode --entry f --arg 42 --stats *)
+     hppa-run prog.s --millicode --entry f --arg 42 --stats
+     hppa-run prog.s --millicode --trace-json trace.jsonl --metrics *)
 
 module Word = Hppa_word.Word
 module Machine = Hppa_machine.Machine
+module Obs = Hppa_obs.Obs
 
 let emit_image prog path =
   match Image.to_bytes prog with
@@ -18,7 +20,12 @@ let emit_image prog path =
       Printf.printf "wrote %d bytes to %s\n" (Bytes.length data) path;
       0
 
-let run file entry args link_millicode dump stats trace emit no_engine =
+(* Keep the newest 64k instruction events; enough for any millicode call
+   and bounded for runaway programs. *)
+let trace_capacity = 65536
+
+let run file entry args link_millicode dump stats trace trace_json metrics emit
+    no_engine =
   let text = In_channel.with_open_text file In_channel.input_all in
   match Asm.parse text with
   | Error msg ->
@@ -37,14 +44,37 @@ let run file entry args link_millicode dump stats trace emit no_engine =
           emit_image prog (Option.get emit)
       | Ok prog ->
           if dump then Format.printf "%a@." Program.pp_resolved prog;
-          let mach = Machine.create prog in
-          Machine.set_engine mach (not no_engine);
-          if trace then
-            Machine.set_trace mach
-              (Some
-                 (fun pc insn ->
-                   Format.eprintf "%6d: %a@." pc (Insn.pp Format.pp_print_int)
-                     insn));
+          let registry = Obs.Registry.create () in
+          let tracer =
+            if trace_json <> None then Some (Obs.Trace.create ~capacity:trace_capacity)
+            else None
+          in
+          let trace_hook =
+            if trace || tracer <> None then
+              Some
+                (fun pc insn ->
+                  if trace then
+                    Format.eprintf "%6d: %a@." pc (Insn.pp Format.pp_print_int)
+                      insn;
+                  match tracer with
+                  | Some tr ->
+                      Obs.Trace.emit tr "insn"
+                        [
+                          ("pc", Obs.Trace.Int pc);
+                          ("mnemonic", Obs.Trace.Str (Insn.mnemonic insn));
+                        ]
+                  | None -> ())
+            else None
+          in
+          let config =
+            {
+              Machine.Config.default with
+              engine = not no_engine;
+              trace = trace_hook;
+              obs = Some registry;
+            }
+          in
+          let mach = Machine.create ~config prog in
           let args = List.map (fun s -> Word.of_int64 (Int64.of_string s)) args in
           let outcome = Machine.call mach entry ~args in
           let code =
@@ -63,10 +93,30 @@ let run file entry args link_millicode dump stats trace emit no_engine =
                 Format.printf "out of fuel@.";
                 1
           in
+          (match (tracer, trace_json) with
+          | Some tr, Some path ->
+              Obs.Trace.emit tr "run"
+                [
+                  ( "outcome",
+                    Obs.Trace.Str
+                      (match outcome with
+                      | Machine.Halted -> "halted"
+                      | Machine.Trapped _ -> "trapped"
+                      | Machine.Fuel_exhausted -> "fuel_exhausted") );
+                  ("cycles",
+                   Obs.Trace.Int (Hppa_machine.Stats.cycles (Machine.stats mach)));
+                  ("used_engine", Obs.Trace.Bool (Machine.used_engine mach));
+                  ("dropped", Obs.Trace.Int (Obs.Trace.dropped tr));
+                ];
+              Out_channel.with_open_text path (fun oc ->
+                  Obs.Trace.write_jsonl tr oc)
+          | _ -> ());
           if stats then begin
             Format.printf "%a@." Hppa_machine.Stats.pp (Machine.stats mach);
             Format.printf "used_engine = %b@." (Machine.used_engine mach)
           end;
+          if metrics then
+            print_string (Obs.Export.prometheus (Obs.Registry.snapshot registry));
           code)
 
 open Cmdliner
@@ -89,6 +139,17 @@ let dump = Arg.(value & flag & info [ "d"; "dump" ] ~doc:"Print the resolved pro
 let stats = Arg.(value & flag & info [ "s"; "stats" ] ~doc:"Print execution statistics.")
 let trace = Arg.(value & flag & info [ "t"; "trace" ] ~doc:"Trace executed instructions.")
 
+let trace_json =
+  Arg.(value & opt (some string) None & info [ "trace-json" ] ~docv:"PATH"
+         ~doc:"Write a JSONL event trace of the run (one object per executed \
+               instruction, newest 65536 kept) to $(docv). Tracing forces the \
+               reference-interpreter path.")
+
+let metrics =
+  Arg.(value & flag & info [ "metrics" ]
+         ~doc:"After the run, print the machine's observability registry in \
+               Prometheus text format.")
+
 let emit =
   Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"IMAGE"
          ~doc:"Encode to a binary image instead of running.")
@@ -102,6 +163,6 @@ let cmd =
   Cmd.v
     (Cmd.info "hppa-run" ~doc:"Assemble and run HP Precision assembly on the simulator")
     Term.(const run $ file $ entry $ args $ millicode $ dump $ stats $ trace
-          $ emit $ no_engine)
+          $ trace_json $ metrics $ emit $ no_engine)
 
 let () = exit (Cmd.eval' cmd)

@@ -2,15 +2,18 @@
 
    Examples:
      hppa-serve serve --socket /tmp/hppa.sock --workers 4
-     hppa-serve serve --port 7117
+     hppa-serve serve --port 7117 --trace-json serve-trace.jsonl
      hppa-serve load --socket /tmp/hppa.sock --requests 50000 --conns 4 \
        --dist zipf --min-hit-rate 0.9 --out BENCH_SERVE.json
+     hppa-serve metrics --socket /tmp/hppa.sock --min-hit-rate 0.9
 
    Protocol (one line in, one line out): MUL <n>, DIV <d>,
-   EVAL <entry> <args...>, STATS, PING, QUIT — see README "Serving". *)
+   EVAL <entry> <args...>, STATS, METRICS, PING, QUIT — see README
+   "Serving". *)
 
 module Server = Hppa_server.Server
 module Load_gen = Hppa_server.Load_gen
+module Obs = Hppa_obs.Obs
 
 let endpoint socket port host =
   match port with
@@ -20,7 +23,7 @@ let endpoint socket port host =
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
 
-let serve socket port host workers cache fuel =
+let serve socket port host workers cache fuel trace_json =
   let workers =
     match workers with
     | Some w -> w
@@ -32,6 +35,7 @@ let serve socket port host workers cache fuel =
       workers;
       cache_capacity = cache;
       fuel;
+      trace_path = trace_json;
     }
   in
   let srv = Server.create cfg in
@@ -105,6 +109,93 @@ let load socket port host requests conns dist seed out min_hit_rate
           if hit_rate_failed || errors_failed then 1 else 0)
 
 (* ------------------------------------------------------------------ *)
+(* metrics                                                             *)
+
+(* Scrape a running daemon: send METRICS, read until the "# EOF"
+   terminator, check the text parses, optionally gate on the cache hit
+   rate — the shell side of CI stays a one-liner. *)
+let metrics socket port host min_hit_rate out =
+  let addr =
+    match endpoint socket port host with
+    | Server.Unix_socket p -> Unix.ADDR_UNIX p
+    | Server.Tcp (h, p) ->
+        let a =
+          try (Unix.gethostbyname h).Unix.h_addr_list.(0)
+          with Not_found -> Unix.inet_addr_loopback
+        in
+        Unix.ADDR_INET (a, p)
+  in
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  match Unix.connect fd addr with
+  | exception Unix.Unix_error (e, _, arg) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Printf.eprintf "hppa-serve metrics: cannot connect: %s %s\n"
+        (Unix.error_message e) arg;
+      2
+  | () -> (
+      let finish code =
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        code
+      in
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      output_string oc "METRICS\n";
+      flush oc;
+      let buf = Buffer.create 4096 in
+      let rec read_scrape () =
+        match input_line ic with
+        | "# EOF" ->
+            Buffer.add_string buf "# EOF\n";
+            true
+        | line ->
+            Buffer.add_string buf line;
+            Buffer.add_char buf '\n';
+            read_scrape ()
+        | exception End_of_file -> false
+      in
+      let complete = read_scrape () in
+      let text = Buffer.contents buf in
+      if not complete then begin
+        Printf.eprintf
+          "hppa-serve metrics: connection closed before \"# EOF\"\n";
+        finish 2
+      end
+      else begin
+        (match out with
+        | None -> print_string text
+        | Some path ->
+            let file = open_out path in
+            output_string file text;
+            close_out file;
+            Printf.printf "wrote %s\n" path);
+        match Obs.Export.parse_prometheus text with
+        | Error msg ->
+            Printf.eprintf "hppa-serve metrics: scrape does not parse: %s\n"
+              msg;
+            finish 1
+        | Ok samples -> (
+            Printf.printf "scrape ok: %d samples\n" (List.length samples);
+            match min_hit_rate with
+            | None -> finish 0
+            | Some floor -> (
+                match Obs.Export.find samples "hppa_serve_cache_hit_rate" with
+                | Some r when r >= floor ->
+                    Printf.printf "cache_hit_rate %.4f >= %.4f\n" r floor;
+                    finish 0
+                | Some r ->
+                    Printf.eprintf
+                      "hppa-serve metrics: cache hit rate %.4f below \
+                       required %.4f\n"
+                      r floor;
+                    finish 1
+                | None ->
+                    Printf.eprintf
+                      "hppa-serve metrics: no hppa_serve_cache_hit_rate in \
+                       scrape\n";
+                    finish 1))
+      end)
+
+(* ------------------------------------------------------------------ *)
 
 open Cmdliner
 
@@ -148,12 +239,23 @@ let serve_cmd =
       & info [ "fuel" ] ~docv:"CYCLES"
           ~doc:"Per-EVAL simulated-cycle budget.")
   in
+  let trace_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-json" ] ~docv:"PATH"
+          ~doc:
+            "Keep a bounded per-request event trace and write it as JSON \
+             Lines to $(docv) at shutdown.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the plan daemon until SIGINT/SIGTERM, then drain in-flight \
           requests, dump statistics and exit.")
-    Term.(const serve $ socket $ port $ host $ workers $ cache $ fuel)
+    Term.(
+      const serve $ socket $ port $ host $ workers $ cache $ fuel
+      $ trace_json)
 
 let load_cmd =
   let requests =
@@ -211,6 +313,31 @@ let load_cmd =
       const load $ socket $ port $ host $ requests $ conns $ dist $ seed
       $ out $ min_hit_rate $ allow_errors)
 
+let metrics_cmd =
+  let min_hit_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-hit-rate" ] ~docv:"R"
+          ~doc:
+            "Fail (exit 1) unless the scraped \
+             $(b,hppa_serve_cache_hit_rate) gauge is at least $(docv).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH"
+          ~doc:"Write the scrape text to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Scrape a running daemon's METRICS endpoint, verify the \
+          Prometheus text parses, and optionally gate on the cache hit \
+          rate.")
+    Term.(const metrics $ socket $ port $ host $ min_hit_rate $ out)
+
 let cmd =
   Cmd.group
     (Cmd.info "hppa-serve"
@@ -218,6 +345,6 @@ let cmd =
          "Concurrent millicode plan service: addition-chain multiply plans, \
           constant-divide plans and simulator evaluations over a \
           line-oriented socket protocol")
-    [ serve_cmd; load_cmd ]
+    [ serve_cmd; load_cmd; metrics_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -2,6 +2,8 @@
    (0 and 1 implicit). Candidate extensions enumerate every instruction form
    over every pair of available elements. *)
 
+module Obs = Hppa_obs.Obs
+
 type lengths_table = { max_len : int; limit : int; best : int array }
 
 let max_len t = t.max_len
@@ -92,10 +94,26 @@ let sorted_insert arr v =
   Array.blit arr !i out (!i + 1) (n - !i);
   out
 
-let lengths_table ?cap ?(domains = 1) ~max_len ~limit () =
+let lengths_table ?cap ?(domains = 1) ?obs ~max_len ~limit () =
   if max_len < 0 || limit < 1 then invalid_arg "Chain_search.lengths_table";
   if domains < 1 then
     invalid_arg "Chain_search.lengths_table: domains must be >= 1";
+  (* Progress counters: workers count into shard-local ints and the merge
+     settles them, so the published totals are exact for any domain count
+     (and identical across domain counts, like the table itself). *)
+  let counters =
+    Option.map
+      (fun reg ->
+        ( Obs.Registry.counter reg ~help:"Frontier sets expanded"
+            "hppa_chain_sets_expanded_total",
+          Obs.Registry.counter reg ~help:"Candidate chain extensions enumerated"
+            "hppa_chain_candidates_total",
+          Obs.Registry.counter reg ~help:"Completed BFS depths"
+            "hppa_chain_depths_total",
+          Obs.Registry.gauge reg ~help:"Size of the most recent frontier"
+            "hppa_chain_frontier_size" ))
+      obs
+  in
   let cap = Option.value cap ~default:(default_cap limit) in
   let best = Array.make (limit + 1) max_int in
   best.(1) <- 0;
@@ -109,6 +127,7 @@ let lengths_table ?cap ?(domains = 1) ~max_len ~limit () =
     let lbest = Array.make (limit + 1) max_int in
     let next = Tbl.create 4096 in
     let scratch = Array.make (max_len + 3) 0 in
+    let cands = ref 0 in
     for idx = lo to hi - 1 do
       let set = frontier.(idx) in
       let n = Array.length set in
@@ -117,6 +136,7 @@ let lengths_table ?cap ?(domains = 1) ~max_len ~limit () =
       Array.blit set 0 scratch 2 n;
       let nvals = n + 2 in
       candidates ~cap scratch nvals (fun v _step ->
+          incr cands;
           if useful v scratch nvals then begin
             if v >= 1 && v <= limit && depth < lbest.(v) then
               lbest.(v) <- depth;
@@ -127,7 +147,7 @@ let lengths_table ?cap ?(domains = 1) ~max_len ~limit () =
             end
           end)
     done;
-    (lbest, next)
+    (lbest, next, !cands)
   in
   let rec grow depth frontier =
     if depth > max_len || Array.length frontier = 0 then ()
@@ -142,7 +162,7 @@ let lengths_table ?cap ?(domains = 1) ~max_len ~limit () =
          and completion order. *)
       let merged = Tbl.create 4096 in
       List.iter
-        (fun (lbest, next) ->
+        (fun (lbest, next, _) ->
           for v = 1 to limit do
             if lbest.(v) < best.(v) then best.(v) <- lbest.(v)
           done;
@@ -151,6 +171,13 @@ let lengths_table ?cap ?(domains = 1) ~max_len ~limit () =
             next)
         parts;
       let frontier' = Array.of_seq (Tbl.to_seq_keys merged) in
+      (match counters with
+      | None -> ()
+      | Some (sets, cands, depths, frontier_size) ->
+          Obs.Counter.add sets (Array.length frontier);
+          List.iter (fun (_, _, c) -> Obs.Counter.add cands c) parts;
+          Obs.Counter.incr depths;
+          Obs.Gauge.set frontier_size (float_of_int (Array.length frontier')));
       Array.iter (fun k -> Tbl.add visited k ()) frontier';
       grow (depth + 1) frontier'
     end

@@ -26,14 +26,26 @@
 type lengths_table
 
 val lengths_table :
-  ?cap:int -> ?domains:int -> max_len:int -> limit:int -> unit -> lengths_table
+  ?cap:int ->
+  ?domains:int ->
+  ?obs:Hppa_obs.Obs.Registry.t ->
+  max_len:int ->
+  limit:int ->
+  unit ->
+  lengths_table
 (** [domains] (default 1) shards each breadth-first frontier across that
     many OCaml domains via {!Hppa_machine.Sweep}; [domains <= 0] raises
     [Invalid_argument], and a [domains] larger than a frontier simply
     leaves the excess workers idle. The result is bit-identical for
     every domain count: workers keep private best-length and
     next-frontier accumulators and the merge is an elementwise minimum
-    plus a set union, both order-independent. *)
+    plus a set union, both order-independent.
+
+    [obs] publishes search progress: [hppa_chain_sets_expanded_total],
+    [hppa_chain_candidates_total], [hppa_chain_depths_total] (counters)
+    and [hppa_chain_frontier_size] (gauge). Workers count into
+    shard-local ints settled at each depth's merge, so the totals are
+    exact — and identical — for every domain count. *)
 
 val length_of : lengths_table -> int -> int option
 (** Exact minimal chain length for [n] in [1 .. limit], or [None] if [n] is

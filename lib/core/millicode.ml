@@ -18,7 +18,7 @@ let source =
     ]
 
 let resolved () = Program.resolve_exn source
-let machine () = Hppa_machine.Machine.create (resolved ())
+let machine ?config () = Hppa_machine.Machine.create ?config (resolved ())
 let scheduled_source () = Delay.schedule source
 
 let scheduled_machine () =

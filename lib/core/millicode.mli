@@ -23,8 +23,10 @@
 
 val source : Program.source
 val resolved : unit -> Program.resolved
-val machine : unit -> Hppa_machine.Machine.t
-(** A fresh machine loaded with the library. *)
+val machine :
+  ?config:Hppa_machine.Machine.Config.t -> unit -> Hppa_machine.Machine.t
+(** A fresh machine loaded with the library, executing under [config]
+    (default {!Hppa_machine.Machine.Config.default}). *)
 
 val scheduled_source : unit -> Program.source
 (** The library transformed by {!Hppa_isa.Delay.schedule} for delay-slot

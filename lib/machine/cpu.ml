@@ -11,6 +11,7 @@
    the record is exposed here only for the engine and the tests. *)
 
 module Word = Hppa_word.Word
+module Obs = Hppa_obs.Obs
 
 (* An armed control transfer: in delay-slot mode branches arm one of
    these and it is applied after the following instruction (the slot)
@@ -18,6 +19,33 @@ module Word = Hppa_word.Word
 type control = Jump of int | Stop
 
 type outcome = Halted | Trapped of Trap.t | Fuel_exhausted
+
+(* Per-machine execution policy, fixed at creation. The mutable
+   [engine_enabled]/[trace] fields below shadow their config values so the
+   deprecated toggles ([Machine.set_engine], [set_trace]) keep working. *)
+type config = {
+  engine : bool;
+  fuel : int;
+  trace : (int -> int Insn.t -> unit) option;
+  obs : Obs.Registry.t option;
+  obs_labels : (string * string) list;
+}
+
+let default_config =
+  { engine = true; fuel = 1_000_000; trace = None; obs = None; obs_labels = [] }
+
+(* Dispatch-level profiling: how runs were executed and how the engine's
+   cycles split between fused superblocks and single-stepped tails.
+   Always counted (a handful of atomic adds per [run]); published as
+   [hppa_machine_*] metrics when a registry is attached. *)
+type profile = {
+  engine_runs : Obs.Counter.t;
+  interp_runs : Obs.Counter.t;
+  translations : Obs.Counter.t;
+  translate_reuses : Obs.Counter.t;
+  block_cycles : Obs.Counter.t;
+  step_cycles : Obs.Counter.t;
+}
 
 type t = {
   prog : Program.resolved;
@@ -39,11 +67,45 @@ type t = {
       (* the compiled threaded engine, built lazily on first eligible run *)
   mutable used_engine : bool;
       (* whether the last run/call went through the engine *)
+  cfg : config;
+  prof : profile;
 }
 
 let halt_sentinel = -1l
 
-let create ?(mem_bytes = 65536) ?(delay_slots = false) prog =
+let create ?(mem_bytes = 65536) ?(delay_slots = false)
+    ?(config = default_config) prog =
+  let prof =
+    {
+      engine_runs = Obs.Counter.create ();
+      interp_runs = Obs.Counter.create ();
+      translations = Obs.Counter.create ();
+      translate_reuses = Obs.Counter.create ();
+      block_cycles = Obs.Counter.create ();
+      step_cycles = Obs.Counter.create ();
+    }
+  in
+  (match config.obs with
+  | None -> ()
+  | Some reg ->
+      let labels = config.obs_labels in
+      let reg_c ?help name extra c =
+        Obs.Registry.register_counter reg ?help ~labels:(extra @ labels) name c
+      in
+      reg_c ~help:"Machine runs by dispatch path" "hppa_machine_runs_total"
+        [ ("path", "engine") ] prof.engine_runs;
+      reg_c ~help:"Machine runs by dispatch path" "hppa_machine_runs_total"
+        [ ("path", "interpreter") ] prof.interp_runs;
+      reg_c ~help:"Threaded-engine translations built"
+        "hppa_machine_translations_total" [] prof.translations;
+      reg_c ~help:"Engine runs that reused an existing translation"
+        "hppa_machine_translate_reuses_total" [] prof.translate_reuses;
+      reg_c ~help:"Engine cycles by dispatch granularity"
+        "hppa_machine_cycles_total" [ ("dispatch", "superblock") ]
+        prof.block_cycles;
+      reg_c ~help:"Engine cycles by dispatch granularity"
+        "hppa_machine_cycles_total" [ ("dispatch", "single_step") ]
+        prof.step_cycles);
   {
     prog;
     regs = Array.make 32 0l;
@@ -55,12 +117,14 @@ let create ?(mem_bytes = 65536) ?(delay_slots = false) prog =
     pending = None;
     pc = 0;
     halted = false;
-    stats = Stats.create ();
-    trace = None;
+    stats = Stats.create ?registry:config.obs ~labels:config.obs_labels ();
+    trace = config.trace;
     icache = None;
-    engine_enabled = true;
+    engine_enabled = config.engine;
     engine = None;
     used_engine = false;
+    cfg = config;
+    prof;
   }
 
 let delay_slots t = t.delay
@@ -348,10 +412,16 @@ let step t =
           Error trap)
   end
 
-let run ?(fuel = 1_000_000) t =
+let run ?fuel t =
+  let fuel = match fuel with Some f -> f | None -> t.cfg.fuel in
   let rec go fuel =
     if t.halted then Halted
     else if fuel = 0 then Fuel_exhausted
-    else match step t with Ok () -> go (fuel - 1) | Error trap -> Trapped trap
+    else
+      match step t with
+      | Ok () -> go (fuel - 1)
+      | Error trap ->
+          Stats.record_trap t.stats (Trap.name trap);
+          Trapped trap
   in
   go fuel

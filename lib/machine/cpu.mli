@@ -10,6 +10,30 @@ type control = Jump of int | Stop
 
 type outcome = Halted | Trapped of Trap.t | Fuel_exhausted
 
+(** Per-machine execution policy, fixed at creation; re-exported (with
+    documentation) as {!Machine.Config}. *)
+type config = {
+  engine : bool;
+  fuel : int;
+  trace : (int -> int Insn.t -> unit) option;
+  obs : Hppa_obs.Obs.Registry.t option;
+  obs_labels : (string * string) list;
+}
+
+val default_config : config
+
+(** Dispatch-path profiling counters, settled by {!Machine.run} and the
+    engine driver; published as [hppa_machine_*] when a registry is
+    attached. *)
+type profile = {
+  engine_runs : Hppa_obs.Obs.Counter.t;
+  interp_runs : Hppa_obs.Obs.Counter.t;
+  translations : Hppa_obs.Obs.Counter.t;
+  translate_reuses : Hppa_obs.Obs.Counter.t;
+  block_cycles : Hppa_obs.Obs.Counter.t;
+  step_cycles : Hppa_obs.Obs.Counter.t;
+}
+
 type t = {
   prog : Program.resolved;
   regs : int32 array;
@@ -27,10 +51,14 @@ type t = {
   mutable engine_enabled : bool;
   mutable engine : (int -> outcome) option;
   mutable used_engine : bool;
+  cfg : config;
+  prof : profile;
 }
 
 val halt_sentinel : Hppa_word.Word.t
-val create : ?mem_bytes:int -> ?delay_slots:bool -> Program.resolved -> t
+
+val create :
+  ?mem_bytes:int -> ?delay_slots:bool -> ?config:config -> Program.resolved -> t
 val delay_slots : t -> bool
 val program : t -> Program.resolved
 val reset : t -> unit

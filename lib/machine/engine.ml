@@ -43,6 +43,11 @@ type st = {
   mutable exit_pc : int;  (* PC to report after a halt (sentinel branch) *)
   mutable null_count : int;
   mutable taken : int;
+  mutable block_cycles : int;
+      (* cycles dispatched as fused superblocks; a block that traps midway
+         is still attributed whole (the run ends there anyway) *)
+  mutable step_cycles : int;
+      (* single-stepped cycles: fuel-bounded tails and nullify shadows *)
 }
 
 (* A compiled instruction: [Body] falls through (and may only leave the
@@ -94,7 +99,7 @@ let make (cpu : Cpu.t) : int -> Cpu.outcome =
   let mc = Array.make (max nmn 1) 0 in
   let st =
     { carry = false; v = false; nullify = false; exit_pc = 0;
-      null_count = 0; taken = 0 }
+      null_count = 0; taken = 0; block_cycles = 0; step_cycles = 0 }
   in
   (* r.(0) is the hardwired zero, r.(32) the write sink for r0 targets. *)
   let r = Array.make 33 0 in
@@ -491,6 +496,8 @@ let make (cpu : Cpu.t) : int -> Cpu.outcome =
     st.nullify <- cpu.nullify;
     st.null_count <- 0;
     st.taken <- 0;
+    st.block_cycles <- 0;
+    st.step_cycles <- 0;
     Array.fill mc 0 (Array.length mc) 0;
     (* The driver mirrors the interpreter's [run]/[step] ordering
        exactly: fuel before the bounds check, bounds before the nullify
@@ -503,12 +510,19 @@ let make (cpu : Cpu.t) : int -> Cpu.outcome =
       else if st.nullify then begin
         st.nullify <- false;
         st.null_count <- st.null_count + 1;
+        st.step_cycles <- st.step_cycles + 1;
         go (pc + 1) (fuel - 1)
       end
       else
         let bl = blen.(pc) in
-        if fuel >= bl || fuel < 0 then go (blocks.(pc) ()) (fuel - bl)
-        else go (ops.(pc) ()) (fuel - 1)
+        if fuel >= bl || fuel < 0 then begin
+          st.block_cycles <- st.block_cycles + bl;
+          go (blocks.(pc) ()) (fuel - bl)
+        end
+        else begin
+          st.step_cycles <- st.step_cycles + 1;
+          go (ops.(pc) ()) (fuel - 1)
+        end
     in
     let outcome, end_pc =
       try go cpu.pc fuel
@@ -530,4 +544,8 @@ let make (cpu : Cpu.t) : int -> Cpu.outcome =
     done;
     Stats.add_nullified stats st.null_count;
     Stats.add_branches_taken stats st.taken;
+    if st.block_cycles > 0 then
+      Hppa_obs.Obs.Counter.add cpu.prof.block_cycles st.block_cycles;
+    if st.step_cycles > 0 then
+      Hppa_obs.Obs.Counter.add cpu.prof.step_cycles st.step_cycles;
     outcome

@@ -5,6 +5,21 @@
    so callers — bench, chainc, hppa_run — get the fast path for free. *)
 
 include Cpu
+module Obs = Hppa_obs.Obs
+
+module Config = struct
+  type t = Cpu.config = {
+    engine : bool;
+    fuel : int;
+    trace : (int -> int Insn.t -> unit) option;
+    obs : Obs.Registry.t option;
+    obs_labels : (string * string) list;
+  }
+
+  let default = Cpu.default_config
+end
+
+let config t = { t.cfg with engine = t.engine_enabled; trace = t.trace }
 
 (* The threaded engine implements the default branch model with no
    observation hooks; everything else stays on the reference
@@ -18,24 +33,53 @@ let engine_eligible t =
   && t.pc >= 0
   && t.pc < Array.length t.prog.code
 
-let run ?(fuel = 1_000_000) t =
+let run ?fuel t =
+  let fuel = match fuel with Some f -> f | None -> t.cfg.fuel in
   if t.halted then Halted
   else if engine_eligible t then begin
     t.used_engine <- true;
+    Obs.Counter.incr t.prof.engine_runs;
     let eng =
       match t.engine with
-      | Some e -> e
+      | Some e ->
+          Obs.Counter.incr t.prof.translate_reuses;
+          e
       | None ->
+          Obs.Counter.incr t.prof.translations;
           let e = Engine.make t in
           t.engine <- Some e;
           e
     in
-    eng fuel
+    let outcome = eng fuel in
+    (match outcome with
+    | Trapped trap -> Stats.record_trap t.stats (Trap.name trap)
+    | Halted | Fuel_exhausted -> ());
+    outcome
   end
   else begin
     t.used_engine <- false;
+    Obs.Counter.incr t.prof.interp_runs;
     Cpu.run ~fuel t
   end
+
+type profile_counts = {
+  engine_runs : int;
+  interp_runs : int;
+  translations : int;
+  translate_reuses : int;
+  block_cycles : int;
+  step_cycles : int;
+}
+
+let profile t =
+  {
+    engine_runs = Obs.Counter.get t.prof.engine_runs;
+    interp_runs = Obs.Counter.get t.prof.interp_runs;
+    translations = Obs.Counter.get t.prof.translations;
+    translate_reuses = Obs.Counter.get t.prof.translate_reuses;
+    block_cycles = Obs.Counter.get t.prof.block_cycles;
+    step_cycles = Obs.Counter.get t.prof.step_cycles;
+  }
 
 let set_engine t enabled = t.engine_enabled <- enabled
 let engine_enabled t = t.engine_enabled

@@ -38,8 +38,34 @@ val halt_sentinel : Hppa_word.Word.t
 (** [0xffff_ffff]; a [BV] (or [BLR]) whose target equals this value stops the
     machine. {!call} plants it in [rp]. *)
 
-val create : ?mem_bytes:int -> ?delay_slots:bool -> Program.resolved -> t
+(** Per-machine execution policy, fixed at {!create} time. This replaces
+    the old mutable toggles ({!set_engine}, and [set_trace] for the trace
+    hook), which remain as deprecated aliases for one release. *)
+module Config : sig
+  type t = {
+    engine : bool;
+        (** allow the threaded engine on eligible runs (default [true]) *)
+    fuel : int;
+        (** default fuel for {!run}/{!call} when the caller passes none
+            (default 1_000_000) *)
+    trace : (int -> int Insn.t -> unit) option;
+        (** per-instruction hook; forces the reference-interpreter path *)
+    obs : Hppa_obs.Obs.Registry.t option;
+        (** registry to publish this machine's [hppa_sim_*] statistics and
+            [hppa_machine_*] dispatch counters into *)
+    obs_labels : (string * string) list;
+        (** labels attached to every metric this machine publishes —
+            distinguish machines sharing one registry (e.g.
+            [("kernel", "mul_final")] in bench) *)
+  }
+
+  val default : t
+end
+
+val create :
+  ?mem_bytes:int -> ?delay_slots:bool -> ?config:Config.t -> Program.resolved -> t
 (** [mem_bytes] defaults to 64 KiB and is rounded up to a word multiple.
+    [config] defaults to {!Config.default}.
 
     [delay_slots] (default false) selects the real pipeline's branch
     model: a taken branch transfers control only {e after} the following
@@ -49,6 +75,10 @@ val create : ?mem_bytes:int -> ?delay_slots:bool -> Program.resolved -> t
     {!Delay} — or every taken branch will leak its successor. *)
 
 val delay_slots : t -> bool
+
+val config : t -> Config.t
+(** The machine's configuration; the [engine] and [trace] fields reflect
+    later calls to the deprecated mutable toggles. *)
 
 val program : t -> Program.resolved
 val reset : t -> unit
@@ -94,15 +124,35 @@ val run : ?fuel:int -> t -> outcome
     and statistics — which the differential test suite enforces. *)
 
 val set_engine : t -> bool -> unit
-(** Enable or disable the threaded engine for this machine (default
-    enabled). With the engine off, {!run} always interprets — used by
-    the differential tests and available for debugging. *)
+  [@@deprecated "use Machine.Config.engine at create time"]
+(** Enable or disable the threaded engine for this machine. Deprecated:
+    pass [{ Config.default with engine = false }] to {!create} instead;
+    kept as an alias for one release. *)
 
 val engine_enabled : t -> bool
+  [@@deprecated "use (Machine.config t).engine"]
 
 val used_engine : t -> bool
 (** Whether the most recent {!run} (or {!call}) took the threaded-engine
-    path. *)
+    path. Also published as [hppa_machine_runs_total{path=...}] when a
+    registry is attached. *)
+
+(** Dispatch-path profile of this machine: how many runs took the engine
+    vs the interpreter, translate-cache behaviour (a [translation] builds
+    the threaded code, a [translate_reuse] is an engine run that found it
+    already built), and the engine's cycles split between fused
+    superblocks and single-stepped tails (fuel-bounded block entries,
+    nullify shadows). *)
+type profile_counts = {
+  engine_runs : int;
+  interp_runs : int;
+  translations : int;
+  translate_reuses : int;
+  block_cycles : int;
+  step_cycles : int;
+}
+
+val profile : t -> profile_counts
 
 val call :
   ?fuel:int -> t -> string -> args:Hppa_word.Word.t list -> outcome

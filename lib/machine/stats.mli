@@ -3,15 +3,33 @@
     The paper's central metric is the dynamic count of single-cycle
     instructions along the executed path; {!cycles} is that count, with
     nullified instructions (skipped by [COMCLR]) costing their cycle as on
-    the real pipeline. *)
+    the real pipeline.
+
+    Every quantity is an {!Hppa_obs.Obs.Counter.t} underneath: attach a
+    registry at {!create} time and the per-opcode histogram, trap counts
+    and totals are published as [hppa_sim_*] metrics, so [STATS]-style
+    textual output and Prometheus/JSON exports read the same atomics. *)
 
 type t
 
-val create : unit -> t
+val create :
+  ?registry:Hppa_obs.Obs.Registry.t ->
+  ?labels:(string * string) list ->
+  unit ->
+  t
+(** [create ~registry ~labels ()] publishes this machine's counters into
+    [registry] as [hppa_sim_executed_total], [hppa_sim_nullified_total],
+    [hppa_sim_branches_taken_total], [hppa_sim_insns_total{mnemonic=...}]
+    and [hppa_sim_traps_total{trap=...}], each carrying [labels]. Counters
+    are always owned by this value — registration only exposes them. *)
+
 val reset : t -> unit
 
 val record : t -> nullified:bool -> mnemonic:string -> unit
 val record_branch_taken : t -> unit
+
+val record_trap : t -> string -> unit
+(** Count one trap under its {!Trap.name} label. *)
 
 val add_executed : t -> mnemonic:string -> int -> unit
 (** Bulk {!record}: credit [n] executed instructions to one mnemonic at
@@ -30,11 +48,18 @@ val nullified : t -> int
 val branches_taken : t -> int
 
 val by_mnemonic : t -> (string * int) list
-(** Executed-instruction histogram, most frequent first. *)
+(** Executed-instruction histogram, most frequent first; zero-count
+    entries are omitted. *)
+
+val by_trap : t -> (string * int) list
+(** Trap counts by {!Trap.name}, alphabetical. *)
 
 val diff : before:t -> after:t -> int
 (** Cycle delta; both arguments may be the same mutable value snapshotted
     with {!snapshot}. *)
 
 val snapshot : t -> t
+(** Detached copy: fresh counters holding the current values, not
+    published to any registry. *)
+
 val pp : Format.formatter -> t -> unit

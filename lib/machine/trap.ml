@@ -17,3 +17,11 @@ let to_string = function
   | Bad_pc pc -> Printf.sprintf "bad pc %d" pc
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let name = function
+  | Overflow -> "overflow"
+  | Break code when code = divide_by_zero_code -> "divide_by_zero"
+  | Break _ -> "break"
+  | Unaligned _ -> "unaligned"
+  | Bad_address _ -> "bad_address"
+  | Bad_pc _ -> "bad_pc"

@@ -16,3 +16,8 @@ val divide_by_zero_code : int
 val equal : t -> t -> bool
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
+
+val name : t -> string
+(** Stable short identifier ([overflow], [divide_by_zero], [break],
+    [unaligned], [bad_address], [bad_pc]) used as the [trap] label on the
+    [hppa_sim_traps_total] observability counter. *)

@@ -1,83 +1,95 @@
-(* Counters + log2-bucketed latency histogram under one mutex. Bucket i
-   holds latencies in [2^(i-1), 2^i) microseconds (bucket 0: < 1 us). *)
+(* Request metrics on the shared observability registry (Hppa_obs).
 
-let buckets = 32
+   One Metrics.t owns three always-present instruments — the request and
+   error counters and the aggregate latency histogram — plus one latency
+   histogram per verb, created lazily the first time that verb is
+   recorded. All of them live in the registry, so the METRICS scrape,
+   the STATS payload and the shutdown dump read the same cells. *)
+
+module Obs = Hppa_obs.Obs
 
 type t = {
-  mutable requests : int;
-  mutable errors : int;
-  hist : int array;
-  lock : Mutex.t;
+  registry : Obs.Registry.t;
+  requests : Obs.Counter.t;
+  errors : Obs.Counter.t;
+  latency : Obs.Histogram.t;
+  verb_lock : Mutex.t;
+  verbs : (string, Obs.Histogram.t) Hashtbl.t;
 }
 
-let create () =
-  { requests = 0; errors = 0; hist = Array.make buckets 0; lock = Mutex.create () }
+let create ?registry () =
+  let registry =
+    match registry with Some r -> r | None -> Obs.Registry.create ()
+  in
+  {
+    registry;
+    requests =
+      Obs.Registry.counter registry ~help:"Requests handled"
+        "hppa_serve_requests_total";
+    errors =
+      Obs.Registry.counter registry ~help:"Requests answered with ERR"
+        "hppa_serve_errors_total";
+    latency =
+      Obs.Registry.histogram registry
+        ~help:"Request handling latency (log2 us buckets)"
+        "hppa_serve_latency_us";
+    verb_lock = Mutex.create ();
+    verbs = Hashtbl.create 8;
+  }
 
-let locked t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let registry t = t.registry
+
+let verb_histogram t verb =
+  Mutex.lock t.verb_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.verb_lock)
+    (fun () ->
+      match Hashtbl.find_opt t.verbs verb with
+      | Some h -> h
+      | None ->
+          let h =
+            Obs.Registry.histogram t.registry
+              ~help:"Request handling latency by verb (log2 us buckets)"
+              ~labels:[ ("verb", verb) ] "hppa_serve_verb_latency_us"
+          in
+          Hashtbl.add t.verbs verb h;
+          h)
+
+let record ?verb t ~error ~us =
+  Obs.Counter.incr t.requests;
+  if error then Obs.Counter.incr t.errors;
+  Obs.Histogram.observe t.latency us;
+  match verb with
+  | None -> ()
+  | Some v -> Obs.Histogram.observe (verb_histogram t v) us
+
+let requests t = Obs.Counter.get t.requests
+let errors t = Obs.Counter.get t.errors
 
 let reset t =
-  locked t (fun () ->
-      t.requests <- 0;
-      t.errors <- 0;
-      Array.fill t.hist 0 buckets 0)
+  Obs.Counter.reset t.requests;
+  Obs.Counter.reset t.errors;
+  Obs.Histogram.reset t.latency;
+  Mutex.lock t.verb_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.verb_lock)
+    (fun () -> Hashtbl.iter (fun _ h -> Obs.Histogram.reset h) t.verbs)
 
-let bucket_of_us us =
-  if us < 1.0 then 0
-  else
-    let b = 1 + int_of_float (Float.log2 us) in
-    if b >= buckets then buckets - 1 else b
-
-let bucket_upper_us b = if b = 0 then 1.0 else Float.of_int (1 lsl b)
-
-let record t ~error ~us =
-  locked t (fun () ->
-      t.requests <- t.requests + 1;
-      if error then t.errors <- t.errors + 1;
-      let b = bucket_of_us us in
-      t.hist.(b) <- t.hist.(b) + 1)
-
-let requests t = locked t (fun () -> t.requests)
-let errors t = locked t (fun () -> t.errors)
-
-let percentile_locked t q =
-  let total = Array.fold_left ( + ) 0 t.hist in
-  if total = 0 then 0.0
-  else begin
-    let rank = Float.to_int (Float.ceil (q *. float_of_int total)) in
-    let rank = max 1 (min total rank) in
-    let acc = ref 0 and result = ref (bucket_upper_us (buckets - 1)) in
-    (try
-       for b = 0 to buckets - 1 do
-         acc := !acc + t.hist.(b);
-         if !acc >= rank then begin
-           result := bucket_upper_us b;
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    !result
-  end
-
-let percentile_us t q = locked t (fun () -> percentile_locked t q)
+(* [q] is a fraction (0.99), Obs percentiles take 0..100. *)
+let percentile_us t q = Obs.Histogram.percentile t.latency (q *. 100.0)
 
 let render t =
-  locked t (fun () ->
-      Printf.sprintf "requests=%d errors=%d p50_us=%.0f p99_us=%.0f"
-        t.requests t.errors
-        (percentile_locked t 0.5)
-        (percentile_locked t 0.99))
+  Printf.sprintf "requests=%d errors=%d p50_us=%.0f p99_us=%.0f" (requests t)
+    (errors t) (percentile_us t 0.5) (percentile_us t 0.99)
 
 let pp_dump ppf t =
-  locked t (fun () ->
-      Format.fprintf ppf "@[<v>requests: %d@,errors: %d@,p50: <= %.0f us@,p99: <= %.0f us"
-        t.requests t.errors
-        (percentile_locked t 0.5)
-        (percentile_locked t 0.99);
-      Array.iteri
-        (fun b n ->
-          if n > 0 then
-            Format.fprintf ppf "@,latency < %6.0f us: %d" (bucket_upper_us b) n)
-        t.hist;
-      Format.fprintf ppf "@]")
+  Format.fprintf ppf
+    "@[<v>requests: %d@,errors: %d@,p50: <= %.0f us@,p99: <= %.0f us"
+    (requests t) (errors t) (percentile_us t 0.5) (percentile_us t 0.99);
+  Array.iteri
+    (fun b n ->
+      if n > 0 then
+        Format.fprintf ppf "@,latency < %6.0f us: %d"
+          (Obs.Histogram.bucket_upper b) n)
+    (Obs.Histogram.bucket_counts t.latency);
+  Format.fprintf ppf "@]"

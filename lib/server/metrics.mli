@@ -1,24 +1,39 @@
-(** Request metrics: counters and a latency histogram.
+(** Request metrics: counters and latency histograms on {!Hppa_obs}.
 
-    Thread-safe (one mutex); recorded by the connection handlers and
-    read by [STATS] and the shutdown dump. Latencies go into
-    power-of-two microsecond buckets, so percentiles are bucket upper
-    bounds — coarse but allocation-free and mergeable. *)
+    A [Metrics.t] is a thin view over an observability registry: it
+    owns the request/error counters ([hppa_serve_requests_total],
+    [hppa_serve_errors_total]), the aggregate latency histogram
+    ([hppa_serve_latency_us]) and one per-verb latency histogram
+    ([hppa_serve_verb_latency_us{verb=...}], created on first use).
+    The [METRICS] scrape, the [STATS] payload and the shutdown dump all
+    read the same registry cells, so they can never disagree.
+
+    Latencies go into power-of-two microsecond buckets, so percentiles
+    are bucket upper bounds — coarse but allocation-free and
+    mergeable. *)
 
 type t
 
-val create : unit -> t
+val create : ?registry:Hppa_obs.Obs.Registry.t -> unit -> t
+(** Registers the instruments in [registry] (a fresh private registry
+    when omitted). *)
+
+val registry : t -> Hppa_obs.Obs.Registry.t
+(** The registry the instruments live in — snapshot it to scrape. *)
+
 val reset : t -> unit
 
-val record : t -> error:bool -> us:float -> unit
-(** Count one request with its handling latency in microseconds. *)
+val record : ?verb:string -> t -> error:bool -> us:float -> unit
+(** Count one request with its handling latency in microseconds.
+    [?verb] additionally records into that verb's labelled histogram. *)
 
 val requests : t -> int
 val errors : t -> int
 
 val percentile_us : t -> float -> float
 (** [percentile_us t 0.99]: upper bound (in microseconds) of the bucket
-    containing that quantile; 0 when nothing was recorded. *)
+    containing that quantile of the aggregate histogram; 0 when nothing
+    was recorded. The argument is a fraction in [0, 1]. *)
 
 val render : t -> string
 (** ["requests=... errors=... p50_us=... p99_us=..."] — the metrics part

@@ -2,6 +2,14 @@
    looping dequeue-run. A job is a closure over its own result cell, so
    the queue is monomorphic while [submit] stays polymorphic. *)
 
+module Obs = Hppa_obs.Obs
+
+type instruments = {
+  jobs : Obs.Counter.t;
+  exceptions : Obs.Counter.t;
+  wait : Obs.Histogram.t;
+}
+
 type 'ctx t = {
   queue : ('ctx -> unit) Queue.t;
   lock : Mutex.t;
@@ -9,6 +17,7 @@ type 'ctx t = {
   mutable closed : bool;
   mutable domains : unit Domain.t list;
   n_workers : int;
+  ins : instruments option;
 }
 
 let worker_loop t init () =
@@ -28,8 +37,25 @@ let worker_loop t init () =
   in
   loop ()
 
-let create ~workers ~init =
+let create ?obs ~workers ~init () =
   if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let ins =
+    Option.map
+      (fun reg ->
+        {
+          jobs =
+            Obs.Registry.counter reg ~help:"Jobs run by pool workers"
+              "hppa_pool_jobs_total";
+          exceptions =
+            Obs.Registry.counter reg ~help:"Jobs that raised"
+              "hppa_pool_job_exceptions_total";
+          wait =
+            Obs.Registry.histogram reg
+              ~help:"Queue wait, submit to job start (log2 us buckets)"
+              "hppa_pool_wait_us";
+        })
+      obs
+  in
   let t =
     {
       queue = Queue.create ();
@@ -38,8 +64,18 @@ let create ~workers ~init =
       closed = false;
       domains = [];
       n_workers = workers;
+      ins;
     }
   in
+  (match obs with
+  | None -> ()
+  | Some reg ->
+      Obs.Registry.fn_gauge reg ~help:"Jobs waiting in the pool queue"
+        "hppa_pool_queue_depth" (fun () ->
+          Mutex.lock t.lock;
+          let n = Queue.length t.queue in
+          Mutex.unlock t.lock;
+          float_of_int n));
   t.domains <-
     List.init workers (fun _ -> Domain.spawn (worker_loop t init));
   t
@@ -50,8 +86,22 @@ let submit t f =
   let cell = ref None in
   let done_lock = Mutex.create () in
   let done_cond = Condition.create () in
+  let submitted = Unix.gettimeofday () in
   let job ctx =
-    let result = try Ok (f ctx) with exn -> Error exn in
+    (match t.ins with
+    | None -> ()
+    | Some ins ->
+        Obs.Counter.incr ins.jobs;
+        Obs.Histogram.observe ins.wait
+          ((Unix.gettimeofday () -. submitted) *. 1e6));
+    let result =
+      try Ok (f ctx)
+      with exn ->
+        (match t.ins with
+        | None -> ()
+        | Some ins -> Obs.Counter.incr ins.exceptions);
+        Error exn
+    in
     Mutex.lock done_lock;
     cell := Some result;
     Condition.signal done_cond;

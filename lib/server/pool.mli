@@ -1,7 +1,7 @@
 (** A worker pool of OCaml 5 domains.
 
-    [create ~workers ~init] spawns [workers] domains; each builds its own
-    private context with [init] (for this service: a fresh millicode
+    [create ~workers ~init ()] spawns [workers] domains; each builds its
+    own private context with [init] (for this service: a fresh millicode
     machine, so no two requests ever share mutable simulator state).
     {!submit} enqueues a job and blocks the calling thread until a worker
     has run it, returning the job's value — or re-raising the exception
@@ -13,8 +13,13 @@
 
 type 'ctx t
 
-val create : workers:int -> init:(unit -> 'ctx) -> 'ctx t
-(** [workers >= 1], else [Invalid_argument]. *)
+val create :
+  ?obs:Hppa_obs.Obs.Registry.t -> workers:int -> init:(unit -> 'ctx) ->
+  unit -> 'ctx t
+(** [workers >= 1], else [Invalid_argument]. With [?obs], the pool
+    registers [hppa_pool_jobs_total], [hppa_pool_job_exceptions_total],
+    a queue-wait histogram [hppa_pool_wait_us] (submit to job start) and
+    a live [hppa_pool_queue_depth] gauge. *)
 
 val workers : 'ctx t -> int
 

@@ -9,8 +9,18 @@ type request =
   | Div of int32
   | Eval of string * Word.t list
   | Stats
+  | Metrics
   | Ping
   | Quit
+
+let verb = function
+  | Mul _ -> "MUL"
+  | Div _ -> "DIV"
+  | Eval _ -> "EVAL"
+  | Stats -> "STATS"
+  | Metrics -> "METRICS"
+  | Ping -> "PING"
+  | Quit -> "QUIT"
 
 let max_line_bytes = 1024
 
@@ -91,6 +101,8 @@ let parse line =
         | "EVAL", [] -> Error "parse EVAL needs an entry label"
         | "STATS", [] -> Ok Stats
         | "STATS", _ -> Error "parse STATS takes no arguments"
+        | "METRICS", [] -> Ok Metrics
+        | "METRICS", _ -> Error "parse METRICS takes no arguments"
         | "PING", [] -> Ok Ping
         | "PING", _ -> Error "parse PING takes no arguments"
         | "QUIT", [] -> Ok Quit
@@ -105,5 +117,6 @@ let pp_request ppf = function
       Format.fprintf ppf "EVAL %s" e;
       List.iter (fun w -> Format.fprintf ppf " %ld" w) args
   | Stats -> Format.pp_print_string ppf "STATS"
+  | Metrics -> Format.pp_print_string ppf "METRICS"
   | Ping -> Format.pp_print_string ppf "PING"
   | Quit -> Format.pp_print_string ppf "QUIT"

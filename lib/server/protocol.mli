@@ -6,10 +6,13 @@
       DIV <d>                 constant-divide plan (d < 0: signed plan)
       EVAL <entry> <args...>  run a millicode entry (up to 4 int32 args)
       STATS                   server counters and latency percentiles
+      METRICS                 Prometheus text scrape of the registry
       PING                    liveness probe
       QUIT                    close this connection v}
 
-    Replies are a single line starting with ["OK "] or ["ERR "]:
+    Replies are a single line starting with ["OK "] or ["ERR "] —
+    except [METRICS], whose reply is multi-line Prometheus exposition
+    text terminated by a line reading ["# EOF"]:
 
     {v OK MUL n=625 steps=4 ... code=...
       ERR parse unknown command "FROB" v}
@@ -23,8 +26,13 @@ type request =
   | Div of int32
   | Eval of string * Hppa_word.Word.t list
   | Stats
+  | Metrics
   | Ping
   | Quit
+
+val verb : request -> string
+(** The command word of a request (["MUL"], ["EVAL"], ...) — used as
+    the [verb] label on per-verb latency histograms. *)
 
 val max_line_bytes : int
 (** Longest accepted request line (1024); longer lines are rejected with

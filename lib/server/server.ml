@@ -3,6 +3,7 @@
    line. See DESIGN.md "Serving: the plan service". *)
 
 module Machine = Hppa_machine.Machine
+module Obs = Hppa_obs.Obs
 open Hppa
 
 type endpoint = Unix_socket of string | Tcp of string * int
@@ -12,6 +13,7 @@ type config = {
   workers : int;
   cache_capacity : int;
   fuel : int;
+  trace_path : string option;
 }
 
 let default_config =
@@ -20,13 +22,18 @@ let default_config =
     workers = 2;
     cache_capacity = 4096;
     fuel = 1_000_000;
+    trace_path = None;
   }
+
+let trace_capacity = 65536
 
 type t = {
   cfg : config;
   pool : Machine.t Lazy.t Pool.t;
   cache : Lru.t;
   metrics : Metrics.t;
+  obs : Obs.Registry.t;
+  trace : Obs.Trace.t option;
   stopping : bool Atomic.t;
   started : float;
   conn_lock : Mutex.t;
@@ -36,22 +43,52 @@ type t = {
 let create cfg =
   if cfg.workers < 1 then invalid_arg "Server.create: workers must be >= 1";
   if cfg.fuel < 1 then invalid_arg "Server.create: fuel must be >= 1";
+  let obs = Obs.Registry.create () in
+  let cache = Lru.create ~capacity:cfg.cache_capacity in
+  let started = Unix.gettimeofday () in
+  (* The plan cache and uptime are owned elsewhere; expose them as
+     fn-backed metrics sampled at scrape time. *)
+  Obs.Registry.fn_counter obs ~help:"Plan cache hits"
+    "hppa_serve_cache_hits_total" (fun () -> Lru.hits cache);
+  Obs.Registry.fn_counter obs ~help:"Plan cache misses"
+    "hppa_serve_cache_misses_total" (fun () -> Lru.misses cache);
+  Obs.Registry.fn_counter obs ~help:"Plan cache evictions"
+    "hppa_serve_cache_evictions_total" (fun () -> Lru.evictions cache);
+  Obs.Registry.fn_gauge obs ~help:"Plan cache hit rate in [0, 1]"
+    "hppa_serve_cache_hit_rate" (fun () -> Lru.hit_rate cache);
+  Obs.Registry.fn_gauge obs ~help:"Plan cache entries"
+    "hppa_serve_cache_size" (fun () -> float_of_int (Lru.size cache));
+  Obs.Registry.fn_gauge obs ~help:"Plan cache capacity"
+    "hppa_serve_cache_capacity" (fun () -> float_of_int (Lru.capacity cache));
+  Obs.Registry.fn_gauge obs ~help:"Worker domains" "hppa_serve_workers"
+    (fun () -> float_of_int cfg.workers);
+  Obs.Registry.fn_gauge obs ~help:"Seconds since server creation"
+    "hppa_serve_uptime_seconds" (fun () -> Unix.gettimeofday () -. started);
   {
     cfg;
     (* The machine is built lazily inside each worker domain, so startup
-       does not pay [workers] millicode resolutions up front. *)
+       does not pay [workers] millicode resolutions up front. Worker
+       machines keep their stats private: the server registry holds only
+       server-level metrics, so scrapes stay cheap and unambiguous. *)
     pool =
-      Pool.create ~workers:cfg.workers ~init:(fun () ->
-          lazy (Millicode.machine ()));
-    cache = Lru.create ~capacity:cfg.cache_capacity;
-    metrics = Metrics.create ();
+      Pool.create ~obs ~workers:cfg.workers
+        ~init:(fun () -> lazy (Millicode.machine ()))
+        ();
+    cache;
+    metrics = Metrics.create ~registry:obs ();
+    obs;
+    trace =
+      Option.map
+        (fun _ -> Obs.Trace.create ~capacity:trace_capacity)
+        cfg.trace_path;
     stopping = Atomic.make false;
-    started = Unix.gettimeofday ();
+    started;
     conn_lock = Mutex.create ();
     conns = [];
   }
 
 let config t = t.cfg
+let registry t = t.obs
 
 let stats_payload t =
   Printf.sprintf
@@ -64,6 +101,13 @@ let stats_payload t =
     (Pool.workers t.pool)
     (Unix.gettimeofday () -. t.started)
 
+let metrics_payload t =
+  Obs.Export.prometheus (Obs.Registry.snapshot t.obs) ^ "# EOF"
+
+let is_scrape s =
+  String.length s >= 1 && s.[0] = '#'
+  (* every scrape starts with a # HELP/# TYPE comment *)
+
 (* Cacheable requests are keyed by their normalized form, so "MUL 7",
    "mul 7" and " MUL  7 " share one entry and one computation. The
    cached value is the exact reply payload: hits are byte-identical to
@@ -75,6 +119,8 @@ let dispatch t req =
   | Protocol.Ping -> Protocol.ok "pong"
   | Protocol.Quit -> Protocol.ok "bye"
   | Protocol.Stats -> Protocol.ok (stats_payload t)
+  (* Never cached: the scrape must observe live registry state. *)
+  | Protocol.Metrics -> metrics_payload t
   | Protocol.Mul _ | Protocol.Div _ -> (
       let key = cache_key req in
       match Lru.find t.cache key with
@@ -102,15 +148,29 @@ let dispatch t req =
 
 let respond t line =
   let t0 = Unix.gettimeofday () in
+  let parsed = Protocol.parse line in
   let reply =
     try
-      match Protocol.parse line with
+      match parsed with
       | Ok req -> dispatch t req
       | Error detail -> Protocol.err detail
     with exn -> Protocol.err ("internal " ^ Printexc.to_string exn)
   in
-  Metrics.record t.metrics ~error:(Protocol.is_err reply)
-    ~us:((Unix.gettimeofday () -. t0) *. 1e6);
+  let error = Protocol.is_err reply in
+  let us = (Unix.gettimeofday () -. t0) *. 1e6 in
+  let verb =
+    match parsed with Ok req -> Some (Protocol.verb req) | Error _ -> None
+  in
+  Metrics.record ?verb t.metrics ~error ~us;
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+      Obs.Trace.emit tr "request"
+        [
+          ("verb", Str (Option.value verb ~default:"(parse)"));
+          ("error", Bool error);
+          ("us", Float us);
+        ]);
   reply
 
 (* ------------------------------------------------------------------ *)
@@ -224,6 +284,15 @@ let bind_listen = function
 
 let stop t = Atomic.set t.stopping true
 
+let write_trace t =
+  match (t.trace, t.cfg.trace_path) with
+  | Some tr, Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> Obs.Trace.write_jsonl tr oc)
+  | _ -> ()
+
 let run t =
   (* A client closing mid-write must not kill the daemon. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -256,7 +325,8 @@ let run t =
   t.conns <- [];
   Mutex.unlock t.conn_lock;
   List.iter Thread.join conns;
-  Pool.shutdown t.pool
+  Pool.shutdown t.pool;
+  write_trace t
 
 let shutdown_pool t = Pool.shutdown t.pool
 

@@ -24,26 +24,45 @@ type config = {
   workers : int;  (** worker domains; >= 1 *)
   cache_capacity : int;  (** LRU plan-cache entries; >= 1 *)
   fuel : int;  (** per-EVAL cycle budget *)
+  trace_path : string option;
+      (** when set, keep a bounded request-event trace and write it as
+          JSONL to this path when {!run} drains *)
 }
 
 val default_config : config
-(** Unix socket ["hppa-serve.sock"], workers 2, cache 4096, fuel 1e6. *)
+(** Unix socket ["hppa-serve.sock"], workers 2, cache 4096, fuel 1e6,
+    no trace. *)
 
 type t
 
 val create : config -> t
-(** Builds the pool, cache and metrics; does not open the socket
-    ({!run} does). *)
+(** Builds the pool, cache, metrics and observability registry; does
+    not open the socket ({!run} does). The registry carries the server
+    metric families ([hppa_serve_*], [hppa_pool_*]); worker machines
+    keep their simulator stats private. *)
 
 val config : t -> config
 
+val registry : t -> Hppa_obs.Obs.Registry.t
+(** The server's observability registry — what [METRICS] scrapes. *)
+
 val respond : t -> string -> string
-(** Map one raw request line to one reply line (no trailing newline).
+(** Map one raw request line to one reply (no trailing newline).
     Total: malformed input yields an ["ERR ..."] reply; internal
-    exceptions are caught and reported as ["ERR internal ..."]. *)
+    exceptions are caught and reported as ["ERR internal ..."]. Every
+    reply is a single line except the [METRICS] scrape, which is
+    multi-line Prometheus text whose last line is ["# EOF"]. *)
 
 val stats_payload : t -> string
 (** The [STATS] reply payload (also available without a socket). *)
+
+val metrics_payload : t -> string
+(** The [METRICS] reply: Prometheus exposition text of a registry
+    snapshot, terminated by ["# EOF"] (no trailing newline). *)
+
+val is_scrape : string -> bool
+(** Does this reply look like a [METRICS] scrape (starts with [#])?
+    Replies satisfy [is_ok || is_err || is_scrape]. *)
 
 val run : t -> unit
 (** Bind, listen and serve until {!stop}; then drain and return.

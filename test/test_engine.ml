@@ -172,8 +172,10 @@ let gen_value st =
 let run_differential ~delay st prog =
   let init = Array.init 32 (fun _ -> gen_value st) in
   let mk engine =
-    let m = Machine.create ~mem_bytes:fuzz_mem_bytes ~delay_slots:delay prog in
-    Machine.set_engine m engine;
+    let config = { Machine.Config.default with engine } in
+    let m =
+      Machine.create ~mem_bytes:fuzz_mem_bytes ~delay_slots:delay ~config prog
+    in
     for i = 1 to 31 do
       Machine.set m (Reg.of_int i) init.(i)
     done;
@@ -219,8 +221,9 @@ let millicode_differential () =
   let st = Random.State.make [| 0x311; 42 |] in
   let prog = Hppa.Millicode.resolved () in
   let me = Machine.create prog in
-  let mi = Machine.create prog in
-  Machine.set_engine mi false;
+  let mi =
+    Machine.create ~config:{ Machine.Config.default with engine = false } prog
+  in
   List.iter
     (fun entry ->
       for _ = 1 to 25 do
@@ -240,8 +243,9 @@ let millicode_differential () =
 let divide_loops () =
   let prog = Hppa.Millicode.resolved () in
   let me = Machine.create prog in
-  let mi = Machine.create prog in
-  Machine.set_engine mi false;
+  let mi =
+    Machine.create ~config:{ Machine.Config.default with engine = false } prog
+  in
   List.iter
     (fun entry ->
       List.iter
@@ -286,9 +290,7 @@ let fuel_boundaries () =
   let prog = fuel_boundary_program () in
   for fuel = 0 to 40 do
     let mk engine =
-      let m = Machine.create prog in
-      Machine.set_engine m engine;
-      m
+      Machine.create ~config:{ Machine.Config.default with engine } prog
     in
     let me = mk true and mi = mk false in
     let oe = Machine.call ~fuel me "L0" ~args:[] in

@@ -12,6 +12,7 @@ module Pool = Hppa_server.Pool
 module Plan = Hppa_server.Plan
 module Server = Hppa_server.Server
 module Load_gen = Hppa_server.Load_gen
+module Obs = Hppa_obs.Obs
 
 let test_config workers =
   {
@@ -19,6 +20,7 @@ let test_config workers =
     workers;
     cache_capacity = 64;
     fuel = 1_000_000;
+    trace_path = None;
   }
 
 let with_server ?(workers = 1) ?fuel f =
@@ -55,6 +57,8 @@ let test_parse_valid () =
   parse_ok "EVAL mulI 99 -7" (Protocol.Eval ("mulI", [ 99l; -7l ])) ();
   parse_ok "EVAL divU" (Protocol.Eval ("divU", [])) ();
   parse_ok "STATS" Protocol.Stats ();
+  parse_ok "METRICS" Protocol.Metrics ();
+  parse_ok "metrics\r" Protocol.Metrics ();
   parse_ok "ping" Protocol.Ping ();
   parse_ok "QUIT" Protocol.Quit ()
 
@@ -74,6 +78,7 @@ let test_parse_invalid () =
       "EVAL bad-label 1";
       "EVAL mulI 1 2 3 4 5";  (* five arguments *)
       "STATS now";
+      "METRICS all";
       "QUIT 0";
       String.make (Protocol.max_line_bytes + 1) 'M';
     ]
@@ -139,10 +144,15 @@ let test_fuzz_respond_total () =
         (fun line ->
           match Server.respond srv line with
           | reply ->
-              if not (Protocol.is_ok reply || Protocol.is_err reply) then
-                Alcotest.failf "unframed reply %S for %S" reply line;
-              if String.contains reply '\n' then
-                Alcotest.failf "multi-line reply for %S" line
+              if
+                not
+                  (Protocol.is_ok reply || Protocol.is_err reply
+                 || Server.is_scrape reply)
+              then Alcotest.failf "unframed reply %S for %S" reply line;
+              (* Only the METRICS scrape may span lines. *)
+              if
+                String.contains reply '\n' && not (Server.is_scrape reply)
+              then Alcotest.failf "multi-line reply for %S" line
           | exception exn ->
               Alcotest.failf "respond raised %s on %S"
                 (Printexc.to_string exn) line)
@@ -217,11 +227,38 @@ let test_metrics_percentiles () =
   Metrics.reset m;
   Alcotest.(check int) "reset" 0 (Metrics.requests m)
 
+let test_metrics_per_verb () =
+  let m = Metrics.create () in
+  Metrics.record ~verb:"MUL" m ~error:false ~us:3.0;
+  Metrics.record ~verb:"MUL" m ~error:false ~us:3.0;
+  Metrics.record ~verb:"EVAL" m ~error:true ~us:100.0;
+  Metrics.record m ~error:false ~us:1.0;
+  (* no verb: aggregate only *)
+  let samples = Obs.Registry.snapshot (Metrics.registry m) in
+  let hist_count name verb =
+    List.find_map
+      (fun s ->
+        match (s : Obs.sample).value with
+        | Obs.Histogram_v { count; _ }
+          when s.name = name && s.labels = [ ("verb", verb) ] ->
+            Some count
+        | _ -> None)
+      samples
+  in
+  Alcotest.(check (option int))
+    "MUL latencies" (Some 2)
+    (hist_count "hppa_serve_verb_latency_us" "MUL");
+  Alcotest.(check (option int))
+    "EVAL latencies" (Some 1)
+    (hist_count "hppa_serve_verb_latency_us" "EVAL");
+  Alcotest.(check int) "aggregate" 4 (Metrics.requests m);
+  Alcotest.(check int) "errors" 1 (Metrics.errors m)
+
 (* ------------------------------------------------------------------ *)
 (* Pool                                                                *)
 
 let test_pool_submit () =
-  let p = Pool.create ~workers:2 ~init:(fun () -> ref 0) in
+  let p = Pool.create ~workers:2 ~init:(fun () -> ref 0) () in
   let squares = List.init 50 (fun i -> Pool.submit p (fun _ -> i * i)) in
   Alcotest.(check (list int)) "results in order"
     (List.init 50 (fun i -> i * i))
@@ -240,7 +277,7 @@ let test_pool_submit () =
       ignore (Pool.submit p (fun _ -> 0)))
 
 let test_pool_concurrent_submitters () =
-  let p = Pool.create ~workers:3 ~init:(fun () -> ()) in
+  let p = Pool.create ~workers:3 ~init:(fun () -> ()) () in
   let total = Atomic.make 0 in
   let submitter lo () =
     for i = lo to lo + 99 do
@@ -339,6 +376,74 @@ let test_dispatch_semantics () =
       check_reply srv "STATS" ~ok:true
         [ "requests="; "cache_hit_rate="; "p99_us=" ])
 
+let test_metrics_scrape () =
+  with_server (fun srv ->
+      ignore (Server.respond srv "MUL 625");
+      ignore (Server.respond srv "MUL 625");
+      ignore (Server.respond srv "FROB");
+      let reply = Server.respond srv "METRICS" in
+      Alcotest.(check bool) "scrape framed" true (Server.is_scrape reply);
+      Alcotest.(check bool) "ends with # EOF" true
+        (contains ~needle:"# EOF" reply);
+      match Obs.Export.parse_prometheus reply with
+      | Error msg -> Alcotest.failf "scrape does not parse: %s" msg
+      | Ok samples ->
+          let get name =
+            match Obs.Export.find samples name with
+            | Some v -> v
+            | None -> Alcotest.failf "missing %s" name
+          in
+          (* MUL, MUL, FROB counted; METRICS itself not yet recorded at
+             snapshot time. *)
+          Alcotest.(check (float 0.0))
+            "requests" 3.0
+            (get "hppa_serve_requests_total");
+          Alcotest.(check (float 0.0))
+            "errors" 1.0
+            (get "hppa_serve_errors_total");
+          Alcotest.(check (float 0.0))
+            "cache hits" 1.0
+            (get "hppa_serve_cache_hits_total");
+          Alcotest.(check (float 0.0))
+            "hit rate" 0.5
+            (get "hppa_serve_cache_hit_rate");
+          Alcotest.(check (float 0.0))
+            "workers gauge" 1.0 (get "hppa_serve_workers");
+          (* The scrape itself is never cached: hits unchanged after. *)
+          let again = Server.respond srv "METRICS" in
+          Alcotest.(check bool) "second scrape framed" true
+            (Server.is_scrape again))
+
+let test_stats_and_scrape_agree () =
+  (* STATS and METRICS must be two views of the same registry cells. *)
+  with_server (fun srv ->
+      for i = 1 to 10 do
+        ignore (Server.respond srv (Printf.sprintf "MUL %d" (600 + i)))
+      done;
+      ignore (Server.respond srv "NOPE");
+      let stats = Server.respond srv "STATS" in
+      let samples =
+        Result.get_ok (Obs.Export.parse_prometheus (Server.metrics_payload srv))
+      in
+      let requests =
+        int_of_float
+          (Option.get (Obs.Export.find samples "hppa_serve_requests_total"))
+      in
+      let errors =
+        int_of_float
+          (Option.get (Obs.Export.find samples "hppa_serve_errors_total"))
+      in
+      (* STATS was issued after 11 recorded requests; the scrape then
+         additionally includes the STATS request itself. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "stats %s mentions requests=%d" stats (requests - 1))
+        true
+        (contains ~needle:(Printf.sprintf "requests=%d" (requests - 1)) stats);
+      Alcotest.(check bool)
+        (Printf.sprintf "stats mentions errors=%d" errors)
+        true
+        (contains ~needle:(Printf.sprintf "errors=%d" errors) stats))
+
 let test_eval_fuel_limit () =
   with_server ~fuel:5 (fun srv ->
       check_reply srv "EVAL divU 100 7" ~ok:false [ "fuel" ])
@@ -363,6 +468,7 @@ let test_end_to_end () =
       workers = 2;
       cache_capacity = 256;
       fuel = 1_000_000;
+      trace_path = None;
     }
   in
   let srv = Server.create cfg in
@@ -422,7 +528,10 @@ let suite =
         Alcotest.test_case "lru under 4 domains" `Quick test_lru_parallel;
       ] );
     ( "server:metrics",
-      [ Alcotest.test_case "percentiles" `Quick test_metrics_percentiles ] );
+      [
+        Alcotest.test_case "percentiles" `Quick test_metrics_percentiles;
+        Alcotest.test_case "per-verb histograms" `Quick test_metrics_per_verb;
+      ] );
     ( "server:pool",
       [
         Alcotest.test_case "submit/shutdown" `Quick test_pool_submit;
@@ -440,6 +549,9 @@ let suite =
     ( "server:dispatch",
       [
         Alcotest.test_case "semantics" `Quick test_dispatch_semantics;
+        Alcotest.test_case "metrics scrape" `Quick test_metrics_scrape;
+        Alcotest.test_case "stats/scrape agreement" `Quick
+          test_stats_and_scrape_agree;
         Alcotest.test_case "fuel limit" `Quick test_eval_fuel_limit;
         Alcotest.test_case "history independence" `Quick
           test_eval_resets_machine_state;
