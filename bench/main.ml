@@ -8,6 +8,11 @@
                                                  depth-6 exhaustive search
                                                  certifying Figure 1 row 6
      dune exec bench/main.exe bechamel        -- host-time micro-benchmarks
+     dune exec bench/main.exe json            -- BENCH_SIM.json snapshot
+     dune exec bench/main.exe plans           -- autotune every kernel
+                                                 strategy on the simulator,
+                                                 gate the selector, write
+                                                 BENCH_PLANS.json
 
    All workloads are seeded; output is deterministic (except host times). *)
 
@@ -726,6 +731,119 @@ let bechamel_print () =
     (bechamel_suite ())
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_PLANS.json: the kernel-strategy autotune gate                  *)
+
+module Strategy = Hppa_plan.Strategy
+module Autotune = Hppa_plan.Autotune
+
+(* The constant set covers every Div_const strategy shape (trivial,
+   shift, reciprocal, even split, general fallback via 625) and chain
+   lengths 1..4+, plus the variable requests the millicode serves. *)
+let plan_requests ~fast =
+  let muls =
+    if fast then [ 3l; 15l; 625l ]
+    else [ 2l; 3l; 5l; 6l; 10l; 15l; 25l; 31l; 100l; 625l; 1000l ]
+  in
+  let divs =
+    if fast then [ 3l; 7l; 16l ]
+    else [ 1l; 3l; 5l; 7l; 9l; 10l; 11l; 13l; 16l; 19l; 625l ]
+  in
+  List.map (fun c -> Strategy.mul_const c) muls
+  @ List.map (fun c -> Strategy.div_const Strategy.Unsigned c) divs
+  @ [ Strategy.mul_var (); Strategy.div_var Strategy.Unsigned ]
+
+(* Measure every candidate for every request; errors count as failures
+   in [plans] mode (a request the registry cannot serve is a bug). *)
+let tune_reports ~obs ~store ~workload reqs =
+  let errors = ref 0 in
+  let reports =
+    List.filter_map
+      (fun req ->
+        match Autotune.tune ~store ~obs workload req with
+        | Ok r -> Some r
+        | Error msg ->
+            Printf.eprintf "bench plans: %s: %s\n%!"
+              (Strategy.request_id req) msg;
+            incr errors;
+            None)
+      reqs
+  in
+  (reports, !errors)
+
+(* Per-strategy aggregation over a report set: how often each strategy
+   was measured, its average mean cycles, how often it measured best. *)
+let strategy_table reports =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Autotune.report) ->
+      List.iter
+        (fun (name, m) ->
+          match m with
+          | Ok (m : Autotune.measurement) ->
+              let n, tot, wins =
+                Option.value ~default:(0, 0.0, 0) (Hashtbl.find_opt tbl name)
+              in
+              Hashtbl.replace tbl name
+                ( n + 1,
+                  tot +. m.Autotune.mean_cycles,
+                  wins + if r.Autotune.best = name then 1 else 0 )
+          | Error _ -> ())
+        r.Autotune.measurements)
+    reports;
+  Hashtbl.fold (fun name (n, tot, wins) acc ->
+      (name, n, tot /. float_of_int (max n 1), wins) :: acc)
+    tbl []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+
+let print_strategy_table rows =
+  Printf.printf "\n  per-strategy comparison:\n";
+  Printf.printf "  %-24s %9s %12s %6s\n" "strategy" "measured" "mean cyc"
+    "wins";
+  List.iter
+    (fun (name, n, mean, wins) ->
+      Printf.printf "  %-24s %9d %12.1f %6d\n" name n mean wins)
+    rows
+
+let bench_plans ~fast ~out () =
+  header "Kernel-strategy autotune (lib/plan): selector vs measured cycles";
+  let obs = Obs.Registry.create () in
+  let store = Autotune.Store.create () in
+  let samples = if fast then 32 else 128 in
+  let workload = Autotune.Figure5 { samples; seed = 0x5EEDL } in
+  let reports, failures = tune_reports ~obs ~store ~workload (plan_requests ~fast) in
+  let failures = ref failures in
+  Printf.printf "  %-14s %-18s %10s %10s  %s\n" "request" "chosen"
+    "mean cyc" "fallback" "gate";
+  List.iter
+    (fun (r : Autotune.report) ->
+      let fb =
+        match r.Autotune.fallback with
+        | Some f -> Printf.sprintf "%.1f" f.Autotune.mean_cycles
+        | None -> "-"
+      in
+      Printf.printf "  %-14s %-18s %10.1f %10s  %s\n"
+        r.Autotune.chosen.Autotune.request
+        r.Autotune.chosen.Autotune.strategy
+        r.Autotune.chosen.Autotune.mean_cycles fb
+        (if r.Autotune.gate_ok then "ok" else "FAIL: slower than millicode");
+      if not r.Autotune.gate_ok then incr failures)
+    reports;
+  print_strategy_table (strategy_table reports);
+  (match Autotune.Store.save store out with
+  | Ok () -> Printf.printf "\nwrote %s (%d measurements)\n" out
+               (Autotune.Store.length store)
+  | Error msg ->
+      Printf.eprintf "bench plans: cannot write %s: %s\n" out msg;
+      incr failures);
+  if !failures > 0 then begin
+    Printf.eprintf
+      "bench plans: %d gate violation(s): the selector chose a plan that \
+       measures slower than the millicode fallback\n"
+      !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_SIM.json: machine-readable performance snapshot                *)
 
 (* Simulated instructions per host second for one millicode entry,
@@ -779,6 +897,21 @@ let bench_json ~fast ~out () =
   let seq = closure_wall ~obs ~domains:1 ~max_len ~limit () in
   let domains = Hppa_machine.Sweep.default_domains () in
   let par = closure_wall ~obs ~domains ~max_len ~limit () in
+  (* A small autotune pass so the snapshot carries the per-strategy
+     comparison (full sweep: the [plans] mode). *)
+  let plan_rows =
+    let store = Autotune.Store.create () in
+    let reports, _ =
+      tune_reports ~obs ~store
+        ~workload:(Autotune.Figure5 { samples = 32; seed = 0x5EEDL })
+        [
+          Strategy.mul_const 625l;
+          Strategy.div_const Strategy.Unsigned 10l;
+          Strategy.mul_var ();
+        ]
+    in
+    strategy_table reports
+  in
   let bech = bechamel_suite () in
   let path = out in
   let oc = open_out path in
@@ -798,6 +931,16 @@ let bench_json ~fast ~out () =
         name eng itp (eng /. itp) sim_insns eng_used
         (if i < List.length sim_kernels - 1 then "," else ""))
     sim_kernels;
+  out "  ],\n";
+  out "  \"plan_strategies\": [\n";
+  List.iteri
+    (fun i (name, n, mean, wins) ->
+      out
+        "    {\"strategy\": %S, \"measured\": %d, \"mean_cycles\": %.1f, \
+         \"wins\": %d}%s\n"
+        name n mean wins
+        (if i < List.length plan_rows - 1 then "," else ""))
+    plan_rows;
   out "  ],\n";
   out "  \"obs\": %s,\n" (Obs.Export.json (Obs.Registry.snapshot obs));
   out "  \"lengths_table\": {\"max_len\": %d, \"limit\": %d, \
@@ -822,7 +965,8 @@ let bench_json ~fast ~out () =
     sim_kernels;
   Printf.printf
     "  lengths_table depth %d: %.2fs sequential, %.2fs on %d domain(s) (%.2fx)\n"
-    max_len seq par domains (seq /. par)
+    max_len seq par domains (seq /. par);
+  print_strategy_table plan_rows
 
 (* ------------------------------------------------------------------ *)
 
@@ -849,13 +993,15 @@ let all_figures =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* `json --out PATH` redirects the artifact (so CI can write outside
-     the checkout); everything else is a figure selection. *)
+  (* `json --out PATH` / `plans --out PATH` redirect the artifact (so CI
+     can write outside the checkout); everything else is a figure
+     selection. The default depends on the mode: BENCH_SIM.json for
+     `json`, BENCH_PLANS.json for `plans`. *)
   let out, args =
     let rec go acc = function
-      | "--out" :: path :: rest -> (path, List.rev_append acc rest)
+      | "--out" :: path :: rest -> (Some path, List.rev_append acc rest)
       | a :: rest -> go (a :: acc) rest
-      | [] -> ("BENCH_SIM.json", List.rev acc)
+      | [] -> (None, List.rev acc)
     in
     go [] args
   in
@@ -865,7 +1011,10 @@ let () =
     List.filter (fun a -> a <> "--deep" && a <> "--fast") args
   in
   if List.mem "bechamel" selected then bechamel_print ()
-  else if List.mem "json" selected then bench_json ~fast ~out ()
+  else if List.mem "json" selected then
+    bench_json ~fast ~out:(Option.value out ~default:"BENCH_SIM.json") ()
+  else if List.mem "plans" selected then
+    bench_plans ~fast ~out:(Option.value out ~default:"BENCH_PLANS.json") ()
   else begin
     let to_run =
       if selected = [] then all_figures
@@ -873,7 +1022,7 @@ let () =
         List.filter (fun (name, _) -> List.mem name selected) all_figures
     in
     if to_run = [] then begin
-      Printf.printf "unknown selection; available: %s bechamel json\n"
+      Printf.printf "unknown selection; available: %s bechamel json plans\n"
         (String.concat " " (List.map fst all_figures));
       exit 2
     end;

@@ -8,8 +8,17 @@
 module Word = Hppa_word.Word
 module Machine = Hppa_machine.Machine
 
-let show n overflow exhaustive code verify no_engine =
+let show n overflow exhaustive code verify no_engine plan =
   let n32 = Int32.of_int n in
+  if plan then begin
+    (* The kernel-strategy view: every applicable strategy with its cost
+       or rejection reason, and which one the selector picks. *)
+    let req = Hppa_plan.Strategy.mul_const ~trap_overflow:overflow n32 in
+    match Hppa_plan.Selector.choose req with
+    | Ok choice ->
+        Format.printf "%a@." Hppa_plan.Selector.pp_choice choice
+    | Error msg -> Format.printf "plan: %s@." msg
+  end;
   let chain =
     if exhaustive then Hppa.Chain_search.find ~max_len:6 (abs n)
     else
@@ -91,10 +100,17 @@ let no_engine =
          ~doc:"Run the verification sweep on the reference interpreter \
                instead of the threaded-code engine.")
 
+let plan =
+  Arg.(value & flag & info [ "p"; "plan" ]
+         ~doc:"Print the kernel-strategy selection table for multiplying \
+               by $(docv): the chosen strategy, every candidate's cost and \
+               why rejected ones lost.")
+
 let cmd =
   Cmd.v
     (Cmd.info "hppa-chainc"
        ~doc:"Search shift-and-add chains for multiplication by constants")
-    Term.(const show $ n $ overflow $ exhaustive $ code $ verify $ no_engine)
+    Term.(const show $ n $ overflow $ exhaustive $ code $ verify $ no_engine
+          $ plan)
 
 let () = exit (Cmd.eval' cmd)

@@ -24,8 +24,28 @@ let emit_image prog path =
    and bounded for runaway programs. *)
 let trace_capacity = 65536
 
-let run file entry args link_millicode dump stats trace trace_json metrics emit
-    no_engine =
+(* --plan "mul 625": selector table plus an autotune pass — every
+   candidate measured on the engine over the paper's Figure 5 operand
+   mix, gated on never losing to the general millicode fallback. *)
+let run_plan spec =
+  match Hppa_plan.Strategy.request_of_string spec with
+  | Error msg ->
+      Printf.eprintf "hppa-run --plan: %s\n" msg;
+      2
+  | Ok req -> (
+      let workload =
+        Hppa_plan.Autotune.Figure5 { samples = 64; seed = 0xF00DL }
+      in
+      match Hppa_plan.Autotune.tune workload req with
+      | Error msg ->
+          Printf.eprintf "hppa-run --plan: %s\n" msg;
+          2
+      | Ok report ->
+          Format.printf "%a@." Hppa_plan.Autotune.pp_report report;
+          if report.Hppa_plan.Autotune.gate_ok then 0 else 1)
+
+let run_file file entry args link_millicode dump stats trace trace_json metrics
+    emit no_engine =
   let text = In_channel.with_open_text file In_channel.input_all in
   match Asm.parse text with
   | Error msg ->
@@ -119,9 +139,27 @@ let run file entry args link_millicode dump stats trace trace_json metrics emit
             print_string (Obs.Export.prometheus (Obs.Registry.snapshot registry));
           code)
 
+let run file plan entry args link_millicode dump stats trace trace_json
+    metrics emit no_engine =
+  match (plan, file) with
+  | Some spec, _ -> run_plan spec
+  | None, Some file ->
+      run_file file entry args link_millicode dump stats trace trace_json
+        metrics emit no_engine
+  | None, None ->
+      Printf.eprintf "hppa-run: FILE.s (or --plan \"REQ\") required\n";
+      2
+
 open Cmdliner
 
-let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.s")
+let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.s")
+
+let plan =
+  Arg.(value & opt (some string) None & info [ "p"; "plan" ] ~docv:"REQ"
+         ~doc:"Instead of running a file, print the kernel-strategy \
+               selection for request $(docv) (e.g. \"mul 625\", \"divu x\") \
+               and autotune every candidate on the simulator; exits 1 if \
+               the chosen plan measures slower than the millicode fallback.")
 
 let entry =
   Arg.(value & opt string "main" & info [ "e"; "entry" ] ~docv:"LABEL"
@@ -162,7 +200,7 @@ let no_engine =
 let cmd =
   Cmd.v
     (Cmd.info "hppa-run" ~doc:"Assemble and run HP Precision assembly on the simulator")
-    Term.(const run $ file $ entry $ args $ millicode $ dump $ stats $ trace
-          $ trace_json $ metrics $ emit $ no_engine)
+    Term.(const run $ file $ plan $ entry $ args $ millicode $ dump $ stats
+          $ trace $ trace_json $ metrics $ emit $ no_engine)
 
 let () = exit (Cmd.eval' cmd)

@@ -23,7 +23,7 @@ let endpoint socket port host =
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
 
-let serve socket port host workers cache fuel trace_json =
+let serve socket port host workers cache fuel trace_json plans =
   let workers =
     match workers with
     | Some w -> w
@@ -36,6 +36,7 @@ let serve socket port host workers cache fuel trace_json =
       cache_capacity = cache;
       fuel;
       trace_path = trace_json;
+      plans_path = plans;
     }
   in
   let srv = Server.create cfg in
@@ -248,6 +249,16 @@ let serve_cmd =
             "Keep a bounded per-request event trace and write it as JSON \
              Lines to $(docv) at shutdown.")
   in
+  let plans =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plans" ] ~docv:"PATH"
+          ~doc:
+            "Warm-start from a $(docv) BENCH_PLANS.json store (written by \
+             $(b,bench plans)): every measured MUL/DIV request is \
+             pre-computed into the plan cache before the socket opens.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -255,7 +266,7 @@ let serve_cmd =
           requests, dump statistics and exit.")
     Term.(
       const serve $ socket $ port $ host $ workers $ cache $ fuel
-      $ trace_json)
+      $ trace_json $ plans)
 
 let load_cmd =
   let requests =

@@ -1,4 +1,6 @@
 module Word = Hppa_word.Word
+module Plan = Hppa_plan.Strategy
+module Selector = Hppa_plan.Selector
 
 type t = {
   entry : string;
@@ -67,6 +69,31 @@ let call st target =
   st.millicode_calls <- st.millicode_calls + 1;
   Builder.insn st.b (Emit.bl target Reg.mrp)
 
+(* Every non-trivial multiply/divide/remainder is arbitrated by the
+   strategy selector (lib/plan) under the compiler's context; the chosen
+   strategy is then mapped onto this module's emission idioms (inline
+   chain, resident small-divisor routine, per-unit constant plan, or
+   millicode call), so the selector decides and the generated code stays
+   in the compiler's conventions. *)
+let selector_ctx st =
+  {
+    (Plan.compiler ~small_divisor_dispatch:st.small_divisor_dispatch ()) with
+    Plan.inline_mul_threshold;
+  }
+
+let choose st req = Selector.choose ~ctx:(selector_ctx st) req
+
+(* The call-through strategies carry their millicode entry in the
+   emission detail; fall back to the historical target if selection ever
+   fails (it cannot for well-formed requests). *)
+let millicode_target choice ~default =
+  match choice with
+  | Ok c -> (
+      match c.Selector.emission.Plan.detail with
+      | Plan.Millicode m -> m
+      | Plan.Mul_plan _ | Plan.Div_plan _ -> default)
+  | Error _ -> default
+
 (* Inline a multiply-by-constant chain: product of [src] by the chain's
    target into a fresh temp. *)
 let inline_chain st ~negate chain src =
@@ -78,14 +105,6 @@ let inline_chain st ~negate chain src =
       st.b
   in
   dst
-
-let mul_const_cost ~overflow c =
-  if Word.equal c Int32.min_int || Word.equal c 0l then None
-  else
-    let mode = if overflow then Chain_rules.Monotonic else Chain_rules.Fast in
-    Option.map
-      (fun chain -> (chain, Chain.length chain))
-      (Chain_rules.find ~mode (Int32.to_int (Word.abs c)))
 
 let rec emit st (e : Expr.t) : Reg.t =
   let ov = st.trap_overflow in
@@ -117,17 +136,14 @@ let rec emit st (e : Expr.t) : Reg.t =
       t
   | Mul (Const c, a) | Mul (a, Const c) -> emit_mul_const st a c
   | Mul (a, b) ->
-      let ra = emit st a in
-      let rb = emit st b in
-      Builder.insns st.b [ Emit.copy ra Reg.arg0; Emit.copy rb Reg.arg1 ];
-      release st ra;
-      release st rb;
-      call st (if ov then Millicode.muloI else Millicode.mulI);
-      let t = alloc st in
-      Builder.insn st.b (Emit.copy Reg.ret0 t);
-      t
+      let target =
+        millicode_target
+          (choose st (Plan.mul_var ~trap_overflow:ov ()))
+          ~default:(if ov then Millicode.muloI else Millicode.mulI)
+      in
+      emit_call2 st a b target
   | Div (a, Const c) when not (Word.equal c 0l) ->
-      let target = divide_entry st c in
+      let target = emit_div_const_entry st c in
       let ra = emit st a in
       Builder.insn st.b (Emit.copy ra Reg.arg0);
       release st ra;
@@ -135,9 +151,21 @@ let rec emit st (e : Expr.t) : Reg.t =
       let t = alloc st in
       Builder.insn st.b (Emit.copy Reg.ret0 t);
       t
-  | Div (a, b) -> emit_call2 st a b (if st.small_divisor_dispatch then "divI_small" else "divI")
+  | Div (a, b) ->
+      let target =
+        millicode_target
+          (choose st (Plan.div_var Plan.Signed))
+          ~default:(if st.small_divisor_dispatch then "divI_small" else "divI")
+      in
+      emit_call2 st a b target
   | Rem (a, Const c) when not (Word.equal c 0l) -> emit_rem_const st a c
-  | Rem (a, b) -> emit_call2 st a b "remI"
+  | Rem (a, b) ->
+      let target =
+        millicode_target
+          (choose st (Plan.rem_var Plan.Signed))
+          ~default:"remI"
+      in
+      emit_call2 st a b target
 
 and emit_call2 st a b target =
   let ra = emit st a in
@@ -161,13 +189,29 @@ and emit_mul_const st a c =
     t
   end
   else
-    match mul_const_cost ~overflow:st.trap_overflow c with
-    | Some (chain, len) when len <= inline_mul_threshold ->
+    (* The selector inlines exactly when the chain strategy wins under
+       the compiler context (chain found and within the inline
+       threshold); the chosen emission carries that chain. *)
+    let inline_choice =
+      match choose st (Plan.mul_const ~trap_overflow:st.trap_overflow c) with
+      | Ok choice -> (
+          match
+            (choice.Selector.chosen.Plan.name,
+             choice.Selector.emission.Plan.detail)
+          with
+          | "mul_const_chain", Plan.Mul_plan { Mul_const.chain = Some chain; _ }
+            ->
+              Some chain
+          | _ -> None)
+      | Error _ -> None
+    in
+    match inline_choice with
+    | Some chain ->
         let ra = emit st a in
         let t = inline_chain st ~negate:(Word.is_neg c) chain ra in
         release st ra;
         t
-    | Some _ | None ->
+    | None ->
         (* Millicode multiply with an immediate operand. *)
         let ra = emit st a in
         Builder.insn st.b (Emit.copy ra Reg.arg0);
@@ -178,16 +222,47 @@ and emit_mul_const st a c =
         Builder.insn st.b (Emit.copy Reg.ret0 t);
         t
 
+and emit_div_const_entry st c =
+  (* The selector arbitrates constant plan vs. general millicode; in
+     compiled code both map onto [divide_entry]'s conventions (a
+     fallback constant plan is itself a [divU] tail call, so the two
+     strategies coincide), and divisors below the small-divisor
+     threshold reuse the routines resident in the linked library. *)
+  match choose st (Plan.div_const Plan.Signed c) with
+  | Ok choice
+    when choice.Selector.chosen.Plan.name = "div_const"
+         && not
+              (Word.lt_s 0l c && Word.to_int_s c < Div_small.threshold) -> (
+      match choice.Selector.emission.Plan.detail with
+      | Plan.Div_plan plan ->
+          if not (List.mem_assoc plan.Div_const.entry st.plans) then
+            st.plans <-
+              (plan.Div_const.entry, plan.Div_const.source) :: st.plans;
+          plan.Div_const.entry
+      | _ -> divide_entry st c)
+  | Ok _ | Error _ -> divide_entry st c
+
 and emit_rem_const st a c =
   (* x mod c through the dedicated remainder routine (which itself
-     composes x - (x/c)*c with an inline multiply-back chain). *)
-  let plan = Div_const.plan_rem_signed c in
-  if not (List.mem_assoc plan.entry st.plans) then
-    st.plans <- (plan.entry, plan.source) :: st.plans;
+     composes x - (x/c)*c with an inline multiply-back chain). The
+     selector's constant-divide emission is that very plan. *)
+  let plan =
+    match choose st (Plan.rem_const Plan.Signed c) with
+    | Ok
+        {
+          Selector.chosen = { Plan.name = "div_const"; _ };
+          emission = { Plan.detail = Plan.Div_plan plan; _ };
+          _;
+        } ->
+        plan
+    | Ok _ | Error _ -> Div_const.plan_rem_signed c
+  in
+  if not (List.mem_assoc plan.Div_const.entry st.plans) then
+    st.plans <- (plan.Div_const.entry, plan.Div_const.source) :: st.plans;
   let ra = emit st a in
   Builder.insn st.b (Emit.copy ra Reg.arg0);
   release st ra;
-  call st plan.entry;
+  call st plan.Div_const.entry;
   let t = alloc st in
   Builder.insn st.b (Emit.copy Reg.ret0 t);
   t

@@ -11,7 +11,23 @@ let temp_prefix = "$str"
 (* What a reduced multiplication multiplies the counter by. *)
 type multiplier = Mconst of int32 | Mvar of string
 
-let reduce (l : Loop_ir.t) =
+(* A constant multiplier whose selected inline chain is at or below the
+   threshold is not worth an induction temporary. *)
+let cheap_multiplier ~cheap_threshold c =
+  cheap_threshold > 0
+  && (match
+        Hppa_plan.Selector.choose
+          ~ctx:(Hppa_plan.Strategy.compiler ())
+          (Hppa_plan.Strategy.mul_const c)
+      with
+     | Ok choice ->
+         choice.Hppa_plan.Selector.chosen.Hppa_plan.Strategy.name
+         = "mul_const_chain"
+         && choice.Hppa_plan.Selector.cost.Hppa_plan.Strategy.score
+            <= cheap_threshold
+     | Error _ -> false)
+
+let reduce ?(cheap_threshold = 0) (l : Loop_ir.t) =
   (match Loop_ir.validate l with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Strength.reduce: " ^ msg));
@@ -32,7 +48,8 @@ let reduce (l : Loop_ir.t) =
   in
   let rec rewrite (e : Expr.t) : Expr.t =
     match e with
-    | Mul (Var i, Const c) | Mul (Const c, Var i) when i = l.counter ->
+    | Mul (Var i, Const c) | Mul (Const c, Var i)
+      when i = l.counter && not (cheap_multiplier ~cheap_threshold c) ->
         incr removed;
         Var (temp_for (Mconst c))
     | Mul (Var a, Var b)

@@ -15,11 +15,18 @@ type reduced = {
   multiplies_removed : int;  (** static count *)
 }
 
-val reduce : Loop_ir.t -> reduced
+val reduce : ?cheap_threshold:int -> Loop_ir.t -> reduced
 (** Replaces every multiplication of the counter by a constant or by a
     loop-invariant variable (the FORTRAN rank situation §2 highlights).
     Variable multipliers cost one preheader multiply for the bump when the
     step is not 1. Raises [Invalid_argument] on an invalid loop.
+
+    [cheap_threshold] (default 0 = reduce everything) consults the
+    kernel-strategy selector ({!Hppa_plan.Selector}) under the compiler
+    context and leaves alone any constant multiplier whose inline chain
+    scores at or below the threshold — the measured footnote below in
+    code: a one-instruction chain (×2, ×3, ×5, powers of two...) is not
+    worth an induction temporary and its per-iteration bump.
 
     Measured footnote (see the compiler tests): on this architecture the
     transformation only pays for {e variable} multipliers — a constant

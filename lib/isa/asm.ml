@@ -75,8 +75,20 @@ let rec parse_operand s =
         | None ->
             if is_ident s then Osym s else fail "cannot parse operand %S" s)
 
-let reg = function Oreg r -> r | _ -> fail "expected a register"
-let imm = function Oimm v -> v | _ -> fail "expected an immediate"
+let rec render_operand = function
+  | Oreg r -> Reg.name r
+  | Oimm v -> Int32.to_string v
+  | Osym s -> s
+  | Oindexed (o, base) ->
+      Printf.sprintf "%s(%s)" (render_operand o) (Reg.name base)
+
+let reg = function
+  | Oreg r -> r
+  | o -> fail "expected a register, got %S" (render_operand o)
+
+let imm = function
+  | Oimm v -> v
+  | o -> fail "expected an immediate, got %S" (render_operand o)
 
 let int_op o =
   let v = imm o in
@@ -91,7 +103,7 @@ let shift_op o =
 let sym = function
   | Osym s -> s
   | Oreg r -> Reg.name r (* a label can collide with a register alias *)
-  | _ -> fail "expected a label"
+  | o -> fail "expected a label, got %S" (render_operand o)
 
 (* ------------------------------------------------------------------ *)
 (* Instruction parsing                                                 *)

@@ -17,7 +17,9 @@
     shifts), [copy], and [ldi] (which may expand to an [ldil]/[ldo] pair). *)
 
 val parse : string -> (Program.source, string) result
-(** Parse a whole file; errors carry 1-based line numbers. *)
+(** Parse a whole file. Every error message carries the 1-based source
+    line and, when one operand is at fault, the offending token —
+    e.g. ["line 3: expected a register, got \"42\""]. *)
 
 val parse_exn : string -> Program.source
 

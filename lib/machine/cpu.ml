@@ -20,9 +20,8 @@ type control = Jump of int | Stop
 
 type outcome = Halted | Trapped of Trap.t | Fuel_exhausted
 
-(* Per-machine execution policy, fixed at creation. The mutable
-   [engine_enabled]/[trace] fields below shadow their config values so the
-   deprecated toggles ([Machine.set_engine], [set_trace]) keep working. *)
+(* Per-machine execution policy, fixed at creation. The mutable [trace]
+   field below shadows its config value so [set_trace] keeps working. *)
 type config = {
   engine : bool;
   fuel : int;
@@ -61,8 +60,6 @@ type t = {
   stats : Stats.t;
   mutable trace : (int -> int Insn.t -> unit) option;
   mutable icache : Icache.t option;
-  mutable engine_enabled : bool;
-      (* engine opt-out switch, used by the differential tests *)
   mutable engine : (int -> outcome) option;
       (* the compiled threaded engine, built lazily on first eligible run *)
   mutable used_engine : bool;
@@ -120,7 +117,6 @@ let create ?(mem_bytes = 65536) ?(delay_slots = false)
     stats = Stats.create ?registry:config.obs ~labels:config.obs_labels ();
     trace = config.trace;
     icache = None;
-    engine_enabled = config.engine;
     engine = None;
     used_engine = false;
     cfg = config;

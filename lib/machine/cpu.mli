@@ -48,7 +48,6 @@ type t = {
   stats : Stats.t;
   mutable trace : (int -> int Insn.t -> unit) option;
   mutable icache : Icache.t option;
-  mutable engine_enabled : bool;
   mutable engine : (int -> outcome) option;
   mutable used_engine : bool;
   cfg : config;

@@ -19,14 +19,14 @@ module Config = struct
   let default = Cpu.default_config
 end
 
-let config t = { t.cfg with engine = t.engine_enabled; trace = t.trace }
+let config t = { t.cfg with trace = t.trace }
 
 (* The threaded engine implements the default branch model with no
    observation hooks; everything else stays on the reference
    interpreter. [pending] is always [None] outside delay-slot mode, but
    check it anyway so a hand-stepped machine can never be mis-entered. *)
 let engine_eligible t =
-  t.engine_enabled && (not t.delay)
+  t.cfg.engine && (not t.delay)
   && (match t.trace with None -> true | Some _ -> false)
   && (match t.icache with None -> true | Some _ -> false)
   && (match t.pending with None -> true | Some _ -> false)
@@ -81,8 +81,6 @@ let profile t =
     step_cycles = Obs.Counter.get t.prof.step_cycles;
   }
 
-let set_engine t enabled = t.engine_enabled <- enabled
-let engine_enabled t = t.engine_enabled
 let used_engine t = t.used_engine
 
 let arg_regs = [ Reg.arg0; Reg.arg1; Reg.arg2; Reg.arg3 ]

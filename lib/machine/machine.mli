@@ -38,9 +38,7 @@ val halt_sentinel : Hppa_word.Word.t
 (** [0xffff_ffff]; a [BV] (or [BLR]) whose target equals this value stops the
     machine. {!call} plants it in [rp]. *)
 
-(** Per-machine execution policy, fixed at {!create} time. This replaces
-    the old mutable toggles ({!set_engine}, and [set_trace] for the trace
-    hook), which remain as deprecated aliases for one release. *)
+(** Per-machine execution policy, fixed at {!create} time. *)
 module Config : sig
   type t = {
     engine : bool;
@@ -77,8 +75,8 @@ val create :
 val delay_slots : t -> bool
 
 val config : t -> Config.t
-(** The machine's configuration; the [engine] and [trace] fields reflect
-    later calls to the deprecated mutable toggles. *)
+(** The machine's configuration; the [trace] field reflects later calls
+    to {!set_trace}. *)
 
 val program : t -> Program.resolved
 val reset : t -> unit
@@ -122,15 +120,6 @@ val run : ?fuel:int -> t -> outcome
     use the per-instruction reference interpreter. The two are
     observationally identical — registers, PSW C/V, memory, traps, PC
     and statistics — which the differential test suite enforces. *)
-
-val set_engine : t -> bool -> unit
-  [@@deprecated "use Machine.Config.engine at create time"]
-(** Enable or disable the threaded engine for this machine. Deprecated:
-    pass [{ Config.default with engine = false }] to {!create} instead;
-    kept as an alias for one release. *)
-
-val engine_enabled : t -> bool
-  [@@deprecated "use (Machine.config t).engine"]
 
 val used_engine : t -> bool
 (** Whether the most recent {!run} (or {!call}) took the threaded-engine

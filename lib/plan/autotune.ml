@@ -1,0 +1,525 @@
+module Word = Hppa_word.Word
+module Obs = Hppa_obs.Obs
+module Machine = Hppa_machine.Machine
+module Trap = Hppa_machine.Trap
+module Dist = Hppa_dist.Operand_dist
+module Prng = Hppa_dist.Prng
+
+type workload =
+  | Figure5 of { samples : int; seed : int64 }
+  | Log_uniform of { samples : int; seed : int64 }
+  | Small_divisors of { samples : int; seed : int64 }
+  | Fixed of (Word.t * Word.t) list
+
+(* FNV-1a over the operand words: Fixed workloads get a content-derived
+   tag so the store key does not depend on list identity. *)
+let fixed_hash pairs =
+  let h = ref 0xcbf29ce484222325L in
+  let mix w =
+    for shift = 0 to 3 do
+      let byte = Int32.to_int (Int32.shift_right_logical w (8 * shift)) land 0xff in
+      h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) 0x100000001b3L
+    done
+  in
+  List.iter (fun (x, y) -> mix x; mix y) pairs;
+  Printf.sprintf "%016Lx" !h
+
+let workload_tag = function
+  | Figure5 { samples; seed } -> Printf.sprintf "figure5:%d:%Ld" samples seed
+  | Log_uniform { samples; seed } ->
+      Printf.sprintf "loguniform:%d:%Ld" samples seed
+  | Small_divisors { samples; seed } ->
+      Printf.sprintf "smalldiv:%d:%Ld" samples seed
+  | Fixed pairs -> Printf.sprintf "fixed:%d:%s" (List.length pairs) (fixed_hash pairs)
+
+let raw_pairs = function
+  | Fixed pairs -> pairs
+  | Figure5 { samples; seed } ->
+      let prng = Prng.create seed in
+      List.init samples (fun _ -> Dist.figure5_pair prng)
+  | Log_uniform { samples; seed } ->
+      let prng = Prng.create seed in
+      List.init samples (fun _ ->
+          let x = Dist.log_uniform prng in
+          let y = Dist.log_uniform prng in
+          (x, y))
+  | Small_divisors { samples; seed } ->
+      let prng = Prng.create seed in
+      List.init samples (fun _ ->
+          let x = Dist.log_uniform prng in
+          let y = Dist.small_divisor prng in
+          (x, y))
+
+let operands workload (req : Strategy.request) =
+  let divide = req.op = Div || req.op = Rem in
+  raw_pairs workload
+  |> List.map (fun (x, y) ->
+         match req.operand with
+         | Strategy.Constant c -> (x, c)
+         | Strategy.Variable ->
+             if divide && Word.equal y 0l then (x, Word.one) else (x, y))
+
+type measurement = {
+  strategy : string;
+  request : string;
+  entry : string;
+  digest : string;
+  workload : string;
+  samples : int;
+  total_cycles : int;
+  mean_cycles : float;
+  min_cycles : int;
+  max_cycles : int;
+  used_engine : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON reader for our own output (no JSON library in the
+   dependency set).                                                    *)
+
+module Json = struct
+  type t =
+    | Obj of (string * t) list
+    | Arr of t list
+    | Str of string
+    | Num of float
+    | Bool of bool
+    | Null
+
+  exception Bad of string
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word value =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then (pos := !pos + l; value)
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let string_lit () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance (); Buffer.contents buf
+        | Some '\\' -> (
+            advance ();
+            match peek () with
+            | Some (('"' | '\\' | '/') as c) -> advance (); Buffer.add_char buf c; go ()
+            | Some 'n' -> advance (); Buffer.add_char buf '\n'; go ()
+            | Some 't' -> advance (); Buffer.add_char buf '\t'; go ()
+            | _ -> fail "unsupported escape")
+        | Some c -> advance (); Buffer.add_char buf c; go ()
+      in
+      go ()
+    in
+    let number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      let span = String.sub s start (!pos - start) in
+      match float_of_string_opt span with
+      | Some f -> f
+      | None -> fail (Printf.sprintf "bad number %S" span)
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then (advance (); Obj [])
+          else
+            let rec members acc =
+              skip_ws ();
+              let key = string_lit () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); members ((key, v) :: acc)
+              | Some '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+              | _ -> fail "expected , or } in object"
+            in
+            members []
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then (advance (); Arr [])
+          else
+            let rec elems acc =
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' -> advance (); elems (v :: acc)
+              | Some ']' -> advance (); Arr (List.rev (v :: acc))
+              | _ -> fail "expected , or ] in array"
+            in
+            elems []
+      | Some '"' -> Str (string_lit ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (number ())
+      | None -> fail "unexpected end of input"
+    in
+    try
+      let v = value () in
+      skip_ws ();
+      if !pos <> n then Error (Printf.sprintf "trailing bytes at %d" !pos)
+      else Ok v
+    with Bad msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+
+  let to_string = function Str s -> Some s | _ -> None
+  let to_int = function Num f -> Some (int_of_float f) | _ -> None
+  let to_bool = function Bool b -> Some b | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+
+let schema = "hppa-bench-plans/1"
+
+module Store = struct
+  type t = (string * string, measurement) Hashtbl.t
+
+  let create () : t = Hashtbl.create 64
+  let length = Hashtbl.length
+  let find t ~digest ~workload = Hashtbl.find_opt t (digest, workload)
+  let add t m = Hashtbl.replace t (m.digest, m.workload) m
+
+  let entries t =
+    Hashtbl.fold (fun _ m acc -> m :: acc) t []
+    |> List.sort (fun a b ->
+           compare (a.digest, a.workload, a.strategy)
+             (b.digest, b.workload, b.strategy))
+
+  let find_digest t digest =
+    entries t |> List.filter (fun m -> m.digest = digest)
+
+  let escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let entry_json m =
+    Printf.sprintf
+      "{\"digest\":\"%s\",\"workload\":\"%s\",\"strategy\":\"%s\",\"request\":\"%s\",\"entry\":\"%s\",\"samples\":%d,\"total_cycles\":%d,\"min_cycles\":%d,\"max_cycles\":%d,\"used_engine\":%b}"
+      (escape m.digest) (escape m.workload) (escape m.strategy)
+      (escape m.request) (escape m.entry) m.samples m.total_cycles m.min_cycles
+      m.max_cycles m.used_engine
+
+  let to_json t =
+    Printf.sprintf "{\"schema\":\"%s\",\"entries\":[%s]}\n" schema
+      (String.concat "," (List.map entry_json (entries t)))
+
+  let measurement_of_json j =
+    let str key = Option.bind (Json.member key j) Json.to_string in
+    let int key = Option.bind (Json.member key j) Json.to_int in
+    let bool key = Option.bind (Json.member key j) Json.to_bool in
+    match
+      (str "digest", str "workload", str "strategy", str "request", str "entry",
+       int "samples", int "total_cycles", int "min_cycles", int "max_cycles",
+       bool "used_engine")
+    with
+    | ( Some digest, Some workload, Some strategy, Some request, Some entry,
+        Some samples, Some total_cycles, Some min_cycles, Some max_cycles,
+        Some used_engine ) when samples > 0 ->
+        Ok
+          {
+            strategy; request; entry; digest; workload; samples; total_cycles;
+            mean_cycles = float_of_int total_cycles /. float_of_int samples;
+            min_cycles; max_cycles; used_engine;
+          }
+    | _ -> Error "entry is missing a required field"
+
+  let of_json text =
+    match Json.parse text with
+    | Error e -> Error ("bad JSON: " ^ e)
+    | Ok j -> (
+        match Option.bind (Json.member "schema" j) Json.to_string with
+        | Some s when s = schema -> (
+            match Json.member "entries" j with
+            | Some (Json.Arr items) ->
+                let t = create () in
+                let rec go = function
+                  | [] -> Ok t
+                  | item :: rest -> (
+                      match measurement_of_json item with
+                      | Ok m -> add t m; go rest
+                      | Error _ as e -> e)
+                in
+                go items
+            | _ -> Error "missing \"entries\" array")
+        | Some other ->
+            Error (Printf.sprintf "schema %S (expected %S)" other schema)
+        | None -> Error "missing \"schema\"")
+
+  let save t path =
+    try
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          output_string oc (to_json t));
+      Ok ()
+    with Sys_error e -> Error e
+
+  let load path =
+    try
+      let ic = open_in_bin path in
+      let text =
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () ->
+            really_input_string ic (in_channel_length ic))
+      in
+      of_json text
+    with Sys_error e -> Error e
+end
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+
+let counter obs ?labels name =
+  Option.map (fun reg -> Obs.Registry.counter reg ?labels name) obs
+
+let bump obs ?labels name = Option.iter Obs.Counter.incr (counter obs ?labels name)
+
+let bump_by obs ?labels name v =
+  Option.iter (fun c -> Obs.Counter.add c v) (counter obs ?labels name)
+
+let set_entries_gauge obs store =
+  match (obs, store) with
+  | Some reg, Some st ->
+      Obs.Gauge.set
+        (Obs.Registry.gauge reg "hppa_plan_store_entries")
+        (float_of_int (Store.length st))
+  | _ -> ()
+
+let aggregate ~strategy ~request ~entry ~digest ~workload cycles ~used_engine =
+  let samples = List.length cycles in
+  let total = List.fold_left ( + ) 0 cycles in
+  {
+    strategy;
+    request;
+    entry;
+    digest;
+    workload;
+    samples;
+    total_cycles = total;
+    mean_cycles = float_of_int total /. float_of_int samples;
+    min_cycles = List.fold_left min max_int cycles;
+    max_cycles = List.fold_left max 0 cycles;
+    used_engine;
+  }
+
+let record obs store m =
+  let labels = [ ("strategy", m.strategy) ] in
+  bump obs ~labels "hppa_plan_measured_total";
+  bump_by obs ~labels "hppa_plan_measured_cycles_total" m.total_cycles;
+  Option.iter (fun st -> Store.add st m) store;
+  set_entries_gauge obs store;
+  m
+
+let measure ?store ?obs ?(fuel = 2_000_000) workload (req : Strategy.request)
+    (s : Strategy.t) =
+  let pairs = operands workload req in
+  let tag = workload_tag workload in
+  let request = Strategy.request_id req in
+  if pairs = [] then Error "empty workload"
+  else
+    match s.Strategy.kind with
+    | Strategy.Modelled -> (
+        match s.Strategy.model with
+        | None -> Error (s.Strategy.name ^ ": modelled strategy has no model")
+        | Some model ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | (x, y) :: rest -> (
+                  match model req x y with
+                  | Some c -> go (c :: acc) rest
+                  | None ->
+                      Error
+                        (Printf.sprintf "%s: model undefined for x=%ld y=%ld"
+                           s.Strategy.name x y))
+            in
+            Result.map
+              (fun cycles ->
+                record obs store
+                  (aggregate ~strategy:s.Strategy.name ~request ~entry:""
+                     ~digest:("model:" ^ s.Strategy.name) ~workload:tag cycles
+                     ~used_engine:false))
+              (go [] pairs))
+    | Strategy.Emits -> (
+        match s.Strategy.emit req with
+        | Error e -> Error e
+        | Ok em -> (
+            match Strategy.digest em with
+            | Error e -> Error e
+            | Ok digest -> (
+                match
+                  Option.bind store (fun st -> Store.find st ~digest ~workload:tag)
+                with
+                | Some m ->
+                    bump obs "hppa_plan_store_hits_total";
+                    Ok m
+                | None -> (
+                    bump obs "hppa_plan_store_misses_total";
+                    match Strategy.link em with
+                    | Error e -> Error e
+                    | Ok prog ->
+                        let config =
+                          { Machine.Config.default with engine = true; fuel }
+                        in
+                        let mach = Machine.create ~config prog in
+                        let entry = em.Strategy.entry in
+                        let args x y =
+                          match req.operand with
+                          | Strategy.Constant _ -> [ x ]
+                          | Strategy.Variable -> [ x; y ]
+                        in
+                        let rec go acc = function
+                          | [] -> Ok (List.rev acc)
+                          | (x, y) :: rest -> (
+                              match
+                                Machine.call_cycles mach entry ~args:(args x y)
+                              with
+                              | Machine.Halted, cycles -> go (cycles :: acc) rest
+                              | Machine.Trapped t, _ ->
+                                  Error
+                                    (Printf.sprintf "%s: trap %s on x=%ld y=%ld"
+                                       entry (Trap.name t) x y)
+                              | Machine.Fuel_exhausted, _ ->
+                                  Error
+                                    (Printf.sprintf
+                                       "%s: fuel exhausted on x=%ld y=%ld" entry
+                                       x y))
+                        in
+                        Result.map
+                          (fun cycles ->
+                            record obs store
+                              (aggregate ~strategy:s.Strategy.name ~request
+                                 ~entry ~digest ~workload:tag cycles
+                                 ~used_engine:(Machine.used_engine mach)))
+                          (go [] pairs)))))
+
+(* ------------------------------------------------------------------ *)
+(* Tuning                                                              *)
+
+type report = {
+  choice : Selector.choice;
+  measurements : (string * (measurement, string) result) list;
+  chosen : measurement;
+  best : string;
+  fallback : measurement option;
+  gate_ok : bool;
+}
+
+let fallback_name (req : Strategy.request) =
+  match req.op with
+  | Strategy.Mul -> "mul_millicode"
+  | Strategy.Div | Strategy.Rem -> "div_millicode"
+
+let tune ?ctx ?store ?obs ?fuel workload req =
+  match Selector.choose ?ctx ?obs req with
+  | Error e -> Error e
+  | Ok choice -> (
+      let measurements =
+        List.map
+          (fun (c : Selector.candidate) ->
+            ( c.strategy.Strategy.name,
+              measure ?store ?obs ?fuel workload req c.strategy ))
+          choice.Selector.candidates
+      in
+      match List.assoc_opt choice.Selector.chosen.Strategy.name measurements with
+      | None | Some (Error _) ->
+          let detail =
+            match
+              List.assoc_opt choice.Selector.chosen.Strategy.name measurements
+            with
+            | Some (Error e) -> e
+            | _ -> "not measured"
+          in
+          Error
+            (Printf.sprintf "chosen strategy %s failed to measure: %s"
+               choice.Selector.chosen.Strategy.name detail)
+      | Some (Ok chosen) ->
+          let ok_measurements =
+            List.filter_map
+              (fun (name, r) ->
+                match r with Ok m -> Some (name, m) | Error _ -> None)
+              measurements
+          in
+          let best =
+            List.fold_left
+              (fun acc (name, m) ->
+                match acc with
+                | None -> Some (name, m)
+                | Some (_, b) when m.mean_cycles < b.mean_cycles -> Some (name, m)
+                | some -> some)
+              None ok_measurements
+            |> Option.map fst
+            |> Option.value ~default:chosen.strategy
+          in
+          bump obs ~labels:[ ("strategy", best) ] "hppa_plan_wins_total";
+          let fallback =
+            List.assoc_opt (fallback_name req) ok_measurements
+          in
+          let gate_ok =
+            match fallback with
+            | None -> true
+            | Some f ->
+                (* Same workload on both sides: compare exact totals. *)
+                chosen.total_cycles <= f.total_cycles
+          in
+          Ok { choice; measurements; chosen; best; fallback; gate_ok })
+
+let pp_report ppf r =
+  let open Format in
+  fprintf ppf "@[<v>%a@," Selector.pp_choice r.choice;
+  fprintf ppf "measured (workload %s):" r.chosen.workload;
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Ok m ->
+          fprintf ppf "@,  %-24s mean %8.2f  min %4d  max %4d  (%d samples%s)"
+            name m.mean_cycles m.min_cycles m.max_cycles m.samples
+            (if m.used_engine then ", engine" else "")
+      | Error e -> fprintf ppf "@,  %-24s unmeasured: %s" name e)
+    r.measurements;
+  fprintf ppf "@,best measured: %s" r.best;
+  (match r.fallback with
+  | Some f ->
+      fprintf ppf "@,gate: chosen %.2f <= fallback %.2f cycles: %s"
+        r.chosen.mean_cycles f.mean_cycles
+        (if r.gate_ok then "ok" else "VIOLATED")
+  | None -> fprintf ppf "@,gate: no millicode fallback measured");
+  fprintf ppf "@]"

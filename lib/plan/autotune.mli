@@ -1,0 +1,112 @@
+(** Measure candidate strategies on the simulator and remember verdicts.
+
+    The paper's cycle counts are measured, not modelled: §6 walks the
+    multiply ladder by running each algorithm over an operand mix
+    (Figure 5), and §7's "worth it" caveats (the [y = 11] reciprocal
+    that loses to [divU]) come from the same discipline. This pass
+    replays that: every candidate for a request is run on the threaded
+    engine ({!Hppa_machine.Machine} with [Config.engine]) over a seeded
+    operand workload, verdicts are cached in a content-addressed
+    {!Store} keyed by the digest of the encoded binary (so a plan that
+    re-emits byte-identically is never re-measured), and the store
+    serializes to/from [BENCH_PLANS.json] so [hppa-serve] can
+    warm-start. *)
+
+module Word = Hppa_word.Word
+
+(** Seeded operand workloads (the {!Hppa_dist.Operand_dist} models).
+    For a [Constant c] request the second operand is pinned to [c];
+    zero run-time divisors are nudged to one. *)
+type workload =
+  | Figure5 of { samples : int; seed : int64 }
+      (** the paper's multiply operand mix *)
+  | Log_uniform of { samples : int; seed : int64 }
+  | Small_divisors of { samples : int; seed : int64 }
+      (** dividend log-uniform, divisor uniform in [1..19] *)
+  | Fixed of (Word.t * Word.t) list
+
+val workload_tag : workload -> string
+(** Stable identifier (part of the store key). *)
+
+val operands : workload -> Strategy.request -> (Word.t * Word.t) list
+
+(** One measured verdict. [digest] is the emission's content address —
+    ["model:<name>"] for modelled baselines. *)
+type measurement = {
+  strategy : string;
+  request : string;  (** {!Strategy.request_id} *)
+  entry : string;
+  digest : string;
+  workload : string;  (** {!workload_tag} *)
+  samples : int;
+  total_cycles : int;
+  mean_cycles : float;  (** [total_cycles /. samples] *)
+  min_cycles : int;
+  max_cycles : int;
+  used_engine : bool;
+}
+
+(** Content-addressed verdict cache, keyed by (digest, workload tag).
+    [to_json]/[of_json] speak the [BENCH_PLANS.json] format (schema
+    ["hppa-bench-plans/1"], documented in the README). *)
+module Store : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  val find : t -> digest:string -> workload:string -> measurement option
+  val add : t -> measurement -> unit
+  val entries : t -> measurement list
+  (** All measurements, sorted by (digest, workload). *)
+
+  val find_digest : t -> string -> measurement list
+  val to_json : t -> string
+  val of_json : string -> (t, string) result
+  val save : t -> string -> (unit, string) result
+  val load : string -> (t, string) result
+end
+
+val measure :
+  ?store:Store.t ->
+  ?obs:Hppa_obs.Obs.Registry.t ->
+  ?fuel:int ->
+  workload ->
+  Strategy.request ->
+  Strategy.t ->
+  (measurement, string) result
+(** Run one strategy over the workload: emitted code executes on a
+    fresh engine machine ([Error] on any trap or fuel exhaustion),
+    modelled baselines evaluate their cycle model. A store hit skips
+    execution entirely. [obs] feeds
+    [hppa_plan_measured_total{strategy=}],
+    [hppa_plan_measured_cycles_total{strategy=}], the
+    [hppa_plan_store_hits_total]/[hppa_plan_store_misses_total]
+    counters and the [hppa_plan_store_entries] gauge. *)
+
+(** {!Selector.choose} plus a measurement of every candidate. *)
+type report = {
+  choice : Selector.choice;
+  measurements : (string * (measurement, string) result) list;
+      (** by strategy name, in candidate order *)
+  chosen : measurement;
+  best : string;  (** strategy with the lowest measured mean *)
+  fallback : measurement option;
+      (** the millicode call-through ([mul_millicode]/[div_millicode]) *)
+  gate_ok : bool;
+      (** chosen mean cycles over the workload do not exceed the
+          fallback's — the CI gate *)
+}
+
+val tune :
+  ?ctx:Strategy.context ->
+  ?store:Store.t ->
+  ?obs:Hppa_obs.Obs.Registry.t ->
+  ?fuel:int ->
+  workload ->
+  Strategy.request ->
+  (report, string) result
+(** Select, then measure every candidate. [Error] if selection fails or
+    the chosen strategy fails to measure. Bumps
+    [hppa_plan_wins_total{strategy=}] for the measured-best strategy. *)
+
+val pp_report : Format.formatter -> report -> unit

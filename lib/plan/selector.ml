@@ -1,0 +1,91 @@
+module Obs = Hppa_obs.Obs
+
+type candidate = {
+  strategy : Strategy.t;
+  cost : (Strategy.cost, string) result;
+}
+
+type choice = {
+  request : Strategy.request;
+  context : Strategy.context;
+  chosen : Strategy.t;
+  cost : Strategy.cost;
+  emission : Strategy.emission;
+  candidates : candidate list;
+}
+
+let candidates ?(ctx = Strategy.standalone) req =
+  Strategy.all
+  |> List.filter (fun (s : Strategy.t) -> s.applies req)
+  |> List.map (fun (s : Strategy.t) -> { strategy = s; cost = s.cost ctx req })
+
+let bump obs name strategy =
+  match obs with
+  | None -> ()
+  | Some reg ->
+      Obs.Counter.incr
+        (Obs.Registry.counter reg
+           ~labels:[ ("strategy", strategy) ]
+           name)
+
+let choose ?(ctx = Strategy.standalone) ?obs req =
+  let cands = candidates ~ctx req in
+  List.iter (fun c -> bump obs "hppa_plan_candidates_total" c.strategy.Strategy.name) cands;
+  if cands = [] then
+    Error
+      (Format.asprintf "no applicable strategy for %a" Strategy.pp_request req)
+  else
+    (* Stable sort: at equal score, registry order is the tie-break. *)
+    let ranked =
+      cands
+      |> List.filter_map (fun c ->
+             match (c.strategy.Strategy.kind, c.cost) with
+             | Strategy.Emits, Ok cost -> Some (c.strategy, cost)
+             | _ -> None)
+      |> List.stable_sort (fun (_, a) (_, b) ->
+             compare a.Strategy.score b.Strategy.score)
+    in
+    let rec first_emitting last_err = function
+      | [] ->
+          Error
+            (match last_err with
+            | Some e -> e
+            | None ->
+                Format.asprintf "every strategy rejected %a in this context"
+                  Strategy.pp_request req)
+      | (strategy, cost) :: rest -> (
+          match strategy.Strategy.emit req with
+          | Ok emission ->
+              bump obs "hppa_plan_selections_total" strategy.Strategy.name;
+              Ok { request = req; context = ctx; chosen = strategy; cost;
+                   emission; candidates = cands }
+          | Error e ->
+              first_emitting
+                (Some (Printf.sprintf "%s: %s" strategy.Strategy.name e))
+                rest)
+    in
+    first_emitting None ranked
+
+let pp_choice ppf c =
+  let open Format in
+  fprintf ppf "@[<v>request:  %a@," Strategy.pp_request c.request;
+  fprintf ppf "chosen:   %s (score %d, %s)@," c.chosen.Strategy.name
+    c.cost.Strategy.score c.cost.Strategy.note;
+  fprintf ppf "entry:    %s (%d instructions)@," c.emission.Strategy.entry
+    c.emission.Strategy.static_instructions;
+  fprintf ppf "candidates:";
+  List.iter
+    (fun cand ->
+      let name = cand.strategy.Strategy.name in
+      let tag =
+        if cand.strategy.Strategy.kind = Strategy.Modelled then " [model]"
+        else ""
+      in
+      match cand.cost with
+      | Ok cost ->
+          fprintf ppf "@,  %-24s score %4d  %s%s"
+            name cost.Strategy.score cost.Strategy.note tag
+      | Error reason ->
+          fprintf ppf "@,  %-24s rejected: %s%s" name reason tag)
+    c.candidates;
+  fprintf ppf "@]"

@@ -1,0 +1,45 @@
+(** Cost-model dispatch over the strategy registry.
+
+    Given a {!Strategy.request}, enumerate the applicable strategies,
+    score each under the selection {!Strategy.context}, and pick the
+    cheapest one that can actually emit code. Modelled-only baselines
+    (the §2 booth / shift-subtract machines) and strategies whose cost
+    is an [Error] in this context (e.g. a chain over the inline
+    threshold) stay in the candidate table — every consumer that prints
+    a plan can show {e why} the losers lost — but are never chosen. *)
+
+type candidate = {
+  strategy : Strategy.t;
+  cost : (Strategy.cost, string) result;
+      (** [Error reason] = applicable in shape, rejected in context *)
+}
+
+type choice = {
+  request : Strategy.request;
+  context : Strategy.context;
+  chosen : Strategy.t;
+  cost : Strategy.cost;
+  emission : Strategy.emission;
+  candidates : candidate list;  (** every applicable strategy, scored *)
+}
+
+val candidates :
+  ?ctx:Strategy.context -> Strategy.request -> candidate list
+(** All strategies whose [applies] accepts the request, in registry
+    order, each scored under [ctx] (default {!Strategy.standalone}). *)
+
+val choose :
+  ?ctx:Strategy.context ->
+  ?obs:Hppa_obs.Obs.Registry.t ->
+  Strategy.request ->
+  (choice, string) result
+(** Pick the cheapest emitting candidate (stable: at equal score the
+    registry order wins) and emit it. When [obs] is given, bumps
+    [hppa_plan_candidates_total{strategy=...}] for every scored
+    candidate and [hppa_plan_selections_total{strategy=...}] for the
+    winner. [Error] when no strategy applies or every applicable one
+    fails to emit. *)
+
+val pp_choice : Format.formatter -> choice -> unit
+(** The CLI plan table: request, chosen strategy with cost, then every
+    candidate with its score or rejection reason. *)

@@ -1,0 +1,580 @@
+module Word = Hppa_word.Word
+module Cfg = Hppa_verify.Cfg
+open Hppa
+
+type op = Mul | Div | Rem
+type operand = Constant of int32 | Variable
+type signedness = Unsigned | Signed
+
+type request = {
+  op : op;
+  operand : operand;
+  signedness : signedness;
+  trap_overflow : bool;
+}
+
+let mul_const ?(trap_overflow = false) c =
+  { op = Mul; operand = Constant c; signedness = Signed; trap_overflow }
+
+let mul_var ?(trap_overflow = false) () =
+  { op = Mul; operand = Variable; signedness = Signed; trap_overflow }
+
+let div_const signedness c =
+  { op = Div; operand = Constant c; signedness; trap_overflow = false }
+
+let div_var signedness =
+  { op = Div; operand = Variable; signedness; trap_overflow = false }
+
+let rem_const signedness c =
+  { op = Rem; operand = Constant c; signedness; trap_overflow = false }
+
+let rem_var signedness =
+  { op = Rem; operand = Variable; signedness; trap_overflow = false }
+
+let op_name = function Mul -> "mul" | Div -> "div" | Rem -> "rem"
+
+let pp_request ppf r =
+  Format.fprintf ppf "%s %s (%s%s)"
+    (match r.op with
+    | Mul -> "multiply"
+    | Div -> "divide"
+    | Rem -> "remainder")
+    (match r.operand with
+    | Constant c -> Printf.sprintf "by constant %ld" c
+    | Variable -> "by a run-time operand")
+    (match r.signedness with Signed -> "signed" | Unsigned -> "unsigned")
+    (if r.trap_overflow then ", trapping overflow" else "")
+
+let request_id r =
+  Printf.sprintf "%s.%s.%s%s" (op_name r.op)
+    (match r.operand with
+    | Constant c -> Printf.sprintf "c%ld" c
+    | Variable -> "var")
+    (match r.signedness with Signed -> "s" | Unsigned -> "u")
+    (if r.trap_overflow then ".trap" else "")
+
+let request_of_string s =
+  let parts =
+    String.split_on_char ' ' (String.trim s)
+    |> List.filter (fun p -> p <> "")
+  in
+  match parts with
+  | [ op; operand ] -> (
+      let operand =
+        match String.lowercase_ascii operand with
+        | "x" | "var" | "_" -> Ok Variable
+        | tok -> (
+            match Int32.of_string_opt tok with
+            | Some c -> Ok (Constant c)
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "bad operand %S (expected a 32-bit constant or \"x\")"
+                     tok))
+      in
+      match operand with
+      | Error _ as e -> e
+      | Ok operand -> (
+          match String.lowercase_ascii op with
+          | "mul" ->
+              Ok { op = Mul; operand; signedness = Signed; trap_overflow = false }
+          | "mulo" ->
+              Ok { op = Mul; operand; signedness = Signed; trap_overflow = true }
+          | "divu" ->
+              Ok
+                { op = Div; operand; signedness = Unsigned; trap_overflow = false }
+          | "divi" ->
+              Ok { op = Div; operand; signedness = Signed; trap_overflow = false }
+          | "remu" ->
+              Ok
+                { op = Rem; operand; signedness = Unsigned; trap_overflow = false }
+          | "remi" ->
+              Ok { op = Rem; operand; signedness = Signed; trap_overflow = false }
+          | tok ->
+              Error
+                (Printf.sprintf
+                   "bad operation %S (expected mul, mulo, divu, divi, remu or \
+                    remi)"
+                   tok)))
+  | _ -> Error "expected \"<op> <operand>\", e.g. \"mul 625\" or \"divu x\""
+
+(* ------------------------------------------------------------------ *)
+(* Contexts                                                            *)
+
+type purpose = Standalone | Inline_expansion
+
+type context = {
+  purpose : purpose;
+  inline_mul_threshold : int;
+  small_divisor_dispatch : bool;
+  millicode_mul_cycles : int;
+  millicode_div_cycles : int;
+}
+
+(* The modelled averages are the paper's: the final multiply comes in
+   "generally under 20" cycles over the Figure 5 mix, the general divide
+   "about 80". *)
+let standalone =
+  {
+    purpose = Standalone;
+    inline_mul_threshold = max_int;
+    small_divisor_dispatch = false;
+    millicode_mul_cycles = 20;
+    millicode_div_cycles = 80;
+  }
+
+let compiler ?(small_divisor_dispatch = false) () =
+  {
+    standalone with
+    purpose = Inline_expansion;
+    inline_mul_threshold = 6;
+    small_divisor_dispatch;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Emissions                                                           *)
+
+type detail =
+  | Mul_plan of Mul_const.plan
+  | Div_plan of Div_const.plan
+  | Millicode of string
+
+type emission = {
+  entry : string;
+  source : Program.source;
+  spec : Cfg.spec;
+  deps : Program.source list;
+  callee_specs : Cfg.spec list;
+  static_instructions : int;
+  detail : detail;
+}
+
+let link em = Program.resolve (Program.concat (em.source :: em.deps))
+
+let verify em =
+  match link em with
+  | Error e -> Error e
+  | Ok prog -> (
+      let options =
+        { Cfg.mode = Cfg.Simple; blr_slots = Div_small.threshold }
+      in
+      let specs = em.spec :: em.callee_specs in
+      match
+        Hppa_verify.Driver.check ~options ~specs ~entries:[ em.entry ] prog
+      with
+      | [] -> Ok ()
+      | findings ->
+          Error
+            (Format.asprintf "@[<v>%a@]" Hppa_verify.Findings.pp_list findings))
+
+let encoded em =
+  match link em with
+  | Error e -> Error e
+  | Ok prog -> (
+      match Encode.encode_program prog with
+      | Error e -> Error e
+      | Ok words -> (
+          match Encode.decode_program words with
+          | Error e -> Error ("decode: " ^ e)
+          | Ok insns ->
+              if insns = prog.Program.code then Ok words
+              else Error "encode/decode round-trip mismatch"))
+
+let digest em =
+  match encoded em with
+  | Error e -> Error e
+  | Ok words ->
+      let b = Bytes.create (4 * Array.length words) in
+      Array.iteri (fun i w -> Bytes.set_int32_le b (i * 4) w) words;
+      Ok (Digest.to_hex (Digest.bytes b))
+
+(* ------------------------------------------------------------------ *)
+(* Strategies                                                          *)
+
+type kind = Emits | Modelled
+type cost = { score : int; note : string }
+
+type t = {
+  name : string;
+  description : string;
+  kind : kind;
+  applies : request -> bool;
+  cost : context -> request -> (cost, string) result;
+  emit : request -> (emission, string) result;
+  model : (request -> Word.t -> Word.t -> int option) option;
+}
+
+let constant_of req =
+  match req.operand with Constant c -> Some c | Variable -> None
+
+let guard f = try f () with exn -> Error (Printexc.to_string exn)
+
+let routine_spec ?(results = [ Reg.ret0 ]) req entry =
+  {
+    Cfg.name = entry;
+    args =
+      (match req.operand with
+      | Constant _ -> [ Reg.arg0 ]
+      | Variable -> [ Reg.arg0; Reg.arg1 ]);
+    results;
+    clobbers = Cfg.scratch;
+  }
+
+let millicode_spec name =
+  List.find (fun (s : Cfg.spec) -> s.Cfg.name = name) Millicode.conventions
+
+(* -- multiply by a constant: §5 addition chains ---------------------- *)
+
+let mul_const_chain =
+  let applies r = r.op = Mul && constant_of r <> None in
+  let cost ctx r =
+    match constant_of r with
+    | None -> Error "not a constant multiply"
+    | Some c -> (
+        match ctx.purpose with
+        | Standalone ->
+            guard (fun () ->
+                Ok
+                  {
+                    score = Mul_const.cost ~overflow:r.trap_overflow c;
+                    note = "static instructions";
+                  })
+        | Inline_expansion ->
+            if Word.equal c 0l then Error "multiply by zero folds away"
+            else if Word.equal c Int32.min_int then
+              Error "no inline chain for min_int"
+            else
+              let mode =
+                if r.trap_overflow then Chain_rules.Monotonic
+                else Chain_rules.Fast
+              in
+              (match Chain_rules.find ~mode (Int32.to_int (Word.abs c)) with
+              | None -> Error "no chain within the rule program's bounds"
+              | Some chain ->
+                  let len = Chain.length chain in
+                  if len > ctx.inline_mul_threshold then
+                    Error
+                      (Printf.sprintf
+                         "chain length %d exceeds inline threshold %d" len
+                         ctx.inline_mul_threshold)
+                  else Ok { score = len; note = "inline chain steps" }))
+  in
+  let emit r =
+    match constant_of r with
+    | None -> Error "not a constant multiply"
+    | Some c ->
+        guard (fun () ->
+            let plan = Mul_const.plan ~overflow:r.trap_overflow c in
+            Ok
+              {
+                entry = plan.Mul_const.entry;
+                source = plan.Mul_const.source;
+                spec = routine_spec r plan.Mul_const.entry;
+                deps = [];
+                callee_specs = [];
+                static_instructions = plan.Mul_const.static_instructions;
+                detail = Mul_plan plan;
+              })
+  in
+  {
+    name = "mul_const_chain";
+    description = "shift-and-add chain for a compile-time multiplier (section 5)";
+    kind = Emits;
+    applies;
+    cost;
+    emit;
+    model = None;
+  }
+
+(* -- millicode call-through wrappers --------------------------------- *)
+
+let constant_label c =
+  (* Int64 so min_int renders as a valid label ("cm2147483648"). *)
+  if c >= 0l then Printf.sprintf "c%ld" c
+  else Printf.sprintf "cm%Ld" (Int64.neg (Int64.of_int32 c))
+
+let wrapper ~target req =
+  let entry =
+    match req.operand with
+    | Variable -> "via_" ^ target
+    | Constant c -> Printf.sprintf "via_%s_%s" target (constant_label c)
+  in
+  let b = Builder.create ~prefix:entry () in
+  Builder.label b entry;
+  (match req.operand with
+  | Constant c -> Builder.insns b (Emit.ldi c Reg.arg1)
+  | Variable -> ());
+  Builder.insn b (Emit.b target);
+  let target_spec = millicode_spec target in
+  {
+    entry;
+    source = Builder.to_source b;
+    spec = routine_spec ~results:target_spec.Cfg.results req entry;
+    deps = [ Millicode.source ];
+    callee_specs = Millicode.conventions;
+    static_instructions = Builder.length b;
+    detail = Millicode target;
+  }
+
+let mul_millicode =
+  let target r = if r.trap_overflow then Millicode.muloI else Millicode.mulI in
+  {
+    name = "mul_millicode";
+    description =
+      "branch to the production variable multiply (mulI, the section 6 final \
+       algorithm; muloI when trapping)";
+    kind = Emits;
+    applies = (fun r -> r.op = Mul);
+    cost =
+      (fun ctx _ ->
+        Ok
+          {
+            score = ctx.millicode_mul_cycles;
+            note = "modelled average cycles (mulI)";
+          });
+    emit = (fun r -> guard (fun () -> Ok (wrapper ~target:(target r) r)));
+    model = None;
+  }
+
+let ladder ~name ~score ~note ~description =
+  {
+    name;
+    description;
+    kind = Emits;
+    applies = (fun r -> r.op = Mul && r.operand = Variable && not r.trap_overflow);
+    cost = (fun _ _ -> Ok { score; note });
+    emit = (fun r -> guard (fun () -> Ok (wrapper ~target:name r)));
+    model = None;
+  }
+
+let mul_naive =
+  ladder ~name:"mul_naive" ~score:167
+    ~note:"modelled cycles (figure 2, data-independent)"
+    ~description:"the naive one-bit-per-iteration multiply (figure 2)"
+
+let mul_nibble =
+  ladder ~name:"mul_nibble" ~score:55
+    ~note:"modelled average cycles (figure 3, log-uniform operands)"
+    ~description:"four multiplier bits per iteration (figure 3)"
+
+let mul_switch =
+  ladder ~name:"mul_switch" ~score:45
+    ~note:"modelled average cycles (figure 4)"
+    ~description:"the 16-way case-table multiply (figure 4)"
+
+let baseline_booth =
+  {
+    name = "baseline_booth";
+    description =
+      "the rejected Multiply Step hardware (radix-4 Booth; model only)";
+    kind = Modelled;
+    applies = (fun r -> r.op = Mul && r.operand = Variable && not r.trap_overflow);
+    cost =
+      (fun _ _ ->
+        Ok
+          {
+            score = Hppa_baselines.Booth.cycles ();
+            note = "modelled multiply-step machine (16 steps + setup)";
+          });
+    emit = (fun _ -> Error "modelled baseline only: no Precision code");
+    model = Some (fun _ _ _ -> Some (Hppa_baselines.Booth.cycles ()));
+  }
+
+(* -- division -------------------------------------------------------- *)
+
+let div_gen_specs =
+  List.filter
+    (fun (s : Cfg.spec) ->
+      List.mem s.Cfg.name [ "divU"; "divI"; "remU"; "remI" ])
+    Millicode.conventions
+
+let div_const_plan r c =
+  match (r.op, r.signedness) with
+  | Div, Unsigned -> Div_const.plan_unsigned c
+  | Div, Signed -> Div_const.plan_signed c
+  | Rem, Unsigned -> Div_const.plan_rem_unsigned c
+  | Rem, Signed -> Div_const.plan_rem_signed c
+  | Mul, _ -> invalid_arg "div_const_plan: not a divide"
+
+let div_const_strategy =
+  let applies r =
+    (r.op = Div || r.op = Rem)
+    && (match constant_of r with
+       | None -> false
+       | Some c -> (
+           match r.signedness with
+           | Signed -> not (Word.equal c 0l)
+           | Unsigned -> Word.lt_s 0l c))
+  in
+  let cost ctx r =
+    match constant_of r with
+    | None -> Error "not a constant divide"
+    | Some c ->
+        guard (fun () ->
+            let plan = div_const_plan r c in
+            if Div_const.needs_millicode plan then
+              Ok
+                {
+                  score =
+                    ctx.millicode_div_cycles
+                    + plan.Div_const.static_instructions;
+                  note = "tail-calls the general divide (the paper's y = 11 caveat)";
+                }
+            else
+              Ok
+                {
+                  score = plan.Div_const.static_instructions;
+                  note = "static instructions";
+                })
+  in
+  let emit r =
+    match constant_of r with
+    | None -> Error "not a constant divide"
+    | Some c ->
+        guard (fun () ->
+            let plan = div_const_plan r c in
+            Ok
+              {
+                entry = plan.Div_const.entry;
+                source = plan.Div_const.source;
+                spec = routine_spec r plan.Div_const.entry;
+                deps =
+                  (if Div_const.needs_millicode plan then [ Div_gen.source ]
+                   else []);
+                callee_specs =
+                  (if Div_const.needs_millicode plan then div_gen_specs
+                   else []);
+                static_instructions = plan.Div_const.static_instructions;
+                detail = Div_plan plan;
+              })
+  in
+  {
+    name = "div_const";
+    description =
+      "reciprocal / power-of-two / even-split code for a compile-time \
+       divisor (section 7)";
+    kind = Emits;
+    applies;
+    cost;
+    emit;
+    model = None;
+  }
+
+let div_small_dispatch =
+  let target r =
+    match r.signedness with Unsigned -> "divU_small" | Signed -> "divI_small"
+  in
+  {
+    name = "div_small";
+    description =
+      "vectored dispatch to constant-divisor routines for run-time divisors \
+       below twenty (section 7, Performance)";
+    kind = Emits;
+    applies = (fun r -> r.op = Div && r.operand = Variable);
+    cost =
+      (fun ctx _ ->
+        if ctx.small_divisor_dispatch then
+          Ok
+            {
+              score = 23;
+              note =
+                "modelled average under a small-divisor operand model \
+                 (paper: 10 to 36 cycles)";
+            }
+        else
+          Ok
+            {
+              score = ctx.millicode_div_cycles + 3;
+              note =
+                "dispatch overhead atop the general divide (no small-divisor \
+                 operand model in this context)";
+            });
+    emit = (fun r -> guard (fun () -> Ok (wrapper ~target:(target r) r)));
+    model = None;
+  }
+
+let div_millicode =
+  let target r =
+    match (r.op, r.signedness) with
+    | Div, Unsigned -> "divU"
+    | Div, Signed -> "divI"
+    | Rem, Unsigned -> "remU"
+    | Rem, Signed -> "remI"
+    | Mul, _ -> assert false
+  in
+  let applies r =
+    (r.op = Div || r.op = Rem)
+    && (match constant_of r with
+       | Some c -> not (Word.equal c 0l)
+       | None -> true)
+  in
+  {
+    name = "div_millicode";
+    description = "the general divide-step millicode (section 4)";
+    kind = Emits;
+    applies;
+    cost =
+      (fun ctx _ ->
+        Ok
+          {
+            score = ctx.millicode_div_cycles;
+            note = "modelled average cycles (divU/divI)";
+          });
+    emit = (fun r -> guard (fun () -> Ok (wrapper ~target:(target r) r)));
+    model = None;
+  }
+
+let shift_sub ~name ~score ~note ~description run =
+  let divisor_of req y =
+    match constant_of req with Some c -> c | None -> y
+  in
+  {
+    name;
+    description;
+    kind = Modelled;
+    applies =
+      (fun r ->
+        (r.op = Div || r.op = Rem)
+        && r.signedness = Unsigned
+        && (match constant_of r with
+           | Some c -> not (Word.equal c 0l)
+           | None -> true));
+    cost = (fun _ _ -> Ok { score; note });
+    emit = (fun _ -> Error "modelled baseline only: no Precision code");
+    model =
+      Some
+        (fun req x y ->
+          let d = divisor_of req y in
+          if Word.equal d 0l then None
+          else Some (run x d : Hppa_baselines.Shift_sub_div.result).cycles);
+  }
+
+let baseline_restoring =
+  shift_sub ~name:"baseline_restoring" ~score:128
+    ~note:"modelled (section 2: up to an add and a subtract per bit)"
+    ~description:"restoring shift-and-subtract division (section 2 baseline)"
+    Hppa_baselines.Shift_sub_div.restoring
+
+let baseline_nonrestoring =
+  shift_sub ~name:"baseline_nonrestoring" ~score:96
+    ~note:"modelled (section 2: one add-or-subtract per bit)"
+    ~description:
+      "non-restoring shift-and-subtract division (section 2 baseline)"
+    Hppa_baselines.Shift_sub_div.non_restoring
+
+let all =
+  [
+    mul_const_chain;
+    mul_millicode;
+    mul_nibble;
+    mul_switch;
+    mul_naive;
+    baseline_booth;
+    div_const_strategy;
+    div_small_dispatch;
+    div_millicode;
+    baseline_nonrestoring;
+    baseline_restoring;
+  ]
+
+let find name = List.find_opt (fun s -> s.name = name) all

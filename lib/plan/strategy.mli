@@ -1,0 +1,157 @@
+(** The unified kernel-strategy interface.
+
+    The paper's engineering move is {e choosing among} multiply/divide
+    code sequences by operand class (§5 chains for constants, §6 the
+    variable-multiply ladder, §7 reciprocal vs. millicode fallback for
+    divisors). This module gives every such family one algebraic shape: a
+    named strategy declares the requests it applies to, a cost under a
+    selection context, and an [emit] that produces Precision code with a
+    declared entry point and a {!Hppa_verify.Cfg.spec} calling
+    convention — so the compiler, the plan server, the CLIs and the bench
+    all dispatch through the same registry instead of hard-wiring
+    planner calls at each site.
+
+    The existing planners ({!Hppa.Mul_const}, {!Hppa.Div_const},
+    {!Hppa.Div_small}, the millicode variable entries and the
+    {!Hppa_baselines} booth/shift-subtract models) are wrapped, not
+    replaced: each registered strategy defers to its module. *)
+
+(** {1 Requests} *)
+
+type op = Mul | Div | Rem
+type operand = Constant of int32 | Variable
+type signedness = Unsigned | Signed
+
+type request = {
+  op : op;
+  operand : operand;
+  signedness : signedness;
+  trap_overflow : bool;
+      (** require a trap on signed overflow (the §5 monotonic-chain /
+          [mulo] discipline); divides ignore it *)
+}
+
+val mul_const : ?trap_overflow:bool -> int32 -> request
+(** Signed multiply by a compile-time constant. *)
+
+val mul_var : ?trap_overflow:bool -> unit -> request
+val div_const : signedness -> int32 -> request
+val div_var : signedness -> request
+val rem_const : signedness -> int32 -> request
+val rem_var : signedness -> request
+
+val pp_request : Format.formatter -> request -> unit
+
+val request_id : request -> string
+(** Compact stable identifier, safe for metric labels and store keys:
+    ["mul.c625.s"], ["div.var.u"], ["mul.c-7.s.trap"], ... *)
+
+val request_of_string : string -> (request, string) result
+(** Parse the CLI plan-request syntax: an operation ([mul], [mulo],
+    [divu], [divi], [remu], [remi]) followed by a 32-bit constant or
+    [x]/[var] for a run-time operand — e.g. ["mul 625"], ["divu x"]. *)
+
+(** {1 Selection contexts}
+
+    Costs are context-dependent: inline expansion inside compiled code
+    competes against a branch-and-link call (so chains are capped at the
+    compiler's inline threshold), while a standalone routine always
+    exists and is scored by its static length. *)
+
+type purpose =
+  | Standalone  (** emit a self-contained routine (server, CLIs, bench) *)
+  | Inline_expansion  (** expand at a call site inside compiled code *)
+
+type context = {
+  purpose : purpose;
+  inline_mul_threshold : int;
+      (** longest chain worth inlining under {!Inline_expansion} *)
+  small_divisor_dispatch : bool;
+      (** operand model says variable divisors are usually < 20, making
+          the §7 vectored dispatch worth its overhead *)
+  millicode_mul_cycles : int;
+      (** modelled average of the production [mulI] (paper: < 20) *)
+  millicode_div_cycles : int;
+      (** modelled average of the general [divU]/[divI] (paper: ~80) *)
+}
+
+val standalone : context
+val compiler : ?small_divisor_dispatch:bool -> unit -> context
+(** The compiler's context: [Inline_expansion] with
+    [inline_mul_threshold = Hppa_compiler.Lower.inline_mul_threshold]'s
+    value (6). *)
+
+(** {1 Emissions} *)
+
+(** What the emitted code wraps, kept so consumers can render the
+    underlying planner records (the server's reply payloads are built
+    from these and must stay byte-identical). *)
+type detail =
+  | Mul_plan of Hppa.Mul_const.plan
+  | Div_plan of Hppa.Div_const.plan
+  | Millicode of string  (** tail-call wrapper around this library entry *)
+
+type emission = {
+  entry : string;
+  source : Program.source;
+  spec : Hppa_verify.Cfg.spec;
+      (** declared convention of [entry]: dividend/multiplicand in
+          [arg0] (variable second operand in [arg1]), results per spec *)
+  deps : Program.source list;
+      (** compilation units the source must be linked with (e.g.
+          {!Hppa.Div_gen.source} for fallback divides) *)
+  callee_specs : Hppa_verify.Cfg.spec list;
+      (** conventions of entries the emission may (tail-)call *)
+  static_instructions : int;
+  detail : detail;
+}
+
+val link : emission -> (Program.resolved, string) result
+(** Resolve the emission concatenated with its [deps]. *)
+
+val verify : emission -> (unit, string) result
+(** {!Hppa_verify.Driver.check} over the linked program for the declared
+    entry and convention; [Error] carries the findings, so [Ok ()] means
+    lint-clean. *)
+
+val encoded : emission -> (int32 array, string) result
+(** Binary encoding of the linked program, checked to round-trip through
+    {!Hppa_isa.Encode.decode_program}. *)
+
+val digest : emission -> (string, string) result
+(** Content address: MD5 hex of the encoded binary. *)
+
+(** {1 Strategies} *)
+
+type kind =
+  | Emits  (** produces runnable Precision code *)
+  | Modelled
+      (** a §2 baseline with a cost model only (never selected; appears
+          in candidate tables and autotune measurements) *)
+
+type cost = {
+  score : int;
+      (** static instructions for emitted routines, modelled average
+          cycles for call-through strategies — the units the paper
+          itself compares when it breaks even chains against [mulI] *)
+  note : string;  (** where the number comes from *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  kind : kind;
+  applies : request -> bool;  (** shape filter: op/operand/signedness *)
+  cost : context -> request -> (cost, string) result;
+      (** [Error reason] = applicable in shape but rejected in this
+          context (e.g. chain longer than the inline threshold) *)
+  emit : request -> (emission, string) result;
+  model : (request -> Hppa_word.Word.t -> Hppa_word.Word.t -> int option) option;
+      (** modelled cycle count for one operand pair ([Modelled]
+          baselines); [None] when undefined (e.g. division by zero) *)
+}
+
+val all : t list
+(** The registry, in tie-break order (earlier wins at equal score). *)
+
+val find : string -> t option

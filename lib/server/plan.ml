@@ -1,10 +1,41 @@
 (* Reply payloads for the three plan-producing requests. Everything here
    must be a pure function of the request (plus the fuel bound), because
-   cached replies are compared byte-for-byte against recomputed ones. *)
+   cached replies are compared byte-for-byte against recomputed ones.
+
+   MUL and DIV dispatch through the kernel-strategy selector (lib/plan);
+   the payload is rendered from the planner record the chosen emission
+   carries, which is the very record this module used to compute
+   directly — so routing through the selector changes which strategy is
+   *recorded* (the artifact, the hppa_plan_* metrics), never the reply
+   bytes. *)
 
 module Word = Hppa_word.Word
 module Machine = Hppa_machine.Machine
+module Strategy = Hppa_plan.Strategy
+module Selector = Hppa_plan.Selector
 open Hppa
+
+type artifact = {
+  strategy : string;
+  entry : string;
+  static_instructions : int;
+  score : int;
+  digest : string option;
+}
+
+let render_artifact a =
+  Printf.sprintf "strategy=%s entry=%s insns=%d score=%d digest=%s" a.strategy
+    a.entry a.static_instructions a.score
+    (Option.value a.digest ~default:"-")
+
+let artifact_of_choice (c : Selector.choice) =
+  {
+    strategy = c.Selector.chosen.Strategy.name;
+    entry = c.Selector.emission.Strategy.entry;
+    static_instructions = c.Selector.emission.Strategy.static_instructions;
+    score = c.Selector.cost.Strategy.score;
+    digest = Result.to_option (Strategy.digest c.Selector.emission);
+  }
 
 let squash s =
   String.trim
@@ -34,23 +65,35 @@ let render_chain (c : Chain.t) =
          | Chain.Shl (j, m) -> Printf.sprintf "a%d=a%d<<%d" e j m)
        c)
 
-let mul n =
-  let plan = Mul_const.plan n in
+let mul_payload (plan : Mul_const.plan) =
   let chain_str =
     match plan.chain with None -> "-" | Some c -> render_chain c
   in
   let steps = match plan.chain with None -> 0 | Some c -> Chain.length c in
-  Ok
-    (Printf.sprintf
-       "MUL n=%ld steps=%d insns=%d cycles=%d temps=%d overflow_safe=%b \
-        chain=%s code=%s"
-       n steps plan.static_instructions plan.static_instructions
-       plan.temporaries
-       (match plan.chain with
-       | Some c -> Chain.is_overflow_safe c
-       | None -> false)
-       chain_str
-       (render_source plan.source))
+  Printf.sprintf
+    "MUL n=%ld steps=%d insns=%d cycles=%d temps=%d overflow_safe=%b \
+     chain=%s code=%s"
+    plan.multiplier steps plan.static_instructions plan.static_instructions
+    plan.temporaries
+    (match plan.chain with
+    | Some c -> Chain.is_overflow_safe c
+    | None -> false)
+    chain_str
+    (render_source plan.source)
+
+let mul ?obs n =
+  match Selector.choose ?obs (Strategy.mul_const n) with
+  | Ok choice ->
+      let plan =
+        (* The chain strategy's emission wraps the planner record; a
+           call-through winner (huge chain) still renders the chain plan
+           the reply always carried. *)
+        match choice.Selector.emission.Strategy.detail with
+        | Strategy.Mul_plan p -> p
+        | Strategy.Div_plan _ | Strategy.Millicode _ -> Mul_const.plan n
+      in
+      Ok (mul_payload plan, artifact_of_choice choice)
+  | Error detail -> Error ("plan " ^ detail)
 
 let rec render_strategy = function
   | Div_const.Trivial -> "trivial"
@@ -62,21 +105,31 @@ let rec render_strategy = function
       Printf.sprintf "even_split:%d+%s" k (render_strategy s)
   | Div_const.General_fallback -> "general_divU"
 
-let div d =
+let div_payload (plan : Div_const.plan) =
+  Printf.sprintf
+    "DIV d=%ld signed=%b strategy=%s insns=%d cycles=%d needs_millicode=%b \
+     code=%s"
+    plan.divisor plan.signed
+    (render_strategy plan.strategy)
+    plan.static_instructions plan.static_instructions
+    (Div_const.needs_millicode plan)
+    (render_source plan.source)
+
+let div ?obs d =
   if d = 0l then Error "range division by zero"
   else
-    let plan =
-      if d > 0l then Div_const.plan_unsigned d else Div_const.plan_signed d
-    in
-    Ok
-      (Printf.sprintf
-         "DIV d=%ld signed=%b strategy=%s insns=%d cycles=%d \
-          needs_millicode=%b code=%s"
-         d plan.signed
-         (render_strategy plan.strategy)
-         plan.static_instructions plan.static_instructions
-         (Div_const.needs_millicode plan)
-         (render_source plan.source))
+    let signedness = if d > 0l then Strategy.Unsigned else Strategy.Signed in
+    match Selector.choose ?obs (Strategy.div_const signedness d) with
+    | Ok choice ->
+        let plan =
+          match choice.Selector.emission.Strategy.detail with
+          | Strategy.Div_plan p -> p
+          | Strategy.Mul_plan _ | Strategy.Millicode _ ->
+              if d > 0l then Div_const.plan_unsigned d
+              else Div_const.plan_signed d
+        in
+        Ok (div_payload plan, artifact_of_choice choice)
+    | Error detail -> Error ("plan " ^ detail)
 
 let eval mach ~fuel entry args =
   if not (List.mem entry Millicode.entries) then

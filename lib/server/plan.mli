@@ -5,13 +5,41 @@
     renderings are pure functions of their arguments — no timestamps, no
     addresses, no cache or worker identity — which is what makes the
     plan cache transparent and the worker pool size unobservable
-    (the "identical plan bytes" guarantee). *)
+    (the "identical plan bytes" guarantee).
 
-val mul : int32 -> (string, string) result
+    MUL and DIV dispatch through the kernel-strategy layer
+    ({!Hppa_plan.Selector}): alongside the payload they return an
+    {!artifact} recording what the selector chose, and when [obs] is the
+    server's registry the per-strategy [hppa_plan_*] counters become
+    visible in the [METRICS] scrape. The payload itself is rendered from
+    the planner record carried by the chosen emission and stays
+    byte-identical to the pre-selector renderings. *)
+
+(** What the selector decided for one cached plan: strategy name, entry
+    label, static size, context score and the content address (MD5 of
+    the encoded binary) when the emission links. *)
+type artifact = {
+  strategy : string;
+  entry : string;
+  static_instructions : int;
+  score : int;
+  digest : string option;
+}
+
+val render_artifact : artifact -> string
+(** One-line [key=value] rendering (used by the final server report). *)
+
+val mul :
+  ?obs:Hppa_obs.Obs.Registry.t ->
+  int32 ->
+  (string * artifact, string) result
 (** Addition-chain multiply plan: chain steps, emitted instructions and
     the static cycle count, via {!Hppa.Mul_const.plan}. *)
 
-val div : int32 -> (string, string) result
+val div :
+  ?obs:Hppa_obs.Obs.Registry.t ->
+  int32 ->
+  (string * artifact, string) result
 (** Constant-divide plan via {!Hppa.Div_const}: [d > 0] plans the
     unsigned routine, [d < 0] the signed one; [d = 0] is an error. The
     payload names the strategy (power-of-two shift, derived reciprocal

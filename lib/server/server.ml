@@ -14,6 +14,7 @@ type config = {
   cache_capacity : int;
   fuel : int;
   trace_path : string option;
+  plans_path : string option;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     cache_capacity = 4096;
     fuel = 1_000_000;
     trace_path = None;
+    plans_path = None;
   }
 
 let trace_capacity = 65536
@@ -31,6 +33,10 @@ type t = {
   cfg : config;
   pool : Machine.t Lazy.t Pool.t;
   cache : Lru.t;
+  artifacts : (string, Plan.artifact) Hashtbl.t;
+      (* selector verdict per cached plan, keyed like the reply cache *)
+  art_lock : Mutex.t;
+  warmed : int ref;
   metrics : Metrics.t;
   obs : Obs.Registry.t;
   trace : Obs.Trace.t option;
@@ -40,11 +46,40 @@ type t = {
   mutable conns : Thread.t list;
 }
 
-let create cfg =
+(* Map a strategy-layer request id (Autotune measurements record
+   [Strategy.request_id]) back onto a cacheable protocol request. Only
+   the shapes the protocol can express warm anything: signed constant
+   multiplies and the d > 0 unsigned / d < 0 signed divide pairing DIV
+   itself uses. *)
+let warm_request id =
+  let const tag =
+    if String.length tag > 1 && tag.[0] = 'c' then
+      Int32.of_string_opt (String.sub tag 1 (String.length tag - 1))
+    else None
+  in
+  match String.split_on_char '.' id with
+  | [ "mul"; tag; "s" ] -> Option.map (fun n -> Protocol.Mul n) (const tag)
+  | [ "div"; tag; "u" ] ->
+      Option.bind (const tag) (fun d ->
+          if d > 0l then Some (Protocol.Div d) else None)
+  | [ "div"; tag; "s" ] ->
+      Option.bind (const tag) (fun d ->
+          if d < 0l then Some (Protocol.Div d) else None)
+  | _ -> None
+
+(* Cacheable requests are keyed by their normalized form, so "MUL 7",
+   "mul 7" and " MUL  7 " share one entry and one computation. The
+   cached value is the exact reply payload: hits are byte-identical to
+   recomputes by construction. *)
+let cache_key req = Format.asprintf "%a" Protocol.pp_request req
+
+let rec create cfg =
   if cfg.workers < 1 then invalid_arg "Server.create: workers must be >= 1";
   if cfg.fuel < 1 then invalid_arg "Server.create: fuel must be >= 1";
   let obs = Obs.Registry.create () in
   let cache = Lru.create ~capacity:cfg.cache_capacity in
+  let artifacts = Hashtbl.create 64 in
+  let warmed = ref 0 in
   let started = Unix.gettimeofday () in
   (* The plan cache and uptime are owned elsewhere; expose them as
      fn-backed metrics sampled at scrape time. *)
@@ -64,7 +99,14 @@ let create cfg =
     (fun () -> float_of_int cfg.workers);
   Obs.Registry.fn_gauge obs ~help:"Seconds since server creation"
     "hppa_serve_uptime_seconds" (fun () -> Unix.gettimeofday () -. started);
-  {
+  Obs.Registry.fn_gauge obs ~help:"Cached plan artifacts (selector verdicts)"
+    "hppa_serve_plan_artifacts" (fun () ->
+      float_of_int (Hashtbl.length artifacts));
+  Obs.Registry.fn_gauge obs
+    ~help:"Plans pre-computed at startup from BENCH_PLANS.json"
+    "hppa_serve_plans_warmed" (fun () -> float_of_int !warmed);
+  let t =
+    {
     cfg;
     (* The machine is built lazily inside each worker domain, so startup
        does not pay [workers] millicode resolutions up front. Worker
@@ -74,21 +116,73 @@ let create cfg =
       Pool.create ~obs ~workers:cfg.workers
         ~init:(fun () -> lazy (Millicode.machine ()))
         ();
-    cache;
-    metrics = Metrics.create ~registry:obs ();
-    obs;
-    trace =
-      Option.map
-        (fun _ -> Obs.Trace.create ~capacity:trace_capacity)
-        cfg.trace_path;
-    stopping = Atomic.make false;
-    started;
-    conn_lock = Mutex.create ();
-    conns = [];
-  }
+      cache;
+      artifacts;
+      art_lock = Mutex.create ();
+      warmed;
+      metrics = Metrics.create ~registry:obs ();
+      obs;
+      trace =
+        Option.map
+          (fun _ -> Obs.Trace.create ~capacity:trace_capacity)
+          cfg.trace_path;
+      stopping = Atomic.make false;
+      started;
+      conn_lock = Mutex.create ();
+      conns = [];
+    }
+  in
+  (match cfg.plans_path with
+  | None -> ()
+  | Some path -> warm_start t path);
+  t
+
+and compute_plan t req =
+  match (req : Protocol.request) with
+  | Protocol.Mul n -> Plan.mul ~obs:t.obs n
+  | Protocol.Div d -> Plan.div ~obs:t.obs d
+  | _ -> invalid_arg "Server.compute_plan: not a plan request"
+
+and cache_plan t key payload artifact =
+  Lru.add t.cache key payload;
+  Mutex.lock t.art_lock;
+  Hashtbl.replace t.artifacts key artifact;
+  Mutex.unlock t.art_lock
+
+(* Pre-compute the reply for every measured request in a BENCH_PLANS.json
+   store (written by [bench plans] / {!Hppa_plan.Autotune.Store.save}):
+   the first client to ask for a benchmarked plan hits the cache. An
+   unreadable store or unparseable entry warms nothing — startup must
+   not fail on a stale file. *)
+and warm_start t path =
+  match Hppa_plan.Autotune.Store.load path with
+  | Error _ -> ()
+  | Ok store ->
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun (m : Hppa_plan.Autotune.measurement) ->
+          match warm_request m.Hppa_plan.Autotune.request with
+          | None -> ()
+          | Some req ->
+              let key = cache_key req in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.replace seen key ();
+                match compute_plan t req with
+                | Ok (payload, artifact) ->
+                    cache_plan t key payload artifact;
+                    incr t.warmed
+                | Error _ -> ()
+              end)
+        (Hppa_plan.Autotune.Store.entries store)
 
 let config t = t.cfg
 let registry t = t.obs
+
+let artifacts t =
+  Mutex.lock t.art_lock;
+  let arts = Hashtbl.fold (fun k a acc -> (k, a) :: acc) t.artifacts [] in
+  Mutex.unlock t.art_lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) arts
 
 let stats_payload t =
   Printf.sprintf
@@ -108,12 +202,6 @@ let is_scrape s =
   String.length s >= 1 && s.[0] = '#'
   (* every scrape starts with a # HELP/# TYPE comment *)
 
-(* Cacheable requests are keyed by their normalized form, so "MUL 7",
-   "mul 7" and " MUL  7 " share one entry and one computation. The
-   cached value is the exact reply payload: hits are byte-identical to
-   recomputes by construction. *)
-let cache_key req = Format.asprintf "%a" Protocol.pp_request req
-
 let dispatch t req =
   match (req : Protocol.request) with
   | Protocol.Ping -> Protocol.ok "pong"
@@ -126,16 +214,9 @@ let dispatch t req =
       match Lru.find t.cache key with
       | Some payload -> Protocol.ok payload
       | None -> (
-          let computed =
-            Pool.submit t.pool (fun _mach ->
-                match req with
-                | Protocol.Mul n -> Plan.mul n
-                | Protocol.Div d -> Plan.div d
-                | _ -> assert false)
-          in
-          match computed with
-          | Ok payload ->
-              Lru.add t.cache key payload;
+          match Pool.submit t.pool (fun _mach -> compute_plan t req) with
+          | Ok (payload, artifact) ->
+              cache_plan t key payload artifact;
               Protocol.ok payload
           | Error detail -> Protocol.err detail))
   | Protocol.Eval (entry, args) -> (
@@ -333,9 +414,12 @@ let shutdown_pool t = Pool.shutdown t.pool
 let pp_dump ppf t =
   Format.fprintf ppf
     "@[<v>-- hppa-serve final report --@,%a@,cache: %d/%d entries, %d hits, \
-     %d misses, %d evictions, hit rate %.2f%%@,workers: %d@]"
+     %d misses, %d evictions, hit rate %.2f%%@,workers: %d@,plans: %d \
+     artifacts, %d warmed@]"
     Metrics.pp_dump t.metrics (Lru.size t.cache)
     (Lru.capacity t.cache) (Lru.hits t.cache) (Lru.misses t.cache)
     (Lru.evictions t.cache)
     (100.0 *. Lru.hit_rate t.cache)
     (Pool.workers t.pool)
+    (List.length (artifacts t))
+    !(t.warmed)

@@ -27,11 +27,18 @@ type config = {
   trace_path : string option;
       (** when set, keep a bounded request-event trace and write it as
           JSONL to this path when {!run} drains *)
+  plans_path : string option;
+      (** when set, warm-start: load the [BENCH_PLANS.json] store
+          (written by [bench plans], {!Hppa_plan.Autotune.Store}) at
+          {!create} time and pre-compute the reply for every measured
+          MUL/DIV-expressible request, so benchmarked plans are cache
+          hits from the first client on. Unreadable or stale stores
+          warm nothing and never fail startup. *)
 }
 
 val default_config : config
 (** Unix socket ["hppa-serve.sock"], workers 2, cache 4096, fuel 1e6,
-    no trace. *)
+    no trace, no warm-start. *)
 
 type t
 
@@ -44,7 +51,16 @@ val create : config -> t
 val config : t -> config
 
 val registry : t -> Hppa_obs.Obs.Registry.t
-(** The server's observability registry — what [METRICS] scrapes. *)
+(** The server's observability registry — what [METRICS] scrapes. MUL
+    and DIV dispatch through {!Hppa_plan.Selector} against it, so the
+    per-strategy [hppa_plan_candidates_total] /
+    [hppa_plan_selections_total] families appear here alongside the
+    [hppa_serve_*] ones. *)
+
+val artifacts : t -> (string * Plan.artifact) list
+(** The selector verdicts cached alongside the reply bytes, as
+    (cache key, artifact) pairs sorted by key — one per distinct
+    MUL/DIV request computed (or warm-started) so far. *)
 
 val respond : t -> string -> string
 (** Map one raw request line to one reply (no trailing newline).

@@ -353,6 +353,34 @@ let test_paper_example () =
   let m, _ = Loop_ir.dynamic_mul_div r.loop in
   Alcotest.(check int) "no dynamic multiplies" 0 m
 
+let test_cheap_threshold_spares_cheap_multipliers () =
+  (* With [cheap_threshold], the selector keeps one-instruction chains
+     (here i*2) inline and only hoists the expensive multiplier. *)
+  let l =
+    Loop_ir.
+      {
+        counter = "i";
+        start = 0l;
+        stop = 10l;
+        step = 1l;
+        body =
+          [
+            Assign ("j", Expr.Add (Var "j", Expr.Mul (Var "i", Const 2l)));
+            Assign ("k", Expr.Add (Var "k", Expr.Mul (Var "i", Const 625l)));
+          ];
+      }
+  in
+  let all = Strength.reduce l in
+  Alcotest.(check int) "default removes both" 2 all.multiplies_removed;
+  let r = Strength.reduce ~cheap_threshold:1 l in
+  Alcotest.(check int) "only the expensive multiply removed" 1
+    r.multiplies_removed;
+  let init = [ ("j", 0l); ("k", 0l) ] in
+  let expect = Loop_ir.eval l ~init in
+  let got = Strength.eval_reduced r ~init in
+  Alcotest.check word "j" (List.assoc "j" expect) (List.assoc "j" got);
+  Alcotest.check word "k" (List.assoc "k" expect) (List.assoc "k" got)
+
 let test_divisions_not_removed () =
   (* Section 2: "there is rarely an opportunity for an optimizer to remove
      a division". *)
@@ -393,6 +421,8 @@ let suite =
         Alcotest.test_case "register exhaustion" `Quick test_too_complex_rejected;
         Alcotest.test_case "paper loop example" `Quick test_paper_example;
         Alcotest.test_case "divisions not removed" `Quick test_divisions_not_removed;
+        Alcotest.test_case "cheap_threshold spares cheap multipliers" `Quick
+          test_cheap_threshold_spares_cheap_multipliers;
         Alcotest.test_case "loop validation" `Quick test_loop_validation;
         Alcotest.test_case "loop compiles and runs" `Quick test_loop_compiles_and_runs;
         Alcotest.test_case "loop with inputs" `Quick test_loop_with_inputs;

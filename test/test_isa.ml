@@ -222,6 +222,44 @@ let test_parse_errors () =
   Alcotest.(check bool) "bad operand count" true (bad "add r1, r2");
   Alcotest.(check bool) "unknown modifier" true (bad "add,q r1, r2, r3")
 
+(* Every parse error names the 1-based source line; operand-shape errors
+   also quote the offending token. *)
+let test_parse_error_messages () =
+  let error_of text =
+    match Asm.parse text with
+    | Ok _ -> Alcotest.failf "%S unexpectedly parsed" text
+    | Error msg -> msg
+  in
+  let check_contains text needle =
+    let msg = error_of text in
+    let n = String.length needle and h = String.length msg in
+    let rec go i =
+      i + n <= h && (String.sub msg i n = needle || go (i + 1))
+    in
+    if not (go 0) then
+      Alcotest.failf "error for %S is %S; expected it to contain %S" text msg
+        needle
+  in
+  (* line numbers are 1-based and count blank/comment lines *)
+  check_contains "add r1, 42, r3" "line 1:";
+  check_contains "nop\n; fine\nadd r1, 42, r3" "line 3:";
+  (* the offending token is quoted *)
+  check_contains "add r1, 42, r3" "expected a register, got \"42\"";
+  check_contains "addi r7, r1, r2" "expected an immediate, got \"r7\"";
+  check_contains "b 123" "expected a label, got \"123\"";
+  check_contains "stw 5(r1), 0(r2)" "expected a register, got \"5(r1)\""
+
+let test_parse_error_messages_ok_cases () =
+  (* Messages stay actionable for non-operand failures too. *)
+  let error_of text =
+    match Asm.parse text with
+    | Ok _ -> Alcotest.failf "%S unexpectedly parsed" text
+    | Error msg -> msg
+  in
+  let msg = error_of "nop\nfrobnicate r1, r2" in
+  Alcotest.(check bool) "names line 2" true
+    (String.length msg >= 7 && String.sub msg 0 7 = "line 2:")
+
 let test_resolve_errors () =
   let dup = [ Program.Label "a"; Program.Label "a" ] in
   (match Program.resolve dup with
@@ -339,6 +377,10 @@ let suite =
         Alcotest.test_case "cond eval" `Quick test_cond_eval;
         Alcotest.test_case "parse basic" `Quick test_parse_basic;
         Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "parse error messages" `Quick
+          test_parse_error_messages;
+        Alcotest.test_case "parse error lines" `Quick
+          test_parse_error_messages_ok_cases;
         Alcotest.test_case "resolve errors" `Quick test_resolve_errors;
         Alcotest.test_case "validate ranges" `Quick test_validate_ranges;
         Alcotest.test_case "branch displacement" `Quick test_branch_displacement_limit;

@@ -2,7 +2,7 @@
    domains and threads, byte-stable exporters (golden files), the
    exposition parser round trip, trace-ring overflow, the machine's
    registry integration (engine/interpreter parity of hppa_sim_*
-   families), and the deprecated Machine toggle aliases. *)
+   families). *)
 
 module Obs = Hppa_obs.Obs
 module Machine = Hppa_machine.Machine
@@ -301,35 +301,6 @@ let test_trap_counts () =
     (Hppa_machine.Stats.by_trap stats)
 
 (* ------------------------------------------------------------------ *)
-(* Deprecated aliases stay equivalent to Config                        *)
-
-let[@alert "-deprecated"] test_deprecated_aliases () =
-  let prog = Hppa.Millicode.resolved () in
-  (* Toggling off via the deprecated setter behaves exactly like
-     building with Config.engine = false. *)
-  let via_alias = Machine.create prog in
-  Machine.set_engine via_alias false;
-  Alcotest.(check bool) "engine_enabled reads back" false
-    (Machine.engine_enabled via_alias);
-  let via_config =
-    Machine.create ~config:{ Machine.Config.default with engine = false } prog
-  in
-  let oa = Machine.call via_alias "mulI" ~args:[ 123l; -456l ] in
-  let oc = Machine.call via_config "mulI" ~args:[ 123l; -456l ] in
-  Alcotest.(check bool) "alias: interpreter ran" false
-    (Machine.used_engine via_alias);
-  Alcotest.(check bool) "config: interpreter ran" false
-    (Machine.used_engine via_config);
-  Alcotest.(check bool) "same outcome" true (oa = oc);
-  Alcotest.(check int32) "same product"
-    (Machine.get via_alias Reg.ret0)
-    (Machine.get via_config Reg.ret0);
-  (* And the config accessor reflects the live toggle. *)
-  Machine.set_engine via_alias true;
-  Alcotest.(check bool) "config view tracks toggle" true
-    (Machine.config via_alias).Machine.Config.engine
-
-(* ------------------------------------------------------------------ *)
 
 let suite =
   [
@@ -368,7 +339,5 @@ let suite =
         Alcotest.test_case "profile counters" `Quick
           test_machine_profile_counters;
         Alcotest.test_case "trap counts" `Quick test_trap_counts;
-        Alcotest.test_case "deprecated aliases" `Quick
-          test_deprecated_aliases;
       ] );
   ]

@@ -1,0 +1,347 @@
+(* Tests for the kernel-strategy layer (lib/plan): every selected plan
+   is lint-clean and round-trips through the encoder; the selector
+   agrees with the compiler's inline threshold; differential coverage
+   against the Cpu reference and the millicode fallback over all
+   divisors 1..4096 and 1k seeded multipliers, with the measured-cycle
+   gate; the autotune store round-trips through BENCH_PLANS.json. *)
+
+module Word = Hppa_word.Word
+module Machine = Hppa_machine.Machine
+module Plan = Hppa_plan.Strategy
+module Selector = Hppa_plan.Selector
+module Autotune = Hppa_plan.Autotune
+module Obs = Hppa_obs.Obs
+module Dist = Hppa_dist.Operand_dist
+module Prng = Hppa_dist.Prng
+open Hppa
+
+let choose_exn ?ctx req =
+  match Selector.choose ?ctx req with
+  | Ok c -> c
+  | Error e ->
+      Alcotest.failf "no plan for %s: %s" (Plan.request_id req) e
+
+let machine_of emission =
+  match Plan.link emission with
+  | Ok prog -> Machine.create prog
+  | Error e -> Alcotest.failf "link %s: %s" emission.Plan.entry e
+
+let milli = lazy (Millicode.machine ())
+
+let call_ret0 mach entry args =
+  match Machine.call_cycles mach entry ~args with
+  | Machine.Halted, cycles -> (Machine.get mach Reg.ret0, cycles)
+  | Machine.Trapped t, _ ->
+      Alcotest.failf "%s trapped: %s" entry (Hppa_machine.Trap.to_string t)
+  | Machine.Fuel_exhausted, _ -> Alcotest.failf "%s ran out of fuel" entry
+
+(* ------------------------------------------------------------------ *)
+(* Requests round-trip; the CLI parser                                 *)
+
+let test_request_parse () =
+  let ok s expect =
+    match Plan.request_of_string s with
+    | Ok r -> Alcotest.(check string) s expect (Plan.request_id r)
+    | Error e -> Alcotest.failf "%S: %s" s e
+  in
+  ok "mul 625" "mul.c625.s";
+  ok "mulo 31" "mul.c31.s.trap";
+  ok "mul x" "mul.var.s";
+  ok "divu 10" "div.c10.u";
+  ok "divi -7" "div.c-7.s";
+  ok "remi var" "rem.var.s";
+  ok "  remu   3 " "rem.c3.u";
+  let bad s =
+    match Plan.request_of_string s with
+    | Ok _ -> Alcotest.failf "%S should not parse" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "mul";
+  bad "frob 3";
+  bad "mul 3 4";
+  bad "divu 99999999999"
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: every selected plan is lint-clean and encodable         *)
+
+let matrix_requests =
+  let consts = [ 1l; 2l; 3l; 5l; 7l; 10l; 11l; 60l; 625l; 641l; 1000l ] in
+  List.concat
+    [
+      List.map Plan.mul_const consts;
+      List.map (Plan.mul_const ~trap_overflow:true) [ 3l; 31l; 625l ];
+      List.map Plan.mul_const [ -7l; -625l; Int32.min_int ];
+      [ Plan.mul_var (); Plan.mul_var ~trap_overflow:true () ];
+      List.map (Plan.div_const Plan.Unsigned) consts;
+      List.map (Plan.div_const Plan.Signed) (consts @ [ -3l; -10l ]);
+      List.map (Plan.rem_const Plan.Unsigned) [ 3l; 7l; 10l ];
+      List.map (Plan.rem_const Plan.Signed) [ 3l; 7l; 10l; -7l ];
+      [
+        Plan.div_var Plan.Unsigned; Plan.div_var Plan.Signed;
+        Plan.rem_var Plan.Unsigned; Plan.rem_var Plan.Signed;
+      ];
+    ]
+
+let test_matrix_verified () =
+  List.iter
+    (fun req ->
+      List.iter
+        (fun ctx ->
+          let id = Plan.request_id req in
+          let choice = choose_exn ~ctx req in
+          let em = choice.Selector.emission in
+          (match Plan.verify em with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "%s: %s not lint-clean: %s" id em.Plan.entry e);
+          (match Plan.encoded em with
+          | Ok words ->
+              Alcotest.(check bool)
+                (id ^ " encodes") true
+                (Array.length words > 0)
+          | Error e -> Alcotest.failf "%s: encode: %s" id e);
+          match Plan.digest em with
+          | Ok d -> Alcotest.(check int) (id ^ " md5 hex") 32 (String.length d)
+          | Error e -> Alcotest.failf "%s: digest: %s" id e)
+        [ Plan.standalone; Plan.compiler (); Plan.compiler ~small_divisor_dispatch:true () ])
+    matrix_requests
+
+(* The selector and the compiler agree on what gets inlined. *)
+let test_inline_threshold_agreement () =
+  for c = 1 to 512 do
+    let req = Plan.mul_const (Int32.of_int c) in
+    let choice = choose_exn ~ctx:(Plan.compiler ()) req in
+    let len = Chain.length (Chain_rules.find_exn c) in
+    let expect = if len <= 6 then "mul_const_chain" else "mul_millicode" in
+    Alcotest.(check string)
+      (Printf.sprintf "c=%d (chain %d)" c len)
+      expect choice.Selector.chosen.Plan.name
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Differential: all divisors 1..4096 against Cpu reference + divU     *)
+
+let test_differential_divisors () =
+  let prng = Prng.create 0x5eedL in
+  let milli = Lazy.force milli in
+  for d = 1 to 4096 do
+    let dw = Word.of_int d in
+    let choice = choose_exn (Plan.div_const Plan.Unsigned dw) in
+    let em = choice.Selector.emission in
+    let mach = machine_of em in
+    let dividends =
+      [ 0l; 1l; dw; Word.max_unsigned ]
+      @ List.init 4 (fun _ ->
+            let x = Dist.log_uniform ~bits:32 prng in
+            if Word.equal x 0l then 7l else x)
+    in
+    let chosen_cycles = ref 0 and fallback_cycles = ref 0 in
+    let ldi_len = List.length (Emit.ldi dw Reg.arg1) in
+    List.iter
+      (fun x ->
+        let expect, _ = Word.divmod_u x dw in
+        let got, cycles = call_ret0 mach em.Plan.entry [ x ] in
+        if not (Word.equal got expect) then
+          Alcotest.failf "d=%d x=%ld: %s gave %ld, reference %ld" d x
+            em.Plan.entry got expect;
+        let milli_q, milli_cycles = call_ret0 milli "divU" [ x; dw ] in
+        if not (Word.equal milli_q expect) then
+          Alcotest.failf "d=%d x=%ld: divU gave %ld, reference %ld" d x
+            milli_q expect;
+        chosen_cycles := !chosen_cycles + cycles;
+        fallback_cycles := !fallback_cycles + milli_cycles + ldi_len + 1)
+      dividends;
+    (* The cycle gate: over the sample set, the selected plan is never
+       slower than materialising the divisor and calling divU. *)
+    if !chosen_cycles > !fallback_cycles then
+      Alcotest.failf "d=%d: chosen %s cost %d cycles, divU fallback %d" d
+        choice.Selector.chosen.Plan.name !chosen_cycles !fallback_cycles
+  done
+
+(* Differential: 1k seeded multipliers against mul_lo + mulI.  The
+   cycle gate here is aggregate: individual tiny multipliers can hit
+   mulI's early exits, but over the seeded set the selected plans must
+   not lose to the millicode call. *)
+let test_differential_multipliers () =
+  let prng = Prng.create 0x1234L in
+  let milli = Lazy.force milli in
+  let chosen_total = ref 0 and fallback_total = ref 0 in
+  for i = 1 to 1000 do
+    let c =
+      let raw = Dist.log_uniform ~bits:31 prng in
+      let raw = if Word.equal raw 0l then 3l else raw in
+      if i mod 4 = 0 then Word.neg raw else raw
+    in
+    let choice = choose_exn (Plan.mul_const c) in
+    let em = choice.Selector.emission in
+    let mach = machine_of em in
+    let ldi_len = List.length (Emit.ldi c Reg.arg1) in
+    let xs =
+      List.init 3 (fun _ ->
+          let x = Dist.log_uniform ~bits:16 prng in
+          if i mod 2 = 0 then Word.neg x else x)
+    in
+    List.iter
+      (fun x ->
+        let expect = Word.mul_lo x c in
+        let got, cycles = call_ret0 mach em.Plan.entry [ x ] in
+        if not (Word.equal got expect) then
+          Alcotest.failf "c=%ld x=%ld: %s gave %ld, mul_lo %ld" c x
+            em.Plan.entry got expect;
+        let milli_p, milli_cycles = call_ret0 milli "mulI" [ x; c ] in
+        if not (Word.equal milli_p expect) then
+          Alcotest.failf "c=%ld x=%ld: mulI gave %ld, mul_lo %ld" c x milli_p
+            expect;
+        chosen_total := !chosen_total + cycles;
+        fallback_total := !fallback_total + milli_cycles + ldi_len + 1)
+      xs
+  done;
+  if !chosen_total > !fallback_total then
+    Alcotest.failf "selected multiply plans cost %d cycles, mulI fallback %d"
+      !chosen_total !fallback_total
+
+(* ------------------------------------------------------------------ *)
+(* Variable-operand selection sanity                                   *)
+
+let test_variable_selection () =
+  let choice = choose_exn (Plan.mul_var ()) in
+  Alcotest.(check string) "mul var" "mul_millicode"
+    choice.Selector.chosen.Plan.name;
+  let choice = choose_exn (Plan.div_var Plan.Unsigned) in
+  Alcotest.(check string) "div var" "div_millicode"
+    choice.Selector.chosen.Plan.name;
+  (* Under a small-divisor operand model the §7 dispatch wins. *)
+  let ctx = Plan.compiler ~small_divisor_dispatch:true () in
+  let choice = choose_exn ~ctx (Plan.div_var Plan.Signed) in
+  Alcotest.(check string) "small-divisor div var" "div_small"
+    choice.Selector.chosen.Plan.name;
+  (* Modelled baselines appear as candidates but are never chosen. *)
+  let cands = Selector.candidates (Plan.mul_var ()) in
+  Alcotest.(check bool) "booth is a candidate" true
+    (List.exists
+       (fun c -> c.Selector.strategy.Plan.name = "baseline_booth")
+       cands)
+
+(* ------------------------------------------------------------------ *)
+(* Autotune: measurement, gate, store round trip, metrics              *)
+
+let test_autotune_report () =
+  let store = Autotune.Store.create () in
+  let obs = Obs.Registry.create () in
+  let workload = Autotune.Figure5 { samples = 40; seed = 7L } in
+  let report =
+    match Autotune.tune ~store ~obs workload (Plan.mul_const 625l) with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "tune: %s" e
+  in
+  Alcotest.(check bool) "gate holds for 625" true report.Autotune.gate_ok;
+  Alcotest.(check string) "chain chosen" "mul_const_chain"
+    report.Autotune.choice.Selector.chosen.Plan.name;
+  Alcotest.(check bool) "fallback measured" true
+    (report.Autotune.fallback <> None);
+  Alcotest.(check bool) "engine used" true
+    report.Autotune.chosen.Autotune.used_engine;
+  (* Booth's model shows up as a measurement of the variable multiply. *)
+  let vreport =
+    match Autotune.tune ~store ~obs workload (Plan.mul_var ()) with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "tune var: %s" e
+  in
+  Alcotest.(check bool) "booth measured" true
+    (List.mem_assoc "baseline_booth" vreport.Autotune.measurements);
+  (* Metrics landed in the registry. *)
+  let text = Obs.Export.prometheus (Obs.Registry.snapshot obs) in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true (contains needle))
+    [
+      "hppa_plan_selections_total";
+      "hppa_plan_candidates_total";
+      "hppa_plan_measured_total";
+      "hppa_plan_wins_total";
+      "hppa_plan_store_entries";
+    ]
+
+let test_store_round_trip () =
+  let store = Autotune.Store.create () in
+  let obs = Obs.Registry.create () in
+  let workload = Autotune.Fixed [ (100l, 0l); (12345l, 0l); (7l, 0l) ] in
+  List.iter
+    (fun req ->
+      match Autotune.tune ~store ~obs workload req with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "tune %s: %s" (Plan.request_id req) e)
+    [ Plan.mul_const 60l; Plan.div_const Plan.Unsigned 10l ];
+  let n = Autotune.Store.length store in
+  Alcotest.(check bool) "store populated" true (n > 0);
+  let path = Filename.temp_file "bench_plans" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      (match Autotune.Store.save store path with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "save: %s" e);
+      match Autotune.Store.load path with
+      | Error e -> Alcotest.failf "load: %s" e
+      | Ok loaded ->
+          Alcotest.(check int) "same size" n (Autotune.Store.length loaded);
+          Alcotest.(check bool) "same entries" true
+            (Autotune.Store.entries loaded = Autotune.Store.entries store);
+          (* A warm store short-circuits measurement: re-tuning only
+             produces store hits, no new entries. *)
+          (match
+             Autotune.tune ~store:loaded ~obs workload (Plan.mul_const 60l)
+           with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "warm tune: %s" e);
+          Alcotest.(check int) "no growth on warm tune" n
+            (Autotune.Store.length loaded))
+
+let test_store_rejects_garbage () =
+  (match Autotune.Store.of_json "" with
+  | Ok _ -> Alcotest.fail "empty input accepted"
+  | Error _ -> ());
+  (match Autotune.Store.of_json "{\"schema\":\"wrong/9\",\"entries\":[]}" with
+  | Ok _ -> Alcotest.fail "wrong schema accepted"
+  | Error _ -> ());
+  match
+    Autotune.Store.of_json
+      "{\"schema\":\"hppa-bench-plans/1\",\"entries\":[{\"digest\":\"d\"}]}"
+  with
+  | Ok _ -> Alcotest.fail "truncated entry accepted"
+  | Error _ -> ()
+
+let suite =
+  [
+    ( "plan:request",
+      [ Alcotest.test_case "parse / id" `Quick test_request_parse ] );
+    ( "plan:selector",
+      [
+        Alcotest.test_case "matrix is lint-clean + encodable" `Quick
+          test_matrix_verified;
+        Alcotest.test_case "inline threshold agreement" `Quick
+          test_inline_threshold_agreement;
+        Alcotest.test_case "variable-operand selection" `Quick
+          test_variable_selection;
+      ] );
+    ( "plan:differential",
+      [
+        Alcotest.test_case "divisors 1..4096 vs divU" `Slow
+          test_differential_divisors;
+        Alcotest.test_case "1k multipliers vs mulI" `Slow
+          test_differential_multipliers;
+      ] );
+    ( "plan:autotune",
+      [
+        Alcotest.test_case "report + gate + metrics" `Quick
+          test_autotune_report;
+        Alcotest.test_case "store round trip" `Quick test_store_round_trip;
+        Alcotest.test_case "store rejects garbage" `Quick
+          test_store_rejects_garbage;
+      ] );
+  ]

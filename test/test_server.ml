@@ -21,6 +21,7 @@ let test_config workers =
     cache_capacity = 64;
     fuel = 1_000_000;
     trace_path = None;
+    plans_path = None;
   }
 
 let with_server ?(workers = 1) ?fuel f =
@@ -297,15 +298,15 @@ let test_plan_pure () =
     (fun n ->
       Alcotest.(check string)
         (Printf.sprintf "mul %ld repeatable" n)
-        (Result.get_ok (Plan.mul n))
-        (Result.get_ok (Plan.mul n)))
+        (fst (Result.get_ok (Plan.mul n)))
+        (fst (Result.get_ok (Plan.mul n))))
     [ 625l; -7l; 0l; 1l; Int32.min_int; 0x7FFF_FFFFl ];
   List.iter
     (fun d ->
       Alcotest.(check string)
         (Printf.sprintf "div %ld repeatable" d)
-        (Result.get_ok (Plan.div d))
-        (Result.get_ok (Plan.div d)))
+        (fst (Result.get_ok (Plan.div d)))
+        (fst (Result.get_ok (Plan.div d))))
     [ 3l; 7l; 11l; 16l; -5l; 1l ]
 
 let test_plan_bytes_cold_warm_workers () =
@@ -414,6 +415,109 @@ let test_metrics_scrape () =
           Alcotest.(check bool) "second scrape framed" true
             (Server.is_scrape again))
 
+let test_plan_selector_metrics () =
+  (* MUL/DIV dispatch through the strategy selector against the server
+     registry: per-strategy hppa_plan_* families show in the scrape and
+     the selector's verdict is cached alongside the reply bytes. *)
+  with_server (fun srv ->
+      ignore (Server.respond srv "MUL 625");
+      ignore (Server.respond srv "DIV 7");
+      let reply = Server.respond srv "METRICS" in
+      match Obs.Export.parse_prometheus reply with
+      | Error msg -> Alcotest.failf "scrape does not parse: %s" msg
+      | Ok samples ->
+          List.iter
+            (fun name ->
+              match Obs.Export.find samples name with
+              | Some v ->
+                  Alcotest.(check bool) (name ^ " positive") true (v > 0.0)
+              | None -> Alcotest.failf "missing %s" name)
+            [
+              "hppa_plan_candidates_total";
+              "hppa_plan_selections_total";
+              "hppa_serve_plan_artifacts";
+            ];
+          let arts = Server.artifacts srv in
+          Alcotest.(check int) "two artifacts" 2 (List.length arts);
+          let strategies =
+            List.map (fun (_, a) -> a.Plan.strategy) arts
+          in
+          Alcotest.(check bool) "chain chosen for 625" true
+            (List.mem "mul_const_chain" strategies);
+          Alcotest.(check bool) "div_const chosen for 7" true
+            (List.mem "div_const" strategies);
+          List.iter
+            (fun (_, a) ->
+              match a.Plan.digest with
+              | Some d ->
+                  Alcotest.(check int) "content address is MD5 hex" 32
+                    (String.length d)
+              | None -> Alcotest.fail "artifact missing digest")
+            arts)
+
+let test_plans_warm_start () =
+  let module A = Hppa_plan.Autotune in
+  let meas ~strategy ~request ~digest =
+    {
+      A.strategy;
+      request;
+      entry = "e";
+      digest;
+      workload = "w";
+      samples = 1;
+      total_cycles = 10;
+      mean_cycles = 10.0;
+      min_cycles = 10;
+      max_cycles = 10;
+      used_engine = true;
+    }
+  in
+  let store = A.Store.create () in
+  A.Store.add store
+    (meas ~strategy:"mul_const_chain" ~request:"mul.c625.s" ~digest:"d1");
+  A.Store.add store
+    (meas ~strategy:"div_const" ~request:"div.c7.u" ~digest:"d2");
+  (* Variable requests have no MUL/DIV form: skipped, not fatal. *)
+  A.Store.add store
+    (meas ~strategy:"div_millicode" ~request:"div.var.u" ~digest:"d3");
+  let path = Filename.temp_file "hppa_plans" ".json" in
+  (match A.Store.save store path with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let cold =
+    with_server (fun srv -> Server.respond srv "MUL 625")
+  in
+  let cfg = { (test_config 1) with Server.plans_path = Some path } in
+  let srv = Server.create cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown_pool srv;
+      Sys.remove path)
+    (fun () ->
+      Alcotest.(check int) "two plans warmed" 2
+        (List.length (Server.artifacts srv));
+      let warm = Server.respond srv "MUL 625" in
+      Alcotest.(check string) "warm reply = cold reply" cold warm;
+      (* Both requests so far were pre-computed: all hits, no misses. *)
+      ignore (Server.respond srv "DIV 7");
+      let stats = Server.respond srv "STATS" in
+      Alcotest.(check bool)
+        (Printf.sprintf "hits counted (%s)" stats)
+        true
+        (contains ~needle:"cache_hits=2" stats);
+      Alcotest.(check bool) "no misses" true
+        (contains ~needle:"cache_misses=0" stats));
+  (* A missing store file warms nothing and does not fail startup. *)
+  let cfg =
+    { (test_config 1) with Server.plans_path = Some "no-such-plans.json" }
+  in
+  let srv = Server.create cfg in
+  Fun.protect
+    ~finally:(fun () -> Server.shutdown_pool srv)
+    (fun () ->
+      Alcotest.(check int) "nothing warmed" 0
+        (List.length (Server.artifacts srv)))
+
 let test_stats_and_scrape_agree () =
   (* STATS and METRICS must be two views of the same registry cells. *)
   with_server (fun srv ->
@@ -469,6 +573,7 @@ let test_end_to_end () =
       cache_capacity = 256;
       fuel = 1_000_000;
       trace_path = None;
+      plans_path = None;
     }
   in
   let srv = Server.create cfg in
@@ -550,6 +655,10 @@ let suite =
       [
         Alcotest.test_case "semantics" `Quick test_dispatch_semantics;
         Alcotest.test_case "metrics scrape" `Quick test_metrics_scrape;
+        Alcotest.test_case "selector metrics and artifacts" `Quick
+          test_plan_selector_metrics;
+        Alcotest.test_case "BENCH_PLANS warm start" `Quick
+          test_plans_warm_start;
         Alcotest.test_case "stats/scrape agreement" `Quick
           test_stats_and_scrape_agree;
         Alcotest.test_case "fuel limit" `Quick test_eval_fuel_limit;
