@@ -844,6 +844,80 @@ let bench_plans ~fast ~out () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* certify: run the division certifier over every divide strategy      *)
+
+(* Closed-form certification sweep: every selector arbitration below
+   runs with [~require_certified:true], so a divisor only passes when
+   some emitting strategy carries a machine-checked proof (reciprocal
+   coverage bound, power-of-two shift identity, or the divide-step
+   schema of the millicode fallback). No dividends are sampled. *)
+let bench_certify ~fast () =
+  header "division certifier (closed-form, all dividends)";
+  let obs = Obs.Registry.create () in
+  let limit = if fast then 256 else 4096 in
+  let failures = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  (* Figure 6 first: each paper row's derived plan must certify. *)
+  List.iter
+    (fun (t : Div_magic.t) ->
+      let req = Strategy.div_const Strategy.Unsigned t.Div_magic.y in
+      match Hppa_plan.Selector.choose ~obs ~require_certified:true req with
+      | Ok _ -> ()
+      | Error msg ->
+          Printf.eprintf "bench certify: figure6 y=%ld: %s\n%!" t.Div_magic.y
+            msg;
+          incr failures)
+    (Div_magic.figure6 ());
+  Printf.printf "  figure6 rows: %d certified\n%!"
+    (List.length (Div_magic.figure6 ()) - !failures);
+  (* Then the sweep: unsigned and signed divide and remainder for every
+     divisor up to the limit (signed also on the negative divisor). *)
+  let shapes d =
+    [
+      Strategy.div_const Strategy.Unsigned d;
+      Strategy.div_const Strategy.Signed d;
+      Strategy.div_const Strategy.Signed (Int32.neg d);
+      Strategy.rem_const Strategy.Unsigned d;
+      Strategy.rem_const Strategy.Signed d;
+    ]
+  in
+  for d = 1 to limit do
+    List.iter
+      (fun req ->
+        match
+          Hppa_plan.Selector.choose ~obs ~require_certified:true req
+        with
+        | Ok _ -> ()
+        | Error msg ->
+            Printf.eprintf "bench certify: %s: %s\n%!"
+              (Strategy.request_id req) msg;
+            incr failures)
+      (shapes (Int32.of_int d))
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let total = (limit * 5) + List.length (Div_magic.figure6 ()) in
+  Printf.printf
+    "  divisors 1..%d x {divU, divI, divI(-d), remU, remI}: %d plans, %d \
+     failure(s) in %.1fs\n"
+    limit total !failures dt;
+  (* The counters the server exports under the same name. *)
+  List.iter
+    (fun (s : Obs.sample) ->
+      if s.Obs.name = "hppa_verify_certified_total" then
+        match s.Obs.value with
+        | Obs.Counter_v n ->
+            Printf.printf "  %s{%s} = %d\n" s.Obs.name
+              (String.concat ","
+                 (List.map (fun (k, v) -> k ^ "=" ^ v) s.Obs.labels))
+              n
+        | _ -> ())
+    (Obs.Registry.snapshot obs);
+  if !failures > 0 then begin
+    Printf.eprintf "bench certify: %d uncertified divide plan(s)\n" !failures;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_SIM.json: machine-readable performance snapshot                *)
 
 (* Simulated instructions per host second for one millicode entry,
@@ -1015,6 +1089,7 @@ let () =
     bench_json ~fast ~out:(Option.value out ~default:"BENCH_SIM.json") ()
   else if List.mem "plans" selected then
     bench_plans ~fast ~out:(Option.value out ~default:"BENCH_PLANS.json") ()
+  else if List.mem "certify" selected then bench_certify ~fast ()
   else begin
     let to_run =
       if selected = [] then all_figures
@@ -1022,7 +1097,8 @@ let () =
         List.filter (fun (name, _) -> List.mem name selected) all_figures
     in
     if to_run = [] then begin
-      Printf.printf "unknown selection; available: %s bechamel json plans\n"
+      Printf.printf
+        "unknown selection; available: %s bechamel json plans certify\n"
         (String.concat " " (List.map fst all_figures));
       exit 2
     end;

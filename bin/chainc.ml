@@ -8,13 +8,13 @@
 module Word = Hppa_word.Word
 module Machine = Hppa_machine.Machine
 
-let show n overflow exhaustive code verify no_engine plan =
+let show n overflow exhaustive code verify no_engine plan certified =
   let n32 = Int32.of_int n in
-  if plan then begin
+  if plan || certified then begin
     (* The kernel-strategy view: every applicable strategy with its cost
        or rejection reason, and which one the selector picks. *)
     let req = Hppa_plan.Strategy.mul_const ~trap_overflow:overflow n32 in
-    match Hppa_plan.Selector.choose req with
+    match Hppa_plan.Selector.choose ~require_certified:certified req with
     | Ok choice ->
         Format.printf "%a@." Hppa_plan.Selector.pp_choice choice
     | Error msg -> Format.printf "plan: %s@." msg
@@ -106,11 +106,18 @@ let plan =
                by $(docv): the chosen strategy, every candidate's cost and \
                why rejected ones lost.")
 
+let certified =
+  Arg.(value & flag & info [ "certified" ]
+         ~doc:"Like $(b,--plan), but only certified strategies may win: \
+               the table shows the winner's certificate digest and a \
+               'not certified' rejection for candidates whose emission \
+               the certifier cannot prove.")
+
 let cmd =
   Cmd.v
     (Cmd.info "hppa-chainc"
        ~doc:"Search shift-and-add chains for multiplication by constants")
     Term.(const show $ n $ overflow $ exhaustive $ code $ verify $ no_engine
-          $ plan)
+          $ plan $ certified)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,6 +8,7 @@
      hppa-lint prog.s -e mulU -e divU
      hppa-lint --delay scheduled.s -e mulU
      hppa-lint prog.s -e mulc_10 --certify 10
+     hppa-lint prog.s -e divu7 --certify-div 7
      hppa-lint prog.s -e mulU --cfg *)
 
 module V = Hppa_verify
@@ -24,7 +25,7 @@ let lint_millicode () =
   in
   if bad || bad' then 1 else 0
 
-let lint_file path entries delay blr_slots cfg_dump certify =
+let lint_file path entries delay blr_slots cfg_dump certify certify_div =
   let options =
     { V.Cfg.mode = (if delay then V.Cfg.Delay_slot else V.Cfg.Simple); blr_slots }
   in
@@ -68,7 +69,31 @@ let lint_file path entries delay blr_slots cfg_dump certify =
           | _ -> Error "--certify needs exactly one -e entry"
           )
     in
-    Ok (if bad || cert_bad then 1 else 0)
+    let* div_bad =
+      match certify_div with
+      | None -> Ok false
+      | Some d -> (
+          match entries with
+          | [ entry ] ->
+              (* Like the DIV protocol verb: d > 0 claims the unsigned
+                 routine, d < 0 the signed one for |d|. *)
+              let claim =
+                {
+                  V.Reciprocal.op = `Div;
+                  signed = d < 0;
+                  divisor = Int32.of_int d;
+                }
+              in
+              let verdict = V.Driver.certify_division ~options prog ~entry ~claim in
+              Format.printf "%s / %d: %a@." entry d V.Reciprocal.pp_verdict
+                verdict;
+              Ok
+                (match verdict with
+                | V.Reciprocal.Certified _ -> false
+                | V.Reciprocal.Refuted _ | V.Reciprocal.Unknown _ -> true)
+          | _ -> Error "--certify-div needs exactly one -e entry")
+    in
+    Ok (if bad || cert_bad || div_bad then 1 else 0)
   in
   match result with
   | Ok code -> code
@@ -76,10 +101,11 @@ let lint_file path entries delay blr_slots cfg_dump certify =
       Format.eprintf "hppa-lint: %s@." msg;
       2
 
-let run file entries delay blr_slots cfg_dump certify =
+let run file entries delay blr_slots cfg_dump certify certify_div =
   match file with
   | None -> lint_millicode ()
-  | Some path -> lint_file path entries delay blr_slots cfg_dump certify
+  | Some path ->
+      lint_file path entries delay blr_slots cfg_dump certify certify_div
 
 open Cmdliner
 
@@ -106,12 +132,19 @@ let certify =
   Arg.(value & opt (some int) None & info [ "certify" ] ~docv:"N"
          ~doc:"Certify that the single -e entry computes N * arg0 in ret0.")
 
+let certify_div =
+  Arg.(value & opt (some int) None & info [ "certify-div" ] ~docv:"D"
+         ~doc:"Certify that the single -e entry divides arg0 by $(docv): \
+               D > 0 claims the unsigned routine, D < 0 the signed one. \
+               Exit 1 unless the proof is Certified.")
+
 let cmd =
   Cmd.v
     (Cmd.info "hppa-lint"
        ~doc:"Statically verify Precision assembly: control flow, \
              definedness, delay-slot hazards, calling convention, and \
-             multiply-chain certification")
-    Term.(const run $ file $ entries $ delay $ blr_slots $ cfg_dump $ certify)
+             multiply-chain and constant-divide certification")
+    Term.(const run $ file $ entries $ delay $ blr_slots $ cfg_dump $ certify
+          $ certify_div)
 
 let () = exit (Cmd.eval' cmd)

@@ -23,7 +23,7 @@ let endpoint socket port host =
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
 
-let serve socket port host workers cache fuel trace_json plans =
+let serve socket port host workers cache fuel trace_json plans certified =
   let workers =
     match workers with
     | Some w -> w
@@ -37,6 +37,7 @@ let serve socket port host workers cache fuel trace_json plans =
       fuel;
       trace_path = trace_json;
       plans_path = plans;
+      certified;
     }
   in
   let srv = Server.create cfg in
@@ -49,8 +50,9 @@ let serve socket port host workers cache fuel trace_json plans =
     (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> Server.stop srv)))
     [ Sys.sigint; Sys.sigterm ];
   Printf.eprintf
-    "hppa-serve: listening on %s (%d workers, cache %d, fuel %d)\n%!" where
-    workers cache fuel;
+    "hppa-serve: listening on %s (%d workers, cache %d, fuel %d%s)\n%!" where
+    workers cache fuel
+    (if certified then ", certified-only" else "");
   (match Server.run srv with
   | () -> ()
   | exception Unix.Unix_error (e, _, arg) ->
@@ -259,6 +261,18 @@ let serve_cmd =
              $(b,bench plans)): every measured MUL/DIV request is \
              pre-computed into the plan cache before the socket opens.")
   in
+  let certified =
+    Arg.(
+      value & flag
+      & info [ "certified" ]
+          ~doc:
+            "Certified-only serving: every MUL/DIV plan must carry a \
+             machine-checked certificate (linear-form proof for multiply \
+             chains, reciprocal coverage bound for constant divides, \
+             divide-step schema for the millicode fallback). Strategies \
+             the certifier cannot prove are passed over; reply bytes are \
+             unchanged.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -266,7 +280,7 @@ let serve_cmd =
           requests, dump statistics and exit.")
     Term.(
       const serve $ socket $ port $ host $ workers $ cache $ fuel
-      $ trace_json $ plans)
+      $ trace_json $ plans $ certified)
 
 let load_cmd =
   let requests =

@@ -37,6 +37,24 @@ let show y signed code modern measure =
     | Even_split (k, _) -> Printf.sprintf "shift %d + odd reciprocal" k
     | General_fallback -> "general divide (fallback)")
     plan.static_instructions;
+  (* Certify the plan: recover the reciprocal form from the emitted code
+     and discharge the coverage bound over all dividends (no sampling).
+     CI gates on the exit code directly. *)
+  let prog =
+    Program.resolve_exn
+      (Program.concat [ plan.source; Hppa.Div_gen.source ])
+  in
+  let verdict =
+    Hppa_verify.Driver.certify_division prog ~entry:plan.entry
+      ~claim:{ Hppa_verify.Reciprocal.op = `Div; signed; divisor = y32 }
+  in
+  Format.printf "certificate: %a@." Hppa_verify.Reciprocal.pp_verdict verdict;
+  let cert_failed =
+    match verdict with
+    | Hppa_verify.Reciprocal.Certified _ -> false
+    | Hppa_verify.Reciprocal.Refuted _ | Hppa_verify.Reciprocal.Unknown _ ->
+        true
+  in
   if code then Format.printf "@,%a@." Program.pp_source plan.source;
   if measure then begin
     let prog =
@@ -51,7 +69,7 @@ let show y signed code modern measure =
     Format.printf "cycles: x=1000 -> %d;  x=-1000 -> %d;  x=max_int -> %d@."
       (cycles 1000l) (cycles (-1000l)) (cycles Int32.max_int)
   end;
-  0
+  if cert_failed then 1 else 0
 
 open Cmdliner
 

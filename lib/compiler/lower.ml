@@ -33,6 +33,7 @@ type state = {
   mutable plans : (string * Program.source) list; (* per-constant routines *)
   trap_overflow : bool;
   small_divisor_dispatch : bool;
+  require_certified : bool;
 }
 
 let alloc st =
@@ -81,7 +82,9 @@ let selector_ctx st =
     Plan.inline_mul_threshold;
   }
 
-let choose st req = Selector.choose ~ctx:(selector_ctx st) req
+let choose st req =
+  Selector.choose ~ctx:(selector_ctx st)
+    ~require_certified:st.require_certified req
 
 (* The call-through strategies carry their millicode entry in the
    emission detail; fall back to the historical target if selection ever
@@ -267,7 +270,8 @@ and emit_rem_const st a c =
   Builder.insn st.b (Emit.copy Reg.ret0 t);
   t
 
-let make_state b ~vars ~temps ~trap_overflow ~small_divisor_dispatch =
+let make_state ?(require_certified = false) b ~vars ~temps ~trap_overflow
+    ~small_divisor_dispatch =
   {
     b;
     vars;
@@ -277,10 +281,11 @@ let make_state b ~vars ~temps ~trap_overflow ~small_divisor_dispatch =
     plans = [];
     trap_overflow;
     small_divisor_dispatch;
+    require_certified;
   }
 
 let compile ?entry ?(trap_overflow = false) ?(small_divisor_dispatch = false)
-    ~params expr =
+    ?require_certified ~params expr =
   let entry = Option.value entry ~default:"proc" in
   if List.length params > List.length param_regs then
     raise (Unsupported "more than 4 parameters");
@@ -293,7 +298,8 @@ let compile ?entry ?(trap_overflow = false) ?(small_divisor_dispatch = false)
       Builder.insn b (Emit.copy (List.nth [ Reg.arg0; Reg.arg1; Reg.arg2; Reg.arg3 ] i) r))
     vars;
   let st =
-    make_state b ~vars ~temps:temp_regs ~trap_overflow ~small_divisor_dispatch
+    make_state ?require_certified b ~vars ~temps:temp_regs ~trap_overflow
+      ~small_divisor_dispatch
   in
   let result = emit st expr in
   Builder.insn b (Emit.copy result Reg.ret0);
@@ -309,8 +315,12 @@ let compile ?entry ?(trap_overflow = false) ?(small_divisor_dispatch = false)
     inline_multiplies = st.inline_multiplies;
   }
 
-let compile_and_link ?entry ?trap_overflow ?small_divisor_dispatch ~params expr =
-  let unit_ = compile ?entry ?trap_overflow ?small_divisor_dispatch ~params expr in
+let compile_and_link ?entry ?trap_overflow ?small_divisor_dispatch
+    ?require_certified ~params expr =
+  let unit_ =
+    compile ?entry ?trap_overflow ?small_divisor_dispatch ?require_certified
+      ~params expr
+  in
   Program.resolve_exn (Program.concat [ unit_.source; Millicode.source ])
 
 module Internal = struct

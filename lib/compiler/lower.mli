@@ -40,14 +40,21 @@ val compile :
   ?entry:string ->
   ?trap_overflow:bool ->
   ?small_divisor_dispatch:bool ->
+  ?require_certified:bool ->
   params:string list ->
   Expr.t ->
   t
+(** [require_certified] (default [false]) makes every selector
+    arbitration demand a machine-checked certificate
+    ({!Hppa_plan.Selector.choose} with [~require_certified:true]):
+    uncertifiable strategies are passed over in favour of the certified
+    millicode call-through. *)
 
 val compile_and_link :
   ?entry:string ->
   ?trap_overflow:bool ->
   ?small_divisor_dispatch:bool ->
+  ?require_certified:bool ->
   params:string list ->
   Expr.t ->
   Program.resolved
@@ -60,6 +67,7 @@ module Internal : sig
   type state
 
   val make_state :
+    ?require_certified:bool ->
     Builder.t ->
     vars:(string * Reg.t) list ->
     temps:Reg.t list ->

@@ -71,6 +71,8 @@ type measurement = {
   min_cycles : int;
   max_cycles : int;
   used_engine : bool;
+  cert_kind : string option;
+  cert_digest : string option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -202,7 +204,7 @@ end
 (* ------------------------------------------------------------------ *)
 (* Store                                                               *)
 
-let schema = "hppa-bench-plans/1"
+let schema = "hppa-bench-plans/2"
 
 module Store = struct
   type t = (string * string, measurement) Hashtbl.t
@@ -234,11 +236,18 @@ module Store = struct
     Buffer.contents buf
 
   let entry_json m =
+    let cert =
+      match (m.cert_kind, m.cert_digest) with
+      | Some k, Some d ->
+          Printf.sprintf ",\"cert_kind\":\"%s\",\"cert_digest\":\"%s\""
+            (escape k) (escape d)
+      | _ -> ""
+    in
     Printf.sprintf
-      "{\"digest\":\"%s\",\"workload\":\"%s\",\"strategy\":\"%s\",\"request\":\"%s\",\"entry\":\"%s\",\"samples\":%d,\"total_cycles\":%d,\"min_cycles\":%d,\"max_cycles\":%d,\"used_engine\":%b}"
+      "{\"digest\":\"%s\",\"workload\":\"%s\",\"strategy\":\"%s\",\"request\":\"%s\",\"entry\":\"%s\",\"samples\":%d,\"total_cycles\":%d,\"min_cycles\":%d,\"max_cycles\":%d,\"used_engine\":%b%s}"
       (escape m.digest) (escape m.workload) (escape m.strategy)
       (escape m.request) (escape m.entry) m.samples m.total_cycles m.min_cycles
-      m.max_cycles m.used_engine
+      m.max_cycles m.used_engine cert
 
   let to_json t =
     Printf.sprintf "{\"schema\":\"%s\",\"entries\":[%s]}\n" schema
@@ -261,6 +270,8 @@ module Store = struct
             strategy; request; entry; digest; workload; samples; total_cycles;
             mean_cycles = float_of_int total_cycles /. float_of_int samples;
             min_cycles; max_cycles; used_engine;
+            cert_kind = str "cert_kind";
+            cert_digest = str "cert_digest";
           }
     | _ -> Error "entry is missing a required field"
 
@@ -324,7 +335,8 @@ let set_entries_gauge obs store =
         (float_of_int (Store.length st))
   | _ -> ()
 
-let aggregate ~strategy ~request ~entry ~digest ~workload cycles ~used_engine =
+let aggregate ?cert ~strategy ~request ~entry ~digest ~workload cycles
+    ~used_engine =
   let samples = List.length cycles in
   let total = List.fold_left ( + ) 0 cycles in
   {
@@ -339,6 +351,15 @@ let aggregate ~strategy ~request ~entry ~digest ~workload cycles ~used_engine =
     min_cycles = List.fold_left min max_int cycles;
     max_cycles = List.fold_left max 0 cycles;
     used_engine;
+    cert_kind =
+      Option.map
+        (fun (c : Hppa_verify.Certificate.t) ->
+          Hppa_verify.Certificate.kind_label c.Hppa_verify.Certificate.kind)
+        cert;
+    cert_digest =
+      Option.map
+        (fun (c : Hppa_verify.Certificate.t) -> c.Hppa_verify.Certificate.digest)
+        cert;
   }
 
 let record obs store m =
@@ -396,6 +417,10 @@ let measure ?store ?obs ?(fuel = 2_000_000) workload (req : Strategy.request)
                     match Strategy.link em with
                     | Error e -> Error e
                     | Ok prog ->
+                        (* attach the proof when a certifier covers the
+                           shape; measurements of uncertifiable emissions
+                           simply carry no certificate *)
+                        let cert = Result.to_option (Strategy.certify req em) in
                         let config =
                           { Machine.Config.default with engine = true; fuel }
                         in
@@ -426,8 +451,8 @@ let measure ?store ?obs ?(fuel = 2_000_000) workload (req : Strategy.request)
                         Result.map
                           (fun cycles ->
                             record obs store
-                              (aggregate ~strategy:s.Strategy.name ~request
-                                 ~entry ~digest ~workload:tag cycles
+                              (aggregate ?cert ~strategy:s.Strategy.name
+                                 ~request ~entry ~digest ~workload:tag cycles
                                  ~used_engine:(Machine.used_engine mach)))
                           (go [] pairs)))))
 
@@ -448,8 +473,8 @@ let fallback_name (req : Strategy.request) =
   | Strategy.Mul -> "mul_millicode"
   | Strategy.Div | Strategy.Rem -> "div_millicode"
 
-let tune ?ctx ?store ?obs ?fuel workload req =
-  match Selector.choose ?ctx ?obs req with
+let tune ?ctx ?store ?obs ?fuel ?require_certified workload req =
+  match Selector.choose ?ctx ?obs ?require_certified req with
   | Error e -> Error e
   | Ok choice -> (
       let measurements =

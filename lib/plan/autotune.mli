@@ -31,7 +31,10 @@ val workload_tag : workload -> string
 val operands : workload -> Strategy.request -> (Word.t * Word.t) list
 
 (** One measured verdict. [digest] is the emission's content address —
-    ["model:<name>"] for modelled baselines. *)
+    ["model:<name>"] for modelled baselines. [cert_kind]/[cert_digest]
+    carry the {!Hppa_verify.Certificate} attached when a certifier
+    covers the emission's shape ({!Strategy.certify}); both [None] for
+    modelled baselines and uncertifiable emissions. *)
 type measurement = {
   strategy : string;
   request : string;  (** {!Strategy.request_id} *)
@@ -44,11 +47,14 @@ type measurement = {
   min_cycles : int;
   max_cycles : int;
   used_engine : bool;
+  cert_kind : string option;  (** {!Hppa_verify.Certificate.kind_label} *)
+  cert_digest : string option;
 }
 
 (** Content-addressed verdict cache, keyed by (digest, workload tag).
     [to_json]/[of_json] speak the [BENCH_PLANS.json] format (schema
-    ["hppa-bench-plans/1"], documented in the README). *)
+    ["hppa-bench-plans/2"], which added the optional certificate
+    fields; documented in the README). *)
 module Store : sig
   type t
 
@@ -102,11 +108,13 @@ val tune :
   ?store:Store.t ->
   ?obs:Hppa_obs.Obs.Registry.t ->
   ?fuel:int ->
+  ?require_certified:bool ->
   workload ->
   Strategy.request ->
   (report, string) result
 (** Select, then measure every candidate. [Error] if selection fails or
-    the chosen strategy fails to measure. Bumps
+    the chosen strategy fails to measure. [require_certified] is passed
+    through to {!Selector.choose}. Bumps
     [hppa_plan_wins_total{strategy=}] for the measured-best strategy. *)
 
 val pp_report : Format.formatter -> report -> unit

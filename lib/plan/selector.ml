@@ -1,4 +1,5 @@
 module Obs = Hppa_obs.Obs
+module Certificate = Hppa_verify.Certificate
 
 type candidate = {
   strategy : Strategy.t;
@@ -11,6 +12,7 @@ type choice = {
   chosen : Strategy.t;
   cost : Strategy.cost;
   emission : Strategy.emission;
+  certificate : Certificate.t option;
   candidates : candidate list;
 }
 
@@ -19,18 +21,20 @@ let candidates ?(ctx = Strategy.standalone) req =
   |> List.filter (fun (s : Strategy.t) -> s.applies req)
   |> List.map (fun (s : Strategy.t) -> { strategy = s; cost = s.cost ctx req })
 
-let bump obs name strategy =
+let bump obs name (key, value) =
   match obs with
   | None -> ()
   | Some reg ->
       Obs.Counter.incr
-        (Obs.Registry.counter reg
-           ~labels:[ ("strategy", strategy) ]
-           name)
+        (Obs.Registry.counter reg ~labels:[ (key, value) ] name)
 
-let choose ?(ctx = Strategy.standalone) ?obs req =
+let choose ?(ctx = Strategy.standalone) ?obs ?(require_certified = false) req =
   let cands = candidates ~ctx req in
-  List.iter (fun c -> bump obs "hppa_plan_candidates_total" c.strategy.Strategy.name) cands;
+  List.iter
+    (fun c ->
+      bump obs "hppa_plan_candidates_total"
+        ("strategy", c.strategy.Strategy.name))
+    cands;
   if cands = [] then
     Error
       (Format.asprintf "no applicable strategy for %a" Strategy.pp_request req)
@@ -45,6 +49,36 @@ let choose ?(ctx = Strategy.standalone) ?obs req =
       |> List.stable_sort (fun (_, a) (_, b) ->
              compare a.Strategy.score b.Strategy.score)
     in
+    (* strategies that emitted but failed certification, so the returned
+       candidate table can show why they were passed over *)
+    let uncertified = ref [] in
+    let finish strategy cost emission certificate =
+      bump obs "hppa_plan_selections_total" ("strategy", strategy.Strategy.name);
+      (match certificate with
+      | Some c ->
+          bump obs "hppa_verify_certified_total"
+            ("kind", Certificate.kind_label c.Certificate.kind)
+      | None -> ());
+      let candidates =
+        List.map
+          (fun c ->
+            match List.assoc_opt c.strategy.Strategy.name !uncertified with
+            | Some reason ->
+                { c with cost = Error ("not certified: " ^ reason) }
+            | None -> c)
+          cands
+      in
+      Ok
+        {
+          request = req;
+          context = ctx;
+          chosen = strategy;
+          cost;
+          emission;
+          certificate;
+          candidates;
+        }
+    in
     let rec first_emitting last_err = function
       | [] ->
           Error
@@ -56,9 +90,18 @@ let choose ?(ctx = Strategy.standalone) ?obs req =
       | (strategy, cost) :: rest -> (
           match strategy.Strategy.emit req with
           | Ok emission ->
-              bump obs "hppa_plan_selections_total" strategy.Strategy.name;
-              Ok { request = req; context = ctx; chosen = strategy; cost;
-                   emission; candidates = cands }
+              if not require_certified then
+                finish strategy cost emission None
+              else (
+                match Strategy.certify req emission with
+                | Ok cert -> finish strategy cost emission (Some cert)
+                | Error e ->
+                    uncertified := (strategy.Strategy.name, e) :: !uncertified;
+                    first_emitting
+                      (Some
+                         (Printf.sprintf "%s: not certified: %s"
+                            strategy.Strategy.name e))
+                      rest)
           | Error e ->
               first_emitting
                 (Some (Printf.sprintf "%s: %s" strategy.Strategy.name e))
@@ -73,6 +116,12 @@ let pp_choice ppf c =
     c.cost.Strategy.score c.cost.Strategy.note;
   fprintf ppf "entry:    %s (%d instructions)@," c.emission.Strategy.entry
     c.emission.Strategy.static_instructions;
+  (match c.certificate with
+  | Some cert ->
+      fprintf ppf "certified: %s (%s)@,"
+        (Certificate.describe cert.Certificate.kind)
+        cert.Certificate.digest
+  | None -> ());
   fprintf ppf "candidates:";
   List.iter
     (fun cand ->

@@ -20,6 +20,9 @@ type choice = {
   chosen : Strategy.t;
   cost : Strategy.cost;
   emission : Strategy.emission;
+  certificate : Hppa_verify.Certificate.t option;
+      (** the proof carried by the winner under [~require_certified];
+          [None] in ordinary (unproved) selection *)
   candidates : candidate list;  (** every applicable strategy, scored *)
 }
 
@@ -31,14 +34,21 @@ val candidates :
 val choose :
   ?ctx:Strategy.context ->
   ?obs:Hppa_obs.Obs.Registry.t ->
+  ?require_certified:bool ->
   Strategy.request ->
   (choice, string) result
 (** Pick the cheapest emitting candidate (stable: at equal score the
     registry order wins) and emit it. When [obs] is given, bumps
     [hppa_plan_candidates_total{strategy=...}] for every scored
     candidate and [hppa_plan_selections_total{strategy=...}] for the
-    winner. [Error] when no strategy applies or every applicable one
-    fails to emit. *)
+    winner. With [~require_certified:true], a candidate is only chosen
+    if {!Strategy.certify} discharges its proof obligation; the winner's
+    certificate lands in the choice (and bumps
+    [hppa_verify_certified_total{kind=...}]), while candidates that
+    emitted but failed certification are re-ranked down with a
+    ["not certified: ..."] rejection reason in the candidate table.
+    [Error] when no strategy applies or every applicable one fails to
+    emit (or, under [~require_certified], to certify). *)
 
 val pp_choice : Format.formatter -> choice -> unit
 (** The CLI plan table: request, chosen strategy with cost, then every

@@ -562,6 +562,71 @@ let baseline_nonrestoring =
       "non-restoring shift-and-subtract division (section 2 baseline)"
     Hppa_baselines.Shift_sub_div.non_restoring
 
+(* ------------------------------------------------------------------ *)
+(* Certification                                                       *)
+
+module Reciprocal = Hppa_verify.Reciprocal
+module Certificate = Hppa_verify.Certificate
+
+let verify_options = { Cfg.mode = Cfg.Simple; blr_slots = Div_small.threshold }
+
+let certificate_of = function
+  | Reciprocal.Certified c -> Ok c
+  | Reciprocal.Refuted m -> Error ("refuted: " ^ m)
+  | Reciprocal.Unknown m -> Error m
+
+let certify req em =
+  match link em with
+  | Error e -> Error ("link: " ^ e)
+  | Ok prog -> (
+      let signed = req.signedness = Signed in
+      match (req.op, em.detail) with
+      | Mul, _ -> (
+          match constant_of req with
+          | None -> Error "no certifier covers the variable multiply"
+          | Some c -> (
+              match
+                Hppa_verify.Driver.certify ~options:verify_options prog
+                  ~entry:em.entry ~multiplier:c
+              with
+              | Hppa_verify.Linear.Certified ->
+                  Ok
+                    (Certificate.v (Certificate.Linear_mul c)
+                       [
+                         Printf.sprintf
+                           "linear-form abstract interpretation: every \
+                            return path of %s computes %ld * x (mod 2^32)"
+                           em.entry c;
+                       ])
+              | Hppa_verify.Linear.Refuted m -> Error ("refuted: " ^ m)
+              | Hppa_verify.Linear.Unknown m -> Error m))
+      | (Div | Rem), Millicode (("divU_small" | "divI_small") as target) ->
+          certificate_of
+            (Hppa_verify.Driver.certify_dispatch ~options:verify_options prog
+               ~entry:target ~signed)
+      | (Div | Rem), _ -> (
+          match constant_of req with
+          | Some c ->
+              certificate_of
+                (Hppa_verify.Driver.certify_division ~options:verify_options
+                   prog ~entry:em.entry
+                   ~claim:
+                     {
+                       Reciprocal.op = (if req.op = Div then `Div else `Rem);
+                       signed;
+                       divisor = c;
+                     })
+          | None -> (
+              match em.detail with
+              | Millicode (("divU" | "divI" | "remU" | "remI") as target) ->
+                  (* the wrapper is a bare branch; the certificate is the
+                     target's divide-step proof, valid for every divisor *)
+                  certificate_of
+                    (Hppa_verify.Driver.certify_divstep
+                       ~options:verify_options prog ~entry:target ~signed
+                       ~want_rem:(req.op = Rem))
+              | _ -> Error "no certifier covers this emission")))
+
 let all =
   [
     mul_const_chain;

@@ -121,6 +121,18 @@ val encoded : emission -> (int32 array, string) result
 val digest : emission -> (string, string) result
 (** Content address: MD5 hex of the encoded binary. *)
 
+val certify : request -> emission -> (Hppa_verify.Certificate.t, string) result
+(** Discharge the proof obligation matching the emission's shape:
+    constant multiplies through the linear-form certifier
+    ({!Hppa_verify.Linear}), constant divides/remainders through the
+    reciprocal certifier (with divide-step and [ldi; b] wrapper
+    dispatch, {!Hppa_verify.Driver.certify_division}), variable divides
+    through the divide-step schema matcher on the millicode target, and
+    the small-divisor dispatchers through the vectored-dispatch totality
+    proof. [Error] carries the refutation or the reason the emission is
+    outside every certifier's domain (e.g. the variable multiply
+    ladder). *)
+
 (** {1 Strategies} *)
 
 type kind =

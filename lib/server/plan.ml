@@ -13,6 +13,7 @@ module Word = Hppa_word.Word
 module Machine = Hppa_machine.Machine
 module Strategy = Hppa_plan.Strategy
 module Selector = Hppa_plan.Selector
+module Certificate = Hppa_verify.Certificate
 open Hppa
 
 type artifact = {
@@ -21,12 +22,17 @@ type artifact = {
   static_instructions : int;
   score : int;
   digest : string option;
+  cert_kind : string option;
+  cert_digest : string option;
 }
 
 let render_artifact a =
-  Printf.sprintf "strategy=%s entry=%s insns=%d score=%d digest=%s" a.strategy
-    a.entry a.static_instructions a.score
+  Printf.sprintf "strategy=%s entry=%s insns=%d score=%d digest=%s cert=%s"
+    a.strategy a.entry a.static_instructions a.score
     (Option.value a.digest ~default:"-")
+    (match (a.cert_kind, a.cert_digest) with
+    | Some k, Some d -> Printf.sprintf "%s:%s" k d
+    | _ -> "-")
 
 let artifact_of_choice (c : Selector.choice) =
   {
@@ -35,6 +41,15 @@ let artifact_of_choice (c : Selector.choice) =
     static_instructions = c.Selector.emission.Strategy.static_instructions;
     score = c.Selector.cost.Strategy.score;
     digest = Result.to_option (Strategy.digest c.Selector.emission);
+    cert_kind =
+      Option.map
+        (fun (cert : Certificate.t) ->
+          Certificate.kind_label cert.Certificate.kind)
+        c.Selector.certificate;
+    cert_digest =
+      Option.map
+        (fun (cert : Certificate.t) -> cert.Certificate.digest)
+        c.Selector.certificate;
   }
 
 let squash s =
@@ -81,8 +96,8 @@ let mul_payload (plan : Mul_const.plan) =
     chain_str
     (render_source plan.source)
 
-let mul ?obs n =
-  match Selector.choose ?obs (Strategy.mul_const n) with
+let mul ?obs ?require_certified n =
+  match Selector.choose ?obs ?require_certified (Strategy.mul_const n) with
   | Ok choice ->
       let plan =
         (* The chain strategy's emission wraps the planner record; a
@@ -115,11 +130,13 @@ let div_payload (plan : Div_const.plan) =
     (Div_const.needs_millicode plan)
     (render_source plan.source)
 
-let div ?obs d =
+let div ?obs ?require_certified d =
   if d = 0l then Error "range division by zero"
   else
     let signedness = if d > 0l then Strategy.Unsigned else Strategy.Signed in
-    match Selector.choose ?obs (Strategy.div_const signedness d) with
+    match
+      Selector.choose ?obs ?require_certified (Strategy.div_const signedness d)
+    with
     | Ok choice ->
         let plan =
           match choice.Selector.emission.Strategy.detail with

@@ -17,13 +17,18 @@
 
 (** What the selector decided for one cached plan: strategy name, entry
     label, static size, context score and the content address (MD5 of
-    the encoded binary) when the emission links. *)
+    the encoded binary) when the emission links. Under certified-only
+    serving ([require_certified]) the winner's proof rides along as
+    [cert_kind] ({!Hppa_verify.Certificate.kind_label}) and
+    [cert_digest] (MD5 of the certificate transcript). *)
 type artifact = {
   strategy : string;
   entry : string;
   static_instructions : int;
   score : int;
   digest : string option;
+  cert_kind : string option;
+  cert_digest : string option;
 }
 
 val render_artifact : artifact -> string
@@ -31,19 +36,25 @@ val render_artifact : artifact -> string
 
 val mul :
   ?obs:Hppa_obs.Obs.Registry.t ->
+  ?require_certified:bool ->
   int32 ->
   (string * artifact, string) result
 (** Addition-chain multiply plan: chain steps, emitted instructions and
-    the static cycle count, via {!Hppa.Mul_const.plan}. *)
+    the static cycle count, via {!Hppa.Mul_const.plan}. With
+    [~require_certified:true] the selector only picks a strategy whose
+    emission certifies ({!Hppa_plan.Strategy.certify}); the payload
+    bytes are unchanged either way. *)
 
 val div :
   ?obs:Hppa_obs.Obs.Registry.t ->
+  ?require_certified:bool ->
   int32 ->
   (string * artifact, string) result
 (** Constant-divide plan via {!Hppa.Div_const}: [d > 0] plans the
     unsigned routine, [d < 0] the signed one; [d = 0] is an error. The
     payload names the strategy (power-of-two shift, derived reciprocal
-    with its magic parameters, even split, or general-divide fallback). *)
+    with its magic parameters, even split, or general-divide fallback).
+    [require_certified] as in {!mul}. *)
 
 val eval :
   Hppa_machine.Machine.t ->

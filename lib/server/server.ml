@@ -15,6 +15,7 @@ type config = {
   fuel : int;
   trace_path : string option;
   plans_path : string option;
+  certified : bool;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     fuel = 1_000_000;
     trace_path = None;
     plans_path = None;
+    certified = false;
   }
 
 let trace_capacity = 65536
@@ -103,6 +105,14 @@ let rec create cfg =
     "hppa_serve_plan_artifacts" (fun () ->
       float_of_int (Hashtbl.length artifacts));
   Obs.Registry.fn_gauge obs
+    ~help:"Cached plan artifacts carrying a certificate digest"
+    "hppa_serve_plan_artifacts_certified" (fun () ->
+      float_of_int
+        (Hashtbl.fold
+           (fun _ (a : Plan.artifact) n ->
+             if a.Plan.cert_digest <> None then n + 1 else n)
+           artifacts 0));
+  Obs.Registry.fn_gauge obs
     ~help:"Plans pre-computed at startup from BENCH_PLANS.json"
     "hppa_serve_plans_warmed" (fun () -> float_of_int !warmed);
   let t =
@@ -138,9 +148,10 @@ let rec create cfg =
   t
 
 and compute_plan t req =
+  let require_certified = t.cfg.certified in
   match (req : Protocol.request) with
-  | Protocol.Mul n -> Plan.mul ~obs:t.obs n
-  | Protocol.Div d -> Plan.div ~obs:t.obs d
+  | Protocol.Mul n -> Plan.mul ~obs:t.obs ~require_certified n
+  | Protocol.Div d -> Plan.div ~obs:t.obs ~require_certified d
   | _ -> invalid_arg "Server.compute_plan: not a plan request"
 
 and cache_plan t key payload artifact =
@@ -412,14 +423,18 @@ let run t =
 let shutdown_pool t = Pool.shutdown t.pool
 
 let pp_dump ppf t =
+  let arts = artifacts t in
+  let certified =
+    List.length
+      (List.filter (fun (_, a) -> a.Plan.cert_digest <> None) arts)
+  in
   Format.fprintf ppf
     "@[<v>-- hppa-serve final report --@,%a@,cache: %d/%d entries, %d hits, \
      %d misses, %d evictions, hit rate %.2f%%@,workers: %d@,plans: %d \
-     artifacts, %d warmed@]"
+     artifacts (%d certified), %d warmed@]"
     Metrics.pp_dump t.metrics (Lru.size t.cache)
     (Lru.capacity t.cache) (Lru.hits t.cache) (Lru.misses t.cache)
     (Lru.evictions t.cache)
     (100.0 *. Lru.hit_rate t.cache)
-    (Pool.workers t.pool)
-    (List.length (artifacts t))
+    (Pool.workers t.pool) (List.length arts) certified
     !(t.warmed)

@@ -34,11 +34,20 @@ type config = {
           MUL/DIV-expressible request, so benchmarked plans are cache
           hits from the first client on. Unreadable or stale stores
           warm nothing and never fail startup. *)
+  certified : bool;
+      (** certified-only serving: every MUL/DIV plan (computed or
+          warm-started) is selected with
+          [Selector.choose ~require_certified:true], so each cached
+          artifact carries a {!Hppa_verify.Certificate} digest. Strategies
+          whose emission the certifier cannot prove are passed over in
+          favour of the certified millicode call-through; reply bytes are
+          unchanged ({!Plan.mul}/{!Plan.div} render from the planner
+          record, not the winner). *)
 }
 
 val default_config : config
 (** Unix socket ["hppa-serve.sock"], workers 2, cache 4096, fuel 1e6,
-    no trace, no warm-start. *)
+    no trace, no warm-start, not certified-only. *)
 
 type t
 

@@ -1,0 +1,35 @@
+type kind =
+  | Linear_mul of int32
+  | Reciprocal_div of { divisor : int32; signed : bool; rem : bool }
+  | Divide_step of { entry : string; signed : bool }
+  | Dispatch of { entry : string; divisors : int * int }
+
+type t = { kind : kind; transcript : string list; digest : string }
+
+let kind_label = function
+  | Linear_mul _ -> "linear_mul"
+  | Reciprocal_div _ -> "reciprocal_div"
+  | Divide_step _ -> "divide_step"
+  | Dispatch _ -> "dispatch"
+
+let describe = function
+  | Linear_mul m -> Printf.sprintf "linear_mul multiplier=%ld" m
+  | Reciprocal_div { divisor; signed; rem } ->
+      Printf.sprintf "reciprocal_div divisor=%ld signed=%b rem=%b" divisor
+        signed rem
+  | Divide_step { entry; signed } ->
+      Printf.sprintf "divide_step entry=%s signed=%b" entry signed
+  | Dispatch { entry; divisors = lo, hi } ->
+      Printf.sprintf "dispatch entry=%s divisors=%d..%d" entry lo hi
+
+let v kind transcript =
+  let digest =
+    Digest.to_hex
+      (Digest.string (String.concat "\n" (describe kind :: transcript)))
+  in
+  { kind; transcript; digest }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>certificate %s (%s)" (describe t.kind) t.digest;
+  List.iter (fun line -> Format.fprintf ppf "@,  %s" line) t.transcript;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,47 @@
+(** Proof-carrying plan certificates.
+
+    A certificate records {e why} a division (or constant-multiply)
+    routine is believed correct over the whole 2{^32} dividend domain:
+    which certifier proved it, the transcript of discharged obligations
+    (the coverage bound, the no-wrap bound, the matched millicode
+    schema, ...), and a content digest over both so the certificate can
+    ride beside the plan digest in stores and server artifacts.
+
+    Certificates are {e data}, not trust: every constructor here is
+    produced only by the certifiers ({!Linear}, {!Reciprocal},
+    {!Divstep}, the dispatch checker in {!Driver}), each of which
+    discharges a closed-form argument — never a sampling loop over
+    dividends. *)
+
+type kind =
+  | Linear_mul of int32
+      (** the §5 linear-form certificate: result = multiplier * x *)
+  | Reciprocal_div of { divisor : int32; signed : bool; rem : bool }
+      (** the §7 reciprocal / power-of-two / even-split proof for one
+          compile-time divisor ([rem] = the remainder variant) *)
+  | Divide_step of { entry : string; signed : bool }
+      (** the unrolled 32-step non-restoring millicode loop, matched
+          structurally against the generator schema *)
+  | Dispatch of { entry : string; divisors : int * int }
+      (** a §6-style vectored small-divisor table: total over the
+          inclusive divisor range, every arm certified, the general
+          path divide-step certified *)
+
+type t = {
+  kind : kind;
+  transcript : string list;
+      (** human-readable record of the discharged obligations *)
+  digest : string;  (** MD5 hex over kind and transcript *)
+}
+
+val v : kind -> string list -> t
+(** Build a certificate, computing its digest. *)
+
+val kind_label : kind -> string
+(** Stable metric-label name: ["linear_mul"], ["reciprocal_div"],
+    ["divide_step"] or ["dispatch"]. *)
+
+val describe : kind -> string
+(** One-line rendering of the kind with its parameters. *)
+
+val pp : Format.formatter -> t -> unit

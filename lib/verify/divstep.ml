@@ -1,0 +1,215 @@
+exception Mismatch of string
+
+let bad addr fmt =
+  Printf.ksprintf (fun m -> raise (Mismatch (Printf.sprintf "at %d: %s" addr m))) fmt
+
+type roles = {
+  mutable lo : Reg.t option;
+  mutable rem : Reg.t option;
+  mutable qbit : Reg.t option;
+  mutable qsign : Reg.t option;
+  mutable rsign : Reg.t option;
+}
+
+let role_values r =
+  List.filter_map (fun v -> v) [ r.lo; r.rem; r.qbit; r.qsign; r.rsign ]
+
+let reserved =
+  [ Reg.r0; Reg.arg0; Reg.arg1; Reg.ret0; Reg.ret1; Reg.mrp ]
+
+(* bind a role on first sight; later sights must agree *)
+let capture roles addr what get set reg =
+  if List.exists (Reg.equal reg) reserved then
+    bad addr "%s role uses reserved register" what;
+  match get roles with
+  | None ->
+      if List.exists (Reg.equal reg) (role_values roles) then
+        bad addr "%s role aliases another role" what;
+      set roles (Some reg)
+  | Some r ->
+      if not (Reg.equal r reg) then bad addr "%s role is inconsistent" what
+
+let cap_lo r a = capture r a "lo" (fun r -> r.lo) (fun r v -> r.lo <- v)
+let cap_rem r a = capture r a "rem" (fun r -> r.rem) (fun r v -> r.rem <- v)
+let cap_qbit r a = capture r a "qbit" (fun r -> r.qbit) (fun r v -> r.qbit <- v)
+
+let cap_qsign r a =
+  capture r a "qsign" (fun r -> r.qsign) (fun r v -> r.qsign <- v)
+
+let cap_rsign r a =
+  capture r a "rsign" (fun r -> r.rsign) (fun r v -> r.rsign <- v)
+
+let same roles addr what get reg =
+  match get roles with
+  | Some r when Reg.equal r reg -> ()
+  | _ -> bad addr "%s role expected here" what
+
+let certify cfg ~entry ~name ~signed ~want_rem =
+  let pos = ref entry in
+  let fetch () =
+    let a = !pos in
+    match Cfg.insn cfg a with
+    | i ->
+        incr pos;
+        (a, i)
+    | exception _ -> bad a "walked off the program image"
+  in
+  let roles =
+    { lo = None; rem = None; qbit = None; qsign = None; rsign = None }
+  in
+  let is0 = Reg.equal Reg.r0 in
+  let expect_zero_check () =
+    match fetch () with
+    | _, Insn.Comib { cond = Cond.Eq; imm = 0l; a; target; n = false }
+      when Reg.equal a Reg.arg1 ->
+        target
+    | a, _ -> bad a "expected the divide-by-zero check"
+  in
+  let expect_signed_prologue () =
+    (match fetch () with
+    | addr, Insn.Alu { op = Xor; a; b; t; trap_ov = false }
+      when Reg.equal a Reg.arg0 && Reg.equal b Reg.arg1 ->
+        cap_qsign roles addr t
+    | a, _ -> bad a "expected XOR computing the quotient sign");
+    (match fetch () with
+    | addr, Insn.Ldo { imm = 0l; base; t } when Reg.equal base Reg.arg0 ->
+        cap_rsign roles addr t
+    | a, _ -> bad a "expected the remainder-sign copy of the dividend");
+    (match fetch () with
+    | _, Insn.Comclr { cond = Cond.Ge; a; b; t }
+      when Reg.equal a Reg.arg0 && is0 b && is0 t ->
+        ()
+    | a, _ -> bad a "expected the dividend sign test");
+    (match fetch () with
+    | _, Insn.Alu { op = Sub; a; b; t; trap_ov = false }
+      when is0 a && Reg.equal b Reg.arg0 && Reg.equal t Reg.arg0 ->
+        ()
+    | a, _ -> bad a "expected the dividend negation");
+    (match fetch () with
+    | _, Insn.Comclr { cond = Cond.Ge; a; b; t }
+      when Reg.equal a Reg.arg1 && is0 b && is0 t ->
+        ()
+    | a, _ -> bad a "expected the divisor sign test");
+    match fetch () with
+    | _, Insn.Alu { op = Sub; a; b; t; trap_ov = false }
+      when is0 a && Reg.equal b Reg.arg1 && Reg.equal t Reg.arg1 ->
+        ()
+    | a, _ -> bad a "expected the divisor negation"
+  in
+  let expect_core () =
+    (match fetch () with
+    | _, Insn.Alu { op = Add; a; b; t; trap_ov = false }
+      when is0 a && is0 b && is0 t ->
+        ()
+    | a, _ -> bad a "expected ADD r0,r0,r0 clearing carry and V");
+    (match fetch () with
+    | addr, Insn.Ldo { imm = 0l; base; t } when Reg.equal base Reg.arg0 ->
+        cap_lo roles addr t
+    | a, _ -> bad a "expected the dividend copy into the quotient window");
+    (match fetch () with
+    | addr, Insn.Ldo { imm = 0l; base; t } when is0 base ->
+        cap_rem roles addr t
+    | a, _ -> bad a "expected the partial-remainder clear");
+    for step = 1 to 32 do
+      (match fetch () with
+      | addr, Insn.Alu { op = Addc; a; b; t; trap_ov = false }
+        when Reg.equal a b && Reg.equal b t ->
+          same roles addr "lo" (fun r -> r.lo) t;
+          ignore step
+      | a, _ -> bad a "expected ADDC lo,lo,lo (step %d)" step);
+      match fetch () with
+      | addr, Insn.Ds { a; b; t } when Reg.equal b Reg.arg1 && Reg.equal a t ->
+          same roles addr "rem" (fun r -> r.rem) t
+      | a, _ -> bad a "expected DS rem,arg1,rem (step %d)" step
+    done;
+    (match fetch () with
+    | addr, Insn.Alu { op = Addc; a; b; t; trap_ov = false } when is0 a && is0 b
+      ->
+        cap_qbit roles addr t
+    | a, _ -> bad a "expected the final-quotient-bit ADDC");
+    (match fetch () with
+    | addr, Insn.Alu { op = Shadd 1; a; b; t; trap_ov = false }
+      when Reg.equal t Reg.ret0 ->
+        same roles addr "lo" (fun r -> r.lo) a;
+        same roles addr "qbit" (fun r -> r.qbit) b
+    | a, _ -> bad a "expected SH1ADD folding in the final quotient bit");
+    (match fetch () with
+    | addr, Insn.Comiclr { cond = Cond.Neq; imm = 0l; a; t } when is0 t ->
+        same roles addr "qbit" (fun r -> r.qbit) a
+    | a, _ -> bad a "expected the negative-remainder nullify");
+    (match fetch () with
+    | addr, Insn.Alu { op = Add; a; b; t; trap_ov = false }
+      when Reg.equal b Reg.arg1 && Reg.equal a t ->
+        same roles addr "rem" (fun r -> r.rem) t
+    | a, _ -> bad a "expected the remainder correction add");
+    match fetch () with
+    | addr, Insn.Ldo { imm = 0l; base; t } when Reg.equal t Reg.ret1 ->
+        same roles addr "rem" (fun r -> r.rem) base
+    | a, _ -> bad a "expected the remainder move to ret1"
+  in
+  let expect_signed_epilogue () =
+    (match fetch () with
+    | addr, Insn.Comclr { cond = Cond.Ge; a; b; t } when is0 b && is0 t ->
+        same roles addr "qsign" (fun r -> r.qsign) a
+    | a, _ -> bad a "expected the quotient sign test");
+    (match fetch () with
+    | _, Insn.Alu { op = Sub; a; b; t; trap_ov = false }
+      when is0 a && Reg.equal b Reg.ret0 && Reg.equal t Reg.ret0 ->
+        ()
+    | a, _ -> bad a "expected the quotient negation");
+    (match fetch () with
+    | addr, Insn.Comclr { cond = Cond.Ge; a; b; t } when is0 b && is0 t ->
+        same roles addr "rsign" (fun r -> r.rsign) a
+    | a, _ -> bad a "expected the remainder sign test");
+    match fetch () with
+    | _, Insn.Alu { op = Sub; a; b; t; trap_ov = false }
+      when is0 a && Reg.equal b Reg.ret1 && Reg.equal t Reg.ret1 ->
+        ()
+    | a, _ -> bad a "expected the remainder negation"
+  in
+  match
+    let zero_target = expect_zero_check () in
+    if signed then expect_signed_prologue ();
+    expect_core ();
+    if signed then expect_signed_epilogue ();
+    if want_rem then begin
+      match fetch () with
+      | _, Insn.Ldo { imm = 0l; base; t }
+        when Reg.equal base Reg.ret1 && Reg.equal t Reg.ret0 ->
+          ()
+      | a, _ -> bad a "expected the remainder move to ret0"
+    end;
+    (match fetch () with
+    | _, Insn.Bv { x; base; n = false }
+      when Reg.equal x Reg.r0 && Reg.equal base Reg.mrp ->
+        ()
+    | a, _ -> bad a "expected the millicode return");
+    (match Cfg.insn cfg zero_target with
+    | Insn.Break _ -> ()
+    | _ -> bad zero_target "zero-divisor target is not a trap"
+    | exception _ -> bad zero_target "zero-divisor target outside the image");
+    zero_target
+  with
+  | zero_target ->
+      let show what = function
+        | Some r -> Printf.sprintf "%s=r%d" what (Reg.to_int r)
+        | None -> Printf.sprintf "%s=-" what
+      in
+      Reciprocal.Certified
+        (Certificate.v
+           (Certificate.Divide_step { entry = name; signed })
+           [
+             Printf.sprintf
+               "matched divide-step schema at %d: zero check traps at %d, 32 \
+                unrolled ADDC/DS steps, %s%s%s"
+               entry zero_target
+               (if signed then "signed magnitude prologue/epilogue, " else "")
+               (if want_rem then "remainder variant, " else "")
+               "consistent role assignment";
+             Printf.sprintf "roles: %s %s %s %s %s"
+               (show "lo" roles.lo) (show "rem" roles.rem)
+               (show "qbit" roles.qbit) (show "qsign" roles.qsign)
+               (show "rsign" roles.rsign);
+           ])
+  | exception Mismatch m ->
+      Reciprocal.Unknown (Printf.sprintf "divide-step schema mismatch %s" m)

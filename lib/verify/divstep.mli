@@ -1,0 +1,24 @@
+(** Certifier for the unrolled non-restoring divide-step millicode
+    (§4 of the paper): the 32 ADDC/DS steps with zero-check, signed
+    magnitude prologue/epilogue and remainder variants.
+
+    Unlike {!Reciprocal}, which proves an algebraic bound, this
+    certifier matches the routine {e structurally} against the exact
+    schema the generator emits — zero-divisor trap, optional signed
+    prologue, the 32 unrolled steps over a consistently-assigned
+    register role set, quotient-bit fixup, optional signed epilogue and
+    remainder move — with every role register pairwise distinct and
+    disjoint from the calling convention. Any deviation yields
+    [Unknown]; a match yields a {!Certificate.kind.Divide_step}
+    certificate. *)
+
+val certify :
+  Cfg.t ->
+  entry:int ->
+  name:string ->
+  signed:bool ->
+  want_rem:bool ->
+  Reciprocal.verdict
+(** [certify cfg ~entry ~name ~signed ~want_rem] matches the routine
+    entered at [entry] against the divide-step schema. [name] labels
+    the certificate. *)

@@ -47,8 +47,182 @@ let check ?(options = Cfg.default) ?specs ~entries prog =
 let check_source ?options ?specs ~entries src =
   Result.map (check ?options ?specs ~entries) (Program.resolve src)
 
+let missing_entry entry =
+  Findings.v ~routine:entry Findings.Structure "entry label is not defined"
+
 let certify ?(options = Cfg.default) prog ~entry ~multiplier =
   match Program.symbol prog entry with
   | None -> Linear.Unknown (Format.asprintf "no label %S" entry)
   | Some addr ->
       Linear.certify (Cfg.make options prog) ~entry:addr ~multiplier
+
+let certify_findings ?options prog ~entry ~multiplier =
+  match Program.symbol prog entry with
+  | None -> (Linear.Unknown "entry label is not defined", [ missing_entry entry ])
+  | Some _ ->
+      let v = certify ?options prog ~entry ~multiplier in
+      (v, Linear.findings ~routine:entry v)
+
+(* ------------------------------------------------------------------ *)
+(* Division certification *)
+
+(* [ldi c, arg1] (one or two instructions) followed by [b target]: the
+   constant-divisor fallback wrapper shape. *)
+let peek_wrapper cfg addr =
+  let branch a =
+    match Cfg.insn cfg a with
+    | Insn.B { target; n = false } -> Some target
+    | _ | (exception _) -> None
+  in
+  match Cfg.insn cfg addr with
+  | Insn.Ldo { imm; base; t }
+    when Reg.equal base Reg.r0 && Reg.equal t Reg.arg1 ->
+      Option.map (fun tgt -> (imm, tgt)) (branch (addr + 1))
+  | Insn.Ldil { imm; t } when Reg.equal t Reg.arg1 -> (
+      match Cfg.insn cfg (addr + 1) with
+      | Insn.Ldo { imm = lo; base; t }
+        when Reg.equal base Reg.arg1 && Reg.equal t Reg.arg1 ->
+          Option.map (fun tgt -> (Int32.add imm lo, tgt)) (branch (addr + 2))
+      | _ | (exception _) -> None)
+  | _ | (exception _) -> None
+
+let is_divstep_head cfg addr =
+  match Cfg.insn cfg addr with
+  | Insn.Comib { cond = Cond.Eq; imm = 0l; a; _ } -> Reg.equal a Reg.arg1
+  | _ | (exception _) -> false
+
+let certify_division_at cfg ~addr ~name ~(claim : Reciprocal.claim) =
+  let signed = claim.Reciprocal.signed in
+  let want_rem = claim.Reciprocal.op = `Rem in
+  if is_divstep_head cfg addr then
+    (* the general millicode: correct for every divisor, so in
+       particular the claimed one (zero traps before any step) *)
+    Divstep.certify cfg ~entry:addr ~name ~signed ~want_rem
+  else
+    match peek_wrapper cfg addr with
+    | Some (c, target) ->
+        if Int32.equal c 0l then
+          Reciprocal.Unknown "fallback wrapper loads divisor zero"
+        else if not (Int32.equal c claim.Reciprocal.divisor) then
+          Reciprocal.Unknown
+            (Printf.sprintf "fallback wrapper loads %ld, claim divides by %ld"
+               c claim.Reciprocal.divisor)
+        else if not (is_divstep_head cfg target) then
+          Reciprocal.Unknown "fallback wrapper target is not the divide-step"
+        else Divstep.certify cfg ~entry:target ~name ~signed ~want_rem
+    | None -> Reciprocal.certify cfg ~entry:addr ~claim
+
+let certify_division ?(options = Cfg.default) prog ~entry ~claim =
+  match Program.symbol prog entry with
+  | None -> Reciprocal.Unknown (Format.asprintf "no label %S" entry)
+  | Some addr ->
+      certify_division_at (Cfg.make options prog) ~addr ~name:entry ~claim
+
+let certify_divstep ?(options = Cfg.default) prog ~entry ~signed ~want_rem =
+  match Program.symbol prog entry with
+  | None -> Reciprocal.Unknown (Format.asprintf "no label %S" entry)
+  | Some addr ->
+      Divstep.certify (Cfg.make options prog) ~entry:addr ~name:entry ~signed
+        ~want_rem
+
+(* The §7 vectored small-divisor dispatcher: a bounds test sending every
+   divisor >= threshold (and, unsigned-compared, every negative one) to
+   the general divide, then a BLR table whose slot j handles divisor j.
+   Totality over the declared set [1, threshold) follows from the
+   unsigned bound; each arm is certified with its slot's divisor as the
+   claim, the zero slot must trap, and the general target must match the
+   divide-step schema. *)
+let certify_dispatch ?(options = Cfg.default) prog ~entry ~signed =
+  match Program.symbol prog entry with
+  | None -> Reciprocal.Unknown (Format.asprintf "no label %S" entry)
+  | Some addr -> (
+      let cfg = Cfg.make options prog in
+      let get a =
+        match Cfg.insn cfg a with
+        | i -> Some i
+        | exception _ -> None
+      in
+      match (get addr, get (addr + 1), get (addr + 2)) with
+      | ( Some (Insn.Ldo { imm = thr; base; t = bound }),
+          Some (Insn.Comb { cond = Cond.Uge; a; b; target = general; n = false }),
+          Some (Insn.Blr { x; t; n = false }) )
+        when Reg.equal base Reg.r0
+             && Reg.equal a Reg.arg1 && Reg.equal b bound
+             && Reg.equal x Reg.arg1 && Reg.equal t Reg.r0
+             && (not (Reg.equal bound Reg.arg0))
+             && not (Reg.equal bound Reg.arg1) -> (
+          let thr = Int32.to_int thr in
+          if thr < 2 || thr > options.Cfg.blr_slots then
+            Reciprocal.Unknown
+              (Printf.sprintf
+                 "dispatch threshold %d outside the analyzed slot count %d" thr
+                 options.Cfg.blr_slots)
+          else if not (is_divstep_head cfg general) then
+            Reciprocal.Unknown "dispatch general path is not the divide-step"
+          else
+            match
+              Divstep.certify cfg ~entry:general ~name:(entry ^ "$general")
+                ~signed ~want_rem:false
+            with
+            | Reciprocal.Refuted m -> Reciprocal.Refuted m
+            | Reciprocal.Unknown m ->
+                Reciprocal.Unknown ("dispatch general path: " ^ m)
+            | Reciprocal.Certified general_cert -> (
+                let slot_base = addr + 3 in
+                let rec arms j acc =
+                  if j >= thr then Ok (List.rev acc)
+                  else
+                    let slot = slot_base + (2 * j) in
+                    if j = 0 then
+                      match get slot with
+                      | Some (Insn.Break _) -> arms 1 acc
+                      | _ -> Error "divisor-zero slot does not trap"
+                    else
+                      match get slot with
+                      | Some (Insn.B { target; n = false }) -> (
+                          let claim =
+                            {
+                              Reciprocal.op = `Div;
+                              signed;
+                              divisor = Int32.of_int j;
+                            }
+                          in
+                          match
+                            certify_division_at cfg ~addr:target
+                              ~name:(Printf.sprintf "%s$slot%d" entry j)
+                              ~claim
+                          with
+                          | Reciprocal.Certified c -> arms (j + 1) ((j, c) :: acc)
+                          | Reciprocal.Refuted m ->
+                              Error
+                                (Printf.sprintf "arm for divisor %d refuted: %s"
+                                   j m)
+                          | Reciprocal.Unknown m ->
+                              Error
+                                (Printf.sprintf "arm for divisor %d: %s" j m))
+                      | _ -> Error (Printf.sprintf "slot %d is not a branch" j)
+                in
+                match arms 0 [] with
+                | Error m -> Reciprocal.Unknown m
+                | Ok arm_certs ->
+                    let transcript =
+                      Printf.sprintf
+                        "total dispatch: BLR on arg1 covers divisors 0..%d, \
+                         COMB,>>= sends %d.. (and all negatives, compared \
+                         unsigned) to the general divide; slot 0 traps"
+                        (thr - 1) thr
+                      :: Printf.sprintf "general path: divide-step %s"
+                           general_cert.Certificate.digest
+                      :: List.map
+                           (fun (j, (c : Certificate.t)) ->
+                             Printf.sprintf "divisor %d: %s %s" j
+                               (Certificate.kind_label c.Certificate.kind)
+                               c.Certificate.digest)
+                           arm_certs
+                    in
+                    Reciprocal.Certified
+                      (Certificate.v
+                         (Certificate.Dispatch
+                            { entry; divisors = (1, thr - 1) })
+                         transcript)))
+      | _ -> Reciprocal.Unknown "entry does not match the dispatch schema")

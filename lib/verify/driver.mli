@@ -7,8 +7,10 @@
     + per entry: use/PSW-before-def, dead writes, result definedness
       ({!Defuse}) and the clobber check ({!Convention}).
 
-    The linear certifier is separate ({!certify}) since it needs the
-    expected multiplier. *)
+    The certifiers are separate entry points since they need the
+    expected algebraic claim: {!certify} takes the multiplier for the
+    linear (§5) certifier, {!certify_division} the divisor claim for
+    the reciprocal/divide-step/dispatch (§4, §7) certifiers. *)
 
 val check :
   ?options:Cfg.options -> ?specs:Cfg.spec list -> entries:string list ->
@@ -23,3 +25,37 @@ val certify :
   ?options:Cfg.options -> Program.resolved -> entry:string ->
   multiplier:int32 -> Linear.verdict
 (** {!Linear.certify} by label; [Unknown] if the label is absent. *)
+
+val certify_findings :
+  ?options:Cfg.options -> Program.resolved -> entry:string ->
+  multiplier:int32 -> Linear.verdict * Findings.t list
+(** {!certify} plus its findings rendering. Unlike {!certify} alone, an
+    absent entry label is reported as a structured [Structure]
+    (missing-entry) finding, not silently folded into the verdict
+    message. *)
+
+val certify_division :
+  ?options:Cfg.options -> Program.resolved -> entry:string ->
+  claim:Reciprocal.claim -> Reciprocal.verdict
+(** Certify a constant-divisor routine against [claim]. Dispatches on
+    the entry's shape: a reciprocal/power-of-two plan goes to
+    {!Reciprocal.certify}; the general millicode (recognized by its
+    divide-by-zero check) and the [ldi divisor; b divU]-style fallback
+    wrappers (whose loaded constant must equal the claimed divisor) go
+    to {!Divstep.certify}. [Unknown] if the label is absent. *)
+
+val certify_divstep :
+  ?options:Cfg.options -> Program.resolved -> entry:string ->
+  signed:bool -> want_rem:bool -> Reciprocal.verdict
+(** {!Divstep.certify} by label: the variable-divisor millicode. *)
+
+val certify_dispatch :
+  ?options:Cfg.options -> Program.resolved -> entry:string ->
+  signed:bool -> Reciprocal.verdict
+(** Certify a §7 vectored small-divisor dispatcher: the bounds test
+    must send every out-of-table divisor to a certified divide-step,
+    the zero slot must trap, and each table arm is certified (via
+    {!certify_division}) for its slot's divisor — proving the dispatch
+    total over the declared divisor set, reported in the resulting
+    {!Certificate.kind.Dispatch}. [options.blr_slots] must cover the
+    table (the dispatcher's threshold, e.g. 20). *)

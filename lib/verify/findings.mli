@@ -16,8 +16,11 @@ type check =
   | Dead_write  (** a side-effect-free write never observed on any path *)
   | Delay_hazard  (** delay-slot invariant violation (see {!Hazards}) *)
   | Convention  (** millicode calling-convention violation *)
-  | Certify  (** the linear-form interpreter could not certify, or refuted,
-                 a constant-multiply routine *)
+  | Certify
+      (** a certifier could not certify, or refuted, a routine's claim —
+          the linear interpreter for constant multiplies ({!Linear}), the
+          reciprocal/divide-step/dispatch certifiers for divisions
+          ({!Reciprocal}, {!Divstep}) *)
 
 type severity = Error | Warning
 

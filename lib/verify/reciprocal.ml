@@ -1,0 +1,1044 @@
+module Word = Hppa_word.Word
+module U128 = Hppa_word.U128
+
+type claim = { op : [ `Div | `Rem ]; signed : bool; divisor : int32 }
+
+type verdict =
+  | Certified of Certificate.t
+  | Refuted of string
+  | Unknown of string
+
+let pp_verdict ppf = function
+  | Certified c -> Format.fprintf ppf "certified (%s)" c.Certificate.digest
+  | Refuted m -> Format.fprintf ppf "refuted: %s" m
+  | Unknown m -> Format.fprintf ppf "unknown: %s" m
+
+exception Abort of string
+exception Refute of string
+
+(* ------------------------------------------------------------------ *)
+(* The abstract domain.
+
+   The walk tracks one symbolic dividend X (the entry value of arg0,
+   unsigned view) plus two derived quantities a path may introduce: the
+   shifted magnitude D = (sign*X mod 2^32) >> shift (the value the
+   reciprocal form multiplies) and one quotient Q per path. Register
+   contents are one of:
+
+   - [P {px; pd; pq; pc}]   px*X + pd*D + pq*Q + pc   (mod 2^32)
+   - [LoF f]  the low 32 bits of (f.fa*D + f.fb) mod 2^64
+   - [HiF f]  the high word (bits 32..63) of that integer mod 2^64
+   - [Kmask]  +-((sign*X mod 2^32) mod 2^k), a power-of-two remainder
+
+   Form coefficients are int64 values read mod 2^64: since Int64
+   arithmetic is exactly the ring Z/2^64, the add/sub/shift transfer
+   rules are unconditional ring identities even through intermediate
+   negations (the emitted chains subtract via two's complement, so
+   -F appears as an honest intermediate). Non-negativity and
+   exactness above 32 bits are recovered at the return check from
+   the 64-bit no-wrap obligation over non-negative coefficients. *)
+
+type form = { fa : int64; fb : int64 }
+type poly = { px : int32; pd : int32; pq : int32; pc : int32 }
+
+type aval =
+  | Top
+  | P of poly
+  | LoF of form
+  | HiF of form
+  | Kmask of { width : int; ksign : int; kneg : bool }
+
+type dref = { dsign : int; dshift : int }
+
+type qdesc =
+  | Qshr of { qf : form; qs : int }  (** Q = ((qf.fa*D + qf.fb) mod 2^64) >> qs *)
+  | Qsar of { bias : int32; sh : int }  (** Q = shr_s (X + bias) sh, as a word *)
+
+(* PSW carry: known only immediately after the add/sub that produced it. *)
+type carry = CTop | CAdd of form * form | CNotB of form * form
+
+type rng = { lo : int64; hi : int64; ne : int64 option }
+
+type state = {
+  regs : aval array;
+  xr : rng;
+  dref : dref option;
+  q : qdesc option;
+  carry : carry;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Form and polynomial arithmetic *)
+
+let u32 (w : int32) = Int64.logand (Int64.of_int32 w) 0xFFFF_FFFFL
+let two32 = 0x1_0000_0000L
+
+let fequal f g = Int64.equal f.fa g.fa && Int64.equal f.fb g.fb
+
+(* Ring arithmetic mod 2^64: Int64 wrap-around is the semantics. *)
+let fadd f g = Some { fa = Int64.add f.fa g.fa; fb = Int64.add f.fb g.fb }
+let fsub f g = Some { fa = Int64.sub f.fa g.fa; fb = Int64.sub f.fb g.fb }
+
+let fshl m f =
+  if m < 0 || m > 31 then None
+  else Some { fa = Int64.shift_left f.fa m; fb = Int64.shift_left f.fb m }
+
+let pzero = { px = 0l; pd = 0l; pq = 0l; pc = 0l }
+let pconst c = { pzero with pc = c }
+let is_const p = Word.equal p.px 0l && Word.equal p.pd 0l && Word.equal p.pq 0l
+
+let padd p q =
+  {
+    px = Word.add p.px q.px;
+    pd = Word.add p.pd q.pd;
+    pq = Word.add p.pq q.pq;
+    pc = Word.add p.pc q.pc;
+  }
+
+let psub p q =
+  {
+    px = Word.sub p.px q.px;
+    pd = Word.sub p.pd q.pd;
+    pq = Word.sub p.pq q.pq;
+    pc = Word.sub p.pc q.pc;
+  }
+
+let pshl p k =
+  {
+    px = Word.shl p.px k;
+    pd = Word.shl p.pd k;
+    pq = Word.shl p.pq k;
+    pc = Word.shl p.pc k;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* State helpers *)
+
+(* When D = sign*X (shift 0), fold any D coefficient into the X one so
+   shape matches are canonical. *)
+let norm_poly st p =
+  if Word.equal p.pd 0l then p
+  else
+    match st.dref with
+    | Some { dsign; dshift = 0 } ->
+        let coef = if dsign >= 0 then p.pd else Word.neg p.pd in
+        { p with px = Word.add p.px coef; pd = 0l }
+    | _ -> p
+
+let norm st v = match v with P p -> P (norm_poly st p) | v -> v
+
+let av st r =
+  if Reg.equal r Reg.r0 then P pzero else norm st st.regs.(Reg.to_int r)
+
+let assign st r v =
+  if Reg.equal r Reg.r0 then st
+  else begin
+    let regs = Array.copy st.regs in
+    regs.(Reg.to_int r) <- v;
+    { st with regs }
+  end
+
+let ctop st = { st with carry = CTop }
+
+(* The unsigned interval D ranges over on this path. *)
+let drange st =
+  match st.dref with
+  | None -> (0L, 0L)
+  | Some { dsign = 1; dshift } ->
+      ( Int64.shift_right_logical st.xr.lo dshift,
+        Int64.shift_right_logical st.xr.hi dshift )
+  | Some { dshift; _ } ->
+      ( Int64.shift_right_logical (Int64.sub two32 st.xr.hi) dshift,
+        Int64.shift_right_logical (Int64.sub two32 st.xr.lo) dshift )
+
+(* Demotion LoF -> polynomial is always sound mod 2^32. *)
+let to_poly st v =
+  match norm st v with
+  | P p -> Some p
+  | LoF f ->
+      Some
+        (norm_poly st
+           { pzero with pd = Int64.to_int32 f.fa; pc = Int64.to_int32 f.fb })
+  | _ -> None
+
+(* A high word consumed by ordinary 32-bit arithmetic names the path
+   quotient (the s = 32 case, where no final extract follows): the
+   register then IS Q, and a multiply-back chain can run over it as a
+   polynomial. Transactional like [lift]. *)
+let name_hi st v : (state * poly) option =
+  match norm st v with
+  | HiF f -> (
+      match st.q with
+      | None ->
+          Some
+            ( { st with q = Some (Qshr { qf = f; qs = 32 }) },
+              { pzero with pq = 1l } )
+      | Some (Qshr { qf; qs = 32 }) when fequal qf f ->
+          Some (st, { pzero with pq = 1l })
+      | Some _ -> None)
+  | v -> Option.map (fun p -> (st, p)) (to_poly st v)
+
+(* Recover an exact form from a register, possibly electing the dividend
+   itself as the D base (recorded in dref). Transactional: the returned
+   state carries the dref update and must be used only when the whole
+   enclosing rule succeeds. *)
+let lift st v : (state * form) option =
+  match norm st v with
+  | LoF f -> Some (st, f)
+  | P p when Word.equal p.pq 0l -> (
+      if Word.equal p.px 0l && Word.equal p.pd 0l then
+        Some (st, { fa = 0L; fb = u32 p.pc })
+      else if Word.equal p.px 0l then
+        match st.dref with
+        | Some _ -> Some (st, { fa = u32 p.pd; fb = u32 p.pc })
+        | None -> None
+      else if Word.equal p.pd 0l && st.dref = None then
+        if Word.equal p.px 1l then
+          Some
+            ( { st with dref = Some { dsign = 1; dshift = 0 } },
+              { fa = 1L; fb = u32 p.pc } )
+        else if Word.equal p.px (-1l) && Word.equal p.pc 0l && st.xr.lo >= 1L
+        then
+          Some
+            ( { st with dref = Some { dsign = -1; dshift = 0 } },
+              { fa = 1L; fb = 0L } )
+        else None
+      else None)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Transfer rules *)
+
+(* form value at the top of the D range; used to justify a constant-0
+   register standing in for a high word *)
+let hi32_is_zero st f =
+  if f.fa < 0L || f.fb < 0L then false
+  else if f.fa <> 0L && st.dref = None then false
+  else
+    let _, dhi = drange st in
+    let v = U128.add (U128.mul_64_64 f.fa dhi) (U128.of_int64 f.fb) in
+    U128.compare v (U128.of_int64 two32) < 0
+
+let do_add st va vb ~shift t =
+  let formrule =
+    match lift st va with
+    | None -> None
+    | Some (st1, f) -> (
+        match lift st1 vb with
+        | None -> None
+        | Some (st2, g) -> (
+            match fshl shift f with
+            | None -> None
+            | Some fs -> (
+                match fadd fs g with
+                | None -> None
+                | Some sum ->
+                    Some { (assign st2 t (LoF sum)) with carry = CAdd (fs, g) }
+                )))
+  in
+  match formrule with
+  | Some st' -> st'
+  | None -> (
+      match name_hi st va with
+      | Some (st1, p) -> (
+          match name_hi st1 vb with
+          | Some (st2, q) -> ctop (assign st2 t (P (padd (pshl p shift) q)))
+          | None -> ctop (assign st1 t Top))
+      | None -> ctop (assign st t Top))
+
+let do_sub st a b t =
+  let va = av st a and vb = av st b in
+  let special =
+    if Reg.equal a Reg.r0 then
+      match norm st vb with
+      | HiF f when st.q = None ->
+          (* negating a high word names the quotient it holds *)
+          Some
+            (ctop
+               (assign
+                  { st with q = Some (Qshr { qf = f; qs = 32 }) }
+                  t
+                  (P { pzero with pq = -1l })))
+      | Kmask k -> Some (ctop (assign st t (Kmask { k with kneg = not k.kneg })))
+      | P p ->
+          (* negating a bare polynomial must not elect a dividend base:
+             the magnitude normalization of signed plans negates X
+             before the path sign is folded into D *)
+          Some (ctop (assign st t (P (psub pzero p))))
+      | _ -> None
+    else None
+  in
+  match special with
+  | Some st' -> st'
+  | None -> (
+      let formrule =
+        match lift st va with
+        | None -> None
+        | Some (st1, f) -> (
+            match lift st1 vb with
+            | None -> None
+            | Some (st2, g) -> (
+                match fsub f g with
+                | None -> None
+                | Some d ->
+                    Some { (assign st2 t (LoF d)) with carry = CNotB (f, g) }))
+      in
+      match formrule with
+      | Some st' -> st'
+      | None -> (
+          match name_hi st va with
+          | Some (st1, p) -> (
+              match name_hi st1 vb with
+              | Some (st2, q) -> ctop (assign st2 t (P (psub p q)))
+              | None -> ctop (assign st1 t Top))
+          | None -> ctop (assign st t Top)))
+
+(* an operand supplies the high word of form [h] if it is that high word
+   syntactically, or a constant zero while h never reaches 2^32 *)
+let supplies_hi st h v =
+  match norm st v with
+  | HiF h' -> fequal h h'
+  | v -> (
+      match to_poly st v with
+      | Some p when is_const p && Word.equal p.pc 0l -> hi32_is_zero st h
+      | _ -> false)
+
+let do_addc st a b t =
+  let va = av st a and vb = av st b in
+  match st.carry with
+  | CAdd (f, g)
+    when (supplies_hi st f va && supplies_hi st g vb)
+         || (supplies_hi st g va && supplies_hi st f vb) -> (
+      match fadd f g with
+      | Some sum -> ctop (assign st t (HiF sum))
+      | None -> ctop (assign st t Top))
+  | _ -> ctop (assign st t Top)
+
+let do_subb st a b t =
+  let va = av st a and vb = av st b in
+  match st.carry with
+  | CNotB (f, g) when supplies_hi st f va && supplies_hi st g vb -> (
+      match fsub f g with
+      | Some d -> ctop (assign st t (HiF d))
+      | None -> ctop (assign st t Top))
+  | _ -> ctop (assign st t Top)
+
+(* Re-electing D after a logical shift of the (possibly negated) dividend
+   is only allowed while nothing in flight refers to the old D. *)
+let rebase_ok st =
+  st.dref = None && st.q = None
+  && Array.for_all
+       (fun v ->
+         match v with
+         | LoF _ | HiF _ -> false
+         | P p -> Word.equal p.pd 0l
+         | Top | Kmask _ -> true)
+       st.regs
+
+let do_extr st ~signed ~r ~pos ~len ~t : state list =
+  let give st v = [ ctop (assign st t v) ] in
+  let v0 = norm st (av st r) in
+  if pos = 0 && len = 32 then give st v0
+  else
+    match v0 with
+    | HiF f when (not signed) && len = 32 - pos && pos >= 1 && st.q = None ->
+        (* the final shift: name the quotient *)
+        let st' = { st with q = Some (Qshr { qf = f; qs = 32 + pos }) } in
+        give st' (P { pzero with pq = 1l })
+    | v0 -> (
+        match to_poly st v0 with
+        | None -> give st Top
+        | Some p ->
+            if is_const p then
+              let c =
+                if signed then Word.extract_s p.pc ~pos ~len
+                else Word.extract_u p.pc ~pos ~len
+              in
+              give st (P (pconst c))
+            else if
+              Word.equal p.pd 0l && Word.equal p.pq 0l
+              && (Word.equal p.px 1l || Word.equal p.px (-1l))
+            then
+              let sg = if Word.equal p.px 1l then 1 else -1 in
+              let nonneg = st.xr.hi <= 0x7FFF_FFFFL in
+              let negat = st.xr.lo >= 0x8000_0000L in
+              if
+                (not signed) && pos = 0 && len >= 1 && len <= 31
+                && Word.equal p.pc 0l
+              then give st (Kmask { width = len; ksign = sg; kneg = false })
+              else if len <> 32 - pos || pos < 1 then give st Top
+              else if
+                (* logical shift, or arithmetic on a known-non-negative
+                   value, of +-X: re-elect D *)
+                ((not signed) || (nonneg && sg = 1))
+                && Word.equal p.pc 0l && rebase_ok st
+                && (sg = 1 || st.xr.lo >= 1L)
+              then
+                let st' =
+                  { st with dref = Some { dsign = sg; dshift = pos } }
+                in
+                give st' (P { pzero with pd = 1l })
+              else if signed && pos = 31 && Word.equal p.pc 0l && sg = 1 then
+                (* sign-bit broadcast: fork the path on the sign *)
+                let mk lo hi c =
+                  if lo > hi || (lo = hi && st.xr.ne = Some lo) then []
+                  else
+                    give
+                      { st with xr = { st.xr with lo; hi } }
+                      (P (pconst c))
+                in
+                if nonneg then give st (P (pconst 0l))
+                else if negat then give st (P (pconst (-1l)))
+                else
+                  mk st.xr.lo 0x7FFF_FFFFL 0l
+                  @ mk 0x8000_0000L st.xr.hi (-1l)
+              else if signed && pos >= 1 && pos <= 30 && sg = 1 && st.q = None
+              then
+                (* arithmetic shift of X + bias: name the quotient *)
+                let st' =
+                  { st with q = Some (Qsar { bias = p.pc; sh = pos }) }
+                in
+                give st' (P { pzero with pq = 1l })
+              else give st Top
+            else give st Top)
+
+let do_ldo st imm base t =
+  let v = av st base in
+  if Word.equal imm 0l then assign st t v (* copy; PSW carry untouched *)
+  else
+    match v with
+    | LoF f -> (
+        match fadd f { fa = 0L; fb = u32 imm } with
+        | Some g -> assign st t (LoF g)
+        | None -> assign st t Top)
+    | v -> (
+        match to_poly st v with
+        | Some p -> assign st t (P { p with pc = Word.add p.pc imm })
+        | None -> assign st t Top)
+
+let transfer st (i : int Insn.t) : state list option =
+  let one st = Some [ st ] in
+  (match i with
+  | Alu { trap_ov = true; _ } | Addi { trap_ov = true; _ }
+  | Subi { trap_ov = true; _ } ->
+      raise (Abort "overflow-trapping instruction on a certified path")
+  | _ -> ());
+  match i with
+  | Alu { op = Add; a; b; t; _ } -> one (do_add st (av st a) (av st b) ~shift:0 t)
+  | Alu { op = Shadd m; a; b; t; _ } ->
+      one (do_add st (av st a) (av st b) ~shift:m t)
+  | Addi { imm; a; t; _ } ->
+      one (do_add st (av st a) (P (pconst imm)) ~shift:0 t)
+  | Alu { op = Sub; a; b; t; _ } -> one (do_sub st a b t)
+  | Subi { imm; a; t; _ } -> (
+      match to_poly st (av st a) with
+      | Some p -> one (ctop (assign st t (P (psub (pconst imm) p))))
+      | None -> one (ctop (assign st t Top)))
+  | Alu { op = Addc; a; b; t; _ } -> one (do_addc st a b t)
+  | Alu { op = Subb; a; b; t; _ } -> one (do_subb st a b t)
+  | Alu { op = And | Or | Xor | Andcm; t; _ } -> one (ctop (assign st t Top))
+  | Ds { t; _ } -> one (ctop (assign st t Top))
+  | Comclr { t; _ } | Comiclr { t; _ } -> one (ctop (assign st t (P pzero)))
+  | Extr { signed; r; pos; len; t; _ } -> Some (do_extr st ~signed ~r ~pos ~len ~t)
+  | Zdep { r; pos; len; t } ->
+      if len = 32 - pos then
+        match norm st (av st r) with
+        | LoF f -> (
+            match fshl pos f with
+            | Some g -> one (assign st t (LoF g))
+            | None -> one (assign st t Top))
+        | v -> (
+            match name_hi st v with
+            | Some (st1, p) -> one (assign st1 t (P (pshl p pos)))
+            | None -> one (assign st t Top))
+      else one (assign st t Top)
+  | Shd { a; b; sa; t } -> (
+      match (norm st (av st a), norm st (av st b)) with
+      | HiF f, LoF g when fequal f g && sa >= 1 && sa <= 31 -> (
+          match fshl (32 - sa) f with
+          | Some h -> one (assign st t (HiF h))
+          | None -> one (assign st t Top))
+      | _ -> one (assign st t Top))
+  | Ldil { imm; t } -> one (ctop (assign st t (P (pconst imm))))
+  | Ldo { imm; base; t } -> one (do_ldo st imm base t)
+  | Ldw { t; _ } | Ldaddr { t; _ } -> one (ctop (assign st t Top))
+  | Stw _ -> one (ctop st)
+  | Addib { imm; a; _ } -> (
+      match to_poly st (av st a) with
+      | Some p -> one (ctop (assign st a (P { p with pc = Word.add p.pc imm })))
+      | None -> one (ctop (assign st a Top)))
+  | Comb _ | Comib _ | B _ | Bv _ -> one (ctop st)
+  | Bl { t; _ } | Blr { t; _ } -> one (ctop (assign st t Top))
+  | Break _ -> None
+  | Nop -> one (ctop st)
+
+(* ------------------------------------------------------------------ *)
+(* Concrete evaluation (the dividend pinned to one word) *)
+
+let eval_concrete st v : int32 option =
+  if st.xr.lo <> st.xr.hi then None
+  else
+    let x64 = st.xr.lo in
+    let xw = Int64.to_int32 x64 in
+    let dval =
+      match st.dref with
+      | None -> None
+      | Some { dsign; dshift } ->
+          let base =
+            if dsign = 1 then x64 else Int64.logand (Int64.neg x64) 0xFFFF_FFFFL
+          in
+          Some (Int64.shift_right_logical base dshift)
+    in
+    let fval64 f =
+      (* native Int64 ops are the mod-2^64 semantics of a form *)
+      match dval with
+      | Some d -> Some (Int64.add (Int64.mul f.fa d) f.fb)
+      | None -> if f.fa = 0L then Some f.fb else None
+    in
+    let qval =
+      match st.q with
+      | None -> None
+      | Some (Qshr { qf; qs }) -> (
+          match fval64 qf with
+          | Some lo -> Some (Int64.shift_right_logical lo qs)
+          | None -> None)
+      | Some (Qsar { bias; sh }) ->
+          Some (u32 (Word.shr_s (Word.add xw bias) sh))
+    in
+    match norm st v with
+    | P p ->
+        let term coef v64 acc =
+          match v64 with
+          | _ when Word.equal coef 0l -> Some acc
+          | Some v -> Some (Word.add acc (Word.mul_lo coef (Int64.to_int32 v)))
+          | None -> None
+        in
+        Option.bind (term p.px (Some x64) p.pc) (fun acc ->
+            Option.bind (term p.pd dval acc) (fun acc -> term p.pq qval acc))
+    | LoF f -> Option.map Int64.to_int32 (fval64 f)
+    | HiF f ->
+        Option.map
+          (fun lo -> Int64.to_int32 (Int64.shift_right_logical lo 32))
+          (fval64 f)
+    | Kmask { width; ksign; kneg } ->
+        let b = if ksign = 1 then xw else Word.neg xw in
+        let m = Word.extract_u b ~pos:0 ~len:width in
+        Some (if kneg then Word.neg m else m)
+    | Top -> None
+
+(* ------------------------------------------------------------------ *)
+(* Path refinement at compare-and-nullify / compare-and-branch *)
+
+let intersect r (lo', hi') =
+  let lo = max r.lo lo' and hi = min r.hi hi' in
+  if lo > hi then None
+  else if lo = hi && r.ne = Some lo then None
+  else Some { r with lo; hi }
+
+(* value of an operand when the path already determines it *)
+let conc st v =
+  match norm st v with
+  | P p when is_const p -> Some p.pc
+  | v -> eval_concrete st v
+
+let flip = function
+  | Cond.Lt -> Cond.Gt
+  | Cond.Le -> Cond.Ge
+  | Cond.Gt -> Cond.Lt
+  | Cond.Ge -> Cond.Le
+  | Cond.Ult -> Cond.Ugt
+  | Cond.Ule -> Cond.Uge
+  | Cond.Ugt -> Cond.Ult
+  | Cond.Uge -> Cond.Ule
+  | c -> c
+
+(* left cond right must hold; [post] is the state after the compare's own
+   register effect. None drops an impossible edge. *)
+let constrain st post cond left right =
+  match (conc st left, conc st right) with
+  | Some l, Some r -> if Cond.eval cond l r then Some post else None
+  | _ -> (
+      let on_x cond c =
+        (* X cond c *)
+        let cu = u32 c in
+        match cond with
+        | Cond.Eq -> intersect post.xr (cu, cu)
+        | Cond.Neq ->
+            if post.xr.ne = None then
+              let r = { post.xr with ne = Some cu } in
+              if r.lo = r.hi && r.ne = Some r.lo then None else Some r
+            else Some post.xr
+        | Cond.Ge when Word.equal c 0l -> intersect post.xr (0L, 0x7FFF_FFFFL)
+        | Cond.Lt when Word.equal c 0l ->
+            intersect post.xr (0x8000_0000L, 0xFFFF_FFFFL)
+        | Cond.Ult ->
+            if Word.equal c 0l then None
+            else intersect post.xr (0L, Int64.sub cu 1L)
+        | Cond.Ule -> intersect post.xr (0L, cu)
+        | Cond.Ugt -> intersect post.xr (Int64.add cu 1L, 0xFFFF_FFFFL)
+        | Cond.Uge -> intersect post.xr (cu, 0xFFFF_FFFFL)
+        | Cond.Always -> Some post.xr
+        | Cond.Never -> None
+        | _ -> Some post.xr
+      in
+      let is_x v =
+        match norm st v with
+        | P p ->
+            Word.equal p.px 1l && Word.equal p.pd 0l && Word.equal p.pq 0l
+            && Word.equal p.pc 0l
+        | _ -> false
+      in
+      match (is_x left, conc st right, is_x right, conc st left) with
+      | true, Some c, _, _ ->
+          Option.map (fun xr -> { post with xr }) (on_x cond c)
+      | _, _, true, Some c ->
+          Option.map (fun xr -> { post with xr }) (on_x (flip cond) c)
+      | _ -> Some post)
+
+type side = STrue | SFalse
+
+let refine st post (i : int Insn.t) side =
+  let cond_of c = match side with STrue -> c | SFalse -> Cond.negate c in
+  match i with
+  | Comclr { cond; a; b; _ } ->
+      constrain st post (cond_of cond) (av st a) (av st b)
+  | Comiclr { cond; imm; a; _ } ->
+      constrain st post (cond_of cond) (P (pconst imm)) (av st a)
+  | Comb { cond; a; b; _ } ->
+      constrain st post (cond_of cond) (av st a) (av st b)
+  | Comib { cond; imm; a; _ } ->
+      constrain st post (cond_of cond) (P (pconst imm)) (av st a)
+  | _ -> Some post
+
+(* which truth value of the compare leads to this successor? *)
+let side_of (i : int Insn.t) addr next =
+  let at a = match next with Cfg.Insn t -> t = a | _ -> false in
+  match i with
+  | Comclr _ | Comiclr _ ->
+      if at (addr + 1) then Some SFalse
+      else if at (addr + 2) then Some STrue
+      else None
+  | Comb { target; _ } | Comib { target; _ } ->
+      if target = addr + 1 then None
+      else if at target then Some STrue
+      else if at (addr + 1) then Some SFalse
+      else None
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The return-value check *)
+
+let pp_u128 v =
+  if v.U128.hi = 0L then Printf.sprintf "%Lu" v.U128.lo
+  else Printf.sprintf "%Lu*2^64+%Lu" v.U128.hi v.U128.lo
+
+(* Discharge the coverage and no-wrap obligations for a recovered
+   reciprocal form: floor((fa*d + fb) / 2^s) = floor(d / y) for every d
+   in the path's D range. Returns y and the proof transcript. *)
+let quotient_proof st f s =
+  let fail m = raise (Abort m) in
+  if s < 1 || s > 62 then fail (Printf.sprintf "shift %d out of range" s);
+  let a = f.fa and b = f.fb in
+  if a < 1L then fail "recovered multiplier a < 1";
+  if b < 0L then fail "recovered addend b < 0";
+  let r = Int64.add (Int64.sub b a) 1L in
+  if r < 1L then fail "recovered adjustment r = b - a + 1 < 1";
+  let z = Int64.shift_left 1L s in
+  let zr = Int64.sub z r in
+  if zr < 1L then fail "2^s <= r";
+  if Int64.rem zr a <> 0L then fail "a does not divide 2^s - r";
+  let y = Int64.div zr a in
+  if r > Int64.sub y 1L then fail "r > y - 1";
+  let k = Int64.div b r in
+  let coverage = U128.mul_64_64 (Int64.add k 1L) y in
+  let dlo, dhi = drange st in
+  if U128.compare coverage (U128.of_int64 (Int64.add dhi 1L)) < 0 then
+    fail
+      (Printf.sprintf "coverage (K+1)*y = %s < %Ld = dmax+1" (pp_u128 coverage)
+         (Int64.add dhi 1L));
+  let top = U128.add (U128.mul_64_64 a dhi) (U128.of_int64 b) in
+  if top.U128.hi <> 0L then fail "a*dmax + b wraps 64 bits";
+  ( y,
+    [
+      Printf.sprintf
+        "reciprocal form a=%Ld b=%Ld s=%d: z=2^%d = a*%Ld + %Ld, r=%Ld in \
+         [1,y-1], K=floor(b/r)=%Ld"
+        a b s s y r r k;
+      Printf.sprintf "coverage (K+1)*y = %s >= dmax+1 = %Ld (d in [%Ld, %Ld])"
+        (pp_u128 coverage) (Int64.add dhi 1L) dlo dhi;
+      Printf.sprintf "no-wrap a*dmax + b = %s < 2^64" (pp_u128 top);
+    ] )
+
+let sign_of_path st =
+  if st.xr.hi <= 0x7FFF_FFFFL then Some 1
+  else if st.xr.lo >= 0x8000_0000L then Some (-1)
+  else None
+
+(* sub-intervals of the path range on which the reference division is
+   monotone: split signed ranges at the sign boundary, and carve out the
+   excluded point *)
+let monotone_blocks ~signed r =
+  let base =
+    if signed then
+      [ (max r.lo 0L, min r.hi 0x7FFF_FFFFL);
+        (max r.lo 0x8000_0000L, min r.hi 0xFFFF_FFFFL) ]
+    else [ (r.lo, r.hi) ]
+  in
+  List.concat_map
+    (fun (l, h) ->
+      if l > h then []
+      else
+        match r.ne with
+        | Some n when n >= l && n <= h ->
+            List.filter
+              (fun (l, h) -> l <= h)
+              [ (l, Int64.sub n 1L); (Int64.add n 1L, h) ]
+        | _ -> [ (l, h) ])
+    base
+
+let step_budget = 60_000
+
+let certify cfg ~entry ~claim =
+  if Word.equal claim.divisor 0l then Unknown "claim divides by zero"
+  else begin
+    let m64 =
+      if claim.signed then Int64.abs (Int64.of_int32 claim.divisor)
+      else u32 claim.divisor
+    in
+    let ysign = if claim.signed && Word.is_neg claim.divisor then -1 else 1 in
+    let reference xw =
+      let q, r =
+        if claim.signed then Word.divmod_trunc_s xw claim.divisor
+        else Word.divmod_u xw claim.divisor
+      in
+      match claim.op with `Div -> q | `Rem -> r
+    in
+    let transcript = ref [] in
+    let add_lines ls =
+      List.iter
+        (fun l -> if not (List.mem l !transcript) then transcript := !transcript @ [ l ])
+        ls
+    in
+    let returned = ref false in
+    (* one certified path: the return value in ret0 matches the claim
+       over the whole path range, by closed-form argument *)
+    let check_ret_prove st =
+      returned := true;
+      let fail m = raise (Abort m) in
+      let sx = sign_of_path st in
+      let path_tag =
+        Printf.sprintf "path x in [0x%Lx, 0x%Lx]%s" st.xr.lo st.xr.hi
+          (match st.xr.ne with
+          | Some n -> Printf.sprintf " \\ {0x%Lx}" n
+          | None -> "")
+      in
+      let expected_coef () =
+        if not claim.signed then 1l
+        else
+          match sx with
+          | Some s -> Int32.of_int (s * ysign)
+          | None -> fail "signed path does not determine the dividend sign"
+      in
+      let require_dsign () =
+        match (st.dref, claim.signed, sx) with
+        | Some { dsign = 1; _ }, false, _ -> ()
+        | Some { dsign; _ }, true, Some s when dsign = s -> ()
+        | Some _, false, _ -> fail "negated dividend under an unsigned claim"
+        | Some _, true, _ -> fail "dividend magnitude does not match path sign"
+        | None, _, _ -> fail "no dividend base on this path"
+      in
+      let total_divisor y_q =
+        let dshift =
+          match st.dref with Some d -> d.dshift | None -> fail "no base"
+        in
+        if y_q > two32 || dshift > 32 then fail "recovered divisor too large"
+        else
+          let t = Int64.shift_left y_q dshift in
+          if t <> m64 then
+            fail
+              (Printf.sprintf "proves division by %Ld, claim divides by %Ld" t
+                 m64);
+          dshift
+      in
+      let quotient_checks qc =
+        match st.q with
+        | Some (Qshr { qf; qs }) ->
+            if claim.op <> `Div then fail "bare quotient under a remainder claim";
+            let y_q, lines = quotient_proof st qf qs in
+            require_dsign ();
+            let dshift = total_divisor y_q in
+            if not (Word.equal qc (expected_coef ())) then
+              fail "quotient sign does not match the claim";
+            add_lines (path_tag :: lines);
+            if dshift > 0 then
+              add_lines
+                [
+                  Printf.sprintf
+                    "even divisor: pre-shift %d composes to y*2^%d = %Ld"
+                    dshift dshift m64;
+                ]
+        | Some (Qsar { bias; sh }) ->
+            (* shr_s (x + bias) sh already truncates toward zero on both
+               signs (bias 2^k - 1 when x < 0, bias 0 when x >= 0), so
+               the register holds trunc(x / 2^sh) directly: the expected
+               coefficient is the divisor's sign alone. *)
+            if claim.op <> `Div || not claim.signed then
+              fail "arithmetic-shift quotient outside a signed divide claim";
+            if sh < 1 || sh > 30 then fail "arithmetic shift out of range";
+            (match sx with
+            | Some -1 ->
+                if
+                  not
+                    (Word.equal bias (Int32.sub (Int32.shift_left 1l sh) 1l))
+                then fail "negative-path bias is not 2^k - 1"
+            | Some 1 ->
+                if not (Word.equal bias 0l) then
+                  fail "non-negative path carries a rounding bias"
+            | _ -> fail "signed path does not determine the dividend sign");
+            if m64 <> Int64.shift_left 1L sh then
+              fail "claimed divisor is not the proved power of two";
+            if not (Word.equal qc (Int32.of_int ysign)) then
+              fail "quotient sign does not match the claim";
+            add_lines
+              [
+                path_tag;
+                Printf.sprintf
+                  "asr identity: trunc(x / 2^%d) = (x + %ld) asr %d on this \
+                   sign"
+                  sh bias sh;
+              ]
+        | None -> fail "quotient register with no quotient on the path"
+      in
+      match av st Reg.ret0 with
+      | HiF f ->
+          (* s = 32: the high word is the quotient *)
+          if claim.op <> `Div then fail "bare quotient under a remainder claim";
+          let y_q, lines = quotient_proof st f 32 in
+          require_dsign ();
+          let _ = total_divisor y_q in
+          if not (Word.equal (expected_coef ()) 1l) then
+            fail "un-negated quotient on a negated path";
+          add_lines (path_tag :: lines)
+      | P p when is_const p -> (
+          let blocks = monotone_blocks ~signed:claim.signed st.xr in
+          if blocks = [] then ()
+          else
+            List.iter
+              (fun (l, h) ->
+                let fl = reference (Int64.to_int32 l)
+                and fh = reference (Int64.to_int32 h) in
+                if claim.op = `Rem && l <> h && m64 <> 1L then
+                  fail "constant remainder over a wide path"
+                else if not (Word.equal fl fh) then
+                  fail "constant return over a non-constant quotient range"
+                else if not (Word.equal fl p.pc) then
+                  raise
+                    (Refute
+                       (Printf.sprintf
+                          "for x = 0x%Lx the routine returns %ld, not %ld" l
+                          p.pc fl))
+                else
+                  add_lines
+                    [
+                      Printf.sprintf
+                        "%s: constant %ld matches reference at both endpoints \
+                         of [0x%Lx, 0x%Lx] (monotone)"
+                        path_tag p.pc l h;
+                    ])
+              blocks)
+      | P p
+        when Word.equal p.pd 0l && Word.equal p.pq 0l && Word.equal p.pc 0l ->
+          (* +-x itself: |divisor| = 1 *)
+          if claim.op <> `Div then fail "dividend returned under a remainder claim";
+          if m64 <> 1L then fail "dividend returned but |divisor| > 1";
+          let want = if claim.signed then Int32.of_int ysign else 1l in
+          if not (Word.equal p.px want) then fail "wrong sign for division by one";
+          add_lines
+            [ path_tag ^ ": identity/negation is division by the claimed unit" ]
+      | P p
+        when Word.equal p.px 0l && Word.equal p.pq 0l && Word.equal p.pc 0l
+             && (Word.equal p.pd 1l || Word.equal p.pd (-1l)) ->
+          (* a pure shifted magnitude: power-of-two division *)
+          if claim.op <> `Div then fail "shifted dividend under a remainder claim";
+          require_dsign ();
+          let dshift =
+            match st.dref with Some d -> d.dshift | None -> assert false
+          in
+          if dshift < 1 || m64 <> Int64.shift_left 1L dshift then
+            fail "claimed divisor is not the proved power of two";
+          if not (Word.equal p.pd (expected_coef ())) then
+            fail "quotient sign does not match the claim";
+          add_lines
+            [
+              path_tag;
+              Printf.sprintf "power of two: |x| >> %d = |x| / %Ld" dshift m64;
+            ]
+      | P p
+        when Word.equal p.pd 0l && Word.equal p.px 0l && Word.equal p.pc 0l
+             && not (Word.equal p.pq 0l) ->
+          quotient_checks p.pq
+      | P p
+        when Word.equal p.px 1l && Word.equal p.pd 0l && Word.equal p.pc 0l
+             && not (Word.equal p.pq 0l) -> (
+          (* x - q*y: the remainder *)
+          match st.q with
+          | Some (Qshr { qf; qs }) ->
+              if claim.op <> `Rem then fail "remainder shape under a divide claim";
+              let y_q, lines = quotient_proof st qf qs in
+              require_dsign ();
+              let _ = total_divisor y_q in
+              let sxv =
+                if not claim.signed then 1
+                else
+                  match sx with
+                  | Some s -> s
+                  | None -> fail "signed path does not determine the dividend sign"
+              in
+              let want =
+                Int64.to_int32 (Int64.neg (Int64.mul (Int64.of_int sxv) m64))
+              in
+              if not (Word.equal p.pq want) then
+                fail "multiply-back constant does not match the divisor";
+              add_lines (path_tag :: lines);
+              add_lines
+                [
+                  Printf.sprintf
+                    "remainder: x - %Ld*floor(|x|/%Ld) rebuilt exactly" m64 m64;
+                ]
+          | _ -> fail "remainder shape with no quotient on the path")
+      | Kmask { width; ksign; kneg } ->
+          if claim.op <> `Rem then fail "masked dividend under a divide claim";
+          if width < 1 || m64 <> Int64.shift_left 1L width then
+            fail "claimed divisor is not the proved power of two";
+          if not claim.signed then begin
+            if ksign <> 1 || kneg then fail "negated mask under an unsigned claim"
+          end
+          else begin
+            match sx with
+            | Some s when ksign = s && kneg = (s = -1) -> ()
+            | Some _ -> fail "mask sign does not match path sign"
+            | None -> fail "signed path does not determine the dividend sign"
+          end;
+          add_lines
+            [
+              path_tag;
+              Printf.sprintf
+                "power-of-two remainder: low %d bits of |x|, sign of x" width;
+            ]
+      | _ -> fail "return value leaves the certified domain"
+    in
+    let check_ret_probe st =
+      returned := true;
+      match eval_concrete st (av st Reg.ret0) with
+      | None -> ()
+      | Some got ->
+          let xw = Int64.to_int32 st.xr.lo in
+          let want = reference xw in
+          if not (Word.equal got want) then
+            raise
+              (Refute
+                 (Printf.sprintf
+                    "for x = 0x%Lx the routine returns %ld, not %ld" st.xr.lo
+                    got want))
+    in
+    let walk check xlo xhi =
+      let init =
+        let regs = Array.make 32 Top in
+        regs.(Reg.to_int Reg.arg0) <- P { pzero with px = 1l };
+        {
+          regs;
+          xr = { lo = xlo; hi = xhi; ne = None };
+          dref = None;
+          q = None;
+          carry = CTop;
+        }
+      in
+      let seen = Hashtbl.create 256 in
+      let steps = ref 0 in
+      let rec visit node s =
+        if not (Hashtbl.mem seen (node, s)) then begin
+          Hashtbl.replace seen (node, s) ();
+          incr steps;
+          if !steps > step_budget then
+            raise (Abort "path explosion: state budget exhausted");
+          match node with
+          | Cfg.Summary _ -> raise (Abort "routine makes a call")
+          | Cfg.Tail _ -> raise (Abort "routine makes a tail call")
+          | Cfg.Insn a | Cfg.Slot (a, _) -> (
+              let i = Cfg.insn cfg a in
+              match transfer s i with
+              | None -> () (* certain trap: the path never returns *)
+              | Some posts ->
+                  List.iter
+                    (fun s' ->
+                      List.iter
+                        (fun e ->
+                          match e with
+                          | Cfg.Trap -> ()
+                          | Cfg.Ret -> check s'
+                          | Cfg.Off_image ->
+                              raise (Abort "control may leave the program image")
+                          | Cfg.Indirect -> raise (Abort "indirect branch")
+                          | Cfg.Step next -> (
+                              let refined =
+                                match node with
+                                | Cfg.Slot _ -> Some s'
+                                | _ -> (
+                                    match side_of i a next with
+                                    | Some sd -> refine s s' i sd
+                                    | None -> Some s')
+                              in
+                              match refined with
+                              | Some s'' -> visit next s''
+                              | None -> ()))
+                        (Cfg.succs cfg node))
+                    posts)
+        end
+      in
+      visit (Cfg.Insn entry) init
+    in
+    let witnesses () =
+      let m = m64 in
+      let largest = Int64.mul (Int64.div 0xFFFF_FFFFL m) m in
+      let around v = [ Int64.sub v 1L; v; Int64.add v 1L ] in
+      let base =
+        [ 0L; 1L; 0x7FFF_FFFFL; 0x8000_0000L; 0x8000_0001L; 0xFFFF_FFFFL ]
+        @ around m
+        @ around (Int64.mul 2L m)
+        @ around largest
+      in
+      let negs =
+        if claim.signed then
+          List.map (fun v -> Int64.logand (Int64.neg v) 0xFFFF_FFFFL) base
+        else []
+      in
+      List.sort_uniq compare
+        (List.filter (fun v -> v >= 0L && v <= 0xFFFF_FFFFL) (base @ negs))
+    in
+    let probe reason =
+      let rec go = function
+        | [] -> Unknown reason
+        | w :: ws -> (
+            match walk check_ret_probe w w with
+            | () -> go ws
+            | exception Refute m -> Refuted m
+            | exception Abort _ -> go ws)
+      in
+      go (witnesses ())
+    in
+    match walk check_ret_prove 0L 0xFFFF_FFFFL with
+    | () ->
+        if !returned then
+          Certified
+            (Certificate.v
+               (Certificate.Reciprocal_div
+                  {
+                    divisor = claim.divisor;
+                    signed = claim.signed;
+                    rem = claim.op = `Rem;
+                  })
+               !transcript)
+        else Unknown "no return path reached"
+    | exception Refute m -> Refuted m
+    | exception Abort m -> probe m
+  end

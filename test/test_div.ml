@@ -153,6 +153,79 @@ let test_derived_eval_at_coverage_boundaries () =
         ])
     (Div_magic.figure6 ())
 
+(* Divisors at the top of the unsigned range: the derivation must still
+   find an s <= 62 whose coverage clears 2^32, and the reference eval
+   must agree with Word division at the boundary dividends. *)
+let test_derive_near_2pow31 () =
+  List.iter
+    (fun y ->
+      let t = Div_magic.derive y in
+      let y64 = Word.to_int64_u y in
+      Alcotest.(check bool)
+        (Printf.sprintf "r > 0 for %lu" y)
+        true (t.Div_magic.r > 0L);
+      Alcotest.(check bool)
+        (Printf.sprintf "coverage for %lu" y)
+        true
+        (t.Div_magic.coverage >= 0x1_0000_0000L);
+      List.iter
+        (fun (x64 : int64) ->
+          if x64 >= 0L && x64 <= 0xFFFF_FFFFL then
+            let x = Int64.to_int32 x64 in
+            Alcotest.(check word)
+              (Printf.sprintf "x=%Ld / %lu" x64 y)
+              (fst (Word.divmod_u x y))
+              (Div_magic.eval t x))
+        [ 0L; 1L; Int64.sub y64 1L; y64; Int64.add y64 1L; 0xFFFF_FFFFL ])
+    [
+      0x7FFF_FFFDl;
+      0x7FFF_FFFFl (* 2^31 - 1 *);
+      0x8000_0001l (* 2^31 + 1, unsigned *);
+      -3l (* 2^32 - 3 *);
+      -1l (* 2^32 - 1 *);
+    ]
+
+(* The r = 0 exactness shortcut in [derive] can only fire for divisors
+   that divide a power of two — which the odd-divisor precondition
+   excludes, and which [Div_const] routes to shift plans instead. Pin
+   both halves: r >= 1 for every odd divisor, and exact powers of two
+   take the Power_of_two path and divide exactly at the boundaries. *)
+let test_exact_power_path () =
+  for i = 1 to 200 do
+    let y = Int32.of_int ((2 * i) + 1) in
+    Alcotest.(check bool)
+      (Printf.sprintf "r >= 1 for %ld" y)
+      true
+      ((Div_magic.derive y).Div_magic.r >= 1L)
+  done;
+  for k = 1 to 31 do
+    let y = Int32.shift_left 1l k in
+    let plan = Div_const.plan_unsigned y in
+    match plan.Div_const.strategy with
+    | Div_const.Power_of_two k' ->
+        Alcotest.(check int) (Printf.sprintf "shift for 2^%d" k) k k'
+    | _ -> Alcotest.failf "2^%d: expected the power-of-two strategy" k
+  done
+
+let prop_boundary_dividends =
+  QCheck.Test.make
+    ~name:"coverage >= range implies eval exact on boundary dividends"
+    ~count:500 arb_word
+    (fun w ->
+      let y = Int32.logor w 1l in
+      QCheck.assume (not (Word.le_u y 1l));
+      let t = Div_magic.derive y in
+      let y64 = Word.to_int64_u y in
+      (* derive only returns once its coverage clears the range *)
+      t.Div_magic.coverage >= 0x1_0000_0000L
+      && List.for_all
+           (fun (x64 : int64) ->
+             x64 < 0L || x64 > 0xFFFF_FFFFL
+             ||
+             let x = Int64.to_int32 x64 in
+             Word.equal (Div_magic.eval t x) (fst (Word.divmod_u x y)))
+           [ 0L; 1L; Int64.sub y64 1L; y64; 0xFFFF_FFFFL ])
+
 (* ------------------------------------------------------------------ *)
 (* Generated constant-division code                                    *)
 
@@ -368,6 +441,8 @@ let suite =
         Alcotest.test_case "figure 6 exact" `Quick test_figure6_exact;
         Alcotest.test_case "derive rejects" `Quick test_derive_rejects;
         Alcotest.test_case "coverage boundaries" `Quick test_derived_eval_at_coverage_boundaries;
+        Alcotest.test_case "divisors near 2^31" `Quick test_derive_near_2pow31;
+        Alcotest.test_case "exact-power r=0 path" `Quick test_exact_power_path;
         Alcotest.test_case "unsigned plans 1..40" `Slow test_unsigned_plans_small;
         Alcotest.test_case "signed plans 1..40" `Slow test_signed_plans_small;
         Alcotest.test_case "interesting divisors" `Slow test_plans_interesting;
@@ -387,6 +462,7 @@ let suite =
         prop_div_entry "remU" false true;
         prop_div_entry "remI" true true;
         prop_derived_eval_exact;
+        prop_boundary_dividends;
         prop_random_divisor_plans;
         prop_small_dispatch;
         prop_rem_random;

@@ -223,6 +223,75 @@ let test_variable_selection () =
        cands)
 
 (* ------------------------------------------------------------------ *)
+(* Certified-only selection                                            *)
+
+let test_certified_selection () =
+  let obs = Obs.Registry.create () in
+  List.iter
+    (fun req ->
+      let id = Plan.request_id req in
+      (* Unproved selection carries no certificate. *)
+      let plain = choose_exn req in
+      Alcotest.(check bool) (id ^ " unproved") true
+        (plain.Selector.certificate = None);
+      match Selector.choose ~obs ~require_certified:true req with
+      | Error e -> Alcotest.failf "%s: no certified strategy: %s" id e
+      | Ok choice -> (
+          match choice.Selector.certificate with
+          | None -> Alcotest.failf "%s: certified choice without certificate" id
+          | Some cert ->
+              Alcotest.(check int) (id ^ " cert digest hex") 32
+                (String.length cert.Hppa_verify.Certificate.digest);
+              (* The table prints the winner's proof. *)
+              let table =
+                Format.asprintf "%a" Selector.pp_choice choice
+              in
+              let contains needle =
+                let n = String.length needle and h = String.length table in
+                let rec go i =
+                  i + n <= h && (String.sub table i n = needle || go (i + 1))
+                in
+                go 0
+              in
+              Alcotest.(check bool) (id ^ " table shows certificate") true
+                (contains "certified:")))
+    [
+      Plan.mul_const 625l;
+      Plan.mul_const (-7l);
+      Plan.div_const Plan.Unsigned 7l;
+      Plan.div_const Plan.Signed (-10l);
+      Plan.rem_const Plan.Unsigned 10l;
+      Plan.div_var Plan.Unsigned;
+      Plan.rem_var Plan.Signed;
+    ];
+  (* The per-kind counter landed. *)
+  let text = Obs.Export.prometheus (Obs.Registry.snapshot obs) in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "hppa_verify_certified_total exported" true
+    (contains "hppa_verify_certified_total")
+
+(* No certifier covers a variable multiply (the nibble loop has no
+   linear form), so certified-only selection must fail — with the
+   rejection spelled out, not a bare "no strategy". *)
+let test_certified_rejects_variable_multiply () =
+  match Selector.choose ~require_certified:true (Plan.mul_var ()) with
+  | Ok c ->
+      Alcotest.failf "variable multiply certified as %s"
+        c.Selector.chosen.Plan.name
+  | Error e ->
+      let contains needle =
+        let n = String.length needle and h = String.length e in
+        let rec go i = i + n <= h && (String.sub e i n = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("reason names certification: " ^ e) true
+        (contains "not certified")
+
+(* ------------------------------------------------------------------ *)
 (* Autotune: measurement, gate, store round trip, metrics              *)
 
 let test_autotune_report () =
@@ -302,6 +371,42 @@ let test_store_round_trip () =
           Alcotest.(check int) "no growth on warm tune" n
             (Autotune.Store.length loaded))
 
+(* Certificates ride along in BENCH_PLANS.json (schema
+   hppa-bench-plans/2): measuring a certifiable division attaches the
+   certificate kind and digest, and both survive a save/load cycle. *)
+let test_store_cert_round_trip () =
+  let store = Autotune.Store.create () in
+  let workload = Autotune.Fixed [ (100l, 0l); (7l, 0l) ] in
+  (match Autotune.tune ~store workload (Plan.div_const Plan.Unsigned 7l) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "tune: %s" e);
+  let certified =
+    List.filter
+      (fun (m : Autotune.measurement) -> m.Autotune.cert_kind <> None)
+      (Autotune.Store.entries store)
+  in
+  Alcotest.(check bool) "some measurements carry certificates" true
+    (certified <> []);
+  List.iter
+    (fun (m : Autotune.measurement) ->
+      match m.Autotune.cert_digest with
+      | Some d -> Alcotest.(check int) "cert digest hex" 32 (String.length d)
+      | None -> Alcotest.fail "cert_kind without cert_digest")
+    certified;
+  let json = Autotune.Store.to_json store in
+  let contains needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "schema v2" true (contains "hppa-bench-plans/2");
+  Alcotest.(check bool) "cert_kind serialized" true (contains "cert_kind");
+  match Autotune.Store.of_json json with
+  | Error e -> Alcotest.failf "reload: %s" e
+  | Ok loaded ->
+      Alcotest.(check bool) "cert fields survive round trip" true
+        (Autotune.Store.entries loaded = Autotune.Store.entries store)
+
 let test_store_rejects_garbage () =
   (match Autotune.Store.of_json "" with
   | Ok _ -> Alcotest.fail "empty input accepted"
@@ -328,6 +433,10 @@ let suite =
           test_inline_threshold_agreement;
         Alcotest.test_case "variable-operand selection" `Quick
           test_variable_selection;
+        Alcotest.test_case "certified-only selection" `Quick
+          test_certified_selection;
+        Alcotest.test_case "certified rejects variable multiply" `Quick
+          test_certified_rejects_variable_multiply;
       ] );
     ( "plan:differential",
       [
@@ -341,6 +450,8 @@ let suite =
         Alcotest.test_case "report + gate + metrics" `Quick
           test_autotune_report;
         Alcotest.test_case "store round trip" `Quick test_store_round_trip;
+        Alcotest.test_case "store certificate round trip" `Quick
+          test_store_cert_round_trip;
         Alcotest.test_case "store rejects garbage" `Quick
           test_store_rejects_garbage;
       ] );

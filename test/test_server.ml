@@ -22,10 +22,11 @@ let test_config workers =
     fuel = 1_000_000;
     trace_path = None;
     plans_path = None;
+    certified = false;
   }
 
-let with_server ?(workers = 1) ?fuel f =
-  let cfg = test_config workers in
+let with_server ?(workers = 1) ?fuel ?(certified = false) f =
+  let cfg = { (test_config workers) with certified } in
   let cfg = match fuel with None -> cfg | Some fuel -> { cfg with fuel } in
   let srv = Server.create cfg in
   Fun.protect ~finally:(fun () -> Server.shutdown_pool srv) (fun () -> f srv)
@@ -309,6 +310,35 @@ let test_plan_pure () =
         (fst (Result.get_ok (Plan.div d))))
     [ 3l; 7l; 11l; 16l; -5l; 1l ]
 
+(* Certified-only serving must not change a single reply byte: the
+   payload is rendered from the planner record, the certificate only
+   rides along in the artifact. *)
+let test_plan_certified_byte_identity () =
+  List.iter
+    (fun n ->
+      let plain = Result.get_ok (Plan.mul n) in
+      let certified = Result.get_ok (Plan.mul ~require_certified:true n) in
+      Alcotest.(check string)
+        (Printf.sprintf "mul %ld bytes" n)
+        (fst plain) (fst certified);
+      Alcotest.(check bool)
+        (Printf.sprintf "mul %ld certificate attached" n)
+        true
+        ((snd certified).Plan.cert_digest <> None))
+    [ 625l; -7l; 1l; 0x7FFF_FFFFl ];
+  List.iter
+    (fun d ->
+      let plain = Result.get_ok (Plan.div d) in
+      let certified = Result.get_ok (Plan.div ~require_certified:true d) in
+      Alcotest.(check string)
+        (Printf.sprintf "div %ld bytes" d)
+        (fst plain) (fst certified);
+      Alcotest.(check bool)
+        (Printf.sprintf "div %ld certificate attached" d)
+        true
+        ((snd certified).Plan.cert_digest <> None))
+    [ 3l; 7l; 11l; 16l; -5l; 1l ]
+
 let test_plan_bytes_cold_warm_workers () =
   (* The same request must produce identical bytes on a cold cache, a
      warm cache, and any worker-pool size. *)
@@ -455,6 +485,47 @@ let test_plan_selector_metrics () =
               | None -> Alcotest.fail "artifact missing digest")
             arts)
 
+let test_certified_serving () =
+  (* A --certified server answers byte-for-byte like an ordinary one,
+     and every cached plan artifact carries a certificate digest (the
+     hppa_serve_plan_artifacts_certified gauge tracks the total). *)
+  let requests =
+    [ "MUL 625"; "MUL -7"; "DIV 7"; "DIV -9"; "DIV 16"; "DIV 1" ]
+  in
+  let plain =
+    with_server (fun srv -> List.map (Server.respond srv) requests)
+  in
+  with_server ~certified:true (fun srv ->
+      List.iter2
+        (fun req expected ->
+          Alcotest.(check string) (req ^ " bytes unchanged") expected
+            (Server.respond srv req))
+        requests plain;
+      let arts = Server.artifacts srv in
+      Alcotest.(check bool) "artifacts recorded" true (arts <> []);
+      List.iter
+        (fun (key, a) ->
+          match (a.Plan.cert_kind, a.Plan.cert_digest) with
+          | Some _, Some d ->
+              Alcotest.(check int)
+                (key ^ " cert digest is MD5 hex")
+                32 (String.length d)
+          | _ -> Alcotest.failf "%s served without a certificate" key)
+        arts;
+      let reply = Server.respond srv "METRICS" in
+      match Obs.Export.parse_prometheus reply with
+      | Error msg -> Alcotest.failf "scrape does not parse: %s" msg
+      | Ok samples -> (
+          match
+            Obs.Export.find samples "hppa_serve_plan_artifacts_certified"
+          with
+          | Some v ->
+              Alcotest.(check (float 0.0))
+                "all artifacts certified"
+                (float_of_int (List.length arts))
+                v
+          | None -> Alcotest.fail "missing certified-artifacts gauge"))
+
 let test_plans_warm_start () =
   let module A = Hppa_plan.Autotune in
   let meas ~strategy ~request ~digest =
@@ -470,6 +541,8 @@ let test_plans_warm_start () =
       min_cycles = 10;
       max_cycles = 10;
       used_engine = true;
+      cert_kind = None;
+      cert_digest = None;
     }
   in
   let store = A.Store.create () in
@@ -574,6 +647,7 @@ let test_end_to_end () =
       fuel = 1_000_000;
       trace_path = None;
       plans_path = None;
+      certified = false;
     }
   in
   let srv = Server.create cfg in
@@ -646,6 +720,8 @@ let suite =
     ( "server:determinism",
       [
         Alcotest.test_case "plans are pure" `Quick test_plan_pure;
+        Alcotest.test_case "certified plans byte-identical" `Quick
+          test_plan_certified_byte_identity;
         Alcotest.test_case "cold/warm/worker-count bytes" `Quick
           test_plan_bytes_cold_warm_workers;
         Alcotest.test_case "request normalization" `Quick
@@ -657,6 +733,8 @@ let suite =
         Alcotest.test_case "metrics scrape" `Quick test_metrics_scrape;
         Alcotest.test_case "selector metrics and artifacts" `Quick
           test_plan_selector_metrics;
+        Alcotest.test_case "certified-only serving" `Quick
+          test_certified_serving;
         Alcotest.test_case "BENCH_PLANS warm start" `Quick
           test_plans_warm_start;
         Alcotest.test_case "stats/scrape agreement" `Quick

@@ -257,6 +257,165 @@ let test_bad_certify () =
   | V.Linear.Refuted _ -> ()
   | v -> Alcotest.failf "expected refutation, got %a" V.Linear.pp_verdict v
 
+(* --- Division plans: the reciprocal certifier (§7). -------------------- *)
+
+(* Plans may tail-call the general divide; link Div_gen so every entry
+   resolves. *)
+let div_prog (plan : Div_const.plan) =
+  Program.resolve_exn
+    (Program.concat [ plan.Div_const.source; Div_gen.source ])
+
+let div_claim ?(op = `Div) ~signed d = { V.Reciprocal.op; signed; divisor = d }
+
+let assert_div_certified what verdict =
+  match verdict with
+  | V.Reciprocal.Certified _ -> ()
+  | v -> Alcotest.failf "%s: %a" what V.Reciprocal.pp_verdict v
+
+let assert_div_refuted what verdict =
+  match verdict with
+  | V.Reciprocal.Refuted _ -> ()
+  | v ->
+      Alcotest.failf "%s: expected refutation, got %a" what
+        V.Reciprocal.pp_verdict v
+
+let certify_div_plan what (plan : Div_const.plan) claim =
+  assert_div_certified what
+    (V.Driver.certify_division (div_prog plan) ~entry:plan.Div_const.entry
+       ~claim)
+
+let test_div_certify_figure6 () =
+  List.iter
+    (fun (t : Div_magic.t) ->
+      certify_div_plan
+        (Printf.sprintf "figure6 y=%ld" t.Div_magic.y)
+        (Div_const.plan_unsigned t.Div_magic.y)
+        (div_claim ~signed:false t.Div_magic.y))
+    (Div_magic.figure6 ())
+
+(* Every emitted shape — reciprocal, power of two, even split, general
+   fallback, remainder multiply-back, signed fixups — proves without a
+   single sampled dividend. *)
+let test_div_certify_sweep () =
+  for d = 1 to 64 do
+    let d32 = Int32.of_int d in
+    List.iter
+      (fun (what, plan, claim) -> certify_div_plan
+          (Printf.sprintf "%s %d" what d) plan claim)
+      [
+        ("divu", Div_const.plan_unsigned d32, div_claim ~signed:false d32);
+        ("divi", Div_const.plan_signed d32, div_claim ~signed:true d32);
+        ( "divi-neg",
+          Div_const.plan_signed (Int32.neg d32),
+          div_claim ~signed:true (Int32.neg d32) );
+        ( "remu",
+          Div_const.plan_rem_unsigned d32,
+          div_claim ~op:`Rem ~signed:false d32 );
+        ( "remi",
+          Div_const.plan_rem_signed d32,
+          div_claim ~op:`Rem ~signed:true d32 );
+      ]
+  done
+
+(* Corrupt one instruction of a correct plan; the certifier must find a
+   concrete boundary dividend that disagrees, not just fail to prove. *)
+let corrupt_first f src =
+  let hit = ref false in
+  let src' =
+    List.map
+      (function
+        | Program.Insn i when not !hit -> (
+            match f i with
+            | Some i' ->
+                hit := true;
+                Program.Insn i'
+            | None -> Program.Insn i)
+        | x -> x)
+      src
+  in
+  if not !hit then Alcotest.fail "corruption pattern matched nothing";
+  src'
+
+let certify_corrupted (plan : Div_const.plan) f claim =
+  let prog =
+    Program.resolve_exn
+      (Program.concat [ corrupt_first f plan.Div_const.source; Div_gen.source ])
+  in
+  V.Driver.certify_division prog ~entry:plan.Div_const.entry ~claim
+
+let test_div_certify_corrupted () =
+  (* Off-by-one magic addend: the a*(x+1) increment becomes x+2. *)
+  assert_div_refuted "divu7 addi 1 -> 2"
+    (certify_corrupted (Div_const.plan_unsigned 7l)
+       (function
+         | Insn.Addi ({ imm = 1l; _ } as a) ->
+             Some (Insn.Addi { a with imm = 2l })
+         | _ -> None)
+       (div_claim ~signed:false 7l));
+  (* Short shift: the final right shift drops one bit too few (still a
+     shift — pos + len stays 32 — but by the wrong amount). *)
+  assert_div_refuted "divu9 short shift"
+    (certify_corrupted (Div_const.plan_unsigned 9l)
+       (function
+         | Insn.Extr ({ signed = false; pos; len; _ } as e)
+           when pos > 0 && pos + len = 32 ->
+             Some (Insn.Extr { e with pos = pos - 1; len = len + 1 })
+         | _ -> None)
+       (div_claim ~signed:false 9l));
+  (* A correct routine checked against the wrong divisor refutes. *)
+  let plan = Div_const.plan_unsigned 7l in
+  assert_div_refuted "divu7 claimed as /9"
+    (V.Driver.certify_division (div_prog plan) ~entry:plan.Div_const.entry
+       ~claim:(div_claim ~signed:false 9l))
+
+(* The variable-divisor millicode: divide-step schema certificates. *)
+let test_divstep_certified () =
+  let prog = Program.resolve_exn Millicode.source in
+  List.iter
+    (fun (entry, signed, want_rem) ->
+      match V.Driver.certify_divstep prog ~entry ~signed ~want_rem with
+      | V.Reciprocal.Certified _ -> ()
+      | v -> Alcotest.failf "%s: %a" entry V.Reciprocal.pp_verdict v)
+    [
+      ("divU", false, false);
+      ("divI", true, false);
+      ("remU", false, true);
+      ("remI", true, true);
+    ]
+
+(* The §7 vectored dispatchers: total over the declared divisor set,
+   every arm certified. *)
+let test_dispatch_certified () =
+  let options =
+    { V.Cfg.mode = V.Cfg.Simple; blr_slots = Div_small.threshold }
+  in
+  let prog = Program.resolve_exn Millicode.source in
+  List.iter
+    (fun (entry, signed) ->
+      match V.Driver.certify_dispatch ~options prog ~entry ~signed with
+      | V.Reciprocal.Certified _ -> ()
+      | v -> Alcotest.failf "%s: %a" entry V.Reciprocal.pp_verdict v)
+    [ ("divU_small", false); ("divI_small", true) ]
+
+(* An absent entry label is a structured Structure finding, not a bare
+   Unknown. *)
+let test_certify_findings_missing_entry () =
+  let plan = Mul_const.plan 10l in
+  let prog = Program.resolve_exn plan.Mul_const.source in
+  let verdict, findings =
+    V.Driver.certify_findings prog ~entry:"no_such_entry" ~multiplier:10l
+  in
+  (match verdict with
+  | V.Linear.Unknown _ -> ()
+  | v -> Alcotest.failf "expected unknown, got %a" V.Linear.pp_verdict v);
+  match findings with
+  | [ f ] ->
+      Alcotest.(check bool) "structure finding" true
+        (f.V.Findings.check = V.Findings.Structure);
+      Alcotest.(check (option string))
+        "names the entry" (Some "no_such_entry") f.V.Findings.routine
+  | fs -> Alcotest.failf "expected one finding, got %s" (pp_findings fs)
+
 (* --- Insn.reads contract pin (see insn.mli). --------------------------- *)
 
 let test_reads_duplicates () =
@@ -293,6 +452,21 @@ let suite =
           test_lint_plans;
       ] );
     qsuite "verify.certify.random" [ certify_random ];
+    ( "verify.certify.div",
+      [
+        Alcotest.test_case "figure6 rows certify" `Quick
+          test_div_certify_figure6;
+        Alcotest.test_case "divisors 1..64, all five shapes" `Slow
+          test_div_certify_sweep;
+        Alcotest.test_case "corrupted magic constants refuted" `Quick
+          test_div_certify_corrupted;
+        Alcotest.test_case "divide-step millicode certifies" `Quick
+          test_divstep_certified;
+        Alcotest.test_case "small-divisor dispatch certifies" `Quick
+          test_dispatch_certified;
+        Alcotest.test_case "missing entry is a structured finding" `Quick
+          test_certify_findings_missing_entry;
+      ] );
     ( "verify.negative",
       [
         Alcotest.test_case "use before def" `Quick test_bad_use_before_def;
