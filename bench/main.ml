@@ -945,14 +945,61 @@ let sim_throughput ~obs ~engine ~iters entry args_of =
   let dt = Unix.gettimeofday () -. t0 in
   (float_of_int !cyc /. dt, !cyc, Machine.used_engine m)
 
+(* Simulated instructions per host second for one millicode entry on
+   the batched SoA engine at a given lane width: the same operand
+   stream as [sim_throughput], fed [width] call-sites at a time. The
+   batch machine publishes its aggregate stats and the
+   [hppa_machine_batch_*] counters under a kernel/width label pair. *)
+let batch_throughput ~obs ~iters ~width entry args_of =
+  let b =
+    Machine.Batch.create ~obs
+      ~obs_labels:[ ("kernel", entry); ("width", string_of_int width) ]
+      ~lanes:width (Millicode.resolved ())
+  in
+  let die fmt =
+    Printf.eprintf "bench batch: %s: " entry;
+    Printf.kfprintf (fun oc -> output_char oc '\n'; exit 1) stderr fmt
+  in
+  (* Warm-up batch: translation cost stays out of the timing. *)
+  Machine.Batch.call b entry ~args:(Array.init width (fun _ -> args_of 0));
+  let t0 = Unix.gettimeofday () in
+  let cyc = ref 0 in
+  let i = ref 1 in
+  while !i <= iters do
+    let k = min width (iters - !i + 1) in
+    let base = !i in
+    Machine.Batch.call b entry
+      ~args:(Array.init k (fun j -> args_of (base + j)));
+    for l = 0 to k - 1 do
+      (match Machine.Batch.outcome b ~lane:l with
+      | Machine.Halted -> ()
+      | Machine.Trapped t ->
+          die "lane %d trapped: %s" l (Hppa_machine.Trap.to_string t)
+      | Machine.Fuel_exhausted -> die "lane %d exhausted its fuel" l);
+      cyc := !cyc + Machine.Batch.cycles b ~lane:l
+    done;
+    i := !i + k
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  (float_of_int !cyc /. dt, !cyc)
+
+let batch_widths = [ 1; 4; 16; 64; 256 ]
+
 let closure_wall ?obs ~domains ~max_len ~limit () =
   let t0 = Unix.gettimeofday () in
   ignore (Chain_search.lengths_table ?obs ~domains ~max_len ~limit ());
   Unix.gettimeofday () -. t0
 
-let bench_json ~fast ~out () =
+let bench_json ?(batch = false) ~fast ~out () =
   let obs = Obs.Registry.create () in
   let iters = if fast then 4000 else 20000 in
+  let sim_kernel_args =
+    [
+      ("mul_final", fun i -> [ Int32.of_int ((i land 0xffff) + 1); 12345l ]);
+      ("mul_naive", fun i -> [ Int32.of_int ((i land 0xffff) + 1); 0x12345l ]);
+      ("divU", fun i -> [ Int32.of_int ((i * 7919) land 0x3fff_ffff); 1097l ]);
+    ]
+  in
   let sim_kernels =
     List.map
       (fun (name, args_of) ->
@@ -961,11 +1008,31 @@ let bench_json ~fast ~out () =
         in
         let itp, _, _ = sim_throughput ~obs ~engine:false ~iters name args_of in
         (name, eng, itp, sim_insns, eng_used))
-      [
-        ("mul_final", fun i -> [ Int32.of_int ((i land 0xffff) + 1); 12345l ]);
-        ("mul_naive", fun i -> [ Int32.of_int ((i land 0xffff) + 1); 0x12345l ]);
-        ("divU", fun i -> [ Int32.of_int ((i * 7919) land 0x3fff_ffff); 1097l ]);
-      ]
+      sim_kernel_args
+  in
+  (* The `batch` mode is `json` plus a width sweep of the SoA engine
+     over the same kernels and operand streams, gated against the
+     scalar engine numbers measured above. *)
+  let batch_rows =
+    if not batch then []
+    else
+      List.map
+        (fun (name, args_of) ->
+          let scalar =
+            let _, eng, _, _, _ =
+              List.find (fun (n, _, _, _, _) -> n = name) sim_kernels
+            in
+            eng
+          in
+          let widths =
+            List.map
+              (fun w ->
+                let ips, _ = batch_throughput ~obs ~iters ~width:w name args_of in
+                (w, ips))
+              batch_widths
+          in
+          (name, scalar, widths))
+        sim_kernel_args
   in
   let max_len, limit = if fast then (4, 300) else (5, 700) in
   let seq = closure_wall ~obs ~domains:1 ~max_len ~limit () in
@@ -1006,6 +1073,26 @@ let bench_json ~fast ~out () =
         (if i < List.length sim_kernels - 1 then "," else ""))
     sim_kernels;
   out "  ],\n";
+  if batch_rows <> [] then begin
+    out "  \"batch_kernels\": [\n";
+    List.iteri
+      (fun i (name, scalar, widths) ->
+        out
+          "    {\"name\": %S, \"scalar_insns_per_sec\": %.0f, \
+           \"widths\": [%s]}%s\n"
+          name scalar
+          (String.concat ", "
+             (List.map
+                (fun (w, ips) ->
+                  Printf.sprintf
+                    "{\"width\": %d, \"insns_per_sec\": %.0f, \
+                     \"speedup_vs_scalar\": %.2f}"
+                    w ips (ips /. scalar))
+                widths))
+          (if i < List.length batch_rows - 1 then "," else ""))
+      batch_rows;
+    out "  ],\n"
+  end;
   out "  \"plan_strategies\": [\n";
   List.iteri
     (fun i (name, n, mean, wins) ->
@@ -1040,7 +1127,29 @@ let bench_json ~fast ~out () =
   Printf.printf
     "  lengths_table depth %d: %.2fs sequential, %.2fs on %d domain(s) (%.2fx)\n"
     max_len seq par domains (seq /. par);
-  print_strategy_table plan_rows
+  print_strategy_table plan_rows;
+  (* Gate: the batch engine must beat the scalar engine on the two
+     kernels the paper's throughput story rests on. *)
+  let batch_fail = ref false in
+  List.iter
+    (fun (name, scalar, widths) ->
+      let best_w, best =
+        List.fold_left
+          (fun (bw, b) (w, ips) -> if ips > b then (w, ips) else (bw, b))
+          (0, 0.0) widths
+      in
+      Printf.printf "  %-10s batch:" name;
+      List.iter (fun (w, ips) -> Printf.printf " w%d %.1fM" w (ips /. 1e6)) widths;
+      Printf.printf "  best w%d = %.2fx scalar\n" best_w (best /. scalar);
+      if (name = "mul_naive" || name = "divU") && best <= scalar then begin
+        Printf.eprintf
+          "bench batch: %s best width w%d (%.1fM insns/s) does not beat the \
+           scalar engine (%.1fM)\n"
+          name best_w (best /. 1e6) (scalar /. 1e6);
+        batch_fail := true
+      end)
+    batch_rows;
+  if !batch_fail then exit 1
 
 (* ------------------------------------------------------------------ *)
 
@@ -1087,6 +1196,9 @@ let () =
   if List.mem "bechamel" selected then bechamel_print ()
   else if List.mem "json" selected then
     bench_json ~fast ~out:(Option.value out ~default:"BENCH_SIM.json") ()
+  else if List.mem "batch" selected then
+    bench_json ~batch:true ~fast
+      ~out:(Option.value out ~default:"BENCH_SIM.json") ()
   else if List.mem "plans" selected then
     bench_plans ~fast ~out:(Option.value out ~default:"BENCH_PLANS.json") ()
   else if List.mem "certify" selected then bench_certify ~fast ()
@@ -1098,7 +1210,7 @@ let () =
     in
     if to_run = [] then begin
       Printf.printf
-        "unknown selection; available: %s bechamel json plans certify\n"
+        "unknown selection; available: %s bechamel json batch plans certify\n"
         (String.concat " " (List.map fst all_figures));
       exit 2
     end;

@@ -66,7 +66,7 @@ let serve socket port host workers cache fuel trace_json plans certified =
 (* load                                                                *)
 
 let load socket port host requests conns dist seed out min_hit_rate
-    allow_errors =
+    allow_errors batch_width =
   match Load_gen.dist_of_string dist with
   | Error msg ->
       Printf.eprintf "hppa-serve load: %s\n" msg;
@@ -74,8 +74,8 @@ let load socket port host requests conns dist seed out min_hit_rate
   | Ok dist -> (
       let endpoint = endpoint socket port host in
       match
-        Load_gen.run ~endpoint ~requests ~conns ~dist
-          ~seed:(Int64.of_int seed)
+        Load_gen.run ~batch_width ~endpoint ~requests ~conns ~dist
+          ~seed:(Int64.of_int seed) ()
       with
       | Error msg ->
           Printf.eprintf "hppa-serve load: %s\n" msg;
@@ -109,7 +109,13 @@ let load socket port host requests conns dist seed out min_hit_rate
               "hppa-serve load: %d protocol error(s) (pass --allow-errors \
                to tolerate)\n"
               summary.Load_gen.errors;
-          if hit_rate_failed || errors_failed then 1 else 0)
+          let batch_failed = summary.Load_gen.batch_mismatches > 0 in
+          if batch_failed then
+            Printf.eprintf
+              "hppa-serve load: %d batch lane(s) not byte-identical to the \
+               scalar reply\n"
+              summary.Load_gen.batch_mismatches;
+          if hit_rate_failed || errors_failed || batch_failed then 1 else 0)
 
 (* ------------------------------------------------------------------ *)
 (* metrics                                                             *)
@@ -328,15 +334,26 @@ let load_cmd =
       & info [ "allow-errors" ]
           ~doc:"Do not fail when some requests draw ERR replies.")
   in
+  let batch_width =
+    Arg.(
+      value & opt int 1
+      & info [ "batch-width" ] ~docv:"W"
+          ~doc:
+            "Coalesce each window of $(docv) requests into MULB/DIVB \
+             batch lines (1 = all-scalar). The first batch per \
+             connection is cross-checked byte-for-byte against scalar \
+             replies; any mismatch fails the run.")
+  in
   Cmd.v
     (Cmd.info "load"
        ~doc:
          "Drive a running daemon with a seeded workload and write \
           BENCH_SERVE.json. Exits non-zero on any protocol error (unless \
-          $(b,--allow-errors)) or an unmet $(b,--min-hit-rate).")
+          $(b,--allow-errors)), an unmet $(b,--min-hit-rate), or any \
+          batch/scalar reply mismatch under $(b,--batch-width).")
     Term.(
       const load $ socket $ port $ host $ requests $ conns $ dist $ seed
-      $ out $ min_hit_rate $ allow_errors)
+      $ out $ min_hit_rate $ allow_errors $ batch_width)
 
 let metrics_cmd =
   let min_hit_rate =

@@ -105,3 +105,5 @@ let call_cycles ?fuel t name ~args =
   let before = Stats.cycles t.stats in
   let outcome = call ?fuel t name ~args in
   (outcome, Stats.cycles t.stats - before)
+
+module Batch = Engine_batch

@@ -29,7 +29,7 @@
 
 type t
 
-type outcome =
+type outcome = Cpu.outcome =
   | Halted  (** control returned to the halt sentinel *)
   | Trapped of Trap.t
   | Fuel_exhausted
@@ -154,3 +154,8 @@ val call :
 val call_cycles :
   ?fuel:int -> t -> string -> args:Hppa_word.Word.t list -> outcome * int
 (** [call] plus the cycle count of just this call. *)
+
+module Batch = Engine_batch
+(** The batched (structure-of-arrays) engine: translate once, run a
+    whole vector of operand sets with per-lane trap capture. See
+    {!Engine_batch}. *)

@@ -22,15 +22,18 @@ module Gauge = struct
 end
 
 module Histogram = struct
-  let buckets = 32
+  let buckets = 40
 
   type t = { counts : int Atomic.t array; sum : float Atomic.t }
 
   let create () =
     { counts = Array.init buckets (fun _ -> Atomic.make 0); sum = Atomic.make 0.0 }
 
-  (* Same bucketing as the original server Metrics: bucket 0 holds < 1.0,
-     bucket i holds [2^(i-1), 2^i), the last bucket absorbs the rest. *)
+  (* Log2 bucketing: bucket 0 holds < 1.0, bucket i (1 <= i <= buckets-2)
+     holds [2^(i-1), 2^i), and the last bucket is an explicit overflow
+     bucket for everything at or above 2^(buckets-2) — its upper bound is
+     +Inf, so saturated percentiles report +Inf instead of a fake finite
+     value. *)
   let bucket_of v =
     if v < 1.0 then 0
     else begin
@@ -53,7 +56,10 @@ module Histogram = struct
   let count t = Array.fold_left (fun acc c -> acc + Atomic.get c) 0 t.counts
   let sum t = Atomic.get t.sum
   let bucket_counts t = Array.map Atomic.get t.counts
-  let bucket_upper b = if b = 0 then 1.0 else Float.of_int (1 lsl b)
+  let bucket_upper b =
+    if b = 0 then 1.0
+    else if b >= buckets - 1 then infinity
+    else Float.of_int (1 lsl b)
 
   let percentile t q =
     let counts = bucket_counts t in
@@ -257,9 +263,13 @@ module Export = struct
         ^ "}"
 
   (* Render a float the way Prometheus clients conventionally do: integral
-     values without an exponent, others with enough digits to round-trip. *)
+     values without an exponent, others with enough digits to round-trip,
+     non-finite values in the exposition-format spelling. *)
   let prom_float f =
-    if Float.is_integer f && Float.abs f < 1e15 then
+    if f = infinity then "+Inf"
+    else if f = neg_infinity then "-Inf"
+    else if Float.is_nan f then "NaN"
+    else if Float.is_integer f && Float.abs f < 1e15 then
       Printf.sprintf "%.0f" f
     else Printf.sprintf "%g" f
 
@@ -292,10 +302,13 @@ module Export = struct
         | Histogram_v { count; sum; buckets } ->
             Array.iter
               (fun (le, cum) ->
-                Buffer.add_string buf
-                  (Printf.sprintf "%s_bucket%s %d\n" s.name
-                     (prom_labels (s.labels @ [ ("le", prom_float le) ]))
-                     cum))
+                (* The overflow bucket's upper bound is +Inf; its count is
+                   already carried by the unconditional +Inf line below. *)
+                if Float.is_finite le then
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s_bucket%s %d\n" s.name
+                       (prom_labels (s.labels @ [ ("le", prom_float le) ]))
+                       cum))
               buckets;
             Buffer.add_string buf
               (Printf.sprintf "%s_bucket%s %d\n" s.name
@@ -325,8 +338,13 @@ module Export = struct
       s;
     Buffer.contents buf
 
+  (* JSON has no literal for non-finite values; emit them as quoted
+     Prometheus-style strings so the document stays parseable. *)
   let json_float f =
-    if Float.is_integer f && Float.abs f < 1e15 then
+    if f = infinity then "\"+Inf\""
+    else if f = neg_infinity then "\"-Inf\""
+    else if Float.is_nan f then "\"NaN\""
+    else if Float.is_integer f && Float.abs f < 1e15 then
       Printf.sprintf "%.1f" f
     else Printf.sprintf "%g" f
 

@@ -45,16 +45,19 @@ end
 (** Log2-bucketed histogram with p50/p99 estimation.
 
     Bucket [0] holds observations [< 1.0]; bucket [i > 0] holds
-    [[2^(i-1), 2^i)]. There are {!buckets} buckets; the last also absorbs
-    everything above its lower bound. Percentiles report the upper bound
-    of the bucket containing the requested rank — an overestimate of at
-    most 2x, which is accurate enough for latency monitoring and keeps
-    recording allocation-free. *)
+    [[2^(i-1), 2^i)]. There are {!buckets} buckets; the last is an
+    explicit overflow bucket covering [[2^(buckets-2), +Inf)] with
+    {!bucket_upper} = [infinity]. Percentiles report the upper bound of
+    the bucket containing the requested rank — an overestimate of at
+    most 2x for in-range observations, and honestly [infinity] when the
+    rank falls in the overflow bucket (rather than a fake finite value).
+    This keeps recording allocation-free and latency monitoring
+    truthful at the tail. *)
 module Histogram : sig
   type t
 
   val buckets : int
-  (** Number of log2 buckets (32). *)
+  (** Number of log2 buckets (40), overflow bucket included. *)
 
   val create : unit -> t
   val observe : t -> float -> unit
@@ -62,10 +65,12 @@ module Histogram : sig
   val sum : t -> float
   val bucket_counts : t -> int array
   val bucket_upper : int -> float
-  (** Upper bound of bucket [i]: [1.0] for bucket 0, else [2.0 ** i]. *)
+  (** Upper bound of bucket [i]: [1.0] for bucket 0, [infinity] for the
+      overflow bucket [buckets - 1], else [2.0 ** i]. *)
 
   val percentile : t -> float -> float
-  (** [percentile h q] for [q] in [0..100]. [0.0] when empty. *)
+  (** [percentile h q] for [q] in [0..100]. [0.0] when empty;
+      [infinity] when the rank lands in the overflow bucket. *)
 
   val reset : t -> unit
 end
@@ -154,11 +159,15 @@ module Export : sig
   val prometheus : sample list -> string
   (** Prometheus text exposition format. [# HELP]/[# TYPE] emitted once
       per metric family; histograms expand to [_bucket{le="..."}] series
-      (cumulative, non-empty buckets plus [+Inf]), [_sum] and [_count]. *)
+      (cumulative, non-empty finite buckets plus exactly one [+Inf] line
+      that also carries the overflow bucket), [_sum] and [_count]. *)
 
   val json : sample list -> string
   (** One-line JSON: [{"schema":"hppa-obs/1","metrics":[...]}] with
-      metrics in snapshot order. *)
+      metrics in snapshot order. Non-finite values (the overflow
+      bucket's bound, a saturated percentile) are emitted as the quoted
+      strings ["+Inf"], ["-Inf"], ["NaN"] so the document stays valid
+      JSON. *)
 
   val parse_prometheus :
     string -> ((string * (string * string) list * float) list, string) result

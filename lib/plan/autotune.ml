@@ -71,6 +71,7 @@ type measurement = {
   min_cycles : int;
   max_cycles : int;
   used_engine : bool;
+  batch_width : int;
   cert_kind : string option;
   cert_digest : string option;
 }
@@ -243,11 +244,18 @@ module Store = struct
             (escape k) (escape d)
       | _ -> ""
     in
+    (* Scalar measurements stay byte-identical to older stores: the
+       field only appears when batching was actually used. *)
+    let batch =
+      if m.batch_width > 1 then
+        Printf.sprintf ",\"batch_width\":%d" m.batch_width
+      else ""
+    in
     Printf.sprintf
-      "{\"digest\":\"%s\",\"workload\":\"%s\",\"strategy\":\"%s\",\"request\":\"%s\",\"entry\":\"%s\",\"samples\":%d,\"total_cycles\":%d,\"min_cycles\":%d,\"max_cycles\":%d,\"used_engine\":%b%s}"
+      "{\"digest\":\"%s\",\"workload\":\"%s\",\"strategy\":\"%s\",\"request\":\"%s\",\"entry\":\"%s\",\"samples\":%d,\"total_cycles\":%d,\"min_cycles\":%d,\"max_cycles\":%d,\"used_engine\":%b%s%s}"
       (escape m.digest) (escape m.workload) (escape m.strategy)
       (escape m.request) (escape m.entry) m.samples m.total_cycles m.min_cycles
-      m.max_cycles m.used_engine cert
+      m.max_cycles m.used_engine batch cert
 
   let to_json t =
     Printf.sprintf "{\"schema\":\"%s\",\"entries\":[%s]}\n" schema
@@ -270,6 +278,9 @@ module Store = struct
             strategy; request; entry; digest; workload; samples; total_cycles;
             mean_cycles = float_of_int total_cycles /. float_of_int samples;
             min_cycles; max_cycles; used_engine;
+            (* optional since the batched engine landed; absent in older
+               stores = scalar measurement *)
+            batch_width = Option.value (int "batch_width") ~default:1;
             cert_kind = str "cert_kind";
             cert_digest = str "cert_digest";
           }
@@ -335,8 +346,8 @@ let set_entries_gauge obs store =
         (float_of_int (Store.length st))
   | _ -> ()
 
-let aggregate ?cert ~strategy ~request ~entry ~digest ~workload cycles
-    ~used_engine =
+let aggregate ?cert ?(batch_width = 1) ~strategy ~request ~entry ~digest
+    ~workload cycles ~used_engine =
   let samples = List.length cycles in
   let total = List.fold_left ( + ) 0 cycles in
   {
@@ -351,6 +362,7 @@ let aggregate ?cert ~strategy ~request ~entry ~digest ~workload cycles
     min_cycles = List.fold_left min max_int cycles;
     max_cycles = List.fold_left max 0 cycles;
     used_engine;
+    batch_width;
     cert_kind =
       Option.map
         (fun (c : Hppa_verify.Certificate.t) ->
@@ -370,8 +382,8 @@ let record obs store m =
   set_entries_gauge obs store;
   m
 
-let measure ?store ?obs ?(fuel = 2_000_000) workload (req : Strategy.request)
-    (s : Strategy.t) =
+let measure ?store ?obs ?(fuel = 2_000_000) ?(batch_width = 256) workload
+    (req : Strategy.request) (s : Strategy.t) =
   let pairs = operands workload req in
   let tag = workload_tag workload in
   let request = Strategy.request_id req in
@@ -421,40 +433,100 @@ let measure ?store ?obs ?(fuel = 2_000_000) workload (req : Strategy.request)
                            shape; measurements of uncertifiable emissions
                            simply carry no certificate *)
                         let cert = Result.to_option (Strategy.certify req em) in
-                        let config =
-                          { Machine.Config.default with engine = true; fuel }
-                        in
-                        let mach = Machine.create ~config prog in
                         let entry = em.Strategy.entry in
                         let args x y =
                           match req.operand with
                           | Strategy.Constant _ -> [ x ]
                           | Strategy.Variable -> [ x; y ]
                         in
-                        let rec go acc = function
-                          | [] -> Ok (List.rev acc)
-                          | (x, y) :: rest -> (
-                              match
-                                Machine.call_cycles mach entry ~args:(args x y)
-                              with
-                              | Machine.Halted, cycles -> go (cycles :: acc) rest
-                              | Machine.Trapped t, _ ->
-                                  Error
-                                    (Printf.sprintf "%s: trap %s on x=%ld y=%ld"
-                                       entry (Trap.name t) x y)
-                              | Machine.Fuel_exhausted, _ ->
-                                  Error
-                                    (Printf.sprintf
-                                       "%s: fuel exhausted on x=%ld y=%ld" entry
-                                       x y))
+                        let bw =
+                          max 1 (min batch_width (List.length pairs))
+                        in
+                        let run_scalar () =
+                          let config =
+                            { Machine.Config.default with engine = true; fuel }
+                          in
+                          let mach = Machine.create ~config prog in
+                          let rec go acc = function
+                            | [] -> Ok (List.rev acc, Machine.used_engine mach)
+                            | (x, y) :: rest -> (
+                                match
+                                  Machine.call_cycles mach entry
+                                    ~args:(args x y)
+                                with
+                                | Machine.Halted, cycles ->
+                                    go (cycles :: acc) rest
+                                | Machine.Trapped t, _ ->
+                                    Error
+                                      (Printf.sprintf
+                                         "%s: trap %s on x=%ld y=%ld" entry
+                                         (Trap.name t) x y)
+                                | Machine.Fuel_exhausted, _ ->
+                                    Error
+                                      (Printf.sprintf
+                                         "%s: fuel exhausted on x=%ld y=%ld"
+                                         entry x y))
+                          in
+                          go [] pairs
+                        in
+                        (* Per-lane cycle counts from the batched engine
+                           equal the scalar engine's call_cycles deltas
+                           (pinned by the differential suite), so the
+                           measurement is identical — only faster. *)
+                        let run_batched () =
+                          let b = Machine.Batch.create ~lanes:bw prog in
+                          let take n xs =
+                            let rec go n acc = function
+                              | x :: tl when n > 0 ->
+                                  go (n - 1) (x :: acc) tl
+                              | tl -> (List.rev acc, tl)
+                            in
+                            go n [] xs
+                          in
+                          let rec go acc = function
+                            | [] -> Ok (List.rev acc, true)
+                            | rest -> (
+                                let chunk, rest = take bw rest in
+                                let lane_args =
+                                  Array.of_list
+                                    (List.map (fun (x, y) -> args x y) chunk)
+                                in
+                                Machine.Batch.call ~fuel b entry
+                                  ~args:lane_args;
+                                let rec lanes l acc = function
+                                  | [] -> Ok acc
+                                  | (x, y) :: tl -> (
+                                      match Machine.Batch.outcome b ~lane:l with
+                                      | Machine.Halted ->
+                                          lanes (l + 1)
+                                            (Machine.Batch.cycles b ~lane:l
+                                            :: acc)
+                                            tl
+                                      | Machine.Trapped t ->
+                                          Error
+                                            (Printf.sprintf
+                                               "%s: trap %s on x=%ld y=%ld"
+                                               entry (Trap.name t) x y)
+                                      | Machine.Fuel_exhausted ->
+                                          Error
+                                            (Printf.sprintf
+                                               "%s: fuel exhausted on x=%ld \
+                                                y=%ld"
+                                               entry x y))
+                                in
+                                match lanes 0 acc chunk with
+                                | Ok acc -> go acc rest
+                                | Error _ as e -> e)
+                          in
+                          go [] pairs
                         in
                         Result.map
-                          (fun cycles ->
+                          (fun (cycles, used_engine) ->
                             record obs store
-                              (aggregate ?cert ~strategy:s.Strategy.name
-                                 ~request ~entry ~digest ~workload:tag cycles
-                                 ~used_engine:(Machine.used_engine mach)))
-                          (go [] pairs)))))
+                              (aggregate ?cert ~batch_width:bw
+                                 ~strategy:s.Strategy.name ~request ~entry
+                                 ~digest ~workload:tag cycles ~used_engine))
+                          (if bw > 1 then run_batched () else run_scalar ())))))
 
 (* ------------------------------------------------------------------ *)
 (* Tuning                                                              *)

@@ -47,6 +47,11 @@ type measurement = {
   min_cycles : int;
   max_cycles : int;
   used_engine : bool;
+  batch_width : int;
+      (** lanes per {!Hppa_machine.Machine.Batch} dispatch during
+          measurement; [1] = scalar execution (and the implied default
+          when the JSON field is absent — older stores load
+          unchanged) *)
   cert_kind : string option;  (** {!Hppa_verify.Certificate.kind_label} *)
   cert_digest : string option;
 }
@@ -76,15 +81,25 @@ val measure :
   ?store:Store.t ->
   ?obs:Hppa_obs.Obs.Registry.t ->
   ?fuel:int ->
+  ?batch_width:int ->
   workload ->
   Strategy.request ->
   Strategy.t ->
   (measurement, string) result
-(** Run one strategy over the workload: emitted code executes on a
-    fresh engine machine ([Error] on any trap or fuel exhaustion),
-    modelled baselines evaluate their cycle model. A store hit skips
-    execution entirely. [obs] feeds
-    [hppa_plan_measured_total{strategy=}],
+(** Run one strategy over the workload: emitted code executes on the
+    simulator ([Error] on any trap or fuel exhaustion), modelled
+    baselines evaluate their cycle model. A store hit skips execution
+    entirely.
+
+    [batch_width] (default 256, clamped to the workload size) selects
+    the execution engine: widths above one run the workload in chunks
+    on the batched SoA engine ({!Hppa_machine.Machine.Batch}), whose
+    per-lane cycle counts are pinned equal to the scalar engine's — the
+    verdict is identical, only measured faster. [batch_width 1] forces
+    the scalar threaded engine. The width used is recorded in the
+    measurement (and in [BENCH_PLANS.json] when above one).
+
+    [obs] feeds [hppa_plan_measured_total{strategy=}],
     [hppa_plan_measured_cycles_total{strategy=}], the
     [hppa_plan_store_hits_total]/[hppa_plan_store_misses_total]
     counters and the [hppa_plan_store_entries] gauge. *)

@@ -30,6 +30,8 @@ type summary = {
   throughput_rps : float;
   p50_us : float;
   p99_us : float;
+  batch_width : int;
+  batch_mismatches : int;
   server_stats : (string * string) list;
 }
 
@@ -144,6 +146,23 @@ let round_trip conn line =
   write_all conn.fd (line ^ "\n");
   read_line conn
 
+(* "MUL 625" -> ("MUL", "625"); a verb with no operand keeps "". *)
+let split_verb r =
+  match String.index_opt r ' ' with
+  | Some i -> (String.sub r 0 i, String.sub r (i + 1) (String.length r - i - 1))
+  | None -> (r, "")
+
+(* Lane count of a batch reply header ("OK MULB k=3" -> 3); [None] for
+   anything that is not a batch header, including a whole-batch ERR. *)
+let batch_lane_count header =
+  if not (Server.is_batch_reply header) then None
+  else
+    match String.index_opt header '=' with
+    | None -> None
+    | Some i ->
+        int_of_string_opt
+          (String.sub header (i + 1) (String.length header - i - 1))
+
 (* ------------------------------------------------------------------ *)
 
 let scrape_stats endpoint =
@@ -174,9 +193,13 @@ let scrape_stats endpoint =
       close conn;
       r
 
-let run ~endpoint ~requests ~conns ~dist ~seed =
+let run ?(batch_width = 1) ~endpoint ~requests ~conns ~dist ~seed () =
   if requests < 1 then Error "requests must be >= 1"
   else if conns < 1 then Error "conns must be >= 1"
+  else if batch_width < 1 || batch_width > Protocol.max_batch_operands then
+    Error
+      (Printf.sprintf "batch width must be in 1..%d"
+         Protocol.max_batch_operands)
   else begin
     let conns = min conns requests in
     (* Fail fast (and cleanly) if the server is not there. *)
@@ -188,6 +211,7 @@ let run ~endpoint ~requests ~conns ~dist ~seed =
         close probe;
         let lat = Metrics.create () in
         let failures = Atomic.make 0 in
+        let mismatches = Atomic.make 0 in
         let worker idx n () =
           let g =
             Prng.create
@@ -198,17 +222,89 @@ let run ~endpoint ~requests ~conns ~dist ~seed =
           | exception Unix.Unix_error _ ->
               Atomic.fetch_and_add failures n |> ignore
           | conn ->
+              let scalar req =
+                let t0 = Unix.gettimeofday () in
+                match round_trip conn req with
+                | Some reply ->
+                    Metrics.record lat
+                      ~error:(not (Protocol.is_ok reply))
+                      ~us:((Unix.gettimeofday () -. t0) *. 1e6)
+                | None -> Atomic.incr failures
+              in
+              let checked = ref false in
+              (* One MULB/DIVB line carrying [ops]; each lane records a
+                 latency sample (the batch round trip) so the summary
+                 still counts logical requests. *)
+              let batch verb ops =
+                let t0 = Unix.gettimeofday () in
+                write_all conn.fd (String.concat " " (verb :: ops) ^ "\n");
+                match read_line conn with
+                | None ->
+                    Atomic.fetch_and_add failures (List.length ops) |> ignore
+                | Some header -> (
+                    match batch_lane_count header with
+                    | None ->
+                        (* Single-line reply: the batch was rejected
+                           as a whole. *)
+                        let us = (Unix.gettimeofday () -. t0) *. 1e6 in
+                        List.iter
+                          (fun _ -> Metrics.record lat ~error:true ~us)
+                          ops
+                    | Some count ->
+                        let lanes =
+                          List.init count (fun _ -> read_line conn)
+                        in
+                        let us = (Unix.gettimeofday () -. t0) *. 1e6 in
+                        List.iter
+                          (function
+                            | Some l ->
+                                Metrics.record lat
+                                  ~error:(not (Protocol.is_ok l)) ~us
+                            | None -> Atomic.incr failures)
+                          lanes;
+                        if not !checked then begin
+                          (* First batch on this connection: every lane
+                             must be byte-identical to the scalar reply
+                             for the same operand. *)
+                          checked := true;
+                          let scalar_verb = String.sub verb 0 3 in
+                          List.iteri
+                            (fun i op ->
+                              let want = List.nth_opt lanes i in
+                              match
+                                round_trip conn (scalar_verb ^ " " ^ op)
+                              with
+                              | Some r when want = Some (Some r) -> ()
+                              | _ -> Atomic.incr mismatches)
+                            ops
+                        end)
+              in
               (try
-                 for _ = 1 to n do
-                   let req = request_of g dist in
-                   let t0 = Unix.gettimeofday () in
-                   match round_trip conn req with
-                   | Some reply ->
-                       Metrics.record lat
-                         ~error:(not (Protocol.is_ok reply))
-                         ~us:((Unix.gettimeofday () -. t0) *. 1e6)
-                   | None -> Atomic.incr failures
-                 done
+                 if batch_width = 1 then
+                   for _ = 1 to n do scalar (request_of g dist) done
+                 else begin
+                   (* Draw a window of the stream, coalesce the scalar
+                      MUL/DIV constants into one batch per verb, and
+                      send anything else (EVAL lines) as-is. *)
+                   let remaining = ref n in
+                   while !remaining > 0 do
+                     let k = min batch_width !remaining in
+                     let reqs = List.init k (fun _ -> request_of g dist) in
+                     let muls, divs, others =
+                       List.fold_left
+                         (fun (m, d, o) r ->
+                           match split_verb r with
+                           | "MUL", c -> (c :: m, d, o)
+                           | "DIV", c -> (m, c :: d, o)
+                           | _ -> (m, d, r :: o))
+                         ([], [], []) reqs
+                     in
+                     if muls <> [] then batch "MULB" (List.rev muls);
+                     if divs <> [] then batch "DIVB" (List.rev divs);
+                     List.iter scalar (List.rev others);
+                     remaining := !remaining - k
+                   done
+                 end
                with Unix.Unix_error _ | Sys_error _ ->
                  Atomic.incr failures);
               close conn
@@ -242,6 +338,8 @@ let run ~endpoint ~requests ~conns ~dist ~seed =
               (if wall_s > 0.0 then float_of_int sent /. wall_s else 0.0);
             p50_us = Metrics.percentile_us lat 0.5;
             p99_us = Metrics.percentile_us lat 0.99;
+            batch_width;
+            batch_mismatches = Atomic.get mismatches;
             server_stats;
           }
   end
@@ -265,6 +363,14 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* A saturated percentile is [infinity]; JSON has no literal for it, so
+   quote it Prometheus-style. *)
+let json_us f =
+  if Float.is_finite f then Printf.sprintf "%.0f" f
+  else if f = infinity then "\"+Inf\""
+  else if f = neg_infinity then "\"-Inf\""
+  else "\"NaN\""
+
 let write_json ~path s =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
@@ -278,15 +384,19 @@ let write_json ~path s =
   out "  \"errors\": %d,\n" s.errors;
   out "  \"wall_seconds\": %.3f,\n" s.wall_s;
   out "  \"throughput_rps\": %.1f,\n" s.throughput_rps;
-  out "  \"client_p50_us\": %.0f,\n" s.p50_us;
-  out "  \"client_p99_us\": %.0f,\n" s.p99_us;
+  out "  \"client_p50_us\": %s,\n" (json_us s.p50_us);
+  out "  \"client_p99_us\": %s,\n" (json_us s.p99_us);
+  out "  \"batch_width\": %d,\n" s.batch_width;
+  out "  \"batch_mismatches\": %d,\n" s.batch_mismatches;
   out "  \"server_stats\": {\n";
   List.iteri
     (fun i (k, v) ->
       let v_json =
+        (* "+Inf" parses as a float but is not a JSON literal — only
+           pass finite numbers through bare. *)
         match float_of_string_opt v with
-        | Some _ -> v
-        | None -> Printf.sprintf "\"%s\"" (json_escape v)
+        | Some f when Float.is_finite f -> v
+        | Some _ | None -> Printf.sprintf "\"%s\"" (json_escape v)
       in
       out "    \"%s\": %s%s\n" (json_escape k) v_json
         (if i < List.length s.server_stats - 1 then "," else ""))
@@ -296,12 +406,19 @@ let write_json ~path s =
   close_out oc
 
 let pp_summary ppf s =
+  let us f = if Float.is_finite f then Printf.sprintf "%.0f" f else "+Inf" in
   Format.fprintf ppf
-    "@[<v>dist %s: %d requests over %d connection%s in %.2fs (%.0f req/s)@,\
-     ok %d, errors %d@,client latency p50 <= %.0f us, p99 <= %.0f us%a@]"
+    "@[<v>dist %s: %d requests over %d connection%s in %.2fs (%.0f req/s)%t@,\
+     ok %d, errors %d@,client latency p50 <= %s us, p99 <= %s us%a@]"
     (dist_to_string s.dist) s.requests s.conns
     (if s.conns = 1 then "" else "s")
-    s.wall_s s.throughput_rps s.ok s.errors s.p50_us s.p99_us
+    s.wall_s s.throughput_rps
+    (fun ppf ->
+      if s.batch_width > 1 then
+        Format.fprintf ppf "@,batch width %d, %d cross-check mismatch%s"
+          s.batch_width s.batch_mismatches
+          (if s.batch_mismatches = 1 then "" else "es"))
+    s.ok s.errors (us s.p50_us) (us s.p99_us)
     (fun ppf -> function
       | [] -> ()
       | kvs ->

@@ -34,20 +34,36 @@ type summary = {
   throughput_rps : float;
   p50_us : float;
   p99_us : float;  (** client-observed round-trip latency *)
+  batch_width : int;  (** [1] = all-scalar traffic *)
+  batch_mismatches : int;
+      (** batch lanes that were not byte-identical to the scalar reply
+          for the same operand in the per-connection cross-check; always
+          [0] for scalar traffic, and must be [0] for a healthy server *)
   server_stats : (string * string) list;
       (** [k=v] pairs from the final [STATS] reply, e.g.
           [("cache_hit_rate", "0.9731")] *)
 }
 
 val run :
+  ?batch_width:int ->
   endpoint:Server.endpoint ->
   requests:int ->
   conns:int ->
   dist:dist ->
   seed:int64 ->
+  unit ->
   (summary, string) result
-(** [Error] only for setup failures (cannot connect); per-request
-    failures are counted in [errors]. *)
+(** [Error] only for setup failures (cannot connect) or a [batch_width]
+    outside [1..]{!Protocol.max_batch_operands}; per-request failures
+    are counted in [errors].
+
+    [batch_width] above one coalesces each window of the request stream
+    into at most one [MULB] and one [DIVB] line (anything else — [EVAL]
+    lines — still goes scalar); every lane of a batch reply counts as
+    one logical request in the summary. The first batch on each
+    connection is cross-checked lane-by-lane against scalar requests
+    for the same operands; any reply that is not byte-identical bumps
+    [batch_mismatches]. *)
 
 val hit_rate : summary -> float option
 (** The server-reported [cache_hit_rate], if present. *)

@@ -78,18 +78,30 @@ let reset t =
 (* [q] is a fraction (0.99), Obs percentiles take 0..100. *)
 let percentile_us t q = Obs.Histogram.percentile t.latency (q *. 100.0)
 
+(* A percentile that falls in the histogram's overflow bucket is
+   [infinity]; render it the Prometheus way rather than as "inf". *)
+let us_str f = if Float.is_finite f then Printf.sprintf "%.0f" f else "+Inf"
+
 let render t =
-  Printf.sprintf "requests=%d errors=%d p50_us=%.0f p99_us=%.0f" (requests t)
-    (errors t) (percentile_us t 0.5) (percentile_us t 0.99)
+  Printf.sprintf "requests=%d errors=%d p50_us=%s p99_us=%s" (requests t)
+    (errors t)
+    (us_str (percentile_us t 0.5))
+    (us_str (percentile_us t 0.99))
 
 let pp_dump ppf t =
-  Format.fprintf ppf
-    "@[<v>requests: %d@,errors: %d@,p50: <= %.0f us@,p99: <= %.0f us"
-    (requests t) (errors t) (percentile_us t 0.5) (percentile_us t 0.99);
+  Format.fprintf ppf "@[<v>requests: %d@,errors: %d@,p50: <= %s us@,p99: <= %s us"
+    (requests t) (errors t)
+    (us_str (percentile_us t 0.5))
+    (us_str (percentile_us t 0.99));
   Array.iteri
     (fun b n ->
       if n > 0 then
-        Format.fprintf ppf "@,latency < %6.0f us: %d"
-          (Obs.Histogram.bucket_upper b) n)
+        let up = Obs.Histogram.bucket_upper b in
+        if Float.is_finite up then
+          Format.fprintf ppf "@,latency < %6.0f us: %d" up n
+        else
+          Format.fprintf ppf "@,latency >= %6.0f us: %d"
+            (Obs.Histogram.bucket_upper (b - 1))
+            n)
     (Obs.Histogram.bucket_counts t.latency);
   Format.fprintf ppf "@]"

@@ -7,6 +7,8 @@ module Word = Hppa_word.Word
 type request =
   | Mul of int32
   | Div of int32
+  | Mulb of int32 list
+  | Divb of int32 list
   | Eval of string * Word.t list
   | Stats
   | Metrics
@@ -16,6 +18,8 @@ type request =
 let verb = function
   | Mul _ -> "MUL"
   | Div _ -> "DIV"
+  | Mulb _ -> "MULB"
+  | Divb _ -> "DIVB"
   | Eval _ -> "EVAL"
   | Stats -> "STATS"
   | Metrics -> "METRICS"
@@ -23,6 +27,10 @@ let verb = function
   | Quit -> "QUIT"
 
 let max_line_bytes = 1024
+
+(* 64 operands of up to 11 characters plus separators and the verb fit
+   comfortably inside [max_line_bytes]. *)
+let max_batch_operands = 64
 
 let one_line s =
   String.map (function '\n' | '\r' -> ' ' | c -> c) s
@@ -66,6 +74,26 @@ let label_ok s =
          || c = '_')
        s
 
+(* Batch verbs take 1..max_batch_operands integers; one bad operand
+   rejects the whole request (a partial batch would desynchronize the
+   lane-indexed reply). *)
+let batch name mk args =
+  if args = [] then
+    Error (Printf.sprintf "parse %s needs at least one integer" name)
+  else if List.length args > max_batch_operands then
+    Error
+      (Printf.sprintf "parse %s takes at most %d integers" name
+         max_batch_operands)
+  else
+    let rec convert acc = function
+      | [] -> Ok (mk (List.rev acc))
+      | tok :: rest -> (
+          match int32_of_token tok with
+          | Ok w -> convert (w :: acc) rest
+          | Error e -> Error e)
+    in
+    convert [] args
+
 let parse line =
   let line =
     let n = String.length line in
@@ -83,6 +111,8 @@ let parse line =
         | "MUL", _ -> Error "parse MUL takes exactly one integer"
         | "DIV", [ d ] -> Result.map (fun d -> Div d) (int32_of_token d)
         | "DIV", _ -> Error "parse DIV takes exactly one integer"
+        | "MULB", args -> batch "MULB" (fun ns -> Mulb ns) args
+        | "DIVB", args -> batch "DIVB" (fun ds -> Divb ds) args
         | "EVAL", entry :: args ->
             if not (label_ok entry) then
               Error
@@ -113,6 +143,12 @@ let parse line =
 let pp_request ppf = function
   | Mul n -> Format.fprintf ppf "MUL %ld" n
   | Div d -> Format.fprintf ppf "DIV %ld" d
+  | Mulb ns ->
+      Format.fprintf ppf "MULB";
+      List.iter (fun n -> Format.fprintf ppf " %ld" n) ns
+  | Divb ds ->
+      Format.fprintf ppf "DIVB";
+      List.iter (fun d -> Format.fprintf ppf " %ld" d) ds
   | Eval (e, args) ->
       Format.fprintf ppf "EVAL %s" e;
       List.iter (fun w -> Format.fprintf ppf " %ld" w) args

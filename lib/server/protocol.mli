@@ -4,15 +4,22 @@
 
     {v MUL <n>                 constant-multiply plan for the int32 n
       DIV <d>                 constant-divide plan (d < 0: signed plan)
+      MULB <n...>             batch of 1..64 constant-multiply plans
+      DIVB <d...>             batch of 1..64 constant-divide plans
       EVAL <entry> <args...>  run a millicode entry (up to 4 int32 args)
       STATS                   server counters and latency percentiles
       METRICS                 Prometheus text scrape of the registry
       PING                    liveness probe
       QUIT                    close this connection v}
 
-    Replies are a single line starting with ["OK "] or ["ERR "] —
-    except [METRICS], whose reply is multi-line Prometheus exposition
-    text terminated by a line reading ["# EOF"]:
+    Replies are a single line starting with ["OK "] or ["ERR "] — with
+    two exceptions. [METRICS] replies with multi-line Prometheus
+    exposition text terminated by a line reading ["# EOF"]. The batch
+    verbs [MULB]/[DIVB] reply with a header line ["OK MULB k=<K>"]
+    followed by exactly K lines, the i-th being byte-identical to the
+    reply a scalar [MUL <n_i>] / [DIV <d_i>] request would have
+    produced (["OK ..."] or, e.g. for a zero divisor lane,
+    ["ERR ..."]):
 
     {v OK MUL n=625 steps=4 ... code=...
       ERR parse unknown command "FROB" v}
@@ -24,6 +31,8 @@
 type request =
   | Mul of int32
   | Div of int32
+  | Mulb of int32 list
+  | Divb of int32 list
   | Eval of string * Hppa_word.Word.t list
   | Stats
   | Metrics
@@ -38,6 +47,12 @@ val max_line_bytes : int
 (** Longest accepted request line (1024); longer lines are rejected with
     an [oversized] error by {!Server.respond} and by the connection
     reader. *)
+
+val max_batch_operands : int
+(** Most operands one [MULB]/[DIVB] request may carry (64) — sized so a
+    maximal batch still fits in {!max_line_bytes}. One malformed
+    operand rejects the whole batch: a partial batch would
+    desynchronize the lane-indexed reply. *)
 
 val parse : string -> (request, string) result
 (** Parse one request line (no trailing newline; a trailing ['\r'] is

@@ -213,6 +213,66 @@ let is_scrape s =
   String.length s >= 1 && s.[0] = '#'
   (* every scrape starts with a # HELP/# TYPE comment *)
 
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let is_batch_reply s = starts_with "OK MULB k=" s || starts_with "OK DIVB k=" s
+
+(* MULB/DIVB: one reply line per operand, each byte-identical to the
+   scalar MUL/DIV reply — lanes share the scalar plan cache in both
+   directions. All cache misses of one batch are computed in a single
+   pool job, so a batch costs one submit however many lanes miss. *)
+let dispatch_batch t breq =
+  let ns, scalar_of =
+    match (breq : Protocol.request) with
+    | Protocol.Mulb ns -> (ns, fun n -> Protocol.Mul n)
+    | Protocol.Divb ds -> (ds, fun d -> Protocol.Div d)
+    | _ -> invalid_arg "Server.dispatch_batch: not a batch request"
+  in
+  let reqs = List.map scalar_of ns in
+  let cached =
+    List.map (fun r -> (cache_key r, r, Lru.find t.cache (cache_key r))) reqs
+  in
+  let seen = Hashtbl.create 16 in
+  let misses =
+    List.filter_map
+      (fun (key, r, hit) ->
+        if hit = None && not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          Some (key, r)
+        end
+        else None)
+      cached
+  in
+  let computed =
+    match misses with
+    | [] -> []
+    | _ ->
+        Pool.submit t.pool (fun _mach ->
+            List.map (fun (key, r) -> (key, compute_plan t r)) misses)
+  in
+  List.iter
+    (fun (key, res) ->
+      match res with
+      | Ok (payload, artifact) -> cache_plan t key payload artifact
+      | Error _ -> ())
+    computed;
+  let lane (key, _, hit) =
+    match hit with
+    | Some payload -> Protocol.ok payload
+    | None -> (
+        match List.assoc_opt key computed with
+        | Some (Ok (payload, _)) -> Protocol.ok payload
+        | Some (Error detail) -> Protocol.err detail
+        | None -> Protocol.err "internal batch lane not computed")
+  in
+  let header =
+    Protocol.ok
+      (Printf.sprintf "%s k=%d" (Protocol.verb breq) (List.length reqs))
+  in
+  String.concat "\n" (header :: List.map lane cached)
+
 let dispatch t req =
   match (req : Protocol.request) with
   | Protocol.Ping -> Protocol.ok "pong"
@@ -230,6 +290,7 @@ let dispatch t req =
               cache_plan t key payload artifact;
               Protocol.ok payload
           | Error detail -> Protocol.err detail))
+  | Protocol.Mulb _ | Protocol.Divb _ -> dispatch_batch t req
   | Protocol.Eval (entry, args) -> (
       match
         Pool.submit t.pool (fun mach ->

@@ -75,8 +75,11 @@ val respond : t -> string -> string
 (** Map one raw request line to one reply (no trailing newline).
     Total: malformed input yields an ["ERR ..."] reply; internal
     exceptions are caught and reported as ["ERR internal ..."]. Every
-    reply is a single line except the [METRICS] scrape, which is
-    multi-line Prometheus text whose last line is ["# EOF"]. *)
+    reply is a single line except the [METRICS] scrape (multi-line
+    Prometheus text whose last line is ["# EOF"]) and the [MULB]/[DIVB]
+    batch replies (["OK MULB k=<K>"] header followed by K lines, each
+    byte-identical to the corresponding scalar reply — see
+    {!is_batch_reply}). *)
 
 val stats_payload : t -> string
 (** The [STATS] reply payload (also available without a socket). *)
@@ -88,6 +91,12 @@ val metrics_payload : t -> string
 val is_scrape : string -> bool
 (** Does this reply look like a [METRICS] scrape (starts with [#])?
     Replies satisfy [is_ok || is_err || is_scrape]. *)
+
+val is_batch_reply : string -> bool
+(** Does this reply open with a [MULB]/[DIVB] batch header
+    (["OK MULB k="] / ["OK DIVB k="])? Batch replies are the only
+    multi-line replies besides the [METRICS] scrape; every line after
+    the header is itself [is_ok || is_err]. *)
 
 val run : t -> unit
 (** Bind, listen and serve until {!stop}; then drain and return.

@@ -1,0 +1,283 @@
+(* Differential tests: the batched (SoA) engine against the scalar
+   threaded engine and the reference interpreter. Every lane of a batch
+   must be observationally identical — outcome, all 32 registers, PSW
+   C/V, PC, per-lane cycles, full memory — to a scalar machine with the
+   same history, over all millicode entries, seeded random programs,
+   mixed-lane traps and fuel-boundary lanes, at several widths
+   including width 1. The aggregate statistics (executed / nullified /
+   taken-branch counts and the mnemonic histogram) must equal the sum
+   of the corresponding scalar runs. *)
+
+module Word = Hppa_word.Word
+module Machine = Hppa_machine.Machine
+module Batch = Hppa_machine.Machine.Batch
+module Stats = Hppa_machine.Stats
+module Trap = Hppa_machine.Trap
+
+let outcome_str = function
+  | Machine.Halted -> "halted"
+  | Machine.Trapped t -> "trapped: " ^ Trap.to_string t
+  | Machine.Fuel_exhausted -> "fuel exhausted"
+
+let outcome_eq a b =
+  match (a, b) with
+  | Machine.Halted, Machine.Halted -> true
+  | Machine.Fuel_exhausted, Machine.Fuel_exhausted -> true
+  | Machine.Trapped x, Machine.Trapped y -> Trap.equal x y
+  | _ -> false
+
+(* Compare one batch lane against a scalar machine that ran the same
+   program with the same history. [scalar_cycles] is that machine's
+   cycle delta for the run being compared. *)
+let check_lane ~ctx ~mem_words b ~lane (m, om, scalar_cycles) =
+  let ob = Batch.outcome b ~lane in
+  if not (outcome_eq ob om) then
+    Alcotest.failf "%s lane %d: outcome %s (batch) vs %s (scalar)" ctx lane
+      (outcome_str ob) (outcome_str om);
+  for i = 0 to 31 do
+    let a = Batch.get_reg b ~lane (Reg.of_int i)
+    and c = Machine.get m (Reg.of_int i) in
+    if not (Word.equal a c) then
+      Alcotest.failf "%s lane %d: r%d = %ld (batch) vs %ld (scalar)" ctx lane i
+        a c
+  done;
+  if Batch.carry b ~lane <> Machine.carry m then
+    Alcotest.failf "%s lane %d: carry" ctx lane;
+  if Batch.v_bit b ~lane <> Machine.v_bit m then
+    Alcotest.failf "%s lane %d: V" ctx lane;
+  if Batch.pc b ~lane <> Machine.pc m then
+    Alcotest.failf "%s lane %d: pc %d vs %d" ctx lane (Batch.pc b ~lane)
+      (Machine.pc m);
+  if Batch.cycles b ~lane <> scalar_cycles then
+    Alcotest.failf "%s lane %d: cycles %d vs %d" ctx lane
+      (Batch.cycles b ~lane) scalar_cycles;
+  for w = 0 to mem_words - 1 do
+    let addr = Int32.of_int (4 * w) in
+    match (Batch.load_word b ~lane addr, Machine.load_word m addr) with
+    | Ok a, Ok c when Word.equal a c -> ()
+    | Ok a, Ok c ->
+        Alcotest.failf "%s lane %d: mem[%d] %ld vs %ld" ctx lane (4 * w) a c
+    | _ -> Alcotest.failf "%s lane %d: mem[%d] unreadable" ctx lane (4 * w)
+  done
+
+(* The aggregate batch statistics must be the lane-sum of the scalars. *)
+let check_stats_sum ~ctx b scalars =
+  let bs = Batch.stats b in
+  let sum f = List.fold_left (fun acc m -> acc + f (Machine.stats m)) 0 scalars in
+  if Stats.executed bs <> sum Stats.executed then
+    Alcotest.failf "%s: executed %d vs lane sum %d" ctx (Stats.executed bs)
+      (sum Stats.executed);
+  if Stats.nullified bs <> sum Stats.nullified then
+    Alcotest.failf "%s: nullified %d vs lane sum %d" ctx (Stats.nullified bs)
+      (sum Stats.nullified);
+  if Stats.branches_taken bs <> sum Stats.branches_taken then
+    Alcotest.failf "%s: taken %d vs lane sum %d" ctx (Stats.branches_taken bs)
+      (sum Stats.branches_taken);
+  let add tbl (m, n) =
+    Hashtbl.replace tbl m (n + (Option.value ~default:0 (Hashtbl.find_opt tbl m)))
+  in
+  let expect = Hashtbl.create 32 in
+  List.iter
+    (fun m -> List.iter (add expect) (Stats.by_mnemonic (Machine.stats m)))
+    scalars;
+  List.iter
+    (fun (m, n) ->
+      match Hashtbl.find_opt expect m with
+      | Some e when e = n -> ()
+      | Some e -> Alcotest.failf "%s: %s count %d vs lane sum %d" ctx m n e
+      | None -> Alcotest.failf "%s: unexpected mnemonic %s in batch" ctx m)
+    (Stats.by_mnemonic bs)
+
+let gen_value st =
+  match Random.State.int st 8 with
+  | 0 -> Int32.of_int (Random.State.int st 64)
+  | 1 -> Int32.of_int (Random.State.int st 4096 land lnot 3)
+  | 2 -> Machine.halt_sentinel
+  | 3 ->
+      List.nth
+        [ 0l; 1l; -1l; 2l; Int32.min_int; Int32.max_int; 0x7fffl; 0x8000l ]
+        (Random.State.int st 8)
+  | _ ->
+      Int32.logor
+        (Int32.shift_left (Int32.of_int (Random.State.int st 0x10000)) 16)
+        (Int32.of_int (Random.State.int st 0x10000))
+
+let widths = [ 1; 4; 7; 64 ]
+
+(* Every millicode entry, random operands, several widths. Batch lanes
+   and their paired scalar machines both persist register state across
+   rounds, so the histories stay aligned and every round compares the
+   full machine state, not just the returned values. *)
+let millicode_differential () =
+  let st = Random.State.make [| 0xBA7C; 1987 |] in
+  let prog = Hppa.Millicode.resolved () in
+  List.iter
+    (fun width ->
+      let b = Batch.create ~lanes:width prog in
+      let scalar = Array.init width (fun _ -> Machine.create prog) in
+      let interp =
+        Array.init width (fun _ ->
+            Machine.create
+              ~config:{ Machine.Config.default with engine = false }
+              prog)
+      in
+      List.iter
+        (fun entry ->
+          for round = 1 to 6 do
+            let args =
+              Array.init width (fun _ -> [ gen_value st; gen_value st ])
+            in
+            Batch.call b entry ~args;
+            Array.iteri
+              (fun l a ->
+                let ctx =
+                  Printf.sprintf "%s w=%d round %d" entry width round
+                in
+                let oe, ce = Machine.call_cycles scalar.(l) entry ~args:a in
+                check_lane ~ctx ~mem_words:0 b ~lane:l (scalar.(l), oe, ce);
+                let oi, ci = Machine.call_cycles interp.(l) entry ~args:a in
+                check_lane ~ctx:(ctx ^ " (interp)") ~mem_words:0 b ~lane:l
+                  (interp.(l), oi, ci))
+              args
+          done)
+        Hppa.Millicode.entries;
+      check_stats_sum
+        ~ctx:(Printf.sprintf "millicode w=%d" width)
+        b
+        (Array.to_list scalar))
+    widths
+
+(* One lane divides by zero; its neighbours must be unaffected and the
+   trap must be captured on that lane alone. *)
+let mixed_lane_traps () =
+  let prog = Hppa.Millicode.resolved () in
+  let width = 8 in
+  let b = Batch.create ~lanes:width prog in
+  let scalar = Array.init width (fun _ -> Machine.create prog) in
+  let args =
+    Array.init width (fun l ->
+        if l = 3 then [ 100l; 0l ]
+        else [ Int32.of_int ((l * 7919) + 12345); Int32.of_int (l + 2) ])
+  in
+  Batch.call b "divU" ~args;
+  Array.iteri
+    (fun l a ->
+      let om, cm = Machine.call_cycles scalar.(l) "divU" ~args:a in
+      check_lane ~ctx:"mixed traps" ~mem_words:0 b ~lane:l (scalar.(l), om, cm))
+    args;
+  (match Batch.outcome b ~lane:3 with
+  | Machine.Trapped (Trap.Break code) when code = Trap.divide_by_zero_code -> ()
+  | o -> Alcotest.failf "lane 3 should divide-trap, got %s" (outcome_str o));
+  Array.iteri
+    (fun l _ ->
+      if l <> 3 then
+        match Batch.outcome b ~lane:l with
+        | Machine.Halted -> ()
+        | o -> Alcotest.failf "lane %d should halt, got %s" l (outcome_str o))
+    args;
+  let c = Batch.counters b in
+  Alcotest.(check int) "lanes_run" width c.Batch.lanes_run;
+  Alcotest.(check int) "lanes_trapped" 1 c.Batch.lanes_trapped;
+  if c.Batch.dispatches <= 0 then Alcotest.fail "no dispatches counted"
+
+(* Divergent control flow under a tight fuel budget: some lanes halt,
+   some exhaust mid-loop, at every fuel level. *)
+let fuel_boundary_lanes () =
+  let prog = Hppa.Millicode.resolved () in
+  let width = 6 in
+  let args =
+    Array.init width (fun l ->
+        [ Int32.of_int ((l * 104729) + 7); Int32.of_int ((l * l) + 1) ])
+  in
+  for fuel = 0 to 40 do
+    let b = Batch.create ~lanes:width prog in
+    let scalar = Array.init width (fun _ -> Machine.create prog) in
+    Batch.call ~fuel b "divU" ~args;
+    Array.iteri
+      (fun l a ->
+        let om, cm = Machine.call_cycles ~fuel scalar.(l) "divU" ~args:a in
+        check_lane
+          ~ctx:(Printf.sprintf "fuel %d" fuel)
+          ~mem_words:0 b ~lane:l (scalar.(l), om, cm))
+      args
+  done
+
+(* Seeded random programs (loads, stores, traps, computed branches)
+   with per-lane random register images and private memories. *)
+let random_programs () =
+  let st = Random.State.make [| 0xBA7C; 42 |] in
+  let width = 8 in
+  let mem_bytes = 4096 in
+  for p = 1 to 40 do
+    let prog = Test_engine.gen_program st in
+    let b = Batch.create ~mem_bytes ~lanes:width prog in
+    let scalar =
+      Array.init width (fun _ -> Machine.create ~mem_bytes prog)
+    in
+    let interp =
+      Array.init width (fun _ ->
+          Machine.create ~mem_bytes
+            ~config:{ Machine.Config.default with engine = false }
+            prog)
+    in
+    for l = 0 to width - 1 do
+      for i = 1 to 31 do
+        let v = Test_engine.gen_value st in
+        Batch.set_reg b ~lane:l (Reg.of_int i) v;
+        Machine.set scalar.(l) (Reg.of_int i) v;
+        Machine.set interp.(l) (Reg.of_int i) v
+      done
+    done;
+    let args = Array.make width [] in
+    Batch.call ~fuel:2000 b "L0" ~args;
+    for l = 0 to width - 1 do
+      let ctx = Printf.sprintf "program %d" p in
+      let oe, ce = Machine.call_cycles ~fuel:2000 scalar.(l) "L0" ~args:[] in
+      check_lane ~ctx ~mem_words:(mem_bytes / 4) b ~lane:l (scalar.(l), oe, ce);
+      let oi, ci = Machine.call_cycles ~fuel:2000 interp.(l) "L0" ~args:[] in
+      check_lane ~ctx:(ctx ^ " (interp)") ~mem_words:(mem_bytes / 4) b ~lane:l
+        (interp.(l), oi, ci)
+    done;
+    check_stats_sum
+      ~ctx:(Printf.sprintf "program %d" p)
+      b
+      (Array.to_list scalar)
+  done
+
+(* Width-1 batches are just a slow scalar engine; pin the equivalence on
+   the divide edge grid, divide-by-zero included. *)
+let width_one () =
+  let prog = Hppa.Millicode.resolved () in
+  List.iter
+    (fun entry ->
+      let b = Batch.create ~lanes:1 prog in
+      let m = Machine.create prog in
+      List.iter
+        (fun (a, d) ->
+          let om, cm = Machine.call_cycles m entry ~args:[ a; d ] in
+          Batch.call b entry ~args:[| [ a; d ] |];
+          check_lane
+            ~ctx:(Printf.sprintf "%s(%ld, %ld)" entry a d)
+            ~mem_words:0 b ~lane:0 (m, om, cm))
+        [
+          (0l, 3l); (1l, 3l); (100l, 7l); (-100l, 7l); (100l, -7l);
+          (Int32.min_int, -1l); (Int32.max_int, 1l); (0xffff_ffffl, 2l);
+          (7l, 0l); (12345678l, 127l); (-1l, Int32.min_int);
+        ])
+    [ "divU"; "divI"; "remU"; "remI" ]
+
+let suite =
+  [
+    ( "batch.differential",
+      [
+        Alcotest.test_case "every millicode entry, widths 1/4/7/64" `Quick
+          millicode_differential;
+        Alcotest.test_case "mixed-lane divide-by-zero trap" `Quick
+          mixed_lane_traps;
+        Alcotest.test_case "fuel boundaries 0..40, divergent lanes" `Quick
+          fuel_boundary_lanes;
+        Alcotest.test_case "40 seeded random programs, width 8" `Quick
+          random_programs;
+        Alcotest.test_case "width 1 equals the scalar engine" `Quick width_one;
+      ] );
+  ]

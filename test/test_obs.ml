@@ -38,6 +38,69 @@ let test_histogram_percentiles () =
   Alcotest.(check (float 0.0)) "bucket 0" 1.0
     (Obs.Histogram.percentile h0 50.0)
 
+(* Observations at or above 2^38 land in the explicit overflow bucket;
+   percentiles whose rank falls there report +Inf, never a fake finite
+   upper bound. *)
+let test_histogram_overflow () =
+  Alcotest.(check bool)
+    "overflow upper bound is +Inf" true
+    (Obs.Histogram.bucket_upper (Obs.Histogram.buckets - 1) = infinity);
+  let h = Obs.Histogram.create () in
+  for _ = 1 to 9 do
+    Obs.Histogram.observe h 3.0
+  done;
+  Obs.Histogram.observe h 1e12 (* ~11.6 days in us: beyond 2^38 *);
+  Alcotest.(check int) "count" 10 (Obs.Histogram.count h);
+  Alcotest.(check (float 0.0)) "p50 stays finite" 4.0
+    (Obs.Histogram.percentile h 50.0);
+  Alcotest.(check bool) "p100 is +Inf" true
+    (Obs.Histogram.percentile h 100.0 = infinity);
+  (* The largest representable finite bucket still resolves finitely. *)
+  let h2 = Obs.Histogram.create () in
+  Obs.Histogram.observe h2 (Float.of_int (1 lsl 37));
+  Alcotest.(check (float 0.0))
+    "last finite bucket" (Float.of_int (1 lsl 38))
+    (Obs.Histogram.percentile h2 100.0)
+
+let count_substring needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let n = ref 0 in
+  for i = 0 to hl - nl do
+    if String.sub hay i nl = needle then incr n
+  done;
+  !n
+
+(* An overflowed histogram must export exactly one +Inf bucket line
+   (carrying the total), parse back, and stay valid JSON. *)
+let test_histogram_overflow_export () =
+  let reg = Obs.Registry.create () in
+  let h = Obs.Registry.histogram reg "lat_us" in
+  for _ = 1 to 9 do
+    Obs.Histogram.observe h 3.0
+  done;
+  Obs.Histogram.observe h 1e12;
+  let text = Obs.Export.prometheus (Obs.Registry.snapshot reg) in
+  Alcotest.(check int)
+    "exactly one +Inf bucket line" 1
+    (count_substring "lat_us_bucket{le=\"+Inf\"}" text);
+  Alcotest.(check int)
+    "+Inf line carries the total" 1
+    (count_substring "lat_us_bucket{le=\"+Inf\"} 10" text);
+  Alcotest.(check int)
+    "no lowercase inf leaks" 0
+    (count_substring "le=\"inf\"" text);
+  (match Obs.Export.parse_prometheus (text ^ "# EOF") with
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg
+  | Ok samples ->
+      Alcotest.(check (option (float 0.0)))
+        "count round trips" (Some 10.0)
+        (Obs.Export.find samples "lat_us_count"));
+  let json = Obs.Export.json (Obs.Registry.snapshot reg) in
+  Alcotest.(check int)
+    "overflow bucket quoted in JSON" 1
+    (count_substring "[\"+Inf\",10]" json);
+  Alcotest.(check int) "no bare inf in JSON" 0 (count_substring "[inf" json)
+
 (* ------------------------------------------------------------------ *)
 (* Registry semantics                                                  *)
 
@@ -309,6 +372,9 @@ let suite =
         Alcotest.test_case "counter basics" `Quick test_counter_basics;
         Alcotest.test_case "histogram percentiles" `Quick
           test_histogram_percentiles;
+        Alcotest.test_case "histogram overflow" `Quick test_histogram_overflow;
+        Alcotest.test_case "histogram overflow export" `Quick
+          test_histogram_overflow_export;
       ] );
     ( "obs:registry",
       [

@@ -407,6 +407,70 @@ let test_store_cert_round_trip () =
       Alcotest.(check bool) "cert fields survive round trip" true
         (Autotune.Store.entries loaded = Autotune.Store.entries store)
 
+(* Batched measurement is a pure perf optimization: the verdict —
+   every cycle aggregate — must be identical at any batch width, and
+   the width used must survive the BENCH_PLANS.json round trip. *)
+let test_measure_batch_parity () =
+  let workload = Autotune.Figure5 { samples = 37; seed = 11L } in
+  let req = Plan.mul_const 625l in
+  let strategy =
+    match Selector.choose req with
+    | Ok c -> c.Selector.chosen
+    | Error e -> Alcotest.failf "choose: %s" e
+  in
+  let verdict width =
+    match Autotune.measure ~batch_width:width workload req strategy with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "measure width %d: %s" width e
+  in
+  let scalar = verdict 1 in
+  Alcotest.(check int) "scalar records width 1" 1 scalar.Autotune.batch_width;
+  List.iter
+    (fun width ->
+      let m = verdict width in
+      Alcotest.(check int)
+        (Printf.sprintf "width %d records its width" width)
+        (min width 37) m.Autotune.batch_width;
+      Alcotest.(check int)
+        (Printf.sprintf "width %d total cycles" width)
+        scalar.Autotune.total_cycles m.Autotune.total_cycles;
+      Alcotest.(check int)
+        (Printf.sprintf "width %d min cycles" width)
+        scalar.Autotune.min_cycles m.Autotune.min_cycles;
+      Alcotest.(check int)
+        (Printf.sprintf "width %d max cycles" width)
+        scalar.Autotune.max_cycles m.Autotune.max_cycles;
+      Alcotest.(check int)
+        (Printf.sprintf "width %d samples" width)
+        scalar.Autotune.samples m.Autotune.samples)
+    [ 4; 16; 256 ];
+  (* batch_width survives serialization; width-1 entries serialize
+     byte-identically to pre-batch stores (no field emitted). *)
+  let store = Autotune.Store.create () in
+  Autotune.Store.add store (verdict 16);
+  let json = Autotune.Store.to_json store in
+  let contains needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "batch_width serialized" true
+    (contains "\"batch_width\":16");
+  (match Autotune.Store.of_json json with
+  | Error e -> Alcotest.failf "reload: %s" e
+  | Ok loaded ->
+      Alcotest.(check bool) "batched entry round trips" true
+        (Autotune.Store.entries loaded = Autotune.Store.entries store));
+  let scalar_store = Autotune.Store.create () in
+  Autotune.Store.add scalar_store scalar;
+  Alcotest.(check bool) "width 1 omits the field" false
+    (let json = Autotune.Store.to_json scalar_store in
+     let n = String.length "batch_width" and h = String.length json in
+     let rec go i =
+       i + n <= h && (String.sub json i n = "batch_width" || go (i + 1))
+     in
+     go 0)
+
 let test_store_rejects_garbage () =
   (match Autotune.Store.of_json "" with
   | Ok _ -> Alcotest.fail "empty input accepted"
@@ -452,6 +516,8 @@ let suite =
         Alcotest.test_case "store round trip" `Quick test_store_round_trip;
         Alcotest.test_case "store certificate round trip" `Quick
           test_store_cert_round_trip;
+        Alcotest.test_case "batch measurement parity" `Quick
+          test_measure_batch_parity;
         Alcotest.test_case "store rejects garbage" `Quick
           test_store_rejects_garbage;
       ] );

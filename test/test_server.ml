@@ -56,6 +56,13 @@ let test_parse_valid () =
   parse_ok "MUL 0x1f" (Protocol.Mul 31l) ();
   parse_ok "MUL 4294967295" (Protocol.Mul (-1l)) ();
   parse_ok "DIV 19\r" (Protocol.Div 19l) ();
+  parse_ok "MULB 625" (Protocol.Mulb [ 625l ]) ();
+  parse_ok "mulb 625 -7 0x1f" (Protocol.Mulb [ 625l; -7l; 31l ]) ();
+  parse_ok "DIVB 7 0 -9" (Protocol.Divb [ 7l; 0l; -9l ]) ();
+  parse_ok
+    ("MULB " ^ String.concat " " (List.init 64 string_of_int))
+    (Protocol.Mulb (List.init 64 Int32.of_int))
+    ();
   parse_ok "EVAL mulI 99 -7" (Protocol.Eval ("mulI", [ 99l; -7l ])) ();
   parse_ok "EVAL divU" (Protocol.Eval ("divU", [])) ();
   parse_ok "STATS" Protocol.Stats ();
@@ -79,6 +86,11 @@ let test_parse_invalid () =
       "EVAL";
       "EVAL bad-label 1";
       "EVAL mulI 1 2 3 4 5";  (* five arguments *)
+      "MULB";  (* batch needs at least one operand *)
+      "DIVB";
+      "MULB 1 2 three";  (* one bad operand rejects the whole batch *)
+      "DIVB 99999999999999";
+      "MULB " ^ String.concat " " (List.init 65 string_of_int);  (* cap 64 *)
       "STATS now";
       "METRICS all";
       "QUIT 0";
@@ -103,7 +115,8 @@ let fuzz_inputs =
      (* Truncations and corruptions of valid requests. *)
      let seeds =
        [
-         "MUL 625"; "DIV 7"; "EVAL mulI 99 -7"; "STATS"; "PING"; "QUIT";
+         "MUL 625"; "DIV 7"; "MULB 625 -7 0"; "DIVB 7 0 -9";
+         "EVAL mulI 99 -7"; "STATS"; "PING"; "QUIT";
        ]
      in
      let truncated =
@@ -127,6 +140,7 @@ let fuzz_inputs =
          String.make 4000 'A';
          "MUL " ^ String.make 2000 '9';
          String.make (Protocol.max_line_bytes + 1) ' ' ^ "PING";
+         "MULB " ^ String.concat " " (List.init 200 string_of_int);
        ]
      in
      random @ truncated @ corrupted @ oversized)
@@ -151,10 +165,18 @@ let test_fuzz_respond_total () =
                   (Protocol.is_ok reply || Protocol.is_err reply
                  || Server.is_scrape reply)
               then Alcotest.failf "unframed reply %S for %S" reply line;
-              (* Only the METRICS scrape may span lines. *)
-              if
-                String.contains reply '\n' && not (Server.is_scrape reply)
-              then Alcotest.failf "multi-line reply for %S" line
+              (* Only the METRICS scrape and MULB/DIVB batch replies
+                 may span lines — and every batch lane line must itself
+                 be a framed scalar reply. *)
+              if String.contains reply '\n' then
+                if Server.is_batch_reply reply then
+                  List.iter
+                    (fun l ->
+                      if not (Protocol.is_ok l || Protocol.is_err l) then
+                        Alcotest.failf "unframed batch lane %S for %S" l line)
+                    (List.tl (String.split_on_char '\n' reply))
+                else if not (Server.is_scrape reply) then
+                  Alcotest.failf "multi-line reply for %S" line
           | exception exn ->
               Alcotest.failf "respond raised %s on %S"
                 (Printexc.to_string exn) line)
@@ -407,6 +429,73 @@ let test_dispatch_semantics () =
       check_reply srv "STATS" ~ok:true
         [ "requests="; "cache_hit_rate="; "p99_us=" ])
 
+(* The acceptance criterion for the batch verbs: a MULB/DIVB reply is a
+   "k=K" header plus K lines byte-identical to the K scalar replies —
+   whether the lanes come from the cache or a fresh computation, and
+   including error lanes (DIV 0). *)
+let test_batch_byte_identity () =
+  let mul_ops = [ "625"; "-7"; "0"; "1"; "625" ] in
+  let div_ops = [ "7"; "0"; "-9"; "16"; "1" ] in
+  let check_batch srv verb scalar_verb ops =
+    let scalars =
+      List.map (fun n -> Server.respond srv (scalar_verb ^ " " ^ n)) ops
+    in
+    let reply = Server.respond srv (verb ^ " " ^ String.concat " " ops) in
+    Alcotest.(check bool)
+      (verb ^ " framed as batch") true
+      (Server.is_batch_reply reply);
+    match String.split_on_char '\n' reply with
+    | header :: lanes ->
+        Alcotest.(check string)
+          (verb ^ " header")
+          (Printf.sprintf "OK %s k=%d" verb (List.length ops))
+          header;
+        List.iteri
+          (fun i (scalar, lane) ->
+            Alcotest.(check string)
+              (Printf.sprintf "%s lane %d byte-identical" verb i)
+              scalar lane)
+          (List.combine scalars lanes)
+    | [] -> Alcotest.fail "empty batch reply"
+  in
+  (* Warm path: scalars answered first, the batch hits their cache. *)
+  with_server ~workers:2 (fun srv ->
+      check_batch srv "MULB" "MUL" mul_ops;
+      check_batch srv "DIVB" "DIV" div_ops);
+  (* Cold path: the batch computes first; scalars afterwards must agree
+     (the batch populated the shared scalar cache). *)
+  with_server ~workers:2 (fun srv ->
+      let reply = Server.respond srv ("MULB " ^ String.concat " " mul_ops) in
+      let lanes = List.tl (String.split_on_char '\n' reply) in
+      List.iter2
+        (fun n lane ->
+          Alcotest.(check string)
+            (Printf.sprintf "cold MULB lane %s = later scalar" n)
+            lane
+            (Server.respond srv ("MUL " ^ n)))
+        mul_ops lanes;
+      (* Every distinct operand the batch computed is now a cache hit. *)
+      let stats = Server.respond srv "STATS" in
+      Alcotest.(check bool)
+        (Printf.sprintf "batch warmed the scalar cache (%s)" stats)
+        true
+        (contains ~needle:"cache_hits=5" stats))
+
+let test_batch_error_lanes () =
+  with_server (fun srv ->
+      let reply = Server.respond srv "DIVB 7 0 16" in
+      match String.split_on_char '\n' reply with
+      | [ header; l0; l1; l2 ] ->
+          Alcotest.(check string) "header" "OK DIVB k=3" header;
+          Alcotest.(check bool) "lane 0 ok" true (Protocol.is_ok l0);
+          Alcotest.(check bool) "lane 1 is ERR" true (Protocol.is_err l1);
+          Alcotest.(check bool) "lane 1 names the cause" true
+            (contains ~needle:"division by zero" l1);
+          Alcotest.(check bool) "lane 2 ok" true (Protocol.is_ok l2);
+          Alcotest.(check bool) "lane 2 strategy" true
+            (contains ~needle:"strategy=shift:4" l2)
+      | ls -> Alcotest.failf "expected 4 lines, got %d" (List.length ls))
+
 let test_metrics_scrape () =
   with_server (fun srv ->
       ignore (Server.respond srv "MUL 625");
@@ -541,6 +630,7 @@ let test_plans_warm_start () =
       min_cycles = 10;
       max_cycles = 10;
       used_engine = true;
+      batch_width = 1;
       cert_kind = None;
       cert_digest = None;
     }
@@ -664,7 +754,7 @@ let test_end_to_end () =
   let summary =
     match
       Load_gen.run ~endpoint:(Server.Unix_socket path) ~requests:300
-        ~conns:3 ~dist:Load_gen.Mixed ~seed:7L
+        ~conns:3 ~dist:Load_gen.Mixed ~seed:7L ()
     with
     | Ok s -> s
     | Error e -> Alcotest.failf "load_gen: %s" e
@@ -673,6 +763,22 @@ let test_end_to_end () =
   Alcotest.(check int) "zero errors" 0 summary.Load_gen.errors;
   Alcotest.(check bool) "server stats scraped" true
     (summary.Load_gen.server_stats <> []);
+  (* Batched traffic against the same server: every lane answered, the
+     first-batch byte-identity cross-check clean. *)
+  let batched =
+    match
+      Load_gen.run ~batch_width:8
+        ~endpoint:(Server.Unix_socket path)
+        ~requests:300 ~conns:3 ~dist:Load_gen.Zipf ~seed:7L ()
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "load_gen batched: %s" e
+  in
+  Alcotest.(check int) "batched: all requests answered" 300
+    batched.Load_gen.requests;
+  Alcotest.(check int) "batched: zero errors" 0 batched.Load_gen.errors;
+  Alcotest.(check int) "batched: zero mismatches" 0
+    batched.Load_gen.batch_mismatches;
   (* Graceful stop: run returns and the socket file is gone. *)
   Server.stop srv;
   Thread.join th;
@@ -682,7 +788,7 @@ let test_load_gen_connect_failure () =
   match
     Load_gen.run
       ~endpoint:(Server.Unix_socket "/nonexistent/definitely-missing.sock")
-      ~requests:5 ~conns:1 ~dist:Load_gen.Zipf ~seed:1L
+      ~requests:5 ~conns:1 ~dist:Load_gen.Zipf ~seed:1L ()
   with
   | Ok _ -> Alcotest.fail "connected to nothing"
   | Error _ -> ()
@@ -730,6 +836,9 @@ let suite =
     ( "server:dispatch",
       [
         Alcotest.test_case "semantics" `Quick test_dispatch_semantics;
+        Alcotest.test_case "batch byte identity" `Quick
+          test_batch_byte_identity;
+        Alcotest.test_case "batch error lanes" `Quick test_batch_error_lanes;
         Alcotest.test_case "metrics scrape" `Quick test_metrics_scrape;
         Alcotest.test_case "selector metrics and artifacts" `Quick
           test_plan_selector_metrics;
