@@ -13,6 +13,9 @@
                                                  strategy on the simulator,
                                                  gate the selector, write
                                                  BENCH_PLANS.json
+     dune exec bench/main.exe w64             -- double-word kernel cycles
+                                                 vs per-word millicode
+                                                 lower bounds
 
    All workloads are seeded; output is deterministic (except host times). *)
 
@@ -752,6 +755,14 @@ let plan_requests ~fast =
   @ List.map (fun c -> Strategy.div_const Strategy.Unsigned c) divs
   @ [ Strategy.mul_var (); Strategy.div_var Strategy.Unsigned ]
 
+(* The full double-word family; always variable-operand. *)
+let w64_requests =
+  [
+    Strategy.w64_mul Strategy.Unsigned; Strategy.w64_mul Strategy.Signed;
+    Strategy.w64_div Strategy.Unsigned; Strategy.w64_div Strategy.Signed;
+    Strategy.w64_rem Strategy.Unsigned; Strategy.w64_rem Strategy.Signed;
+  ]
+
 (* Measure every candidate for every request; errors count as failures
    in [plans] mode (a request the registry cannot serve is a bug). *)
 let tune_reports ~obs ~store ~workload reqs =
@@ -812,6 +823,24 @@ let bench_plans ~fast ~out () =
   let workload = Autotune.Figure5 { samples; seed = 0x5EEDL } in
   let reports, failures = tune_reports ~obs ~store ~workload (plan_requests ~fast) in
   let failures = ref failures in
+  (* The W64 family tunes over its own 64-bit operand models: the
+     high-word-zero mix plus (slow path) fully-64-bit uniform pairs. *)
+  let w64_samples = if fast then 16 else 64 in
+  let w64_reports, w64_failures =
+    tune_reports ~obs ~store
+      ~workload:(Autotune.Hw0 { samples = w64_samples; seed = 0x5EED64L })
+      w64_requests
+  in
+  failures := !failures + w64_failures;
+  let u64_reports, u64_failures =
+    if fast then ([], 0)
+    else
+      tune_reports ~obs ~store
+        ~workload:(Autotune.Uniform64 { samples = w64_samples; seed = 0x64L })
+        [ Strategy.w64_mul Strategy.Unsigned; Strategy.w64_div Strategy.Unsigned ]
+  in
+  failures := !failures + u64_failures;
+  let reports = reports @ w64_reports @ u64_reports in
   Printf.printf "  %-14s %-18s %10s %10s  %s\n" "request" "chosen"
     "mean cyc" "fallback" "gate";
   List.iter
@@ -900,6 +929,20 @@ let bench_certify ~fast () =
     "  divisors 1..%d x {divU, divI, divI(-d), remU, remI}: %d plans, %d \
      failure(s) in %.1fs\n"
     limit total !failures dt;
+  (* The double-word family: every W64 entry must certify against the
+     canonical millicode image (body equivalence). *)
+  let w64_ok = ref 0 in
+  List.iter
+    (fun req ->
+      match Hppa_plan.Selector.choose ~obs ~require_certified:true req with
+      | Ok _ -> incr w64_ok
+      | Error msg ->
+          Printf.eprintf "bench certify: %s: %s\n%!"
+            (Strategy.request_id req) msg;
+          incr failures)
+    w64_requests;
+  Printf.printf "  w64 family: %d of %d certified\n%!" !w64_ok
+    (List.length w64_requests);
   (* The counters the server exports under the same name. *)
   List.iter
     (fun (s : Obs.sample) ->
@@ -916,6 +959,74 @@ let bench_certify ~fast () =
     Printf.eprintf "bench certify: %d uncertified divide plan(s)\n" !failures;
     exit 1
   end
+
+(* ------------------------------------------------------------------ *)
+(* w64: the double-word kernel family, measured                         *)
+
+(* Per-entry cycle statistics over the high-word-zero operand mix, next
+   to a reference scale stated in per-word millicode calls: a 128-bit
+   product is four 32x32 [mulU64] partial products, and a normalized
+   64/64 divide runs the 64/32 [divU64] core at least once. The ratio
+   column shows what the frame spills, reloads, sign handling and
+   normalization glue cost relative to that scale; the multiplies can
+   land below 1.0x because the shift-and-add ladder is data-dependent
+   and partial products with small high words are cheap. *)
+let bench_w64 ~fast () =
+  header "64-bit kernel family (lib/w64): measured cycles vs per-word calls";
+  let m = Lazy.force mach in
+  let n = if fast then 400 else 2000 in
+  let block entry args_of =
+    let g = Prng.create 0x5EED64L in
+    let tot = ref 0 in
+    for _ = 1 to n do
+      let x, y = Operand_dist.w64_pair g in
+      tot := !tot + cycles entry (args_of x y)
+    done;
+    float_of_int !tot /. float_of_int n
+  in
+  let mul64_mean =
+    block "mulU64" (fun x y -> [ Hppa_w64.lo32 x; Hppa_w64.lo32 y ])
+  in
+  let div64_mean =
+    block "divU64" (fun x y ->
+        let d = Hppa_w64.lo32 y in
+        let d = if Word.equal d 0l then 1l else d in
+        [ 0l; Hppa_w64.lo32 x; d ])
+  in
+  Printf.printf
+    "  building blocks (same stream, low words): mulU64 %.1f cycles, divU64 \
+     %.1f cycles\n\n"
+    mul64_mean div64_mean;
+  Printf.printf "  %-10s %6s %7s %6s %8s %-12s %6s\n" "entry" "min" "mean"
+    "max" "ref" "(per-word)" "ratio";
+  List.iter
+    (fun entry ->
+      let g = Prng.create 0x5EED64L in
+      let cmin = ref max_int and cmax = ref 0 and tot = ref 0 in
+      for _ = 1 to n do
+        let x, y = Operand_dist.w64_pair g in
+        match Hppa_w64.call_cycles m entry ~x ~y with
+        | Hppa_w64.Value _, c ->
+            cmin := min !cmin c;
+            cmax := max !cmax c;
+            tot := !tot + c
+        | Hppa_w64.Trap t, _ ->
+            Printf.eprintf "bench w64: %s trapped: %s\n%!" entry
+              (Hppa_machine.Trap.to_string t);
+            exit 1
+        | Hppa_w64.Fuel, _ ->
+            Printf.eprintf "bench w64: %s exhausted its fuel\n%!" entry;
+            exit 1
+      done;
+      let mean = float_of_int !tot /. float_of_int n in
+      let bound, what =
+        match Hppa_w64.op_of_entry entry with
+        | Hppa_w64.Mul -> (4.0 *. mul64_mean, "4 x mulU64")
+        | Hppa_w64.Div | Hppa_w64.Rem -> (div64_mean, "1 x divU64")
+      in
+      Printf.printf "  %-10s %6d %7.1f %6d %8.1f %-12s %5.2fx\n" entry !cmin
+        mean !cmax bound what (mean /. bound))
+    Hppa_w64.entries
 
 (* ------------------------------------------------------------------ *)
 (* BENCH_SIM.json: machine-readable performance snapshot                *)
@@ -1202,6 +1313,7 @@ let () =
   else if List.mem "plans" selected then
     bench_plans ~fast ~out:(Option.value out ~default:"BENCH_PLANS.json") ()
   else if List.mem "certify" selected then bench_certify ~fast ()
+  else if List.mem "w64" selected then bench_w64 ~fast ()
   else begin
     let to_run =
       if selected = [] then all_figures
@@ -1210,7 +1322,8 @@ let () =
     in
     if to_run = [] then begin
       Printf.printf
-        "unknown selection; available: %s bechamel json batch plans certify\n"
+        "unknown selection; available: %s bechamel json batch plans certify \
+         w64\n"
         (String.concat " " (List.map fst all_figures));
       exit 2
     end;

@@ -157,7 +157,8 @@ let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.s")
 let plan =
   Arg.(value & opt (some string) None & info [ "p"; "plan" ] ~docv:"REQ"
          ~doc:"Instead of running a file, print the kernel-strategy \
-               selection for request $(docv) (e.g. \"mul 625\", \"divu x\") \
+               selection for request $(docv) (e.g. \"mul 625\", \"divu x\", \
+               or a double-word request like \"w64mulu x\", \"w64divi x\") \
                and autotune every candidate on the simulator; exits 1 if \
                the chosen plan measures slower than the millicode fallback.")
 

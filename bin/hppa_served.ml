@@ -306,7 +306,8 @@ let load_cmd =
           ~doc:
             "Request distribution: $(b,figure5) (EVAL with the paper's \
              operand model), $(b,zipf) (Zipf-skewed MUL/DIV constants), \
-             $(b,smalldiv), or $(b,mixed).")
+             $(b,smalldiv), $(b,mixed), or $(b,w64mix) (Zipf MUL/DIV \
+             with double-word W64MUL/W64DIV/W64REM traffic mixed in).")
   in
   let seed =
     Arg.(

@@ -1,0 +1,238 @@
+module Word = Hppa_word.Word
+
+(* 64/64 divide and remainder over register pairs: X = (arg0:arg1),
+   Y = (arg2:arg3). The shared core [w64$udivmod] returns the quotient
+   dword in (ret0:ret1) and the remainder dword in (arg0:arg1); the four
+   public entries are thin wrappers selecting one result pair.
+
+   The unsigned core follows the classic normalization scheme (Hacker's
+   Delight figure 9-5, specialised to two words):
+
+   - yh = 0: two chained 64/32 [divU64] steps, exactly the paper's
+     extended divide — q_hi, r1 = (0:xh) / yl then q_lo, r = (r1:xl) / yl.
+     Both calls satisfy divU64's hi < divisor precondition.
+   - yh != 0: the quotient fits one word. Normalize Y left by
+     s = nlz(yh) so its top bit is set, take v1 = the high word of the
+     normalized divisor, and estimate q1 = (X >> 1) / v1 with one
+     [divU64] call (its high word xh >> 1 < 2^31 <= v1, so the
+     precondition holds). Then q0 = (q1 << s) >> 31 is either the true
+     quotient or one too large; after the guarded decrement it is exact
+     or one too small, and a single compare-and-correct against
+     R = X - q0 * Y finishes. The multiply-back uses two [mulU64] calls
+     (q0 * yl in full, the low word of q0 * yh); q0 * Y <= X < 2^64 keeps
+     it exact in 64 bits.
+
+   Frame layout (see mul_ext.ml / mul_w64.ml): the core uses bytes
+   104..143, the signed shell 164..175, the public wrappers 160..163. *)
+
+let udivmod_source =
+  let b = Builder.create ~prefix:"w64$udivmod" () in
+  let l s = "w64$udivmod$" ^ s in
+  let sp = Reg.sp in
+  Builder.label b "w64$udivmod";
+  Builder.insns b
+    [
+      Emit.stw Reg.mrp 104l sp;
+      Emit.stw Reg.arg0 108l sp; (* xh *)
+      Emit.stw Reg.arg1 112l sp; (* xl *)
+      Emit.stw Reg.arg2 116l sp; (* yh *)
+      Emit.stw Reg.arg3 120l sp; (* yl *)
+      Emit.comib Cond.Neq 0l Reg.arg2 (l "big");
+      (* -- yh = 0: two 64/32 divide steps ---------------------------- *)
+      Emit.comib Cond.Eq 0l Reg.arg3 (l "zero");
+      Emit.copy Reg.arg0 Reg.arg1; (* (0:xh) / yl *)
+      Emit.copy Reg.arg3 Reg.arg2;
+      Emit.copy Reg.r0 Reg.arg0;
+      Emit.bl "divU64" Reg.mrp;
+      Emit.stw Reg.ret0 124l sp; (* q_hi *)
+      Emit.copy Reg.ret1 Reg.arg0; (* (r1:xl) / yl *)
+      Emit.ldw 112l sp Reg.arg1;
+      Emit.ldw 120l sp Reg.arg2;
+      Emit.bl "divU64" Reg.mrp;
+      Emit.ldw 124l sp Reg.t2;
+      Emit.copy Reg.ret1 Reg.arg1; (* r_lo *)
+      Emit.copy Reg.ret0 Reg.ret1; (* q_lo *)
+      Emit.copy Reg.t2 Reg.ret0; (* q_hi *)
+      Emit.copy Reg.r0 Reg.arg0; (* r_hi = 0 *)
+      Emit.ldw 104l sp Reg.mrp;
+      Emit.mret;
+    ];
+  Builder.label b (l "zero");
+  Builder.insn b (Emit.break Hppa_machine.Trap.divide_by_zero_code);
+  (* -- yh != 0: normalize and estimate ------------------------------- *)
+  Builder.label b (l "big");
+  Builder.insns b
+    [
+      Emit.copy Reg.r0 Reg.t1; (* s = 0 *)
+      Emit.copy Reg.arg2 Reg.t2; (* (vh:vl) = Y *)
+      Emit.copy Reg.arg3 Reg.t3;
+    ];
+  Builder.label b (l "norm");
+  Builder.insns b
+    [
+      Emit.comb Cond.Lt Reg.t2 Reg.r0 (l "normed"); (* top bit set *)
+      Emit.shd Reg.t2 Reg.t3 31 Reg.t2; (* (vh:vl) <<= 1 *)
+      Emit.shl Reg.t3 1 Reg.t3;
+      Emit.ldo 1l Reg.t1 Reg.t1; (* s += 1 *)
+      Emit.b (l "norm");
+    ];
+  Builder.label b (l "normed");
+  Builder.insns b
+    [
+      Emit.stw Reg.t1 128l sp; (* s *)
+      Emit.shd Reg.arg0 Reg.arg1 1 Reg.arg1; (* u1 = X >> 1 *)
+      Emit.shr_u Reg.arg0 1 Reg.arg0;
+      Emit.copy Reg.t2 Reg.arg2; (* v1 *)
+      Emit.bl "divU64" Reg.mrp; (* q1 = u1 / v1 *)
+      (* q0 = (q1 << s) >> 31, as a pair shift left by s then shd. *)
+      Emit.ldw 128l sp Reg.t1;
+      Emit.copy Reg.r0 Reg.t2;
+      Emit.copy Reg.ret0 Reg.t3;
+      Emit.comib Cond.Eq 0l Reg.t1 (l "shifted");
+    ];
+  Builder.label b (l "shift");
+  Builder.insns b
+    [
+      Emit.shd Reg.t2 Reg.t3 31 Reg.t2;
+      Emit.shl Reg.t3 1 Reg.t3;
+      Emit.addib Cond.Neq (-1l) Reg.t1 (l "shift");
+    ];
+  Builder.label b (l "shifted");
+  Builder.insns b
+    [
+      Emit.shd Reg.t2 Reg.t3 31 Reg.t4; (* q0 *)
+      Emit.comiclr Cond.Eq 0l Reg.t4 Reg.r0; (* q0 -= 1 unless zero *)
+      Emit.ldo (-1l) Reg.t4 Reg.t4;
+      Emit.stw Reg.t4 132l sp; (* q0 *)
+      (* R = X - q0 * Y, exact in 64 bits. *)
+      Emit.copy Reg.t4 Reg.arg0;
+      Emit.ldw 120l sp Reg.arg1;
+      Emit.bl "mulU64" Reg.mrp; (* q0 * yl *)
+      Emit.stw Reg.ret0 136l sp; (* p_lo *)
+      Emit.stw Reg.ret1 140l sp; (* p_hi *)
+      Emit.ldw 132l sp Reg.arg0;
+      Emit.ldw 116l sp Reg.arg1;
+      Emit.bl "mulU64" Reg.mrp; (* q0 * yh (low word) *)
+      Emit.ldw 140l sp Reg.t2;
+      Emit.add Reg.t2 Reg.ret0 Reg.t2; (* prod_hi *)
+      Emit.ldw 112l sp Reg.t3;
+      Emit.ldw 136l sp Reg.t4;
+      Emit.sub Reg.t3 Reg.t4 Reg.arg1; (* r_lo, borrow out *)
+      Emit.ldw 108l sp Reg.t3;
+      Emit.subb Reg.t3 Reg.t2 Reg.arg0; (* r_hi *)
+      (* If R >= Y the estimate was one too small. *)
+      Emit.ldw 116l sp Reg.t2; (* yh *)
+      Emit.ldw 120l sp Reg.t3; (* yl *)
+      Emit.ldw 132l sp Reg.t4; (* q0 *)
+      Emit.comb Cond.Ult Reg.arg0 Reg.t2 (l "done");
+      Emit.comb Cond.Neq Reg.arg0 Reg.t2 (l "fix"); (* r_hi > yh *)
+      Emit.comb Cond.Ult Reg.arg1 Reg.t3 (l "done");
+    ];
+  Builder.label b (l "fix");
+  Builder.insns b
+    [
+      Emit.ldo 1l Reg.t4 Reg.t4;
+      Emit.sub Reg.arg1 Reg.t3 Reg.arg1;
+      Emit.subb Reg.arg0 Reg.t2 Reg.arg0;
+    ];
+  Builder.label b (l "done");
+  Builder.insns b
+    [
+      Emit.copy Reg.r0 Reg.ret0; (* q_hi = 0 on this path *)
+      Emit.copy Reg.t4 Reg.ret1;
+      Emit.ldw 104l sp Reg.mrp;
+      Emit.mret;
+    ];
+  Builder.to_source b
+
+(* Signed shell: record the quotient and remainder signs, divide the
+   magnitudes through the unsigned core, bound-check (the only
+   unrepresentable case is |q| = 2^63 with a non-negative quotient sign,
+   which covers -2^63 / -1), and restore the signs. Division by zero
+   traps inside the core. *)
+let sdivmod_source =
+  let b = Builder.create ~prefix:"w64$sdivmod" () in
+  let l s = "w64$sdivmod$" ^ s in
+  let sp = Reg.sp in
+  Builder.label b "w64$sdivmod";
+  Builder.insns b
+    [
+      Emit.stw Reg.mrp 164l sp;
+      Emit.xor Reg.arg0 Reg.arg2 Reg.t1;
+      Emit.stw Reg.t1 168l sp; (* quotient sign *)
+      Emit.stw Reg.arg0 172l sp; (* remainder sign = dividend's *)
+      Emit.comb Cond.Ge Reg.arg0 Reg.r0 (l "xpos");
+      Emit.sub Reg.r0 Reg.arg1 Reg.arg1; (* |X|: negate the pair *)
+      Emit.subb Reg.r0 Reg.arg0 Reg.arg0;
+    ];
+  Builder.label b (l "xpos");
+  Builder.insns b
+    [
+      Emit.comb Cond.Ge Reg.arg2 Reg.r0 (l "ypos");
+      Emit.sub Reg.r0 Reg.arg3 Reg.arg3; (* |Y| *)
+      Emit.subb Reg.r0 Reg.arg2 Reg.arg2;
+    ];
+  Builder.label b (l "ypos");
+  Builder.insns b
+    [
+      Emit.bl "w64$udivmod" Reg.mrp;
+      Emit.ldw 168l sp Reg.t1;
+      Emit.comb Cond.Ge Reg.t1 Reg.r0 (l "qpos");
+      (* Negative quotient: |q| <= 2^63 always fits (2^63 maps to
+         -2^63). *)
+      Emit.sub Reg.r0 Reg.ret1 Reg.ret1;
+      Emit.subb Reg.r0 Reg.ret0 Reg.ret0;
+      Emit.b (l "qdone");
+    ];
+  Builder.label b (l "qpos");
+  Builder.insn b (Emit.comb Cond.Lt Reg.ret0 Reg.r0 (l "ovfl")); (* |q| >= 2^63 *)
+  Builder.label b (l "qdone");
+  Builder.insns b
+    [
+      Emit.ldw 172l sp Reg.t1;
+      Emit.comb Cond.Ge Reg.t1 Reg.r0 (l "rpos");
+      Emit.sub Reg.r0 Reg.arg1 Reg.arg1;
+      Emit.subb Reg.r0 Reg.arg0 Reg.arg0;
+    ];
+  Builder.label b (l "rpos");
+  Builder.insns b [ Emit.ldw 164l sp Reg.mrp; Emit.mret ];
+  Builder.label b (l "ovfl");
+  Builder.insn b (Emit.break Div_ext.overflow_break_code);
+  Builder.to_source b
+
+let wrapper ~entry ~core ~rem =
+  let b = Builder.create ~prefix:entry () in
+  let sp = Reg.sp in
+  Builder.label b entry;
+  Builder.insns b [ Emit.stw Reg.mrp 160l sp; Emit.bl core Reg.mrp ];
+  if rem then
+    Builder.insns b
+      [ Emit.copy Reg.arg0 Reg.ret0; Emit.copy Reg.arg1 Reg.ret1 ];
+  Builder.insns b [ Emit.ldw 160l sp Reg.mrp; Emit.mret ];
+  Builder.to_source b
+
+let source =
+  Program.concat
+    [
+      udivmod_source;
+      sdivmod_source;
+      wrapper ~entry:"divU64w" ~core:"w64$udivmod" ~rem:false;
+      wrapper ~entry:"remU64w" ~core:"w64$udivmod" ~rem:true;
+      wrapper ~entry:"divI64w" ~core:"w64$sdivmod" ~rem:false;
+      wrapper ~entry:"remI64w" ~core:"w64$sdivmod" ~rem:true;
+    ]
+
+let entries = [ "divU64w"; "divI64w"; "remU64w"; "remI64w" ]
+let internal = [ "w64$udivmod"; "w64$sdivmod" ]
+
+(* Two-word references. The unsigned ones treat the int64 operands as
+   unsigned 64-bit values; [None] = the routine traps (division by zero,
+   or -2^63 / -1 for the signed pair). *)
+let reference_unsigned x y =
+  if Int64.equal y 0L then None
+  else Some (Int64.unsigned_div x y, Int64.unsigned_rem x y)
+
+let reference_signed x y =
+  if Int64.equal y 0L then None
+  else if Int64.equal x Int64.min_int && Int64.equal y (-1L) then None
+  else Some (Int64.div x y, Int64.rem x y)

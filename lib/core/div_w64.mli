@@ -1,0 +1,28 @@
+(** Double-word (64 / 64) divide and remainder millicode.
+
+    Register-pair convention: X = (arg0:arg1), Y = (arg2:arg3), high
+    word first. The public entries return their 64-bit result in
+    (ret0:ret1); the shared cores additionally leave the other result
+    dword in (arg0:arg1) (quotient in the ret pair, remainder in the
+    arg pair).
+
+    Division by zero raises [break] with
+    {!Hppa_machine.Trap.divide_by_zero_code}; the signed entries raise
+    [break] with {!Div_ext.overflow_break_code} on [-2^63 / -1]. *)
+
+val source : Program.source
+
+val entries : string list
+(** [["divU64w"; "divI64w"; "remU64w"; "remI64w"]]. *)
+
+val internal : string list
+(** The shared cores [["w64$udivmod"; "w64$sdivmod"]] — reachable only
+    through {!entries}, listed for convention specs. *)
+
+val reference_unsigned : int64 -> int64 -> (int64 * int64) option
+(** [(q, r)] with both operands taken as unsigned 64-bit values; [None]
+    when the routine traps (division by zero). *)
+
+val reference_signed : int64 -> int64 -> (int64 * int64) option
+(** Truncating signed [(q, r)]; [None] when the routine traps (division
+    by zero, or [-2^63 / -1]). *)

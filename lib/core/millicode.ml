@@ -14,7 +14,7 @@ let source =
   Program.concat
     [
       aliases; Mul_var.all; Mul_ext.source; Div_gen.source; Div_ext.source;
-      Div_small.source;
+      Div_small.source; Mul_w64.source; Div_w64.source;
     ]
 
 let resolved () = Program.resolve_exn source
@@ -27,7 +27,7 @@ let scheduled_machine () =
 
 let entries =
   [ "mulI"; "muloI" ] @ Mul_var.entries @ Mul_ext.entries @ Div_gen.entries
-  @ Div_ext.entries @ Div_small.entries
+  @ Div_ext.entries @ Div_small.entries @ Mul_w64.entries @ Div_w64.entries
 
 let mulI = "mulI"
 let muloI = "muloI"
@@ -50,6 +50,31 @@ let conventions =
   @ List.map
       (spec ~args:[ Reg.arg0; Reg.arg1; Reg.arg2 ] ~results:r2)
       [ "divU64"; "divI64" ]
+  @
+  (* The W64 family takes both operands as register pairs. The 128-bit
+     multiplies also return the low result dword in (arg0:arg1); the
+     divide cores return the remainder dword there. *)
+  let w64_args = [ Reg.arg0; Reg.arg1; Reg.arg2; Reg.arg3 ] in
+  let r4 = [ Reg.ret0; Reg.ret1; Reg.arg0; Reg.arg1 ] in
+  List.map (spec ~args:w64_args ~results:r4)
+    [ "mulU128"; "mulI128"; "w64$udivmod"; "w64$sdivmod" ]
+  @ List.map (spec ~args:w64_args ~results:r2) Div_w64.entries
+
+(* The pair-level view of the W64 interface: both operands are 64-bit
+   (hi:lo) pairs everywhere; the multiplies and the divide cores return
+   two result dwords, the public divide/rem wrappers one. *)
+let pair_conventions =
+  let pairs = Hppa_verify.Pairs.arg_slots in
+  let both = [ (Reg.ret0, Reg.ret1); (Reg.arg0, Reg.arg1) ] in
+  let ret = [ (Reg.ret0, Reg.ret1) ] in
+  List.map
+    (fun name ->
+      { Hppa_verify.Pairs.name; arg_pairs = pairs; result_pairs = both })
+    [ "mulU128"; "mulI128"; "w64$udivmod"; "w64$sdivmod" ]
+  @ List.map
+      (fun name ->
+        { Hppa_verify.Pairs.name; arg_pairs = pairs; result_pairs = ret })
+      Div_w64.entries
 
 let lint ?(scheduled = false) () =
   let src = if scheduled then scheduled_source () else source in
@@ -61,7 +86,8 @@ let lint ?(scheduled = false) () =
     }
   in
   match
-    Hppa_verify.Driver.check_source ~options ~specs:conventions ~entries src
+    Hppa_verify.Driver.check_source ~options ~specs:conventions
+      ~pairs:pair_conventions ~entries src
   with
   | Ok findings -> findings
   | Error msg -> [ Hppa_verify.Findings.v Hppa_verify.Findings.Structure msg ]

@@ -49,6 +49,11 @@ val conventions : Hppa_verify.Cfg.spec list
 (** The declared register interface of every entry in {!entries}, as
     checked by {!Hppa_verify}. *)
 
+val pair_conventions : Hppa_verify.Pairs.spec list
+(** The register-pair (64-bit dword) view of the W64 family's
+    interface, checked by the {!Hppa_verify.Pairs} rule inside
+    {!lint}. *)
+
 val lint : ?scheduled:bool -> unit -> Hppa_verify.Findings.t list
 (** Run the full static check suite ({!Hppa_verify.Driver.check}) over
     the library — [~scheduled:true] checks the delay-slot-scheduled image

@@ -1,0 +1,123 @@
+module Word = Hppa_word.Word
+module U128 = Hppa_word.U128
+
+(* 64 x 64 -> 128 multiply, built from four 32x32->64 [mulU64] partial
+   products (the same split-multiply recursion mulU64 itself applies to
+   the 16-bit halves). Register-pair convention: X = (arg0:arg1),
+   Y = (arg2:arg3), high result dword = (ret0:ret1), low result dword =
+   (arg0:arg1) — hi word first in every pair.
+
+   Frame layout (sp-relative scratch, see mul_ext.ml): mulU64 owns bytes
+   0..23 and mulI64 24..35; mulU128 uses 40..75 and mulI128 nests at
+   80..99. *)
+
+let mulU128_source =
+  let b = Builder.create ~prefix:"mulU128" () in
+  let sp = Reg.sp in
+  Builder.label b "mulU128";
+  Builder.insns b
+    [
+      Emit.stw Reg.mrp 40l sp;
+      Emit.stw Reg.arg0 44l sp; (* xh *)
+      Emit.stw Reg.arg1 48l sp; (* xl *)
+      Emit.stw Reg.arg2 52l sp; (* yh *)
+      Emit.stw Reg.arg3 56l sp; (* yl *)
+      (* A = xl * yl: word 0 and the base of word 1. *)
+      Emit.copy Reg.arg1 Reg.arg0;
+      Emit.copy Reg.arg3 Reg.arg1;
+      Emit.bl "mulU64" Reg.mrp;
+      Emit.stw Reg.ret0 60l sp; (* w0 = lo A *)
+      Emit.stw Reg.ret1 64l sp; (* w1 = hi A *)
+      (* B = xl * yh: into words 1 and 2. *)
+      Emit.ldw 48l sp Reg.arg0;
+      Emit.ldw 52l sp Reg.arg1;
+      Emit.bl "mulU64" Reg.mrp;
+      Emit.ldw 64l sp Reg.t2;
+      Emit.add Reg.t2 Reg.ret0 Reg.t2;
+      Emit.stw Reg.t2 64l sp; (* w1 += lo B *)
+      (* hi B <= 2^32 - 2, so the carry cannot wrap w2. *)
+      Emit.addc Reg.ret1 Reg.r0 Reg.t3;
+      Emit.stw Reg.t3 68l sp; (* w2 = hi B + carry *)
+      (* C = xh * yl: into words 1, 2 and the carry into word 3. *)
+      Emit.ldw 44l sp Reg.arg0;
+      Emit.ldw 56l sp Reg.arg1;
+      Emit.bl "mulU64" Reg.mrp;
+      Emit.ldw 64l sp Reg.t2;
+      Emit.add Reg.t2 Reg.ret0 Reg.t2;
+      Emit.stw Reg.t2 64l sp; (* w1 += lo C *)
+      Emit.ldw 68l sp Reg.t3;
+      Emit.addc Reg.t3 Reg.ret1 Reg.t3;
+      Emit.stw Reg.t3 68l sp; (* w2 += hi C + carry *)
+      Emit.addc Reg.r0 Reg.r0 Reg.t4;
+      Emit.stw Reg.t4 72l sp; (* w3 = carry *)
+      (* D = xh * yh: into words 2 and 3 (the total is < 2^128, so the
+         final addc cannot carry out). *)
+      Emit.ldw 44l sp Reg.arg0;
+      Emit.ldw 52l sp Reg.arg1;
+      Emit.bl "mulU64" Reg.mrp;
+      Emit.ldw 68l sp Reg.t2;
+      Emit.add Reg.t2 Reg.ret0 Reg.t2; (* w2 += lo D *)
+      Emit.ldw 72l sp Reg.t3;
+      Emit.addc Reg.t3 Reg.ret1 Reg.t3; (* w3 += hi D + carry *)
+      Emit.copy Reg.t3 Reg.ret0; (* high dword = (w3:w2) *)
+      Emit.copy Reg.t2 Reg.ret1;
+      Emit.ldw 64l sp Reg.arg0; (* low dword = (w1:w0) *)
+      Emit.ldw 60l sp Reg.arg1;
+      Emit.ldw 40l sp Reg.mrp;
+      Emit.mret;
+    ];
+  Builder.to_source b
+
+(* Signed 128-bit product: the unsigned product, minus Y * 2^64 when X is
+   negative and X * 2^64 when Y is negative — i.e. two conditional 64-bit
+   subtractions from the high dword, the pair analogue of mulI64's
+   correction. The low dword is identical to the unsigned one. *)
+let mulI128_source =
+  let b = Builder.create ~prefix:"mulI128" () in
+  let l s = "mulI128$" ^ s in
+  let sp = Reg.sp in
+  Builder.label b "mulI128";
+  Builder.insns b
+    [
+      Emit.stw Reg.mrp 80l sp;
+      Emit.stw Reg.arg0 84l sp; (* xh *)
+      Emit.stw Reg.arg1 88l sp; (* xl *)
+      Emit.stw Reg.arg2 92l sp; (* yh *)
+      Emit.stw Reg.arg3 96l sp; (* yl *)
+      Emit.bl "mulU128" Reg.mrp;
+      Emit.ldw 84l sp Reg.t2; (* xh *)
+      Emit.ldw 92l sp Reg.t3; (* yh *)
+      Emit.comb Cond.Ge Reg.t2 Reg.r0 (l "xpos");
+      (* x < 0: high dword -= Y. *)
+      Emit.ldw 96l sp Reg.t4;
+      Emit.sub Reg.ret1 Reg.t4 Reg.ret1;
+      Emit.subb Reg.ret0 Reg.t3 Reg.ret0;
+    ];
+  Builder.label b (l "xpos");
+  Builder.insns b
+    [
+      Emit.comb Cond.Ge Reg.t3 Reg.r0 (l "ypos");
+      (* y < 0: high dword -= X. *)
+      Emit.ldw 88l sp Reg.t4;
+      Emit.sub Reg.ret1 Reg.t4 Reg.ret1;
+      Emit.subb Reg.ret0 Reg.t2 Reg.ret0;
+    ];
+  Builder.label b (l "ypos");
+  Builder.insns b [ Emit.ldw 80l sp Reg.mrp; Emit.mret ];
+  Builder.to_source b
+
+let source = Program.concat [ mulU128_source; mulI128_source ]
+let entries = [ "mulU128"; "mulI128" ]
+
+(* Two-word references over {!Hppa_word.U128}: the result as
+   (hi : int64, lo : int64) of the 128-bit product. *)
+let reference_unsigned x y =
+  let p = U128.mul_64_64 x y in
+  (p.U128.hi, p.U128.lo)
+
+let reference_signed x y =
+  let p = U128.mul_64_64 x y in
+  let hi = ref p.U128.hi in
+  if Int64.compare x 0L < 0 then hi := Int64.sub !hi y;
+  if Int64.compare y 0L < 0 then hi := Int64.sub !hi x;
+  (!hi, p.U128.lo)

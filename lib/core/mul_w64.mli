@@ -1,0 +1,19 @@
+(** Double-word (64 x 64 -> 128) multiply millicode.
+
+    Register-pair convention: X = (arg0:arg1), Y = (arg2:arg3) with the
+    high word first in every pair. [mulU128] and [mulI128] return the
+    high result dword in (ret0:ret1) and the low dword in (arg0:arg1).
+    Both are built from four 32x32->64 [mulU64] partial products — the
+    same split-multiply recursion mulU64 itself applies one level
+    down. *)
+
+val source : Program.source
+val entries : string list
+(** [["mulU128"; "mulI128"]]. *)
+
+val reference_unsigned : int64 -> int64 -> int64 * int64
+(** [(hi, lo)] of the unsigned 128-bit product, operands taken as
+    unsigned 64-bit values. *)
+
+val reference_signed : int64 -> int64 -> int64 * int64
+(** [(hi, lo)] of the signed 128-bit product. *)

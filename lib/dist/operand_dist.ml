@@ -62,3 +62,78 @@ let figure5_pair ?(positive_fraction = 0.9) g =
   (Word.of_int (sx * x), Word.of_int (sy * y))
 
 let small_divisor g = Word.of_int (Prng.int_range g 1 19)
+
+(* -- 64-bit operands ------------------------------------------------- *)
+
+let uniform64 g = Prng.next64 g
+
+let log_uniform64 ?(bits = 63) g =
+  let len = Prng.int_range g 0 bits in
+  if len = 0 then 0L
+  else
+    let base = Int64.shift_left 1L (len - 1) in
+    Int64.add base (Int64.logand (Prng.next64 g) (Int64.sub base 1L))
+
+(* Zipf over ranks, then a rank-derived 64-bit divisor whose high word is
+   non-zero — so repeated draws hit the normalization path of the 64/64
+   divide with the heavy-head rank statistics the serve workloads use. *)
+let zipf_cdf = Hashtbl.create 4
+
+let cdf_for support =
+  match Hashtbl.find_opt zipf_cdf support with
+  | Some c -> c
+  | None ->
+      let s = 1.1 in
+      let weights =
+        Array.init support (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s)
+      in
+      let total = Array.fold_left ( +. ) 0.0 weights in
+      let acc = ref 0.0 in
+      let cdf =
+        Array.map
+          (fun w ->
+            acc := !acc +. (w /. total);
+            !acc)
+          weights
+      in
+      Hashtbl.replace zipf_cdf support cdf;
+      cdf
+
+let zipf_rank ?(support = 1000) g =
+  let cdf = cdf_for support in
+  let u = Prng.float01 g in
+  let lo = ref 0 and hi = ref (support - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* splitmix64's finalizer: a cheap bijective mix for the low word. *)
+let mix64 z =
+  let z = Int64.logand z Int64.max_int in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let zipf64_divisor ?support g =
+  let rank = zipf_rank ?support g in
+  let rank64 = Int64.of_int (rank + 1) in
+  Int64.logor (Int64.shift_left rank64 32)
+    (Int64.logand (mix64 rank64) 0xffffffffL)
+
+let w64_pair ?(hw0 = 0.5) g =
+  let x = log_uniform64 g in
+  let y =
+    if Prng.bool g ~p:hw0 then
+      (* high word zero: the divides degenerate to the 32-bit path *)
+      Int64.of_int (1 + Int64.to_int (Int64.logand (Prng.next64 g) 0x7fffffffL))
+    else
+      let v = log_uniform64 g in
+      if Int64.equal v 0L then 1L else v
+  in
+  (x, y)

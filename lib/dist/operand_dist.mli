@@ -36,3 +36,37 @@ val figure5_pair :
 
 val small_divisor : Prng.t -> Hppa_word.Word.t
 (** Uniform in [1 .. 19]. *)
+
+(** {1 64-bit operands}
+
+    Models for the W64 (double-word) kernel family. The serve workloads
+    want both the heavy-head key statistics of a zipf popularity model
+    and a controlled mix of "really 64-bit" divisors (high word
+    non-zero, exercising the normalization path of the 64/64 divide)
+    against divisors that degenerate to the 32-bit path. *)
+
+val uniform64 : Prng.t -> int64
+(** Uniform over all 2{^64} bit patterns. *)
+
+val log_uniform64 : ?bits:int -> Prng.t -> int64
+(** Non-negative as a bit pattern; bit-length uniform in [0 .. bits]
+    (default 63), then uniform among values of that length — the
+    64-bit analogue of {!log_uniform}. *)
+
+val zipf_rank : ?support:int -> Prng.t -> int
+(** A rank in [0 .. support-1] (default 1000) under a zipf law with
+    exponent 1.1 — rank 0 is the most popular. The CDF is memoized per
+    support. *)
+
+val zipf64_divisor : ?support:int -> Prng.t -> int64
+(** A zipf-popular 64-bit divisor: draws a {!zipf_rank} and maps it
+    bijectively to a divisor whose high word is [rank + 1] (always
+    non-zero, so the full 64/64 normalization path runs) and whose low
+    word is a mixed function of the rank. Repeated draws repeat
+    divisors with the zipf head weights. *)
+
+val w64_pair : ?hw0:float -> Prng.t -> int64 * int64
+(** A (dividend, divisor) pair for the W64 divides: the dividend is
+    {!log_uniform64}; with probability [hw0] (default 0.5) the divisor's
+    high word is zero (degenerating to the 32-bit divide path),
+    otherwise it is {!log_uniform64}. The divisor is never zero. *)

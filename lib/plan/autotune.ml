@@ -10,6 +10,9 @@ type workload =
   | Log_uniform of { samples : int; seed : int64 }
   | Small_divisors of { samples : int; seed : int64 }
   | Fixed of (Word.t * Word.t) list
+  | Uniform64 of { samples : int; seed : int64 }
+  | Zipf64 of { samples : int; seed : int64 }
+  | Hw0 of { samples : int; seed : int64 }
 
 (* FNV-1a over the operand words: Fixed workloads get a content-derived
    tag so the store key does not depend on list identity. *)
@@ -31,8 +34,16 @@ let workload_tag = function
   | Small_divisors { samples; seed } ->
       Printf.sprintf "smalldiv:%d:%Ld" samples seed
   | Fixed pairs -> Printf.sprintf "fixed:%d:%s" (List.length pairs) (fixed_hash pairs)
+  | Uniform64 { samples; seed } -> Printf.sprintf "uniform64:%d:%Ld" samples seed
+  | Zipf64 { samples; seed } -> Printf.sprintf "zipf64:%d:%Ld" samples seed
+  | Hw0 { samples; seed } -> Printf.sprintf "hw0:%d:%Ld" samples seed
+
+let is_w64_workload = function
+  | Uniform64 _ | Zipf64 _ | Hw0 _ -> true
+  | Figure5 _ | Log_uniform _ | Small_divisors _ | Fixed _ -> false
 
 let raw_pairs = function
+  | Uniform64 _ | Zipf64 _ | Hw0 _ -> []
   | Fixed pairs -> pairs
   | Figure5 { samples; seed } ->
       let prng = Prng.create seed in
@@ -58,6 +69,55 @@ let operands workload (req : Strategy.request) =
          | Strategy.Constant c -> (x, c)
          | Strategy.Variable ->
              if divide && Word.equal y 0l then (x, Word.one) else (x, y))
+
+(* 64-bit pairs: the 64-bit workloads generate them directly; the 32-bit
+   workloads zero-extend (covering the degenerate high-word-zero path of
+   the W64 routines). *)
+let raw_pairs64 = function
+  | Uniform64 { samples; seed } ->
+      let prng = Prng.create seed in
+      List.init samples (fun _ ->
+          let x = Dist.uniform64 prng in
+          let y = Dist.uniform64 prng in
+          (x, y))
+  | Zipf64 { samples; seed } ->
+      let prng = Prng.create seed in
+      List.init samples (fun _ ->
+          let x = Dist.log_uniform64 prng in
+          let y = Dist.zipf64_divisor prng in
+          (x, y))
+  | Hw0 { samples; seed } ->
+      let prng = Prng.create seed in
+      List.init samples (fun _ -> Dist.w64_pair prng)
+  | (Figure5 _ | Log_uniform _ | Small_divisors _ | Fixed _) as w ->
+      raw_pairs w
+      |> List.map (fun (x, y) -> (Word.to_int64_u x, Word.to_int64_u y))
+
+(* Resolved argument lists for one call, with a label for error
+   messages: one or two words for W32, the two (hi:lo) register pairs
+   for W64. *)
+let operand_lists workload (req : Strategy.request) =
+  match req.width with
+  | Strategy.W32 ->
+      if is_w64_workload workload then
+        Error "64-bit workload requires a w64 request"
+      else
+        Ok
+          (operands workload req
+          |> List.map (fun (x, y) ->
+                 let args =
+                   match req.operand with
+                   | Strategy.Constant _ -> [ x ]
+                   | Strategy.Variable -> [ x; y ]
+                 in
+                 (args, Printf.sprintf "x=%ld y=%ld" x y)))
+  | Strategy.W64 ->
+      let divide = req.op = Div || req.op = Rem in
+      Ok
+        (raw_pairs64 workload
+        |> List.map (fun (x, y) ->
+               let y = if divide && Int64.equal y 0L then 1L else y in
+               (Hppa_w64.operands x y, Printf.sprintf "x=%Ld y=%Ld" x y)))
 
 type measurement = {
   strategy : string;
@@ -384,149 +444,150 @@ let record obs store m =
 
 let measure ?store ?obs ?(fuel = 2_000_000) ?(batch_width = 256) workload
     (req : Strategy.request) (s : Strategy.t) =
-  let pairs = operands workload req in
   let tag = workload_tag workload in
   let request = Strategy.request_id req in
-  if pairs = [] then Error "empty workload"
-  else
-    match s.Strategy.kind with
-    | Strategy.Modelled -> (
-        match s.Strategy.model with
-        | None -> Error (s.Strategy.name ^ ": modelled strategy has no model")
-        | Some model ->
-            let rec go acc = function
-              | [] -> Ok (List.rev acc)
-              | (x, y) :: rest -> (
-                  match model req x y with
-                  | Some c -> go (c :: acc) rest
-                  | None ->
-                      Error
-                        (Printf.sprintf "%s: model undefined for x=%ld y=%ld"
-                           s.Strategy.name x y))
-            in
-            Result.map
-              (fun cycles ->
-                record obs store
-                  (aggregate ~strategy:s.Strategy.name ~request ~entry:""
-                     ~digest:("model:" ^ s.Strategy.name) ~workload:tag cycles
-                     ~used_engine:false))
-              (go [] pairs))
-    | Strategy.Emits -> (
-        match s.Strategy.emit req with
-        | Error e -> Error e
-        | Ok em -> (
-            match Strategy.digest em with
-            | Error e -> Error e
-            | Ok digest -> (
-                match
-                  Option.bind store (fun st -> Store.find st ~digest ~workload:tag)
-                with
-                | Some m ->
-                    bump obs "hppa_plan_store_hits_total";
-                    Ok m
-                | None -> (
-                    bump obs "hppa_plan_store_misses_total";
-                    match Strategy.link em with
-                    | Error e -> Error e
-                    | Ok prog ->
-                        (* attach the proof when a certifier covers the
-                           shape; measurements of uncertifiable emissions
-                           simply carry no certificate *)
-                        let cert = Result.to_option (Strategy.certify req em) in
-                        let entry = em.Strategy.entry in
-                        let args x y =
-                          match req.operand with
-                          | Strategy.Constant _ -> [ x ]
-                          | Strategy.Variable -> [ x; y ]
-                        in
-                        let bw =
-                          max 1 (min batch_width (List.length pairs))
-                        in
-                        let run_scalar () =
-                          let config =
-                            { Machine.Config.default with engine = true; fuel }
-                          in
-                          let mach = Machine.create ~config prog in
-                          let rec go acc = function
-                            | [] -> Ok (List.rev acc, Machine.used_engine mach)
-                            | (x, y) :: rest -> (
-                                match
-                                  Machine.call_cycles mach entry
-                                    ~args:(args x y)
-                                with
-                                | Machine.Halted, cycles ->
-                                    go (cycles :: acc) rest
-                                | Machine.Trapped t, _ ->
-                                    Error
-                                      (Printf.sprintf
-                                         "%s: trap %s on x=%ld y=%ld" entry
-                                         (Trap.name t) x y)
-                                | Machine.Fuel_exhausted, _ ->
-                                    Error
-                                      (Printf.sprintf
-                                         "%s: fuel exhausted on x=%ld y=%ld"
-                                         entry x y))
-                          in
-                          go [] pairs
-                        in
-                        (* Per-lane cycle counts from the batched engine
-                           equal the scalar engine's call_cycles deltas
-                           (pinned by the differential suite), so the
-                           measurement is identical — only faster. *)
-                        let run_batched () =
-                          let b = Machine.Batch.create ~lanes:bw prog in
-                          let take n xs =
-                            let rec go n acc = function
-                              | x :: tl when n > 0 ->
-                                  go (n - 1) (x :: acc) tl
-                              | tl -> (List.rev acc, tl)
+  match s.Strategy.kind with
+  | Strategy.Modelled ->
+      if req.Strategy.width = Strategy.W64 then
+        Error (s.Strategy.name ^ ": modelled strategies cover 32-bit requests only")
+      else if is_w64_workload workload then
+        Error "64-bit workload requires a w64 request"
+      else
+        let pairs = operands workload req in
+        if pairs = [] then Error "empty workload"
+        else (
+          match s.Strategy.model with
+          | None -> Error (s.Strategy.name ^ ": modelled strategy has no model")
+          | Some model ->
+              let rec go acc = function
+                | [] -> Ok (List.rev acc)
+                | (x, y) :: rest -> (
+                    match model req x y with
+                    | Some c -> go (c :: acc) rest
+                    | None ->
+                        Error
+                          (Printf.sprintf "%s: model undefined for x=%ld y=%ld"
+                             s.Strategy.name x y))
+              in
+              Result.map
+                (fun cycles ->
+                  record obs store
+                    (aggregate ~strategy:s.Strategy.name ~request ~entry:""
+                       ~digest:("model:" ^ s.Strategy.name) ~workload:tag cycles
+                       ~used_engine:false))
+                (go [] pairs))
+  | Strategy.Emits -> (
+      match operand_lists workload req with
+      | Error e -> Error e
+      | Ok [] -> Error "empty workload"
+      | Ok calls -> (
+          match s.Strategy.emit req with
+          | Error e -> Error e
+          | Ok em -> (
+              match Strategy.digest em with
+              | Error e -> Error e
+              | Ok digest -> (
+                  match
+                    Option.bind store (fun st ->
+                        Store.find st ~digest ~workload:tag)
+                  with
+                  | Some m ->
+                      bump obs "hppa_plan_store_hits_total";
+                      Ok m
+                  | None -> (
+                      bump obs "hppa_plan_store_misses_total";
+                      match Strategy.link em with
+                      | Error e -> Error e
+                      | Ok prog ->
+                          (* attach the proof when a certifier covers the
+                             shape; measurements of uncertifiable emissions
+                             simply carry no certificate *)
+                          let cert = Result.to_option (Strategy.certify req em) in
+                          let entry = em.Strategy.entry in
+                          let bw = max 1 (min batch_width (List.length calls)) in
+                          let run_scalar () =
+                            let config =
+                              { Machine.Config.default with engine = true; fuel }
                             in
-                            go n [] xs
+                            let mach = Machine.create ~config prog in
+                            let rec go acc = function
+                              | [] -> Ok (List.rev acc, Machine.used_engine mach)
+                              | (args, label) :: rest -> (
+                                  match
+                                    Machine.call_cycles mach entry ~args
+                                  with
+                                  | Machine.Halted, cycles ->
+                                      go (cycles :: acc) rest
+                                  | Machine.Trapped t, _ ->
+                                      Error
+                                        (Printf.sprintf "%s: trap %s on %s"
+                                           entry (Trap.name t) label)
+                                  | Machine.Fuel_exhausted, _ ->
+                                      Error
+                                        (Printf.sprintf
+                                           "%s: fuel exhausted on %s" entry
+                                           label))
+                            in
+                            go [] calls
                           in
-                          let rec go acc = function
-                            | [] -> Ok (List.rev acc, true)
-                            | rest -> (
-                                let chunk, rest = take bw rest in
-                                let lane_args =
-                                  Array.of_list
-                                    (List.map (fun (x, y) -> args x y) chunk)
-                                in
-                                Machine.Batch.call ~fuel b entry
-                                  ~args:lane_args;
-                                let rec lanes l acc = function
-                                  | [] -> Ok acc
-                                  | (x, y) :: tl -> (
-                                      match Machine.Batch.outcome b ~lane:l with
-                                      | Machine.Halted ->
-                                          lanes (l + 1)
-                                            (Machine.Batch.cycles b ~lane:l
-                                            :: acc)
-                                            tl
-                                      | Machine.Trapped t ->
-                                          Error
-                                            (Printf.sprintf
-                                               "%s: trap %s on x=%ld y=%ld"
-                                               entry (Trap.name t) x y)
-                                      | Machine.Fuel_exhausted ->
-                                          Error
-                                            (Printf.sprintf
-                                               "%s: fuel exhausted on x=%ld \
-                                                y=%ld"
-                                               entry x y))
-                                in
-                                match lanes 0 acc chunk with
-                                | Ok acc -> go acc rest
-                                | Error _ as e -> e)
+                          (* Per-lane cycle counts from the batched engine
+                             equal the scalar engine's call_cycles deltas
+                             (pinned by the differential suite), so the
+                             measurement is identical — only faster. *)
+                          let run_batched () =
+                            let b = Machine.Batch.create ~lanes:bw prog in
+                            let take n xs =
+                              let rec go n acc = function
+                                | x :: tl when n > 0 ->
+                                    go (n - 1) (x :: acc) tl
+                                | tl -> (List.rev acc, tl)
+                              in
+                              go n [] xs
+                            in
+                            let rec go acc = function
+                              | [] -> Ok (List.rev acc, true)
+                              | rest -> (
+                                  let chunk, rest = take bw rest in
+                                  let lane_args =
+                                    Array.of_list (List.map fst chunk)
+                                  in
+                                  Machine.Batch.call ~fuel b entry
+                                    ~args:lane_args;
+                                  let rec lanes l acc = function
+                                    | [] -> Ok acc
+                                    | (_, label) :: tl -> (
+                                        match
+                                          Machine.Batch.outcome b ~lane:l
+                                        with
+                                        | Machine.Halted ->
+                                            lanes (l + 1)
+                                              (Machine.Batch.cycles b ~lane:l
+                                              :: acc)
+                                              tl
+                                        | Machine.Trapped t ->
+                                            Error
+                                              (Printf.sprintf
+                                                 "%s: trap %s on %s" entry
+                                                 (Trap.name t) label)
+                                        | Machine.Fuel_exhausted ->
+                                            Error
+                                              (Printf.sprintf
+                                                 "%s: fuel exhausted on %s"
+                                                 entry label))
+                                  in
+                                  match lanes 0 acc chunk with
+                                  | Ok acc -> go acc rest
+                                  | Error _ as e -> e)
+                            in
+                            go [] calls
                           in
-                          go [] pairs
-                        in
-                        Result.map
-                          (fun (cycles, used_engine) ->
-                            record obs store
-                              (aggregate ?cert ~batch_width:bw
-                                 ~strategy:s.Strategy.name ~request ~entry
-                                 ~digest ~workload:tag cycles ~used_engine))
-                          (if bw > 1 then run_batched () else run_scalar ())))))
+                          Result.map
+                            (fun (cycles, used_engine) ->
+                              record obs store
+                                (aggregate ?cert ~batch_width:bw
+                                   ~strategy:s.Strategy.name ~request ~entry
+                                   ~digest ~workload:tag cycles ~used_engine))
+                            (if bw > 1 then run_batched () else run_scalar ()))))))
 
 (* ------------------------------------------------------------------ *)
 (* Tuning                                                              *)
@@ -541,9 +602,11 @@ type report = {
 }
 
 let fallback_name (req : Strategy.request) =
-  match req.op with
-  | Strategy.Mul -> "mul_millicode"
-  | Strategy.Div | Strategy.Rem -> "div_millicode"
+  match (req.width, req.op) with
+  | Strategy.W64, Strategy.Mul -> "w64_mul_millicode"
+  | Strategy.W64, (Strategy.Div | Strategy.Rem) -> "w64_div_millicode"
+  | Strategy.W32, Strategy.Mul -> "mul_millicode"
+  | Strategy.W32, (Strategy.Div | Strategy.Rem) -> "div_millicode"
 
 let tune ?ctx ?store ?obs ?fuel ?require_certified workload req =
   match Selector.choose ?ctx ?obs ?require_certified req with

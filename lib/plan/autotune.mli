@@ -24,11 +24,34 @@ type workload =
   | Small_divisors of { samples : int; seed : int64 }
       (** dividend log-uniform, divisor uniform in [1..19] *)
   | Fixed of (Word.t * Word.t) list
+  | Uniform64 of { samples : int; seed : int64 }
+      (** both operands uniform over 64 bits *)
+  | Zipf64 of { samples : int; seed : int64 }
+      (** dividend log-uniform over 64 bits, divisor
+          {!Hppa_dist.Operand_dist.zipf64_divisor} (heavy-head, high
+          word always non-zero) *)
+  | Hw0 of { samples : int; seed : int64 }
+      (** {!Hppa_dist.Operand_dist.w64_pair}: half the divisors have a
+          zero high word, degenerating to the 32-bit divide path *)
 
 val workload_tag : workload -> string
 (** Stable identifier (part of the store key). *)
 
 val operands : workload -> Strategy.request -> (Word.t * Word.t) list
+(** 32-bit operand pairs; the 64-bit workloads yield []. *)
+
+val raw_pairs64 : workload -> (int64 * int64) list
+(** The workload as 64-bit pairs: 64-bit workloads generate directly,
+    32-bit workloads zero-extend (covering the W64 routines' degenerate
+    high-word-zero path). *)
+
+val operand_lists :
+  workload ->
+  Strategy.request ->
+  ((Word.t list * string) list, string) result
+(** Resolved per-call argument lists with a diagnostic label: one or
+    two words for a W32 request, the two (hi:lo) register pairs for
+    W64. [Error] on a 64-bit workload with a W32 request. *)
 
 (** One measured verdict. [digest] is the emission's content address —
     ["model:<name>"] for modelled baselines. [cert_kind]/[cert_digest]

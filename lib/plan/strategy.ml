@@ -5,36 +5,59 @@ open Hppa
 type op = Mul | Div | Rem
 type operand = Constant of int32 | Variable
 type signedness = Unsigned | Signed
+type width = W32 | W64
 
 type request = {
   op : op;
   operand : operand;
   signedness : signedness;
   trap_overflow : bool;
+  width : width;
 }
 
 let mul_const ?(trap_overflow = false) c =
-  { op = Mul; operand = Constant c; signedness = Signed; trap_overflow }
+  {
+    op = Mul;
+    operand = Constant c;
+    signedness = Signed;
+    trap_overflow;
+    width = W32;
+  }
 
 let mul_var ?(trap_overflow = false) () =
-  { op = Mul; operand = Variable; signedness = Signed; trap_overflow }
+  {
+    op = Mul;
+    operand = Variable;
+    signedness = Signed;
+    trap_overflow;
+    width = W32;
+  }
 
 let div_const signedness c =
-  { op = Div; operand = Constant c; signedness; trap_overflow = false }
+  { op = Div; operand = Constant c; signedness; trap_overflow = false; width = W32 }
 
 let div_var signedness =
-  { op = Div; operand = Variable; signedness; trap_overflow = false }
+  { op = Div; operand = Variable; signedness; trap_overflow = false; width = W32 }
 
 let rem_const signedness c =
-  { op = Rem; operand = Constant c; signedness; trap_overflow = false }
+  { op = Rem; operand = Constant c; signedness; trap_overflow = false; width = W32 }
 
 let rem_var signedness =
-  { op = Rem; operand = Variable; signedness; trap_overflow = false }
+  { op = Rem; operand = Variable; signedness; trap_overflow = false; width = W32 }
 
+(* The W64 family: double-word operands always arrive in register pairs
+   at run time, so the operand is necessarily [Variable]. *)
+let w64 op signedness =
+  { op; operand = Variable; signedness; trap_overflow = false; width = W64 }
+
+let w64_mul signedness = w64 Mul signedness
+let w64_div signedness = w64 Div signedness
+let w64_rem signedness = w64 Rem signedness
 let op_name = function Mul -> "mul" | Div -> "div" | Rem -> "rem"
 
 let pp_request ppf r =
-  Format.fprintf ppf "%s %s (%s%s)"
+  Format.fprintf ppf "%s%s %s (%s%s)"
+    (match r.width with W32 -> "" | W64 -> "64-bit ")
     (match r.op with
     | Mul -> "multiply"
     | Div -> "divide"
@@ -46,12 +69,13 @@ let pp_request ppf r =
     (if r.trap_overflow then ", trapping overflow" else "")
 
 let request_id r =
-  Printf.sprintf "%s.%s.%s%s" (op_name r.op)
+  Printf.sprintf "%s.%s.%s%s%s" (op_name r.op)
     (match r.operand with
     | Constant c -> Printf.sprintf "c%ld" c
     | Variable -> "var")
     (match r.signedness with Signed -> "s" | Unsigned -> "u")
     (if r.trap_overflow then ".trap" else "")
+    (match r.width with W32 -> "" | W64 -> ".w64")
 
 let request_of_string s =
   let parts =
@@ -75,26 +99,34 @@ let request_of_string s =
       match operand with
       | Error _ as e -> e
       | Ok operand -> (
+          let w32 op signedness trap_overflow =
+            Ok { op; operand; signedness; trap_overflow; width = W32 }
+          in
+          let wide op signedness =
+            match operand with
+            | Variable -> Ok (w64 op signedness)
+            | Constant _ ->
+                Error "w64 requests take run-time operands only (use \"x\")"
+          in
           match String.lowercase_ascii op with
-          | "mul" ->
-              Ok { op = Mul; operand; signedness = Signed; trap_overflow = false }
-          | "mulo" ->
-              Ok { op = Mul; operand; signedness = Signed; trap_overflow = true }
-          | "divu" ->
-              Ok
-                { op = Div; operand; signedness = Unsigned; trap_overflow = false }
-          | "divi" ->
-              Ok { op = Div; operand; signedness = Signed; trap_overflow = false }
-          | "remu" ->
-              Ok
-                { op = Rem; operand; signedness = Unsigned; trap_overflow = false }
-          | "remi" ->
-              Ok { op = Rem; operand; signedness = Signed; trap_overflow = false }
+          | "mul" -> w32 Mul Signed false
+          | "mulo" -> w32 Mul Signed true
+          | "divu" -> w32 Div Unsigned false
+          | "divi" -> w32 Div Signed false
+          | "remu" -> w32 Rem Unsigned false
+          | "remi" -> w32 Rem Signed false
+          | "w64mulu" -> wide Mul Unsigned
+          | "w64muli" -> wide Mul Signed
+          | "w64divu" -> wide Div Unsigned
+          | "w64divi" -> wide Div Signed
+          | "w64remu" -> wide Rem Unsigned
+          | "w64remi" -> wide Rem Signed
           | tok ->
               Error
                 (Printf.sprintf
-                   "bad operation %S (expected mul, mulo, divu, divi, remu or \
-                    remi)"
+                   "bad operation %S (expected mul, mulo, divu, divi, remu, \
+                    remi or a w64 form: w64mulu, w64muli, w64divu, w64divi, \
+                    w64remu, w64remi)"
                    tok)))
   | _ -> Error "expected \"<op> <operand>\", e.g. \"mul 625\" or \"divu x\""
 
@@ -213,9 +245,10 @@ let routine_spec ?(results = [ Reg.ret0 ]) req entry =
   {
     Cfg.name = entry;
     args =
-      (match req.operand with
-      | Constant _ -> [ Reg.arg0 ]
-      | Variable -> [ Reg.arg0; Reg.arg1 ]);
+      (match (req.width, req.operand) with
+      | W64, _ -> [ Reg.arg0; Reg.arg1; Reg.arg2; Reg.arg3 ]
+      | W32, Constant _ -> [ Reg.arg0 ]
+      | W32, Variable -> [ Reg.arg0; Reg.arg1 ]);
     results;
     clobbers = Cfg.scratch;
   }
@@ -225,8 +258,10 @@ let millicode_spec name =
 
 (* -- multiply by a constant: §5 addition chains ---------------------- *)
 
+let w32_only r = r.width = W32
+
 let mul_const_chain =
-  let applies r = r.op = Mul && constant_of r <> None in
+  let applies r = w32_only r && r.op = Mul && constant_of r <> None in
   let cost ctx r =
     match constant_of r with
     | None -> Error "not a constant multiply"
@@ -324,7 +359,7 @@ let mul_millicode =
       "branch to the production variable multiply (mulI, the section 6 final \
        algorithm; muloI when trapping)";
     kind = Emits;
-    applies = (fun r -> r.op = Mul);
+    applies = (fun r -> w32_only r && r.op = Mul);
     cost =
       (fun ctx _ ->
         Ok
@@ -341,7 +376,10 @@ let ladder ~name ~score ~note ~description =
     name;
     description;
     kind = Emits;
-    applies = (fun r -> r.op = Mul && r.operand = Variable && not r.trap_overflow);
+    applies =
+      (fun r ->
+        w32_only r && r.op = Mul && r.operand = Variable
+        && not r.trap_overflow);
     cost = (fun _ _ -> Ok { score; note });
     emit = (fun r -> guard (fun () -> Ok (wrapper ~target:name r)));
     model = None;
@@ -368,7 +406,10 @@ let baseline_booth =
     description =
       "the rejected Multiply Step hardware (radix-4 Booth; model only)";
     kind = Modelled;
-    applies = (fun r -> r.op = Mul && r.operand = Variable && not r.trap_overflow);
+    applies =
+      (fun r ->
+        w32_only r && r.op = Mul && r.operand = Variable
+        && not r.trap_overflow);
     cost =
       (fun _ _ ->
         Ok
@@ -398,7 +439,8 @@ let div_const_plan r c =
 
 let div_const_strategy =
   let applies r =
-    (r.op = Div || r.op = Rem)
+    w32_only r
+    && (r.op = Div || r.op = Rem)
     && (match constant_of r with
        | None -> false
        | Some c -> (
@@ -470,7 +512,7 @@ let div_small_dispatch =
       "vectored dispatch to constant-divisor routines for run-time divisors \
        below twenty (section 7, Performance)";
     kind = Emits;
-    applies = (fun r -> r.op = Div && r.operand = Variable);
+    applies = (fun r -> w32_only r && r.op = Div && r.operand = Variable);
     cost =
       (fun ctx _ ->
         if ctx.small_divisor_dispatch then
@@ -503,7 +545,8 @@ let div_millicode =
     | Mul, _ -> assert false
   in
   let applies r =
-    (r.op = Div || r.op = Rem)
+    w32_only r
+    && (r.op = Div || r.op = Rem)
     && (match constant_of r with
        | Some c -> not (Word.equal c 0l)
        | None -> true)
@@ -534,7 +577,8 @@ let shift_sub ~name ~score ~note ~description run =
     kind = Modelled;
     applies =
       (fun r ->
-        (r.op = Div || r.op = Rem)
+        w32_only r
+        && (r.op = Div || r.op = Rem)
         && r.signedness = Unsigned
         && (match constant_of r with
            | Some c -> not (Word.equal c 0l)
@@ -562,6 +606,58 @@ let baseline_nonrestoring =
       "non-restoring shift-and-subtract division (section 2 baseline)"
     Hppa_baselines.Shift_sub_div.non_restoring
 
+(* -- the 64-bit (double-word) family --------------------------------- *)
+
+let w64_target r =
+  match (r.op, r.signedness) with
+  | Mul, Unsigned -> "mulU128"
+  | Mul, Signed -> "mulI128"
+  | Div, Unsigned -> "divU64w"
+  | Div, Signed -> "divI64w"
+  | Rem, Unsigned -> "remU64w"
+  | Rem, Signed -> "remI64w"
+
+let w64_mul_millicode =
+  {
+    name = "w64_mul_millicode";
+    description =
+      "the double-word multiply millicode: four 32x32->64 partial products \
+       over mulU64, recombined with carry chains (mulU128 / mulI128)";
+    kind = Emits;
+    applies = (fun r -> r.width = W64 && r.op = Mul && not r.trap_overflow);
+    cost =
+      (fun ctx _ ->
+        Ok
+          {
+            (* four partial products, each itself a split multiply about
+               twice the standard routine, plus recombination *)
+            score = (8 * ctx.millicode_mul_cycles) + 40;
+            note = "modelled: four mulU64 partial products + recombination";
+          });
+    emit = (fun r -> guard (fun () -> Ok (wrapper ~target:(w64_target r) r)));
+    model = None;
+  }
+
+let w64_div_millicode =
+  {
+    name = "w64_div_millicode";
+    description =
+      "the double-word divide/remainder millicode: normalization plus 64/32 \
+       divU64 steps with quotient correction (divU64w / divI64w / remU64w / \
+       remI64w)";
+    kind = Emits;
+    applies = (fun r -> r.width = W64 && (r.op = Div || r.op = Rem));
+    cost =
+      (fun ctx _ ->
+        Ok
+          {
+            score = (2 * ctx.millicode_div_cycles) + 40;
+            note = "modelled: two 64/32 divide steps + correction";
+          });
+    emit = (fun r -> guard (fun () -> Ok (wrapper ~target:(w64_target r) r)));
+    model = None;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Certification                                                       *)
 
@@ -575,9 +671,21 @@ let certificate_of = function
   | Reciprocal.Refuted m -> Error ("refuted: " ^ m)
   | Reciprocal.Unknown m -> Error m
 
+(* The trusted image the body-equivalence certifier compares against:
+   the canonical millicode library, whose W64 routines the differential
+   suite pins on all three engines. *)
+let canonical = lazy (Millicode.resolved ())
+
 let certify req em =
   match link em with
   | Error e -> Error ("link: " ^ e)
+  | Ok prog when req.width = W64 -> (
+      match em.detail with
+      | Millicode target ->
+          certificate_of
+            (Hppa_verify.Driver.certify_body ~canonical:(Lazy.force canonical)
+               prog ~entry:target)
+      | Mul_plan _ | Div_plan _ -> Error "no certifier covers this W64 emission")
   | Ok prog -> (
       let signed = req.signedness = Signed in
       match (req.op, em.detail) with
@@ -640,6 +748,8 @@ let all =
     div_millicode;
     baseline_nonrestoring;
     baseline_restoring;
+    w64_mul_millicode;
+    w64_div_millicode;
   ]
 
 let find name = List.find_opt (fun s -> s.name = name) all

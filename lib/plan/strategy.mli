@@ -22,6 +22,11 @@ type op = Mul | Div | Rem
 type operand = Constant of int32 | Variable
 type signedness = Unsigned | Signed
 
+type width = W32 | W64
+(** Operand width: the paper's single-word operations, or the
+    double-word (64-bit) family built over them — operands and results
+    as (hi:lo) register pairs. *)
+
 type request = {
   op : op;
   operand : operand;
@@ -29,6 +34,7 @@ type request = {
   trap_overflow : bool;
       (** require a trap on signed overflow (the §5 monotonic-chain /
           [mulo] discipline); divides ignore it *)
+  width : width;
 }
 
 val mul_const : ?trap_overflow:bool -> int32 -> request
@@ -40,16 +46,26 @@ val div_var : signedness -> request
 val rem_const : signedness -> int32 -> request
 val rem_var : signedness -> request
 
+val w64_mul : signedness -> request
+val w64_div : signedness -> request
+val w64_rem : signedness -> request
+(** The double-word family; always [Variable] (pairs arrive at run
+    time), never trapping on overflow (the 128-bit product cannot
+    overflow; the divides trap on [-2^63 / -1] regardless). *)
+
 val pp_request : Format.formatter -> request -> unit
 
 val request_id : request -> string
 (** Compact stable identifier, safe for metric labels and store keys:
-    ["mul.c625.s"], ["div.var.u"], ["mul.c-7.s.trap"], ... *)
+    ["mul.c625.s"], ["div.var.u"], ["mul.c-7.s.trap"], ["mul.var.u.w64"],
+    ... *)
 
 val request_of_string : string -> (request, string) result
 (** Parse the CLI plan-request syntax: an operation ([mul], [mulo],
-    [divu], [divi], [remu], [remi]) followed by a 32-bit constant or
-    [x]/[var] for a run-time operand — e.g. ["mul 625"], ["divu x"]. *)
+    [divu], [divi], [remu], [remi], or the 64-bit [w64mulu], [w64muli],
+    [w64divu], [w64divi], [w64remu], [w64remi]) followed by a 32-bit
+    constant or [x]/[var] for a run-time operand — e.g. ["mul 625"],
+    ["divu x"], ["w64divu x"]. The w64 forms accept only [x]. *)
 
 (** {1 Selection contexts}
 
@@ -127,9 +143,11 @@ val certify : request -> emission -> (Hppa_verify.Certificate.t, string) result
     ({!Hppa_verify.Linear}), constant divides/remainders through the
     reciprocal certifier (with divide-step and [ldi; b] wrapper
     dispatch, {!Hppa_verify.Driver.certify_division}), variable divides
-    through the divide-step schema matcher on the millicode target, and
-    the small-divisor dispatchers through the vectored-dispatch totality
-    proof. [Error] carries the refutation or the reason the emission is
+    through the divide-step schema matcher on the millicode target, the
+    small-divisor dispatchers through the vectored-dispatch totality
+    proof, and every W64 emission through the body-equivalence
+    certifier ({!Hppa_verify.Equiv}) against the canonical millicode
+    image. [Error] carries the refutation or the reason the emission is
     outside every certifier's domain (e.g. the variable multiply
     ladder). *)
 

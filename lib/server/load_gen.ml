@@ -4,20 +4,26 @@
 module Prng = Hppa_dist.Prng
 module Operand_dist = Hppa_dist.Operand_dist
 
-type dist = Figure5 | Zipf | Smalldiv | Mixed
+type dist = Figure5 | Zipf | Smalldiv | Mixed | W64mix
 
 let dist_of_string = function
   | "figure5" -> Ok Figure5
   | "zipf" -> Ok Zipf
   | "smalldiv" -> Ok Smalldiv
   | "mixed" -> Ok Mixed
-  | s -> Error (Printf.sprintf "unknown distribution %S (want figure5|zipf|smalldiv|mixed)" s)
+  | "w64mix" -> Ok W64mix
+  | s ->
+      Error
+        (Printf.sprintf
+           "unknown distribution %S (want figure5|zipf|smalldiv|mixed|w64mix)"
+           s)
 
 let dist_to_string = function
   | Figure5 -> "figure5"
   | Zipf -> "zipf"
   | Smalldiv -> "smalldiv"
   | Mixed -> "mixed"
+  | W64mix -> "w64mix"
 
 type summary = {
   dist : dist;
@@ -83,6 +89,23 @@ let zipf_request g =
 let smalldiv_request g =
   Printf.sprintf "DIV %ld" (Operand_dist.small_divisor g)
 
+(* W64 requests key the cache by their operands, so cache-friendliness
+   requires the operands themselves to repeat: draw a zipf rank, then
+   derive verb, signedness and both operands deterministically from it.
+   Each rank maps to exactly one request line, so the W64 half of the
+   stream touches at most [zipf_support] cache keys. The operands are
+   never a trapping pair ([w64_pair] divisors are non-zero and the
+   dividend is non-negative), so every lane replies OK. *)
+let w64_request g =
+  let rank = zipf_rank g in
+  let verb =
+    match rank mod 3 with 0 -> "W64MUL" | 1 -> "W64DIV" | _ -> "W64REM"
+  in
+  let sign = if rank land 1 = 0 then "u" else "s" in
+  let og = Prng.create (Int64.of_int (1_000_000 + rank)) in
+  let x, y = Operand_dist.w64_pair og in
+  Printf.sprintf "%s %s %Ld %Ld" verb sign x y
+
 let request_of g = function
   | Figure5 -> figure5_request g
   | Zipf -> zipf_request g
@@ -92,6 +115,8 @@ let request_of g = function
       if u < 0.4 then zipf_request g
       else if u < 0.7 then figure5_request g
       else smalldiv_request g
+  | W64mix ->
+      if Prng.bool g ~p:0.5 then zipf_request g else w64_request g
 
 (* ------------------------------------------------------------------ *)
 (* Client connection                                                   *)

@@ -13,12 +13,17 @@
       constants" workload (CI asserts > 90% hit rate on it);
     - [Smalldiv]: [DIV d] with d uniform in 1..19 (§7's "divisors less
       than twenty");
-    - [Mixed]: a blend of the three.
+    - [Mixed]: a blend of the three;
+    - [W64mix]: half [Zipf] traffic, half 64-bit [W64MUL]/[W64DIV]/
+      [W64REM] requests whose verb, signedness and operands all derive
+      deterministically from a zipf rank — so W64 keys repeat with the
+      zipf head weights and the cache hit-rate gate extends to the
+      64-bit family.
 
     After the request threads join, one extra connection queries [STATS]
     and the parsed counters are folded into the summary. *)
 
-type dist = Figure5 | Zipf | Smalldiv | Mixed
+type dist = Figure5 | Zipf | Smalldiv | Mixed | W64mix
 
 val dist_of_string : string -> (dist, string) result
 val dist_to_string : dist -> string

@@ -148,6 +148,53 @@ let div ?obs ?require_certified d =
         Ok (div_payload plan, artifact_of_choice choice)
     | Error detail -> Error ("plan " ^ detail)
 
+(* W64 requests carry their run-time operands, so the reply both names
+   the chosen strategy's millicode target and carries the executed
+   result dwords. The pooled machine holds the full millicode library;
+   the emission's wrapper is a tail-call onto the target, so calling the
+   target directly is the same computation. *)
+let w64 ?obs ?require_certified mach ~fuel op ~signed x y =
+  let signedness = if signed then Strategy.Signed else Strategy.Unsigned in
+  let sreq =
+    match (op : Hppa_w64.op) with
+    | Hppa_w64.Mul -> Strategy.w64_mul signedness
+    | Hppa_w64.Div -> Strategy.w64_div signedness
+    | Hppa_w64.Rem -> Strategy.w64_rem signedness
+  in
+  match Selector.choose ?obs ?require_certified sreq with
+  | Error detail -> Error ("plan " ^ detail)
+  | Ok choice -> (
+      let entry =
+        match choice.Selector.emission.Strategy.detail with
+        | Strategy.Millicode target -> target
+        | Strategy.Mul_plan _ | Strategy.Div_plan _ ->
+            Hppa_w64.entry ~signed op
+      in
+      Machine.reset mach;
+      match Hppa_w64.call_cycles ~fuel mach entry ~x ~y with
+      | Hppa_w64.Value { ret; arg }, cycles ->
+          let verb =
+            match op with
+            | Hppa_w64.Mul -> "W64MUL"
+            | Hppa_w64.Div -> "W64DIV"
+            | Hppa_w64.Rem -> "W64REM"
+          in
+          let result =
+            match op with
+            | Hppa_w64.Mul -> Printf.sprintf "hi=%Ld lo=%Ld" ret arg
+            | Hppa_w64.Div -> Printf.sprintf "q=%Ld r=%Ld" ret arg
+            | Hppa_w64.Rem -> Printf.sprintf "r=%Ld" ret
+          in
+          Ok
+            ( Printf.sprintf "%s signed=%b x=%Ld y=%Ld %s cycles=%d entry=%s"
+                verb signed x y result cycles entry,
+              artifact_of_choice choice )
+      | Hppa_w64.Trap t, _ ->
+          Error
+            (Printf.sprintf "trap %s: %s" entry (Hppa_machine.Trap.to_string t))
+      | Hppa_w64.Fuel, _ ->
+          Error (Printf.sprintf "fuel %s exceeded %d cycles" entry fuel))
+
 let eval mach ~fuel entry args =
   if not (List.mem entry Millicode.entries) then
     Error (Printf.sprintf "entry unknown millicode entry \"%s\"" entry)

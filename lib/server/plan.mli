@@ -56,6 +56,26 @@ val div :
     with its magic parameters, even split, or general-divide fallback).
     [require_certified] as in {!mul}. *)
 
+val w64 :
+  ?obs:Hppa_obs.Obs.Registry.t ->
+  ?require_certified:bool ->
+  Hppa_machine.Machine.t ->
+  fuel:int ->
+  Hppa_w64.op ->
+  signed:bool ->
+  int64 ->
+  int64 ->
+  (string * artifact, string) result
+(** One W64 request: route through the selector (the
+    [w64_mul_millicode]/[w64_div_millicode] strategies), then execute
+    the chosen millicode target on the given (worker-private) machine
+    with the operands packed as (hi:lo) register pairs, and render both
+    result dwords with the dynamic cycle count. The machine is reset
+    first. Divide traps (zero divisor, signed [-2{^63} / -1]) and fuel
+    exhaustion are error replies. Under [require_certified] the divide
+    and remainder plans must carry a body-equivalence certificate or
+    the request is refused. *)
+
 val eval :
   Hppa_machine.Machine.t ->
   fuel:int ->

@@ -4,22 +4,33 @@
 
 module Word = Hppa_word.Word
 
+type w64_op = W64_mul | W64_div | W64_rem
+
 type request =
   | Mul of int32
   | Div of int32
   | Mulb of int32 list
   | Divb of int32 list
+  | W64 of { op : w64_op; signed : bool; x : int64; y : int64 }
+  | W64b of { op : w64_op; signed : bool; pairs : (int64 * int64) list }
   | Eval of string * Word.t list
   | Stats
   | Metrics
   | Ping
   | Quit
 
+let w64_verb = function
+  | W64_mul -> "W64MUL"
+  | W64_div -> "W64DIV"
+  | W64_rem -> "W64REM"
+
 let verb = function
   | Mul _ -> "MUL"
   | Div _ -> "DIV"
   | Mulb _ -> "MULB"
   | Divb _ -> "DIVB"
+  | W64 { op; _ } -> w64_verb op
+  | W64b { op; _ } -> w64_verb op ^ "B"
   | Eval _ -> "EVAL"
   | Stats -> "STATS"
   | Metrics -> "METRICS"
@@ -31,6 +42,10 @@ let max_line_bytes = 1024
 (* 64 operands of up to 11 characters plus separators and the verb fit
    comfortably inside [max_line_bytes]. *)
 let max_batch_operands = 64
+
+(* int64 decimal tokens run to 20 characters; 16 pairs (32 tokens) plus
+   the signedness and the verb still fit in [max_line_bytes]. *)
+let max_w64_batch_pairs = 16
 
 let one_line s =
   String.map (function '\n' | '\r' -> ' ' | c -> c) s
@@ -60,6 +75,21 @@ let int32_of_token tok =
       if v < -0x8000_0000L || v > 0xFFFF_FFFFL then
         Error (Printf.sprintf "range %s does not fit in 32 bits" (excerpt tok))
       else Ok (Int64.to_int32 v)
+
+(* W64 operands are full 64-bit values; decimal literals must fit int64
+   (hex literals wrap like OCaml's [Int64.of_string]). *)
+let int64_of_token tok =
+  match Int64.of_string_opt tok with
+  | None -> Error (Printf.sprintf "parse bad integer \"%s\"" (excerpt tok))
+  | Some v -> Ok v
+
+let signedness_of_token = function
+  | "u" | "U" -> Ok false
+  | "s" | "S" -> Ok true
+  | tok ->
+      Error
+        (Printf.sprintf "parse bad signedness \"%s\" (expected u or s)"
+           (excerpt tok))
 
 let tokens line =
   String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
@@ -94,6 +124,55 @@ let batch name mk args =
     in
     convert [] args
 
+let w64_scalar op = function
+  | [ sign; x; y ] ->
+      Result.bind (signedness_of_token sign) (fun signed ->
+          Result.bind (int64_of_token x) (fun x ->
+              Result.map
+                (fun y -> W64 { op; signed; x; y })
+                (int64_of_token y)))
+  | _ ->
+      Error
+        (Printf.sprintf "parse %s takes a signedness and two integers"
+           (w64_verb op))
+
+(* Like MULB/DIVB, one bad token rejects the whole batch — and so does
+   an odd operand count, which would leave a dangling half-pair. *)
+let w64_batch op = function
+  | [] ->
+      Error
+        (Printf.sprintf "parse %sB needs a signedness and operand pairs"
+           (w64_verb op))
+  | sign :: args ->
+      Result.bind (signedness_of_token sign) (fun signed ->
+          let n = List.length args in
+          if n = 0 then
+            Error
+              (Printf.sprintf "parse %sB needs at least one operand pair"
+                 (w64_verb op))
+          else if n mod 2 <> 0 then
+            Error
+              (Printf.sprintf
+                 "parse %sB takes x y operand pairs (odd operand count)"
+                 (w64_verb op))
+          else if n / 2 > max_w64_batch_pairs then
+            Error
+              (Printf.sprintf "parse %sB takes at most %d operand pairs"
+                 (w64_verb op) max_w64_batch_pairs)
+          else
+            let rec convert acc = function
+              | [] -> Ok (W64b { op; signed; pairs = List.rev acc })
+              | x :: y :: rest -> (
+                  match int64_of_token x with
+                  | Error e -> Error e
+                  | Ok x -> (
+                      match int64_of_token y with
+                      | Error e -> Error e
+                      | Ok y -> convert ((x, y) :: acc) rest))
+              | [ _ ] -> Error "parse internal odd operand count"
+            in
+            convert [] args)
+
 let parse line =
   let line =
     let n = String.length line in
@@ -113,6 +192,12 @@ let parse line =
         | "DIV", _ -> Error "parse DIV takes exactly one integer"
         | "MULB", args -> batch "MULB" (fun ns -> Mulb ns) args
         | "DIVB", args -> batch "DIVB" (fun ds -> Divb ds) args
+        | "W64MUL", args -> w64_scalar W64_mul args
+        | "W64DIV", args -> w64_scalar W64_div args
+        | "W64REM", args -> w64_scalar W64_rem args
+        | "W64MULB", args -> w64_batch W64_mul args
+        | "W64DIVB", args -> w64_batch W64_div args
+        | "W64REMB", args -> w64_batch W64_rem args
         | "EVAL", entry :: args ->
             if not (label_ok entry) then
               Error
@@ -149,6 +234,13 @@ let pp_request ppf = function
   | Divb ds ->
       Format.fprintf ppf "DIVB";
       List.iter (fun d -> Format.fprintf ppf " %ld" d) ds
+  | W64 { op; signed; x; y } ->
+      Format.fprintf ppf "%s %s %Ld %Ld" (w64_verb op)
+        (if signed then "s" else "u")
+        x y
+  | W64b { op; signed; pairs } ->
+      Format.fprintf ppf "%sB %s" (w64_verb op) (if signed then "s" else "u");
+      List.iter (fun (x, y) -> Format.fprintf ppf " %Ld %Ld" x y) pairs
   | Eval (e, args) ->
       Format.fprintf ppf "EVAL %s" e;
       List.iter (fun w -> Format.fprintf ppf " %ld" w) args

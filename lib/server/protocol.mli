@@ -6,6 +6,12 @@
       DIV <d>                 constant-divide plan (d < 0: signed plan)
       MULB <n...>             batch of 1..64 constant-multiply plans
       DIVB <d...>             batch of 1..64 constant-divide plans
+      W64MUL <u|s> <x> <y>    64x64 multiply (128-bit product) of int64s
+      W64DIV <u|s> <x> <y>    64/64 truncating divide
+      W64REM <u|s> <x> <y>    64/64 remainder
+      W64MULB <u|s> <x y...>  batch of 1..16 W64MUL operand pairs
+      W64DIVB <u|s> <x y...>  batch of 1..16 W64DIV operand pairs
+      W64REMB <u|s> <x y...>  batch of 1..16 W64REM operand pairs
       EVAL <entry> <args...>  run a millicode entry (up to 4 int32 args)
       STATS                   server counters and latency percentiles
       METRICS                 Prometheus text scrape of the registry
@@ -24,15 +30,29 @@
     {v OK MUL n=625 steps=4 ... code=...
       ERR parse unknown command "FROB" v}
 
+    The W64 verbs carry their run-time operands on the request line:
+    a signedness token ([u] or [s]) followed by signed decimal int64
+    operands (the canonical form {!pp_request} prints; [0x..] literal
+    syntax is also accepted on input). The batch forms take whitespace-
+    separated [x y] pairs — an odd operand count, a bad signedness, or
+    any malformed operand rejects the whole batch. [W64MULB]/[W64DIVB]/
+    [W64REMB] reply exactly like [MULB]: a header ["OK <verb> k=<K>"]
+    then K lines byte-identical to the scalar replies (divide lanes
+    that trap reply ["ERR trap ..."] without poisoning the batch).
+
     Parsing is total: {!parse} never raises, whatever the input bytes.
     Number arguments accept OCaml int literal syntax ([0x..] included)
-    and must fit in 32 bits. *)
+    and must fit in 32 bits (64 for the W64 verbs). *)
+
+type w64_op = W64_mul | W64_div | W64_rem
 
 type request =
   | Mul of int32
   | Div of int32
   | Mulb of int32 list
   | Divb of int32 list
+  | W64 of { op : w64_op; signed : bool; x : int64; y : int64 }
+  | W64b of { op : w64_op; signed : bool; pairs : (int64 * int64) list }
   | Eval of string * Hppa_word.Word.t list
   | Stats
   | Metrics
@@ -53,6 +73,11 @@ val max_batch_operands : int
     maximal batch still fits in {!max_line_bytes}. One malformed
     operand rejects the whole batch: a partial batch would
     desynchronize the lane-indexed reply. *)
+
+val max_w64_batch_pairs : int
+(** Most operand pairs one [W64MULB]/[W64DIVB]/[W64REMB] request may
+    carry (16) — int64 decimal tokens are up to 20 bytes, so a maximal
+    pair batch still fits in {!max_line_bytes}. *)
 
 val parse : string -> (request, string) result
 (** Parse one request line (no trailing newline; a trailing ['\r'] is

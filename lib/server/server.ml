@@ -147,11 +147,20 @@ let rec create cfg =
   | Some path -> warm_start t path);
   t
 
-and compute_plan t req =
+and compute_plan t mach req =
   let require_certified = t.cfg.certified in
   match (req : Protocol.request) with
   | Protocol.Mul n -> Plan.mul ~obs:t.obs ~require_certified n
   | Protocol.Div d -> Plan.div ~obs:t.obs ~require_certified d
+  | Protocol.W64 { op; signed; x; y } ->
+      let op =
+        match op with
+        | Protocol.W64_mul -> Hppa_w64.Mul
+        | Protocol.W64_div -> Hppa_w64.Div
+        | Protocol.W64_rem -> Hppa_w64.Rem
+      in
+      Plan.w64 ~obs:t.obs ~require_certified (Lazy.force mach)
+        ~fuel:t.cfg.fuel op ~signed x y
   | _ -> invalid_arg "Server.compute_plan: not a plan request"
 
 and cache_plan t key payload artifact =
@@ -170,6 +179,7 @@ and warm_start t path =
   | Error _ -> ()
   | Ok store ->
       let seen = Hashtbl.create 64 in
+      let mach = lazy (Millicode.machine ()) in
       List.iter
         (fun (m : Hppa_plan.Autotune.measurement) ->
           match warm_request m.Hppa_plan.Autotune.request with
@@ -178,7 +188,7 @@ and warm_start t path =
               let key = cache_key req in
               if not (Hashtbl.mem seen key) then begin
                 Hashtbl.replace seen key ();
-                match compute_plan t req with
+                match compute_plan t mach req with
                 | Ok (payload, artifact) ->
                     cache_plan t key payload artifact;
                     incr t.warmed
@@ -217,20 +227,27 @@ let starts_with prefix s =
   String.length s >= String.length prefix
   && String.sub s 0 (String.length prefix) = prefix
 
-let is_batch_reply s = starts_with "OK MULB k=" s || starts_with "OK DIVB k=" s
+let is_batch_reply s =
+  starts_with "OK MULB k=" s || starts_with "OK DIVB k=" s
+  || starts_with "OK W64MULB k=" s
+  || starts_with "OK W64DIVB k=" s
+  || starts_with "OK W64REMB k=" s
 
-(* MULB/DIVB: one reply line per operand, each byte-identical to the
-   scalar MUL/DIV reply — lanes share the scalar plan cache in both
-   directions. All cache misses of one batch are computed in a single
-   pool job, so a batch costs one submit however many lanes miss. *)
+(* MULB/DIVB/W64*B: one reply line per operand (pair), each
+   byte-identical to the scalar reply — lanes share the scalar plan
+   cache in both directions. All cache misses of one batch are computed
+   in a single pool job, so a batch costs one submit however many lanes
+   miss. A lane that fails (e.g. a W64DIVB zero-divisor trap) replies
+   ERR on that line without poisoning the other lanes. *)
 let dispatch_batch t breq =
-  let ns, scalar_of =
+  let reqs =
     match (breq : Protocol.request) with
-    | Protocol.Mulb ns -> (ns, fun n -> Protocol.Mul n)
-    | Protocol.Divb ds -> (ds, fun d -> Protocol.Div d)
+    | Protocol.Mulb ns -> List.map (fun n -> Protocol.Mul n) ns
+    | Protocol.Divb ds -> List.map (fun d -> Protocol.Div d) ds
+    | Protocol.W64b { op; signed; pairs } ->
+        List.map (fun (x, y) -> Protocol.W64 { op; signed; x; y }) pairs
     | _ -> invalid_arg "Server.dispatch_batch: not a batch request"
   in
-  let reqs = List.map scalar_of ns in
   let cached =
     List.map (fun r -> (cache_key r, r, Lru.find t.cache (cache_key r))) reqs
   in
@@ -249,8 +266,8 @@ let dispatch_batch t breq =
     match misses with
     | [] -> []
     | _ ->
-        Pool.submit t.pool (fun _mach ->
-            List.map (fun (key, r) -> (key, compute_plan t r)) misses)
+        Pool.submit t.pool (fun mach ->
+            List.map (fun (key, r) -> (key, compute_plan t mach r)) misses)
   in
   List.iter
     (fun (key, res) ->
@@ -280,17 +297,17 @@ let dispatch t req =
   | Protocol.Stats -> Protocol.ok (stats_payload t)
   (* Never cached: the scrape must observe live registry state. *)
   | Protocol.Metrics -> metrics_payload t
-  | Protocol.Mul _ | Protocol.Div _ -> (
+  | Protocol.Mul _ | Protocol.Div _ | Protocol.W64 _ -> (
       let key = cache_key req in
       match Lru.find t.cache key with
       | Some payload -> Protocol.ok payload
       | None -> (
-          match Pool.submit t.pool (fun _mach -> compute_plan t req) with
+          match Pool.submit t.pool (fun mach -> compute_plan t mach req) with
           | Ok (payload, artifact) ->
               cache_plan t key payload artifact;
               Protocol.ok payload
           | Error detail -> Protocol.err detail))
-  | Protocol.Mulb _ | Protocol.Divb _ -> dispatch_batch t req
+  | Protocol.Mulb _ | Protocol.Divb _ | Protocol.W64b _ -> dispatch_batch t req
   | Protocol.Eval (entry, args) -> (
       match
         Pool.submit t.pool (fun mach ->

@@ -3,6 +3,7 @@ type kind =
   | Reciprocal_div of { divisor : int32; signed : bool; rem : bool }
   | Divide_step of { entry : string; signed : bool }
   | Dispatch of { entry : string; divisors : int * int }
+  | Body_equiv of { entry : string; insns : int }
 
 type t = { kind : kind; transcript : string list; digest : string }
 
@@ -11,6 +12,7 @@ let kind_label = function
   | Reciprocal_div _ -> "reciprocal_div"
   | Divide_step _ -> "divide_step"
   | Dispatch _ -> "dispatch"
+  | Body_equiv _ -> "body_equiv"
 
 let describe = function
   | Linear_mul m -> Printf.sprintf "linear_mul multiplier=%ld" m
@@ -21,6 +23,8 @@ let describe = function
       Printf.sprintf "divide_step entry=%s signed=%b" entry signed
   | Dispatch { entry; divisors = lo, hi } ->
       Printf.sprintf "dispatch entry=%s divisors=%d..%d" entry lo hi
+  | Body_equiv { entry; insns } ->
+      Printf.sprintf "body_equiv entry=%s insns=%d" entry insns
 
 let v kind transcript =
   let digest =

@@ -26,6 +26,13 @@ type kind =
       (** a §6-style vectored small-divisor table: total over the
           inclusive divisor range, every arm certified, the general
           path divide-step certified *)
+  | Body_equiv of { entry : string; insns : int }
+      (** the routine's reachable body (over [insns] instructions,
+          including transitively called millicode) is structurally
+          identical — instruction by instruction, with a consistent
+          branch-target correspondence — to the canonical library
+          routine of the same name, whose behaviour the differential
+          suite pins against the two-word reference ({!Equiv}) *)
 
 type t = {
   kind : kind;
@@ -39,7 +46,7 @@ val v : kind -> string list -> t
 
 val kind_label : kind -> string
 (** Stable metric-label name: ["linear_mul"], ["reciprocal_div"],
-    ["divide_step"] or ["dispatch"]. *)
+    ["divide_step"], ["dispatch"] or ["body_equiv"]. *)
 
 val describe : kind -> string
 (** One-line rendering of the kind with its parameters. *)

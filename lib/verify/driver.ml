@@ -35,7 +35,7 @@ let structure cfg ~entries =
     (Cfg.reachable cfg ~entries:addrs);
   (addrs, List.rev !out)
 
-let check ?(options = Cfg.default) ?specs ~entries prog =
+let check ?(options = Cfg.default) ?specs ?(pairs = []) ~entries prog =
   let cfg = Cfg.make ?specs options prog in
   let addrs, structural = structure cfg ~entries in
   structural
@@ -43,9 +43,10 @@ let check ?(options = Cfg.default) ?specs ~entries prog =
   @ List.concat_map
       (fun entry -> Defuse.check cfg ~entry @ Convention.check cfg ~entry)
       addrs
+  @ List.concat_map (fun spec -> Pairs.check cfg ~spec) pairs
 
-let check_source ?options ?specs ~entries src =
-  Result.map (check ?options ?specs ~entries) (Program.resolve src)
+let check_source ?options ?specs ?pairs ~entries src =
+  Result.map (check ?options ?specs ?pairs ~entries) (Program.resolve src)
 
 let missing_entry entry =
   Findings.v ~routine:entry Findings.Structure "entry label is not defined"
@@ -117,6 +118,8 @@ let certify_division ?(options = Cfg.default) prog ~entry ~claim =
   | None -> Reciprocal.Unknown (Format.asprintf "no label %S" entry)
   | Some addr ->
       certify_division_at (Cfg.make options prog) ~addr ~name:entry ~claim
+
+let certify_body ~canonical prog ~entry = Equiv.certify ~canonical ~entry prog
 
 let certify_divstep ?(options = Cfg.default) prog ~entry ~signed ~want_rem =
   match Program.symbol prog entry with

@@ -13,12 +13,14 @@
     the reciprocal/divide-step/dispatch (§4, §7) certifiers. *)
 
 val check :
-  ?options:Cfg.options -> ?specs:Cfg.spec list -> entries:string list ->
-  Program.resolved -> Findings.t list
+  ?options:Cfg.options -> ?specs:Cfg.spec list -> ?pairs:Pairs.spec list ->
+  entries:string list -> Program.resolved -> Findings.t list
+(** [pairs] (default none) additionally runs the register-pair
+    convention rule ({!Pairs}) over each listed pair spec. *)
 
 val check_source :
-  ?options:Cfg.options -> ?specs:Cfg.spec list -> entries:string list ->
-  Program.source -> (Findings.t list, string) result
+  ?options:Cfg.options -> ?specs:Cfg.spec list -> ?pairs:Pairs.spec list ->
+  entries:string list -> Program.source -> (Findings.t list, string) result
 (** Resolve first; [Error] is the resolver's message. *)
 
 val certify :
@@ -43,6 +45,15 @@ val certify_division :
     divide-by-zero check) and the [ldi divisor; b divU]-style fallback
     wrappers (whose loaded constant must equal the claimed divisor) go
     to {!Divstep.certify}. [Unknown] if the label is absent. *)
+
+val certify_body :
+  canonical:Program.resolved -> Program.resolved -> entry:string ->
+  Reciprocal.verdict
+(** {!Equiv.certify}: the routine [entry] in the candidate image is
+    instruction-for-instruction the canonical library routine — the
+    certificate the W64 family carries, since its correctness rests on
+    the differential suite pinning the canonical body rather than on a
+    closed algebraic form. *)
 
 val certify_divstep :
   ?options:Cfg.options -> Program.resolved -> entry:string ->

@@ -1,0 +1,171 @@
+(* Body-equivalence certifier.
+
+   The W64 routines are too far from a closed algebraic form for the
+   reciprocal/divide-step certifiers (their correctness argument is the
+   normalization theorem plus the differential suite), so a served W64
+   plan is certified the way a distribution is: by proving the program
+   it executes IS the canonical library routine. The certifier walks
+   both images in lockstep from the entry label — following branch
+   targets, call targets and fall-through, so transitively called
+   millicode is covered — requiring every instruction pair to be
+   structurally identical and the branch-target correspondence to be a
+   consistent map. A successful walk is a simulation argument: every
+   execution of the candidate body is an execution of the canonical
+   body, whose behaviour the differential suite pins against the
+   two-word reference. *)
+
+let no_fallthrough : int Insn.t -> bool = function
+  | Insn.B _ | Insn.Bv _ | Insn.Blr _ | Insn.Break _ -> true
+  | _ -> false
+
+(* [Some 2^len] when the instruction before the [blr] at [addr] is a
+   plain unconditional unsigned extract into the index register — the
+   only vectored-table shape whose index the walk can bound. *)
+let bounded_index (code : int Insn.t array) addr x =
+  if addr <= 0 || addr > Array.length code then None
+  else
+    match code.(addr - 1) with
+    | Insn.Extr { signed = false; r = _; pos = _; len; t; cond = Cond.Never }
+      when Reg.equal t x && len >= 1 && len <= 8 ->
+        Some (1 lsl len)
+    | _ -> None
+
+(* The bounded-index argument needs the [extru] to dominate its [blr]:
+   control must only arrive at the branch by falling through the
+   extract. [fall_through_only img] answers that per address by marking
+   everything control can reach some other way — labels, branch
+   targets, call-return points, vectored-table slots (the whole image
+   tail for a table the certifier cannot bound) and nullifier skips —
+   mirroring the marking in {!Cfg.make}. *)
+let fall_through_only (img : Program.resolved) =
+  let code = img.Program.code in
+  let n = Array.length code in
+  let marks = Array.make n false in
+  let mark a = if a >= 0 && a < n then marks.(a) <- true in
+  Hashtbl.iter (fun _ a -> mark a) img.Program.symbols;
+  Array.iteri
+    (fun addr i ->
+      (match Insn.target i with Some a -> mark a | None -> ());
+      (match (i : int Insn.t) with
+      | Insn.Blr { x; _ } ->
+          let slots =
+            match bounded_index code addr x with
+            | Some k -> k
+            | None -> ((n - addr) / 2) + 1
+          in
+          for k = 0 to slots - 1 do
+            mark (addr + 1 + (2 * k))
+          done
+      | Insn.Bl _ -> mark (addr + 1)
+      | _ -> ());
+      if Delay.is_nullifier i then mark (addr + 2))
+    code;
+  fun a -> a >= 0 && a < n && not marks.(a)
+
+let is_return = function
+  | Insn.Bv { x; base; n = _ } ->
+      Reg.equal x Reg.r0 && (Reg.equal base Reg.rp || Reg.equal base Reg.mrp)
+  | _ -> false
+
+let certify ~canonical ~entry prog =
+  match (Program.symbol canonical entry, Program.symbol prog entry) with
+  | None, _ -> Reciprocal.Unknown (Printf.sprintf "no canonical label %S" entry)
+  | _, None -> Reciprocal.Unknown (Printf.sprintf "no label %S" entry)
+  | Some c0, Some p0 -> (
+      let fetch (img : Program.resolved) a =
+        if a >= 0 && a < Array.length img.Program.code then
+          Some img.Program.code.(a)
+        else None
+      in
+      let dominated = fall_through_only canonical in
+      let map = Hashtbl.create 256 in
+      let visited = Hashtbl.create 256 in
+      let work = Queue.create () in
+      let exception Stop of Reciprocal.verdict in
+      let pair c p =
+        match Hashtbl.find_opt map c with
+        | Some p' when p' <> p ->
+            raise
+              (Stop
+                 (Reciprocal.Refuted
+                    (Printf.sprintf
+                       "inconsistent target map: canonical +%d reached at both \
+                        +%d and +%d"
+                       c p' p)))
+        | Some _ -> ()
+        | None ->
+            Hashtbl.replace map c p;
+            Queue.add (c, p) work
+      in
+      try
+        pair c0 p0;
+        while not (Queue.is_empty work) do
+          let c, p = Queue.pop work in
+          if not (Hashtbl.mem visited c) then begin
+            Hashtbl.replace visited c ();
+            match (fetch canonical c, fetch prog p) with
+            | None, _ | _, None ->
+                raise
+                  (Stop
+                     (Reciprocal.Unknown
+                        (Printf.sprintf "walk left the image at +%d/+%d" c p)))
+            | Some ic, Some ip ->
+                if not (Insn.equal (fun _ _ -> true) ic ip) then
+                  raise
+                    (Stop
+                       (Reciprocal.Refuted
+                          (Printf.sprintf "+%d: %s differs from canonical %s" p
+                             (Insn.mnemonic ip) (Insn.mnemonic ic))));
+                (match ic with
+                | Insn.Blr { x; n = false; t = _ }
+                  when bounded_index canonical.Program.code c x <> None
+                       && dominated c ->
+                    (* A bounded vectored table: the adjacent extract
+                       dominates the branch, so the index — equal in
+                       both executions by the lockstep induction — is
+                       below [2^len] and every slot can be paired. *)
+                    let slots =
+                      Option.get (bounded_index canonical.Program.code c x)
+                    in
+                    for k = 0 to slots - 1 do
+                      pair (c + 1 + (2 * k)) (p + 1 + (2 * k))
+                    done
+                | Insn.Ldaddr _ | Insn.Blr _ ->
+                    (* A materialized code address or an unbounded
+                       vectored table: the walk cannot bound where
+                       control goes. *)
+                    raise
+                      (Stop
+                         (Reciprocal.Unknown
+                            (Printf.sprintf "+%d: %s is beyond the walk" c
+                               (Insn.mnemonic ic))))
+                | Insn.Bv _ when not (is_return ic) ->
+                    raise
+                      (Stop
+                         (Reciprocal.Unknown
+                            (Printf.sprintf "+%d: indirect branch" c)))
+                | _ -> ());
+                (match (Insn.target ic, Insn.target ip) with
+                | Some tc, Some tp -> pair tc tp
+                | None, None -> ()
+                | _ ->
+                    (* unreachable: Insn.equal matched the constructors *)
+                    assert false);
+                if not (no_fallthrough ic) then pair (c + 1) (p + 1)
+          end
+        done;
+        let insns = Hashtbl.length visited in
+        Reciprocal.Certified
+          (Certificate.v
+             (Certificate.Body_equiv { entry; insns })
+             [
+               Printf.sprintf
+                 "lockstep walk over %d reachable instructions from %S: every \
+                  instruction equals its canonical counterpart under a \
+                  consistent branch-target map"
+                 insns entry;
+               Printf.sprintf
+                 "canonical behaviour is pinned by the W64 differential suite \
+                  (boundary sweep, seeded sweep, QCheck, three engines)";
+             ])
+      with Stop v -> v)

@@ -5,6 +5,7 @@ type check =
   | Dead_write
   | Delay_hazard
   | Convention
+  | Pair
   | Certify
 
 type severity = Error | Warning
@@ -27,6 +28,7 @@ let check_name = function
   | Dead_write -> "dead-write"
   | Delay_hazard -> "delay-hazard"
   | Convention -> "convention"
+  | Pair -> "pair-convention"
   | Certify -> "certify"
 
 let errors = List.filter (fun f -> f.severity = Error)

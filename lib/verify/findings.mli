@@ -16,6 +16,11 @@ type check =
   | Dead_write  (** a side-effect-free write never observed on any path *)
   | Delay_hazard  (** delay-slot invariant violation (see {!Hazards}) *)
   | Convention  (** millicode calling-convention violation *)
+  | Pair
+      (** register-pair (64-bit dword) calling-convention violation
+          ({!Pairs}): non-canonical pair slots, a result pair half left
+          undefined on a return path, or an argument pair half never
+          consumed *)
   | Certify
       (** a certifier could not certify, or refuted, a routine's claim —
           the linear interpreter for constant multiplies ({!Linear}), the

@@ -1,0 +1,147 @@
+(* The register-pair calling convention of the W64 millicode family:
+   64-bit operands and results travel as (hi:lo) word pairs in fixed
+   slots — arguments in (arg0:arg1) / (arg2:arg3), results in
+   (ret0:ret1) and, for routines that return a second dword, back in
+   (arg0:arg1). *)
+
+type pair = Reg.t * Reg.t
+
+type spec = { name : string; arg_pairs : pair list; result_pairs : pair list }
+
+let arg_slots = [ (Reg.arg0, Reg.arg1); (Reg.arg2, Reg.arg3) ]
+let result_slots = [ (Reg.ret0, Reg.ret1); (Reg.arg0, Reg.arg1) ]
+
+let pair_equal (a, b) (c, d) = Reg.equal a c && Reg.equal b d
+let pp_pair ppf (hi, lo) = Format.fprintf ppf "(%a:%a)" Reg.pp hi Reg.pp lo
+
+let finding ?addr name fmt =
+  Format.kasprintf (fun message -> Findings.v ~routine:name ?addr Findings.Pair message) fmt
+
+(* Declaration shape: every declared pair must sit in a canonical slot,
+   and its halves must be covered by the routine's flat register spec
+   (so the pair view and the word view of the interface agree). *)
+let shape cfg ~entry spec =
+  let flat = Cfg.spec_at cfg entry in
+  let covered rs r = List.exists (Reg.equal r) rs in
+  let slot_findings kind slots covering =
+    List.concat_map
+      (fun ((hi, lo) as p) ->
+        (if List.exists (pair_equal p) slots then []
+         else
+           [
+             finding spec.name "%s pair %a is not a canonical pair slot" kind
+               pp_pair p;
+           ])
+        @ List.filter_map
+            (fun r ->
+              if covered covering r then None
+              else
+                Some
+                  (finding spec.name
+                     "%s pair %a: half %a is missing from the declared %s set"
+                     kind pp_pair p Reg.pp r kind))
+            [ hi; lo ])
+  in
+  slot_findings "argument" arg_slots flat.Cfg.args spec.arg_pairs
+  @ slot_findings "result" result_slots
+      (flat.Cfg.results @ flat.Cfg.clobbers)
+      spec.result_pairs
+
+(* Forward must-defined fixpoint (register component only — the pair
+   rule does not track the PSW). *)
+let must_defined cfg ~entry args =
+  let mask r = 1 lsl Reg.to_int r in
+  let of_list = List.fold_left (fun s r -> s lor mask r) 0 in
+  let ins = Hashtbl.create 128 in
+  let entry_node = Cfg.Insn entry in
+  Hashtbl.replace ins entry_node
+    (of_list (Reg.r0 :: Reg.rp :: Reg.sp :: Reg.mrp :: args));
+  let transfer node s =
+    let defs = of_list (Cfg.defines cfg node) in
+    match node with
+    | Cfg.Summary _ | Cfg.Tail _ ->
+        (s land lnot (of_list (Cfg.unspecifies cfg node))) lor defs
+    | Cfg.Insn _ | Cfg.Slot _ -> s lor defs
+  in
+  let work = Queue.create () in
+  Queue.add entry_node work;
+  while not (Queue.is_empty work) do
+    let n = Queue.pop work in
+    let out = transfer n (Hashtbl.find ins n) in
+    List.iter
+      (function
+        | Cfg.Step s -> (
+            match Hashtbl.find_opt ins s with
+            | None ->
+                Hashtbl.replace ins s out;
+                Queue.add s work
+            | Some old ->
+                if old land out <> old then begin
+                  Hashtbl.replace ins s (old land out);
+                  Queue.add s work
+                end)
+        | _ -> ())
+      (Cfg.succs cfg n)
+  done;
+  (ins, transfer, mask)
+
+(* Both halves of every result pair must be defined on every return
+   path, and both halves of every argument pair must be consumed
+   somewhere — a pair routine reading only one half almost certainly
+   has its (hi:lo) order swapped. *)
+let dataflow cfg ~entry spec =
+  let nodes = Cfg.reachable cfg ~entries:[ entry ] in
+  let halves ps = List.concat_map (fun (hi, lo) -> [ hi; lo ]) ps in
+  let ins, transfer, mask =
+    must_defined cfg ~entry (halves spec.arg_pairs)
+  in
+  let at_ret =
+    List.concat_map
+      (fun n ->
+        if
+          List.exists (function Cfg.Ret -> true | _ -> false) (Cfg.succs cfg n)
+        then
+          match Hashtbl.find_opt ins n with
+          | None -> []
+          | Some s ->
+              let out = transfer n s in
+              List.concat_map
+                (fun ((hi, lo) as p) ->
+                  List.filter_map
+                    (fun r ->
+                      if out land mask r <> 0 then None
+                      else
+                        Some
+                          (finding ?addr:(Cfg.addr_of n) spec.name
+                             "result pair %a: half %a is not defined on this \
+                              return path"
+                             pp_pair p Reg.pp r))
+                    [ hi; lo ])
+                spec.result_pairs
+        else [])
+      nodes
+  in
+  let read =
+    List.fold_left
+      (fun acc n -> List.fold_left (fun acc r -> acc lor mask r) acc (Cfg.reads cfg n))
+      0 nodes
+  in
+  let unread =
+    List.concat_map
+      (fun ((hi, lo) as p) ->
+        List.filter_map
+          (fun r ->
+            if read land mask r <> 0 then None
+            else
+              Some
+                (finding spec.name
+                   "argument pair %a: half %a is never read" pp_pair p Reg.pp r))
+          [ hi; lo ])
+      spec.arg_pairs
+  in
+  at_ret @ unread
+
+let check cfg ~spec =
+  match Program.symbol (Cfg.program cfg) spec.name with
+  | None -> [ finding spec.name "entry label is not defined" ]
+  | Some entry -> shape cfg ~entry spec @ dataflow cfg ~entry spec

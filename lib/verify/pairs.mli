@@ -1,0 +1,31 @@
+(** The register-pair calling convention check (W64 millicode family).
+
+    A pair spec declares which 64-bit operands and results a routine
+    carries as (hi:lo) word pairs. The check enforces:
+
+    - {e shape}: every declared pair sits in a canonical slot —
+      arguments in (arg0:arg1) or (arg2:arg3), results in (ret0:ret1)
+      or (arg0:arg1) — and each half is covered by the routine's flat
+      {!Cfg.spec} (so the pair and word views of the interface agree);
+    - {e definedness}: both halves of every result pair are defined on
+      every return path (forward must-analysis over the routine's CFG);
+    - {e consumption}: both halves of every argument pair are read
+      somewhere in the routine — reading only one half almost certainly
+      means the (hi:lo) order is swapped.
+
+    Violations are reported as {!Findings.check.Pair} findings. *)
+
+type pair = Reg.t * Reg.t
+(** (high word, low word). *)
+
+type spec = { name : string; arg_pairs : pair list; result_pairs : pair list }
+
+val arg_slots : pair list
+(** The canonical argument slots [(arg0:arg1); (arg2:arg3)]. *)
+
+val result_slots : pair list
+(** The canonical result slots [(ret0:ret1); (arg0:arg1)]. *)
+
+val check : Cfg.t -> spec:spec -> Findings.t list
+(** Check the routine entered at the spec's name against its declared
+    pairs; a missing entry label is itself a finding. *)

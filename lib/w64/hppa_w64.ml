@@ -1,0 +1,110 @@
+(* High-level interface to the double-word (W64) millicode family. *)
+
+module Word = Hppa_word.Word
+module Machine = Hppa_machine.Machine
+module Trap = Hppa_machine.Trap
+
+type op = Mul | Div | Rem
+
+let entry ~signed = function
+  | Mul -> if signed then "mulI128" else "mulU128"
+  | Div -> if signed then "divI64w" else "divU64w"
+  | Rem -> if signed then "remI64w" else "remU64w"
+
+let entries = Hppa.Mul_w64.entries @ Hppa.Div_w64.entries
+
+let op_of_entry = function
+  | "mulU128" | "mulI128" -> Mul
+  | "divU64w" | "divI64w" -> Div
+  | "remU64w" | "remI64w" -> Rem
+  | e -> invalid_arg ("Hppa_w64.op_of_entry: " ^ e)
+
+let signed_entry = function
+  | "mulI128" | "divI64w" | "remI64w" -> true
+  | "mulU128" | "divU64w" | "remU64w" -> false
+  | e -> invalid_arg ("Hppa_w64.signed_entry: " ^ e)
+
+(* -- register pairs ------------------------------------------------- *)
+
+let hi32 x = Word.of_int64 (Int64.shift_right_logical x 32)
+let lo32 x = Word.of_int64 x
+
+let join hi lo =
+  Int64.logor
+    (Int64.shift_left (Word.to_int64_u hi) 32)
+    (Word.to_int64_u lo)
+
+let operands x y = [ hi32 x; lo32 x; hi32 y; lo32 y ]
+
+(* -- reference model and execution ---------------------------------- *)
+
+(* Every entry leaves two architectural result dwords: [ret] in
+   (ret0:ret1) — the product's high dword, the quotient, or the
+   remainder — and [arg] in (arg0:arg1) — the product's low dword for
+   the multiplies, the remainder for the divide/rem entries. *)
+type outcome =
+  | Value of { ret : int64; arg : int64 }
+  | Trap of Trap.t
+  | Fuel
+
+let outcome_equal a b =
+  match (a, b) with
+  | Value a, Value b -> Int64.equal a.ret b.ret && Int64.equal a.arg b.arg
+  | Trap a, Trap b -> Trap.equal a b
+  | Fuel, Fuel -> true
+  | _ -> false
+
+let pp_outcome ppf = function
+  | Value { ret; arg } -> Format.fprintf ppf "0x%016Lx/0x%016Lx" ret arg
+  | Trap t -> Format.fprintf ppf "trap:%s" (Trap.to_string t)
+  | Fuel -> Format.pp_print_string ppf "fuel-exhausted"
+
+let div_trap x y =
+  if Int64.equal y 0L then Trap (Trap.Break Trap.divide_by_zero_code)
+  else if Int64.equal x Int64.min_int && Int64.equal y (-1L) then
+    Trap (Trap.Break Hppa.Div_ext.overflow_break_code)
+  else invalid_arg "Hppa_w64.reference: reference refused a dividable pair"
+
+let reference name x y =
+  match name with
+  | "mulU128" ->
+      let hi, lo = Hppa.Mul_w64.reference_unsigned x y in
+      Value { ret = hi; arg = lo }
+  | "mulI128" ->
+      let hi, lo = Hppa.Mul_w64.reference_signed x y in
+      Value { ret = hi; arg = lo }
+  | "divU64w" | "remU64w" -> (
+      match Hppa.Div_w64.reference_unsigned x y with
+      | Some (q, r) ->
+          if String.equal name "divU64w" then Value { ret = q; arg = r }
+          else Value { ret = r; arg = r }
+      | None -> div_trap x y)
+  | "divI64w" | "remI64w" -> (
+      match Hppa.Div_w64.reference_signed x y with
+      | Some (q, r) ->
+          if String.equal name "divI64w" then Value { ret = q; arg = r }
+          else Value { ret = r; arg = r }
+      | None -> div_trap x y)
+  | e -> invalid_arg ("Hppa_w64.reference: " ^ e)
+
+let read_outcome ~get = function
+  | Hppa_machine.Cpu.Halted ->
+      Value
+        {
+          ret = join (get Reg.ret0) (get Reg.ret1);
+          arg = join (get Reg.arg0) (get Reg.arg1);
+        }
+  | Hppa_machine.Cpu.Trapped t -> Trap t
+  | Hppa_machine.Cpu.Fuel_exhausted -> Fuel
+
+let call ?fuel m name ~x ~y =
+  read_outcome ~get:(Machine.get m) (Machine.call ?fuel m name ~args:(operands x y))
+
+let call_cycles ?fuel m name ~x ~y =
+  let o, c = Machine.call_cycles ?fuel m name ~args:(operands x y) in
+  (read_outcome ~get:(Machine.get m) o, c)
+
+let batch_outcome b ~lane =
+  read_outcome
+    ~get:(Machine.Batch.get_reg b ~lane)
+    (Machine.Batch.outcome b ~lane)

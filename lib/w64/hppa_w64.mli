@@ -1,0 +1,73 @@
+(** High-level interface to the double-word (W64) millicode family.
+
+    The paper's routines operate on single 32-bit words; this library's
+    W64 family ({!Hppa.Mul_w64}, {!Hppa.Div_w64}) lifts them to 64-bit
+    operands passed as (hi:lo) register pairs — X in (arg0:arg1), Y in
+    (arg2:arg3). This module packs [int64] values into that convention,
+    runs the entries on a {!Hppa_machine.Machine} (scalar or batched),
+    and provides the bit-exact two-word OCaml reference the differential
+    suites pin against. *)
+
+type op = Mul | Div | Rem
+
+val entry : signed:bool -> op -> string
+(** The millicode entry implementing the operation: [mulU128]/[mulI128]
+    (full 128-bit product), [divU64w]/[divI64w], [remU64w]/[remI64w]
+    (truncating 64/64 divide and remainder). *)
+
+val entries : string list
+(** All six public W64 entries. *)
+
+val op_of_entry : string -> op
+(** Inverse of {!entry}; raises [Invalid_argument] off the family. *)
+
+val signed_entry : string -> bool
+(** Whether the entry is the signed variant. *)
+
+(** {1 Register pairs} *)
+
+val hi32 : int64 -> Hppa_word.Word.t
+val lo32 : int64 -> Hppa_word.Word.t
+
+val join : Hppa_word.Word.t -> Hppa_word.Word.t -> int64
+(** [join hi lo] reassembles a dword from a register pair. *)
+
+val operands : int64 -> int64 -> Hppa_word.Word.t list
+(** [operands x y] is the four-word argument list
+    [[hi32 x; lo32 x; hi32 y; lo32 y]] matching the W64 calling
+    convention. *)
+
+(** {1 Reference model and execution} *)
+
+(** Every entry leaves two architectural result dwords: [ret] in
+    (ret0:ret1) — the product's high dword, the quotient, or the
+    remainder — and [arg] in (arg0:arg1) — the product's low dword for
+    the multiplies, the remainder for the divide/rem entries. *)
+type outcome =
+  | Value of { ret : int64; arg : int64 }
+  | Trap of Hppa_machine.Trap.t
+  | Fuel
+
+val outcome_equal : outcome -> outcome -> bool
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val reference : string -> int64 -> int64 -> outcome
+(** The two-word OCaml model of the named entry, including its trap
+    behaviour (divide by zero breaks with
+    {!Hppa_machine.Trap.divide_by_zero_code}; signed [-2{^63} / -1]
+    breaks with {!Hppa.Div_ext.overflow_break_code}). *)
+
+val read_outcome :
+  get:(Reg.t -> Hppa_word.Word.t) -> Hppa_machine.Cpu.outcome -> outcome
+(** Decode a machine outcome through a register reader (scalar machine
+    or one batch lane). *)
+
+val call : ?fuel:int -> Hppa_machine.Machine.t -> string -> x:int64 -> y:int64 -> outcome
+(** Pack the operands, call the entry, decode the result dwords. *)
+
+val call_cycles :
+  ?fuel:int -> Hppa_machine.Machine.t -> string -> x:int64 -> y:int64 -> outcome * int
+(** {!call} plus the cycle count of the call. *)
+
+val batch_outcome : Hppa_machine.Machine.Batch.t -> lane:int -> outcome
+(** Decode one lane of a batched dispatch. *)

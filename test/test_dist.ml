@@ -140,6 +140,90 @@ let test_relative_speed_monotone () =
   in
   Alcotest.(check (float 1e-9)) "identity" 1.0 s'
 
+(* --- The 64-bit operand models (W64 family). --------------------------- *)
+
+let test_uniform64_deterministic () =
+  let a = Prng.create 64L and b = Prng.create 64L in
+  for i = 0 to 99 do
+    if
+      not
+        (Int64.equal (Operand_dist.uniform64 a) (Operand_dist.uniform64 b))
+    then Alcotest.failf "uniform64 streams diverge at %d" i
+  done
+
+let test_log_uniform64_shape () =
+  (* Nonnegative, bounded by the requested bit budget, and small values
+     common (the point of the log-uniform model). *)
+  let g = Prng.create 65L in
+  let small = ref 0 and n = 20000 in
+  for _ = 1 to n do
+    let v = Operand_dist.log_uniform64 g in
+    if Int64.compare v 0L < 0 then Alcotest.failf "negative draw %Ld" v;
+    if Int64.compare v 0x1_0000_0000L < 0 then incr small
+  done;
+  let frac = float_of_int !small /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "P(<2^32) = %.2f near 1/2" frac) true
+    (frac > 0.4 && frac < 0.65);
+  let g = Prng.create 66L in
+  for _ = 1 to 1000 do
+    let v = Operand_dist.log_uniform64 ~bits:8 g in
+    if Int64.compare v 256L >= 0 || Int64.compare v 0L < 0 then
+      Alcotest.failf "bits:8 draw out of range: %Ld" v
+  done
+
+let test_zipf64_divisor_invariants () =
+  (* Every divisor has a non-zero high word (the slow divide path), is
+     positive, and the draw is deterministic per rank. *)
+  let g = Prng.create 67L in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 5000 do
+    let d = Operand_dist.zipf64_divisor g in
+    if Int64.compare d 0L <= 0 then Alcotest.failf "non-positive %Ld" d;
+    let hi = Int64.shift_right_logical d 32 in
+    if Int64.equal hi 0L then Alcotest.failf "high word zero: %Ld" d;
+    (* rank determines the low word: same high word -> same divisor *)
+    (match Hashtbl.find_opt seen hi with
+    | Some d' when not (Int64.equal d d') ->
+        Alcotest.failf "rank %Ld drew %Ld and %Ld" hi d d'
+    | _ -> ());
+    Hashtbl.replace seen hi d
+  done;
+  (* Zipf head weight: rank 1 must dominate. *)
+  let g = Prng.create 68L in
+  let rank1 = ref 0 and n = 10000 in
+  for _ = 1 to n do
+    if Operand_dist.zipf_rank g = 0 then incr rank1
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "P(rank 1) = %.3f" (float_of_int !rank1 /. float_of_int n))
+    true
+    (!rank1 > n / 20)
+
+let test_w64_pair_invariants () =
+  let g = Prng.create 69L in
+  let hw0 = ref 0 and n = 20000 in
+  for _ = 1 to n do
+    let x, y = Operand_dist.w64_pair g in
+    if Int64.compare x 0L < 0 then Alcotest.failf "negative x %Ld" x;
+    if Int64.compare y 1L < 0 then Alcotest.failf "divisor %Ld below 1" y;
+    if Int64.equal (Int64.shift_right_logical y 32) 0L then incr hw0
+  done;
+  let frac = float_of_int !hw0 /. float_of_int n in
+  (* 0.5 forced by the coin, plus the log-uniform branch landing below
+     2^32 about half the remaining time: expect ~0.75 overall. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "P(high word zero) = %.2f near 3/4" frac)
+    true
+    (frac > 0.6 && frac < 0.9);
+  (* hw0:0 never takes the high-word-zero shortcut path on y... the
+     log-uniform tail can still land below 2^32, so only pin hw0:1. *)
+  let g = Prng.create 70L in
+  for _ = 1 to 1000 do
+    let _, y = Operand_dist.w64_pair ~hw0:1.0 g in
+    if not (Int64.equal (Int64.shift_right_logical y 32) 0L) then
+      Alcotest.failf "hw0:1.0 drew a wide divisor %Ld" y
+  done
+
 let suite =
   [
     ( "dist:unit",
@@ -154,6 +238,17 @@ let suite =
         Alcotest.test_case "trace section 3" `Quick test_trace_reproduces_section3;
         Alcotest.test_case "gibson numbers" `Quick test_gibson_numbers;
         Alcotest.test_case "relative speed" `Quick test_relative_speed_monotone;
+      ] );
+    ( "dist:w64",
+      [
+        Alcotest.test_case "uniform64 deterministic" `Quick
+          test_uniform64_deterministic;
+        Alcotest.test_case "log-uniform64 shape" `Quick
+          test_log_uniform64_shape;
+        Alcotest.test_case "zipf64 divisor invariants" `Quick
+          test_zipf64_divisor_invariants;
+        Alcotest.test_case "w64 pair invariants" `Quick
+          test_w64_pair_invariants;
       ] );
     qsuite "dist:props" [ prop_int_range ];
   ]

@@ -471,6 +471,138 @@ let test_measure_batch_parity () =
      in
      go 0)
 
+(* ------------------------------------------------------------------ *)
+(* The W64 (double-word) family through the same layers                *)
+
+let w64_requests =
+  [
+    Plan.w64_mul Plan.Unsigned; Plan.w64_mul Plan.Signed;
+    Plan.w64_div Plan.Unsigned; Plan.w64_div Plan.Signed;
+    Plan.w64_rem Plan.Unsigned; Plan.w64_rem Plan.Signed;
+  ]
+
+let test_w64_request_parse () =
+  let ok s expect =
+    match Plan.request_of_string s with
+    | Ok r -> Alcotest.(check string) s expect (Plan.request_id r)
+    | Error e -> Alcotest.failf "%S: %s" s e
+  in
+  ok "w64mulu x" "mul.var.u.w64";
+  ok "w64muli x" "mul.var.s.w64";
+  ok "w64divu x" "div.var.u.w64";
+  ok "w64divi x" "div.var.s.w64";
+  ok "w64remu x" "rem.var.u.w64";
+  ok "w64remi x" "rem.var.s.w64";
+  let bad s =
+    match Plan.request_of_string s with
+    | Ok r -> Alcotest.failf "%S should not parse (got %s)" s (Plan.request_id r)
+    | Error _ -> ()
+  in
+  (* Constant operands are a 32-bit notion; the w64 forms take only x. *)
+  bad "w64mulu 3";
+  bad "w64divu";
+  bad "w64frob x"
+
+(* Every W64 request selects its millicode strategy, and the emission
+   passes the same acceptance bar as the 32-bit matrix: lint-clean,
+   encodable, digestible — and behaviourally pinned to the two-word
+   reference through the linked image. *)
+let test_w64_selection () =
+  List.iter2
+    (fun req expect ->
+      let id = Plan.request_id req in
+      let choice = choose_exn req in
+      Alcotest.(check string) id expect choice.Selector.chosen.Plan.name;
+      let em = choice.Selector.emission in
+      (match Plan.verify em with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: not lint-clean: %s" id e);
+      (match Plan.digest em with
+      | Ok d -> Alcotest.(check int) (id ^ " md5 hex") 32 (String.length d)
+      | Error e -> Alcotest.failf "%s: digest: %s" id e);
+      let target =
+        match em.Plan.detail with
+        | Plan.Millicode t -> t
+        | Plan.Mul_plan _ | Plan.Div_plan _ ->
+            Alcotest.failf "%s: w64 emission is not millicode" id
+      in
+      let mach = machine_of em in
+      List.iter
+        (fun (x, y) ->
+          let got = Hppa_w64.call mach target ~x ~y in
+          let want = Hppa_w64.reference target x y in
+          if not (Hppa_w64.outcome_equal got want) then
+            Alcotest.failf "%s 0x%Lx 0x%Lx: %a want %a" id x y
+              Hppa_w64.pp_outcome got Hppa_w64.pp_outcome want)
+        [ (0x123456789L, 0x7fedcba98L); (-7L, 3L); (5L, 0L) ])
+    w64_requests
+    [
+      "w64_mul_millicode"; "w64_mul_millicode"; "w64_div_millicode";
+      "w64_div_millicode"; "w64_div_millicode"; "w64_div_millicode";
+    ]
+
+(* Certified-only serving: every W64 plan carries a body-equivalence
+   certificate against the canonical library image. *)
+let test_w64_certified_selection () =
+  let obs = Obs.Registry.create () in
+  List.iter
+    (fun req ->
+      let id = Plan.request_id req in
+      match Selector.choose ~obs ~require_certified:true req with
+      | Error e -> Alcotest.failf "%s: %s" id e
+      | Ok choice -> (
+          match choice.Selector.certificate with
+          | None -> Alcotest.failf "%s: certified choice without certificate" id
+          | Some cert ->
+              Alcotest.(check string) (id ^ " kind") "body_equiv"
+                (Hppa_verify.Certificate.kind_label
+                   cert.Hppa_verify.Certificate.kind);
+              Alcotest.(check int) (id ^ " digest hex") 32
+                (String.length cert.Hppa_verify.Certificate.digest)))
+    w64_requests
+
+(* Autotune over the 64-bit operand models: the gate holds for every
+   entry, batched measurement agrees with scalar, and mismatched
+   request/workload pairings are explicit errors. *)
+let test_w64_autotune () =
+  let store = Autotune.Store.create () in
+  let obs = Obs.Registry.create () in
+  let workload = Autotune.Hw0 { samples = 24; seed = 9L } in
+  List.iter
+    (fun req ->
+      match Autotune.tune ~store ~obs workload req with
+      | Ok r ->
+          Alcotest.(check bool)
+            (Plan.request_id req ^ " gate") true r.Autotune.gate_ok
+      | Error e -> Alcotest.failf "tune %s: %s" (Plan.request_id req) e)
+    w64_requests;
+  let req = Plan.w64_div Plan.Unsigned in
+  let strategy = (choose_exn req).Selector.chosen in
+  let verdict width =
+    match Autotune.measure ~batch_width:width workload req strategy with
+    | Ok m -> m
+    | Error e -> Alcotest.failf "measure width %d: %s" width e
+  in
+  let scalar = verdict 1 and batched = verdict 8 in
+  Alcotest.(check int) "total cycles" scalar.Autotune.total_cycles
+    batched.Autotune.total_cycles;
+  Alcotest.(check int) "min cycles" scalar.Autotune.min_cycles
+    batched.Autotune.min_cycles;
+  Alcotest.(check int) "max cycles" scalar.Autotune.max_cycles
+    batched.Autotune.max_cycles;
+  (* A 32-bit workload widens for a w64 request (the kernels accept any
+     operand model); the reverse pairing has no 32-bit reading and must
+     be an explicit error, not an empty measurement. *)
+  (match
+     Autotune.measure (Autotune.Figure5 { samples = 8; seed = 1L }) req strategy
+   with
+  | Ok m -> Alcotest.(check int) "widened samples" 8 m.Autotune.samples
+  | Error e -> Alcotest.failf "widened 32-bit workload: %s" e);
+  let req32 = Plan.mul_const 7l in
+  match Autotune.measure workload req32 (choose_exn req32).Selector.chosen with
+  | Ok _ -> Alcotest.fail "64-bit workload accepted for a 32-bit request"
+  | Error _ -> ()
+
 let test_store_rejects_garbage () =
   (match Autotune.Store.of_json "" with
   | Ok _ -> Alcotest.fail "empty input accepted"
@@ -520,5 +652,15 @@ let suite =
           test_measure_batch_parity;
         Alcotest.test_case "store rejects garbage" `Quick
           test_store_rejects_garbage;
+      ] );
+    ( "plan:w64",
+      [
+        Alcotest.test_case "request parse / id" `Quick test_w64_request_parse;
+        Alcotest.test_case "selection + acceptance + differential" `Quick
+          test_w64_selection;
+        Alcotest.test_case "certified selection (body_equiv)" `Quick
+          test_w64_certified_selection;
+        Alcotest.test_case "autotune gate + batch parity + pairing errors"
+          `Quick test_w64_autotune;
       ] );
   ]

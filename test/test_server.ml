@@ -65,6 +65,32 @@ let test_parse_valid () =
     ();
   parse_ok "EVAL mulI 99 -7" (Protocol.Eval ("mulI", [ 99l; -7l ])) ();
   parse_ok "EVAL divU" (Protocol.Eval ("divU", [])) ();
+  parse_ok "W64MUL u 123 456"
+    (Protocol.W64 { op = Protocol.W64_mul; signed = false; x = 123L; y = 456L })
+    ();
+  parse_ok "w64mul s -7 3"
+    (Protocol.W64 { op = Protocol.W64_mul; signed = true; x = -7L; y = 3L })
+    ();
+  parse_ok "W64DIV u 0x100000000 3"
+    (Protocol.W64
+       { op = Protocol.W64_div; signed = false; x = 0x1_0000_0000L; y = 3L })
+    ();
+  parse_ok "W64REM s 9223372036854775807 -1"
+    (Protocol.W64
+       { op = Protocol.W64_rem; signed = true; x = Int64.max_int; y = -1L })
+    ();
+  parse_ok "W64MULB u 1 2 3 4"
+    (Protocol.W64b
+       {
+         op = Protocol.W64_mul;
+         signed = false;
+         pairs = [ (1L, 2L); (3L, 4L) ];
+       })
+    ();
+  parse_ok "W64DIVB s 10 3"
+    (Protocol.W64b
+       { op = Protocol.W64_div; signed = true; pairs = [ (10L, 3L) ] })
+    ();
   parse_ok "STATS" Protocol.Stats ();
   parse_ok "METRICS" Protocol.Metrics ();
   parse_ok "metrics\r" Protocol.Metrics ();
@@ -95,6 +121,21 @@ let test_parse_invalid () =
       "METRICS all";
       "QUIT 0";
       String.make (Protocol.max_line_bytes + 1) 'M';
+      (* W64: signedness tag mandatory, operands are full int64 pairs. *)
+      "W64MUL";
+      "W64MUL u";
+      "W64MUL u 5";  (* missing y *)
+      "W64MUL u 5 7 9";  (* too many operands *)
+      "W64MUL x 5 7";  (* bad signedness tag *)
+      "W64MUL 5 7";  (* missing signedness tag *)
+      "W64DIV u 99999999999999999999 3";  (* does not fit 64 bits *)
+      "W64REM s one 2";
+      "W64MULB u";  (* batch needs at least one pair *)
+      "W64DIVB u 1 2 3";  (* odd operand count: not pairs *)
+      "W64REMB s 1 2 three 4";  (* one bad operand rejects the batch *)
+      "W64MULB u "
+      ^ String.concat " "
+          (List.init (2 * (Protocol.max_w64_batch_pairs + 1)) string_of_int);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -117,6 +158,8 @@ let fuzz_inputs =
        [
          "MUL 625"; "DIV 7"; "MULB 625 -7 0"; "DIVB 7 0 -9";
          "EVAL mulI 99 -7"; "STATS"; "PING"; "QUIT";
+         "W64MUL u 123 456"; "W64DIV s -7 3"; "W64REM u 100 7";
+         "W64DIVB s 10 3 5 0";
        ]
      in
      let truncated =
@@ -141,6 +184,8 @@ let fuzz_inputs =
          "MUL " ^ String.make 2000 '9';
          String.make (Protocol.max_line_bytes + 1) ' ' ^ "PING";
          "MULB " ^ String.concat " " (List.init 200 string_of_int);
+         "W64MULB u " ^ String.concat " " (List.init 200 string_of_int);
+         "W64DIV u " ^ String.make 2000 '9' ^ " 3";
        ]
      in
      random @ truncated @ corrupted @ oversized)
@@ -365,7 +410,11 @@ let test_plan_bytes_cold_warm_workers () =
   (* The same request must produce identical bytes on a cold cache, a
      warm cache, and any worker-pool size. *)
   let requests =
-    [ "MUL 625"; "MUL -1431655765"; "DIV 7"; "DIV -9"; "EVAL mulI 1234 567" ]
+    [
+      "MUL 625"; "MUL -1431655765"; "DIV 7"; "DIV -9"; "EVAL mulI 1234 567";
+      "W64MUL u 4294967297 4294967297"; "W64DIV s -7 3";
+      "W64REM u 10000000000 7";
+    ]
   in
   let replies_with workers =
     with_server ~workers (fun srv ->
@@ -496,6 +545,76 @@ let test_batch_error_lanes () =
             (contains ~needle:"strategy=shift:4" l2)
       | ls -> Alcotest.failf "expected 4 lines, got %d" (List.length ls))
 
+(* ------------------------------------------------------------------ *)
+(* W64 serving: the double-word verbs through the same plan cache      *)
+
+let test_w64_dispatch_semantics () =
+  with_server ~workers:2 (fun srv ->
+      check_reply srv "W64MUL u 123 456" ~ok:true
+        [ "hi=0"; "lo=56088"; "cycles="; "entry=mulU128" ];
+      (* Full 64x64: (2^32+1)^2 = 2^64 + 2^33 + 1. *)
+      check_reply srv "W64MUL u 4294967297 4294967297" ~ok:true
+        [ "hi=1"; "lo=8589934593" ];
+      check_reply srv "W64MUL s -7 3" ~ok:true
+        [ "hi=-1"; "lo=-21"; "entry=mulI128" ];
+      (* Truncating signed divide: -7/3 = -2 rem -1. *)
+      check_reply srv "W64DIV s -7 3" ~ok:true
+        [ "q=-2"; "r=-1"; "entry=divI64w" ];
+      check_reply srv "W64DIV u 10000000000 3" ~ok:true
+        [ "q=3333333333"; "r=1"; "entry=divU64w" ];
+      check_reply srv "W64REM u 100 7" ~ok:true [ "r=2"; "entry=remU64w" ];
+      check_reply srv "W64REM s -100 7" ~ok:true [ "r=-2"; "entry=remI64w" ];
+      (* A zero divisor traps in the millicode; the server frames it as
+         an error reply, not a crash. *)
+      check_reply srv "W64DIV u 5 0" ~ok:false [ "trap" ];
+      check_reply srv "W64REM s 5 0" ~ok:false [ "trap" ])
+
+(* Same acceptance criterion as MULB/DIVB: a W64 batch reply is a
+   header plus lanes byte-identical to the scalar replies, error lanes
+   (zero divisors) included, cache-state independent. *)
+let test_w64_batch_byte_identity () =
+  let ops = [ ("10", "3"); ("5", "0"); ("-7", "3"); ("10000000000", "7") ] in
+  let flat = String.concat " " (List.concat_map (fun (x, y) -> [ x; y ]) ops) in
+  let scalar srv (x, y) = Server.respond srv ("W64DIV s " ^ x ^ " " ^ y) in
+  (* Warm path: scalars first, the batch hits their cache entries. *)
+  with_server ~workers:2 (fun srv ->
+      let scalars = List.map (scalar srv) ops in
+      let reply = Server.respond srv ("W64DIVB s " ^ flat) in
+      Alcotest.(check bool) "framed as batch" true
+        (Server.is_batch_reply reply);
+      match String.split_on_char '\n' reply with
+      | header :: lanes ->
+          Alcotest.(check string) "header"
+            (Printf.sprintf "OK W64DIVB k=%d" (List.length ops))
+            header;
+          List.iteri
+            (fun i (s, l) ->
+              Alcotest.(check string)
+                (Printf.sprintf "warm lane %d byte-identical" i)
+                s l)
+            (List.combine scalars lanes)
+      | [] -> Alcotest.fail "empty batch reply");
+  (* Cold path: the batch computes first; scalars afterwards agree. *)
+  with_server ~workers:2 (fun srv ->
+      let reply = Server.respond srv ("W64DIVB s " ^ flat) in
+      let lanes = List.tl (String.split_on_char '\n' reply) in
+      List.iter2
+        (fun (x, y) lane ->
+          Alcotest.(check string)
+            (Printf.sprintf "cold lane %s/%s = later scalar" x y)
+            lane
+            (scalar srv (x, y)))
+        ops lanes;
+      (* The zero-divisor lane is a framed per-lane error, the batch
+         itself still succeeds. *)
+      match lanes with
+      | _ :: bad :: _ ->
+          Alcotest.(check bool) "zero-divisor lane is ERR" true
+            (Protocol.is_err bad);
+          Alcotest.(check bool) "lane names the trap" true
+            (contains ~needle:"trap" bad)
+      | _ -> Alcotest.fail "missing lanes")
+
 let test_metrics_scrape () =
   with_server (fun srv ->
       ignore (Server.respond srv "MUL 625");
@@ -579,7 +698,10 @@ let test_certified_serving () =
      and every cached plan artifact carries a certificate digest (the
      hppa_serve_plan_artifacts_certified gauge tracks the total). *)
   let requests =
-    [ "MUL 625"; "MUL -7"; "DIV 7"; "DIV -9"; "DIV 16"; "DIV 1" ]
+    [
+      "MUL 625"; "MUL -7"; "DIV 7"; "DIV -9"; "DIV 16"; "DIV 1";
+      "W64MUL u 123 456"; "W64DIV s -7 3"; "W64REM u 100 7";
+    ]
   in
   let plain =
     with_server (fun srv -> List.map (Server.respond srv) requests)
@@ -839,6 +961,9 @@ let suite =
         Alcotest.test_case "batch byte identity" `Quick
           test_batch_byte_identity;
         Alcotest.test_case "batch error lanes" `Quick test_batch_error_lanes;
+        Alcotest.test_case "w64 semantics" `Quick test_w64_dispatch_semantics;
+        Alcotest.test_case "w64 batch byte identity" `Quick
+          test_w64_batch_byte_identity;
         Alcotest.test_case "metrics scrape" `Quick test_metrics_scrape;
         Alcotest.test_case "selector metrics and artifacts" `Quick
           test_plan_selector_metrics;

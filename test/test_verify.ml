@@ -416,6 +416,139 @@ let test_certify_findings_missing_entry () =
         "names the entry" (Some "no_such_entry") f.V.Findings.routine
   | fs -> Alcotest.failf "expected one finding, got %s" (pp_findings fs)
 
+(* --- The register-pair rule (W64 family). ------------------------------ *)
+
+let pairs_findings ~spec src =
+  match Program.resolve src with
+  | Error msg -> Alcotest.fail msg
+  | Ok prog ->
+      let flat =
+        {
+          V.Cfg.name = "bad";
+          args = [ Reg.arg0; Reg.arg1; Reg.arg2; Reg.arg3 ];
+          results = [ Reg.ret0; Reg.ret1 ];
+          clobbers = V.Cfg.scratch;
+        }
+      in
+      V.Pairs.check (V.Cfg.make ~specs:[ flat ] V.Cfg.default prog) ~spec
+
+let pair_spec ?(args = []) ?(results = []) () =
+  { V.Pairs.name = "bad"; arg_pairs = args; result_pairs = results }
+
+let check_pair_finding what fs =
+  Alcotest.(check bool)
+    (what ^ ": " ^ pp_findings fs)
+    true (has V.Findings.Pair fs)
+
+(* The real library's pair view is clean under the rule directly (the
+   lint tests above run it as part of the full suite). *)
+let test_pairs_millicode_clean () =
+  let cfg =
+    V.Cfg.make ~specs:Millicode.conventions V.Cfg.default
+      (Millicode.resolved ())
+  in
+  List.iter
+    (fun spec -> check_clean spec.V.Pairs.name (V.Pairs.check cfg ~spec))
+    Millicode.pair_conventions
+
+let test_pairs_bad_slot () =
+  (* (arg1:arg2) spans two canonical slots: not a pair the convention
+     allows. *)
+  check_pair_finding "non-canonical slot"
+    (pairs_findings
+       ~spec:(pair_spec ~args:[ (Reg.arg1, Reg.arg2) ] ())
+       [
+         Program.Label "bad";
+         Program.Insn (Emit.add Reg.arg1 Reg.arg2 Reg.ret0);
+         Program.Insn ret;
+       ])
+
+let test_pairs_bad_result_path () =
+  (* The taken path returns with only the high word of (ret0:ret1)
+     defined. *)
+  check_pair_finding "result half undefined on one path"
+    (pairs_findings
+       ~spec:
+         (pair_spec
+            ~args:[ (Reg.arg0, Reg.arg1) ]
+            ~results:[ (Reg.ret0, Reg.ret1) ]
+            ())
+       [
+         Program.Label "bad";
+         Program.Insn (Emit.copy Reg.arg0 Reg.ret0);
+         Program.Insn (Emit.comib Cond.Eq 0l Reg.arg1 "bad$out");
+         Program.Insn (Emit.copy Reg.arg1 Reg.ret1);
+         Program.Label "bad$out";
+         Program.Insn ret;
+       ])
+
+let test_pairs_bad_unread_half () =
+  (* A routine that never reads arg3 has almost certainly swapped the
+     (hi:lo) order of its second operand. *)
+  check_pair_finding "argument half never read"
+    (pairs_findings
+       ~spec:
+         (pair_spec
+            ~args:[ (Reg.arg0, Reg.arg1); (Reg.arg2, Reg.arg3) ]
+            ~results:[ (Reg.ret0, Reg.ret1) ]
+            ())
+       [
+         Program.Label "bad";
+         Program.Insn (Emit.add Reg.arg0 Reg.arg2 Reg.ret0);
+         Program.Insn (Emit.copy Reg.arg1 Reg.ret1);
+         Program.Insn ret;
+       ])
+
+(* --- Body equivalence (the W64 certificate). --------------------------- *)
+
+let w64_entries = [ "mulU128"; "mulI128"; "divU64w"; "divI64w"; "remU64w"; "remI64w" ]
+
+(* The candidate the server runs is the library linked behind a wrapper
+   at a different base address: prepending an unrelated routine shifts
+   every target, which the walk's offset map must absorb. The walk also
+   transits mul_final's vectored case table. *)
+let test_body_equiv_certified () =
+  let canonical = Millicode.resolved () in
+  let shifted =
+    Program.resolve_exn
+      (Program.concat
+         [
+           [
+             Program.Label "pad";
+             Program.Insn (Emit.copy Reg.arg0 Reg.ret0);
+             Program.Insn ret;
+           ];
+           Millicode.source;
+         ])
+  in
+  List.iter
+    (fun entry ->
+      match V.Driver.certify_body ~canonical shifted ~entry with
+      | V.Reciprocal.Certified c ->
+          Alcotest.(check string)
+            (entry ^ " kind") "body_equiv"
+            (V.Certificate.kind_label c.V.Certificate.kind)
+      | v -> Alcotest.failf "%s: %a" entry V.Reciprocal.pp_verdict v)
+    w64_entries
+
+let test_body_equiv_refuted () =
+  let canonical = Millicode.resolved () in
+  let prog = Millicode.resolved () in
+  let addr = Program.symbol_exn prog "mulU128" in
+  prog.Program.code.(addr + 2) <- Insn.Break { code = 99 };
+  match V.Driver.certify_body ~canonical prog ~entry:"mulU128" with
+  | V.Reciprocal.Refuted _ -> ()
+  | v -> Alcotest.failf "corrupted image: %a" V.Reciprocal.pp_verdict v
+
+let test_body_equiv_unknown_entry () =
+  let canonical = Millicode.resolved () in
+  match
+    V.Driver.certify_body ~canonical (Millicode.resolved ())
+      ~entry:"no_such_entry"
+  with
+  | V.Reciprocal.Unknown _ -> ()
+  | v -> Alcotest.failf "missing entry: %a" V.Reciprocal.pp_verdict v
+
 (* --- Insn.reads contract pin (see insn.mli). --------------------------- *)
 
 let test_reads_duplicates () =
@@ -483,6 +616,26 @@ let suite =
         Alcotest.test_case "annulled-branch idiom accepted" `Quick
           test_hazard_accepts_annulled_idiom;
         Alcotest.test_case "wrong multiplier refuted" `Quick test_bad_certify;
+      ] );
+    ( "verify.pairs",
+      [
+        Alcotest.test_case "millicode pair view is clean" `Quick
+          test_pairs_millicode_clean;
+        Alcotest.test_case "non-canonical pair slot" `Quick
+          test_pairs_bad_slot;
+        Alcotest.test_case "result half undefined on one path" `Quick
+          test_pairs_bad_result_path;
+        Alcotest.test_case "argument half never read" `Quick
+          test_pairs_bad_unread_half;
+      ] );
+    ( "verify.body_equiv",
+      [
+        Alcotest.test_case "w64 entries certify against the library" `Quick
+          test_body_equiv_certified;
+        Alcotest.test_case "corrupted body refuted" `Quick
+          test_body_equiv_refuted;
+        Alcotest.test_case "missing entry is unknown" `Quick
+          test_body_equiv_unknown_entry;
       ] );
     ( "verify.insn",
       [

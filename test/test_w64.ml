@@ -1,0 +1,139 @@
+(* Differential coverage for the W64 (double-word) millicode family:
+   every entry pinned against the two-word OCaml reference on the
+   reference interpreter, the scalar threaded engine, and the batch
+   engine, over boundary operands, seeded sweeps and QCheck. *)
+
+module Word = Hppa_word.Word
+module Machine = Hppa_machine.Machine
+module Batch = Hppa_machine.Machine.Batch
+module Trap = Hppa_machine.Trap
+module W64 = Hppa_w64
+open Hppa
+
+let interp =
+  lazy
+    (Millicode.machine
+       ~config:{ Machine.Config.default with engine = false }
+       ())
+
+let scalar = lazy (Millicode.machine ())
+
+let check_on mach label entry x y =
+  let got = W64.call (Lazy.force mach) entry ~x ~y in
+  let want = W64.reference entry x y in
+  if not (W64.outcome_equal got want) then
+    Alcotest.failf "%s %s 0x%Lx 0x%Lx = %a want %a" label entry x y
+      W64.pp_outcome got W64.pp_outcome want
+
+let check entry x y =
+  check_on interp "interp" entry x y;
+  check_on scalar "engine" entry x y
+
+(* The issue's boundary set plus a few neighbours. *)
+let boundary =
+  [
+    0L; 1L; 2L; 3L; 0xffffffffL; 0x100000000L; 0x100000001L; 0x7fffffffL;
+    0x80000000L; Int64.max_int; Int64.min_int; -1L; -2L; -0x100000000L;
+    0x123456789abcdefL; 0xdeadbeefcafebabeL;
+  ]
+
+let test_boundary_sweep () =
+  List.iter
+    (fun entry ->
+      List.iter
+        (fun x -> List.iter (fun y -> check entry x y) boundary)
+        boundary)
+    W64.entries
+
+let test_trap_lanes () =
+  List.iter
+    (fun x ->
+      List.iter (fun e -> check e x 0L) [ "divU64w"; "divI64w"; "remU64w"; "remI64w" ])
+    [ 0L; 1L; Int64.min_int; -1L; 0x123456789abcdefL ];
+  (* Signed quotient overflow: -2^63 / -1 breaks; unsigned does not. *)
+  List.iter (fun e -> check e Int64.min_int (-1L)) W64.entries
+
+let seeded_operands n =
+  let g = Hppa_dist.Prng.create 0x57364L in
+  List.init n (fun _ ->
+      let x = Hppa_dist.Prng.next64 g in
+      (* Mix full-range and high-word-zero operands so both divide paths
+         run. *)
+      let y =
+        let r = Hppa_dist.Prng.next64 g in
+        if Hppa_dist.Prng.bool g ~p:0.5 then Int64.logand r 0xffffffffL
+        else r
+      in
+      (x, y))
+
+let test_seeded_sweep () =
+  let pairs = seeded_operands 400 in
+  List.iter
+    (fun entry -> List.iter (fun (x, y) -> check entry x y) pairs)
+    W64.entries
+
+(* Batch engine: every entry over the seeded pairs, trap lanes mixed in,
+   each lane pinned against the reference. *)
+let test_batch_differential () =
+  let pairs =
+    seeded_operands 61 @ [ (5L, 0L); (Int64.min_int, -1L); (42L, 7L) ]
+  in
+  let lanes = List.length pairs in
+  let b = Batch.create ~lanes (Millicode.resolved ()) in
+  List.iter
+    (fun entry ->
+      let args =
+        Array.of_list (List.map (fun (x, y) -> W64.operands x y) pairs)
+      in
+      Batch.call b entry ~args;
+      List.iteri
+        (fun lane (x, y) ->
+          let got = W64.batch_outcome b ~lane in
+          let want = W64.reference entry x y in
+          if not (W64.outcome_equal got want) then
+            Alcotest.failf "batch %s lane %d 0x%Lx 0x%Lx = %a want %a" entry
+              lane x y W64.pp_outcome got W64.pp_outcome want)
+        pairs)
+    W64.entries
+
+let arb_i64 =
+  let open QCheck in
+  let gen =
+    Gen.frequency
+      [
+        (4, Gen.map Int64.of_int Gen.int);
+        (3, Gen.map (fun i -> Int64.of_int32 (Int32.of_int i)) Gen.int);
+        ( 2,
+          Gen.map2
+            (fun hi lo ->
+              Int64.logor (Int64.shift_left (Int64.of_int hi) 32)
+                (Int64.of_int lo))
+            (Gen.int_bound 0xffffffff) (Gen.int_bound 0xffffffff) );
+        (2, Gen.oneofl boundary);
+      ]
+  in
+  make ~print:(Printf.sprintf "0x%Lx") gen
+
+let prop entry =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s = two-word reference" entry)
+    ~count:1000
+    (QCheck.pair arb_i64 arb_i64)
+    (fun (x, y) ->
+      W64.outcome_equal
+        (W64.call (Lazy.force scalar) entry ~x ~y)
+        (W64.reference entry x y))
+
+let suite =
+  [
+    ( "w64",
+      [
+        Alcotest.test_case "boundary sweep (interp + engine)" `Quick
+          test_boundary_sweep;
+        Alcotest.test_case "trap lanes" `Quick test_trap_lanes;
+        Alcotest.test_case "seeded sweep" `Quick test_seeded_sweep;
+        Alcotest.test_case "batch engine differential" `Quick
+          test_batch_differential;
+      ] );
+    Util.qsuite "w64.qcheck" (List.map prop W64.entries);
+  ]
