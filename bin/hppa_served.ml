@@ -1,15 +1,18 @@
 (* hppa-serve: the millicode plan service and its load generator.
 
    Examples:
-     hppa-serve serve --socket /tmp/hppa.sock --workers 4
+     hppa-serve serve --socket /tmp/hppa.sock --shards 4
      hppa-serve serve --port 7117 --trace-json serve-trace.jsonl
      hppa-serve load --socket /tmp/hppa.sock --requests 50000 --conns 4 \
        --dist zipf --min-hit-rate 0.9 --out BENCH_SERVE.json
-     hppa-serve metrics --socket /tmp/hppa.sock --min-hit-rate 0.9
+     hppa-serve load --socket /tmp/hppa.sock --requests 1000000 --conns 8 \
+       --dist zipf --rate 50000
+     hppa-serve metrics --socket /tmp/hppa.sock --min-hit-rate 0.9 \
+       --max-p99-us 200000
 
-   Protocol (one line in, one line out): MUL <n>, DIV <d>,
-   EVAL <entry> <args...>, STATS, METRICS, PING, QUIT — see README
-   "Serving". *)
+   Protocol (one line in, one line out; pipelining allowed): MUL <n>,
+   DIV <d>, W64MUL/W64DIV/W64REM, their batch forms, EVAL <entry>
+   <args...>, STATS, METRICS, PING, QUIT — see README "Serving". *)
 
 module Server = Hppa_server.Server
 module Load_gen = Hppa_server.Load_gen
@@ -17,41 +20,52 @@ module Obs = Hppa_obs.Obs
 
 let endpoint socket port host =
   match port with
-  | Some p -> Server.Tcp (host, p)
-  | None -> Server.Unix_socket socket
+  | Some p -> Server.Config.Tcp (host, p)
+  | None -> Server.Config.Unix_socket socket
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
 
-let serve socket port host workers cache fuel trace_json plans certified =
-  let workers =
-    match workers with
-    | Some w -> w
+let serve socket port host shards cache fuel pipeline_depth trace_json plans
+    certified =
+  let shards =
+    match shards with
+    | Some s -> s
     | None -> max 2 (Hppa_machine.Sweep.default_domains ())
   in
   let cfg =
     {
-      Server.endpoint = endpoint socket port host;
-      workers;
+      Server.Config.default with
+      Server.Config.endpoint = endpoint socket port host;
+      shards;
       cache_capacity = cache;
       fuel;
+      pipeline_depth;
       trace_path = trace_json;
       plans_path = plans;
       certified;
     }
   in
-  let srv = Server.create cfg in
+  let srv =
+    match Server.create cfg with
+    | srv -> srv
+    | exception Invalid_argument msg ->
+        Printf.eprintf "hppa-serve: %s\n%!" msg;
+        exit 2
+  in
   let where =
-    match cfg.Server.endpoint with
-    | Server.Unix_socket p -> Printf.sprintf "unix:%s" p
-    | Server.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
+    match cfg.Server.Config.endpoint with
+    | Server.Config.Unix_socket p -> Printf.sprintf "unix:%s" p
+    | Server.Config.Tcp (h, p) -> Printf.sprintf "tcp:%s:%d" h p
   in
   List.iter
     (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> Server.stop srv)))
     [ Sys.sigint; Sys.sigterm ];
   Printf.eprintf
-    "hppa-serve: listening on %s (%d workers, cache %d, fuel %d%s)\n%!" where
-    workers cache fuel
+    "hppa-serve: listening on %s (%d shards, cache %d, fuel %d, pipeline \
+     depth %d%s)\n\
+     %!"
+    where shards cache fuel pipeline_depth
     (if certified then ", certified-only" else "");
   (match Server.run srv with
   | () -> ()
@@ -66,15 +80,18 @@ let serve socket port host workers cache fuel trace_json plans certified =
 (* load                                                                *)
 
 let load socket port host requests conns dist seed out min_hit_rate
-    allow_errors batch_width =
+    allow_errors batch_width rate =
   match Load_gen.dist_of_string dist with
   | Error msg ->
       Printf.eprintf "hppa-serve load: %s\n" msg;
       2
   | Ok dist -> (
       let endpoint = endpoint socket port host in
+      let rate =
+        match rate with Some r when r > 0.0 -> Some r | _ -> None
+      in
       match
-        Load_gen.run ~batch_width ~endpoint ~requests ~conns ~dist
+        Load_gen.run ~batch_width ?rate ~endpoint ~requests ~conns ~dist
           ~seed:(Int64.of_int seed) ()
       with
       | Error msg ->
@@ -120,14 +137,56 @@ let load socket port host requests conns dist seed out min_hit_rate
 (* ------------------------------------------------------------------ *)
 (* metrics                                                             *)
 
+(* p99 of the served-request latency histogram, recomputed from the
+   scraped cumulative [hppa_serve_latency_us_bucket{le=...}] series with
+   the same semantics as [Obs.Histogram.percentile]: rank =
+   ceil(q/100 * count) clamped to [1, count], report the upper bound of
+   the first bucket whose cumulative count reaches the rank. *)
+let scrape_p99 samples =
+  let buckets =
+    List.filter_map
+      (fun (name, labels, v) ->
+        if String.equal name "hppa_serve_latency_us_bucket" then
+          match List.assoc_opt "le" labels with
+          | Some "+Inf" -> Some (infinity, v)
+          | Some le -> (
+              match float_of_string_opt le with
+              | Some bound -> Some (bound, v)
+              | None -> None)
+          | None -> None
+        else None)
+      samples
+  in
+  match buckets with
+  | [] -> None
+  | buckets ->
+      let buckets =
+        List.sort (fun (a, _) (b, _) -> Float.compare a b) buckets
+      in
+      let total =
+        List.fold_left (fun acc (_, c) -> Float.max acc c) 0.0 buckets
+      in
+      if total <= 0.0 then Some 0.0
+      else begin
+        let rank =
+          Float.max 1.0 (Float.min total (Float.ceil (0.99 *. total)))
+        in
+        let hit =
+          List.find_opt (fun (_, cumulative) -> cumulative >= rank) buckets
+        in
+        match hit with
+        | Some (bound, _) -> Some bound
+        | None -> Some infinity
+      end
+
 (* Scrape a running daemon: send METRICS, read until the "# EOF"
    terminator, check the text parses, optionally gate on the cache hit
-   rate — the shell side of CI stays a one-liner. *)
-let metrics socket port host min_hit_rate out =
+   rate and the p99 latency — the shell side of CI stays a one-liner. *)
+let metrics socket port host min_hit_rate max_p99_us out =
   let addr =
     match endpoint socket port host with
-    | Server.Unix_socket p -> Unix.ADDR_UNIX p
-    | Server.Tcp (h, p) ->
+    | Server.Config.Unix_socket p -> Unix.ADDR_UNIX p
+    | Server.Config.Tcp (h, p) ->
         let a =
           try (Unix.gethostbyname h).Unix.h_addr_list.(0)
           with Not_found -> Unix.inet_addr_loopback
@@ -182,26 +241,52 @@ let metrics socket port host min_hit_rate out =
             Printf.eprintf "hppa-serve metrics: scrape does not parse: %s\n"
               msg;
             finish 1
-        | Ok samples -> (
+        | Ok samples ->
             Printf.printf "scrape ok: %d samples\n" (List.length samples);
-            match min_hit_rate with
-            | None -> finish 0
-            | Some floor -> (
-                match Obs.Export.find samples "hppa_serve_cache_hit_rate" with
-                | Some r when r >= floor ->
-                    Printf.printf "cache_hit_rate %.4f >= %.4f\n" r floor;
-                    finish 0
-                | Some r ->
-                    Printf.eprintf
-                      "hppa-serve metrics: cache hit rate %.4f below \
-                       required %.4f\n"
-                      r floor;
-                    finish 1
-                | None ->
-                    Printf.eprintf
-                      "hppa-serve metrics: no hppa_serve_cache_hit_rate in \
-                       scrape\n";
-                    finish 1))
+            let hit_rate_failed =
+              match min_hit_rate with
+              | None -> false
+              | Some floor -> (
+                  match
+                    Obs.Export.find samples "hppa_serve_cache_hit_rate"
+                  with
+                  | Some r when r >= floor ->
+                      Printf.printf "cache_hit_rate %.4f >= %.4f\n" r floor;
+                      false
+                  | Some r ->
+                      Printf.eprintf
+                        "hppa-serve metrics: cache hit rate %.4f below \
+                         required %.4f\n"
+                        r floor;
+                      true
+                  | None ->
+                      Printf.eprintf
+                        "hppa-serve metrics: no hppa_serve_cache_hit_rate \
+                         in scrape\n";
+                      true)
+            in
+            let p99_failed =
+              match max_p99_us with
+              | None -> false
+              | Some ceiling -> (
+                  match scrape_p99 samples with
+                  | Some p99 when p99 <= ceiling ->
+                      Printf.printf "latency p99 %.0fus <= %.0fus\n" p99
+                        ceiling;
+                      false
+                  | Some p99 ->
+                      Printf.eprintf
+                        "hppa-serve metrics: latency p99 %.0fus above \
+                         allowed %.0fus\n"
+                        p99 ceiling;
+                      true
+                  | None ->
+                      Printf.eprintf
+                        "hppa-serve metrics: no hppa_serve_latency_us \
+                         histogram in scrape\n";
+                      true)
+            in
+            if hit_rate_failed || p99_failed then finish 1 else finish 0
       end)
 
 (* ------------------------------------------------------------------ *)
@@ -228,25 +313,38 @@ let host =
     & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (with $(b,--port)).")
 
 let serve_cmd =
-  let workers =
+  let shards =
     Arg.(
       value
       & opt (some int) None
-      & info [ "w"; "workers" ] ~docv:"N"
+      & info
+          [ "shards"; "w"; "workers" ]
+          ~docv:"N"
           ~doc:
-            "Worker domains (default: the machine's recommended domain \
-             count, at least 2).")
+            "Cache/compute shards, each owning one worker domain and a \
+             slice of the plan cache ($(b,--workers) is kept as an alias; \
+             default: the machine's recommended domain count, at least 2).")
   in
   let cache =
     Arg.(
       value & opt int 4096
-      & info [ "cache" ] ~docv:"N" ~doc:"Plan-cache capacity in entries.")
+      & info [ "cache" ] ~docv:"N"
+          ~doc:"Plan-cache capacity in entries, split across shards.")
   in
   let fuel =
     Arg.(
       value & opt int 1_000_000
       & info [ "fuel" ] ~docv:"CYCLES"
           ~doc:"Per-EVAL simulated-cycle budget.")
+  in
+  let pipeline_depth =
+    Arg.(
+      value
+      & opt int Server.Config.default.Server.Config.pipeline_depth
+      & info [ "pipeline-depth" ] ~docv:"N"
+          ~doc:
+            "Maximum requests in flight per connection; further input \
+             stays in the socket buffer (back-pressure).")
   in
   let trace_json =
     Arg.(
@@ -285,8 +383,8 @@ let serve_cmd =
          "Run the plan daemon until SIGINT/SIGTERM, then drain in-flight \
           requests, dump statistics and exit.")
     Term.(
-      const serve $ socket $ port $ host $ workers $ cache $ fuel
-      $ trace_json $ plans $ certified)
+      const serve $ socket $ port $ host $ shards $ cache $ fuel
+      $ pipeline_depth $ trace_json $ plans $ certified)
 
 let load_cmd =
   let requests =
@@ -345,6 +443,18 @@ let load_cmd =
              connection is cross-checked byte-for-byte against scalar \
              replies; any mismatch fails the run.")
   in
+  let rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:
+            "Open-loop mode: offer $(docv) requests per second in total \
+             (split across connections) on a seeded Poisson arrival \
+             schedule, pipelining into the server when replies lag, and \
+             measure latency from each request's scheduled arrival \
+             (coordinated-omission-free). 0 or absent = closed loop.")
+  in
   Cmd.v
     (Cmd.info "load"
        ~doc:
@@ -354,7 +464,7 @@ let load_cmd =
           batch/scalar reply mismatch under $(b,--batch-width).")
     Term.(
       const load $ socket $ port $ host $ requests $ conns $ dist $ seed
-      $ out $ min_hit_rate $ allow_errors $ batch_width)
+      $ out $ min_hit_rate $ allow_errors $ batch_width $ rate)
 
 let metrics_cmd =
   let min_hit_rate =
@@ -365,6 +475,16 @@ let metrics_cmd =
           ~doc:
             "Fail (exit 1) unless the scraped \
              $(b,hppa_serve_cache_hit_rate) gauge is at least $(docv).")
+  in
+  let max_p99_us =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-p99-us" ] ~docv:"US"
+          ~doc:
+            "Fail (exit 1) unless the p99 of the scraped \
+             $(b,hppa_serve_latency_us) histogram (recomputed from the \
+             cumulative buckets) is at most $(docv) microseconds.")
   in
   let out =
     Arg.(
@@ -378,8 +498,8 @@ let metrics_cmd =
        ~doc:
          "Scrape a running daemon's METRICS endpoint, verify the \
           Prometheus text parses, and optionally gate on the cache hit \
-          rate.")
-    Term.(const metrics $ socket $ port $ host $ min_hit_rate $ out)
+          rate and p99 latency.")
+    Term.(const metrics $ socket $ port $ host $ min_hit_rate $ max_p99_us $ out)
 
 let cmd =
   Cmd.group
@@ -387,7 +507,7 @@ let cmd =
        ~doc:
          "Concurrent millicode plan service: addition-chain multiply plans, \
           constant-divide plans and simulator evaluations over a \
-          line-oriented socket protocol")
+          pipelined line-oriented socket protocol")
     [ serve_cmd; load_cmd; metrics_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -34,6 +34,7 @@ type summary = {
   errors : int;
   wall_s : float;
   throughput_rps : float;
+  offered_rps : float option;
   p50_us : float;
   p99_us : float;
   batch_width : int;
@@ -131,13 +132,13 @@ let write_all fd s =
 
 type conn = { fd : Unix.file_descr; buf : Buffer.t; chunk : Bytes.t }
 
-let connect (ep : Server.endpoint) =
+let connect (ep : Server.Config.endpoint) =
   match ep with
-  | Server.Unix_socket path ->
+  | Server.Config.Unix_socket path ->
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.connect fd (Unix.ADDR_UNIX path);
       { fd; buf = Buffer.create 4096; chunk = Bytes.create 4096 }
-  | Server.Tcp (host, port) ->
+  | Server.Config.Tcp (host, port) ->
       let addr =
         try (Unix.gethostbyname host).Unix.h_addr_list.(0)
         with Not_found -> Unix.inet_addr_loopback
@@ -218,13 +219,17 @@ let scrape_stats endpoint =
       close conn;
       r
 
-let run ?(batch_width = 1) ~endpoint ~requests ~conns ~dist ~seed () =
+let run ?(batch_width = 1) ?rate ~endpoint ~requests ~conns ~dist ~seed () =
   if requests < 1 then Error "requests must be >= 1"
   else if conns < 1 then Error "conns must be >= 1"
   else if batch_width < 1 || batch_width > Protocol.max_batch_operands then
     Error
       (Printf.sprintf "batch width must be in 1..%d"
          Protocol.max_batch_operands)
+  else if (match rate with Some r -> r <= 0.0 | None -> false) then
+    Error "rate must be > 0"
+  else if rate <> None && batch_width > 1 then
+    Error "open-loop mode (rate) is scalar-only; drop the batch width"
   else begin
     let conns = min conns requests in
     (* Fail fast (and cleanly) if the server is not there. *)
@@ -334,6 +339,73 @@ let run ?(batch_width = 1) ~endpoint ~requests ~conns ~dist ~seed () =
                  Atomic.incr failures);
               close conn
         in
+        (* Open-loop worker: requests arrive on a seeded exponential
+           schedule (Poisson process at [per_rate] per connection) laid
+           out before the clock starts, and latency is measured from the
+           {e scheduled} arrival time — so a slow server shows up as
+           queueing delay in p99 instead of silently throttling the
+           offered rate (the closed-loop coordinated-omission bias this
+           mode exists to fix). A writer thread sends on schedule while
+           the reader drains the pipelined replies in order; reply [i]
+           always answers request [i], so no reply/request matching is
+           needed. *)
+        let open_worker idx n per_rate () =
+          let g =
+            Prng.create
+              (Int64.add seed (Int64.mul 0x9E3779B97F4A7C15L
+                                 (Int64.of_int (idx + 1))))
+          in
+          match connect endpoint with
+          | exception Unix.Unix_error _ ->
+              Atomic.fetch_and_add failures n |> ignore
+          | conn ->
+              let lines = Array.init n (fun _ -> request_of g dist) in
+              let scheduled = Array.make n 0.0 in
+              let acc = ref 0.0 in
+              for i = 0 to n - 1 do
+                acc :=
+                  !acc +. (-.log (1.0 -. Prng.float01 g) /. per_rate);
+                scheduled.(i) <- !acc
+              done;
+              let start = Unix.gettimeofday () in
+              let sent = Atomic.make 0 in
+              let writer () =
+                try
+                  for i = 0 to n - 1 do
+                    let due = start +. scheduled.(i) in
+                    let now = Unix.gettimeofday () in
+                    if due > now then Thread.delay (due -. now);
+                    write_all conn.fd (lines.(i) ^ "\n");
+                    Atomic.incr sent
+                  done
+                with Unix.Unix_error _ | Sys_error _ -> ()
+              in
+              let wt = Thread.create writer () in
+              (* Blocking reads are safe: reply [i] arrives once request
+                 [i] is sent. The receive timeout only fires if the
+                 writer died (or the server stalled), turning the
+                 remaining requests into counted failures instead of a
+                 hang. *)
+              (try Unix.setsockopt_float conn.fd Unix.SO_RCVTIMEO 10.0
+               with Unix.Unix_error _ -> ());
+              let answered = ref 0 in
+              (try
+                 for i = 0 to n - 1 do
+                   match read_line conn with
+                   | Some reply ->
+                       Metrics.record lat
+                         ~error:(not (Protocol.is_ok reply))
+                         ~us:
+                           ((Unix.gettimeofday () -. start -. scheduled.(i))
+                           *. 1e6);
+                       incr answered
+                   | None -> raise Exit
+                 done
+               with Exit | Unix.Unix_error _ | Sys_error _ -> ());
+              Thread.join wt;
+              Atomic.fetch_and_add failures (n - !answered) |> ignore;
+              close conn
+        in
         let t0 = Unix.gettimeofday () in
         let threads =
           List.init conns (fun i ->
@@ -341,7 +413,10 @@ let run ?(batch_width = 1) ~endpoint ~requests ~conns ~dist ~seed () =
                 (requests / conns)
                 + if i < requests mod conns then 1 else 0
               in
-              Thread.create (worker i n) ())
+              match rate with
+              | None -> Thread.create (worker i n) ()
+              | Some r ->
+                  Thread.create (open_worker i n (r /. float_of_int conns)) ())
         in
         List.iter Thread.join threads;
         let wall_s = Unix.gettimeofday () -. t0 in
@@ -361,6 +436,7 @@ let run ?(batch_width = 1) ~endpoint ~requests ~conns ~dist ~seed () =
             wall_s;
             throughput_rps =
               (if wall_s > 0.0 then float_of_int sent /. wall_s else 0.0);
+            offered_rps = rate;
             p50_us = Metrics.percentile_us lat 0.5;
             p99_us = Metrics.percentile_us lat 0.99;
             batch_width;
@@ -400,7 +476,7 @@ let write_json ~path s =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"hppa-bench-serve/1\",\n";
+  out "  \"schema\": \"hppa-bench-serve/2\",\n";
   out "  \"dist\": %S,\n" (dist_to_string s.dist);
   out "  \"requests\": %d,\n" s.requests;
   out "  \"conns\": %d,\n" s.conns;
@@ -409,6 +485,9 @@ let write_json ~path s =
   out "  \"errors\": %d,\n" s.errors;
   out "  \"wall_seconds\": %.3f,\n" s.wall_s;
   out "  \"throughput_rps\": %.1f,\n" s.throughput_rps;
+  (match s.offered_rps with
+  | Some r -> out "  \"offered_rps\": %.1f,\n" r
+  | None -> out "  \"offered_rps\": null,\n");
   out "  \"client_p50_us\": %s,\n" (json_us s.p50_us);
   out "  \"client_p99_us\": %s,\n" (json_us s.p99_us);
   out "  \"batch_width\": %d,\n" s.batch_width;
@@ -439,6 +518,11 @@ let pp_summary ppf s =
     (if s.conns = 1 then "" else "s")
     s.wall_s s.throughput_rps
     (fun ppf ->
+      (match s.offered_rps with
+      | Some r ->
+          Format.fprintf ppf "@,open loop: offered %.0f req/s, achieved %.0f"
+            r s.throughput_rps
+      | None -> ());
       if s.batch_width > 1 then
         Format.fprintf ppf "@,batch width %d, %d cross-check mismatch%s"
           s.batch_width s.batch_mismatches

@@ -36,9 +36,14 @@ type summary = {
   ok : int;
   errors : int;  (** ERR replies plus connection-level failures *)
   wall_s : float;
-  throughput_rps : float;
+  throughput_rps : float;  (** achieved rate, [requests / wall_s] *)
+  offered_rps : float option;
+      (** open-loop offered rate, [None] for closed-loop runs *)
   p50_us : float;
-  p99_us : float;  (** client-observed round-trip latency *)
+  p99_us : float;
+      (** client-observed latency: round-trip time in closed-loop mode,
+          time from the {e scheduled} arrival to the reply in open-loop
+          mode (coordinated-omission-free) *)
   batch_width : int;  (** [1] = all-scalar traffic *)
   batch_mismatches : int;
       (** batch lanes that were not byte-identical to the scalar reply
@@ -51,29 +56,44 @@ type summary = {
 
 val run :
   ?batch_width:int ->
-  endpoint:Server.endpoint ->
+  ?rate:float ->
+  endpoint:Server.Config.endpoint ->
   requests:int ->
   conns:int ->
   dist:dist ->
   seed:int64 ->
   unit ->
   (summary, string) result
-(** [Error] only for setup failures (cannot connect) or a [batch_width]
-    outside [1..]{!Protocol.max_batch_operands}; per-request failures
-    are counted in [errors].
+(** [Error] only for setup failures (cannot connect), a [batch_width]
+    outside [1..]{!Protocol.max_batch_operands}, a non-positive [rate],
+    or combining [rate] with a batch width; per-request failures are
+    counted in [errors].
 
-    [batch_width] above one coalesces each window of the request stream
-    into at most one [MULB] and one [DIVB] line (anything else — [EVAL]
-    lines — still goes scalar); every lane of a batch reply counts as
-    one logical request in the summary. The first batch on each
-    connection is cross-checked lane-by-lane against scalar requests
-    for the same operands; any reply that is not byte-identical bumps
-    [batch_mismatches]. *)
+    Without [rate] the generator is {e closed-loop}: each connection
+    sends a request, waits for the reply, sends the next — latency is
+    the round-trip time, and a slow server silently lowers the offered
+    rate (coordinated omission). With [rate] (total requests/second,
+    split evenly across connections) it is {e open-loop}: arrivals
+    follow a seeded exponential (Poisson) schedule fixed before the
+    clock starts, a writer thread per connection sends on schedule
+    (pipelining into the server when replies lag) and latency is
+    measured from the scheduled arrival — server queueing shows up in
+    p99 instead of vanishing into the send times. The summary records
+    the offered rate next to the achieved one.
+
+    [batch_width] above one (closed-loop only) coalesces each window of
+    the request stream into at most one [MULB] and one [DIVB] line
+    (anything else — [EVAL] lines — still goes scalar); every lane of a
+    batch reply counts as one logical request in the summary. The first
+    batch on each connection is cross-checked lane-by-lane against
+    scalar requests for the same operands; any reply that is not
+    byte-identical bumps [batch_mismatches]. *)
 
 val hit_rate : summary -> float option
 (** The server-reported [cache_hit_rate], if present. *)
 
 val write_json : path:string -> summary -> unit
-(** Write BENCH_SERVE.json (schema [hppa-bench-serve/1]). *)
+(** Write BENCH_SERVE.json (schema [hppa-bench-serve/2]: adds
+    [offered_rps], [null] for closed-loop runs). *)
 
 val pp_summary : Format.formatter -> summary -> unit

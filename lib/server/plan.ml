@@ -153,7 +153,7 @@ let div ?obs ?require_certified d =
    result dwords. The pooled machine holds the full millicode library;
    the emission's wrapper is a tail-call onto the target, so calling the
    target directly is the same computation. *)
-let w64 ?obs ?require_certified mach ~fuel op ~signed x y =
+let w64_choice ?obs ?require_certified op ~signed =
   let signedness = if signed then Strategy.Signed else Strategy.Unsigned in
   let sreq =
     match (op : Hppa_w64.op) with
@@ -163,37 +163,77 @@ let w64 ?obs ?require_certified mach ~fuel op ~signed x y =
   in
   match Selector.choose ?obs ?require_certified sreq with
   | Error detail -> Error ("plan " ^ detail)
-  | Ok choice -> (
+  | Ok choice ->
       let entry =
         match choice.Selector.emission.Strategy.detail with
         | Strategy.Millicode target -> target
         | Strategy.Mul_plan _ | Strategy.Div_plan _ ->
             Hppa_w64.entry ~signed op
       in
+      Ok (entry, choice)
+
+(* Render one executed W64 lane; shared by the scalar path and the
+   batched path so their reply bytes cannot diverge. *)
+let w64_render ~fuel op ~signed ~entry ~choice x y outcome cycles =
+  match (outcome : Hppa_w64.outcome) with
+  | Hppa_w64.Value { ret; arg } ->
+      let verb =
+        match (op : Hppa_w64.op) with
+        | Hppa_w64.Mul -> "W64MUL"
+        | Hppa_w64.Div -> "W64DIV"
+        | Hppa_w64.Rem -> "W64REM"
+      in
+      let result =
+        match op with
+        | Hppa_w64.Mul -> Printf.sprintf "hi=%Ld lo=%Ld" ret arg
+        | Hppa_w64.Div -> Printf.sprintf "q=%Ld r=%Ld" ret arg
+        | Hppa_w64.Rem -> Printf.sprintf "r=%Ld" ret
+      in
+      Ok
+        ( Printf.sprintf "%s signed=%b x=%Ld y=%Ld %s cycles=%d entry=%s" verb
+            signed x y result cycles entry,
+          artifact_of_choice choice )
+  | Hppa_w64.Trap t ->
+      Error
+        (Printf.sprintf "trap %s: %s" entry (Hppa_machine.Trap.to_string t))
+  | Hppa_w64.Fuel ->
+      Error (Printf.sprintf "fuel %s exceeded %d cycles" entry fuel)
+
+let w64 ?obs ?require_certified mach ~fuel op ~signed x y =
+  match w64_choice ?obs ?require_certified op ~signed with
+  | Error _ as e -> e
+  | Ok (entry, choice) ->
       Machine.reset mach;
-      match Hppa_w64.call_cycles ~fuel mach entry ~x ~y with
-      | Hppa_w64.Value { ret; arg }, cycles ->
-          let verb =
-            match op with
-            | Hppa_w64.Mul -> "W64MUL"
-            | Hppa_w64.Div -> "W64DIV"
-            | Hppa_w64.Rem -> "W64REM"
+      let outcome, cycles = Hppa_w64.call_cycles ~fuel mach entry ~x ~y in
+      w64_render ~fuel op ~signed ~entry ~choice x y outcome cycles
+
+let w64_batch ?obs ?require_certified mach ~fuel op ~signed pairs =
+  match pairs with
+  | [] -> []
+  | _ -> (
+      match w64_choice ?obs ?require_certified op ~signed with
+      | Error _ as e -> List.map (fun _ -> e) pairs
+      | Ok (entry, choice) ->
+          (* One SoA dispatch over all lanes. Per-lane batch cycles equal
+             the scalar engine's call_cycles delta on a reset machine
+             (pinned by the batch differential suite), so each lane's
+             rendering is byte-identical to the scalar path's. *)
+          let b =
+            Machine.Batch.create
+              ~lanes:(List.length pairs)
+              (Machine.program mach)
           in
-          let result =
-            match op with
-            | Hppa_w64.Mul -> Printf.sprintf "hi=%Ld lo=%Ld" ret arg
-            | Hppa_w64.Div -> Printf.sprintf "q=%Ld r=%Ld" ret arg
-            | Hppa_w64.Rem -> Printf.sprintf "r=%Ld" ret
+          let args =
+            Array.of_list
+              (List.map (fun (x, y) -> Hppa_w64.operands x y) pairs)
           in
-          Ok
-            ( Printf.sprintf "%s signed=%b x=%Ld y=%Ld %s cycles=%d entry=%s"
-                verb signed x y result cycles entry,
-              artifact_of_choice choice )
-      | Hppa_w64.Trap t, _ ->
-          Error
-            (Printf.sprintf "trap %s: %s" entry (Hppa_machine.Trap.to_string t))
-      | Hppa_w64.Fuel, _ ->
-          Error (Printf.sprintf "fuel %s exceeded %d cycles" entry fuel))
+          Machine.Batch.call ~fuel b entry ~args;
+          List.mapi
+            (fun lane (x, y) ->
+              w64_render ~fuel op ~signed ~entry ~choice x y
+                (Hppa_w64.batch_outcome b ~lane)
+                (Machine.Batch.cycles b ~lane))
+            pairs)
 
 let eval mach ~fuel entry args =
   if not (List.mem entry Millicode.entries) then

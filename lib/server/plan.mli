@@ -76,6 +76,23 @@ val w64 :
     and remainder plans must carry a body-equivalence certificate or
     the request is refused. *)
 
+val w64_batch :
+  ?obs:Hppa_obs.Obs.Registry.t ->
+  ?require_certified:bool ->
+  Hppa_machine.Machine.t ->
+  fuel:int ->
+  Hppa_w64.op ->
+  signed:bool ->
+  (int64 * int64) list ->
+  (string * artifact, string) result list
+(** Batched form of {!w64}: one selector choice and one
+    {!Hppa_machine.Machine.Batch} SoA dispatch covering every operand
+    pair, returning per-pair results in order. The machine only donates
+    its resolved program; per-lane batch cycles equal the scalar
+    engine's, so each returned payload is byte-identical to what {!w64}
+    would produce for that pair — miss lanes of a [W64*B] request cost
+    one translated dispatch instead of K scalar calls. *)
+
 val eval :
   Hppa_machine.Machine.t ->
   fuel:int ->

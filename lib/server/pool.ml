@@ -37,20 +37,21 @@ let worker_loop t init () =
   in
   loop ()
 
-let create ?obs ~workers ~init () =
+let create ?obs ?(obs_labels = []) ~workers ~init () =
   if workers < 1 then invalid_arg "Pool.create: workers must be >= 1";
+  let labels = obs_labels in
   let ins =
     Option.map
       (fun reg ->
         {
           jobs =
-            Obs.Registry.counter reg ~help:"Jobs run by pool workers"
-              "hppa_pool_jobs_total";
+            Obs.Registry.counter reg ~labels
+              ~help:"Jobs run by pool workers" "hppa_pool_jobs_total";
           exceptions =
-            Obs.Registry.counter reg ~help:"Jobs that raised"
+            Obs.Registry.counter reg ~labels ~help:"Jobs that raised"
               "hppa_pool_job_exceptions_total";
           wait =
-            Obs.Registry.histogram reg
+            Obs.Registry.histogram reg ~labels
               ~help:"Queue wait, submit to job start (log2 us buckets)"
               "hppa_pool_wait_us";
         })
@@ -70,8 +71,9 @@ let create ?obs ~workers ~init () =
   (match obs with
   | None -> ()
   | Some reg ->
-      Obs.Registry.fn_gauge reg ~help:"Jobs waiting in the pool queue"
-        "hppa_pool_queue_depth" (fun () ->
+      Obs.Registry.fn_gauge reg ~labels
+        ~help:"Jobs waiting in the pool queue" "hppa_pool_queue_depth"
+        (fun () ->
           Mutex.lock t.lock;
           let n = Queue.length t.queue in
           Mutex.unlock t.lock;
@@ -121,6 +123,26 @@ let submit t f =
   done;
   Mutex.unlock done_lock;
   match Option.get !cell with Ok v -> v | Error exn -> raise exn
+
+let post t f =
+  let job ctx =
+    (match t.ins with
+    | None -> ()
+    | Some ins -> Obs.Counter.incr ins.jobs);
+    try f ctx
+    with _ -> (
+      match t.ins with
+      | None -> ()
+      | Some ins -> Obs.Counter.incr ins.exceptions)
+  in
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.post: pool is shut down"
+  end;
+  Queue.push job t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock
 
 let shutdown t =
   Mutex.lock t.lock;

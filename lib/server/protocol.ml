@@ -1,41 +1,37 @@
 (* Wire protocol: total parsing of one request line. Random bytes, huge
    numbers, wrong arities — everything maps to Error, never an
-   exception (the fuzz suite pins this). *)
+   exception (the fuzz suite pins this).
+
+   Every plan-producing verb — scalar or batch, 32- or 64-bit — is one
+   row of [kernel_table]; parsing, verb naming, printing, cache keys and
+   batch-header recognition are all table lookups, so a new verb is one
+   [kernel] constructor plus one row, not four hand-written code
+   sites. *)
 
 module Word = Hppa_word.Word
 
 type w64_op = W64_mul | W64_div | W64_rem
 
+type kernel = Kmul | Kdiv | Kw64 of w64_op
+
+type lane =
+  | Const of int32
+  | Pair of { signed : bool; x : int64; y : int64 }
+
 type request =
-  | Mul of int32
-  | Div of int32
-  | Mulb of int32 list
-  | Divb of int32 list
-  | W64 of { op : w64_op; signed : bool; x : int64; y : int64 }
-  | W64b of { op : w64_op; signed : bool; pairs : (int64 * int64) list }
+  | Op of { kernel : kernel; batch : bool; lanes : lane list }
   | Eval of string * Word.t list
   | Stats
   | Metrics
   | Ping
   | Quit
 
-let w64_verb = function
-  | W64_mul -> "W64MUL"
-  | W64_div -> "W64DIV"
-  | W64_rem -> "W64REM"
+(* Convenience constructors for the scalar forms. *)
+let mul n = Op { kernel = Kmul; batch = false; lanes = [ Const n ] }
+let div d = Op { kernel = Kdiv; batch = false; lanes = [ Const d ] }
 
-let verb = function
-  | Mul _ -> "MUL"
-  | Div _ -> "DIV"
-  | Mulb _ -> "MULB"
-  | Divb _ -> "DIVB"
-  | W64 { op; _ } -> w64_verb op
-  | W64b { op; _ } -> w64_verb op ^ "B"
-  | Eval _ -> "EVAL"
-  | Stats -> "STATS"
-  | Metrics -> "METRICS"
-  | Ping -> "PING"
-  | Quit -> "QUIT"
+let w64 op ~signed x y =
+  Op { kernel = Kw64 op; batch = false; lanes = [ Pair { signed; x; y } ] }
 
 let max_line_bytes = 1024
 
@@ -47,14 +43,55 @@ let max_batch_operands = 64
    the signedness and the verb still fit in [max_line_bytes]. *)
 let max_w64_batch_pairs = 16
 
-let one_line s =
-  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+(* How a kernel's operands look on the wire. *)
+type shape =
+  | Consts  (** bare int32 tokens; 1 scalar, up to [max_batch_operands] *)
+  | Pairs
+      (** a signedness tag then int64 [x y] pairs; 1 scalar pair, up to
+          [max_w64_batch_pairs] batched *)
 
+let kernel_table =
+  [
+    (Kmul, "MUL", Consts);
+    (Kdiv, "DIV", Consts);
+    (Kw64 W64_mul, "W64MUL", Pairs);
+    (Kw64 W64_div, "W64DIV", Pairs);
+    (Kw64 W64_rem, "W64REM", Pairs);
+  ]
+
+let kernel_verb k =
+  let _, name, _ = List.find (fun (k', _, _) -> k' = k) kernel_table in
+  name
+
+let kernel_shape k =
+  let _, _, shape = List.find (fun (k', _, _) -> k' = k) kernel_table in
+  shape
+
+let verb = function
+  | Op { kernel; batch; _ } ->
+      if batch then kernel_verb kernel ^ "B" else kernel_verb kernel
+  | Eval _ -> "EVAL"
+  | Stats -> "STATS"
+  | Metrics -> "METRICS"
+  | Ping -> "PING"
+  | Quit -> "QUIT"
+
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
 let ok payload = "OK " ^ one_line payload
 let err detail = "ERR " ^ one_line detail
-
 let is_ok s = String.length s >= 3 && String.sub s 0 3 = "OK "
 let is_err s = String.length s >= 4 && String.sub s 0 4 = "ERR "
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Batch replies open "OK <VERB>B k=<K>" — derived from the same table,
+   so a new kernel's batch form frames correctly with no extra code. *)
+let is_batch_reply s =
+  List.exists
+    (fun (_, name, _) -> starts_with ("OK " ^ name ^ "B k=") s)
+    kernel_table
 
 (* Printable excerpt of hostile input for error messages. *)
 let excerpt s =
@@ -76,8 +113,8 @@ let int32_of_token tok =
         Error (Printf.sprintf "range %s does not fit in 32 bits" (excerpt tok))
       else Ok (Int64.to_int32 v)
 
-(* W64 operands are full 64-bit values; decimal literals must fit int64
-   (hex literals wrap like OCaml's [Int64.of_string]). *)
+(* 64-bit operands are full int64 values; decimal literals must fit
+   int64 (hex literals wrap like OCaml's [Int64.of_string]). *)
 let int64_of_token tok =
   match Int64.of_string_opt tok with
   | None -> Error (Printf.sprintf "parse bad integer \"%s\"" (excerpt tok))
@@ -104,74 +141,97 @@ let label_ok s =
          || c = '_')
        s
 
-(* Batch verbs take 1..max_batch_operands integers; one bad operand
-   rejects the whole request (a partial batch would desynchronize the
-   lane-indexed reply). *)
-let batch name mk args =
-  if args = [] then
-    Error (Printf.sprintf "parse %s needs at least one integer" name)
-  else if List.length args > max_batch_operands then
-    Error
-      (Printf.sprintf "parse %s takes at most %d integers" name
-         max_batch_operands)
-  else
-    let rec convert acc = function
-      | [] -> Ok (mk (List.rev acc))
-      | tok :: rest -> (
-          match int32_of_token tok with
-          | Ok w -> convert (w :: acc) rest
-          | Error e -> Error e)
-    in
-    convert [] args
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      Result.bind (f x) (fun y ->
+          Result.map (fun ys -> y :: ys) (map_result f rest))
 
-let w64_scalar op = function
-  | [ sign; x; y ] ->
-      Result.bind (signedness_of_token sign) (fun signed ->
-          Result.bind (int64_of_token x) (fun x ->
-              Result.map
-                (fun y -> W64 { op; signed; x; y })
-                (int64_of_token y)))
-  | _ ->
-      Error
-        (Printf.sprintf "parse %s takes a signedness and two integers"
-           (w64_verb op))
-
-(* Like MULB/DIVB, one bad token rejects the whole batch — and so does
-   an odd operand count, which would leave a dangling half-pair. *)
-let w64_batch op = function
-  | [] ->
-      Error
-        (Printf.sprintf "parse %sB needs a signedness and operand pairs"
-           (w64_verb op))
-  | sign :: args ->
-      Result.bind (signedness_of_token sign) (fun signed ->
-          let n = List.length args in
-          if n = 0 then
-            Error
-              (Printf.sprintf "parse %sB needs at least one operand pair"
-                 (w64_verb op))
-          else if n mod 2 <> 0 then
-            Error
-              (Printf.sprintf
-                 "parse %sB takes x y operand pairs (odd operand count)"
-                 (w64_verb op))
-          else if n / 2 > max_w64_batch_pairs then
-            Error
-              (Printf.sprintf "parse %sB takes at most %d operand pairs"
-                 (w64_verb op) max_w64_batch_pairs)
-          else
-            let rec convert acc = function
-              | [] -> Ok (W64b { op; signed; pairs = List.rev acc })
-              | x :: y :: rest -> (
-                  match int64_of_token x with
-                  | Error e -> Error e
-                  | Ok x -> (
-                      match int64_of_token y with
+(* One parser per operand shape, scalar and batch forms alike; the
+   error strings are generated from the verb so every row of the table
+   reports uniformly. A batch with one bad operand is rejected whole:
+   a partial batch would desynchronize the lane-indexed reply. *)
+let parse_lanes kernel ~batch args =
+  let name = kernel_verb kernel ^ if batch then "B" else "" in
+  match (kernel_shape kernel, batch) with
+  | Consts, false -> (
+      match args with
+      | [ tok ] -> Result.map (fun n -> [ Const n ]) (int32_of_token tok)
+      | _ -> Error (Printf.sprintf "parse %s takes exactly one integer" name))
+  | Consts, true ->
+      if args = [] then
+        Error (Printf.sprintf "parse %s needs at least one integer" name)
+      else if List.length args > max_batch_operands then
+        Error
+          (Printf.sprintf "parse %s takes at most %d integers" name
+             max_batch_operands)
+      else
+        map_result
+          (fun tok -> Result.map (fun n -> Const n) (int32_of_token tok))
+          args
+  | Pairs, false -> (
+      match args with
+      | [ sign; x; y ] ->
+          Result.bind (signedness_of_token sign) (fun signed ->
+              Result.bind (int64_of_token x) (fun x ->
+                  Result.map
+                    (fun y -> [ Pair { signed; x; y } ])
+                    (int64_of_token y)))
+      | _ ->
+          Error
+            (Printf.sprintf "parse %s takes a signedness and two integers"
+               name))
+  | Pairs, true -> (
+      match args with
+      | [] ->
+          Error
+            (Printf.sprintf "parse %s needs a signedness and operand pairs"
+               name)
+      | sign :: args ->
+          Result.bind (signedness_of_token sign) (fun signed ->
+              let n = List.length args in
+              if n = 0 then
+                Error
+                  (Printf.sprintf "parse %s needs at least one operand pair"
+                     name)
+              else if n mod 2 <> 0 then
+                Error
+                  (Printf.sprintf
+                     "parse %s takes x y operand pairs (odd operand count)"
+                     name)
+              else if n / 2 > max_w64_batch_pairs then
+                Error
+                  (Printf.sprintf "parse %s takes at most %d operand pairs"
+                     name max_w64_batch_pairs)
+              else
+                let rec convert acc = function
+                  | [] -> Ok (List.rev acc)
+                  | x :: y :: rest -> (
+                      match int64_of_token x with
                       | Error e -> Error e
-                      | Ok y -> convert ((x, y) :: acc) rest))
-              | [ _ ] -> Error "parse internal odd operand count"
-            in
-            convert [] args)
+                      | Ok x -> (
+                          match int64_of_token y with
+                          | Error e -> Error e
+                          | Ok y ->
+                              convert (Pair { signed; x; y } :: acc) rest))
+                  | [ _ ] -> Error "parse internal odd operand count"
+                in
+                convert [] args))
+
+(* Verb lookup: "<VERB>" is the scalar form, "<VERB>B" the batch form
+   of the same kernel row. *)
+let kernel_of_verb cmd =
+  let find name =
+    List.find_opt (fun (_, n, _) -> n = name) kernel_table
+    |> Option.map (fun (k, _, _) -> k)
+  in
+  match find cmd with
+  | Some k -> Some (k, false)
+  | None ->
+      let n = String.length cmd in
+      if n > 1 && cmd.[n - 1] = 'B' then
+        Option.map (fun k -> (k, true)) (find (String.sub cmd 0 (n - 1)))
+      else None
 
 let parse line =
   let line =
@@ -179,68 +239,64 @@ let parse line =
     if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
   in
   if String.length line > max_line_bytes then
-    Error
-      (Printf.sprintf "oversized request exceeds %d bytes" max_line_bytes)
+    Error (Printf.sprintf "oversized request exceeds %d bytes" max_line_bytes)
   else
     match tokens line with
     | [] -> Error "parse empty request"
     | cmd :: rest -> (
-        match (String.uppercase_ascii cmd, rest) with
-        | "MUL", [ n ] -> Result.map (fun n -> Mul n) (int32_of_token n)
-        | "MUL", _ -> Error "parse MUL takes exactly one integer"
-        | "DIV", [ d ] -> Result.map (fun d -> Div d) (int32_of_token d)
-        | "DIV", _ -> Error "parse DIV takes exactly one integer"
-        | "MULB", args -> batch "MULB" (fun ns -> Mulb ns) args
-        | "DIVB", args -> batch "DIVB" (fun ds -> Divb ds) args
-        | "W64MUL", args -> w64_scalar W64_mul args
-        | "W64DIV", args -> w64_scalar W64_div args
-        | "W64REM", args -> w64_scalar W64_rem args
-        | "W64MULB", args -> w64_batch W64_mul args
-        | "W64DIVB", args -> w64_batch W64_div args
-        | "W64REMB", args -> w64_batch W64_rem args
-        | "EVAL", entry :: args ->
-            if not (label_ok entry) then
-              Error
-                (Printf.sprintf "parse bad entry label \"%s\"" (excerpt entry))
-            else if List.length args > 4 then
-              Error "parse EVAL takes at most four arguments"
-            else
-              let rec convert acc = function
-                | [] -> Ok (Eval (entry, List.rev acc))
-                | tok :: rest -> (
-                    match int32_of_token tok with
-                    | Ok w -> convert (w :: acc) rest
-                    | Error e -> Error e)
-              in
-              convert [] args
-        | "EVAL", [] -> Error "parse EVAL needs an entry label"
-        | "STATS", [] -> Ok Stats
-        | "STATS", _ -> Error "parse STATS takes no arguments"
-        | "METRICS", [] -> Ok Metrics
-        | "METRICS", _ -> Error "parse METRICS takes no arguments"
-        | "PING", [] -> Ok Ping
-        | "PING", _ -> Error "parse PING takes no arguments"
-        | "QUIT", [] -> Ok Quit
-        | "QUIT", _ -> Error "parse QUIT takes no arguments"
-        | _ ->
-            Error (Printf.sprintf "parse unknown command \"%s\"" (excerpt cmd)))
+        let cmd = String.uppercase_ascii cmd in
+        match kernel_of_verb cmd with
+        | Some (kernel, batch) ->
+            Result.map
+              (fun lanes -> Op { kernel; batch; lanes })
+              (parse_lanes kernel ~batch rest)
+        | None -> (
+            match (cmd, rest) with
+            | "EVAL", entry :: args ->
+                if not (label_ok entry) then
+                  Error
+                    (Printf.sprintf "parse bad entry label \"%s\""
+                       (excerpt entry))
+                else if List.length args > 4 then
+                  Error "parse EVAL takes at most four arguments"
+                else
+                  map_result int32_of_token args
+                  |> Result.map (fun args -> Eval (entry, args))
+            | "EVAL", [] -> Error "parse EVAL needs an entry label"
+            | "STATS", [] -> Ok Stats
+            | "STATS", _ -> Error "parse STATS takes no arguments"
+            | "METRICS", [] -> Ok Metrics
+            | "METRICS", _ -> Error "parse METRICS takes no arguments"
+            | "PING", [] -> Ok Ping
+            | "PING", _ -> Error "parse PING takes no arguments"
+            | "QUIT", [] -> Ok Quit
+            | "QUIT", _ -> Error "parse QUIT takes no arguments"
+            | _ ->
+                Error
+                  (Printf.sprintf "parse unknown command \"%s\"" (excerpt cmd))
+            ))
+
+(* Canonical rendering. Scalar requests print exactly as their
+   normalized wire form — that string is the shard-cache key, so "MUL 7"
+   and " mul  7 " share one entry. Batch lanes print space-separated in
+   lane order with the signedness tag emitted once (the parser
+   guarantees all lanes of a W64 batch share it). *)
+let pp_lanes ppf lanes =
+  (match lanes with
+  | Pair { signed; _ } :: _ ->
+      Format.fprintf ppf " %s" (if signed then "s" else "u")
+  | _ -> ());
+  List.iter
+    (function
+      | Const n -> Format.fprintf ppf " %ld" n
+      | Pair { x; y; _ } -> Format.fprintf ppf " %Ld %Ld" x y)
+    lanes
 
 let pp_request ppf = function
-  | Mul n -> Format.fprintf ppf "MUL %ld" n
-  | Div d -> Format.fprintf ppf "DIV %ld" d
-  | Mulb ns ->
-      Format.fprintf ppf "MULB";
-      List.iter (fun n -> Format.fprintf ppf " %ld" n) ns
-  | Divb ds ->
-      Format.fprintf ppf "DIVB";
-      List.iter (fun d -> Format.fprintf ppf " %ld" d) ds
-  | W64 { op; signed; x; y } ->
-      Format.fprintf ppf "%s %s %Ld %Ld" (w64_verb op)
-        (if signed then "s" else "u")
-        x y
-  | W64b { op; signed; pairs } ->
-      Format.fprintf ppf "%sB %s" (w64_verb op) (if signed then "s" else "u");
-      List.iter (fun (x, y) -> Format.fprintf ppf " %Ld %Ld" x y) pairs
+  | Op { kernel; batch; lanes } ->
+      Format.fprintf ppf "%s%s%a" (kernel_verb kernel)
+        (if batch then "B" else "")
+        pp_lanes lanes
   | Eval (e, args) ->
       Format.fprintf ppf "EVAL %s" e;
       List.iter (fun w -> Format.fprintf ppf " %ld" w) args
@@ -248,3 +304,9 @@ let pp_request ppf = function
   | Metrics -> Format.pp_print_string ppf "METRICS"
   | Ping -> Format.pp_print_string ppf "PING"
   | Quit -> Format.pp_print_string ppf "QUIT"
+
+(* The normalized scalar form of one lane — the cache key shared by the
+   scalar verb and every batch lane carrying the same operand. *)
+let lane_key kernel lane =
+  Format.asprintf "%a" pp_request
+    (Op { kernel; batch = false; lanes = [ lane ] })

@@ -21,47 +21,72 @@
     Replies are a single line starting with ["OK "] or ["ERR "] — with
     two exceptions. [METRICS] replies with multi-line Prometheus
     exposition text terminated by a line reading ["# EOF"]. The batch
-    verbs [MULB]/[DIVB] reply with a header line ["OK MULB k=<K>"]
-    followed by exactly K lines, the i-th being byte-identical to the
-    reply a scalar [MUL <n_i>] / [DIV <d_i>] request would have
-    produced (["OK ..."] or, e.g. for a zero divisor lane,
-    ["ERR ..."]):
-
-    {v OK MUL n=625 steps=4 ... code=...
-      ERR parse unknown command "FROB" v}
+    verbs reply with a header line ["OK <VERB>B k=<K>"] followed by
+    exactly K lines, the i-th being byte-identical to the reply the
+    corresponding scalar request would have produced (["OK ..."] or,
+    e.g. for a zero divisor lane, ["ERR ..."]).
 
     The W64 verbs carry their run-time operands on the request line:
     a signedness token ([u] or [s]) followed by signed decimal int64
     operands (the canonical form {!pp_request} prints; [0x..] literal
     syntax is also accepted on input). The batch forms take whitespace-
     separated [x y] pairs — an odd operand count, a bad signedness, or
-    any malformed operand rejects the whole batch. [W64MULB]/[W64DIVB]/
-    [W64REMB] reply exactly like [MULB]: a header ["OK <verb> k=<K>"]
-    then K lines byte-identical to the scalar replies (divide lanes
-    that trap reply ["ERR trap ..."] without poisoning the batch).
+    any malformed operand rejects the whole batch (a partial batch
+    would desynchronize the lane-indexed reply). Divide lanes that trap
+    reply ["ERR trap ..."] without poisoning the batch.
+
+    Every plan-producing verb above is one row of an internal dispatch
+    table keyed by {!kernel}: scalar/batch parsing, verb naming,
+    canonical rendering, cache keys and batch-header recognition all
+    derive from the row, so adding a verb means one {!kernel}
+    constructor plus one table row — not four hand-written code sites.
 
     Parsing is total: {!parse} never raises, whatever the input bytes.
     Number arguments accept OCaml int literal syntax ([0x..] included)
     and must fit in 32 bits (64 for the W64 verbs). *)
 
+module Word = Hppa_word.Word
+
 type w64_op = W64_mul | W64_div | W64_rem
 
+(** A plan-producing kernel — one row of the dispatch table. *)
+type kernel = Kmul | Kdiv | Kw64 of w64_op
+
+(** One operand lane of an [Op] request. [Const] lanes belong to
+    [Kmul]/[Kdiv], [Pair] lanes to [Kw64 _]; {!parse} guarantees the
+    shape matches the kernel and that all lanes of one request share a
+    signedness. *)
+type lane =
+  | Const of int32
+  | Pair of { signed : bool; x : int64; y : int64 }
+
+(** A parsed request. Every plan-producing verb — scalar or batch,
+    32- or 64-bit — is the single [Op] constructor; a scalar request is
+    an [Op] with [batch = false] and exactly one lane. *)
 type request =
-  | Mul of int32
-  | Div of int32
-  | Mulb of int32 list
-  | Divb of int32 list
-  | W64 of { op : w64_op; signed : bool; x : int64; y : int64 }
-  | W64b of { op : w64_op; signed : bool; pairs : (int64 * int64) list }
-  | Eval of string * Hppa_word.Word.t list
+  | Op of { kernel : kernel; batch : bool; lanes : lane list }
+  | Eval of string * Word.t list
   | Stats
   | Metrics
   | Ping
   | Quit
 
+val mul : int32 -> request
+(** [mul n] is the scalar [MUL n] request. *)
+
+val div : int32 -> request
+(** [div d] is the scalar [DIV d] request. *)
+
+val w64 : w64_op -> signed:bool -> int64 -> int64 -> request
+(** [w64 op ~signed x y] is the scalar [W64MUL]/[W64DIV]/[W64REM]
+    request. *)
+
 val verb : request -> string
-(** The command word of a request (["MUL"], ["EVAL"], ...) — used as
-    the [verb] label on per-verb latency histograms. *)
+(** The command word of a request (["MUL"], ["MULB"], ["EVAL"], ...) —
+    used as the [verb] label on per-verb latency histograms. *)
+
+val kernel_verb : kernel -> string
+(** The scalar wire verb of a kernel; the batch verb appends ["B"]. *)
 
 val max_line_bytes : int
 (** Longest accepted request line (1024); longer lines are rejected with
@@ -70,9 +95,7 @@ val max_line_bytes : int
 
 val max_batch_operands : int
 (** Most operands one [MULB]/[DIVB] request may carry (64) — sized so a
-    maximal batch still fits in {!max_line_bytes}. One malformed
-    operand rejects the whole batch: a partial batch would
-    desynchronize the lane-indexed reply. *)
+    maximal batch still fits in {!max_line_bytes}. *)
 
 val max_w64_batch_pairs : int
 (** Most operand pairs one [W64MULB]/[W64DIVB]/[W64REMB] request may
@@ -94,4 +117,20 @@ val err : string -> string
 val is_ok : string -> bool
 val is_err : string -> bool
 
+val is_batch_reply : string -> bool
+(** Recognize a batch reply header ["OK <VERB>B k=..."] for any kernel
+    in the dispatch table; such a header is followed by [k] lane
+    lines. *)
+
 val pp_request : Format.formatter -> request -> unit
+(** Canonical rendering; for a scalar [Op] this is the normalized wire
+    form and doubles as the shard-cache key. *)
+
+val lane_key : kernel -> lane -> string
+(** [lane_key kernel lane] is the normalized scalar wire form of one
+    lane (e.g. ["MUL 625"]) — the cache key shared by the scalar verb
+    and every batch lane carrying the same operand. *)
+
+val excerpt : string -> string
+(** Printable, length-capped excerpt of untrusted input for error
+    messages. *)

@@ -1,63 +1,99 @@
-(** The plan service: socket front-end, dispatch, cache and drain.
+(** The plan service: multiplexed socket front-end, sharded cache and
+    drain.
 
-    A server owns one listening socket (TCP on localhost or a Unix
-    socket), a {!Pool} of worker domains (each with a private millicode
-    machine), one shared {!Lru} plan cache and one {!Metrics} recorder.
-    Each accepted connection is served by a dedicated thread that reads
-    request lines, calls {!respond} and writes the reply — so per-
-    connection ordering is trivial while compute parallelism comes from
-    the pool.
+    One event-loop thread owns every socket: the listener and all
+    client connections are non-blocking and driven by [Unix.select]
+    readiness, with per-connection read/write byte queues and a
+    reply-slot queue. Requests {e pipeline}: a client may write up to
+    [Config.pipeline_depth] requests before reading a reply, and
+    replies always come back in request order — each parsed request
+    takes a slot at parse time, slots are filled as shard jobs
+    complete, and only the completed {e prefix} of the slot queue is
+    flushed.
+
+    Plan compute and the reply cache are {e sharded}: the normalized
+    request key is hashed (FNV-1a) onto one of [Config.shards] shards,
+    each owning an {!Lru} slice and a single worker domain with a
+    private millicode machine. The event loop probes the owning slice
+    for hits directly; the misses of one request are grouped per shard
+    and posted as one job per shard (W64 misses run through
+    {!Hppa_machine.Machine.Batch} when a batch request misses several
+    lanes). Hot keys therefore never contend on a global lock, and
+    batch verbs cost one job per shard touched, not one per lane.
 
     {!respond} is exposed separately because it is the entire protocol
-    surface: the fuzz suite drives it directly, without sockets. It
-    never raises.
+    surface: the fuzz suite drives it directly, without sockets, and
+    the pipelining tests use it as the byte-identity oracle. It runs
+    the same staged dispatch as the event loop — same cache probes,
+    same shard jobs, same assembly — so its replies are byte-identical
+    to the served ones. It never raises.
 
     Shutdown: {!stop} (also invoked by the daemon's SIGINT/SIGTERM
-    handlers) makes the accept loop exit; connection threads finish the
-    request in flight, reply, close, and are joined; then the pool is
-    drained and {!run} returns. *)
+    handlers) makes the loop close the listener at once, finish every
+    in-flight request, flush the ordered replies, close connections,
+    drain the shard pools and return from {!run}. Connections that
+    cannot drain within [Config.drain_grace_s] are closed forcibly. *)
 
-type endpoint = Unix_socket of string | Tcp of string * int
+(** Immutable server configuration, fixed at {!create} (mirroring
+    [Machine.Config.t]): endpoint, shard count, event-loop parameters,
+    pipeline depth, warm-start and certified-only serving. *)
+module Config : sig
+  type endpoint = Unix_socket of string | Tcp of string * int
 
-type config = {
-  endpoint : endpoint;
-  workers : int;  (** worker domains; >= 1 *)
-  cache_capacity : int;  (** LRU plan-cache entries; >= 1 *)
-  fuel : int;  (** per-EVAL cycle budget *)
-  trace_path : string option;
-      (** when set, keep a bounded request-event trace and write it as
-          JSONL to this path when {!run} drains *)
-  plans_path : string option;
-      (** when set, warm-start: load the [BENCH_PLANS.json] store
-          (written by [bench plans], {!Hppa_plan.Autotune.Store}) at
-          {!create} time and pre-compute the reply for every measured
-          MUL/DIV-expressible request, so benchmarked plans are cache
-          hits from the first client on. Unreadable or stale stores
-          warm nothing and never fail startup. *)
-  certified : bool;
-      (** certified-only serving: every MUL/DIV plan (computed or
-          warm-started) is selected with
-          [Selector.choose ~require_certified:true], so each cached
-          artifact carries a {!Hppa_verify.Certificate} digest. Strategies
-          whose emission the certifier cannot prove are passed over in
-          favour of the certified millicode call-through; reply bytes are
-          unchanged ({!Plan.mul}/{!Plan.div} render from the planner
-          record, not the winner). *)
-}
+  type t = {
+    endpoint : endpoint;
+    shards : int;
+        (** cache/compute shards, one worker domain each; >= 1 *)
+    cache_capacity : int;
+        (** total LRU plan-cache entries, split across shards (each
+            shard holds at least one); >= 1 *)
+    fuel : int;  (** per-EVAL / per-W64 cycle budget *)
+    pipeline_depth : int;
+        (** max requests in flight per connection; further input is
+            left in the socket buffer (back-pressure); >= 1 *)
+    backlog : int;  (** listen(2) backlog *)
+    tick_s : float;
+        (** event-loop select timeout — bounds stop/drain latency *)
+    drain_grace_s : float;
+        (** on {!stop}, how long to wait for in-flight requests and
+            unflushed replies before closing connections forcibly *)
+    trace_path : string option;
+        (** when set, keep a bounded request-event trace and write it as
+            JSONL to this path when {!run} drains *)
+    plans_path : string option;
+        (** when set, warm-start: load the [BENCH_PLANS.json] store
+            (written by [bench plans], {!Hppa_plan.Autotune.Store}) at
+            {!create} time and pre-compute the reply for every measured
+            MUL/DIV-expressible request, so benchmarked plans are cache
+            hits from the first client on. Unreadable or stale stores
+            warm nothing and never fail startup. *)
+    certified : bool;
+        (** certified-only serving: every MUL/DIV plan (computed or
+            warm-started) is selected with
+            [Selector.choose ~require_certified:true], so each cached
+            artifact carries a {!Hppa_verify.Certificate} digest.
+            Strategies whose emission the certifier cannot prove are
+            passed over in favour of the certified millicode
+            call-through; reply bytes are unchanged. *)
+  }
 
-val default_config : config
-(** Unix socket ["hppa-serve.sock"], workers 2, cache 4096, fuel 1e6,
-    no trace, no warm-start, not certified-only. *)
+  val default : t
+  (** Unix socket ["hppa-serve.sock"], 2 shards, cache 4096, fuel 1e6,
+      pipeline depth 64, backlog 128, tick 50 ms, drain grace 5 s, no
+      trace, no warm-start, not certified-only. *)
+end
 
 type t
 
-val create : config -> t
-(** Builds the pool, cache, metrics and observability registry; does
-    not open the socket ({!run} does). The registry carries the server
-    metric families ([hppa_serve_*], [hppa_pool_*]); worker machines
-    keep their simulator stats private. *)
+val create : Config.t -> t
+(** Builds the shards (LRU slice + one worker domain each), metrics and
+    observability registry; does not open the socket ({!run} does).
+    The registry carries the server metric families ([hppa_serve_*],
+    [hppa_pool_*] labelled per shard); worker machines keep their
+    simulator stats private. Raises [Invalid_argument] on out-of-range
+    configuration. *)
 
-val config : t -> config
+val config : t -> Config.t
 
 val registry : t -> Hppa_obs.Obs.Registry.t
 (** The server's observability registry — what [METRICS] scrapes. MUL
@@ -69,20 +105,22 @@ val registry : t -> Hppa_obs.Obs.Registry.t
 val artifacts : t -> (string * Plan.artifact) list
 (** The selector verdicts cached alongside the reply bytes, as
     (cache key, artifact) pairs sorted by key — one per distinct
-    MUL/DIV request computed (or warm-started) so far. *)
+    plan request computed (or warm-started) so far. *)
 
 val respond : t -> string -> string
 (** Map one raw request line to one reply (no trailing newline).
     Total: malformed input yields an ["ERR ..."] reply; internal
     exceptions are caught and reported as ["ERR internal ..."]. Every
     reply is a single line except the [METRICS] scrape (multi-line
-    Prometheus text whose last line is ["# EOF"]) and the [MULB]/[DIVB]
-    batch replies (["OK MULB k=<K>"] header followed by K lines, each
+    Prometheus text whose last line is ["# EOF"]) and the batch
+    replies (["OK <VERB>B k=<K>"] header followed by K lines, each
     byte-identical to the corresponding scalar reply — see
     {!is_batch_reply}). *)
 
 val stats_payload : t -> string
-(** The [STATS] reply payload (also available without a socket). *)
+(** The [STATS] reply payload (also available without a socket).
+    Cache counters aggregate over all shards; [workers] is the shard
+    count (one domain each). *)
 
 val metrics_payload : t -> string
 (** The [METRICS] reply: Prometheus exposition text of a registry
@@ -93,22 +131,23 @@ val is_scrape : string -> bool
     Replies satisfy [is_ok || is_err || is_scrape]. *)
 
 val is_batch_reply : string -> bool
-(** Does this reply open with a [MULB]/[DIVB] batch header
-    (["OK MULB k="] / ["OK DIVB k="])? Batch replies are the only
-    multi-line replies besides the [METRICS] scrape; every line after
-    the header is itself [is_ok || is_err]. *)
+(** Does this reply open with a batch header (["OK <VERB>B k="] for any
+    kernel)? Batch replies are the only multi-line replies besides the
+    [METRICS] scrape; every line after the header is itself
+    [is_ok || is_err]. *)
 
 val run : t -> unit
-(** Bind, listen and serve until {!stop}; then drain and return.
-    Raises [Unix.Unix_error] if the endpoint cannot be bound. *)
+(** Bind, listen and serve on the event loop until {!stop}; then drain
+    and return. Raises [Unix.Unix_error] if the endpoint cannot be
+    bound. *)
 
 val stop : t -> unit
 (** Request graceful shutdown; safe from signal handlers and other
     threads. Idempotent. *)
 
 val shutdown_pool : t -> unit
-(** Drain the worker pool without running the socket loop — for tests
-    that only use {!respond}. Idempotent. *)
+(** Drain every shard's worker pool without running the socket loop —
+    for tests that only use {!respond}. Idempotent. *)
 
 val pp_dump : Format.formatter -> t -> unit
 (** Human-readable final report: metrics dump plus cache counters. *)

@@ -14,20 +14,24 @@ module Server = Hppa_server.Server
 module Load_gen = Hppa_server.Load_gen
 module Obs = Hppa_obs.Obs
 
-let test_config workers =
+(* [workers] predates the sharded redesign; it now sets the shard count
+   (one worker domain per shard). *)
+let test_config shards =
   {
-    Server.endpoint = Server.Unix_socket "unused.sock";
-    workers;
+    Server.Config.default with
+    Server.Config.endpoint = Server.Config.Unix_socket "unused.sock";
+    shards;
     cache_capacity = 64;
     fuel = 1_000_000;
-    trace_path = None;
-    plans_path = None;
-    certified = false;
   }
 
 let with_server ?(workers = 1) ?fuel ?(certified = false) f =
-  let cfg = { (test_config workers) with certified } in
-  let cfg = match fuel with None -> cfg | Some fuel -> { cfg with fuel } in
+  let cfg = { (test_config workers) with Server.Config.certified } in
+  let cfg =
+    match fuel with
+    | None -> cfg
+    | Some fuel -> { cfg with Server.Config.fuel }
+  in
   let srv = Server.create cfg in
   Fun.protect ~finally:(fun () -> Server.shutdown_pool srv) (fun () -> f srv)
 
@@ -49,48 +53,50 @@ let parse_err line () =
   | Ok _ -> Alcotest.failf "%S accepted" line
   | Error _ -> ()
 
+let consts kernel batch ns =
+  Protocol.Op
+    { kernel; batch; lanes = List.map (fun n -> Protocol.Const n) ns }
+
+let pairs op signed ps =
+  Protocol.Op
+    {
+      kernel = Protocol.Kw64 op;
+      batch = true;
+      lanes = List.map (fun (x, y) -> Protocol.Pair { signed; x; y }) ps;
+    }
+
 let test_parse_valid () =
-  parse_ok "MUL 625" (Protocol.Mul 625l) ();
-  parse_ok "mul 625" (Protocol.Mul 625l) ();
-  parse_ok "  MUL   -7  " (Protocol.Mul (-7l)) ();
-  parse_ok "MUL 0x1f" (Protocol.Mul 31l) ();
-  parse_ok "MUL 4294967295" (Protocol.Mul (-1l)) ();
-  parse_ok "DIV 19\r" (Protocol.Div 19l) ();
-  parse_ok "MULB 625" (Protocol.Mulb [ 625l ]) ();
-  parse_ok "mulb 625 -7 0x1f" (Protocol.Mulb [ 625l; -7l; 31l ]) ();
-  parse_ok "DIVB 7 0 -9" (Protocol.Divb [ 7l; 0l; -9l ]) ();
+  parse_ok "MUL 625" (Protocol.mul 625l) ();
+  parse_ok "mul 625" (Protocol.mul 625l) ();
+  parse_ok "  MUL   -7  " (Protocol.mul (-7l)) ();
+  parse_ok "MUL 0x1f" (Protocol.mul 31l) ();
+  parse_ok "MUL 4294967295" (Protocol.mul (-1l)) ();
+  parse_ok "DIV 19\r" (Protocol.div 19l) ();
+  parse_ok "MULB 625" (consts Protocol.Kmul true [ 625l ]) ();
+  parse_ok "mulb 625 -7 0x1f" (consts Protocol.Kmul true [ 625l; -7l; 31l ]) ();
+  parse_ok "DIVB 7 0 -9" (consts Protocol.Kdiv true [ 7l; 0l; -9l ]) ();
   parse_ok
     ("MULB " ^ String.concat " " (List.init 64 string_of_int))
-    (Protocol.Mulb (List.init 64 Int32.of_int))
+    (consts Protocol.Kmul true (List.init 64 Int32.of_int))
     ();
   parse_ok "EVAL mulI 99 -7" (Protocol.Eval ("mulI", [ 99l; -7l ])) ();
   parse_ok "EVAL divU" (Protocol.Eval ("divU", [])) ();
   parse_ok "W64MUL u 123 456"
-    (Protocol.W64 { op = Protocol.W64_mul; signed = false; x = 123L; y = 456L })
+    (Protocol.w64 Protocol.W64_mul ~signed:false 123L 456L)
     ();
   parse_ok "w64mul s -7 3"
-    (Protocol.W64 { op = Protocol.W64_mul; signed = true; x = -7L; y = 3L })
+    (Protocol.w64 Protocol.W64_mul ~signed:true (-7L) 3L)
     ();
   parse_ok "W64DIV u 0x100000000 3"
-    (Protocol.W64
-       { op = Protocol.W64_div; signed = false; x = 0x1_0000_0000L; y = 3L })
+    (Protocol.w64 Protocol.W64_div ~signed:false 0x1_0000_0000L 3L)
     ();
   parse_ok "W64REM s 9223372036854775807 -1"
-    (Protocol.W64
-       { op = Protocol.W64_rem; signed = true; x = Int64.max_int; y = -1L })
+    (Protocol.w64 Protocol.W64_rem ~signed:true Int64.max_int (-1L))
     ();
   parse_ok "W64MULB u 1 2 3 4"
-    (Protocol.W64b
-       {
-         op = Protocol.W64_mul;
-         signed = false;
-         pairs = [ (1L, 2L); (3L, 4L) ];
-       })
+    (pairs Protocol.W64_mul false [ (1L, 2L); (3L, 4L) ])
     ();
-  parse_ok "W64DIVB s 10 3"
-    (Protocol.W64b
-       { op = Protocol.W64_div; signed = true; pairs = [ (10L, 3L) ] })
-    ();
+  parse_ok "W64DIVB s 10 3" (pairs Protocol.W64_div true [ (10L, 3L) ]) ();
   parse_ok "STATS" Protocol.Stats ();
   parse_ok "METRICS" Protocol.Metrics ();
   parse_ok "metrics\r" Protocol.Metrics ();
@@ -772,7 +778,9 @@ let test_plans_warm_start () =
   let cold =
     with_server (fun srv -> Server.respond srv "MUL 625")
   in
-  let cfg = { (test_config 1) with Server.plans_path = Some path } in
+  let cfg =
+    { (test_config 1) with Server.Config.plans_path = Some path }
+  in
   let srv = Server.create cfg in
   Fun.protect
     ~finally:(fun () ->
@@ -794,7 +802,10 @@ let test_plans_warm_start () =
         (contains ~needle:"cache_misses=0" stats));
   (* A missing store file warms nothing and does not fail startup. *)
   let cfg =
-    { (test_config 1) with Server.plans_path = Some "no-such-plans.json" }
+    {
+      (test_config 1) with
+      Server.Config.plans_path = Some "no-such-plans.json";
+    }
   in
   let srv = Server.create cfg in
   Fun.protect
@@ -853,13 +864,9 @@ let test_end_to_end () =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let cfg =
     {
-      Server.endpoint = Server.Unix_socket path;
-      workers = 2;
+      (test_config 2) with
+      Server.Config.endpoint = Server.Config.Unix_socket path;
       cache_capacity = 256;
-      fuel = 1_000_000;
-      trace_path = None;
-      plans_path = None;
-      certified = false;
     }
   in
   let srv = Server.create cfg in
@@ -875,8 +882,9 @@ let test_end_to_end () =
   wait 100;
   let summary =
     match
-      Load_gen.run ~endpoint:(Server.Unix_socket path) ~requests:300
-        ~conns:3 ~dist:Load_gen.Mixed ~seed:7L ()
+      Load_gen.run
+        ~endpoint:(Server.Config.Unix_socket path)
+        ~requests:300 ~conns:3 ~dist:Load_gen.Mixed ~seed:7L ()
     with
     | Ok s -> s
     | Error e -> Alcotest.failf "load_gen: %s" e
@@ -890,7 +898,7 @@ let test_end_to_end () =
   let batched =
     match
       Load_gen.run ~batch_width:8
-        ~endpoint:(Server.Unix_socket path)
+        ~endpoint:(Server.Config.Unix_socket path)
         ~requests:300 ~conns:3 ~dist:Load_gen.Zipf ~seed:7L ()
     with
     | Ok s -> s
@@ -909,10 +917,354 @@ let test_end_to_end () =
 let test_load_gen_connect_failure () =
   match
     Load_gen.run
-      ~endpoint:(Server.Unix_socket "/nonexistent/definitely-missing.sock")
+      ~endpoint:
+        (Server.Config.Unix_socket "/nonexistent/definitely-missing.sock")
       ~requests:5 ~conns:1 ~dist:Load_gen.Zipf ~seed:1L ()
   with
   | Ok _ -> Alcotest.fail "connected to nothing"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Golden replies: the exact bytes the pre-redesign threaded server
+   produced, captured before the event-loop/sharding rewrite. Any diff
+   here is a wire-format regression, not a refactor. *)
+
+let golden_replies =
+  [
+    ( "MUL 625",
+      "OK MUL n=625 steps=4 insns=4 cycles=4 temps=0 overflow_safe=false \
+       chain=a2=a1<<5;a3=a2-a1;a4=4*a3+a1;a5=4*a4+a4 code=mulc_625: | zdep \
+       r26, 5, 27, r28 | sub r28, r26, r28 | sh2add r28, r26, r28 | sh2add \
+       r28, r28, r28 | bv r0(r31)" );
+    ( "MUL 0",
+      "OK MUL n=0 steps=0 insns=1 cycles=1 temps=0 overflow_safe=false \
+       chain=- code=mulc_0: | ldo 0(r0), r28 | bv r0(r31)" );
+    ( "MUL -7",
+      "OK MUL n=-7 steps=2 insns=3 cycles=3 temps=0 overflow_safe=false \
+       chain=a2=a0-a1;a3=8*a1+a2 code=mulc_m7: | sub r0, r26, r28 | sh3add \
+       r26, r28, r28 | sub r0, r28, r28 | bv r0(r31)" );
+    ( "MUL 1",
+      "OK MUL n=1 steps=0 insns=1 cycles=1 temps=0 overflow_safe=true \
+       chain= code=mulc_1: | ldo 0(r26), r28 | bv r0(r31)" );
+    ( "DIV 7",
+      "OK DIV d=7 signed=false \
+       strategy=reciprocal:z=2^33,a=1227133513,b=1227133513,chain=7 \
+       insns=21 cycles=21 needs_millicode=false code=divu_c7: | addi 1, \
+       r26, r20 | addc r0, r0, r19 | shd r19, r20, 29, r21 | zdep r20, 3, \
+       29, r22 | shd r21, r22, 29, r29 | sh3add r22, r20, r28 | addc r29, \
+       r19, r29 | shd r29, r28, 29, r21 | sh3add r28, r28, r22 | addc r21, \
+       r29, r21 | shd r21, r22, 29, r29 | sh3add r22, r20, r28 | addc r29, \
+       r19, r29 | shd r29, r28, 17, r21 | zdep r28, 15, 17, r22 | add r22, \
+       r28, r22 | addc r21, r29, r21 | shd r21, r22, 29, r29 | sh3add r22, \
+       r20, r28 | addc r29, r19, r29 | extru r29, 1, 31, r28 | bv r0(r31)" );
+    ( "DIV 16",
+      "OK DIV d=16 signed=false strategy=shift:4 insns=1 cycles=1 \
+       needs_millicode=false code=divu_c16: | extru r26, 4, 28, r28 | bv \
+       r0(r31)" );
+    ( "DIV -9",
+      "OK DIV d=-9 signed=true \
+       strategy=reciprocal:z=2^34,a=1908874353,b=1908874359,chain=9 \
+       insns=31 cycles=31 needs_millicode=false code=divi_cm9: | ldo \
+       0(r26), r1 | comclr,>= r26, r0, r0 | sub r0, r26, r26 | addi 1, \
+       r26, r20 | addc r0, r0, r19 | sub r0, r20, r22 | subb r0, r19, r21 \
+       | shd r19, r20, 29, r29 | sh3add r20, r22, r28 | addc r29, r21, r29 \
+       | shd r29, r28, 26, r21 | zdep r28, 6, 26, r22 | add r22, r28, r22 \
+       | addc r21, r29, r21 | shd r21, r22, 29, r29 | sh3add r22, r20, r28 \
+       | addc r29, r19, r29 | shd r29, r28, 17, r21 | zdep r28, 15, 17, \
+       r22 | sub r22, r28, r22 | subb r21, r29, r21 | shd r21, r22, 29, \
+       r21 | zdep r22, 3, 29, r22 | shd r21, r22, 31, r29 | sh1add r22, \
+       r20, r28 | addc r29, r19, r29 | addi 6, r28, r28 | addc r0, r29, \
+       r29 | extru r29, 2, 30, r28 | comclr,< r1, r0, r0 | sub r0, r28, \
+       r28 | bv r0(r31)" );
+    ("DIV 0", "ERR range division by zero");
+    ( "W64MUL u 123 456",
+      "OK W64MUL signed=false x=123 y=456 hi=0 lo=56088 cycles=335 \
+       entry=mulU128" );
+    ( "W64MUL s -7 3",
+      "OK W64MUL signed=true x=-7 y=3 hi=-1 lo=-21 cycles=345 \
+       entry=mulI128" );
+    ( "W64DIV s -7 3",
+      "OK W64DIV signed=true x=-7 y=3 q=-2 r=-1 cycles=195 entry=divI64w" );
+    ( "W64DIV u 10000000000 3",
+      "OK W64DIV signed=false x=10000000000 y=3 q=3333333333 r=1 \
+       cycles=175 entry=divU64w" );
+    ( "W64REM u 100 7",
+      "OK W64REM signed=false x=100 y=7 r=2 cycles=177 entry=remU64w" );
+    ("W64DIV u 5 0", "ERR trap divU64w: break trap (code 0)");
+    ( "EVAL mulI 99 -7",
+      "OK EVAL entry=mulI ret0=-693 ret1=0 cycles=23 engine=true" );
+    ( "EVAL divU 100 7",
+      "OK EVAL entry=divU ret0=14 ret1=2 cycles=74 engine=true" );
+    ("PING", "OK pong");
+    ("QUIT", "OK bye");
+  ]
+
+let golden_batches =
+  (* header :: lanes, joined with newlines by the server *)
+  [
+    ( "MULB 625 -7 0",
+      [
+        "OK MULB k=3";
+        List.assoc "MUL 625" golden_replies;
+        List.assoc "MUL -7" golden_replies;
+        List.assoc "MUL 0" golden_replies;
+      ] );
+    ( "DIVB 7 0 16",
+      [
+        "OK DIVB k=3";
+        List.assoc "DIV 7" golden_replies;
+        "ERR range division by zero";
+        List.assoc "DIV 16" golden_replies;
+      ] );
+    ( "W64DIVB s 10 3 5 0",
+      [
+        "OK W64DIVB k=2";
+        "OK W64DIV signed=true x=10 y=3 q=3 r=1 cycles=189 entry=divI64w";
+        "ERR trap divI64w: break trap (code 0)";
+      ] );
+  ]
+
+let test_golden_replies () =
+  with_server ~workers:2 (fun srv ->
+      List.iter
+        (fun (request, expected) ->
+          Alcotest.(check string) request expected (Server.respond srv request))
+        golden_replies;
+      List.iter
+        (fun (request, lines) ->
+          Alcotest.(check string)
+            request
+            (String.concat "\n" lines)
+            (Server.respond srv request))
+        golden_batches)
+
+(* Shard-count independence: the reply bytes may not depend on how the
+   cache is partitioned. *)
+let test_shard_count_byte_identity () =
+  let requests =
+    List.map fst golden_replies
+    @ List.map fst golden_batches
+    @ [ "MULB 5 5 5"; "W64MULB u 1 2 3 4"; "EVAL divU 1000 7" ]
+  in
+  let replies_with shards =
+    with_server ~workers:shards (fun srv ->
+        List.map (Server.respond srv) requests)
+  in
+  let s1 = replies_with 1 and s4 = replies_with 4 in
+  List.iter2
+    (fun a b -> Alcotest.(check string) "shards 1 = shards 4" a b)
+    s1 s4
+
+(* ------------------------------------------------------------------ *)
+(* The event loop over a real socket: partial writes, pipelining,
+   ordering, back-pressure, QUIT semantics                             *)
+
+let with_socket_server ?(config = fun c -> c) f =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hppa_ev_%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let cfg =
+    config
+      {
+        (test_config 2) with
+        Server.Config.endpoint = Server.Config.Unix_socket path;
+        cache_capacity = 256;
+      }
+  in
+  let srv = Server.create cfg in
+  let th = Thread.create (fun () -> Server.run srv) () in
+  let rec wait tries =
+    if tries = 0 then Alcotest.fail "server socket never appeared";
+    if not (Sys.file_exists path) then begin
+      Thread.delay 0.02;
+      wait (tries - 1)
+    end
+  in
+  wait 250;
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      Thread.join th)
+    (fun () -> f path)
+
+let connect_client path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(* Read one logical reply: a line, a batch header plus its lanes, or a
+   METRICS scrape up to "# EOF" — reconstructed without the trailing
+   newline, exactly the [Server.respond] rendering. *)
+let read_reply ic =
+  let first = input_line ic in
+  if Server.is_batch_reply first then begin
+    let k =
+      match String.split_on_char '=' first with
+      | [ _; k ] -> int_of_string k
+      | _ -> Alcotest.failf "bad batch header %S" first
+    in
+    let lanes = List.init k (fun _ -> input_line ic) in
+    String.concat "\n" (first :: lanes)
+  end
+  else if Server.is_scrape first then begin
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf first;
+    let rec go () =
+      let line = input_line ic in
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf line;
+      if line <> "# EOF" then go ()
+    in
+    go ();
+    Buffer.contents buf
+  end
+  else first
+
+(* A mixed request stream written as one byte stream whose chunk
+   boundaries fall at arbitrary (seeded-random) offsets — mid-token,
+   mid-line, several lines at once — must produce exactly the replies
+   the blocking oracle produces, in order. *)
+let test_socket_partial_writes () =
+  let requests =
+    [
+      "MUL 625"; "DIV 7"; "W64MUL u 123 456"; "MULB 625 -7 0"; "DIV 0";
+      "EVAL mulI 99 -7"; "W64DIVB s 10 3 5 0"; "PING"; "MUL -7"; "DIV 16";
+      "STATS"; "W64REM u 100 7"; "FROB 1"; "MUL 2a";
+    ]
+  in
+  let expected =
+    with_server ~workers:2 (fun oracle ->
+        List.map (Server.respond oracle) requests)
+  in
+  (* STATS moves with traffic; only pin its shape. *)
+  let stats_like = contains ~needle:"requests=" in
+  let stream = String.concat "\n" requests ^ "\n" in
+  with_socket_server (fun path ->
+      let g = Prng.create 0xF122ED5L in
+      for _round = 1 to 4 do
+        let fd = connect_client path in
+        let ic = Unix.in_channel_of_descr fd in
+        let writer =
+          Thread.create
+            (fun () ->
+              let n = String.length stream in
+              let off = ref 0 in
+              while !off < n do
+                let len = min (n - !off) (1 + Prng.int_range g 0 6) in
+                write_all fd (String.sub stream !off len);
+                off := !off + len;
+                if Prng.int_range g 0 3 = 0 then Thread.delay 0.001
+              done)
+            ()
+        in
+        let got = List.map (fun _ -> read_reply ic) requests in
+        Thread.join writer;
+        List.iter2
+          (fun (request, e) g ->
+            if request = "STATS" then
+              Alcotest.(check bool) "STATS shaped" true (stats_like g)
+            else Alcotest.(check string) ("split " ^ request) e g)
+          (List.combine requests expected)
+          got;
+        Unix.close fd
+      done)
+
+(* Pipelining: one connection, hundreds of requests written before any
+   reply is read (past pipeline_depth, so back-pressure engages), and
+   every reply comes back byte-identical to the oracle, in request
+   order. *)
+let test_pipelined_ordering () =
+  let g = Prng.create 0x9139E11EDL in
+  let requests =
+    List.init 240 (fun i ->
+        match Prng.int_range g 0 4 with
+        | 0 -> Printf.sprintf "MUL %d" (600 + (i mod 7))
+        | 1 -> Printf.sprintf "DIV %d" (1 + (i mod 19))
+        | 2 -> Printf.sprintf "W64DIV s %d 3" (i - 120)
+        | 3 -> "PING"
+        | _ -> Printf.sprintf "EVAL mulI %d -7" (i mod 50))
+  in
+  let expected =
+    with_server ~workers:2 (fun oracle ->
+        List.map (Server.respond oracle) requests)
+  in
+  with_socket_server (fun path ->
+      let fd = connect_client path in
+      let ic = Unix.in_channel_of_descr fd in
+      write_all fd (String.concat "\n" requests ^ "\n");
+      let got = List.map (fun _ -> read_reply ic) requests in
+      List.iter2
+        (fun e g -> Alcotest.(check string) "pipelined reply" e g)
+        expected got;
+      Unix.close fd)
+
+(* A tiny pipeline_depth must throttle, not deadlock or drop. *)
+let test_pipeline_depth_backpressure () =
+  with_socket_server
+    ~config:(fun c -> { c with Server.Config.pipeline_depth = 2; shards = 1 })
+    (fun path ->
+      let fd = connect_client path in
+      let ic = Unix.in_channel_of_descr fd in
+      let n = 60 in
+      write_all fd
+        (String.concat ""
+           (List.init n (fun i -> Printf.sprintf "MUL %d\n" (i mod 5))));
+      for i = 0 to n - 1 do
+        let reply = read_reply ic in
+        Alcotest.(check bool)
+          (Printf.sprintf "reply %d framed" i)
+          true (Protocol.is_ok reply)
+      done;
+      Unix.close fd)
+
+(* QUIT: replies already pipelined behind it are answered, the QUIT is
+   acknowledged, later bytes are never parsed and the server closes. *)
+let test_quit_closes_connection () =
+  with_socket_server (fun path ->
+      let fd = connect_client path in
+      let ic = Unix.in_channel_of_descr fd in
+      write_all fd "PING\nMUL 625\nQUIT\nPING\n";
+      Alcotest.(check string) "ping" "OK pong" (read_reply ic);
+      Alcotest.(check bool) "mul answered" true
+        (Protocol.is_ok (read_reply ic));
+      Alcotest.(check string) "bye" "OK bye" (read_reply ic);
+      (match input_line ic with
+      | l -> Alcotest.failf "reply after QUIT: %S" l
+      | exception End_of_file -> ());
+      Unix.close fd)
+
+(* Open-loop load: the generator offers a fixed Poisson rate and the
+   summary carries it; every request is answered. *)
+let test_open_loop_load () =
+  with_socket_server (fun path ->
+      match
+        Load_gen.run ~rate:2500.0
+          ~endpoint:(Server.Config.Unix_socket path)
+          ~requests:500 ~conns:2 ~dist:Load_gen.Zipf ~seed:11L ()
+      with
+      | Error e -> Alcotest.failf "open-loop: %s" e
+      | Ok s ->
+          Alcotest.(check int) "all answered" 500 s.Load_gen.requests;
+          Alcotest.(check int) "zero errors" 0 s.Load_gen.errors;
+          Alcotest.(check (option (float 0.01)))
+            "offered rate recorded" (Some 2500.0) s.Load_gen.offered_rps);
+  (* Open loop is scalar-only: rate + batch_width is a setup error. *)
+  match
+    Load_gen.run ~batch_width:4 ~rate:100.0
+      ~endpoint:(Server.Config.Unix_socket "unused.sock")
+      ~requests:10 ~conns:1 ~dist:Load_gen.Zipf ~seed:1L ()
+  with
+  | Ok _ -> Alcotest.fail "rate + batch_width accepted"
   | Error _ -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -977,9 +1329,28 @@ let suite =
         Alcotest.test_case "history independence" `Quick
           test_eval_resets_machine_state;
       ] );
+    ( "server:golden",
+      [
+        Alcotest.test_case "pre-redesign reply bytes" `Quick
+          test_golden_replies;
+        Alcotest.test_case "shard-count byte identity" `Quick
+          test_shard_count_byte_identity;
+      ] );
+    ( "server:pipeline",
+      [
+        Alcotest.test_case "split writes at fuzzed boundaries" `Quick
+          test_socket_partial_writes;
+        Alcotest.test_case "pipelined replies in order" `Quick
+          test_pipelined_ordering;
+        Alcotest.test_case "depth back-pressure" `Quick
+          test_pipeline_depth_backpressure;
+        Alcotest.test_case "quit closes the connection" `Quick
+          test_quit_closes_connection;
+      ] );
     ( "server:e2e",
       [
         Alcotest.test_case "socket round trip" `Quick test_end_to_end;
+        Alcotest.test_case "open-loop load" `Quick test_open_loop_load;
         Alcotest.test_case "connect failure" `Quick
           test_load_gen_connect_failure;
       ] );
