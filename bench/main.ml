@@ -755,12 +755,14 @@ let plan_requests ~fast =
   @ List.map (fun c -> Strategy.div_const Strategy.Unsigned c) divs
   @ [ Strategy.mul_var (); Strategy.div_var Strategy.Unsigned ]
 
-(* The full double-word family; always variable-operand. *)
+(* The full double-word family: the variable-operand entries plus the
+   128/64 divide (divU128by64). *)
 let w64_requests =
   [
     Strategy.w64_mul Strategy.Unsigned; Strategy.w64_mul Strategy.Signed;
     Strategy.w64_div Strategy.Unsigned; Strategy.w64_div Strategy.Signed;
     Strategy.w64_rem Strategy.Unsigned; Strategy.w64_rem Strategy.Signed;
+    Strategy.w64_divl;
   ]
 
 (* Measure every candidate for every request; errors count as failures

@@ -8,7 +8,95 @@
 module Word = Hppa_word.Word
 module Machine = Hppa_machine.Machine
 
-let show n overflow exhaustive code verify no_engine plan certified =
+(* --width 64: the same constant through the width-polymorphic pipeline.
+   The plan table shows the W64 arbitration (inline register-pair chain
+   vs the mulI128 call-through); --code lowers [x * n] at Expr.W64 with
+   the operand in (arg0:arg1) and the wrapped 64-bit product returned in
+   (ret0:ret1); --verify sweeps the compiled routine against
+   [Int64.mul]. *)
+let show64 n overflow exhaustive code verify no_engine plan certified =
+  let n64 = Int64.of_int n in
+  if plan || certified then begin
+    let req = Hppa_plan.Strategy.w64_mul_const ~trap_overflow:overflow n64 in
+    match Hppa_plan.Selector.choose ~require_certified:certified req with
+    | Ok choice -> Format.printf "%a@." Hppa_plan.Selector.pp_choice choice
+    | Error msg -> Format.printf "plan: %s@." msg
+  end;
+  let chain =
+    if exhaustive then Hppa.Chain_search.find ~max_len:6 (abs n)
+    else
+      Hppa.Chain_rules.find
+        ~mode:(if overflow then Hppa.Chain_rules.Monotonic else Hppa.Chain_rules.Fast)
+        (abs n)
+  in
+  (match chain with
+  | None -> Format.printf "%d: no chain found within the search bounds@." n
+  | Some c ->
+      Format.printf "@[<v>chain for %d (%d step%s, as dword pairs):@,%a@]@."
+        (abs n) (Hppa.Chain.length c)
+        (if Hppa.Chain.length c = 1 then "" else "s")
+        Hppa.Chain.pp c);
+  if code || verify then begin
+    let compiled =
+      Hppa_compiler.Lower.compile ~width:Hppa_compiler.Expr.W64
+        ~params:[ "x" ]
+        (Hppa_compiler.Expr.Mul
+           (Hppa_compiler.Expr.Var "x", Hppa_compiler.Expr.Const64 n64))
+    in
+    if code then
+      Format.printf "@,%a@.(%d inline multiply%s, %d millicode call%s)@."
+        Program.pp_source compiled.Hppa_compiler.Lower.source
+        compiled.Hppa_compiler.Lower.inline_multiplies
+        (if compiled.Hppa_compiler.Lower.inline_multiplies = 1 then ""
+         else "s")
+        compiled.Hppa_compiler.Lower.millicode_calls
+        (if compiled.Hppa_compiler.Lower.millicode_calls = 1 then "" else "s");
+    if verify then begin
+      let prog =
+        Hppa_compiler.Lower.compile_and_link ~width:Hppa_compiler.Expr.W64
+          ~params:[ "x" ]
+          (Hppa_compiler.Expr.Mul
+             (Hppa_compiler.Expr.Var "x", Hppa_compiler.Expr.Const64 n64))
+      in
+      let config = { Machine.Config.default with engine = not no_engine } in
+      let mach = Machine.create ~config prog in
+      let bad = ref 0 in
+      for x = -1000 to 1000 do
+        let xw = Int64.of_int x in
+        Machine.reset mach;
+        match
+          Machine.call mach compiled.Hppa_compiler.Lower.entry
+            ~args:[ Hppa_w64.hi32 xw; Hppa_w64.lo32 xw ]
+        with
+        | Machine.Halted ->
+            let got =
+              Int64.logor
+                (Int64.shift_left
+                   (Int64.of_int32 (Machine.get mach Reg.ret0))
+                   32)
+                (Int64.logand
+                   (Int64.of_int32 (Machine.get mach Reg.ret1))
+                   0xFFFFFFFFL)
+            in
+            if not (Int64.equal got (Int64.mul xw n64)) then incr bad
+        | Machine.Trapped _ | Machine.Fuel_exhausted -> incr bad
+      done;
+      Format.printf
+        "simulation over [-1000, 1000] at width 64: %s (used_engine = %b)@."
+        (if !bad = 0 then "ok" else Printf.sprintf "%d failures" !bad)
+        (Machine.used_engine mach)
+    end
+  end;
+  0
+
+let show n width overflow exhaustive code verify no_engine plan certified =
+  if width = 64 then
+    show64 n overflow exhaustive code verify no_engine plan certified
+  else if width <> 32 then begin
+    Format.eprintf "hppa-chainc: --width must be 32 or 64@.";
+    2
+  end
+  else begin
   let n32 = Int32.of_int n in
   if plan || certified then begin
     (* The kernel-strategy view: every applicable strategy with its cost
@@ -76,10 +164,19 @@ let show n overflow exhaustive code verify no_engine plan certified =
     end
   end;
   0
+  end
 
 open Cmdliner
 
 let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N")
+
+let width =
+  Arg.(value & opt int 32
+       & info [ "w"; "width" ] ~docv:"BITS"
+           ~doc:"Compilation width: 32 (default) or 64. At 64 the plan \
+                 table arbitrates between an inline register-pair chain \
+                 and the mulI128 millicode call-through; $(b,--code) and \
+                 $(b,--verify) lower x * N through the W64 pipeline.")
 
 let overflow =
   Arg.(value & flag & info [ "o"; "overflow" ]
@@ -117,7 +214,7 @@ let cmd =
   Cmd.v
     (Cmd.info "hppa-chainc"
        ~doc:"Search shift-and-add chains for multiplication by constants")
-    Term.(const show $ n $ overflow $ exhaustive $ code $ verify $ no_engine
-          $ plan $ certified)
+    Term.(const show $ n $ width $ overflow $ exhaustive $ code $ verify
+          $ no_engine $ plan $ certified)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,8 +1,11 @@
 module Word = Hppa_word.Word
 
+type width = W32 | W64
+
 type t =
   | Var of string
   | Const of int32
+  | Const64 of int64
   | Add of t * t
   | Sub of t * t
   | Mul of t * t
@@ -13,12 +16,30 @@ type t =
 let rec eval ~env = function
   | Var v -> env v
   | Const c -> c
+  | Const64 _ ->
+      invalid_arg "Expr.eval: 64-bit constant in a single-word evaluation"
   | Add (a, b) -> Word.add (eval ~env a) (eval ~env b)
   | Sub (a, b) -> Word.sub (eval ~env a) (eval ~env b)
   | Mul (a, b) -> Word.mul_lo (eval ~env a) (eval ~env b)
   | Div (a, b) -> fst (Word.divmod_trunc_s (eval ~env a) (eval ~env b))
   | Rem (a, b) -> snd (Word.divmod_trunc_s (eval ~env a) (eval ~env b))
   | Neg a -> Word.neg (eval ~env a)
+
+(* Double-word reference semantics: [Int64] arithmetic is exactly
+   wrap-around mod 2^64, and [Int64.div]/[Int64.rem] truncate toward
+   zero (OCaml pins [min_int / -1] to [min_int] rather than trapping;
+   the machine's divI64w breaks there — the differential suites assert
+   that trap separately). *)
+let rec eval64 ~env = function
+  | Var v -> env v
+  | Const c -> Int64.of_int32 c
+  | Const64 c -> c
+  | Add (a, b) -> Int64.add (eval64 ~env a) (eval64 ~env b)
+  | Sub (a, b) -> Int64.sub (eval64 ~env a) (eval64 ~env b)
+  | Mul (a, b) -> Int64.mul (eval64 ~env a) (eval64 ~env b)
+  | Div (a, b) -> Int64.div (eval64 ~env a) (eval64 ~env b)
+  | Rem (a, b) -> Int64.rem (eval64 ~env a) (eval64 ~env b)
+  | Neg a -> Int64.neg (eval64 ~env a)
 
 let vars e =
   let seen = Hashtbl.create 8 in
@@ -29,7 +50,7 @@ let vars e =
           Hashtbl.add seen v ();
           out := v :: !out
         end
-    | Const _ -> ()
+    | Const _ | Const64 _ -> ()
     | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Rem (a, b) ->
         go a;
         go b
@@ -40,7 +61,7 @@ let vars e =
 
 let mul_div_count e =
   let rec go (m, d) = function
-    | Var _ | Const _ -> (m, d)
+    | Var _ | Const _ | Const64 _ -> (m, d)
     | Mul (a, b) -> go (go (m + 1, d) a) b
     | Div (a, b) | Rem (a, b) -> go (go (m, d + 1) a) b
     | Add (a, b) | Sub (a, b) -> go (go (m, d) a) b
@@ -51,6 +72,7 @@ let mul_div_count e =
 let rec pp ppf = function
   | Var v -> Format.pp_print_string ppf v
   | Const c -> Format.fprintf ppf "%ld" c
+  | Const64 c -> Format.fprintf ppf "%LdL" c
   | Add (a, b) -> Format.fprintf ppf "(%a + %a)" pp a pp b
   | Sub (a, b) -> Format.fprintf ppf "(%a - %a)" pp a pp b
   | Mul (a, b) -> Format.fprintf ppf "(%a * %a)" pp a pp b

@@ -4,12 +4,20 @@
     §2 motivation: array/struct addressing that implies multiplications
     ([structureA[x][y]] needs [x * dim * size + y * size]), pointer
     differences that imply divisions, and loops amenable to strength
-    reduction. Semantics are C on a 32-bit machine: wrap-around [+], [-],
-    [*]; division truncates toward zero and traps on zero divisors. *)
+    reduction. Semantics are C at the compilation {!width}: wrap-around
+    [+], [-], [*] over single words (W32) or double words (W64);
+    division truncates toward zero and traps on zero divisors. *)
+
+type width = W32 | W64
+(** The width an expression is compiled and evaluated at. The paper's
+    architecture is a 32-bit machine, so W64 values live in (hi:lo)
+    register pairs and lower through the double-word kernel family. *)
 
 type t =
   | Var of string
   | Const of int32
+      (** valid at both widths; sign-extended when evaluated at W64 *)
+  | Const64 of int64  (** a double-word constant; W64 only *)
   | Add of t * t
   | Sub of t * t
   | Mul of t * t
@@ -18,8 +26,16 @@ type t =
   | Neg of t
 
 val eval : env:(string -> Hppa_word.Word.t) -> t -> Hppa_word.Word.t
-(** Raises [Division_by_zero]; unknown variables raise [Not_found] from
-    [env]. *)
+(** Single-word (W32) reference semantics. Raises [Division_by_zero];
+    unknown variables raise [Not_found] from [env]; [Const64] raises
+    [Invalid_argument]. *)
+
+val eval64 : env:(string -> int64) -> t -> int64
+(** Double-word (W64) reference semantics: arithmetic wraps mod 2{^64},
+    division truncates toward zero and raises [Division_by_zero] on a
+    zero divisor. [-2{^63} / -1] evaluates to [-2{^63}] ([Int64.div]'s
+    pinning); the compiled code's divI64w call traps there instead,
+    which the differential suites assert separately. *)
 
 val vars : t -> string list
 (** Free variables, each once, in first-use order. *)

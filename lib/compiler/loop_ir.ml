@@ -41,6 +41,37 @@ let eval ?(fuel = 1_000_000) l ~init =
   Hashtbl.fold (fun v x acc -> (v, x) :: acc) env []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
+(* Double-word evaluation. The counter itself stays a single-word
+   quantity — bounds and step are 32-bit fields, and the compiled W64
+   loop keeps it in one register, sign-extending on use — so it is
+   stepped in 32-bit arithmetic (wrapping like [eval]) and published to
+   the environment sign-extended. *)
+let eval64 ?(fuel = 1_000_000) l ~init =
+  (match validate l with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Loop_ir.eval64: " ^ msg));
+  let env = Hashtbl.create 16 in
+  List.iter (fun (v, x) -> Hashtbl.replace env v x) init;
+  let lookup v =
+    match Hashtbl.find_opt env v with
+    | Some x -> x
+    | None -> invalid_arg ("Loop_ir.eval64: unbound variable " ^ v)
+  in
+  let i = ref l.start and fuel = ref fuel in
+  while Word.lt_s !i l.stop do
+    if !fuel = 0 then invalid_arg "Loop_ir.eval64: out of fuel";
+    decr fuel;
+    Hashtbl.replace env l.counter (Int64.of_int32 !i);
+    List.iter
+      (fun (Assign (v, e)) ->
+        Hashtbl.replace env v (Expr.eval64 ~env:lookup e))
+      l.body;
+    i := Word.add !i l.step
+  done;
+  Hashtbl.replace env l.counter (Int64.of_int32 !i);
+  Hashtbl.fold (fun v x acc -> (v, x) :: acc) env []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
 let trip_count l =
   let span = Int64.sub (Word.to_int64_s l.stop) (Word.to_int64_s l.start) in
   if span <= 0L then 0

@@ -23,6 +23,14 @@ val eval :
     and the counter). Raises [Invalid_argument] on an invalid loop or if
     [fuel] iterations (default 1_000_000) are exceeded. *)
 
+val eval64 :
+  ?fuel:int -> t -> init:(string * int64) list -> (string * int64) list
+(** Double-word (W64) reference semantics: body expressions evaluate
+    through {!Expr.eval64}. The counter is stepped in 32-bit wrap-around
+    arithmetic (its bounds and step are single words, matching the
+    compiled loop's single-register counter) and appears in the
+    environment sign-extended. *)
+
 val dynamic_mul_div : t -> int * int
 (** (multiplies, divides) executed dynamically: static counts times the
     trip count. *)

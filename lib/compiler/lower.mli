@@ -33,14 +33,18 @@ val inline_mul_threshold : int
 (** Chains at most this long (6) are inlined. *)
 
 exception Unsupported of string
-(** Raised for expressions needing more than the 14 expression registers,
-    or more than 4 parameters. *)
+(** Raised when lowering runs out of resources or is asked for an
+    unsupported combination; the message names the offending
+    sub-expression and the exhausted pool (12 single-word temporaries at
+    W32, 6 register pairs at W64; 4 parameters at W32, 2 at W64;
+    [trap_overflow] at W64). *)
 
 val compile :
   ?entry:string ->
   ?trap_overflow:bool ->
   ?small_divisor_dispatch:bool ->
   ?require_certified:bool ->
+  ?width:Expr.width ->
   params:string list ->
   Expr.t ->
   t
@@ -48,13 +52,24 @@ val compile :
     arbitration demand a machine-checked certificate
     ({!Hppa_plan.Selector.choose} with [~require_certified:true]):
     uncertifiable strategies are passed over in favour of the certified
-    millicode call-through. *)
+    millicode call-through (at W64 this rules out inline pair chains —
+    every multiply/divide becomes a certified millicode call).
+
+    [width] (default {!Expr.W32}) selects the lowering width. At
+    {!Expr.W64} values are (hi:lo) register pairs: parameters arrive in
+    (arg0:arg1)/(arg2:arg3) and are moved to the preserved pairs
+    (r3:r4)/(r5:r6), temporaries take the six pairs over r7..r18, the
+    result is returned in (ret0:ret1). Add/sub/neg lower to PSW carry
+    chains; constant multiplies arbitrate between inline pair chains and
+    mulI128, divides/remainders call the double-word millicode
+    (divI64w/remI64w). [trap_overflow] is W32-only. *)
 
 val compile_and_link :
   ?entry:string ->
   ?trap_overflow:bool ->
   ?small_divisor_dispatch:bool ->
   ?require_certified:bool ->
+  ?width:Expr.width ->
   params:string list ->
   Expr.t ->
   Program.resolved
@@ -65,6 +80,7 @@ val compile_and_link :
 (** Internal machinery shared with {!Lower_loop}; subject to change. *)
 module Internal : sig
   type state
+  type state64
 
   val make_state :
     ?require_certified:bool ->
@@ -82,4 +98,20 @@ module Internal : sig
   val inline_multiplies : state -> int
   val callee_saved : Reg.t list
   (** r3..r18: registers every millicode routine preserves. *)
+
+  val make_state64 :
+    ?require_certified:bool ->
+    Builder.t ->
+    vars:(string * (Reg.t * Reg.t)) list ->
+    temps:(Reg.t * Reg.t) list ->
+    small_divisor_dispatch:bool ->
+    state64
+
+  val emit_expr64 : state64 -> Expr.t -> Reg.t * Reg.t
+  val release64 : state64 -> Reg.t * Reg.t -> unit
+  val millicode_calls64 : state64 -> int
+  val inline_multiplies64 : state64 -> int
+
+  val callee_saved_pairs : (Reg.t * Reg.t) list
+  (** The eight (hi:lo) pairs over r3..r18. *)
 end

@@ -28,6 +28,7 @@ type t = {
 val compile :
   ?entry:string ->
   ?small_divisor_dispatch:bool ->
+  ?width:Expr.width ->
   inputs:string list ->
   result:string ->
   ?preheader:Loop_ir.stmt list ->
@@ -37,11 +38,18 @@ val compile :
     read by the body, the preheader or [result] starts at 0, matching
     {!Loop_ir.eval} with those inputs in [init]. Raises
     {!Lower.Unsupported} on register exhaustion and [Invalid_argument] on
-    an invalid loop. *)
+    an invalid loop.
+
+    [width] (default {!Expr.W32}) compiles the loop at the given width.
+    At {!Expr.W64} every variable holds a dword in a callee-saved pair
+    (at most 2 inputs, arriving in the arg pairs; result in
+    (ret0:ret1)), matching {!Loop_ir.eval64}: the counter's high half is
+    kept sign-extended and the loop control compares single words. *)
 
 val compile_and_link :
   ?entry:string ->
   ?small_divisor_dispatch:bool ->
+  ?width:Expr.width ->
   inputs:string list ->
   result:string ->
   ?preheader:Loop_ir.stmt list ->
@@ -51,6 +59,7 @@ val compile_and_link :
 val compile_reduced :
   ?entry:string ->
   ?small_divisor_dispatch:bool ->
+  ?width:Expr.width ->
   inputs:string list ->
   result:string ->
   Strength.reduced ->

@@ -8,26 +8,36 @@ type reduced = {
 
 let temp_prefix = "$str"
 
-(* What a reduced multiplication multiplies the counter by. *)
-type multiplier = Mconst of int32 | Mvar of string
+(* What a reduced multiplication multiplies the counter by. A constant
+   multiplier is held at the reduction width: 32-bit at W32 (so the W32
+   folds stay byte-identical to the historical output), a full dword at
+   W64 (where [Const 5] and [Const64 5L] multipliers share a temp). *)
+type multiplier = Mconst of int32 | Mconst64 of int64 | Mvar of string
 
 (* A constant multiplier whose selected inline chain is at or below the
    threshold is not worth an induction temporary. *)
-let cheap_multiplier ~cheap_threshold c =
+let cheap_request ~cheap_threshold req chain_name =
   cheap_threshold > 0
   && (match
-        Hppa_plan.Selector.choose
-          ~ctx:(Hppa_plan.Strategy.compiler ())
-          (Hppa_plan.Strategy.mul_const c)
+        Hppa_plan.Selector.choose ~ctx:(Hppa_plan.Strategy.compiler ()) req
       with
      | Ok choice ->
-         choice.Hppa_plan.Selector.chosen.Hppa_plan.Strategy.name
-         = "mul_const_chain"
+         choice.Hppa_plan.Selector.chosen.Hppa_plan.Strategy.name = chain_name
          && choice.Hppa_plan.Selector.cost.Hppa_plan.Strategy.score
             <= cheap_threshold
      | Error _ -> false)
 
-let reduce ?(cheap_threshold = 0) (l : Loop_ir.t) =
+let cheap_multiplier ~cheap_threshold c =
+  cheap_request ~cheap_threshold
+    (Hppa_plan.Strategy.mul_const c)
+    "mul_const_chain"
+
+let cheap_multiplier64 ~cheap_threshold c =
+  cheap_request ~cheap_threshold
+    (Hppa_plan.Strategy.w64_mul_const c)
+    "w64_mul_const_chain"
+
+let reduce ?(width = Expr.W32) ?(cheap_threshold = 0) (l : Loop_ir.t) =
   (match Loop_ir.validate l with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Strength.reduce: " ^ msg));
@@ -46,18 +56,37 @@ let reduce ?(cheap_threshold = 0) (l : Loop_ir.t) =
         temps := (name, m) :: !temps;
         name
   in
+  (* At W64 every constant multiplier is widened to a dword; the cheap
+     test then consults the pair-chain strategy instead of the scalar
+     one (pair steps cost two to three instructions each, so the
+     break-even moves). *)
+  let mconst c =
+    match width with
+    | Expr.W32 -> Mconst c
+    | Expr.W64 -> Mconst64 (Int64.of_int32 c)
+  in
+  let cheap_const c =
+    match width with
+    | Expr.W32 -> cheap_multiplier ~cheap_threshold c
+    | Expr.W64 -> cheap_multiplier64 ~cheap_threshold (Int64.of_int32 c)
+  in
   let rec rewrite (e : Expr.t) : Expr.t =
     match e with
     | Mul (Var i, Const c) | Mul (Const c, Var i)
-      when i = l.counter && not (cheap_multiplier ~cheap_threshold c) ->
+      when i = l.counter && not (cheap_const c) ->
         incr removed;
-        Var (temp_for (Mconst c))
+        Var (temp_for (mconst c))
+    | Mul (Var i, Const64 c) | Mul (Const64 c, Var i)
+      when width = Expr.W64 && i = l.counter
+           && not (cheap_multiplier64 ~cheap_threshold c) ->
+        incr removed;
+        Var (temp_for (Mconst64 c))
     | Mul (Var a, Var b)
       when (a = l.counter && invariant b) || (b = l.counter && invariant a) ->
         let n = if a = l.counter then b else a in
         incr removed;
         Var (temp_for (Mvar n))
-    | Var _ | Const _ -> e
+    | Var _ | Const _ | Const64 _ -> e
     | Add (a, b) -> Add (rewrite a, rewrite b)
     | Sub (a, b) -> Sub (rewrite a, rewrite b)
     | Mul (a, b) -> Mul (rewrite a, rewrite b)
@@ -69,12 +98,18 @@ let reduce ?(cheap_threshold = 0) (l : Loop_ir.t) =
     List.map (fun (Loop_ir.Assign (v, e)) -> Loop_ir.Assign (v, rewrite e)) l.body
   in
   let temps = List.rev !temps in
+  (* Folds happen at the reduction width: single-word [Word.mul_lo] for
+     W32 (byte-identical to the historical lowering), dword arithmetic
+     for W64 (the counter's start/step sign-extend). *)
   let init_of = function
     | Mconst c -> Expr.Const (Word.mul_lo l.start c)
+    | Mconst64 c ->
+        Expr.Const64 (Int64.mul (Int64.of_int32 l.start) c)
     | Mvar n -> Expr.Mul (Const l.start, Var n)
   in
   let bump_of = function
     | Mconst c -> Expr.Const (Word.mul_lo l.step c)
+    | Mconst64 c -> Expr.Const64 (Int64.mul (Int64.of_int32 l.step) c)
     | Mvar n when Word.equal l.step 1l -> Expr.Var n
     | Mvar n -> Expr.Mul (Const l.step, Var n)
   in
@@ -105,5 +140,22 @@ let eval_reduced ?fuel r ~init =
     r.preheader;
   let init' = Hashtbl.fold (fun v x acc -> (v, x) :: acc) env0 [] in
   Loop_ir.eval ?fuel r.loop ~init:init'
+  |> List.filter (fun (v, _) ->
+         not (String.length v >= 4 && String.sub v 0 4 = temp_prefix))
+
+let eval_reduced64 ?fuel r ~init =
+  let env0 = Hashtbl.create 16 in
+  List.iter (fun (v, x) -> Hashtbl.replace env0 v x) init;
+  let lookup v =
+    match Hashtbl.find_opt env0 v with
+    | Some x -> x
+    | None -> invalid_arg ("Strength.eval_reduced64: unbound variable " ^ v)
+  in
+  List.iter
+    (fun (Loop_ir.Assign (v, e)) ->
+      Hashtbl.replace env0 v (Expr.eval64 ~env:lookup e))
+    r.preheader;
+  let init' = Hashtbl.fold (fun v x acc -> (v, x) :: acc) env0 [] in
+  Loop_ir.eval64 ?fuel r.loop ~init:init'
   |> List.filter (fun (v, _) ->
          not (String.length v >= 4 && String.sub v 0 4 = temp_prefix))

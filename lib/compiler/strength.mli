@@ -15,11 +15,18 @@ type reduced = {
   multiplies_removed : int;  (** static count *)
 }
 
-val reduce : ?cheap_threshold:int -> Loop_ir.t -> reduced
+val reduce : ?width:Expr.width -> ?cheap_threshold:int -> Loop_ir.t -> reduced
 (** Replaces every multiplication of the counter by a constant or by a
     loop-invariant variable (the FORTRAN rank situation §2 highlights).
     Variable multipliers cost one preheader multiply for the bump when the
     step is not 1. Raises [Invalid_argument] on an invalid loop.
+
+    [width] (default {!Expr.W32}) is the width the loop will be compiled
+    at: at W64 the init/bump folds happen in dword arithmetic, [Const64]
+    multipliers of the counter reduce too, and the cheap test consults
+    the pair-chain strategy ([w64_mul_const_chain]) whose per-step cost
+    is two to three instructions. The W32 path is unchanged (and pinned
+    byte-identical by the golden tests).
 
     [cheap_threshold] (default 0 = reduce everything) consults the
     kernel-strategy selector ({!Hppa_plan.Selector}) under the compiler
@@ -40,3 +47,8 @@ val eval_reduced :
 (** Reference execution of the transformed program; introduced temporaries
     are dropped from the result so it is directly comparable with
     {!Loop_ir.eval} on the original. *)
+
+val eval_reduced64 :
+  ?fuel:int -> reduced -> init:(string * int64) list -> (string * int64) list
+(** The double-word counterpart, comparable with {!Loop_ir.eval64} on
+    the original loop. *)

@@ -74,6 +74,110 @@ let body_at ?(overflow = false) ?(negate = false) ~src ~pool chain b =
 let body ?overflow ?negate chain b =
   body_at ?overflow ?negate ~src:Reg.arg0 ~pool:default_pool chain b
 
+(* Double-word variant: every chain element is a (hi:lo) register pair
+   and every step becomes a short carry-chain sequence — the shifted
+   high word via SHD, the low add/sub setting the PSW carry, the high
+   half consuming it. Unlike the scalar emitter the destination pair
+   must not alias either operand pair of the same step (the sequences
+   read operands after writing half the destination), so the allocator
+   frees a register only when its element's last use is strictly
+   earlier. Overflow trapping has no pair form. *)
+let body_at_pair ?(negate = false) ~src ~pool chain b =
+  let steps = Array.of_list chain in
+  let nsteps = Array.length steps in
+  let nelts = nsteps + 2 in
+  let last_use = Array.make nelts 0 in
+  last_use.(nelts - 1) <- max_int;
+  Array.iteri
+    (fun idx step ->
+      List.iter
+        (fun e -> last_use.(e) <- max last_use.(e) (idx + 2))
+        (step_reads step))
+    steps;
+  let assigned = Array.make nelts (Reg.r0, Reg.r0) in
+  assigned.(1) <- src;
+  let in_use = Array.make (Array.length pool) (-1) in
+  let temporaries = ref 0 in
+  let alloc i =
+    let rec free p =
+      if p = Array.length pool then
+        invalid_arg "Chain_codegen.body_at_pair: chain needs too many pairs"
+      else
+        let e = in_use.(p) in
+        if e = -1 || last_use.(e) < i then p else free (p + 1)
+    in
+    let p = free 0 in
+    in_use.(p) <- i;
+    if p > 0 then temporaries := max !temporaries p;
+    pool.(p)
+  in
+  let count = ref 0 in
+  let emit i =
+    Builder.insn b i;
+    incr count
+  in
+  let pair_shl_into (jh, jl) m (th, tl) =
+    (* (th:tl) = (jh:jl) << m, for any m in 0..63. *)
+    if m = 0 then begin
+      emit (Emit.copy jh th);
+      emit (Emit.copy jl tl)
+    end
+    else if m < 32 then begin
+      emit (Emit.shd jh jl (32 - m) th);
+      emit (Emit.shl jl m tl)
+    end
+    else begin
+      if m = 32 then emit (Emit.copy jl th) else emit (Emit.shl jl (m - 32) th);
+      emit (Emit.copy Reg.r0 tl)
+    end
+  in
+  let pair_negate_into (jh, jl) (th, tl) =
+    emit (Emit.sub Reg.r0 jl tl);
+    emit (Emit.subb Reg.r0 jh th)
+  in
+  let dst = pool.(0) in
+  if nsteps = 0 then begin
+    (* Multiplier 1. *)
+    if negate then pair_negate_into src dst
+    else begin
+      emit (Emit.copy (fst src) (fst dst));
+      emit (Emit.copy (snd src) (snd dst))
+    end
+  end
+  else begin
+    Array.iteri
+      (fun idx step ->
+        let i = idx + 2 in
+        let t = alloc i in
+        assigned.(i) <- t;
+        let th, tl = t in
+        match (step : Chain.step) with
+        | Add (j, k) ->
+            let jh, jl = assigned.(j) and kh, kl = assigned.(k) in
+            emit (Emit.add jl kl tl);
+            emit (Emit.addc jh kh th)
+        | Sub (j, k) ->
+            let jh, jl = assigned.(j) and kh, kl = assigned.(k) in
+            emit (Emit.sub jl kl tl);
+            emit (Emit.subb jh kh th)
+        | Shadd (m, j, k) ->
+            let jh, jl = assigned.(j) and kh, kl = assigned.(k) in
+            (* High half of aj << m first (SHD leaves the PSW alone),
+               then the low SHxADD sets the carry the ADDC consumes. *)
+            emit (Emit.shd jh jl (32 - m) th);
+            emit (Emit.shadd m jl kl tl);
+            emit (Emit.addc th kh th)
+        | Shl (j, m) -> pair_shl_into assigned.(j) m t)
+      steps;
+    let result = assigned.(nelts - 1) in
+    if negate then pair_negate_into result dst
+    else if not (Reg.equal (fst result) (fst dst)) then begin
+      emit (Emit.copy (fst result) (fst dst));
+      emit (Emit.copy (snd result) (snd dst))
+    end
+  end;
+  { instructions = !count; temporaries = !temporaries }
+
 let routine ?overflow ?negate ~entry chain =
   let b = Builder.create ~prefix:entry () in
   Builder.label b entry;

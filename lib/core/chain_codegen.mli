@@ -27,6 +27,21 @@ val body_at :
     [pool.(0)], extra intermediates from the rest of the pool. Used by the
     compiler to inline chains at arbitrary registers. *)
 
+val body_at_pair :
+  ?negate:bool ->
+  src:Reg.t * Reg.t ->
+  pool:(Reg.t * Reg.t) array ->
+  Chain.t ->
+  Builder.t ->
+  info
+(** Double-word emission: the multiplicand is a (hi:lo) register pair
+    (left untouched), the product lands in [pool.(0)], intermediates
+    take further pool pairs. Each chain step is a carry-chain sequence
+    (ADD/ADDC, SUB/SUBB, SHD + SHxADD + ADDC, SHD/SHL), two to three
+    instructions per step; [info.temporaries] counts pairs beyond
+    [pool.(0)]. There is no [overflow] form — the [,o] completer traps
+    on 32-bit, not 64-bit, overflow. *)
+
 val body : ?overflow:bool -> ?negate:bool -> Chain.t -> Builder.t -> info
 (** Emit the multiply body into a builder: reads [arg0], leaves the product
     in [ret0]. [negate] appends the final negation used for negative

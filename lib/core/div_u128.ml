@@ -1,0 +1,245 @@
+module U128 = Hppa_word.U128
+
+(* 128/64 unsigned divide over register pairs, completing the W64
+   family: X is the 128-bit dividend — high dword in (arg0:arg1), low
+   dword in (arg2:arg3) — and Y the 64-bit divisor in (ret0:ret1). The
+   quotient dword returns in (ret0:ret1) and the remainder dword in
+   (arg0:arg1).
+
+   Preconditions mirror [divU64] one level up: Y = 0 raises BREAK 0
+   (divide by zero), and a high dword >= Y — a quotient that cannot fit
+   one dword — raises BREAK 1 (Div_ext.overflow_break_code).
+
+   The algorithm is Knuth's algorithm D with 32-bit limbs and a two-limb
+   divisor (Hacker's Delight divlu), i.e. normalization plus two 64/32
+   estimate-and-correct steps:
+
+   - yh = 0: the divisor is one limb, so the "steps" are two chained
+     [divU64] calls exactly as in the paper's extended divide —
+     q_hi, r = (x2:x1) / yl then q_lo, r' = (r:x0) / yl. The overflow
+     check already established x3 = 0 and x2 < yl, so both calls meet
+     divU64's hi < divisor precondition.
+   - yh != 0: normalize left by s = nlz(yh) — the divisor becomes
+     (vn1:vn0) with vn1's top bit set, and the dividend (u3:u2:u1:u0)
+     still fits 128 bits because X < Y * 2^64 implies X * 2^s < 2^128.
+     Each quotient limb then comes from one [w64$divlstep] call: a
+     [divU64] estimate of the chunk's top two limbs by vn1 (or the
+     qhat = 2^32 - 1 special case when they collide), the classic
+     refinement loop against vn0 — which for a two-limb divisor makes
+     qhat exact, so no add-back pass is needed — and a 96-bit
+     multiply-subtract producing the next remainder chunk. The final
+     remainder is denormalized right by s.
+
+   Frame layout (mul_ext.ml 0..35, mul_w64.ml 40..103, div_w64.ml
+   104..175): the entry uses bytes 176..235, the step 240..275. *)
+
+let step_source =
+  let b = Builder.create ~prefix:"w64$divlstep" () in
+  let l s = "w64$divlstep$" ^ s in
+  let sp = Reg.sp in
+  (* One estimate-and-correct step. In: chunk top limbs (arg0:arg1) =
+     (nh:nl) with nh <= vn1, next limb arg2 = unext, arg3 = vn1,
+     ret0 = vn0. Out: ret0 = exact quotient limb qhat, (arg0:arg1) =
+     remainder (nh:nl:unext) - qhat * (vn1:vn0), which fits one
+     dword. *)
+  Builder.label b "w64$divlstep";
+  Builder.insns b
+    [
+      Emit.stw Reg.mrp 240l sp;
+      Emit.stw Reg.arg2 244l sp; (* unext *)
+      Emit.stw Reg.arg3 248l sp; (* vn1 *)
+      Emit.stw Reg.ret0 252l sp; (* vn0 *)
+      Emit.stw Reg.arg1 256l sp; (* nl *)
+      (* Estimate qhat, rhat from (nh:nl) / vn1. *)
+      Emit.comb Cond.Eq Reg.arg0 Reg.arg3 (l "top");
+      Emit.copy Reg.arg3 Reg.arg2;
+      Emit.bl "divU64" Reg.mrp;
+      Emit.stw Reg.ret0 260l sp; (* qhat *)
+      Emit.stw Reg.ret1 264l sp; (* rhat (< vn1, so < 2^32) *)
+      Emit.stw Reg.r0 268l sp; (* rhat bit 32 *)
+      Emit.b (l "refine");
+    ];
+  (* nh = vn1: divU64's hi < divisor precondition fails; use the
+     saturated estimate qhat = 2^32 - 1, rhat = nl + vn1 (33 bits, the
+     carry tracked separately). *)
+  Builder.label b (l "top");
+  Builder.insns b (Emit.ldi (-1l) Reg.t2);
+  Builder.insns b
+    [
+      Emit.stw Reg.t2 260l sp;
+      Emit.add Reg.arg1 Reg.arg3 Reg.t3;
+      Emit.addc Reg.r0 Reg.r0 Reg.t4;
+      Emit.stw Reg.t3 264l sp;
+      Emit.stw Reg.t4 268l sp;
+    ];
+  (* Refinement: while rhat < 2^32 and qhat * vn0 > (rhat:unext),
+     decrement qhat and add vn1 back into rhat. At most two
+     iterations; with a two-limb divisor the refined qhat is exact. *)
+  Builder.label b (l "refine");
+  Builder.insns b
+    [
+      Emit.ldw 268l sp Reg.t2;
+      Emit.comib Cond.Neq 0l Reg.t2 (l "msub"); (* rhat >= 2^32: done *)
+      Emit.ldw 260l sp Reg.arg0;
+      Emit.ldw 252l sp Reg.arg1;
+      Emit.bl "mulU64" Reg.mrp; (* qhat * vn0 = (ret1:ret0) *)
+      Emit.ldw 264l sp Reg.t2; (* rhat *)
+      Emit.ldw 244l sp Reg.t3; (* unext *)
+      Emit.comb Cond.Ult Reg.ret1 Reg.t2 (l "msub");
+      Emit.comb Cond.Neq Reg.ret1 Reg.t2 (l "dec");
+      Emit.comb Cond.Ule Reg.ret0 Reg.t3 (l "msub");
+    ];
+  Builder.label b (l "dec");
+  Builder.insns b
+    [
+      Emit.ldw 260l sp Reg.t4;
+      Emit.ldo (-1l) Reg.t4 Reg.t4;
+      Emit.stw Reg.t4 260l sp;
+      Emit.ldw 248l sp Reg.t4; (* vn1 *)
+      Emit.add Reg.t2 Reg.t4 Reg.t2;
+      Emit.addc Reg.r0 Reg.r0 Reg.t4;
+      Emit.stw Reg.t2 264l sp;
+      Emit.stw Reg.t4 268l sp;
+      Emit.b (l "refine");
+    ];
+  (* Multiply-subtract: remainder = (nh:nl:unext) - qhat * (vn1:vn0).
+     qhat is exact, so the 96-bit difference fits one dword and the top
+     limb need not be formed. *)
+  Builder.label b (l "msub");
+  Builder.insns b
+    [
+      Emit.ldw 260l sp Reg.arg0;
+      Emit.ldw 252l sp Reg.arg1;
+      Emit.bl "mulU64" Reg.mrp; (* qhat * vn0 *)
+      Emit.stw Reg.ret0 272l sp; (* p0 *)
+      Emit.stw Reg.ret1 252l sp; (* carry limb (vn0 slot is dead) *)
+      Emit.ldw 260l sp Reg.arg0;
+      Emit.ldw 248l sp Reg.arg1;
+      Emit.bl "mulU64" Reg.mrp; (* qhat * vn1 *)
+      Emit.ldw 252l sp Reg.t2;
+      Emit.add Reg.ret0 Reg.t2 Reg.t3; (* product mid limb *)
+      Emit.ldw 244l sp Reg.t1; (* unext *)
+      Emit.ldw 272l sp Reg.t2; (* p0 *)
+      Emit.sub Reg.t1 Reg.t2 Reg.arg1; (* remainder lo, borrow out *)
+      Emit.ldw 256l sp Reg.t1; (* nl *)
+      Emit.subb Reg.t1 Reg.t3 Reg.arg0; (* remainder hi *)
+      Emit.ldw 260l sp Reg.ret0;
+      Emit.ldw 240l sp Reg.mrp;
+      Emit.mret;
+    ];
+  Builder.to_source b
+
+let entry_source =
+  let b = Builder.create ~prefix:"divU128by64" () in
+  let l s = "divU128by64$" ^ s in
+  let sp = Reg.sp in
+  Builder.label b "divU128by64";
+  Builder.insns b
+    [
+      Emit.stw Reg.mrp 176l sp;
+      (* Y = 0 traps; a high dword >= Y means the quotient cannot fit
+         one dword and traps with the extended-divide overflow code. *)
+      Emit.or_ Reg.ret0 Reg.ret1 Reg.t1;
+      Emit.comib Cond.Eq 0l Reg.t1 (l "zero");
+      Emit.comb Cond.Ult Reg.arg0 Reg.ret0 (l "ok");
+      Emit.comb Cond.Neq Reg.arg0 Reg.ret0 (l "ovfl");
+      Emit.comb Cond.Uge Reg.arg1 Reg.ret1 (l "ovfl");
+    ];
+  Builder.label b (l "ok");
+  Builder.insns b
+    [
+      Emit.stw Reg.arg3 180l sp; (* x0 *)
+      Emit.stw Reg.ret1 184l sp; (* yl *)
+      Emit.comib Cond.Neq 0l Reg.ret0 (l "big");
+      (* -- yh = 0: two chained 64/32 divides (x3 = 0, x2 < yl) ------- *)
+      Emit.copy Reg.arg1 Reg.arg0; (* (x2:x1) / yl *)
+      Emit.copy Reg.arg2 Reg.arg1;
+      Emit.copy Reg.ret1 Reg.arg2;
+      Emit.bl "divU64" Reg.mrp;
+      Emit.stw Reg.ret0 188l sp; (* q_hi *)
+      Emit.copy Reg.ret1 Reg.arg0; (* (r:x0) / yl *)
+      Emit.ldw 180l sp Reg.arg1;
+      Emit.ldw 184l sp Reg.arg2;
+      Emit.bl "divU64" Reg.mrp;
+      Emit.copy Reg.ret1 Reg.arg1; (* remainder = (0:r') *)
+      Emit.copy Reg.r0 Reg.arg0;
+      Emit.copy Reg.ret0 Reg.ret1; (* quotient = (q_hi:q_lo) *)
+      Emit.ldw 188l sp Reg.ret0;
+      Emit.ldw 176l sp Reg.mrp;
+      Emit.mret;
+    ];
+  Builder.label b (l "zero");
+  Builder.insn b (Emit.break Hppa_machine.Trap.divide_by_zero_code);
+  Builder.label b (l "ovfl");
+  Builder.insn b (Emit.break Div_ext.overflow_break_code);
+  (* -- yh != 0: normalize, two estimate-and-correct steps ----------- *)
+  Builder.label b (l "big");
+  Builder.insns b
+    [
+      Emit.copy Reg.r0 Reg.t1; (* s = 0 *)
+      Emit.copy Reg.ret0 Reg.t2; (* (vn1:vn0) = Y *)
+      Emit.copy Reg.ret1 Reg.t3;
+    ];
+  (* Shift divisor and dividend up together until vn1's top bit is set;
+     X < Y * 2^64 keeps the 4-limb dividend inside 128 bits the whole
+     way, so no bits are lost. *)
+  Builder.label b (l "norm");
+  Builder.insns b
+    [
+      Emit.comb Cond.Lt Reg.t2 Reg.r0 (l "normed");
+      Emit.shd Reg.t2 Reg.t3 31 Reg.t2;
+      Emit.shl Reg.t3 1 Reg.t3;
+      Emit.shd Reg.arg0 Reg.arg1 31 Reg.arg0;
+      Emit.shd Reg.arg1 Reg.arg2 31 Reg.arg1;
+      Emit.shd Reg.arg2 Reg.arg3 31 Reg.arg2;
+      Emit.shl Reg.arg3 1 Reg.arg3;
+      Emit.ldo 1l Reg.t1 Reg.t1;
+      Emit.b (l "norm");
+    ];
+  Builder.label b (l "normed");
+  Builder.insns b
+    [
+      Emit.stw Reg.t1 192l sp; (* s *)
+      Emit.stw Reg.t2 196l sp; (* vn1 *)
+      Emit.stw Reg.t3 200l sp; (* vn0 *)
+      Emit.stw Reg.arg3 204l sp; (* u0 *)
+      (* Step 1: (u3:u2:u1) by (vn1:vn0) — the chunk is already in
+         (arg0:arg1:arg2). *)
+      Emit.copy Reg.t2 Reg.arg3;
+      Emit.copy Reg.t3 Reg.ret0;
+      Emit.bl "w64$divlstep" Reg.mrp;
+      Emit.stw Reg.ret0 208l sp; (* q1 *)
+      (* Step 2: (r1h:r1l:u0) by (vn1:vn0). *)
+      Emit.ldw 204l sp Reg.arg2;
+      Emit.ldw 196l sp Reg.arg3;
+      Emit.ldw 200l sp Reg.ret0;
+      Emit.bl "w64$divlstep" Reg.mrp;
+      Emit.copy Reg.ret0 Reg.ret1; (* quotient = (q1:q0) *)
+      Emit.ldw 208l sp Reg.ret0;
+      (* Denormalize the remainder pair right by s. *)
+      Emit.ldw 192l sp Reg.t1;
+      Emit.comib Cond.Eq 0l Reg.t1 (l "done");
+    ];
+  Builder.label b (l "denorm");
+  Builder.insns b
+    [
+      Emit.shd Reg.arg0 Reg.arg1 1 Reg.arg1;
+      Emit.shr_u Reg.arg0 1 Reg.arg0;
+      Emit.addib Cond.Neq (-1l) Reg.t1 (l "denorm");
+    ];
+  Builder.label b (l "done");
+  Builder.insns b [ Emit.ldw 176l sp Reg.mrp; Emit.mret ];
+  Builder.to_source b
+
+let source = Program.concat [ entry_source; step_source ]
+let entries = [ "divU128by64" ]
+let internal = [ "w64$divlstep" ]
+
+(* OCaml reference: [None] = the routine traps (Y = 0, or a quotient
+   that cannot fit one dword). The dword operands are unsigned. *)
+let reference (x : U128.t) y =
+  if Int64.equal y 0L then None
+  else if Int64.unsigned_compare x.U128.hi y >= 0 then None
+  else
+    let q, r = U128.divmod_64 x y in
+    Some (U128.to_int64 q, r)

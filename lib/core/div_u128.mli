@@ -1,0 +1,32 @@
+(** 128/64 unsigned divide millicode ([divU128by64]).
+
+    Register-pair convention one level up from [divU64]: the 128-bit
+    dividend X arrives as two dwords — high in (arg0:arg1), low in
+    (arg2:arg3) — and the 64-bit divisor Y in (ret0:ret1). The quotient
+    dword returns in (ret0:ret1) and the remainder dword in
+    (arg0:arg1).
+
+    Knuth's algorithm D with 32-bit limbs and a two-limb divisor:
+    normalization by nlz of the divisor's high limb, then two 64/32
+    estimate-and-correct steps (each one [divU64] estimate, the
+    refinement loop, and a 96-bit multiply-subtract — shared as the
+    internal routine [w64$divlstep]).
+
+    [Y = 0] raises [break] with
+    {!Hppa_machine.Trap.divide_by_zero_code}; a high dword [>= Y] — a
+    quotient that cannot fit one dword — raises [break] with
+    {!Div_ext.overflow_break_code}. *)
+
+val source : Program.source
+
+val entries : string list
+(** [["divU128by64"]]. *)
+
+val internal : string list
+(** [["w64$divlstep"]] — the estimate-and-correct step, reachable only
+    through the entry, listed for convention specs. *)
+
+val reference : Hppa_word.U128.t -> int64 -> (int64 * int64) option
+(** [(q, r)] with the divisor taken as an unsigned 64-bit value; [None]
+    when the routine traps (division by zero, or [x.hi >= y]
+    unsigned). Computed with {!Hppa_word.U128.divmod_64}. *)

@@ -14,7 +14,7 @@ let source =
   Program.concat
     [
       aliases; Mul_var.all; Mul_ext.source; Div_gen.source; Div_ext.source;
-      Div_small.source; Mul_w64.source; Div_w64.source;
+      Div_small.source; Mul_w64.source; Div_w64.source; Div_u128.source;
     ]
 
 let resolved () = Program.resolve_exn source
@@ -28,6 +28,7 @@ let scheduled_machine () =
 let entries =
   [ "mulI"; "muloI" ] @ Mul_var.entries @ Mul_ext.entries @ Div_gen.entries
   @ Div_ext.entries @ Div_small.entries @ Mul_w64.entries @ Div_w64.entries
+  @ Div_u128.entries
 
 let mulI = "mulI"
 let muloI = "muloI"
@@ -59,22 +60,52 @@ let conventions =
   List.map (spec ~args:w64_args ~results:r4)
     [ "mulU128"; "mulI128"; "w64$udivmod"; "w64$sdivmod" ]
   @ List.map (spec ~args:w64_args ~results:r2) Div_w64.entries
+  @
+  (* The 128/64 divide takes three operand dwords — the divisor rides
+     in (ret0:ret1) — and its estimate-and-correct step additionally
+     takes a scalar limb in ret0. *)
+  [
+    spec
+      ~args:(w64_args @ [ Reg.ret0; Reg.ret1 ])
+      ~results:r4 "divU128by64";
+    spec
+      ~args:(w64_args @ [ Reg.ret0 ])
+      ~results:[ Reg.ret0; Reg.arg0; Reg.arg1 ]
+      "w64$divlstep";
+  ]
 
 (* The pair-level view of the W64 interface: both operands are 64-bit
    (hi:lo) pairs everywhere; the multiplies and the divide cores return
    two result dwords, the public divide/rem wrappers one. *)
 let pair_conventions =
-  let pairs = Hppa_verify.Pairs.arg_slots in
+  let xy = [ (Reg.arg0, Reg.arg1); (Reg.arg2, Reg.arg3) ] in
   let both = [ (Reg.ret0, Reg.ret1); (Reg.arg0, Reg.arg1) ] in
   let ret = [ (Reg.ret0, Reg.ret1) ] in
   List.map
     (fun name ->
-      { Hppa_verify.Pairs.name; arg_pairs = pairs; result_pairs = both })
+      { Hppa_verify.Pairs.name; arg_pairs = xy; result_pairs = both })
     [ "mulU128"; "mulI128"; "w64$udivmod"; "w64$sdivmod" ]
   @ List.map
       (fun name ->
-        { Hppa_verify.Pairs.name; arg_pairs = pairs; result_pairs = ret })
+        { Hppa_verify.Pairs.name; arg_pairs = xy; result_pairs = ret })
       Div_w64.entries
+  @ [
+      (* divU128by64: dividend in both arg slots, divisor in the
+         (ret0:ret1) slot; quotient and remainder dwords back in the
+         canonical result pairs. *)
+      {
+        Hppa_verify.Pairs.name = "divU128by64";
+        arg_pairs = Hppa_verify.Pairs.arg_slots;
+        result_pairs = both;
+      };
+      (* The step's chunk rides in (arg0:arg1) and its remainder comes
+         back there; the scalar limbs are outside the pair view. *)
+      {
+        Hppa_verify.Pairs.name = "w64$divlstep";
+        arg_pairs = [ (Reg.arg0, Reg.arg1) ];
+        result_pairs = [ (Reg.arg0, Reg.arg1) ];
+      };
+    ]
 
 let lint ?(scheduled = false) () =
   let src = if scheduled then scheduled_source () else source in

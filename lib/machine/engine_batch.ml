@@ -1078,7 +1078,8 @@ let load_word t ~lane (addr : int32) =
     else if Array.length t.lmem = 0 then Ok 0l
     else Ok (Int32.of_int t.lmem.(lane).(i))
 
-let arg_regs = [| Reg.arg0; Reg.arg1; Reg.arg2; Reg.arg3 |]
+let arg_regs =
+  [| Reg.arg0; Reg.arg1; Reg.arg2; Reg.arg3; Reg.ret0; Reg.ret1 |]
 
 let call ?(fuel = 1_000_000) t name ~args =
   let entry =
@@ -1095,8 +1096,8 @@ let call ?(fuel = 1_000_000) t name ~args =
   let rp = Reg.to_int Reg.rp and mrp = Reg.to_int Reg.mrp in
   Array.iteri
     (fun l largs ->
-      if List.length largs > 4 then
-        invalid_arg "Engine_batch.call: more than 4 arguments";
+      if List.length largs > 6 then
+        invalid_arg "Engine_batch.call: more than 6 arguments";
       List.iteri
         (fun i v -> t.rf.(Reg.to_int arg_regs.(i)).(l) <- Int32.to_int v land u32)
         largs;

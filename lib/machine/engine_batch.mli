@@ -52,7 +52,7 @@ val call : ?fuel:int -> t -> string -> args:Hppa_word.Word.t list array -> unit
     PSW bits and memory persist across calls, like reusing a scalar
     machine. Results are read per lane with the accessors below.
     Raises [Invalid_argument] on an unknown entry, an empty batch, more
-    lanes than {!lanes}, or more than 4 arguments for a lane. *)
+    lanes than {!lanes}, or more than 6 arguments for a lane. *)
 
 val outcome : t -> lane:int -> Cpu.outcome
 (** The lane's outcome after the last {!call}. *)

@@ -146,10 +146,11 @@ val profile : t -> profile_counts
 val call :
   ?fuel:int -> t -> string -> args:Hppa_word.Word.t list -> outcome
 (** Procedure-call convention: load up to four arguments into
-    [arg0..arg3], set [rp] (and [mrp]) to the halt sentinel, jump to the
-    label, and run. Results are read from [ret0]/[ret1] by the caller.
-    Raises [Invalid_argument] on an unknown label or more than four
-    arguments. *)
+    [arg0..arg3] — a fifth and sixth land in [ret0]/[ret1], the 128/64
+    divide's divisor slot — set [rp] (and [mrp]) to the halt sentinel,
+    jump to the label, and run. Results are read from [ret0]/[ret1] by
+    the caller. Raises [Invalid_argument] on an unknown label or more
+    than six arguments. *)
 
 val call_cycles :
   ?fuel:int -> t -> string -> args:Hppa_word.Word.t list -> outcome * int

@@ -67,6 +67,7 @@ let operands workload (req : Strategy.request) =
   |> List.map (fun (x, y) ->
          match req.operand with
          | Strategy.Constant c -> (x, c)
+         | Strategy.Constant64 _ -> (x, y) (* unreachable: W32-guarded *)
          | Strategy.Variable ->
              if divide && Word.equal y 0l then (x, Word.one) else (x, y))
 
@@ -98,26 +99,42 @@ let raw_pairs64 = function
    for W64. *)
 let operand_lists workload (req : Strategy.request) =
   match req.width with
-  | Strategy.W32 ->
-      if is_w64_workload workload then
-        Error "64-bit workload requires a w64 request"
-      else
-        Ok
-          (operands workload req
-          |> List.map (fun (x, y) ->
-                 let args =
-                   match req.operand with
-                   | Strategy.Constant _ -> [ x ]
-                   | Strategy.Variable -> [ x; y ]
-                 in
-                 (args, Printf.sprintf "x=%ld y=%ld" x y)))
+  | Strategy.W32 -> (
+      match req.operand with
+      | Strategy.Constant64 _ -> Error "64-bit constant requires a w64 request"
+      | Strategy.Constant _ | Strategy.Variable ->
+          if is_w64_workload workload then
+            Error "64-bit workload requires a w64 request"
+          else
+            Ok
+              (operands workload req
+              |> List.map (fun (x, y) ->
+                     let args =
+                       match req.operand with
+                       | Strategy.Constant _ | Strategy.Constant64 _ -> [ x ]
+                       | Strategy.Variable -> [ x; y ]
+                     in
+                     (args, Printf.sprintf "x=%ld y=%ld" x y))))
   | Strategy.W64 ->
-      let divide = req.op = Div || req.op = Rem in
+      let divide =
+        match req.op with Div | Rem | Divl -> true | Mul -> false
+      in
       Ok
         (raw_pairs64 workload
         |> List.map (fun (x, y) ->
                let y = if divide && Int64.equal y 0L then 1L else y in
-               (Hppa_w64.operands x y, Printf.sprintf "x=%Ld y=%Ld" x y)))
+               match (req.op, req.operand) with
+               | Strategy.Divl, _ ->
+                   (* keep the quotient representable: the dividend's
+                      high dword reduced below the divisor *)
+                   let xhi = Int64.unsigned_rem x y in
+                   ( Hppa_w64.operands_divl ~xhi ~xlo:x y,
+                     Printf.sprintf "x=%Ld:%Ld y=%Ld" xhi x y )
+               | _, Strategy.Constant64 _ ->
+                   ( [ Hppa_w64.hi32 x; Hppa_w64.lo32 x ],
+                     Printf.sprintf "x=%Ld" x )
+               | _, (Strategy.Constant _ | Strategy.Variable) ->
+                   (Hppa_w64.operands x y, Printf.sprintf "x=%Ld y=%Ld" x y)))
 
 type measurement = {
   strategy : string;
@@ -603,6 +620,7 @@ type report = {
 
 let fallback_name (req : Strategy.request) =
   match (req.width, req.op) with
+  | _, Strategy.Divl -> "w64_divl_millicode"
   | Strategy.W64, Strategy.Mul -> "w64_mul_millicode"
   | Strategy.W64, (Strategy.Div | Strategy.Rem) -> "w64_div_millicode"
   | Strategy.W32, Strategy.Mul -> "mul_millicode"

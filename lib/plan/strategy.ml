@@ -2,8 +2,8 @@ module Word = Hppa_word.Word
 module Cfg = Hppa_verify.Cfg
 open Hppa
 
-type op = Mul | Div | Rem
-type operand = Constant of int32 | Variable
+type op = Mul | Div | Rem | Divl
+type operand = Constant of int32 | Constant64 of int64 | Variable
 type signedness = Unsigned | Signed
 type width = W32 | W64
 
@@ -53,7 +53,45 @@ let w64 op signedness =
 let w64_mul signedness = w64 Mul signedness
 let w64_div signedness = w64 Div signedness
 let w64_rem signedness = w64 Rem signedness
-let op_name = function Mul -> "mul" | Div -> "div" | Rem -> "rem"
+
+(* The 128/64 divide: three run-time operand dwords (dividend high, low,
+   divisor), unsigned only. *)
+let w64_divl = w64 Divl Unsigned
+
+(* Double-word constant forms: the run-time operand pair arrives in
+   (arg0:arg1), the 64-bit constant is materialized by the emission. *)
+let w64_mul_const ?(trap_overflow = false) c =
+  {
+    op = Mul;
+    operand = Constant64 c;
+    signedness = Signed;
+    trap_overflow;
+    width = W64;
+  }
+
+let w64_div_const signedness c =
+  {
+    op = Div;
+    operand = Constant64 c;
+    signedness;
+    trap_overflow = false;
+    width = W64;
+  }
+
+let w64_rem_const signedness c =
+  {
+    op = Rem;
+    operand = Constant64 c;
+    signedness;
+    trap_overflow = false;
+    width = W64;
+  }
+
+let op_name = function
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | Divl -> "divl"
 
 let pp_request ppf r =
   Format.fprintf ppf "%s%s %s (%s%s)"
@@ -61,9 +99,11 @@ let pp_request ppf r =
     (match r.op with
     | Mul -> "multiply"
     | Div -> "divide"
-    | Rem -> "remainder")
+    | Rem -> "remainder"
+    | Divl -> "128/64 divide")
     (match r.operand with
     | Constant c -> Printf.sprintf "by constant %ld" c
+    | Constant64 c -> Printf.sprintf "by constant %Ld" c
     | Variable -> "by a run-time operand")
     (match r.signedness with Signed -> "signed" | Unsigned -> "unsigned")
     (if r.trap_overflow then ", trapping overflow" else "")
@@ -72,6 +112,7 @@ let request_id r =
   Printf.sprintf "%s.%s.%s%s%s" (op_name r.op)
     (match r.operand with
     | Constant c -> Printf.sprintf "c%ld" c
+    | Constant64 c -> Printf.sprintf "c%Ld" c
     | Variable -> "var")
     (match r.signedness with Signed -> "s" | Unsigned -> "u")
     (if r.trap_overflow then ".trap" else "")
@@ -84,50 +125,70 @@ let request_of_string s =
   in
   match parts with
   | [ op; operand ] -> (
-      let operand =
+      let is_var =
         match String.lowercase_ascii operand with
-        | "x" | "var" | "_" -> Ok Variable
-        | tok -> (
-            match Int32.of_string_opt tok with
-            | Some c -> Ok (Constant c)
-            | None ->
-                Error
-                  (Printf.sprintf
-                     "bad operand %S (expected a 32-bit constant or \"x\")"
-                     tok))
+        | "x" | "var" | "_" -> true
+        | _ -> false
       in
-      match operand with
-      | Error _ as e -> e
-      | Ok operand -> (
-          let w32 op signedness trap_overflow =
-            Ok { op; operand; signedness; trap_overflow; width = W32 }
-          in
-          let wide op signedness =
-            match operand with
-            | Variable -> Ok (w64 op signedness)
-            | Constant _ ->
-                Error "w64 requests take run-time operands only (use \"x\")"
-          in
-          match String.lowercase_ascii op with
-          | "mul" -> w32 Mul Signed false
-          | "mulo" -> w32 Mul Signed true
-          | "divu" -> w32 Div Unsigned false
-          | "divi" -> w32 Div Signed false
-          | "remu" -> w32 Rem Unsigned false
-          | "remi" -> w32 Rem Signed false
-          | "w64mulu" -> wide Mul Unsigned
-          | "w64muli" -> wide Mul Signed
-          | "w64divu" -> wide Div Unsigned
-          | "w64divi" -> wide Div Signed
-          | "w64remu" -> wide Rem Unsigned
-          | "w64remi" -> wide Rem Signed
-          | tok ->
+      let w32 op signedness trap_overflow =
+        if is_var then
+          Ok { op; operand = Variable; signedness; trap_overflow; width = W32 }
+        else
+          match Int32.of_string_opt operand with
+          | Some c ->
+              Ok
+                { op; operand = Constant c; signedness; trap_overflow; width = W32 }
+          | None ->
               Error
                 (Printf.sprintf
-                   "bad operation %S (expected mul, mulo, divu, divi, remu, \
-                    remi or a w64 form: w64mulu, w64muli, w64divu, w64divi, \
-                    w64remu, w64remi)"
-                   tok)))
+                   "bad operand %S (expected a 32-bit constant or \"x\")"
+                   operand)
+      in
+      (* The two-operand w64 forms accept a run-time operand or a full
+         64-bit constant; the three-operand divl necessarily takes its
+         operands at run time. *)
+      let wide op signedness =
+        if is_var then Ok (w64 op signedness)
+        else
+          match Int64.of_string_opt operand with
+          | Some c ->
+              Ok
+                {
+                  op;
+                  operand = Constant64 c;
+                  signedness;
+                  trap_overflow = false;
+                  width = W64;
+                }
+          | None ->
+              Error
+                (Printf.sprintf
+                   "bad operand %S (expected a 64-bit constant or \"x\")"
+                   operand)
+      in
+      match String.lowercase_ascii op with
+      | "mul" -> w32 Mul Signed false
+      | "mulo" -> w32 Mul Signed true
+      | "divu" -> w32 Div Unsigned false
+      | "divi" -> w32 Div Signed false
+      | "remu" -> w32 Rem Unsigned false
+      | "remi" -> w32 Rem Signed false
+      | "w64mulu" -> wide Mul Unsigned
+      | "w64muli" -> wide Mul Signed
+      | "w64divu" -> wide Div Unsigned
+      | "w64divi" -> wide Div Signed
+      | "w64remu" -> wide Rem Unsigned
+      | "w64remi" -> wide Rem Signed
+      | "w64divl" ->
+          if is_var then Ok w64_divl
+          else Error "w64divl takes run-time operands only (use \"x\")"
+      | tok ->
+          Error
+            (Printf.sprintf
+               "bad operation %S (expected mul, mulo, divu, divi, remu, remi \
+                or a w64 form: w64mulu, w64muli, w64divu, w64divi, w64remu, \
+                w64remi, w64divl)"
+               tok))
   | _ -> Error "expected \"<op> <operand>\", e.g. \"mul 625\" or \"divu x\""
 
 (* ------------------------------------------------------------------ *)
@@ -170,6 +231,7 @@ type detail =
   | Mul_plan of Mul_const.plan
   | Div_plan of Div_const.plan
   | Millicode of string
+  | Pair_chain of Chain.t
 
 type emission = {
   entry : string;
@@ -237,7 +299,14 @@ type t = {
 }
 
 let constant_of req =
-  match req.operand with Constant c -> Some c | Variable -> None
+  match req.operand with
+  | Constant c -> Some c
+  | Constant64 _ | Variable -> None
+
+let constant64_of req =
+  match req.operand with
+  | Constant64 c -> Some c
+  | Constant _ | Variable -> None
 
 let guard f = try f () with exn -> Error (Printexc.to_string exn)
 
@@ -246,8 +315,15 @@ let routine_spec ?(results = [ Reg.ret0 ]) req entry =
     Cfg.name = entry;
     args =
       (match (req.width, req.operand) with
-      | W64, _ -> [ Reg.arg0; Reg.arg1; Reg.arg2; Reg.arg3 ]
-      | W32, Constant _ -> [ Reg.arg0 ]
+      | W64, Variable when req.op = Divl ->
+          (* three operand dwords: dividend in both arg pairs, divisor
+             in (ret0:ret1) *)
+          [ Reg.arg0; Reg.arg1; Reg.arg2; Reg.arg3; Reg.ret0; Reg.ret1 ]
+      | W64, Variable -> [ Reg.arg0; Reg.arg1; Reg.arg2; Reg.arg3 ]
+      | W64, (Constant _ | Constant64 _) ->
+          (* the run-time pair; the constant pair is materialized *)
+          [ Reg.arg0; Reg.arg1 ]
+      | W32, (Constant _ | Constant64 _) -> [ Reg.arg0 ]
       | W32, Variable -> [ Reg.arg0; Reg.arg1 ]);
     results;
     clobbers = Cfg.scratch;
@@ -328,16 +404,29 @@ let constant_label c =
   if c >= 0l then Printf.sprintf "c%ld" c
   else Printf.sprintf "cm%Ld" (Int64.neg (Int64.of_int32 c))
 
+let constant_label64 c =
+  (* %Lu so Int64.min_int (its own negation) renders unsigned. *)
+  if c >= 0L then Printf.sprintf "c%Ld" c
+  else Printf.sprintf "cm%Lu" (Int64.neg c)
+
+let dword_hi c = Int64.to_int32 (Int64.shift_right_logical c 32)
+let dword_lo c = Int64.to_int32 c
+
 let wrapper ~target req =
   let entry =
     match req.operand with
     | Variable -> "via_" ^ target
     | Constant c -> Printf.sprintf "via_%s_%s" target (constant_label c)
+    | Constant64 c -> Printf.sprintf "via_%s_%s" target (constant_label64 c)
   in
   let b = Builder.create ~prefix:entry () in
   Builder.label b entry;
   (match req.operand with
   | Constant c -> Builder.insns b (Emit.ldi c Reg.arg1)
+  | Constant64 c ->
+      (* the W64 second operand pair: (arg2:arg3) = (hi:lo) *)
+      Builder.insns b (Emit.ldi (dword_hi c) Reg.arg2);
+      Builder.insns b (Emit.ldi (dword_lo c) Reg.arg3)
   | Variable -> ());
   Builder.insn b (Emit.b target);
   let target_spec = millicode_spec target in
@@ -435,7 +524,7 @@ let div_const_plan r c =
   | Div, Signed -> Div_const.plan_signed c
   | Rem, Unsigned -> Div_const.plan_rem_unsigned c
   | Rem, Signed -> Div_const.plan_rem_signed c
-  | Mul, _ -> invalid_arg "div_const_plan: not a divide"
+  | (Mul | Divl), _ -> invalid_arg "div_const_plan: not a divide"
 
 let div_const_strategy =
   let applies r =
@@ -542,7 +631,7 @@ let div_millicode =
     | Div, Signed -> "divI"
     | Rem, Unsigned -> "remU"
     | Rem, Signed -> "remI"
-    | Mul, _ -> assert false
+    | (Mul | Divl), _ -> assert false
   in
   let applies r =
     w32_only r
@@ -616,6 +705,98 @@ let w64_target r =
   | Div, Signed -> "divI64w"
   | Rem, Unsigned -> "remU64w"
   | Rem, Signed -> "remI64w"
+  | Divl, _ -> "divU128by64"
+
+(* Standalone pair-chain routine pool: product in (ret0:ret1),
+   intermediates in the remaining caller-saved pairs; the operand pair
+   (arg0:arg1) is left untouched, millicode style. *)
+let w64_chain_pool =
+  [|
+    (Reg.ret0, Reg.ret1);
+    (Reg.t2, Reg.t3);
+    (Reg.t4, Reg.t5);
+    (Reg.arg2, Reg.arg3);
+  |]
+
+let w64_chain_for c =
+  if Int64.equal c 0L then Error "multiply by zero folds away"
+  else
+    let abs = Int64.abs c in
+    if Int64.compare abs 0L < 0 (* Int64.min_int *)
+       || Int64.compare abs 0x7fff_ffffL > 0
+    then Error "no chain within the rule program's bounds (constant too wide)"
+    else
+      match Chain_rules.find ~mode:Chain_rules.Fast (Int64.to_int abs) with
+      | None -> Error "no chain within the rule program's bounds"
+      | Some chain -> Ok chain
+
+let w64_mul_const_chain =
+  let applies r =
+    r.width = W64 && r.op = Mul && constant64_of r <> None
+    && not r.trap_overflow
+  in
+  let emit r =
+    match constant64_of r with
+    | None -> Error "not a 64-bit constant multiply"
+    | Some c ->
+        Result.bind (w64_chain_for c) (fun chain ->
+            guard (fun () ->
+                let entry = "mul64_" ^ constant_label64 c in
+                let b = Builder.create ~prefix:entry () in
+                Builder.label b entry;
+                let info =
+                  Chain_codegen.body_at_pair
+                    ~negate:(Int64.compare c 0L < 0)
+                    ~src:(Reg.arg0, Reg.arg1) ~pool:w64_chain_pool chain b
+                in
+                Builder.insn b Emit.mret;
+                Ok
+                  {
+                    entry;
+                    source = Builder.to_source b;
+                    spec =
+                      routine_spec ~results:[ Reg.ret0; Reg.ret1 ] r entry;
+                    deps = [];
+                    callee_specs = [];
+                    static_instructions = info.Chain_codegen.instructions;
+                    detail = Pair_chain chain;
+                  }))
+  in
+  let cost ctx r =
+    match constant64_of r with
+    | None -> Error "not a 64-bit constant multiply"
+    | Some c ->
+        Result.bind (w64_chain_for c) (fun chain ->
+            match ctx.purpose with
+            | Standalone ->
+                Result.map
+                  (fun em ->
+                    {
+                      score = em.static_instructions;
+                      note = "static instructions (pair carry chains)";
+                    })
+                  (emit r)
+            | Inline_expansion ->
+                let len = Chain.length chain in
+                if len > ctx.inline_mul_threshold then
+                  Error
+                    (Printf.sprintf
+                       "chain length %d exceeds inline threshold %d" len
+                       ctx.inline_mul_threshold)
+                else Ok { score = len; note = "inline pair-chain steps" })
+  in
+  {
+    name = "w64_mul_const_chain";
+    description =
+      "double-word shift-and-add chain for a compile-time multiplier: each \
+       section 5 step as an SHD/SHxADD/ADDC carry-chain sequence over \
+       register pairs";
+    kind = Emits;
+    applies;
+    cost;
+    emit;
+    model = None;
+  }
 
 let w64_mul_millicode =
   {
@@ -646,13 +827,42 @@ let w64_div_millicode =
        divU64 steps with quotient correction (divU64w / divI64w / remU64w / \
        remI64w)";
     kind = Emits;
-    applies = (fun r -> r.width = W64 && (r.op = Div || r.op = Rem));
+    applies =
+      (fun r ->
+        r.width = W64
+        && (r.op = Div || r.op = Rem)
+        && (match constant64_of r with
+           | Some c -> not (Int64.equal c 0L)
+           | None -> true));
     cost =
       (fun ctx _ ->
         Ok
           {
             score = (2 * ctx.millicode_div_cycles) + 40;
             note = "modelled: two 64/32 divide steps + correction";
+          });
+    emit = (fun r -> guard (fun () -> Ok (wrapper ~target:(w64_target r) r)));
+    model = None;
+  }
+
+let w64_divl_millicode =
+  {
+    name = "w64_divl_millicode";
+    description =
+      "the 128/64 divide millicode: normalization plus two 64/32 \
+       estimate-and-correct steps (divU128by64)";
+    kind = Emits;
+    applies =
+      (fun r ->
+        r.width = W64 && r.op = Divl && r.signedness = Unsigned
+        && r.operand = Variable && not r.trap_overflow);
+    cost =
+      (fun ctx _ ->
+        Ok
+          {
+            score = (2 * ctx.millicode_div_cycles) + 60;
+            note =
+              "modelled: normalization + two 64/32 estimate-and-correct steps";
           });
     emit = (fun r -> guard (fun () -> Ok (wrapper ~target:(w64_target r) r)));
     model = None;
@@ -685,7 +895,8 @@ let certify req em =
           certificate_of
             (Hppa_verify.Driver.certify_body ~canonical:(Lazy.force canonical)
                prog ~entry:target)
-      | Mul_plan _ | Div_plan _ -> Error "no certifier covers this W64 emission")
+      | Mul_plan _ | Div_plan _ | Pair_chain _ ->
+          Error "no certifier covers this W64 emission")
   | Ok prog -> (
       let signed = req.signedness = Signed in
       match (req.op, em.detail) with
@@ -733,7 +944,8 @@ let certify req em =
                     (Hppa_verify.Driver.certify_divstep
                        ~options:verify_options prog ~entry:target ~signed
                        ~want_rem:(req.op = Rem))
-              | _ -> Error "no certifier covers this emission")))
+              | _ -> Error "no certifier covers this emission"))
+      | Divl, _ -> Error "divl is a W64-only operation")
 
 let all =
   [
@@ -748,8 +960,10 @@ let all =
     div_millicode;
     baseline_nonrestoring;
     baseline_restoring;
+    w64_mul_const_chain;
     w64_mul_millicode;
     w64_div_millicode;
+    w64_divl_millicode;
   ]
 
 let find name = List.find_opt (fun s -> s.name = name) all

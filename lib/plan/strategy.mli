@@ -18,8 +18,15 @@
 
 (** {1 Requests} *)
 
-type op = Mul | Div | Rem
-type operand = Constant of int32 | Variable
+type op = Mul | Div | Rem | Divl
+(** [Divl] is the three-operand 128/64 divide ([divU128by64]): a
+    double-word-pair dividend and a dword divisor, quotient and
+    remainder dwords out. W64-only, always unsigned. *)
+
+type operand = Constant of int32 | Constant64 of int64 | Variable
+(** [Constant64] is a double-word compile-time constant; only valid at
+    {!W64} width. *)
+
 type signedness = Unsigned | Signed
 
 type width = W32 | W64
@@ -53,19 +60,31 @@ val w64_rem : signedness -> request
     time), never trapping on overflow (the 128-bit product cannot
     overflow; the divides trap on [-2^63 / -1] regardless). *)
 
+val w64_divl : request
+(** The 128/64 divide: dividend dword pair and divisor dword at run
+    time, unsigned. *)
+
+val w64_mul_const : ?trap_overflow:bool -> int64 -> request
+val w64_div_const : signedness -> int64 -> request
+val w64_rem_const : signedness -> int64 -> request
+(** Double-word operations against a 64-bit compile-time constant
+    ([Constant64]); the variable pair arrives in (arg0:arg1). *)
+
 val pp_request : Format.formatter -> request -> unit
 
 val request_id : request -> string
 (** Compact stable identifier, safe for metric labels and store keys:
     ["mul.c625.s"], ["div.var.u"], ["mul.c-7.s.trap"], ["mul.var.u.w64"],
-    ... *)
+    ["mul.c15.s.w64"], ["divl.var.u.w64"], ... *)
 
 val request_of_string : string -> (request, string) result
 (** Parse the CLI plan-request syntax: an operation ([mul], [mulo],
     [divu], [divi], [remu], [remi], or the 64-bit [w64mulu], [w64muli],
-    [w64divu], [w64divi], [w64remu], [w64remi]) followed by a 32-bit
+    [w64divu], [w64divi], [w64remu], [w64remi], [w64divl]) followed by a
     constant or [x]/[var] for a run-time operand — e.g. ["mul 625"],
-    ["divu x"], ["w64divu x"]. The w64 forms accept only [x]. *)
+    ["divu x"], ["w64divu 10"], ["w64divl x"]. W32 forms take 32-bit
+    constants, w64 forms take 64-bit constants; [w64divl] accepts only
+    [x]. *)
 
 (** {1 Selection contexts}
 
@@ -106,6 +125,9 @@ type detail =
   | Mul_plan of Hppa.Mul_const.plan
   | Div_plan of Hppa.Div_const.plan
   | Millicode of string  (** tail-call wrapper around this library entry *)
+  | Pair_chain of Hppa.Chain.t
+      (** double-word addition chain over register pairs (W64 constant
+          multiply), emitted by {!Hppa.Chain_codegen.body_at_pair} *)
 
 type emission = {
   entry : string;
@@ -145,11 +167,12 @@ val certify : request -> emission -> (Hppa_verify.Certificate.t, string) result
     dispatch, {!Hppa_verify.Driver.certify_division}), variable divides
     through the divide-step schema matcher on the millicode target, the
     small-divisor dispatchers through the vectored-dispatch totality
-    proof, and every W64 emission through the body-equivalence
+    proof, and every W64 millicode emission through the body-equivalence
     certifier ({!Hppa_verify.Equiv}) against the canonical millicode
     image. [Error] carries the refutation or the reason the emission is
     outside every certifier's domain (e.g. the variable multiply
-    ladder). *)
+    ladder, or a W64 {!Pair_chain} — under certified-only selection the
+    millicode call-through wins for those requests). *)
 
 (** {1 Strategies} *)
 

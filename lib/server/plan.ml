@@ -105,7 +105,8 @@ let mul ?obs ?require_certified n =
            the reply always carried. *)
         match choice.Selector.emission.Strategy.detail with
         | Strategy.Mul_plan p -> p
-        | Strategy.Div_plan _ | Strategy.Millicode _ -> Mul_const.plan n
+        | Strategy.Div_plan _ | Strategy.Millicode _ | Strategy.Pair_chain _ ->
+            Mul_const.plan n
       in
       Ok (mul_payload plan, artifact_of_choice choice)
   | Error detail -> Error ("plan " ^ detail)
@@ -141,7 +142,8 @@ let div ?obs ?require_certified d =
         let plan =
           match choice.Selector.emission.Strategy.detail with
           | Strategy.Div_plan p -> p
-          | Strategy.Mul_plan _ | Strategy.Millicode _ ->
+          | Strategy.Mul_plan _ | Strategy.Millicode _ | Strategy.Pair_chain _
+            ->
               if d > 0l then Div_const.plan_unsigned d
               else Div_const.plan_signed d
         in
@@ -167,7 +169,7 @@ let w64_choice ?obs ?require_certified op ~signed =
       let entry =
         match choice.Selector.emission.Strategy.detail with
         | Strategy.Millicode target -> target
-        | Strategy.Mul_plan _ | Strategy.Div_plan _ ->
+        | Strategy.Mul_plan _ | Strategy.Div_plan _ | Strategy.Pair_chain _ ->
             Hppa_w64.entry ~signed op
       in
       Ok (entry, choice)
@@ -234,6 +236,69 @@ let w64_batch ?obs ?require_certified mach ~fuel op ~signed pairs =
                 (Hppa_w64.batch_outcome b ~lane)
                 (Machine.Batch.cycles b ~lane))
             pairs)
+
+(* The 128/64 divide: one strategy ([w64_divl_millicode]), operands on
+   the request line like the other W64 verbs but as (xhi, xlo, y)
+   triples — the unsigned 128-bit dividend's dwords, then the divisor. *)
+let divl_choice ?obs ?require_certified () =
+  match Selector.choose ?obs ?require_certified Strategy.w64_divl with
+  | Error detail -> Error ("plan " ^ detail)
+  | Ok choice ->
+      let entry =
+        match choice.Selector.emission.Strategy.detail with
+        | Strategy.Millicode target -> target
+        | Strategy.Mul_plan _ | Strategy.Div_plan _ | Strategy.Pair_chain _ ->
+            Hppa_w64.divl_entry
+      in
+      Ok (entry, choice)
+
+let divl_render ~fuel ~entry ~choice ~xhi ~xlo y outcome cycles =
+  match (outcome : Hppa_w64.outcome) with
+  | Hppa_w64.Value { ret; arg } ->
+      Ok
+        ( Printf.sprintf
+            "W64DIVL xhi=%Ld xlo=%Ld y=%Ld q=%Ld r=%Ld cycles=%d entry=%s" xhi
+            xlo y ret arg cycles entry,
+          artifact_of_choice choice )
+  | Hppa_w64.Trap t ->
+      Error
+        (Printf.sprintf "trap %s: %s" entry (Hppa_machine.Trap.to_string t))
+  | Hppa_w64.Fuel ->
+      Error (Printf.sprintf "fuel %s exceeded %d cycles" entry fuel)
+
+let divl ?obs ?require_certified mach ~fuel ~xhi ~xlo y =
+  match divl_choice ?obs ?require_certified () with
+  | Error _ as e -> e
+  | Ok (entry, choice) ->
+      Machine.reset mach;
+      let outcome, cycles = Hppa_w64.call_divl_cycles ~fuel mach ~xhi ~xlo y in
+      divl_render ~fuel ~entry ~choice ~xhi ~xlo y outcome cycles
+
+let divl_batch ?obs ?require_certified mach ~fuel triples =
+  match triples with
+  | [] -> []
+  | _ -> (
+      match divl_choice ?obs ?require_certified () with
+      | Error _ as e -> List.map (fun _ -> e) triples
+      | Ok (entry, choice) ->
+          let b =
+            Machine.Batch.create
+              ~lanes:(List.length triples)
+              (Machine.program mach)
+          in
+          let args =
+            Array.of_list
+              (List.map
+                 (fun (xhi, xlo, y) -> Hppa_w64.operands_divl ~xhi ~xlo y)
+                 triples)
+          in
+          Machine.Batch.call ~fuel b entry ~args;
+          List.mapi
+            (fun lane (xhi, xlo, y) ->
+              divl_render ~fuel ~entry ~choice ~xhi ~xlo y
+                (Hppa_w64.batch_outcome b ~lane)
+                (Machine.Batch.cycles b ~lane))
+            triples)
 
 let eval mach ~fuel entry args =
   if not (List.mem entry Millicode.entries) then

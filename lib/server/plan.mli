@@ -93,6 +93,33 @@ val w64_batch :
     would produce for that pair — miss lanes of a [W64*B] request cost
     one translated dispatch instead of K scalar calls. *)
 
+val divl :
+  ?obs:Hppa_obs.Obs.Registry.t ->
+  ?require_certified:bool ->
+  Hppa_machine.Machine.t ->
+  fuel:int ->
+  xhi:int64 ->
+  xlo:int64 ->
+  int64 ->
+  (string * artifact, string) result
+(** One [W64DIVL] request: the unsigned 128-bit dividend [(xhi:xlo)]
+    divided by the dword [y] through {!Hppa_w64.divl_entry}
+    ([divU128by64]), selected via the [w64_divl_millicode] strategy.
+    A zero divisor or a quotient that does not fit a dword traps, which
+    is an error reply. Under [require_certified] the plan must carry a
+    body-equivalence certificate for the divide. *)
+
+val divl_batch :
+  ?obs:Hppa_obs.Obs.Registry.t ->
+  ?require_certified:bool ->
+  Hppa_machine.Machine.t ->
+  fuel:int ->
+  (int64 * int64 * int64) list ->
+  (string * artifact, string) result list
+(** Batched {!divl} over [(xhi, xlo, y)] triples: one selector choice
+    and one SoA dispatch, per-lane replies byte-identical to the scalar
+    path's. *)
+
 val eval :
   Hppa_machine.Machine.t ->
   fuel:int ->

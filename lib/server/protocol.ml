@@ -12,11 +12,13 @@ module Word = Hppa_word.Word
 
 type w64_op = W64_mul | W64_div | W64_rem
 
-type kernel = Kmul | Kdiv | Kw64 of w64_op
+type kernel = Kmul | Kdiv | Kw64 of w64_op | Kdivl
 
 type lane =
   | Const of int32
   | Pair of { signed : bool; x : int64; y : int64 }
+  | Triple of { xhi : int64; xlo : int64; y : int64 }
+      (** the 128/64 divide's operands: dividend dword pair, divisor *)
 
 type request =
   | Op of { kernel : kernel; batch : bool; lanes : lane list }
@@ -33,6 +35,9 @@ let div d = Op { kernel = Kdiv; batch = false; lanes = [ Const d ] }
 let w64 op ~signed x y =
   Op { kernel = Kw64 op; batch = false; lanes = [ Pair { signed; x; y } ] }
 
+let divl ~xhi ~xlo y =
+  Op { kernel = Kdivl; batch = false; lanes = [ Triple { xhi; xlo; y } ] }
+
 let max_line_bytes = 1024
 
 (* 64 operands of up to 11 characters plus separators and the verb fit
@@ -43,12 +48,19 @@ let max_batch_operands = 64
    the signedness and the verb still fit in [max_line_bytes]. *)
 let max_w64_batch_pairs = 16
 
+(* Triples run to three 20-character tokens; 10 of them plus the verb
+   stay inside [max_line_bytes]. *)
+let max_divl_batch_triples = 10
+
 (* How a kernel's operands look on the wire. *)
 type shape =
   | Consts  (** bare int32 tokens; 1 scalar, up to [max_batch_operands] *)
   | Pairs
       (** a signedness tag then int64 [x y] pairs; 1 scalar pair, up to
           [max_w64_batch_pairs] batched *)
+  | Triples
+      (** unsigned int64 [xhi xlo y] triples; 1 scalar triple, up to
+          [max_divl_batch_triples] batched *)
 
 let kernel_table =
   [
@@ -57,6 +69,7 @@ let kernel_table =
     (Kw64 W64_mul, "W64MUL", Pairs);
     (Kw64 W64_div, "W64DIV", Pairs);
     (Kw64 W64_rem, "W64REM", Pairs);
+    (Kdivl, "W64DIVL", Triples);
   ]
 
 let kernel_verb k =
@@ -217,6 +230,50 @@ let parse_lanes kernel ~batch args =
                   | [ _ ] -> Error "parse internal odd operand count"
                 in
                 convert [] args))
+  | Triples, false -> (
+      match args with
+      | [ xhi; xlo; y ] ->
+          Result.bind (int64_of_token xhi) (fun xhi ->
+              Result.bind (int64_of_token xlo) (fun xlo ->
+                  Result.map
+                    (fun y -> [ Triple { xhi; xlo; y } ])
+                    (int64_of_token y)))
+      | _ ->
+          Error
+            (Printf.sprintf
+               "parse %s takes three integers (dividend hi, dividend lo, \
+                divisor)"
+               name))
+  | Triples, true ->
+      let n = List.length args in
+      if n = 0 then
+        Error (Printf.sprintf "parse %s needs at least one operand triple" name)
+      else if n mod 3 <> 0 then
+        Error
+          (Printf.sprintf
+             "parse %s takes xhi xlo y operand triples (operand count not a \
+              multiple of three)"
+             name)
+      else if n / 3 > max_divl_batch_triples then
+        Error
+          (Printf.sprintf "parse %s takes at most %d operand triples" name
+             max_divl_batch_triples)
+      else
+        let rec convert acc = function
+          | [] -> Ok (List.rev acc)
+          | xhi :: xlo :: y :: rest -> (
+              match int64_of_token xhi with
+              | Error e -> Error e
+              | Ok xhi -> (
+                  match int64_of_token xlo with
+                  | Error e -> Error e
+                  | Ok xlo -> (
+                      match int64_of_token y with
+                      | Error e -> Error e
+                      | Ok y -> convert (Triple { xhi; xlo; y } :: acc) rest)))
+          | _ -> Error "parse internal operand count not a multiple of three"
+        in
+        convert [] args
 
 (* Verb lookup: "<VERB>" is the scalar form, "<VERB>B" the batch form
    of the same kernel row. *)
@@ -289,7 +346,8 @@ let pp_lanes ppf lanes =
   List.iter
     (function
       | Const n -> Format.fprintf ppf " %ld" n
-      | Pair { x; y; _ } -> Format.fprintf ppf " %Ld %Ld" x y)
+      | Pair { x; y; _ } -> Format.fprintf ppf " %Ld %Ld" x y
+      | Triple { xhi; xlo; y } -> Format.fprintf ppf " %Ld %Ld %Ld" xhi xlo y)
     lanes
 
 let pp_request ppf = function

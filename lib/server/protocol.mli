@@ -12,6 +12,8 @@
       W64MULB <u|s> <x y...>  batch of 1..16 W64MUL operand pairs
       W64DIVB <u|s> <x y...>  batch of 1..16 W64DIV operand pairs
       W64REMB <u|s> <x y...>  batch of 1..16 W64REM operand pairs
+      W64DIVL <xhi> <xlo> <y> 128/64 divide: unsigned (xhi:xlo) / y
+      W64DIVLB <xhi xlo y..>  batch of 1..10 W64DIVL operand triples
       EVAL <entry> <args...>  run a millicode entry (up to 4 int32 args)
       STATS                   server counters and latency percentiles
       METRICS                 Prometheus text scrape of the registry
@@ -49,16 +51,19 @@ module Word = Hppa_word.Word
 
 type w64_op = W64_mul | W64_div | W64_rem
 
-(** A plan-producing kernel — one row of the dispatch table. *)
-type kernel = Kmul | Kdiv | Kw64 of w64_op
+(** A plan-producing kernel — one row of the dispatch table. [Kdivl] is
+    the 128/64 divide ([divU128by64]). *)
+type kernel = Kmul | Kdiv | Kw64 of w64_op | Kdivl
 
 (** One operand lane of an [Op] request. [Const] lanes belong to
-    [Kmul]/[Kdiv], [Pair] lanes to [Kw64 _]; {!parse} guarantees the
-    shape matches the kernel and that all lanes of one request share a
-    signedness. *)
+    [Kmul]/[Kdiv], [Pair] lanes to [Kw64 _], [Triple] lanes to [Kdivl]
+    (unsigned 128-bit dividend as two dwords, then the divisor dword);
+    {!parse} guarantees the shape matches the kernel and that all lanes
+    of one request share a signedness. *)
 type lane =
   | Const of int32
   | Pair of { signed : bool; x : int64; y : int64 }
+  | Triple of { xhi : int64; xlo : int64; y : int64 }
 
 (** A parsed request. Every plan-producing verb — scalar or batch,
     32- or 64-bit — is the single [Op] constructor; a scalar request is
@@ -81,6 +86,10 @@ val w64 : w64_op -> signed:bool -> int64 -> int64 -> request
 (** [w64 op ~signed x y] is the scalar [W64MUL]/[W64DIV]/[W64REM]
     request. *)
 
+val divl : xhi:int64 -> xlo:int64 -> int64 -> request
+(** [divl ~xhi ~xlo y] is the scalar [W64DIVL] request: the unsigned
+    128-bit dividend [(xhi:xlo)] divided by the dword [y]. *)
+
 val verb : request -> string
 (** The command word of a request (["MUL"], ["MULB"], ["EVAL"], ...) —
     used as the [verb] label on per-verb latency histograms. *)
@@ -101,6 +110,9 @@ val max_w64_batch_pairs : int
 (** Most operand pairs one [W64MULB]/[W64DIVB]/[W64REMB] request may
     carry (16) — int64 decimal tokens are up to 20 bytes, so a maximal
     pair batch still fits in {!max_line_bytes}. *)
+
+val max_divl_batch_triples : int
+(** Most operand triples one [W64DIVLB] request may carry (10). *)
 
 val parse : string -> (request, string) result
 (** Parse one request line (no trailing newline; a trailing ['\r'] is

@@ -146,14 +146,16 @@ let compute_misses t kernel mach misses =
           (fun (key, lane) ->
             match lane with
             | Protocol.Const n -> (key, Plan.mul ~obs ~require_certified n)
-            | Protocol.Pair _ -> (key, Error "internal lane shape"))
+            | Protocol.Pair _ | Protocol.Triple _ ->
+                (key, Error "internal lane shape"))
           misses
     | Protocol.Kdiv ->
         List.map
           (fun (key, lane) ->
             match lane with
             | Protocol.Const d -> (key, Plan.div ~obs ~require_certified d)
-            | Protocol.Pair _ -> (key, Error "internal lane shape"))
+            | Protocol.Pair _ | Protocol.Triple _ ->
+                (key, Error "internal lane shape"))
           misses
     | Protocol.Kw64 pop -> (
         let op = hppa_op pop in
@@ -176,12 +178,35 @@ let compute_misses t kernel mach misses =
                 (fun (_, lane) ->
                   match lane with
                   | Protocol.Pair { x; y; _ } -> (x, y)
-                  | Protocol.Const _ -> (0L, 0L))
+                  | Protocol.Const _ | Protocol.Triple _ -> (0L, 0L))
                 misses
             in
             let rs =
               Plan.w64_batch ~obs ~require_certified mach ~fuel:t.cfg.fuel op
                 ~signed pairs
+            in
+            List.map2 (fun (key, _) r -> (key, r)) misses rs)
+    | Protocol.Kdivl -> (
+        let mach = Lazy.force mach in
+        match misses with
+        | [ (key, Protocol.Triple { xhi; xlo; y }) ] ->
+            [
+              ( key,
+                Plan.divl ~obs ~require_certified mach ~fuel:t.cfg.fuel ~xhi
+                  ~xlo y );
+            ]
+        | _ ->
+            let triples =
+              List.map
+                (fun (_, lane) ->
+                  match lane with
+                  | Protocol.Triple { xhi; xlo; y } -> (xhi, xlo, y)
+                  | Protocol.Const _ | Protocol.Pair _ -> (0L, 0L, 0L))
+                misses
+            in
+            let rs =
+              Plan.divl_batch ~obs ~require_certified mach ~fuel:t.cfg.fuel
+                triples
             in
             List.map2 (fun (key, _) r -> (key, r)) misses rs)
   in

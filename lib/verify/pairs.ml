@@ -1,14 +1,15 @@
 (* The register-pair calling convention of the W64 millicode family:
    64-bit operands and results travel as (hi:lo) word pairs in fixed
-   slots — arguments in (arg0:arg1) / (arg2:arg3), results in
-   (ret0:ret1) and, for routines that return a second dword, back in
-   (arg0:arg1). *)
+   slots — arguments in (arg0:arg1) / (arg2:arg3), plus (ret0:ret1) for
+   the third operand dword of the 128/64 divide — results in (ret0:ret1)
+   and, for routines that return a second dword, back in (arg0:arg1). *)
 
 type pair = Reg.t * Reg.t
 
 type spec = { name : string; arg_pairs : pair list; result_pairs : pair list }
 
-let arg_slots = [ (Reg.arg0, Reg.arg1); (Reg.arg2, Reg.arg3) ]
+let arg_slots =
+  [ (Reg.arg0, Reg.arg1); (Reg.arg2, Reg.arg3); (Reg.ret0, Reg.ret1) ]
 let result_slots = [ (Reg.ret0, Reg.ret1); (Reg.arg0, Reg.arg1) ]
 
 let pair_equal (a, b) (c, d) = Reg.equal a c && Reg.equal b d

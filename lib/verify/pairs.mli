@@ -4,8 +4,9 @@
     carries as (hi:lo) word pairs. The check enforces:
 
     - {e shape}: every declared pair sits in a canonical slot —
-      arguments in (arg0:arg1) or (arg2:arg3), results in (ret0:ret1)
-      or (arg0:arg1) — and each half is covered by the routine's flat
+      arguments in (arg0:arg1), (arg2:arg3) or, for the three-operand
+      128/64 divide, (ret0:ret1); results in (ret0:ret1) or (arg0:arg1)
+      — and each half is covered by the routine's flat
       {!Cfg.spec} (so the pair and word views of the interface agree);
     - {e definedness}: both halves of every result pair are defined on
       every return path (forward must-analysis over the routine's CFG);
@@ -21,7 +22,9 @@ type pair = Reg.t * Reg.t
 type spec = { name : string; arg_pairs : pair list; result_pairs : pair list }
 
 val arg_slots : pair list
-(** The canonical argument slots [(arg0:arg1); (arg2:arg3)]. *)
+(** The canonical argument slots
+    [(arg0:arg1); (arg2:arg3); (ret0:ret1)] — the last used only by the
+    128/64 divide's divisor. *)
 
 val result_slots : pair list
 (** The canonical result slots [(ret0:ret1); (arg0:arg1)]. *)

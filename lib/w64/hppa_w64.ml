@@ -36,6 +36,12 @@ let join hi lo =
 
 let operands x y = [ hi32 x; lo32 x; hi32 y; lo32 y ]
 
+(* The 128/64 divide takes a third operand dword: the 128-bit dividend
+   rides in both arg pairs and the divisor in (ret0:ret1), which is
+   where Machine.call puts a fifth and sixth argument word. *)
+let divl_entry = "divU128by64"
+let operands_divl ~xhi ~xlo y = operands xhi xlo @ [ hi32 y; lo32 y ]
+
 (* -- reference model and execution ---------------------------------- *)
 
 (* Every entry leaves two architectural result dwords: [ret] in
@@ -87,6 +93,13 @@ let reference name x y =
       | None -> div_trap x y)
   | e -> invalid_arg ("Hppa_w64.reference: " ^ e)
 
+let reference_divl ~xhi ~xlo y =
+  match Hppa.Div_u128.reference { Hppa_word.U128.hi = xhi; lo = xlo } y with
+  | Some (q, r) -> Value { ret = q; arg = r }
+  | None ->
+      if Int64.equal y 0L then Trap (Trap.Break Trap.divide_by_zero_code)
+      else Trap (Trap.Break Hppa.Div_ext.overflow_break_code)
+
 let read_outcome ~get = function
   | Hppa_machine.Cpu.Halted ->
       Value
@@ -102,6 +115,16 @@ let call ?fuel m name ~x ~y =
 
 let call_cycles ?fuel m name ~x ~y =
   let o, c = Machine.call_cycles ?fuel m name ~args:(operands x y) in
+  (read_outcome ~get:(Machine.get m) o, c)
+
+let call_divl ?fuel m ~xhi ~xlo y =
+  read_outcome ~get:(Machine.get m)
+    (Machine.call ?fuel m divl_entry ~args:(operands_divl ~xhi ~xlo y))
+
+let call_divl_cycles ?fuel m ~xhi ~xlo y =
+  let o, c =
+    Machine.call_cycles ?fuel m divl_entry ~args:(operands_divl ~xhi ~xlo y)
+  in
   (read_outcome ~get:(Machine.get m) o, c)
 
 let batch_outcome b ~lane =

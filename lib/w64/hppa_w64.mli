@@ -37,6 +37,13 @@ val operands : int64 -> int64 -> Hppa_word.Word.t list
     [[hi32 x; lo32 x; hi32 y; lo32 y]] matching the W64 calling
     convention. *)
 
+val divl_entry : string
+(** ["divU128by64"], the three-operand 128/64 divide. *)
+
+val operands_divl : xhi:int64 -> xlo:int64 -> int64 -> Hppa_word.Word.t list
+(** The six-word argument list of {!divl_entry}: the 128-bit dividend
+    [(xhi:xlo)] in the two arg pairs and the divisor in (ret0:ret1). *)
+
 (** {1 Reference model and execution} *)
 
 (** Every entry leaves two architectural result dwords: [ret] in
@@ -57,6 +64,13 @@ val reference : string -> int64 -> int64 -> outcome
     {!Hppa_machine.Trap.divide_by_zero_code}; signed [-2{^63} / -1]
     breaks with {!Hppa.Div_ext.overflow_break_code}). *)
 
+val reference_divl : xhi:int64 -> xlo:int64 -> int64 -> outcome
+(** The OCaml model of {!divl_entry} over {!Hppa_word.U128}: quotient
+    dword in [ret], remainder in [arg]; divide by zero breaks with
+    {!Hppa_machine.Trap.divide_by_zero_code} and a dividend high dword
+    [>=] the divisor (unrepresentable quotient) with
+    {!Hppa.Div_ext.overflow_break_code}. *)
+
 val read_outcome :
   get:(Reg.t -> Hppa_word.Word.t) -> Hppa_machine.Cpu.outcome -> outcome
 (** Decode a machine outcome through a register reader (scalar machine
@@ -68,6 +82,25 @@ val call : ?fuel:int -> Hppa_machine.Machine.t -> string -> x:int64 -> y:int64 -
 val call_cycles :
   ?fuel:int -> Hppa_machine.Machine.t -> string -> x:int64 -> y:int64 -> outcome * int
 (** {!call} plus the cycle count of the call. *)
+
+val call_divl :
+  ?fuel:int ->
+  Hppa_machine.Machine.t ->
+  xhi:int64 ->
+  xlo:int64 ->
+  int64 ->
+  outcome
+(** Pack the three operand dwords, call {!divl_entry}, decode the
+    quotient/remainder dwords. *)
+
+val call_divl_cycles :
+  ?fuel:int ->
+  Hppa_machine.Machine.t ->
+  xhi:int64 ->
+  xlo:int64 ->
+  int64 ->
+  outcome * int
+(** {!call_divl} plus the cycle count of the call. *)
 
 val batch_outcome : Hppa_machine.Machine.Batch.t -> lane:int -> outcome
 (** Decode one lane of a batched dispatch. *)

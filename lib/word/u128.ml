@@ -28,6 +28,23 @@ let mul_64_64 x y =
   in
   { hi; lo }
 
+let sub a b =
+  let lo = Int64.sub a.lo b.lo in
+  let borrow = if Int64.unsigned_compare a.lo b.lo < 0 then 1L else 0L in
+  { hi = Int64.sub (Int64.sub a.hi b.hi) borrow; lo }
+
+let shift_left a k =
+  assert (k >= 0 && k < 128);
+  if k = 0 then a
+  else if k < 64 then
+    {
+      hi =
+        Int64.logor (Int64.shift_left a.hi k)
+          (Int64.shift_right_logical a.lo (64 - k));
+      lo = Int64.shift_left a.lo k;
+    }
+  else { hi = Int64.shift_left a.lo (k - 64); lo = 0L }
+
 let shift_right a k =
   assert (k >= 0 && k < 128);
   if k = 0 then a
@@ -50,4 +67,27 @@ let compare a b =
   | c -> c
 
 let equal a b = a.hi = b.hi && a.lo = b.lo
+
+(* Restoring shift-subtract loop: obviously correct, and only used as
+   the OCaml reference the 128/64 millicode divide is checked against,
+   so simplicity beats speed. Requires [y <> 0] and, for the quotient
+   to fit one dword, callers additionally require [x.hi <
+   unsigned y]. *)
+let divmod_64 x y =
+  if y = 0L then invalid_arg "U128.divmod_64: divide by zero";
+  let q = ref zero and r = ref zero in
+  for i = 127 downto 0 do
+    (* r = 2r + bit i of x *)
+    let bit =
+      if i >= 64 then Int64.logand (Int64.shift_right_logical x.hi (i - 64)) 1L
+      else Int64.logand (Int64.shift_right_logical x.lo i) 1L
+    in
+    r := add (shift_left !r 1) { hi = 0L; lo = bit };
+    q := shift_left !q 1;
+    if compare !r { hi = 0L; lo = y } >= 0 then begin
+      r := sub !r { hi = 0L; lo = y };
+      q := add !q { hi = 0L; lo = 1L }
+    end
+  done;
+  (!q, (!r).lo)
 let pp ppf a = Format.fprintf ppf "0x%Lx_%016Lx" a.hi a.lo

@@ -13,11 +13,25 @@ val of_int64 : int64 -> t
 (** Interprets the argument as unsigned. *)
 
 val add : t -> t -> t
+
+val sub : t -> t -> t
+(** Wrap-around (mod 2^128) difference. *)
+
 val mul_64_64 : int64 -> int64 -> t
 (** Full unsigned 64x64 -> 128 product. *)
 
+val shift_left : t -> int -> t
+(** Amount in 0..127; bits shifted out are discarded. *)
+
 val shift_right : t -> int -> t
 (** Logical; amount in 0..127. *)
+
+val divmod_64 : t -> int64 -> t * int64
+(** [divmod_64 x y] is the unsigned quotient and remainder of the full
+    128-bit [x] by the 64-bit [y] (interpreted unsigned). Restoring
+    shift-subtract reference; raises [Invalid_argument] when [y = 0].
+    The 128/64 millicode divide is differentially checked against
+    this. *)
 
 val to_int64 : t -> int64
 (** Low 64 bits. *)

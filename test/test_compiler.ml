@@ -323,7 +323,7 @@ let prop_strength_removes_counter_multiplies =
           (fun (Loop_ir.Assign (_, e)) ->
             let rec bad : Expr.t -> bool = function
               | Mul (Var "i", Const _) | Mul (Const _, Var "i") -> true
-              | Var _ | Const _ -> false
+              | Var _ | Const _ | Const64 _ -> false
               | Add (a, b) | Sub (a, b) | Mul (a, b) | Div (a, b) | Rem (a, b) ->
                   bad a || bad b
               | Neg a -> bad a

@@ -218,8 +218,14 @@ let test_millicode_preserves_compiler_registers () =
       Machine.reset m;
       List.iter (fun (r, v) -> Machine.set m r v) sentinels;
       (* divU64 needs hi < divisor; the argument triple satisfies every
-         entry's preconditions. *)
-      (match Machine.call m entry ~args:[ 2l; 123456l; 7l ] with
+         entry's preconditions. The 128/64 divide takes six words — a
+         dividend quad and a divisor pair in (ret0:ret1) — with the
+         dividend's high dword below the divisor. *)
+      let args =
+        if String.equal entry "divU128by64" then [ 0l; 2l; 123456l; 7l; 1l; 5l ]
+        else [ 2l; 123456l; 7l ]
+      in
+      (match Machine.call m entry ~args with
       | Machine.Halted -> ()
       | Machine.Trapped t ->
           Alcotest.failf "%s trapped: %s" entry (Trap.to_string t)

@@ -309,9 +309,9 @@ let test_ldaddr_bv () =
 
 let test_call_arity () =
   let mach = Machine.create (Program.resolve_exn (Asm.parse_exn {| main: bv r0(rp) |})) in
-  Alcotest.check_raises "5 args rejected"
-    (Invalid_argument "Machine.call: more than 4 arguments") (fun () ->
-      ignore (Machine.call mach "main" ~args:[ 1l; 2l; 3l; 4l; 5l ]))
+  Alcotest.check_raises "7 args rejected"
+    (Invalid_argument "Machine.call: more than 6 arguments") (fun () ->
+      ignore (Machine.call mach "main" ~args:[ 1l; 2l; 3l; 4l; 5l; 6l; 7l ]))
 
 let test_shadd_sets_carry () =
   (* SHxADD writes the carry of its 32-bit add (the dword chains rely on

@@ -493,13 +493,20 @@ let test_w64_request_parse () =
   ok "w64divi x" "div.var.s.w64";
   ok "w64remu x" "rem.var.u.w64";
   ok "w64remi x" "rem.var.s.w64";
+  ok "w64divl x" "divl.var.u.w64";
+  (* The two-operand w64 forms accept full 64-bit constants. *)
+  ok "w64mulu 3" "mul.c3.u.w64";
+  ok "w64muli -15" "mul.c-15.s.w64";
+  ok "w64divu 10" "div.c10.u.w64";
+  ok "w64remi 7" "rem.c7.s.w64";
+  ok "w64mulu 0x100000001" "mul.c4294967297.u.w64";
   let bad s =
     match Plan.request_of_string s with
     | Ok r -> Alcotest.failf "%S should not parse (got %s)" s (Plan.request_id r)
     | Error _ -> ()
   in
-  (* Constant operands are a 32-bit notion; the w64 forms take only x. *)
-  bad "w64mulu 3";
+  (* The 128/64 divide takes all three operands at run time. *)
+  bad "w64divl 5";
   bad "w64divu";
   bad "w64frob x"
 
@@ -523,7 +530,7 @@ let test_w64_selection () =
       let target =
         match em.Plan.detail with
         | Plan.Millicode t -> t
-        | Plan.Mul_plan _ | Plan.Div_plan _ ->
+        | Plan.Mul_plan _ | Plan.Div_plan _ | Plan.Pair_chain _ ->
             Alcotest.failf "%s: w64 emission is not millicode" id
       in
       let mach = machine_of em in

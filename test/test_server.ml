@@ -97,6 +97,20 @@ let test_parse_valid () =
     (pairs Protocol.W64_mul false [ (1L, 2L); (3L, 4L) ])
     ();
   parse_ok "W64DIVB s 10 3" (pairs Protocol.W64_div true [ (10L, 3L) ]) ();
+  parse_ok "W64DIVL 0 100 7" (Protocol.divl ~xhi:0L ~xlo:100L 7L) ();
+  parse_ok "w64divl 0x1 0 3" (Protocol.divl ~xhi:1L ~xlo:0L 3L) ();
+  parse_ok "W64DIVLB 0 100 7 1 0 3"
+    (Protocol.Op
+       {
+         kernel = Protocol.Kdivl;
+         batch = true;
+         lanes =
+           [
+             Protocol.Triple { xhi = 0L; xlo = 100L; y = 7L };
+             Protocol.Triple { xhi = 1L; xlo = 0L; y = 3L };
+           ];
+       })
+    ();
   parse_ok "STATS" Protocol.Stats ();
   parse_ok "METRICS" Protocol.Metrics ();
   parse_ok "metrics\r" Protocol.Metrics ();
@@ -142,6 +156,17 @@ let test_parse_invalid () =
       "W64MULB u "
       ^ String.concat " "
           (List.init (2 * (Protocol.max_w64_batch_pairs + 1)) string_of_int);
+      (* W64DIVL: exactly three operands, no signedness tag (the 128/64
+         divide is unsigned by definition). *)
+      "W64DIVL";
+      "W64DIVL 1 2";  (* missing divisor *)
+      "W64DIVL 1 2 3 4";  (* too many operands *)
+      "W64DIVL u 1 2 3";  (* no signedness tag on this verb *)
+      "W64DIVLB";  (* batch needs at least one triple *)
+      "W64DIVLB 1 2 3 4";  (* operand count not a multiple of 3 *)
+      "W64DIVLB "
+      ^ String.concat " "
+          (List.init (3 * (Protocol.max_divl_batch_triples + 1)) string_of_int);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -165,7 +190,7 @@ let fuzz_inputs =
          "MUL 625"; "DIV 7"; "MULB 625 -7 0"; "DIVB 7 0 -9";
          "EVAL mulI 99 -7"; "STATS"; "PING"; "QUIT";
          "W64MUL u 123 456"; "W64DIV s -7 3"; "W64REM u 100 7";
-         "W64DIVB s 10 3 5 0";
+         "W64DIVB s 10 3 5 0"; "W64DIVL 0 100 7"; "W64DIVLB 0 100 7 1 0 3";
        ]
      in
      let truncated =
@@ -575,6 +600,71 @@ let test_w64_dispatch_semantics () =
       check_reply srv "W64DIV u 5 0" ~ok:false [ "trap" ];
       check_reply srv "W64REM s 5 0" ~ok:false [ "trap" ])
 
+(* The 128/64 divide verb: three-operand lanes through the same plan
+   cache, quotient/remainder decoded from the (ret0:ret1)/(arg0:arg1)
+   pairs of divU128by64. *)
+let test_divl_dispatch_semantics () =
+  with_server ~workers:2 (fun srv ->
+      check_reply srv "W64DIVL 0 100 7" ~ok:true
+        [ "q=14"; "r=2"; "cycles="; "entry=divU128by64" ];
+      (* 2^64 / 3: the quotient needs the full dword. *)
+      check_reply srv "W64DIVL 1 0 3" ~ok:true
+        [ "q=6148914691236517205"; "r=1" ];
+      (* The dividend high dword rides above a 32-bit divisor. *)
+      check_reply srv "W64DIVL 4 3735928559 5" ~ok:true [ "r=3" ];
+      (* Zero divisor and an unrepresentable quotient (hi >= y) trap;
+         the server frames both as error replies. *)
+      check_reply srv "W64DIVL 0 5 0" ~ok:false [ "trap" ];
+      check_reply srv "W64DIVL 5 0 5" ~ok:false [ "trap" ];
+      (* Normalized form shares the scalar cache entry. *)
+      let a = Server.respond srv "W64DIVL 0 100 7" in
+      let b = Server.respond srv "  w64divl  0 0x64 7 " in
+      Alcotest.(check string) "normalized" a b)
+
+let test_divl_batch_byte_identity () =
+  let ops = [ ("0", "100", "7"); ("0", "5", "0"); ("1", "0", "3") ] in
+  let flat =
+    String.concat " " (List.concat_map (fun (a, b, c) -> [ a; b; c ]) ops)
+  in
+  let scalar srv (a, b, c) =
+    Server.respond srv (Printf.sprintf "W64DIVL %s %s %s" a b c)
+  in
+  (* Warm path: scalars first, the batch hits their cache entries. *)
+  with_server ~workers:2 (fun srv ->
+      let scalars = List.map (scalar srv) ops in
+      let reply = Server.respond srv ("W64DIVLB " ^ flat) in
+      Alcotest.(check bool) "framed as batch" true
+        (Server.is_batch_reply reply);
+      match String.split_on_char '\n' reply with
+      | header :: lanes ->
+          Alcotest.(check string) "header"
+            (Printf.sprintf "OK W64DIVLB k=%d" (List.length ops))
+            header;
+          List.iteri
+            (fun i (s, l) ->
+              Alcotest.(check string)
+                (Printf.sprintf "warm lane %d byte-identical" i)
+                s l)
+            (List.combine scalars lanes)
+      | [] -> Alcotest.fail "empty batch reply");
+  (* Cold path: the batch computes first; scalars afterwards agree, and
+     the zero-divisor lane is a framed per-lane error. *)
+  with_server ~workers:2 (fun srv ->
+      let reply = Server.respond srv ("W64DIVLB " ^ flat) in
+      let lanes = List.tl (String.split_on_char '\n' reply) in
+      List.iter2
+        (fun op lane ->
+          Alcotest.(check string) "cold lane = later scalar" lane
+            (scalar srv op))
+        ops lanes;
+      match lanes with
+      | _ :: bad :: _ ->
+          Alcotest.(check bool) "zero-divisor lane is ERR" true
+            (Protocol.is_err bad);
+          Alcotest.(check bool) "lane names the trap" true
+            (contains ~needle:"trap" bad)
+      | _ -> Alcotest.fail "missing lanes")
+
 (* Same acceptance criterion as MULB/DIVB: a W64 batch reply is a
    header plus lanes byte-identical to the scalar replies, error lanes
    (zero divisors) included, cache-state independent. *)
@@ -707,6 +797,7 @@ let test_certified_serving () =
     [
       "MUL 625"; "MUL -7"; "DIV 7"; "DIV -9"; "DIV 16"; "DIV 1";
       "W64MUL u 123 456"; "W64DIV s -7 3"; "W64REM u 100 7";
+      "W64DIVL 0 100 7";
     ]
   in
   let plain =
@@ -1316,6 +1407,9 @@ let suite =
         Alcotest.test_case "w64 semantics" `Quick test_w64_dispatch_semantics;
         Alcotest.test_case "w64 batch byte identity" `Quick
           test_w64_batch_byte_identity;
+        Alcotest.test_case "divl semantics" `Quick test_divl_dispatch_semantics;
+        Alcotest.test_case "divl batch byte identity" `Quick
+          test_divl_batch_byte_identity;
         Alcotest.test_case "metrics scrape" `Quick test_metrics_scrape;
         Alcotest.test_case "selector metrics and artifacts" `Quick
           test_plan_selector_metrics;
